@@ -1,0 +1,60 @@
+//! Experiment P2: dataflow engine PE scaling.
+//!
+//! Wide independent graphs (known parallelism) and multi-loop graphs on
+//! 1/2/4/8 PEs, against the sequential engine and the serial deep chain
+//! (the expected non-scaling baseline). Per §II-A's "each core is a
+//! virtual PE", wide graphs should speed up with PEs; the deep chain must
+//! not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gammaflow_dataflow::engine::SeqEngine;
+use gammaflow_dataflow::engine_par::{run_parallel, ParEngineConfig};
+use gammaflow_workloads::{deep_chain, parallel_loops, wide_pairs};
+
+fn bench_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("df_wide_1024_pairs");
+    group.sample_size(20);
+    let dag = wide_pairs(7, 1024);
+    group.bench_function("seq", |b| {
+        b.iter(|| SeqEngine::new(&dag.graph).run().unwrap())
+    });
+    for pes in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("par", pes), &pes, |b, &pes| {
+            b.iter(|| run_parallel(&dag.graph, &ParEngineConfig::with_pes(pes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("df_loops_8x100");
+    group.sample_size(10);
+    let w = parallel_loops(8, 3, 100, 1);
+    group.bench_function("seq", |b| {
+        b.iter(|| SeqEngine::new(&w.graph).run().unwrap())
+    });
+    for pes in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("par", pes), &pes, |b, &pes| {
+            b.iter(|| run_parallel(&w.graph, &ParEngineConfig::with_pes(pes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("df_serial_chain_2000");
+    group.sample_size(20);
+    let dag = deep_chain(2000, 0);
+    group.bench_function("seq", |b| {
+        b.iter(|| SeqEngine::new(&dag.graph).run().unwrap())
+    });
+    for pes in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("par", pes), &pes, |b, &pes| {
+            b.iter(|| run_parallel(&dag.graph, &ParEngineConfig::with_pes(pes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wide, bench_loops, bench_serial_baseline);
+criterion_main!(benches);

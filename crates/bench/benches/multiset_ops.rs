@@ -1,0 +1,90 @@
+//! Multiset substrate microbenchmarks: the raw operations under both
+//! interpreters (bag updates, indexed lookups, sharded claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gammaflow_multiset::{Element, ElementBag, HashBag, ShardedBag};
+
+fn bench_hashbag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashbag");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_remove_10k", |b| {
+        b.iter(|| {
+            let mut bag = HashBag::new();
+            for i in 0..10_000i64 {
+                bag.insert(i % 997);
+            }
+            for i in 0..10_000i64 {
+                bag.remove(&(i % 997));
+            }
+            assert!(bag.is_empty());
+            bag
+        })
+    });
+    let a: HashBag<i64> = (0..5_000).map(|i| i % 701).collect();
+    let b2: HashBag<i64> = (0..5_000).map(|i| i % 997).collect();
+    group.bench_function("union_5k_5k", |b| b.iter(|| a.union(&b2)));
+    group.bench_function("difference_5k_5k", |b| b.iter(|| a.difference(&b2)));
+    group.bench_function("is_subset", |b| b.iter(|| a.is_subset(&b2)));
+    group.finish();
+}
+
+fn bench_elementbag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementbag");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_10k_mixed_keys", |b| {
+        b.iter(|| {
+            let mut bag = ElementBag::new();
+            for i in 0..10_000i64 {
+                bag.insert(Element::new(i, "l", (i % 64) as u64));
+            }
+            bag
+        })
+    });
+    let bag: ElementBag = (0..10_000i64)
+        .map(|i| Element::new(i, format!("l{}", i % 32).as_str(), (i % 64) as u64))
+        .collect();
+    group.bench_function("project_half", |b| {
+        b.iter(|| bag.project(|l| l.index() % 2 == 0))
+    });
+    group.bench_function("bucket_probe", |b| {
+        let label = gammaflow_multiset::Symbol::intern("l3");
+        b.iter(|| bag.bucket(label, gammaflow_multiset::Tag(3)).map(|x| x.len()))
+    });
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_bag");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("claim_storm_10k", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let bag = ShardedBag::new(64);
+                    bag.insert_all((0..10_000i64).map(|i| Element::new(i, "t", 0u64)));
+                    std::thread::scope(|scope| {
+                        for w in 0..threads {
+                            let bag = &bag;
+                            scope.spawn(move || {
+                                for i in (w..10_000).step_by(threads) {
+                                    let e = Element::new(i as i64, "t", 0u64);
+                                    let out = Element::new(i as i64, "done", 0u64);
+                                    let claimed =
+                                        bag.claim_and_replace(&[e], std::slice::from_ref(&out));
+                                    assert!(claimed);
+                                }
+                            });
+                        }
+                    });
+                    assert_eq!(bag.len(), 10_000);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashbag, bench_elementbag, bench_sharded);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Experiment P5: cost of the Fig. 4 multiset mapping.
+//!
+//! `map_multiset` greedily matches the replace-list and instantiates one
+//! subgraph per match; the paper notes an efficient mapper is "beyond the
+//! scope of this work". Expectation: near-linear in |M| for the
+//! plain 2-ary reaction, superlinear once a `where` condition forces the
+//! matcher to search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gammaflow_core::map_multiset;
+use gammaflow_lang::parse_reaction;
+use gammaflow_multiset::{Element, ElementBag};
+
+fn bench_plain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mapping_plain_pairs");
+    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x+y,'s']").unwrap();
+    for size in [64usize, 256, 1024] {
+        let m: ElementBag = (1..=size as i64).map(|v| Element::pair(v, "n")).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &m, |b, m| {
+            b.iter(|| {
+                let mapping = map_multiset(&r, m, usize::MAX).unwrap();
+                assert_eq!(mapping.instances, size / 2);
+                mapping
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mapping_where_condition");
+    group.sample_size(15);
+    // Condition x > y forces orientation search per match.
+    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x-y,'d'] where x > y").unwrap();
+    for size in [64usize, 256] {
+        let m: ElementBag = (1..=size as i64).map(|v| Element::pair(v, "n")).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &m, |b, m| {
+            b.iter(|| map_multiset(&r, m, usize::MAX).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain, bench_conditioned);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Shared fixtures for the gammaflow benchmark suite and the experiment
+//! harness (`cargo run -p gammaflow-bench --bin harness`).
+
+#![warn(missing_docs)]
+
+/// Paper-figure builders used across benches.
+pub mod fixtures {
+    use gammaflow_dataflow::graph::{DataflowGraph, GraphBuilder, OutPort};
+    use gammaflow_dataflow::node::{Imm, NodeKind};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+
+    /// The paper's Fig. 1 with observable `m`.
+    pub fn fig1() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let x = b.constant_named(1, "x");
+        let y = b.constant_named(5, "y");
+        let k = b.constant_named(3, "k");
+        let j = b.constant_named(2, "j");
+        let r1 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R1");
+        let r2 = b.add_named(NodeKind::Arith(BinOp::Mul, None), "R2");
+        let r3 = b.add_named(NodeKind::Arith(BinOp::Sub, None), "R3");
+        let m = b.output("m_sink");
+        b.connect_labelled(x, r1, 0, "A1");
+        b.connect_labelled(y, r1, 1, "B1");
+        b.connect_labelled(k, r2, 0, "C1");
+        b.connect_labelled(j, r2, 1, "D1");
+        b.connect_labelled(r1, r3, 0, "B2");
+        b.connect_labelled(r2, r3, 1, "C2");
+        b.connect_labelled(r3, m, 0, "m");
+        b.build().unwrap()
+    }
+
+    /// The paper's Fig. 2, result observable on `xout`.
+    pub fn fig2(y0: i64, z0: i64, x0: i64) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let y = b.constant_named(y0, "y");
+        let z = b.constant_named(z0, "z");
+        let x = b.constant_named(x0, "x");
+        let r11 = b.add_named(NodeKind::IncTag, "R11");
+        let r12 = b.add_named(NodeKind::IncTag, "R12");
+        let r13 = b.add_named(NodeKind::IncTag, "R13");
+        let r14 = b.add_named(NodeKind::Cmp(CmpOp::Gt, Some(Imm::right(0))), "R14");
+        let r15 = b.add_named(NodeKind::Steer, "R15");
+        let r16 = b.add_named(NodeKind::Steer, "R16");
+        let r17 = b.add_named(NodeKind::Steer, "R17");
+        let r18 = b.add_named(NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))), "R18");
+        let r19 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R19");
+        let out = b.output("result");
+        b.connect_labelled(y, r11, 0, "A1");
+        b.connect_labelled(z, r12, 0, "B1");
+        b.connect_labelled(x, r13, 0, "C1");
+        b.connect_labelled(r11, r15, 0, "A12");
+        b.connect_labelled(r12, r14, 0, "B12");
+        b.connect_labelled(r12, r16, 0, "B13");
+        b.connect_labelled(r13, r17, 0, "C12");
+        b.connect_labelled(r14, r15, 1, "B14");
+        b.connect_labelled(r14, r16, 1, "B15");
+        b.connect_labelled(r14, r17, 1, "B16");
+        b.connect_full(r15, OutPort::True, r11, 0, Some("A11"));
+        b.connect_full(r15, OutPort::True, r19, 0, Some("A13"));
+        b.connect_full(r16, OutPort::True, r18, 0, Some("B17"));
+        b.connect_full(r17, OutPort::True, r19, 1, Some("C13"));
+        b.connect_labelled(r18, r12, 0, "B11");
+        b.connect_labelled(r19, r13, 0, "C11");
+        b.connect_full(r17, OutPort::False, out, 0, Some("xout"));
+        b.build().unwrap()
+    }
+
+    /// `groups` independent copies of Example 1's expression
+    /// `(a+b) - (c*d)`, one output each — the granularity-experiment
+    /// family (wide Example 1).
+    pub fn example1_family(groups: usize) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let base = (g as i64) * 4;
+            let a = b.constant(base + 1);
+            let c = b.constant(base + 5);
+            let k = b.constant(base + 3);
+            let j = b.constant(base + 2);
+            let add = b.add_named(NodeKind::Arith(BinOp::Add, None), format!("add{g}"));
+            let mul = b.add_named(NodeKind::Arith(BinOp::Mul, None), format!("mul{g}"));
+            let sub = b.add_named(NodeKind::Arith(BinOp::Sub, None), format!("sub{g}"));
+            let out = b.output(&format!("m{g}_sink"));
+            b.connect_labelled(a, add, 0, &format!("A{g}"));
+            b.connect_labelled(c, add, 1, &format!("B{g}"));
+            b.connect_labelled(k, mul, 0, &format!("C{g}"));
+            b.connect_labelled(j, mul, 1, &format!("D{g}"));
+            b.connect_labelled(add, sub, 0, &format!("S{g}"));
+            b.connect_labelled(mul, sub, 1, &format!("P{g}"));
+            b.connect_labelled(sub, out, 0, &format!("m{g}"));
+        }
+        b.build().unwrap()
+    }
+
+    /// Labels that must survive fusion for [`example1_family`]: the root
+    /// and output labels of every group.
+    pub fn example1_family_protected(groups: usize) -> Vec<gammaflow_multiset::Symbol> {
+        let mut out = Vec::new();
+        for g in 0..groups {
+            for p in ["A", "B", "C", "D", "m"] {
+                out.push(gammaflow_multiset::Symbol::intern(&format!("{p}{g}")));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's primary contribution: equivalence between dynamic dataflow
+//! and Gamma, made executable.
+//!
+//! * [`df_to_gamma`] — **Algorithm 1**: dataflow graph → Gamma program
+//!   (vertices → reactions, edges → element labels, roots → initial
+//!   multiset). Its output on the paper's Fig. 1/Fig. 2 graphs reproduces
+//!   the paper's reaction listings *textually* (see the E1/E2 integration
+//!   tests).
+//! * [`gamma_to_df`] — **Algorithm 2**: reaction → dataflow graph, the
+//!   Fig. 4 multiset mapping ([`map_multiset`]), node-kind recovery (the
+//!   paper's future-work analysis, [`recover_shape`]), and whole-program
+//!   stitching ([`gamma_to_dataflow`]) that inverts Algorithm 1.
+//! * [`reduce`] — **§III-A3 reductions**: automated reaction fusion
+//!   ([`fuse_all`]) reproducing the paper's `Rd1`, with granularity
+//!   metrics for the parallelism-vs-match-probability trade-off.
+//! * [`check`] — **§III-C sketch of proof**, as a differential testing
+//!   harness ([`check_equivalence`]): both models must observably agree on
+//!   every graph, seed, and engine.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod df_to_gamma;
+pub mod gamma_to_df;
+pub mod reduce;
+
+pub use check::{check_equivalence, CheckConfig, CheckError, EquivReport};
+pub use df_to_gamma::{dataflow_to_gamma, ConvertError, Conversion};
+pub use gamma_to_df::{
+    build_reaction_subgraph, gamma_to_dataflow, map_multiset, reaction_to_graph, recover_shape,
+    Alg2Error, MultisetMapping, Shape, SubgraphPorts,
+};
+pub use reduce::{canonicalize_vars, fuse_all, fuse_once, granularity, FusionReport, Granularity};

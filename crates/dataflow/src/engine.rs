@@ -1,0 +1,584 @@
+//! Sequential dataflow engine.
+//!
+//! Executes a [`DataflowGraph`] by the dynamic-dataflow firing rule: an
+//! instruction executes as soon as a complete same-tag operand set exists.
+//! The engine processes firings in **waves** — every firing enabled at the
+//! start of a wave executes before tokens produced during the wave are
+//! matched — so the recorded wave sizes are the program's idealised
+//! parallelism profile (how many instructions an unbounded machine would
+//! run simultaneously), used by experiment P2.
+
+use crate::graph::{DataflowGraph, OutPort};
+use crate::node::NodeKind;
+use crate::token::{MatchingStore, ReadyFiring, Token};
+use gammaflow_multiset::value::ValueError;
+use gammaflow_multiset::{Element, ElementBag, Tag, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfStatus {
+    /// No tokens in flight and no firings pending: quiescent.
+    Quiescent,
+    /// The firing budget ran out.
+    BudgetExhausted,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of node firings (guards divergent loops).
+    pub max_firings: u64,
+    /// Record a full firing trace.
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_firings: 10_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+/// Execution faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A value operation failed inside a node.
+    Value {
+        /// Node name.
+        node: String,
+        /// Underlying error.
+        error: ValueError,
+    },
+    /// A steer received a non-boolean/non-integer control token.
+    BadControl {
+        /// Node name.
+        node: String,
+        /// Rendered control value.
+        value: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Value { node, error } => write!(f, "node {node}: {error}"),
+            EngineError::BadControl { node, value } => {
+                write!(f, "node {node}: bad steer control value {value}")
+            }
+        }
+    }
+}
+impl std::error::Error for EngineError {}
+
+/// One recorded firing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfFiring {
+    /// Firing sequence number.
+    pub step: u64,
+    /// Node name.
+    pub node: String,
+    /// Iteration tag.
+    pub tag: Tag,
+    /// Operand values (port order).
+    pub inputs: Vec<Value>,
+    /// Produced tokens as `(edge label, value, tag)` elements.
+    pub outputs: Vec<Element>,
+}
+
+/// Counters for a dataflow run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfStats {
+    /// Firings per node (indexed by `NodeId`).
+    pub fired_per_node: Vec<u64>,
+    /// Total tokens sent along edges.
+    pub tokens_sent: u64,
+}
+
+impl DfStats {
+    /// Total firings.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_per_node.iter().sum()
+    }
+}
+
+/// Result of a dataflow run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Elements collected at output sinks, labelled by their in-edge.
+    pub outputs: ElementBag,
+    /// Why execution stopped.
+    pub status: DfStatus,
+    /// Counters.
+    pub stats: DfStats,
+    /// Wave sizes: firings per parallel wave (the parallelism profile).
+    pub profile: Vec<usize>,
+    /// Tokens left stranded in the matching store at quiescence (tag
+    /// mismatches / starved ports; empty for well-formed programs).
+    pub residue: Vec<Token>,
+    /// Firing trace if requested.
+    pub trace: Option<Vec<DfFiring>>,
+}
+
+/// The sequential engine. Borrows the graph; create one per run.
+pub struct SeqEngine<'g> {
+    graph: &'g DataflowGraph,
+    config: EngineConfig,
+}
+
+impl<'g> SeqEngine<'g> {
+    /// Engine with default configuration.
+    pub fn new(graph: &'g DataflowGraph) -> SeqEngine<'g> {
+        SeqEngine {
+            graph,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(graph: &'g DataflowGraph, config: EngineConfig) -> SeqEngine<'g> {
+        SeqEngine { graph, config }
+    }
+
+    /// Run to quiescence (or budget).
+    pub fn run(self) -> Result<RunResult, EngineError> {
+        let graph = self.graph;
+        let mut store = MatchingStore::new();
+        let mut outputs = ElementBag::new();
+        let mut stats = DfStats {
+            fired_per_node: vec![0; graph.node_count()],
+            tokens_sent: 0,
+        };
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut profile = Vec::new();
+
+        let mut next: VecDeque<ReadyFiring> = VecDeque::new();
+
+        // Root nodes seed execution: one token per out-edge at tag 0.
+        let mut current: VecDeque<ReadyFiring> = {
+            let mut seed_ready = VecDeque::new();
+            for node in graph.roots() {
+                let NodeKind::Const(value) = &node.kind else {
+                    unreachable!()
+                };
+                for edge in graph.all_out_edges(node.id) {
+                    stats.fired_per_node[node.id.index()] = 1;
+                    deliver(
+                        graph,
+                        &mut store,
+                        &mut outputs,
+                        &mut stats,
+                        &mut seed_ready,
+                        edge.id.index(),
+                        value.clone(),
+                        Tag::ZERO,
+                    );
+                }
+            }
+            seed_ready
+        };
+        if !current.is_empty() {
+            profile.push(current.len());
+        }
+
+        let mut fired: u64 = 0;
+        let status = 'outer: loop {
+            if current.is_empty() {
+                if next.is_empty() {
+                    break DfStatus::Quiescent;
+                }
+                profile.push(next.len());
+                std::mem::swap(&mut current, &mut next);
+            }
+            while let Some(firing) = current.pop_front() {
+                if fired >= self.config.max_firings {
+                    break 'outer DfStatus::BudgetExhausted;
+                }
+                fired += 1;
+                let produced = execute(
+                    graph,
+                    &mut store,
+                    &mut outputs,
+                    &mut stats,
+                    &mut next,
+                    &firing,
+                )?;
+                stats.fired_per_node[firing.node.index()] += 1;
+                if let Some(t) = trace.as_mut() {
+                    t.push(DfFiring {
+                        step: fired - 1,
+                        node: graph.node(firing.node).name.clone(),
+                        tag: firing.tag,
+                        inputs: firing.inputs.clone(),
+                        outputs: produced,
+                    });
+                }
+            }
+        };
+
+        Ok(RunResult {
+            outputs,
+            status,
+            stats,
+            profile,
+            residue: store.residue(),
+            trace,
+        })
+    }
+}
+
+/// Send `value` along edge `edge_idx`; either collects it at an output sink
+/// or delivers it into the matching store (queueing any resulting firing).
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    graph: &DataflowGraph,
+    store: &mut MatchingStore,
+    outputs: &mut ElementBag,
+    stats: &mut DfStats,
+    ready: &mut VecDeque<ReadyFiring>,
+    edge_idx: usize,
+    value: Value,
+    tag: Tag,
+) {
+    let edge = &graph.edges()[edge_idx];
+    stats.tokens_sent += 1;
+    let dst = graph.node(edge.dst);
+    if matches!(dst.kind, NodeKind::Output) {
+        outputs.insert(Element {
+            value,
+            label: edge.label,
+            tag,
+        });
+        return;
+    }
+    let nports = dst.kind.input_ports();
+    if let Some(firing) = store.deliver(
+        Token {
+            node: edge.dst,
+            port: edge.dst_port,
+            tag,
+            value,
+        },
+        nports,
+    ) {
+        ready.push_back(firing);
+    }
+}
+
+/// Execute one firing, sending produced tokens. Returns the produced
+/// elements (edge label + value + tag) for tracing.
+fn execute(
+    graph: &DataflowGraph,
+    store: &mut MatchingStore,
+    outputs: &mut ElementBag,
+    stats: &mut DfStats,
+    ready: &mut VecDeque<ReadyFiring>,
+    firing: &ReadyFiring,
+) -> Result<Vec<Element>, EngineError> {
+    let node = graph.node(firing.node);
+    let mut produced = Vec::new();
+    let send = |store: &mut MatchingStore,
+                    outputs: &mut ElementBag,
+                    stats: &mut DfStats,
+                    ready: &mut VecDeque<ReadyFiring>,
+                    port: OutPort,
+                    value: Value,
+                    tag: Tag|
+     -> Vec<Element> {
+        let mut out = Vec::new();
+        for &eid in graph.out_edges(firing.node, port) {
+            let edge = graph.edge(eid);
+            out.push(Element {
+                value: value.clone(),
+                label: edge.label,
+                tag,
+            });
+            deliver(
+                graph,
+                store,
+                outputs,
+                stats,
+                ready,
+                eid.index(),
+                value.clone(),
+                tag,
+            );
+        }
+        out
+    };
+
+    match &node.kind {
+        NodeKind::Arith(..) | NodeKind::Cmp(..) | NodeKind::Un(_) => {
+            let value = node.kind.apply(&firing.inputs).map_err(|error| {
+                EngineError::Value {
+                    node: node.name.clone(),
+                    error,
+                }
+            })?;
+            produced.extend(send(
+                store,
+                outputs,
+                stats,
+                ready,
+                OutPort::True,
+                value,
+                firing.tag,
+            ));
+        }
+        NodeKind::Steer => {
+            let ctl = firing.inputs[1]
+                .truthiness()
+                .ok_or_else(|| EngineError::BadControl {
+                    node: node.name.clone(),
+                    value: firing.inputs[1].to_string(),
+                })?;
+            let port = if ctl { OutPort::True } else { OutPort::False };
+            produced.extend(send(
+                store,
+                outputs,
+                stats,
+                ready,
+                port,
+                firing.inputs[0].clone(),
+                firing.tag,
+            ));
+        }
+        NodeKind::IncTag => {
+            produced.extend(send(
+                store,
+                outputs,
+                stats,
+                ready,
+                OutPort::True,
+                firing.inputs[0].clone(),
+                firing.tag.next(),
+            ));
+        }
+        NodeKind::Const(_) | NodeKind::Output => {
+            unreachable!("const/output nodes never enter the firing queue")
+        }
+    }
+    Ok(produced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Imm, NodeKind};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use gammaflow_multiset::Symbol;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    /// Paper Fig. 1: m = (x + y) - (k * j) = (1+5) - (3*2) = 0.
+    fn fig1() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let x = b.constant_named(1, "x");
+        let y = b.constant_named(5, "y");
+        let k = b.constant_named(3, "k");
+        let j = b.constant_named(2, "j");
+        let r1 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R1");
+        let r2 = b.add_named(NodeKind::Arith(BinOp::Mul, None), "R2");
+        let r3 = b.add_named(NodeKind::Arith(BinOp::Sub, None), "R3");
+        let m = b.output("m_sink");
+        b.connect_labelled(x, r1, 0, "A1");
+        b.connect_labelled(y, r1, 1, "B1");
+        b.connect_labelled(k, r2, 0, "C1");
+        b.connect_labelled(j, r2, 1, "D1");
+        b.connect_labelled(r1, r3, 0, "B2");
+        b.connect_labelled(r2, r3, 1, "C2");
+        b.connect_labelled(r3, m, 0, "m");
+        b.build().unwrap()
+    }
+
+    /// Paper Fig. 2 (semantics-corrected): for (i = z; i > 0; i--) x += y,
+    /// with the final x emitted through the steer's false port so the
+    /// result is observable.
+    fn fig2(y0: i64, z0: i64, x0: i64) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let y = b.constant_named(y0, "y");
+        let z = b.constant_named(z0, "z");
+        let x = b.constant_named(x0, "x");
+        let r11 = b.add_named(NodeKind::IncTag, "R11"); // y's inctag
+        let r12 = b.add_named(NodeKind::IncTag, "R12"); // i's inctag
+        let r13 = b.add_named(NodeKind::IncTag, "R13"); // x's inctag
+        let r14 = b.add_named(NodeKind::Cmp(CmpOp::Gt, Some(Imm::right(0))), "R14");
+        let r15 = b.add_named(NodeKind::Steer, "R15"); // steer y
+        let r16 = b.add_named(NodeKind::Steer, "R16"); // steer i
+        let r17 = b.add_named(NodeKind::Steer, "R17"); // steer x
+        let r18 = b.add_named(NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))), "R18");
+        let r19 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R19");
+        let out = b.output("result");
+
+        b.connect_labelled(y, r11, 0, "A1");
+        b.connect_labelled(z, r12, 0, "B1");
+        b.connect_labelled(x, r13, 0, "C1");
+        b.connect_labelled(r11, r15, 0, "A12"); // y data to its steer
+        b.connect_labelled(r12, r14, 0, "B12"); // i to comparison
+        b.connect_labelled(r12, r16, 0, "B13"); // i data to its steer
+        b.connect_labelled(r13, r17, 0, "C12"); // x data to its steer
+        b.connect_labelled(r14, r15, 1, "B14"); // control signals
+        b.connect_labelled(r14, r16, 1, "B15");
+        b.connect_labelled(r14, r17, 1, "B16");
+        // True branches: continue looping.
+        b.connect_full(r15, OutPort::True, r11, 0, Some("A11")); // y loops
+        b.connect_full(r15, OutPort::True, r19, 0, Some("A13")); // y to adder
+        b.connect_full(r16, OutPort::True, r18, 0, Some("B17")); // i to decrement
+        b.connect_full(r17, OutPort::True, r19, 1, Some("C13")); // x to adder
+        b.connect_labelled(r18, r12, 0, "B11"); // i loop-back
+        b.connect_labelled(r19, r13, 0, "C11"); // x loop-back
+        // False branch of x's steer: the loop result.
+        b.connect_full(r17, OutPort::False, out, 0, Some("xout"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_computes_zero() {
+        let result = SeqEngine::new(&fig1()).run().unwrap();
+        assert_eq!(result.status, DfStatus::Quiescent);
+        assert_eq!(result.outputs.sorted_elements(), vec![e(0, "m", 0)]);
+        assert!(result.residue.is_empty());
+    }
+
+    #[test]
+    fn fig1_parallelism_profile() {
+        // Wave 1: R1 and R2 fire together; wave 2: R3.
+        let result = SeqEngine::new(&fig1()).run().unwrap();
+        assert_eq!(result.profile, vec![2, 1]);
+    }
+
+    #[test]
+    fn fig2_loop_computes_x_plus_y_times_z() {
+        for (y, z, x) in [(5, 3, 10), (2, 0, 7), (1, 1, 0), (4, 10, -3)] {
+            let g = fig2(y, z, x);
+            let result = SeqEngine::new(&g).run().unwrap();
+            assert_eq!(result.status, DfStatus::Quiescent, "y={y} z={z} x={x}");
+            let expected = x + y * z.max(0);
+            let out = result.outputs.sorted_elements();
+            assert_eq!(out.len(), 1, "y={y} z={z} x={x}: {out:?}");
+            assert_eq!(out[0].value, Value::int(expected), "y={y} z={z} x={x}");
+            assert_eq!(out[0].label, Symbol::intern("xout"));
+            // The result token exits at tag z+1 (one inctag per iteration
+            // plus the final test round).
+            assert_eq!(out[0].tag, Tag(z.max(0) as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn fig2_leaves_no_residue_except_y_leftover() {
+        // y keeps circulating until the steer drops it; i is consumed by
+        // the decrement whose false-side is dropped. At quiescence the
+        // matching store may hold only tokens that can never complete —
+        // here everything drains because steers consume their pairs.
+        let result = SeqEngine::new(&fig2(5, 3, 10)).run().unwrap();
+        assert!(
+            result.residue.is_empty(),
+            "unexpected residue: {:?}",
+            result.residue
+        );
+    }
+
+    #[test]
+    fn budget_stops_infinite_loop() {
+        // while(true) i++ : steer always true.
+        let mut b = GraphBuilder::new();
+        let i0 = b.constant_named(0, "i0");
+        let inc = b.add_named(NodeKind::IncTag, "inctag");
+        let steer = b.add_named(NodeKind::Steer, "steer");
+        let add = b.add_named(NodeKind::Arith(BinOp::Add, Some(Imm::right(1))), "bump");
+        b.connect(i0, inc, 0);
+        // Control that is always true: i >= i64::MIN.
+        let cmp = b.add_named(NodeKind::Cmp(CmpOp::Ge, Some(Imm::right(i64::MIN))), "true");
+        b.connect(inc, cmp, 0);
+        b.connect(inc, steer, 0);
+        b.connect(cmp, steer, 1);
+        b.connect_full(steer, OutPort::True, add, 0, None);
+        b.connect(add, inc, 0);
+        let g = b.build().unwrap();
+        let config = EngineConfig {
+            max_firings: 500,
+            ..EngineConfig::default()
+        };
+        let result = SeqEngine::with_config(&g, config).run().unwrap();
+        assert_eq!(result.status, DfStatus::BudgetExhausted);
+        assert!(result.stats.fired_total() >= 500);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut b = GraphBuilder::new();
+        let a = b.constant(1);
+        let z = b.constant(0);
+        let div = b.add_named(NodeKind::Arith(BinOp::Div, None), "div");
+        let out = b.output("o");
+        b.connect(a, div, 0);
+        b.connect(z, div, 1);
+        b.connect(div, out, 0);
+        let g = b.build().unwrap();
+        let err = SeqEngine::new(&g).run().unwrap_err();
+        assert!(matches!(err, EngineError::Value { .. }));
+    }
+
+    #[test]
+    fn bad_steer_control_faults() {
+        let mut b = GraphBuilder::new();
+        let d = b.constant(1);
+        let c = b.constant("not a bool");
+        let steer = b.add_named(NodeKind::Steer, "steer");
+        let out = b.output("o");
+        b.connect(d, steer, 0);
+        b.connect(c, steer, 1);
+        b.connect_full(steer, OutPort::True, out, 0, None);
+        let g = b.build().unwrap();
+        let err = SeqEngine::new(&g).run().unwrap_err();
+        assert!(matches!(err, EngineError::BadControl { .. }));
+    }
+
+    #[test]
+    fn trace_records_firings_and_labels() {
+        let config = EngineConfig {
+            record_trace: true,
+            ..EngineConfig::default()
+        };
+        let g = fig1();
+        let result = SeqEngine::with_config(&g, config).run().unwrap();
+        let trace = result.trace.unwrap();
+        // R1, R2, R3 fire exactly once each (consts are seeded, not fired
+        // through the queue).
+        assert_eq!(trace.len(), 3);
+        let r3 = trace.iter().find(|f| f.node == "R3").unwrap();
+        assert_eq!(r3.outputs, vec![e(0, "m", 0)]);
+    }
+
+    #[test]
+    fn steer_false_drops_when_unconnected() {
+        let mut b = GraphBuilder::new();
+        let d = b.constant(42);
+        let c = b.constant(0); // false control
+        let steer = b.add_named(NodeKind::Steer, "steer");
+        let out = b.output("o");
+        b.connect(d, steer, 0);
+        b.connect(c, steer, 1);
+        b.connect_full(steer, OutPort::True, out, 0, None);
+        let g = b.build().unwrap();
+        let result = SeqEngine::new(&g).run().unwrap();
+        assert!(result.outputs.is_empty());
+        assert!(result.residue.is_empty());
+        assert_eq!(result.status, DfStatus::Quiescent);
+    }
+
+    #[test]
+    fn stats_count_tokens() {
+        let result = SeqEngine::new(&fig1()).run().unwrap();
+        // 7 edges each carry exactly one token.
+        assert_eq!(result.stats.tokens_sent, 7);
+        assert_eq!(result.stats.fired_total(), 3 + 4); // R1-R3 + 4 consts
+    }
+}

@@ -1,0 +1,566 @@
+//! Multi-PE parallel dataflow engine.
+//!
+//! §II-A of the paper describes how dataflow runtimes virtualise the model
+//! on multicores: "each core is a virtual Processing Element (PE) that runs
+//! the dataflow firing rule", with operands forwarded directly from
+//! producers to consumers. This engine is that architecture in miniature:
+//!
+//! * nodes are **statically partitioned** over N PEs (round-robin by node
+//!   id, like the hash-based token routing of tagged-token machines);
+//! * each PE owns a private waiting–matching store for its nodes and an
+//!   inbox ([`crossbeam_channel`]) of in-flight tokens; locally produced
+//!   tokens short-circuit through a work stack without touching the inbox;
+//! * **quiescence** is detected with an in-flight token counter: a PE that
+//!   observes an empty inbox and zero pending tokens knows the machine is
+//!   globally idle (every state change is token-driven, and a token holds
+//!   a +1 on the counter until fully processed, including its cascade).
+
+use crate::engine::{DfStats, DfStatus, EngineError, RunResult};
+use crate::graph::{DataflowGraph, EdgeId, NodeId, OutPort};
+use crate::node::NodeKind;
+use crate::token::MatchingStore;
+use crate::token::{ReadyFiring, Token};
+use gammaflow_multiset::{Element, ElementBag, Tag, Value};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Static node-to-PE partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Hash of the node id: spreads load uniformly, ignores locality
+    /// (every producer→consumer hop is likely cross-PE). The tagged-token
+    /// machines' default.
+    #[default]
+    Hash,
+    /// Contiguous blocks of node ids: graphs built region-by-region (one
+    /// loop or chain at a time) keep neighbours on one PE, trading load
+    /// balance for communication.
+    Block,
+}
+
+/// Configuration for the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ParEngineConfig {
+    /// Number of processing elements (worker threads).
+    pub pes: usize,
+    /// Global firing budget.
+    pub max_firings: u64,
+    /// Node-to-PE assignment.
+    pub partition: Partition,
+}
+
+impl Default for ParEngineConfig {
+    fn default() -> Self {
+        ParEngineConfig {
+            pes: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_firings: 10_000_000,
+            partition: Partition::Hash,
+        }
+    }
+}
+
+impl ParEngineConfig {
+    /// Config with `pes` processing elements (hash partition).
+    pub fn with_pes(pes: usize) -> ParEngineConfig {
+        ParEngineConfig {
+            pes: pes.max(1),
+            ..ParEngineConfig::default()
+        }
+    }
+
+    /// Config with `pes` processing elements and block partitioning.
+    pub fn with_pes_block(pes: usize) -> ParEngineConfig {
+        ParEngineConfig {
+            pes: pes.max(1),
+            partition: Partition::Block,
+            ..ParEngineConfig::default()
+        }
+    }
+}
+
+/// Result of a parallel run: the common [`RunResult`] plus PE-level info.
+#[derive(Debug, Clone)]
+pub struct ParRunResult {
+    /// Outputs, status, stats (profile is empty: waves are a sequential
+    /// notion).
+    pub run: RunResult,
+    /// Firings executed by each PE (load balance view).
+    pub fired_per_pe: Vec<u64>,
+    /// Tokens that crossed PE boundaries (communication volume).
+    pub cross_pe_tokens: u64,
+}
+
+/// A token message: the edge it travels on plus payload and tag.
+type Msg = (EdgeId, Value, Tag);
+
+/// Run `graph` on the multi-PE engine.
+pub fn run_parallel(
+    graph: &DataflowGraph,
+    config: &ParEngineConfig,
+) -> Result<ParRunResult, EngineError> {
+    let npes = config.pes.max(1);
+    let node_count = graph.node_count().max(1);
+    let partition = config.partition;
+    // Hash partitioning routes by a multiplicative hash (high bits — the
+    // low bits of Fx keep input structure); block partitioning divides the
+    // id space into `npes` contiguous runs.
+    let owner = move |node: NodeId| match partition {
+        Partition::Hash => {
+            ((gammaflow_multiset::fxhash::hash_u64(node.0 as u64) >> 32) as usize) % npes
+        }
+        Partition::Block => (node.index() * npes / node_count).min(npes - 1),
+    };
+
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..npes)
+        .map(|_| crossbeam_channel::unbounded::<Msg>())
+        .unzip();
+
+    let pending = AtomicU64::new(0);
+    let fired_global = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let budget_exhausted = AtomicBool::new(false);
+    let error: Mutex<Option<EngineError>> = Mutex::new(None);
+
+    // Seed: every root emits one token per out-edge at tag 0.
+    let mut seed_count = 0u64;
+    for node in graph.roots() {
+        seed_count += graph.all_out_edges(node.id).count() as u64;
+    }
+    pending.store(seed_count, Ordering::Release);
+    for node in graph.roots() {
+        let NodeKind::Const(value) = &node.kind else {
+            unreachable!()
+        };
+        for edge in graph.all_out_edges(node.id) {
+            let pe = owner(edge.dst);
+            txs[pe]
+                .send((edge.id, value.clone(), Tag::ZERO))
+                .expect("receiver alive at seed time");
+        }
+    }
+
+    struct PeOutcome {
+        outputs: ElementBag,
+        fired_per_node: Vec<u64>,
+        tokens_sent: u64,
+        cross_pe: u64,
+        fired: u64,
+        residue: Vec<Token>,
+    }
+
+    let mut outcomes: Vec<PeOutcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (pe, rx) in rxs.into_iter().enumerate() {
+            let txs = txs.clone();
+            let graph = &graph;
+            let pending = &pending;
+            let fired_global = &fired_global;
+            let done = &done;
+            let budget_exhausted = &budget_exhausted;
+            let error = &error;
+            let max_firings = config.max_firings;
+            handles.push(scope.spawn(move || {
+                let mut store = MatchingStore::new();
+                let mut outputs = ElementBag::new();
+                let mut fired_per_node = vec![0u64; graph.node_count()];
+                let mut tokens_sent = 0u64;
+                let mut cross_pe = 0u64;
+                let mut fired = 0u64;
+                // Local delivery stack: tokens for nodes this PE owns,
+                // produced by this PE. Avoids channel round-trips and
+                // unbounded recursion on long firing chains (loops).
+                let mut local: Vec<Msg> = Vec::new();
+
+                'main: loop {
+                    let msg = if let Some(m) = local.pop() {
+                        Some(m)
+                    } else {
+                        match rx.recv_timeout(Duration::from_micros(20)) {
+                            Ok(m) => Some(m),
+                            Err(crossbeam_channel::RecvTimeoutError::Timeout) => None,
+                            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                                break 'main
+                            }
+                        }
+                    };
+                    let Some((edge_id, value, tag)) = msg else {
+                        if done.load(Ordering::Acquire) {
+                            break 'main;
+                        }
+                        if pending.load(Ordering::Acquire) == 0 {
+                            done.store(true, Ordering::Release);
+                            break 'main;
+                        }
+                        continue 'main;
+                    };
+                    if done.load(Ordering::Acquire) {
+                        // Drain mode: account the token and move on.
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        continue 'main;
+                    }
+
+                    // Process one token fully (including its local firing).
+                    let edge = graph.edge(edge_id);
+                    let dst = graph.node(edge.dst);
+                    debug_assert_eq!(owner(edge.dst), pe, "token routed to wrong PE");
+                    if matches!(dst.kind, NodeKind::Output) {
+                        outputs.insert(Element {
+                            value,
+                            label: edge.label,
+                            tag,
+                        });
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        continue 'main;
+                    }
+                    let maybe_firing = store.deliver(
+                        Token {
+                            node: edge.dst,
+                            port: edge.dst_port,
+                            tag,
+                            value,
+                        },
+                        dst.kind.input_ports(),
+                    );
+                    if let Some(firing) = maybe_firing {
+                        if fired_global.fetch_add(1, Ordering::AcqRel) + 1 >= max_firings {
+                            budget_exhausted.store(true, Ordering::Release);
+                            done.store(true, Ordering::Release);
+                        }
+                        fired += 1;
+                        fired_per_node[firing.node.index()] += 1;
+                        match execute_firing(graph, &firing) {
+                            Ok(sends) => {
+                                for (out_edge, v, t) in sends {
+                                    tokens_sent += 1;
+                                    pending.fetch_add(1, Ordering::AcqRel);
+                                    let target = graph.edge(out_edge).dst;
+                                    if owner(target) == pe {
+                                        local.push((out_edge, v, t));
+                                    } else {
+                                        cross_pe += 1;
+                                        // Send failures only happen during
+                                        // shutdown; the pending counter is
+                                        // already moot then.
+                                        let _ = txs[owner(target)].send((out_edge, v, t));
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                done.store(true, Ordering::Release);
+                            }
+                        }
+                    }
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+
+                PeOutcome {
+                    outputs,
+                    fired_per_node,
+                    tokens_sent,
+                    cross_pe,
+                    fired,
+                    residue: store.residue(),
+                }
+            }));
+        }
+        drop(txs);
+        for h in handles {
+            outcomes.push(h.join().expect("PE panicked"));
+        }
+    });
+
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+
+    let mut outputs = ElementBag::new();
+    let mut stats = DfStats {
+        fired_per_node: vec![0; graph.node_count()],
+        tokens_sent: seed_count,
+    };
+    // Roots fire once each, as in the sequential engine's accounting.
+    for node in graph.roots() {
+        if graph.all_out_edges(node.id).next().is_some() {
+            stats.fired_per_node[node.id.index()] = 1;
+        }
+    }
+    let mut fired_per_pe = Vec::with_capacity(outcomes.len());
+    let mut cross_pe_tokens = 0;
+    let mut residue = Vec::new();
+    for o in outcomes {
+        outputs.absorb(o.outputs);
+        for (i, c) in o.fired_per_node.iter().enumerate() {
+            stats.fired_per_node[i] += c;
+        }
+        stats.tokens_sent += o.tokens_sent;
+        cross_pe_tokens += o.cross_pe;
+        fired_per_pe.push(o.fired);
+        residue.extend(o.residue);
+    }
+    residue.sort_by_key(|t| (t.node, t.tag, t.port));
+
+    let status = if budget_exhausted.load(Ordering::Acquire) {
+        DfStatus::BudgetExhausted
+    } else {
+        DfStatus::Quiescent
+    };
+
+    Ok(ParRunResult {
+        run: RunResult {
+            outputs,
+            status,
+            stats,
+            profile: Vec::new(),
+            residue,
+            trace: None,
+        },
+        fired_per_pe,
+        cross_pe_tokens,
+    })
+}
+
+/// Execute one firing, returning the tokens to send as
+/// `(edge, value, tag)` triples.
+fn execute_firing(
+    graph: &DataflowGraph,
+    firing: &ReadyFiring,
+) -> Result<Vec<Msg>, EngineError> {
+    let node = graph.node(firing.node);
+    let mut sends = Vec::new();
+    let push_all = |port: OutPort, value: Value, tag: Tag, sends: &mut Vec<Msg>| {
+        for &eid in graph.out_edges(firing.node, port) {
+            sends.push((eid, value.clone(), tag));
+        }
+    };
+    match &node.kind {
+        NodeKind::Arith(..) | NodeKind::Cmp(..) | NodeKind::Un(_) => {
+            let value = node
+                .kind
+                .apply(&firing.inputs)
+                .map_err(|error| EngineError::Value {
+                    node: node.name.clone(),
+                    error,
+                })?;
+            push_all(OutPort::True, value, firing.tag, &mut sends);
+        }
+        NodeKind::Steer => {
+            let ctl = firing.inputs[1]
+                .truthiness()
+                .ok_or_else(|| EngineError::BadControl {
+                    node: node.name.clone(),
+                    value: firing.inputs[1].to_string(),
+                })?;
+            let port = if ctl { OutPort::True } else { OutPort::False };
+            push_all(port, firing.inputs[0].clone(), firing.tag, &mut sends);
+        }
+        NodeKind::IncTag => {
+            push_all(
+                OutPort::True,
+                firing.inputs[0].clone(),
+                firing.tag.next(),
+                &mut sends,
+            );
+        }
+        NodeKind::Const(_) | NodeKind::Output => {
+            unreachable!("const/output nodes never fire")
+        }
+    }
+    Ok(sends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SeqEngine;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Imm, NodeKind};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+
+    /// Wide independent fan: sum pairs of constants in parallel.
+    fn wide_graph(width: usize) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..width {
+            let a = b.constant(i as i64);
+            let c = b.constant((i * 2) as i64);
+            let add = b.add(NodeKind::Arith(BinOp::Add, None));
+            let out = b.output(&format!("o{i}"));
+            b.connect(a, add, 0);
+            b.connect(c, add, 1);
+            b.connect_labelled(add, out, 0, &format!("sum{i}"));
+        }
+        b.build().unwrap()
+    }
+
+    fn loop_graph(y: i64, z: i64, x: i64) -> DataflowGraph {
+        // Same shape as the Fig. 2 test in engine.rs.
+        let mut b = GraphBuilder::new();
+        let yk = b.constant_named(y, "y");
+        let zk = b.constant_named(z, "z");
+        let xk = b.constant_named(x, "x");
+        let r11 = b.add_named(NodeKind::IncTag, "R11");
+        let r12 = b.add_named(NodeKind::IncTag, "R12");
+        let r13 = b.add_named(NodeKind::IncTag, "R13");
+        let r14 = b.add_named(NodeKind::Cmp(CmpOp::Gt, Some(Imm::right(0))), "R14");
+        let r15 = b.add_named(NodeKind::Steer, "R15");
+        let r16 = b.add_named(NodeKind::Steer, "R16");
+        let r17 = b.add_named(NodeKind::Steer, "R17");
+        let r18 = b.add_named(NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))), "R18");
+        let r19 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R19");
+        let out = b.output("result");
+        b.connect_labelled(yk, r11, 0, "A1");
+        b.connect_labelled(zk, r12, 0, "B1");
+        b.connect_labelled(xk, r13, 0, "C1");
+        b.connect_labelled(r11, r15, 0, "A12");
+        b.connect_labelled(r12, r14, 0, "B12");
+        b.connect_labelled(r12, r16, 0, "B13");
+        b.connect_labelled(r13, r17, 0, "C12");
+        b.connect_labelled(r14, r15, 1, "B14");
+        b.connect_labelled(r14, r16, 1, "B15");
+        b.connect_labelled(r14, r17, 1, "B16");
+        b.connect_full(r15, OutPort::True, r11, 0, Some("A11"));
+        b.connect_full(r15, OutPort::True, r19, 0, Some("A13"));
+        b.connect_full(r16, OutPort::True, r18, 0, Some("B17"));
+        b.connect_full(r17, OutPort::True, r19, 1, Some("C13"));
+        b.connect_labelled(r18, r12, 0, "B11");
+        b.connect_labelled(r19, r13, 0, "C11");
+        b.connect_full(r17, OutPort::False, out, 0, Some("xout"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_wide_graph() {
+        let g = wide_graph(32);
+        let seq = SeqEngine::new(&g).run().unwrap();
+        for pes in [1, 2, 4] {
+            let par = run_parallel(&g, &ParEngineConfig::with_pes(pes)).unwrap();
+            assert_eq!(par.run.status, DfStatus::Quiescent, "pes={pes}");
+            assert_eq!(par.run.outputs, seq.outputs, "pes={pes}");
+            assert_eq!(
+                par.run.stats.fired_total(),
+                seq.stats.fired_total(),
+                "pes={pes}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_runs_loops_correctly() {
+        let g = loop_graph(5, 20, 3);
+        let par = run_parallel(&g, &ParEngineConfig::with_pes(4)).unwrap();
+        assert_eq!(par.run.status, DfStatus::Quiescent);
+        let out = par.run.outputs.sorted_elements();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::int(3 + 5 * 20));
+        assert!(par.run.residue.is_empty());
+    }
+
+    #[test]
+    fn load_is_distributed() {
+        let g = wide_graph(64);
+        let par = run_parallel(&g, &ParEngineConfig::with_pes(4)).unwrap();
+        assert_eq!(par.fired_per_pe.len(), 4);
+        let active = par.fired_per_pe.iter().filter(|&&f| f > 0).count();
+        assert!(active >= 2, "work should spread across PEs: {:?}", par.fired_per_pe);
+    }
+
+    #[test]
+    fn budget_respected_in_parallel() {
+        // Infinite loop, bounded by budget.
+        let mut b = GraphBuilder::new();
+        let i0 = b.constant_named(0, "i0");
+        let inc = b.add_named(NodeKind::IncTag, "inctag");
+        let steer = b.add_named(NodeKind::Steer, "steer");
+        let bump = b.add_named(NodeKind::Arith(BinOp::Add, Some(Imm::right(1))), "bump");
+        let cmp = b.add_named(NodeKind::Cmp(CmpOp::Ge, Some(Imm::right(i64::MIN))), "true");
+        b.connect(i0, inc, 0);
+        b.connect(inc, cmp, 0);
+        b.connect(inc, steer, 0);
+        b.connect(cmp, steer, 1);
+        b.connect_full(steer, OutPort::True, bump, 0, None);
+        b.connect(bump, inc, 0);
+        let g = b.build().unwrap();
+        let config = ParEngineConfig {
+            pes: 2,
+            max_firings: 200,
+            ..ParEngineConfig::default()
+        };
+        let par = run_parallel(&g, &config).unwrap();
+        assert_eq!(par.run.status, DfStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn fault_propagates_from_pe() {
+        let mut b = GraphBuilder::new();
+        let a = b.constant(1);
+        let z = b.constant(0);
+        let div = b.add_named(NodeKind::Arith(BinOp::Div, None), "div");
+        let out = b.output("o");
+        b.connect(a, div, 0);
+        b.connect(z, div, 1);
+        b.connect(div, out, 0);
+        let g = b.build().unwrap();
+        let err = run_parallel(&g, &ParEngineConfig::with_pes(2)).unwrap_err();
+        assert!(matches!(err, EngineError::Value { .. }));
+    }
+
+    #[test]
+    fn block_partition_matches_hash_partition_results() {
+        let g = wide_graph(48);
+        let hash = run_parallel(&g, &ParEngineConfig::with_pes(4)).unwrap();
+        let block = run_parallel(&g, &ParEngineConfig::with_pes_block(4)).unwrap();
+        assert_eq!(hash.run.outputs, block.run.outputs);
+        assert_eq!(
+            hash.run.stats.fired_total(),
+            block.run.stats.fired_total()
+        );
+    }
+
+    #[test]
+    fn block_partition_keeps_chains_local() {
+        // A long consecutive chain under block partitioning crosses PEs at
+        // most npes-1 times.
+        let mut b = GraphBuilder::new();
+        let mut prev = b.constant(0);
+        for _ in 0..1000 {
+            let n = b.add(NodeKind::Arith(BinOp::Add, Some(Imm::right(1))));
+            b.connect(prev, n, 0);
+            prev = n;
+        }
+        let out = b.output("end");
+        b.connect_labelled(prev, out, 0, "end");
+        let g = b.build().unwrap();
+        let par = run_parallel(&g, &ParEngineConfig::with_pes_block(4)).unwrap();
+        assert!(
+            par.cross_pe_tokens <= 4,
+            "block partition should keep the chain local, crossed {} times",
+            par.cross_pe_tokens
+        );
+        assert_eq!(
+            par.run.outputs.sorted_elements()[0].value,
+            Value::int(1000)
+        );
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 10k-node chain on one PE exercises the local work stack.
+        let mut b = GraphBuilder::new();
+        let mut prev = b.constant(0);
+        for _ in 0..10_000 {
+            let add = b.add(NodeKind::Arith(BinOp::Add, Some(Imm::right(1))));
+            b.connect(prev, add, 0);
+            prev = add;
+        }
+        let out = b.output("end");
+        b.connect_labelled(prev, out, 0, "final");
+        let g = b.build().unwrap();
+        let par = run_parallel(&g, &ParEngineConfig::with_pes(1)).unwrap();
+        let elems = par.run.outputs.sorted_elements();
+        assert_eq!(elems[0].value, Value::int(10_000));
+    }
+}

@@ -1,0 +1,39 @@
+//! The dynamic (tagged-token) dataflow execution model, per §II-A of the
+//! reproduced paper.
+//!
+//! Programs are directed graphs: nodes are instructions, edges are data
+//! dependencies, and execution is driven purely by operand availability —
+//! no program counter. *Dynamic* dataflow tags every operand with an
+//! iteration number so multiple loop iterations can be in flight; an
+//! instruction fires only on a complete same-tag operand set. Control flow
+//! is data: **steer** nodes route tokens by a boolean operand and
+//! **inctag** nodes advance the iteration tag (both from TALM, the paper's
+//! ref. \[5\]).
+//!
+//! * [`graph`] — graphs, edges with unique labels (the paper's `A1`, `B2`,
+//!   …), a validating [`GraphBuilder`], graphviz export with the paper's
+//!   node shapes.
+//! * [`node`] — the node repertoire Algorithm 1 consumes: constants,
+//!   arithmetic/comparison (with optional immediates), steer, inctag,
+//!   output sinks.
+//! * [`token`] — tagged tokens and the waiting–matching store.
+//! * [`engine`] — sequential engine with wave-based parallelism profiles.
+//! * [`engine_par`] — multi-PE engine: static node partitioning, per-PE
+//!   matching stores and inboxes, token-counter quiescence detection.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod engine_par;
+pub mod graph;
+pub mod iso;
+pub mod node;
+pub mod token;
+
+pub use engine::{
+    DfFiring, DfStats, DfStatus, EngineConfig, EngineError, RunResult, SeqEngine,
+};
+pub use engine_par::{run_parallel, ParEngineConfig, ParRunResult};
+pub use graph::{DataflowGraph, Edge, EdgeId, GraphBuilder, GraphError, Node, NodeId, OutPort};
+pub use node::{Imm, ImmSide, NodeKind};
+pub use token::{MatchingStore, ReadyFiring, Token};

@@ -1,0 +1,235 @@
+//! Dataflow node kinds.
+//!
+//! The node repertoire is exactly what the paper's Algorithm 1 consumes
+//! (§III-B): constants (the square "root" nodes of Figs. 1–2), binary
+//! arithmetic and comparison operators (optionally with one immediate
+//! operand, as in Example 2's `id1 - 1` and `id1 > 0`), the control nodes
+//! *steer* (triangles) and *inctag* (lozenges) from \[5\] (TALM), and output
+//! sinks that collect final tokens.
+
+use gammaflow_multiset::value::{BinOp, CmpOp, UnOp, Value, ValueError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side of a binary operator an immediate operand occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImmSide {
+    /// `imm op x`
+    Left,
+    /// `x op imm`
+    Right,
+}
+
+/// An immediate (compile-time constant) operand fused into a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Imm {
+    /// Operand position.
+    pub side: ImmSide,
+    /// The constant.
+    pub value: Value,
+}
+
+impl Imm {
+    /// `x op imm` — the common direction (Example 2's `- 1`, `> 0`).
+    pub fn right(value: impl Into<Value>) -> Imm {
+        Imm {
+            side: ImmSide::Right,
+            value: value.into(),
+        }
+    }
+
+    /// `imm op x`.
+    pub fn left(value: impl Into<Value>) -> Imm {
+        Imm {
+            side: ImmSide::Left,
+            value: value.into(),
+        }
+    }
+}
+
+/// The operation a dataflow node performs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Root/constant node (square in the paper's figures). No inputs; emits
+    /// its value once, at tag 0, on every out-edge when execution starts.
+    Const(Value),
+    /// Binary arithmetic node. Two input ports, or one when an immediate is
+    /// fused.
+    Arith(BinOp, Option<Imm>),
+    /// Comparison node. Produces the *integer* control encoding the paper
+    /// uses (`1` for true, `0` for false — see reaction R14), so its output
+    /// can feed steer control ports and be compared with `== 1` in Gamma.
+    Cmp(CmpOp, Option<Imm>),
+    /// Unary operator node. One input port.
+    Un(UnOp),
+    /// Steer node (triangle): port 0 = data, port 1 = boolean/integer
+    /// control. Routes the data token to the true out-port (0) or false
+    /// out-port (1).
+    Steer,
+    /// Inctag node (lozenge): forwards its input with the tag incremented,
+    /// marking the next loop iteration.
+    IncTag,
+    /// Output sink: tokens delivered here are collected (labelled by their
+    /// in-edge) as the program's results.
+    Output,
+}
+
+impl NodeKind {
+    /// Number of input ports this kind requires.
+    pub fn input_ports(&self) -> usize {
+        match self {
+            NodeKind::Const(_) => 0,
+            NodeKind::Arith(_, imm) | NodeKind::Cmp(_, imm) => {
+                if imm.is_some() {
+                    1
+                } else {
+                    2
+                }
+            }
+            NodeKind::Un(_) => 1,
+            NodeKind::Steer => 2,
+            NodeKind::IncTag => 1,
+            NodeKind::Output => 1,
+        }
+    }
+
+    /// Number of output ports: steer has two (true/false), output sinks
+    /// none, everything else one.
+    pub fn output_ports(&self) -> usize {
+        match self {
+            NodeKind::Steer => 2,
+            NodeKind::Output => 0,
+            _ => 1,
+        }
+    }
+
+    /// Shape used in the paper's figures (and our graphviz export).
+    pub fn shape(&self) -> &'static str {
+        match self {
+            NodeKind::Const(_) => "square",
+            NodeKind::Steer => "triangle",
+            NodeKind::IncTag => "diamond",
+            NodeKind::Output => "doublecircle",
+            _ => "circle",
+        }
+    }
+
+    /// Apply a pure operator kind to its gathered input values. `Const`,
+    /// `Steer`, `IncTag` and `Output` are handled by the engines (they
+    /// touch tags or routing, not just values).
+    pub fn apply(&self, inputs: &[Value]) -> Result<Value, ValueError> {
+        match self {
+            NodeKind::Arith(op, imm) => {
+                let (a, b) = Self::operands(imm, inputs);
+                Value::binop(*op, a, b)
+            }
+            NodeKind::Cmp(op, imm) => {
+                let (a, b) = Self::operands(imm, inputs);
+                let r = Value::cmp_op(*op, a, b)?;
+                // Integer control encoding, per the paper's R14.
+                Ok(Value::Int(if r == Value::Bool(true) { 1 } else { 0 }))
+            }
+            NodeKind::Un(op) => Value::unop(*op, &inputs[0]),
+            _ => unreachable!("apply() called on non-operator node"),
+        }
+    }
+
+    fn operands<'a>(imm: &'a Option<Imm>, inputs: &'a [Value]) -> (&'a Value, &'a Value) {
+        match imm {
+            None => (&inputs[0], &inputs[1]),
+            Some(Imm {
+                side: ImmSide::Left,
+                value,
+            }) => (value, &inputs[0]),
+            Some(Imm {
+                side: ImmSide::Right,
+                value,
+            }) => (&inputs[0], value),
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Const(v) => write!(f, "const {v}"),
+            NodeKind::Arith(op, None) => write!(f, "{op}"),
+            NodeKind::Arith(op, Some(Imm { side, value })) => match side {
+                ImmSide::Left => write!(f, "{value} {op} _"),
+                ImmSide::Right => write!(f, "_ {op} {value}"),
+            },
+            NodeKind::Cmp(op, None) => write!(f, "{op}"),
+            NodeKind::Cmp(op, Some(Imm { side, value })) => match side {
+                ImmSide::Left => write!(f, "{value} {op} _"),
+                ImmSide::Right => write!(f, "_ {op} {value}"),
+            },
+            NodeKind::Un(op) => write!(f, "{op}"),
+            NodeKind::Steer => write!(f, "steer"),
+            NodeKind::IncTag => write!(f, "inctag"),
+            NodeKind::Output => write!(f, "output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(NodeKind::Const(Value::int(1)).input_ports(), 0);
+        assert_eq!(NodeKind::Arith(BinOp::Add, None).input_ports(), 2);
+        assert_eq!(
+            NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))).input_ports(),
+            1
+        );
+        assert_eq!(NodeKind::Steer.input_ports(), 2);
+        assert_eq!(NodeKind::Steer.output_ports(), 2);
+        assert_eq!(NodeKind::Output.output_ports(), 0);
+        assert_eq!(NodeKind::IncTag.input_ports(), 1);
+    }
+
+    #[test]
+    fn arith_apply() {
+        let add = NodeKind::Arith(BinOp::Add, None);
+        assert_eq!(
+            add.apply(&[Value::int(2), Value::int(3)]).unwrap(),
+            Value::int(5)
+        );
+    }
+
+    #[test]
+    fn imm_sides() {
+        // x - 1 (Example 2's decrement, R18).
+        let dec = NodeKind::Arith(BinOp::Sub, Some(Imm::right(1)));
+        assert_eq!(dec.apply(&[Value::int(10)]).unwrap(), Value::int(9));
+        // 1 - x.
+        let rsub = NodeKind::Arith(BinOp::Sub, Some(Imm::left(1)));
+        assert_eq!(rsub.apply(&[Value::int(10)]).unwrap(), Value::int(-9));
+    }
+
+    #[test]
+    fn cmp_produces_integer_control() {
+        // Example 2's R14: id1 > 0 produces 1/0.
+        let gt0 = NodeKind::Cmp(CmpOp::Gt, Some(Imm::right(0)));
+        assert_eq!(gt0.apply(&[Value::int(5)]).unwrap(), Value::int(1));
+        assert_eq!(gt0.apply(&[Value::int(0)]).unwrap(), Value::int(0));
+        assert_eq!(gt0.apply(&[Value::int(-2)]).unwrap(), Value::int(0));
+    }
+
+    #[test]
+    fn division_error_propagates() {
+        let div = NodeKind::Arith(BinOp::Div, None);
+        assert!(div.apply(&[Value::int(1), Value::int(0)]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeKind::Arith(BinOp::Add, None).to_string(), "+");
+        assert_eq!(
+            NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))).to_string(),
+            "_ - 1"
+        );
+        assert_eq!(NodeKind::Steer.to_string(), "steer");
+    }
+}

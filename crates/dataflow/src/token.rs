@@ -1,0 +1,228 @@
+//! Tagged tokens and the waiting–matching store.
+//!
+//! In a dynamic dataflow machine, an instruction fires when *all* its input
+//! operands with the *same tag* have arrived (§II-A of the paper). The
+//! waiting–matching store is the structure that assembles operand sets per
+//! `(instruction, tag)` — the hardware associative store of the Manchester
+//! machine, here a hash map keyed exactly like the Gamma side indexes its
+//! multiset by `(label, tag)`; the paper's equivalence makes that
+//! correspondence precise.
+
+use crate::graph::NodeId;
+use gammaflow_multiset::{FxHashMap, Tag, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A token in flight: a value heading for an input port of a node, within
+/// iteration `tag`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Destination node.
+    pub node: NodeId,
+    /// Destination input port.
+    pub port: usize,
+    /// Iteration tag.
+    pub tag: Tag,
+    /// Payload.
+    pub value: Value,
+}
+
+/// Operand assembly state for one `(node, tag)` pair. Each port holds a
+/// FIFO of values: a merge port can legitimately receive several tokens
+/// with the same tag, which pair up with successive firings in arrival
+/// order.
+#[derive(Debug, Clone, Default)]
+struct OperandSlot {
+    ports: Vec<VecDeque<Value>>,
+}
+
+impl OperandSlot {
+    fn new(nports: usize) -> OperandSlot {
+        OperandSlot {
+            ports: vec![VecDeque::new(); nports],
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.ports.iter().all(|q| !q.is_empty())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ports.iter().all(|q| q.is_empty())
+    }
+
+    fn take(&mut self) -> Vec<Value> {
+        self.ports
+            .iter_mut()
+            .map(|q| q.pop_front().expect("take() requires is_ready()"))
+            .collect()
+    }
+}
+
+/// A ready-to-execute instruction instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyFiring {
+    /// The node to execute.
+    pub node: NodeId,
+    /// The iteration tag shared by all operands.
+    pub tag: Tag,
+    /// Operand values, in port order.
+    pub inputs: Vec<Value>,
+}
+
+/// The waiting–matching store: assembles operands per `(node, tag)`.
+#[derive(Debug, Default)]
+pub struct MatchingStore {
+    waiting: FxHashMap<(NodeId, Tag), OperandSlot>,
+    /// Tokens currently parked (for occupancy stats).
+    parked: usize,
+}
+
+impl MatchingStore {
+    /// Empty store.
+    pub fn new() -> MatchingStore {
+        MatchingStore::default()
+    }
+
+    /// Deliver a token for a node with `nports` input ports. Returns a
+    /// firing if this token completed an operand set.
+    pub fn deliver(&mut self, token: Token, nports: usize) -> Option<ReadyFiring> {
+        debug_assert!(token.port < nports);
+        let slot = self
+            .waiting
+            .entry((token.node, token.tag))
+            .or_insert_with(|| OperandSlot::new(nports));
+        slot.ports[token.port].push_back(token.value);
+        self.parked += 1;
+        if slot.is_ready() {
+            let inputs = slot.take();
+            self.parked -= inputs.len();
+            if slot.is_empty() {
+                self.waiting.remove(&(token.node, token.tag));
+            }
+            Some(ReadyFiring {
+                node: token.node,
+                tag: token.tag,
+                inputs,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of tokens parked waiting for partners.
+    pub fn parked(&self) -> usize {
+        self.parked
+    }
+
+    /// True if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.parked == 0
+    }
+
+    /// Drain the store's leftover tokens — operands that never found a
+    /// complete set. A non-empty residue at quiescence usually signals a
+    /// tag mismatch or a starved port; the engines report it.
+    pub fn residue(&mut self) -> Vec<Token> {
+        let mut out = Vec::with_capacity(self.parked);
+        for ((node, tag), slot) in self.waiting.drain() {
+            for (port, queue) in slot.ports.into_iter().enumerate() {
+                for value in queue {
+                    out.push(Token {
+                        node,
+                        port,
+                        tag,
+                        value,
+                    });
+                }
+            }
+        }
+        self.parked = 0;
+        out.sort_by_key(|t| (t.node, t.tag, t.port));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(node: u32, port: usize, tag: u64, value: i64) -> Token {
+        Token {
+            node: NodeId(node),
+            port,
+            tag: Tag(tag),
+            value: Value::int(value),
+        }
+    }
+
+    #[test]
+    fn single_port_fires_immediately() {
+        let mut store = MatchingStore::new();
+        let firing = store.deliver(tok(0, 0, 0, 42), 1).unwrap();
+        assert_eq!(firing.inputs, vec![Value::int(42)]);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn two_ports_wait_for_both() {
+        let mut store = MatchingStore::new();
+        assert!(store.deliver(tok(1, 0, 0, 1), 2).is_none());
+        assert_eq!(store.parked(), 1);
+        let firing = store.deliver(tok(1, 1, 0, 2), 2).unwrap();
+        assert_eq!(firing.inputs, vec![Value::int(1), Value::int(2)]);
+        assert_eq!(firing.tag, Tag(0));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn different_tags_do_not_match() {
+        // The defining property of *dynamic* dataflow: operands of distinct
+        // iterations never pair.
+        let mut store = MatchingStore::new();
+        assert!(store.deliver(tok(1, 0, 0, 1), 2).is_none());
+        assert!(store.deliver(tok(1, 1, 1, 2), 2).is_none());
+        assert_eq!(store.parked(), 2);
+        // Completing tag 1 fires with tag-1 operands only.
+        let firing = store.deliver(tok(1, 0, 1, 10), 2).unwrap();
+        assert_eq!(firing.tag, Tag(1));
+        assert_eq!(firing.inputs, vec![Value::int(10), Value::int(2)]);
+        assert_eq!(store.parked(), 1);
+    }
+
+    #[test]
+    fn different_nodes_are_independent() {
+        let mut store = MatchingStore::new();
+        assert!(store.deliver(tok(1, 0, 0, 1), 2).is_none());
+        assert!(store.deliver(tok(2, 0, 0, 9), 2).is_none());
+        assert_eq!(store.parked(), 2);
+    }
+
+    #[test]
+    fn merge_port_queues_fifo() {
+        // Two tokens on the same port+tag queue up and fire in order.
+        let mut store = MatchingStore::new();
+        assert!(store.deliver(tok(1, 0, 0, 100), 2).is_none());
+        assert!(store.deliver(tok(1, 0, 0, 200), 2).is_none());
+        let f1 = store.deliver(tok(1, 1, 0, 1), 2).unwrap();
+        assert_eq!(f1.inputs[0], Value::int(100));
+        assert_eq!(store.parked(), 1);
+        let f2 = store.deliver(tok(1, 1, 0, 2), 2).unwrap();
+        assert_eq!(f2.inputs[0], Value::int(200));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn residue_reports_stuck_tokens() {
+        let mut store = MatchingStore::new();
+        store.deliver(tok(3, 0, 7, 5), 2);
+        store.deliver(tok(4, 1, 0, 6), 2);
+        let mut residue = store.residue();
+        residue.sort_by_key(|t| t.node);
+        assert_eq!(residue.len(), 2);
+        assert_eq!(residue[0].node, NodeId(3));
+        assert_eq!(residue[0].tag, Tag(7));
+        assert_eq!(residue[1].port, 1);
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! AST for the mini imperative (von Neumann) language.
+//!
+//! The paper derives its dataflow graphs from C-like snippets:
+//!
+//! ```text
+//! int x = 1; int y = 5; int k = 3; int j = 2; int m;
+//! m = (x + y) - (k * j);
+//! ```
+//!
+//! and
+//!
+//! ```text
+//! for (i = z; i > 0; i--)
+//!     x = x + y;
+//! ```
+//!
+//! This AST covers exactly that shape plus an `output` statement to make
+//! results observable (the paper's Fig. 2 silently discards the final `x`;
+//! `output x;` wires it to an output sink instead).
+
+use gammaflow_multiset::value::{BinOp, CmpOp};
+use std::fmt;
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (only valid as a loop condition).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// All variables read by this expression, in first-use order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            Expr::Neg(a) => a.collect(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(x) => write!(f, "{x}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int x;` or `int x = <expr>;`
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+    },
+    /// `x = <expr>;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `for (<init>; <cond>; <update>) { <body> }` — the update accepts
+    /// `i--` / `i++` sugar, stored as an assignment.
+    For {
+        /// Loop initialiser (an assignment).
+        init: Box<Stmt>,
+        /// Loop condition (a comparison).
+        cond: Expr,
+        /// Loop update (an assignment).
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (<cond>) { <then> } else { <else> }` — compiled to the steer
+    /// pattern of the paper's §II-A: every variable either branch touches
+    /// is routed through a steer; definitions merge at the join.
+    If {
+        /// Branch condition (a comparison).
+        cond: Expr,
+        /// Taken when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Taken otherwise (may be empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `output x;` — wire `x` to an output sink labelled `x`.
+    Output {
+        /// Variable to observe.
+        name: String,
+    },
+}
+
+/// A program: a statement list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_first_use_order() {
+        let e = Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Var("y".into())),
+            )),
+            Box::new(Expr::Var("x".into())),
+        );
+        assert_eq!(e.vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn display_is_fully_parenthesised() {
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Int(3)),
+            Box::new(Expr::Var("j".into())),
+        );
+        assert_eq!(e.to_string(), "(3 * j)");
+    }
+}

@@ -1,0 +1,1040 @@
+//! Dataflow code generation for the mini imperative language.
+//!
+//! Straight-line code compiles by simple value numbering: each variable
+//! maps to the `(node, port)` currently producing it; literals fold into
+//! immediates whenever they are an operand of a binary node (that is how
+//! Example 2's `i - 1` and `i > 0` become single nodes, as in the paper's
+//! Fig. 2).
+//!
+//! `for` loops compile to the paper's Fig. 2 pattern. For every variable
+//! that is *live in the loop* — referenced in the condition, body, update,
+//! **or after the loop** — the generator emits:
+//!
+//! * an **inctag** node merging the initial definition and the loop-back
+//!   edge (the paper's `A1`/`A11` merge),
+//! * a **steer** node whose control comes from the compiled condition
+//!   (evaluated on inctag outputs, exactly as R14 reads `B12`),
+//! * a loop-back edge from the body's final definition (or the steer's
+//!   true port for loop-invariant variables like `y`),
+//! * and the **false port** as the variable's definition after the loop.
+//!
+//! Every outer variable referenced after a loop must travel *through* the
+//! loop: a token left outside would keep tag 0 while the loop exit carries
+//! a dynamic tag, so they could never fire together. The generator tracks a
+//! static *tag epoch* per definition and rejects programs that would mix
+//! epochs (e.g. a fresh constant combined with a loop exit), turning a
+//! would-be runtime deadlock into a compile error.
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::parser::FrontendError;
+use gammaflow_dataflow::graph::{DataflowGraph, GraphBuilder, NodeId, OutPort};
+use gammaflow_dataflow::node::{Imm, NodeKind};
+use gammaflow_multiset::value::BinOp;
+use gammaflow_multiset::FxHashMap;
+use std::fmt;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Syntax error from the parser.
+    Parse(FrontendError),
+    /// Use of an undeclared variable.
+    Undeclared(String),
+    /// Use of a declared-but-never-assigned variable.
+    Uninitialised(String),
+    /// Nested loops need TALM-style call tags, which the paper's node set
+    /// does not include.
+    NestedLoop,
+    /// A standalone constant inside a loop body (constants fire once at tag
+    /// 0 and can never feed later iterations). Use it as an operand so it
+    /// becomes an immediate instead.
+    ConstInLoop(String),
+    /// Two operands would carry different iteration tags at runtime.
+    TagMismatch {
+        /// Rendered description of the mixing site.
+        site: String,
+    },
+    /// The final graph failed structural validation.
+    Graph(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Undeclared(v) => write!(f, "use of undeclared variable `{v}`"),
+            CompileError::Uninitialised(v) => write!(f, "variable `{v}` read before assignment"),
+            CompileError::NestedLoop => {
+                write!(f, "nested loops are not supported (single-level tags)")
+            }
+            CompileError::ConstInLoop(v) => write!(
+                f,
+                "standalone constant `{v}` inside a loop body cannot be tag-matched"
+            ),
+            CompileError::TagMismatch { site } => write!(
+                f,
+                "operands at `{site}` would carry different iteration tags at runtime"
+            ),
+            CompileError::Graph(e) => write!(f, "generated graph invalid: {e}"),
+        }
+    }
+}
+impl std::error::Error for CompileError {}
+
+impl From<FrontendError> for CompileError {
+    fn from(e: FrontendError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+/// A value definition: the producing node/ports plus a static tag epoch.
+///
+/// Usually one source; after an `if` join a variable has one source per
+/// branch — consumers connect to *all* of them (a merge port: exactly one
+/// token arrives per tag, from whichever branch ran).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Def {
+    sources: Vec<(NodeId, OutPort)>,
+    epoch: u32,
+}
+
+impl Def {
+    fn single(node: NodeId, port: OutPort, epoch: u32) -> Def {
+        Def {
+            sources: vec![(node, port)],
+            epoch,
+        }
+    }
+
+    /// Join two branch definitions (same epoch by construction).
+    fn merge(a: &Def, b: &Def) -> Def {
+        debug_assert_eq!(a.epoch, b.epoch);
+        let mut sources = a.sources.clone();
+        for s in &b.sources {
+            if !sources.contains(s) {
+                sources.push(*s);
+            }
+        }
+        Def {
+            sources,
+            epoch: a.epoch,
+        }
+    }
+}
+
+struct Codegen {
+    b: GraphBuilder,
+    env: FxHashMap<String, Option<Def>>, // None = declared, not yet assigned
+    epoch: u32,
+    /// Monotone source of never-matching epochs for post-loop constants.
+    fresh_epoch: u32,
+    in_loop: bool,
+    seen_loop: bool,
+    /// Statement indices (top level) whose for-init was hoisted to program
+    /// start — see [`compile_program`].
+    hoisted_inits: Vec<usize>,
+    /// Index of the top-level statement currently being compiled.
+    current_stmt: usize,
+    /// Stack of enclosing `if` branches: condition definition, branch
+    /// port, branch epoch (outermost first). Constants minted inside a
+    /// branch must be *gated* through the whole steer chain — an ungated
+    /// constant would emit its token whether or not the branches run, and
+    /// gating by only the innermost condition strands tokens whenever an
+    /// outer branch is skipped.
+    branch_gates: Vec<(Def, OutPort, u32)>,
+}
+
+/// Try to evaluate an expression to a compile-time integer.
+fn const_fold(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(x) => Some(*x),
+        Expr::Var(_) => None,
+        Expr::Neg(a) => const_fold(a).map(i64::wrapping_neg),
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (const_fold(a)?, const_fold(b)?);
+            Some(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                _ => return None,
+            })
+        }
+        Expr::Cmp(..) => None,
+    }
+}
+
+/// Variables *read* by a statement (assignment targets excluded, output
+/// operands included).
+fn reads_of(stmt: &Stmt, out: &mut Vec<String>) {
+    let add_expr = |e: &Expr, out: &mut Vec<String>| {
+        for v in e.vars() {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        }
+    };
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                add_expr(e, out);
+            }
+        }
+        Stmt::Assign { expr, .. } => add_expr(expr, out),
+        Stmt::Output { name } => {
+            if !out.iter().any(|x| x == name) {
+                out.push(name.clone());
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            reads_of(init, out);
+            add_expr(cond, out);
+            reads_of(update, out);
+            for s in body {
+                reads_of(s, out);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            add_expr(cond, out);
+            for s in then_branch.iter().chain(else_branch) {
+                reads_of(s, out);
+            }
+        }
+    }
+}
+
+impl Codegen {
+    fn def_of(&self, name: &str) -> Result<Def, CompileError> {
+        match self.env.get(name) {
+            None => Err(CompileError::Undeclared(name.to_string())),
+            Some(None) => Err(CompileError::Uninitialised(name.to_string())),
+            Some(Some(d)) => Ok(d.clone()),
+        }
+    }
+
+    fn check_epochs(&self, a: &Def, b: &Def, site: &Expr) -> Result<u32, CompileError> {
+        if a.epoch != b.epoch {
+            return Err(CompileError::TagMismatch {
+                site: site.to_string(),
+            });
+        }
+        Ok(a.epoch)
+    }
+
+    fn constant(&mut self, value: i64, hint: &str) -> Result<Def, CompileError> {
+        if self.in_loop {
+            return Err(CompileError::ConstInLoop(hint.to_string()));
+        }
+        if !self.branch_gates.is_empty() {
+            // Gate the constant through the whole chain of enclosing
+            // branch conditions, outermost first; untaken branches shunt
+            // the token out an unconnected steer port, dropping it.
+            let node = self.b.constant(value);
+            let mut cur = Def::single(node, OutPort::True, 0);
+            for (ctl, port, epoch) in self.branch_gates.clone() {
+                let st = self.b.add_named(NodeKind::Steer, format!("gate_{hint}"));
+                self.connect_from(&cur, st, 0);
+                self.connect_from(&ctl, st, 1);
+                cur = Def::single(st, port, epoch);
+            }
+            return Ok(cur);
+        }
+        let epoch = if self.seen_loop {
+            // A constant minted after a loop can only combine with other
+            // post-loop constants from the same expression epoch — give it
+            // a unique one so mixing with loop exits is caught statically.
+            self.fresh_epoch += 1;
+            u32::MAX - self.fresh_epoch
+        } else {
+            0
+        };
+        let node = self.b.constant(value);
+        Ok(Def::single(node, OutPort::True, epoch))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Def, CompileError> {
+        if let Some(v) = const_fold(e) {
+            return self.constant(v, &e.to_string());
+        }
+        match e {
+            Expr::Int(_) => unreachable!("handled by const_fold"),
+            Expr::Var(v) => self.def_of(v),
+            Expr::Neg(a) => {
+                let ad = self.expr(a)?;
+                let n = self
+                    .b
+                    .add(NodeKind::Un(gammaflow_multiset::value::UnOp::Neg));
+                self.connect_from(&ad, n, 0);
+                Ok(Def::single(n, OutPort::True, ad.epoch))
+            }
+            Expr::Bin(op, a, b) => {
+                // Immediate fusion: paper-style `x - 1` single nodes.
+                if let Some(bi) = const_fold(b) {
+                    let ad = self.expr(a)?;
+                    let n = self.b.add(NodeKind::Arith(*op, Some(Imm::right(bi))));
+                    self.connect_from(&ad, n, 0);
+                    return Ok(Def::single(n, OutPort::True, ad.epoch));
+                }
+                if let Some(ai) = const_fold(a) {
+                    let bd = self.expr(b)?;
+                    let n = self.b.add(NodeKind::Arith(*op, Some(Imm::left(ai))));
+                    self.connect_from(&bd, n, 0);
+                    return Ok(Def::single(n, OutPort::True, bd.epoch));
+                }
+                let ad = self.expr(a)?;
+                let bd = self.expr(b)?;
+                let epoch = self.check_epochs(&ad, &bd, e)?;
+                let n = self.b.add(NodeKind::Arith(*op, None));
+                self.connect_from(&ad, n, 0);
+                self.connect_from(&bd, n, 1);
+                Ok(Def::single(n, OutPort::True, epoch))
+            }
+            Expr::Cmp(op, a, b) => {
+                if let Some(bi) = const_fold(b) {
+                    let ad = self.expr(a)?;
+                    let n = self.b.add(NodeKind::Cmp(*op, Some(Imm::right(bi))));
+                    self.connect_from(&ad, n, 0);
+                    return Ok(Def::single(n, OutPort::True, ad.epoch));
+                }
+                if let Some(ai) = const_fold(a) {
+                    let bd = self.expr(b)?;
+                    let n = self.b.add(NodeKind::Cmp(*op, Some(Imm::left(ai))));
+                    self.connect_from(&bd, n, 0);
+                    return Ok(Def::single(n, OutPort::True, bd.epoch));
+                }
+                let ad = self.expr(a)?;
+                let bd = self.expr(b)?;
+                let epoch = self.check_epochs(&ad, &bd, e)?;
+                let n = self.b.add(NodeKind::Cmp(*op, None));
+                self.connect_from(&ad, n, 0);
+                self.connect_from(&bd, n, 1);
+                Ok(Def::single(n, OutPort::True, epoch))
+            }
+        }
+    }
+
+    fn connect_from(&mut self, d: &Def, dst: NodeId, port: usize) {
+        for &(node, out_port) in &d.sources {
+            self.b.connect_full(node, out_port, dst, port, None);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, after: &[Stmt]) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, init } => {
+                let def = match init {
+                    None => None,
+                    Some(e) => Some(self.expr(e)?),
+                };
+                self.env.insert(name.clone(), def);
+                Ok(())
+            }
+            Stmt::Assign { name, expr } => {
+                if !self.env.contains_key(name) {
+                    return Err(CompileError::Undeclared(name.clone()));
+                }
+                let def = self.expr(expr)?;
+                self.env.insert(name.clone(), Some(def));
+                Ok(())
+            }
+            Stmt::Output { name } => {
+                let def = self.def_of(name)?;
+                let sink = self.b.output(&format!("{name}_sink"));
+                if let [(node, port)] = def.sources[..] {
+                    self.b.connect_full(node, port, sink, 0, Some(name));
+                } else {
+                    // After an `if` join the variable has one source per
+                    // branch. Funnel them through an identity node so the
+                    // observable edge keeps a single stable label whichever
+                    // branch ran.
+                    let join = self.b.add_named(
+                        NodeKind::Arith(BinOp::Add, Some(Imm::right(0))),
+                        format!("{name}_join"),
+                    );
+                    self.connect_from(&def, join, 0);
+                    self.b.connect_labelled(join, sink, 0, name);
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => self.for_loop(init, cond, update, body, after),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => self.if_stmt(cond, then_branch, else_branch),
+        }
+    }
+
+    /// Compile `if (cond) { then } else { else }` into the paper's §II-A
+    /// steer pattern: every variable either branch touches flows through a
+    /// steer gated by the condition; branch-final definitions merge at the
+    /// join (one source per branch).
+    fn if_stmt(
+        &mut self,
+        cond: &Expr,
+        then_branch: &[Stmt],
+        else_branch: &[Stmt],
+    ) -> Result<(), CompileError> {
+        // Variables the branches read or assign (branch-local declarations
+        // are scoped out, like loop bodies).
+        let mut branch_declared: Vec<&str> = Vec::new();
+        for s in then_branch.iter().chain(else_branch) {
+            if let Stmt::Decl { name, .. } = s {
+                branch_declared.push(name);
+            }
+        }
+        let mut touched_names: Vec<String> = Vec::new();
+        for s in then_branch.iter().chain(else_branch) {
+            touched(s, &mut touched_names);
+        }
+        let steered: Vec<String> = touched_names
+            .into_iter()
+            .filter(|v| !branch_declared.iter().any(|d| d == v))
+            .filter(|v| matches!(self.env.get(v), Some(Some(_))))
+            .collect();
+
+        // Entry definitions must share an epoch (the condition and data
+        // tokens must tag-match).
+        let mut entry: Vec<(String, Def)> = Vec::with_capacity(steered.len());
+        for v in &steered {
+            entry.push((v.clone(), self.def_of(v)?));
+        }
+        if let Some(((_, first), rest)) = entry.split_first() {
+            for (v, d) in rest {
+                if d.epoch != first.epoch {
+                    return Err(CompileError::TagMismatch {
+                        site: format!("if entry for `{v}`"),
+                    });
+                }
+            }
+        }
+        let epoch = entry
+            .first()
+            .map(|(_, d)| d.epoch)
+            .unwrap_or(if self.in_loop { self.epoch } else { 0 });
+
+        let ctl = self.expr(cond)?;
+        let mut steer: FxHashMap<String, NodeId> = FxHashMap::default();
+        for (v, d) in &entry {
+            let st = self.b.add_named(NodeKind::Steer, format!("ifsteer_{v}"));
+            self.connect_from(d, st, 0);
+            self.connect_from(&ctl, st, 1);
+            steer.insert(v.clone(), st);
+        }
+
+        // Compile each branch against its steer port; collect final defs.
+        let pre_env = self.env.clone();
+        let branch_env = |cg: &mut Codegen,
+                          branch: &[Stmt],
+                          port: OutPort|
+         -> Result<FxHashMap<String, Option<Def>>, CompileError> {
+            cg.env = pre_env.clone();
+            cg.branch_gates.push((ctl.clone(), port, epoch));
+            for v in &steered {
+                cg.env
+                    .insert(v.clone(), Some(Def::single(steer[v], port, epoch)));
+            }
+            for s in branch {
+                cg.stmt(s, &[])?;
+            }
+            cg.branch_gates.pop();
+            Ok(std::mem::take(&mut cg.env))
+        };
+        let then_env = branch_env(self, then_branch, OutPort::True)?;
+        let else_env = branch_env(self, else_branch, OutPort::False)?;
+
+        // Join. Steered variables merge their branch-final defs; variables
+        // with no entry definition join only when *both* branches assigned
+        // them (otherwise the untaken path yields no token and a later read
+        // stays a compile-time `Uninitialised` error rather than a runtime
+        // deadlock).
+        let mut assigned: Vec<String> = Vec::new();
+        for st in then_branch.iter().chain(else_branch) {
+            touched(st, &mut assigned);
+        }
+        self.env = pre_env;
+        let join_candidates: Vec<String> = steered
+            .iter()
+            .cloned()
+            .chain(
+                assigned
+                    .iter()
+                    .filter(|v| !steered.contains(v) && self.env.contains_key(*v))
+                    .cloned(),
+            )
+            .collect();
+        for v in &join_candidates {
+            let t = then_env.get(v).cloned().flatten();
+            let e = else_env.get(v).cloned().flatten();
+            let pre = self.env.get(v).cloned().flatten();
+            let both_new = |d: &Def| Some(d) != pre.as_ref();
+            let joined = match (t, e) {
+                (Some(a), Some(b)) => {
+                    if a == b {
+                        a
+                    } else {
+                        Def::merge(&a, &b)
+                    }
+                }
+                // One branch assigned, the other had no definition at all:
+                // only sound when an entry def existed (steered case).
+                (Some(a), None) if steered.contains(v) || !both_new(&a) => a,
+                (None, Some(b)) if steered.contains(v) || !both_new(&b) => b,
+                _ => continue,
+            };
+            self.env.insert(v.clone(), Some(joined));
+        }
+        Ok(())
+    }
+
+    fn for_loop(
+        &mut self,
+        init: &Stmt,
+        cond: &Expr,
+        update: &Stmt,
+        body: &[Stmt],
+        after: &[Stmt],
+    ) -> Result<(), CompileError> {
+        if self.in_loop || body.iter().any(|s| matches!(s, Stmt::For { .. })) {
+            return Err(CompileError::NestedLoop);
+        }
+        // The init assignment runs in the outer scope — unless it was
+        // hoisted to program start (constant counter inits; see
+        // `compile_program`). The paper's `for (i = z; …)` leaves `i`
+        // undeclared, so declare counters implicitly.
+        if !self.hoisted_inits.contains(&self.current_stmt) {
+            if let Stmt::Assign { name, .. } = init {
+                self.env.entry(name.clone()).or_insert(None);
+            }
+            self.stmt(init, &[])?;
+        }
+
+        // Live set: everything referenced inside (except body-local
+        // declarations, including those nested in `if` branches), plus
+        // every already-defined variable read after the loop (so its tag
+        // stays in step with values computed by the loop).
+        let mut body_declared: Vec<String> = Vec::new();
+        for s in body {
+            declared_in(s, &mut body_declared);
+        }
+        let mut live: Vec<String> = Vec::new();
+        let mut inside = Vec::new();
+        for v in cond.vars() {
+            inside.push(v.to_string());
+        }
+        // `touched` recurses into nested `if` branches, catching reads and
+        // assignments alike.
+        touched(update, &mut inside);
+        for s in body {
+            touched(s, &mut inside);
+        }
+        for v in inside {
+            if !live.contains(&v) && !body_declared.contains(&v) {
+                live.push(v);
+            }
+        }
+        let mut after_reads = Vec::new();
+        for s in after {
+            reads_of(s, &mut after_reads);
+        }
+        for v in after_reads {
+            if matches!(self.env.get(&v), Some(Some(_))) && !live.contains(&v) {
+                live.push(v);
+            }
+        }
+
+        // Every live variable needs a definition entering the loop, and all
+        // entries must agree on their tag epoch — mixed epochs would
+        // deadlock the matching store at runtime.
+        let mut entry: Vec<(String, Def)> = Vec::with_capacity(live.len());
+        for v in &live {
+            entry.push((v.clone(), self.def_of(v)?));
+        }
+        if let Some(((_, first), rest)) = entry.split_first() {
+            for (v, d) in rest {
+                if d.epoch != first.epoch {
+                    return Err(CompileError::TagMismatch {
+                        site: format!("loop entry for `{v}`"),
+                    });
+                }
+            }
+        }
+
+        self.epoch += 1;
+        let loop_epoch = self.epoch;
+
+        // Inctags: merge entry + loop-back (loop-back connected below).
+        let mut inctag: FxHashMap<String, NodeId> = FxHashMap::default();
+        for (v, d) in &entry {
+            let it = self.b.add_named(NodeKind::IncTag, format!("inctag_{v}"));
+            let d = d.clone();
+            self.connect_from(&d, it, 0);
+            inctag.insert(v.clone(), it);
+        }
+
+        // Condition evaluates on inctag outputs (paper: R14 reads B12).
+        let outer_env = self.env.clone();
+        self.in_loop = true;
+        for (v, _) in &entry {
+            self.env.insert(
+                v.clone(),
+                Some(Def::single(inctag[v], OutPort::True, loop_epoch)),
+            );
+        }
+        let ctl = self.expr(cond)?;
+
+        // One steer per live variable, all driven by the same control.
+        let mut steer: FxHashMap<String, NodeId> = FxHashMap::default();
+        for (v, _) in &entry {
+            let st = self.b.add_named(NodeKind::Steer, format!("steer_{v}"));
+            let it = inctag[v];
+            self.b.connect(it, st, 0);
+            self.connect_from(&ctl.clone(), st, 1);
+            steer.insert(v.clone(), st);
+        }
+
+        // Body runs on the steers' true ports.
+        for (v, _) in &entry {
+            self.env.insert(
+                v.clone(),
+                Some(Def::single(steer[v], OutPort::True, loop_epoch)),
+            );
+        }
+        for s in body {
+            self.stmt(s, &[])?;
+        }
+        self.stmt(update, &[])?;
+
+        // Loop-back edges: final body definition (or the steer itself for
+        // loop-invariant variables) re-enters the inctag.
+        for (v, _) in &entry {
+            let d = self.def_of(v)?;
+            self.connect_from(&d, inctag[v], 0);
+        }
+
+        // After the loop each live variable is the steer's false port.
+        self.in_loop = false;
+        self.seen_loop = true;
+        self.env = outer_env;
+        for (v, _) in &entry {
+            self.env.insert(
+                v.clone(),
+                Some(Def::single(steer[v], OutPort::False, loop_epoch)),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Names *declared* by a statement, recursively (block scoping).
+fn declared_in(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Decl { name, .. }
+            if !out.contains(name) => {
+                out.push(name.clone());
+            }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                declared_in(s, out);
+            }
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                declared_in(s, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Names touched (read, written, or declared) by a statement, recursively.
+fn touched(stmt: &Stmt, out: &mut Vec<String>) {
+    reads_of(stmt, out);
+    match stmt {
+        Stmt::Decl { name, .. } | Stmt::Assign { name, .. } | Stmt::Output { name } => {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+        Stmt::For {
+            init, update, body, ..
+        } => {
+            touched(init, out);
+            touched(update, out);
+            for s in body {
+                touched(s, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                touched(s, out);
+            }
+        }
+    }
+}
+
+/// Compile a parsed [`Program`] to a dataflow graph.
+///
+/// A prepass hoists constant for-loop initialisers (`for (j = 2; …)`) of
+/// names untouched before their loop to program start. That lets the
+/// liveness rule route such counters *through* earlier loops, keeping their
+/// tags aligned — the only way a second sequential loop can receive both a
+/// fresh counter and loop-one results with matching tags.
+pub fn compile_program(p: &Program) -> Result<DataflowGraph, CompileError> {
+    let mut cg = Codegen {
+        b: GraphBuilder::new(),
+        env: FxHashMap::default(),
+        epoch: 0,
+        fresh_epoch: 0,
+        in_loop: false,
+        seen_loop: false,
+        hoisted_inits: Vec::new(),
+        current_stmt: 0,
+        branch_gates: Vec::new(),
+    };
+
+    // Hoisting prepass.
+    let mut seen: Vec<String> = Vec::new();
+    for (i, s) in p.stmts.iter().enumerate() {
+        if let Stmt::For { init, .. } = s {
+            if let Stmt::Assign { name, expr } = &**init {
+                if let Some(v) = const_fold(expr) {
+                    if !seen.contains(name) {
+                        let def = cg.constant(v, name)?;
+                        cg.env.insert(name.clone(), Some(def));
+                        cg.hoisted_inits.push(i);
+                    }
+                }
+            }
+        }
+        touched(s, &mut seen);
+    }
+
+    for (i, s) in p.stmts.iter().enumerate() {
+        cg.current_stmt = i;
+        cg.stmt(s, &p.stmts[i + 1..])?;
+    }
+    cg.b.build().map_err(|errs| {
+        CompileError::Graph(
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    })
+}
+
+/// Parse and compile source text.
+pub fn compile(src: &str) -> Result<DataflowGraph, CompileError> {
+    let p = crate::parser::parse(src)?;
+    compile_program(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gammaflow_dataflow::engine::SeqEngine;
+    use gammaflow_multiset::{Symbol, Value};
+
+    fn run_outputs(src: &str) -> Vec<(String, i64, u64)> {
+        let g = compile(src).unwrap();
+        let r = SeqEngine::new(&g).run().unwrap();
+        assert!(
+            r.residue.is_empty(),
+            "residue after {src}: {:?}",
+            r.residue
+        );
+        let mut out: Vec<(String, i64, u64)> = r
+            .outputs
+            .iter()
+            .map(|e| {
+                (
+                    e.label.as_str().to_string(),
+                    e.value.as_int().unwrap(),
+                    e.tag.0,
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn example1_compiles_and_runs() {
+        let out = run_outputs(
+            "int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j); output m;",
+        );
+        assert_eq!(out, vec![("m".to_string(), 0, 0)]);
+    }
+
+    #[test]
+    fn example1_structure_matches_fig1() {
+        // The generated graph must be isomorphic to the hand-built Fig. 1.
+        let g = compile(
+            "int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j); output m;",
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let x = b.constant_named(1, "x");
+        let y = b.constant_named(5, "y");
+        let k = b.constant_named(3, "k");
+        let j = b.constant_named(2, "j");
+        let r1 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R1");
+        let r2 = b.add_named(NodeKind::Arith(BinOp::Mul, None), "R2");
+        let r3 = b.add_named(NodeKind::Arith(BinOp::Sub, None), "R3");
+        let m = b.output("m_sink");
+        b.connect_labelled(x, r1, 0, "A1");
+        b.connect_labelled(y, r1, 1, "B1");
+        b.connect_labelled(k, r2, 0, "C1");
+        b.connect_labelled(j, r2, 1, "D1");
+        b.connect_labelled(r1, r3, 0, "B2");
+        b.connect_labelled(r2, r3, 1, "C2");
+        b.connect_labelled(r3, m, 0, "m");
+        let fig1 = b.build().unwrap();
+        assert!(gammaflow_dataflow::iso::isomorphic(&g, &fig1));
+    }
+
+    #[test]
+    fn example2_loop_computes() {
+        let out = run_outputs(
+            "int y = 5; int z = 3; int x = 10; for (i = z; i > 0; i--) { x = x + y; } output x;",
+        );
+        // x = 10 + 5*3 = 25, exits at tag z+1 = 4.
+        assert_eq!(out, vec![("x".to_string(), 25, 4)]);
+    }
+
+    #[test]
+    fn example2_zero_iterations() {
+        let out = run_outputs(
+            "int y = 5; int z = 0; int x = 10; for (i = z; i > 0; i--) { x = x + y; } output x;",
+        );
+        assert_eq!(out, vec![("x".to_string(), 10, 1)]);
+    }
+
+    #[test]
+    fn loop_with_update_assignment_form() {
+        let out = run_outputs(
+            "int x = 1; for (i = 5; i > 0; i = i - 1) { x = x * 2; } output x;",
+        );
+        assert_eq!(out, vec![("x".to_string(), 32, 6)]);
+    }
+
+    #[test]
+    fn counting_up_loop() {
+        let out = run_outputs(
+            "int s = 0; int n = 4; for (i = 0; i < n; i++) { s = s + i; } output s;",
+        );
+        // 0+0+1+2+3 = 6.
+        assert_eq!(out, vec![("s".to_string(), 6, 5)]);
+    }
+
+    #[test]
+    fn post_loop_arithmetic_works() {
+        let out = run_outputs(
+            "int x = 0; int c = 100; for (i = 3; i > 0; i--) { x = x + 1; } int m; m = x + c; output m;",
+        );
+        // c is routed through the loop because it is read after it.
+        assert_eq!(out, vec![("m".to_string(), 103, 4)]);
+    }
+
+    #[test]
+    fn two_sequential_loops() {
+        let out = run_outputs(
+            "int x = 1; for (i = 2; i > 0; i--) { x = x * 3; } for (j = 2; j > 0; j--) { x = x + 1; } output x;",
+        );
+        // (1*9) + 2 = 11; tags: 3 after loop 1, then +3.
+        assert_eq!(out, vec![("x".to_string(), 11, 6)]);
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        assert!(matches!(
+            compile("x = 1;"),
+            Err(CompileError::Undeclared(_))
+        ));
+    }
+
+    #[test]
+    fn uninitialised_read_rejected() {
+        assert!(matches!(
+            compile("int x; int y = 1; y = x + 1;"),
+            Err(CompileError::Uninitialised(_))
+        ));
+    }
+
+    #[test]
+    fn nested_loop_rejected() {
+        let src = "int x = 0; for (i = 2; i > 0; i--) { for (j = 2; j > 0; j--) { x = x + 1; } } output x;";
+        assert!(matches!(compile(src), Err(CompileError::NestedLoop)));
+    }
+
+    #[test]
+    fn standalone_const_in_loop_rejected() {
+        let src = "int x = 0; for (i = 2; i > 0; i--) { x = 5; } output x;";
+        assert!(matches!(compile(src), Err(CompileError::ConstInLoop(_))));
+    }
+
+    #[test]
+    fn post_loop_constant_mixing_rejected() {
+        // `int c = 9;` after the loop mints a tag-0 constant; mixing it
+        // with the loop exit x must be a compile error, not a deadlock.
+        let src =
+            "int x = 0; for (i = 2; i > 0; i--) { x = x + 1; } int c = 9; int m; m = x + c; output m;";
+        assert!(matches!(
+            compile(src),
+            Err(CompileError::TagMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn immediates_are_fused() {
+        let g = compile("int x = 7; int m; m = x + 1; output m;").unwrap();
+        // Nodes: const x, add-imm, output. No const node for the 1.
+        assert_eq!(g.node_count(), 3);
+        let r = SeqEngine::new(&g).run().unwrap();
+        assert_eq!(
+            r.outputs.sorted_elements()[0].value,
+            Value::int(8)
+        );
+    }
+
+    #[test]
+    fn multiple_outputs() {
+        let out = run_outputs("int a = 2; int b = 3; int s; int p; s = a + b; p = a * b; output s; output p;");
+        assert_eq!(
+            out,
+            vec![("p".to_string(), 6, 0), ("s".to_string(), 5, 0)]
+        );
+    }
+
+    #[test]
+    fn if_else_takes_both_paths() {
+        for (a, want) in [(5, 6), (-5, -4)] {
+            let src = format!(
+                "int a = {a}; if (a > 0) {{ a = a + 1; }} else {{ a = a + 1; }} output a;"
+            );
+            let out = run_outputs(&src);
+            assert_eq!(out[0].1, want, "a={a}");
+        }
+    }
+
+    #[test]
+    fn if_branches_compute_differently() {
+        for (a, want) in [(7, 70), (2, -2)] {
+            let src = format!(
+                "int a = {a}; int r; if (a > 5) {{ r = a * 10; }} else {{ r = 0 - a; }} output r;"
+            );
+            let out = run_outputs(&src);
+            assert_eq!(out, vec![("r".to_string(), want, 0)], "a={a}");
+        }
+    }
+
+    #[test]
+    fn if_without_else_passes_through() {
+        for (a, want) in [(10, 11), (0, 0)] {
+            let src =
+                format!("int a = {a}; if (a > 5) {{ a = a + 1; }} output a;");
+            let out = run_outputs(&src);
+            assert_eq!(out[0].1, want, "a={a}");
+        }
+    }
+
+    #[test]
+    fn read_only_var_in_branch() {
+        // b is read in the then-branch but never assigned; it must steer
+        // through cleanly and survive for the final output.
+        for (a, want_r) in [(1, 99), (-1, 0)] {
+            let src = format!(
+                "int a = {a}; int b = 99; int r = 0; if (a > 0) {{ r = b; }} output r; output b;"
+            );
+            let g = compile(&src).unwrap();
+            let res = SeqEngine::new(&g).run().unwrap();
+            assert!(res.residue.is_empty(), "a={a}: {:?}", res.residue);
+            let r = res
+                .outputs
+                .iter()
+                .find(|e| e.label.as_str() == "r")
+                .unwrap()
+                .value
+                .as_int()
+                .unwrap();
+            assert_eq!(r, want_r, "a={a}");
+        }
+    }
+
+    #[test]
+    fn if_inside_loop_conditional_accumulate() {
+        // Sum of even i in 0..6 = 0+2+4 = 6.
+        let src = "int s = 0; int n = 6; for (i = 0; i < n; i++) { if (i % 2 == 0) { s = s + i; } } output s;";
+        let out = run_outputs(src);
+        assert_eq!(out[0].0, "s");
+        assert_eq!(out[0].1, 6);
+    }
+
+    #[test]
+    fn nested_ifs() {
+        for (a, want) in [(15, 3), (8, 2), (-2, 1)] {
+            let src = format!(
+                "int a = {a}; int c = 1; if (a > 0) {{ c = 2; if (a > 10) {{ c = 3; }} }} output c;"
+            );
+            let out = run_outputs(&src);
+            assert_eq!(out[0].1, want, "a={a}");
+        }
+    }
+
+    #[test]
+    fn if_graphs_check_equivalent_via_algorithm1() {
+        use gammaflow_core::{check_equivalence, CheckConfig};
+        let sources = [
+            "int a = 7; int r; if (a > 5) { r = a * 10; } else { r = 0 - a; } output r;",
+            "int s = 0; int n = 5; for (i = 0; i < n; i++) { if (i % 2 == 0) { s = s + i; } } output s;",
+            "int a = 3; int b = 99; int r = 0; if (a > 0) { r = b + a; } output r;",
+        ];
+        for src in sources {
+            let g = compile(src).unwrap();
+            let report = check_equivalence(&g, &CheckConfig::default()).unwrap();
+            assert!(report.equivalent, "{src}: {:?}", report.mismatch);
+        }
+    }
+
+    #[test]
+    fn output_labels_are_variable_names() {
+        let g = compile("int a = 2; output a;").unwrap();
+        let labels: Vec<&str> = g.output_labels().iter().map(|s| s.as_str()).collect();
+        assert_eq!(labels, vec!["a"]);
+        let _ = Symbol::intern("a");
+    }
+}

@@ -1,0 +1,664 @@
+//! Lexer + parser for the mini imperative language.
+//!
+//! A compact hand-rolled scanner/parser pair; the grammar is C-flavoured:
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := 'int' IDENT ('=' expr)? ';'
+//!           | IDENT '=' expr ';'
+//!           | 'for' '(' assign ';' expr ';' update ')' block_or_stmt
+//!           | 'if' '(' expr ')' block_or_stmt ('else' block_or_stmt)?
+//!           | 'output' IDENT ';'
+//! update   := IDENT '--' | IDENT '++' | assign
+//! expr     := cmp ; cmp := add (CMPOP add)? ; add := mul (('+'|'-') mul)*
+//! mul      := unary (('*'|'/'|'%') unary)* ; unary := '-' unary | primary
+//! primary  := INT | IDENT | '(' expr ')'
+//! ```
+
+use crate::ast::{Expr, Program, Stmt};
+use gammaflow_multiset::value::{BinOp, CmpOp};
+use std::fmt;
+
+/// Parse errors with 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Description.
+    pub msg: String,
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+impl std::error::Error for FrontendError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Int(i64),
+    Ident(String),
+    KwInt,
+    KwFor,
+    KwIf,
+    KwElse,
+    KwOutput,
+    Assign,
+    Semi,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(x) => write!(f, "integer `{x}`"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwFor => write!(f, "`for`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwOutput => write!(f, "`output`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::PlusPlus => write!(f, "`++`"),
+            Tok::MinusMinus => write!(f, "`--`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32, u32)>, FrontendError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let (mut i, mut line, mut col) = (0usize, 1u32, 1u32);
+    while i < b.len() {
+        let c = b[i] as char;
+        let sc = col;
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' if i + 1 < b.len() && b[i + 1] == b'+' => {
+                out.push((Tok::PlusPlus, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                out.push((Tok::MinusMinus, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '=' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push((Tok::EqEq, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push((Tok::NotEq, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push((Tok::Le, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '>' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push((Tok::Ge, line, sc));
+                i += 2;
+                col += 2;
+            }
+            '+' => {
+                out.push((Tok::Plus, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                out.push((Tok::Minus, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                out.push((Tok::Slash, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                out.push((Tok::Percent, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                out.push((Tok::Assign, line, sc));
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, line, sc));
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '<' => {
+                out.push((Tok::Lt, line, sc));
+                i += 1;
+                col += 1;
+            }
+            '>' => {
+                out.push((Tok::Gt, line, sc));
+                i += 1;
+                col += 1;
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = std::str::from_utf8(&b[i..j]).unwrap();
+                let v = text.parse().map_err(|_| FrontendError {
+                    msg: format!("integer `{text}` out of range"),
+                    line,
+                    col: sc,
+                })?;
+                out.push((Tok::Int(v), line, sc));
+                col += (j - i) as u32;
+                i = j;
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let w = std::str::from_utf8(&b[i..j]).unwrap();
+                let tok = match w {
+                    "int" => Tok::KwInt,
+                    "for" => Tok::KwFor,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "output" => Tok::KwOutput,
+                    _ => Tok::Ident(w.to_string()),
+                };
+                out.push((tok, line, sc));
+                col += (j - i) as u32;
+                i = j;
+            }
+            other => {
+                return Err(FrontendError {
+                    msg: format!("unexpected character `{other}`"),
+                    line,
+                    col: sc,
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, line, col));
+    Ok(out)
+}
+
+/// Recursion ceiling for expression and statement nesting.
+const MAX_DEPTH: u32 = 128;
+
+struct P {
+    toks: Vec<(Tok, u32, u32)>,
+    pos: usize,
+    depth: u32,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, FrontendError> {
+        let (_, line, col) = self.toks[self.pos];
+        Err(FrontendError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), FrontendError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return self.err("statements too deeply nested");
+        }
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if matches!(self.peek(), Tok::Assign) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Decl { name, init })
+            }
+            Tok::KwOutput => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Output { name })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = Box::new(self.assign_no_semi()?);
+                self.expect(Tok::Semi)?;
+                let cond = self.expr()?;
+                if !matches!(cond, Expr::Cmp(..)) {
+                    return self.err("for-condition must be a comparison");
+                }
+                self.expect(Tok::Semi)?;
+                let update = Box::new(self.update()?);
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                if !matches!(cond, Expr::Cmp(..)) {
+                    return self.err("if-condition must be a comparison");
+                }
+                self.expect(Tok::RParen)?;
+                let then_branch = self.block_or_stmt()?;
+                let else_branch = if matches!(self.peek(), Tok::KwElse) {
+                    self.bump();
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            Tok::Ident(_) => {
+                let s = self.assign_no_semi()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        if matches!(self.peek(), Tok::LBrace) {
+            self.bump();
+            let mut body = Vec::new();
+            while !matches!(self.peek(), Tok::RBrace) {
+                if matches!(self.peek(), Tok::Eof) {
+                    return self.err("unterminated `{` block");
+                }
+                body.push(self.stmt()?);
+            }
+            self.bump();
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn assign_no_semi(&mut self) -> Result<Stmt, FrontendError> {
+        let name = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let expr = self.expr()?;
+        Ok(Stmt::Assign { name, expr })
+    }
+
+    /// `i--`, `i++`, or a plain assignment.
+    fn update(&mut self) -> Result<Stmt, FrontendError> {
+        let name = self.ident()?;
+        match self.peek() {
+            Tok::MinusMinus => {
+                self.bump();
+                Ok(Stmt::Assign {
+                    name: name.clone(),
+                    expr: Expr::Bin(
+                        BinOp::Sub,
+                        Box::new(Expr::Var(name)),
+                        Box::new(Expr::Int(1)),
+                    ),
+                })
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                Ok(Stmt::Assign {
+                    name: name.clone(),
+                    expr: Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Var(name)),
+                        Box::new(Expr::Int(1)),
+                    ),
+                })
+            }
+            Tok::Assign => {
+                self.bump();
+                let expr = self.expr()?;
+                Ok(Stmt::Assign { name, expr })
+            }
+            other => self.err(format!("expected `--`, `++` or `=`, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return self.err("expression too deeply nested");
+        }
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, FrontendError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return self.err("expression too deeply nested");
+        }
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, FrontendError> {
+        if matches!(self.peek(), Tok::Minus) {
+            self.bump();
+            return match self.unary()? {
+                Expr::Int(x) => Ok(Expr::Int(-x)),
+                e => Ok(Expr::Neg(Box::new(e))),
+            };
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        match self.bump() {
+            Tok::Int(x) => Ok(Expr::Int(x)),
+            Tok::Ident(v) => Ok(Expr::Var(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+/// Parse a program.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let mut p = P {
+        toks: lex(src)?,
+        pos: 0,
+        depth: 0,
+    };
+    let mut stmts = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Program { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example1_source() {
+        let p = parse("int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j);")
+            .unwrap();
+        assert_eq!(p.stmts.len(), 6);
+        assert!(matches!(&p.stmts[4], Stmt::Decl { name, init: None } if name == "m"));
+        match &p.stmts[5] {
+            Stmt::Assign { name, expr } => {
+                assert_eq!(name, "m");
+                assert_eq!(expr.to_string(), "((x + y) - (k * j))");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_example2_loop() {
+        let p = parse("for (i = z; i > 0; i--) x = x + y;").unwrap();
+        match &p.stmts[0] {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                assert!(matches!(&**init, Stmt::Assign { name, .. } if name == "i"));
+                assert_eq!(cond.to_string(), "(i > 0)");
+                assert!(
+                    matches!(&**update, Stmt::Assign { name, expr } if name == "i" && expr.to_string() == "(i - 1)")
+                );
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_braced_body_and_output() {
+        let p = parse("for (i = 3; i > 0; i--) { x = x + 1; y = y * 2; } output x;").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        match &p.stmts[0] {
+            Stmt::For { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&p.stmts[1], Stmt::Output { name } if name == "x"));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = parse("int x = 1; if (x > 0) { x = x + 1; } else { x = x - 1; }").unwrap();
+        match &p.stmts[1] {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                assert_eq!(cond.to_string(), "(x > 0)");
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_without_else() {
+        let p = parse("int x = 1; if (x == 1) x = 9;").unwrap();
+        match &p.stmts[1] {
+            Stmt::If { else_branch, .. } => assert!(else_branch.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_comparison_condition_rejected() {
+        let err = parse("for (i = 3; i; i--) x = x + 1;").unwrap_err();
+        assert!(err.msg.contains("comparison"));
+    }
+
+    #[test]
+    fn reports_positions() {
+        let err = parse("int x = $;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 9);
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse("int a = -5;").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Decl {
+                init: Some(Expr::Int(-5)),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,795 @@
+//! Compilation of [`ReactionSpec`]s into an executable matching form.
+//!
+//! The Γ operator's implicit work is *matching*: finding a tuple
+//! `(x₁, …, xₙ)` of multiset elements satisfying a reaction's patterns and
+//! condition. A naive scan is O(|M|ⁿ); this module compiles each reaction
+//! into a backtracking search that exploits the [`ElementBag`] index:
+//!
+//! * positions with literal labels probe single buckets;
+//! * a shared tag variable propagates: once the first position fixes the
+//!   tag, later positions probe exactly one `(label, tag)` bucket — this is
+//!   the Gamma-side image of the dataflow waiting–matching store;
+//! * repeated value variables become equality constraints checked during
+//!   binding rather than after enumeration.
+//!
+//! Search order is chosen by static selectivity (literal labels before
+//! `OneOf` before wildcards), a micro query-planner. Nondeterminism is
+//! honest: given an RNG, every candidate list is shuffled, so any fireable
+//! tuple can be selected — the paper's "reactions occur freely" — while
+//! remaining reproducible from the seed.
+
+use crate::expr::{Env, EvalError, Expr};
+use crate::spec::{
+    ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec,
+    SpecError, TagPat, TagSpec, ValuePat,
+};
+use gammaflow_multiset::{Element, ElementBag, FxHashMap, Symbol, Tag, Value};
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+/// Variable bindings as value slots; implements [`Env`] for expression
+/// evaluation. Label variables bind as strings, tag variables as integers —
+/// exactly the observable fields the paper's conditions inspect.
+#[derive(Debug, Clone)]
+pub struct Bindings<'a> {
+    slots: Vec<Option<Value>>,
+    index: &'a FxHashMap<Symbol, u16>,
+}
+
+impl Env for Bindings<'_> {
+    fn lookup(&self, var: Symbol) -> Option<Value> {
+        self.index
+            .get(&var)
+            .and_then(|&i| self.slots[i as usize].clone())
+    }
+}
+
+impl<'a> Bindings<'a> {
+    fn new(nvars: usize, index: &'a FxHashMap<Symbol, u16>) -> Self {
+        Bindings {
+            slots: vec![None; nvars],
+            index,
+        }
+    }
+
+    /// Bind slot `i` to `v`; if already bound, succeed only on equality.
+    /// Returns whether a fresh binding was made (for backtracking).
+    fn bind(&mut self, i: u16, v: Value) -> Option<bool> {
+        match &self.slots[i as usize] {
+            None => {
+                self.slots[i as usize] = Some(v);
+                Some(true)
+            }
+            Some(existing) => (*existing == v).then_some(false),
+        }
+    }
+
+    fn unbind(&mut self, i: u16) {
+        self.slots[i as usize] = None;
+    }
+
+    fn get_tag(&self, i: u16) -> Option<Tag> {
+        match &self.slots[i as usize] {
+            Some(Value::Int(t)) if *t >= 0 => Some(Tag(*t as u64)),
+            _ => None,
+        }
+    }
+}
+
+/// Compiled form of one pattern position.
+#[derive(Debug, Clone)]
+struct CompiledPattern {
+    label: LabelFilter,
+    value_var: Option<u16>,
+    value_lit: Option<Value>,
+    label_var: Option<u16>,
+    tag_var: Option<u16>,
+    tag_lit: Option<Tag>,
+    tag_any: bool,
+}
+
+#[derive(Debug, Clone)]
+enum LabelFilter {
+    Exact(Symbol),
+    OneOf(Box<[Symbol]>),
+    Any,
+}
+
+impl LabelFilter {
+    /// Static selectivity rank: lower probes fewer buckets.
+    fn rank(&self) -> u8 {
+        match self {
+            LabelFilter::Exact(_) => 0,
+            LabelFilter::OneOf(_) => 1,
+            LabelFilter::Any => 2,
+        }
+    }
+}
+
+/// Read access to a multiset for match search.
+///
+/// The sequential interpreter searches an [`ElementBag`] directly; the
+/// parallel interpreter searches a sharded bag through a sampled view
+/// (stale reads are fine — claims re-validate atomically). Making the
+/// search generic keeps one matching implementation for both engines.
+pub trait MatchSource {
+    /// Distinct labels currently (or recently) present.
+    fn all_labels(&self) -> Vec<Symbol>;
+    /// Distinct tags present for `label`.
+    fn tags_for_label(&self, label: Symbol) -> Vec<Tag>;
+    /// `(value, multiplicity)` pairs in the `(label, tag)` bucket.
+    /// Implementations may truncate for sampling; multiplicities of the
+    /// returned values must be exact.
+    fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)>;
+    /// Exact multiplicity of one element.
+    fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize;
+}
+
+impl MatchSource for ElementBag {
+    fn all_labels(&self) -> Vec<Symbol> {
+        self.labels().collect()
+    }
+
+    fn tags_for_label(&self, label: Symbol) -> Vec<Tag> {
+        self.tags_for(label).collect()
+    }
+
+    fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)> {
+        self.bucket(label, tag)
+            .map(|b| b.iter_counts().map(|(v, c)| (v.clone(), c)).collect())
+            .unwrap_or_default()
+    }
+
+    fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
+        self.bucket(label, tag).map_or(0, |b| b.count(value))
+    }
+}
+
+/// A matched, ready-to-fire reaction instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// Index of the reaction in the compiled program.
+    pub reaction: usize,
+    /// Elements to consume, in replace-list order.
+    pub consumed: Vec<Element>,
+    /// Elements to produce.
+    pub produced: Vec<Element>,
+    /// Which by-clause was selected.
+    pub clause: usize,
+}
+
+/// Errors surfaced during matching/firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// Evaluating a selected clause's *outputs* failed (e.g. division by
+    /// zero in an action). Condition errors are not errors — a condition
+    /// that cannot be evaluated simply does not hold.
+    Action {
+        /// Reaction name.
+        reaction: String,
+        /// Underlying evaluation error.
+        error: EvalError,
+    },
+    /// An output tag expression evaluated to a non-integer or negative.
+    BadTag {
+        /// Reaction name.
+        reaction: String,
+        /// Rendered offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::Action { reaction, error } => {
+                write!(f, "reaction {reaction}: action evaluation failed: {error}")
+            }
+            MatchError::BadTag { reaction, value } => {
+                write!(f, "reaction {reaction}: output tag is not a valid tag: {value}")
+            }
+        }
+    }
+}
+impl std::error::Error for MatchError {}
+
+/// A compiled reaction: spec + var table + selectivity-ordered search plan.
+#[derive(Debug, Clone)]
+pub struct CompiledReaction {
+    /// Reaction name, for traces and errors.
+    pub name: String,
+    spec: ReactionSpec,
+    var_index: FxHashMap<Symbol, u16>,
+    nvars: usize,
+    positions: Vec<CompiledPattern>,
+    /// Search order: indices into `positions` (== replace-list order).
+    order: Vec<usize>,
+}
+
+impl CompiledReaction {
+    /// Compile and validate a single reaction.
+    pub fn compile(spec: &ReactionSpec) -> Result<CompiledReaction, SpecError> {
+        spec.validate()?;
+        let mut var_index: FxHashMap<Symbol, u16> = FxHashMap::default();
+        let intern = |s: Symbol, var_index: &mut FxHashMap<Symbol, u16>| -> u16 {
+            let next = var_index.len() as u16;
+            *var_index.entry(s).or_insert(next)
+        };
+
+        let mut positions = Vec::with_capacity(spec.patterns.len());
+        for p in &spec.patterns {
+            let (label, label_var) = match &p.label {
+                LabelPat::Lit(l) => (LabelFilter::Exact(*l), None),
+                LabelPat::OneOf(ls, var) => (
+                    LabelFilter::OneOf(ls.clone().into_boxed_slice()),
+                    var.map(|v| intern(v, &mut var_index)),
+                ),
+                LabelPat::Var(v) => (LabelFilter::Any, Some(intern(*v, &mut var_index))),
+            };
+            let (value_var, value_lit) = match &p.value {
+                ValuePat::Var(v) => (Some(intern(*v, &mut var_index)), None),
+                ValuePat::Lit(v) => (None, Some(v.clone())),
+            };
+            let (tag_var, tag_lit, tag_any) = match &p.tag {
+                TagPat::Var(v) => (Some(intern(*v, &mut var_index)), None, false),
+                TagPat::Lit(t) => (None, Some(*t), false),
+                TagPat::Any => (None, None, true),
+            };
+            positions.push(CompiledPattern {
+                label,
+                value_var,
+                value_lit,
+                label_var,
+                tag_var,
+                tag_lit,
+                tag_any,
+            });
+        }
+
+        // Selectivity order: literal labels first, then OneOf, then Any;
+        // stable within ranks to keep replace-list order as tiebreak.
+        let mut order: Vec<usize> = (0..positions.len()).collect();
+        order.sort_by_key(|&i| positions[i].label.rank());
+
+        let nvars = var_index.len();
+        Ok(CompiledReaction {
+            name: spec.name.clone(),
+            spec: spec.clone(),
+            var_index,
+            nvars,
+            positions,
+            order,
+        })
+    }
+
+    /// The source spec.
+    pub fn spec(&self) -> &ReactionSpec {
+        &self.spec
+    }
+
+    /// Replace-list arity.
+    pub fn arity(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Find one enabled match in `bag`, or `None` if the reaction is not
+    /// enabled anywhere. With an RNG, candidate orders are shuffled so the
+    /// selected tuple is a uniform-ish draw from the enabled set; without,
+    /// the search is deterministic (first match in index order).
+    ///
+    /// `reaction_index` is recorded into the returned [`Firing`].
+    pub fn find_match<S: MatchSource>(
+        &self,
+        reaction_index: usize,
+        bag: &S,
+        mut rng: Option<&mut ChaCha8Rng>,
+    ) -> Result<Option<Firing>, MatchError> {
+        let mut bindings = Bindings::new(self.nvars, &self.var_index);
+        // consumed[i] is the element matched by replace-list position i.
+        let mut consumed: Vec<Option<Element>> = vec![None; self.positions.len()];
+        let found = self.search(0, bag, &mut bindings, &mut consumed, &mut rng)?;
+        if !found {
+            return Ok(None);
+        }
+        let consumed: Vec<Element> = consumed.into_iter().map(|e| e.unwrap()).collect();
+        let (clause, produced) = self
+            .outputs_for(&bindings)?
+            .expect("search only succeeds with an enabled clause");
+        Ok(Some(Firing {
+            reaction: reaction_index,
+            consumed,
+            produced,
+            clause,
+        }))
+    }
+
+    /// Depth-first search over search-plan step `depth`.
+    fn search<S: MatchSource>(
+        &self,
+        depth: usize,
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+        rng: &mut Option<&mut ChaCha8Rng>,
+    ) -> Result<bool, MatchError> {
+        if depth == self.order.len() {
+            // Full tuple bound: check `where`, then that some clause guard
+            // holds. Condition evaluation errors mean "not enabled".
+            if let Some(w) = &self.spec.where_cond {
+                if !w.eval_bool(bindings).unwrap_or(false) {
+                    return Ok(false);
+                }
+            }
+            return Ok(self.enabled_clause(bindings).is_some());
+        }
+        let pos_idx = self.order[depth];
+        let pat = &self.positions[pos_idx];
+
+        // Candidate labels.
+        let mut labels: Vec<Symbol> = match &pat.label {
+            LabelFilter::Exact(l) => vec![*l],
+            LabelFilter::OneOf(ls) => ls.to_vec(),
+            LabelFilter::Any => bag.all_labels(),
+        };
+        if let Some(r) = rng.as_deref_mut() {
+            labels.shuffle(r);
+        }
+
+        for label in labels {
+            // Candidate tags for this label.
+            let bound_tag = pat.tag_var.and_then(|v| bindings.get_tag(v));
+            let mut tags: Vec<Tag> = match (pat.tag_lit, bound_tag, pat.tag_any) {
+                (Some(t), _, _) => vec![t],
+                (None, Some(t), _) => vec![t],
+                _ => bag.tags_for_label(label),
+            };
+            if tags.len() > 1 {
+                if let Some(r) = rng.as_deref_mut() {
+                    tags.shuffle(r);
+                }
+            }
+
+            for tag in tags {
+                // Candidate values in this bucket. When the value is
+                // already pinned (literal pattern or repeated variable) we
+                // only need its exact multiplicity.
+                let bound_value = pat
+                    .value_var
+                    .and_then(|v| bindings.slots[v as usize].clone());
+                let mut values: Vec<(Value, usize)> = match (&pat.value_lit, &bound_value) {
+                    (Some(lit), _) => {
+                        vec![(lit.clone(), bag.count_at(label, tag, lit))]
+                    }
+                    (None, Some(b)) => vec![(b.clone(), bag.count_at(label, tag, b))],
+                    _ => bag.values_at(label, tag),
+                };
+                if values.len() > 1 {
+                    if let Some(r) = rng.as_deref_mut() {
+                        values.shuffle(r);
+                    }
+                }
+
+                'values: for (value, available) in values {
+                    let candidate = Element {
+                        value: value.clone(),
+                        label,
+                        tag,
+                    };
+                    // Multiplicity: the bucket must hold more occurrences
+                    // than earlier positions already consumed.
+                    if available == 0 {
+                        continue;
+                    }
+                    let already_used = consumed
+                        .iter()
+                        .flatten()
+                        .filter(|e| **e == candidate)
+                        .count();
+                    if already_used >= available {
+                        continue;
+                    }
+
+                    // Bind fields, tracking fresh bindings for backtracking.
+                    let mut fresh: Vec<u16> = Vec::with_capacity(3);
+                    let mut ok = true;
+                    if let Some(v) = pat.value_var {
+                        match bindings.bind(v, value.clone()) {
+                            Some(true) => fresh.push(v),
+                            Some(false) => {}
+                            None => ok = false,
+                        }
+                    }
+                    if ok {
+                        if let Some(v) = pat.label_var {
+                            match bindings.bind(v, Value::str(label.as_str())) {
+                                Some(true) => fresh.push(v),
+                                Some(false) => {}
+                                None => ok = false,
+                            }
+                        }
+                    }
+                    if ok {
+                        if let Some(v) = pat.tag_var {
+                            match bindings.bind(v, Value::Int(tag.0 as i64)) {
+                                Some(true) => fresh.push(v),
+                                Some(false) => {}
+                                None => ok = false,
+                            }
+                        }
+                    }
+                    if !ok {
+                        for v in fresh {
+                            bindings.unbind(v);
+                        }
+                        continue 'values;
+                    }
+
+                    consumed[pos_idx] = Some(candidate);
+                    if self.search(depth + 1, bag, bindings, consumed, rng)? {
+                        return Ok(true);
+                    }
+                    consumed[pos_idx] = None;
+                    for v in fresh {
+                        bindings.unbind(v);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Index of the first clause whose guard holds under `bindings`, if any.
+    fn enabled_clause(&self, bindings: &Bindings<'_>) -> Option<usize> {
+        for (i, c) in self.spec.clauses.iter().enumerate() {
+            match &c.guard {
+                Guard::Always | Guard::Else => return Some(i),
+                Guard::If(cond) => {
+                    if cond.eval_bool(bindings).unwrap_or(false) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Evaluate the selected clause's outputs.
+    fn outputs_for(
+        &self,
+        bindings: &Bindings<'_>,
+    ) -> Result<Option<(usize, Vec<Element>)>, MatchError> {
+        let Some(clause_idx) = self.enabled_clause(bindings) else {
+            return Ok(None);
+        };
+        let clause: &ByClause = &self.spec.clauses[clause_idx];
+        let mut produced = Vec::with_capacity(clause.outputs.len());
+        for out in &clause.outputs {
+            produced.push(self.eval_output(out, bindings)?);
+        }
+        Ok(Some((clause_idx, produced)))
+    }
+
+    fn eval_output(
+        &self,
+        out: &ElementSpec,
+        bindings: &Bindings<'_>,
+    ) -> Result<Element, MatchError> {
+        let value = out.value.eval(bindings).map_err(|error| MatchError::Action {
+            reaction: self.name.clone(),
+            error,
+        })?;
+        let label = match &out.label {
+            LabelSpec::Lit(l) => *l,
+            LabelSpec::Var(v) => {
+                let lv = Expr::Var(*v).eval(bindings).map_err(|error| MatchError::Action {
+                    reaction: self.name.clone(),
+                    error,
+                })?;
+                match lv {
+                    Value::Str(s) => Symbol::intern(&s),
+                    other => {
+                        return Err(MatchError::BadTag {
+                            reaction: self.name.clone(),
+                            value: format!("label variable bound to {other}"),
+                        })
+                    }
+                }
+            }
+        };
+        let tag = match &out.tag {
+            TagSpec::Zero => Tag::ZERO,
+            TagSpec::Expr(e) => {
+                let tv = e.eval(bindings).map_err(|error| MatchError::Action {
+                    reaction: self.name.clone(),
+                    error,
+                })?;
+                match tv {
+                    Value::Int(t) if t >= 0 => Tag(t as u64),
+                    other => {
+                        return Err(MatchError::BadTag {
+                            reaction: self.name.clone(),
+                            value: other.to_string(),
+                        })
+                    }
+                }
+            }
+        };
+        Ok(Element { value, label, tag })
+    }
+}
+
+/// A compiled Gamma program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Compiled reactions, in spec order.
+    pub reactions: Vec<CompiledReaction>,
+}
+
+impl CompiledProgram {
+    /// Compile and validate every reaction of `program`.
+    pub fn compile(program: &GammaProgram) -> Result<CompiledProgram, SpecError> {
+        let reactions = program
+            .reactions
+            .iter()
+            .map(CompiledReaction::compile)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledProgram { reactions })
+    }
+
+    /// Find any enabled firing in `bag`, trying reactions in `order`
+    /// (indices into `reactions`).
+    pub fn find_any<S: MatchSource>(
+        &self,
+        order: &[usize],
+        bag: &S,
+        mut rng: Option<&mut ChaCha8Rng>,
+    ) -> Result<Option<Firing>, MatchError> {
+        for &i in order {
+            if let Some(f) = self.reactions[i].find_match(i, bag, rng.as_deref_mut())? {
+                return Ok(Some(f));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Helper: build a pattern like the paper writes them. See [`Pattern`] for
+/// the underlying constructors.
+pub fn pat(value_var: &str, label: &str, tag_var: &str) -> Pattern {
+    Pattern::tagged(value_var, label, tag_var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::spec::{ElementSpec, Pattern, ReactionSpec};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use rand::SeedableRng;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    fn compile(r: ReactionSpec) -> CompiledReaction {
+        CompiledReaction::compile(&r).unwrap()
+    }
+
+    #[test]
+    fn matches_paper_r1() {
+        let r1 = compile(
+            ReactionSpec::new("R1")
+                .replace(Pattern::pair("id1", "A1"))
+                .replace(Pattern::pair("id2", "B1"))
+                .by(vec![ElementSpec::pair(
+                    Expr::bin(BinOp::Add, Expr::var("id1"), Expr::var("id2")),
+                    "B2",
+                )]),
+        );
+        let bag: ElementBag = [e(1, "A1", 0), e(5, "B1", 0)].into_iter().collect();
+        let firing = r1.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(firing.consumed, vec![e(1, "A1", 0), e(5, "B1", 0)]);
+        assert_eq!(firing.produced, vec![e(6, "B2", 0)]);
+    }
+
+    #[test]
+    fn no_match_when_operand_missing() {
+        let r1 = compile(
+            ReactionSpec::new("R1")
+                .replace(Pattern::pair("id1", "A1"))
+                .replace(Pattern::pair("id2", "B1"))
+                .by(vec![ElementSpec::pair(Expr::var("id1"), "B2")]),
+        );
+        let bag: ElementBag = [e(1, "A1", 0)].into_iter().collect();
+        assert_eq!(r1.find_match(0, &bag, None).unwrap(), None);
+    }
+
+    #[test]
+    fn shared_tag_variable_requires_equal_tags() {
+        let r = compile(
+            ReactionSpec::new("R")
+                .replace(Pattern::tagged("a", "X", "v"))
+                .replace(Pattern::tagged("b", "Y", "v"))
+                .by(vec![ElementSpec::tagged(Expr::var("a"), "Z", "v")]),
+        );
+        // Different tags: no match.
+        let bag: ElementBag = [e(1, "X", 0), e(2, "Y", 1)].into_iter().collect();
+        assert_eq!(r.find_match(0, &bag, None).unwrap(), None);
+        // Matching tags on iteration 1 only.
+        let bag: ElementBag = [e(1, "X", 0), e(2, "Y", 1), e(3, "X", 1)]
+            .into_iter()
+            .collect();
+        let f = r.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(f.consumed, vec![e(3, "X", 1), e(2, "Y", 1)]);
+        assert_eq!(f.produced, vec![e(3, "Z", 1)]);
+    }
+
+    #[test]
+    fn where_condition_gates_firing() {
+        // Eq. (2): replace x, y by x where x < y — the paper's min program.
+        let r = compile(
+            ReactionSpec::new("min")
+                .replace(Pattern::pair("x", "n"))
+                .replace(Pattern::pair("y", "n"))
+                .where_(Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "n")]),
+        );
+        let bag: ElementBag = [e(4, "n", 0), e(7, "n", 0)].into_iter().collect();
+        let f = r.find_match(0, &bag, None).unwrap().unwrap();
+        // Must have selected x=4, y=7 (the only orientation where x < y).
+        assert_eq!(f.produced, vec![e(4, "n", 0)]);
+        // Equal elements never satisfy x < y.
+        let bag: ElementBag = [e(4, "n", 0), e(4, "n", 0)].into_iter().collect();
+        assert_eq!(r.find_match(0, &bag, None).unwrap(), None);
+    }
+
+    #[test]
+    fn same_element_not_consumed_twice_beyond_multiplicity() {
+        let r = compile(
+            ReactionSpec::new("pairup")
+                .replace(Pattern::pair("x", "n"))
+                .replace(Pattern::pair("y", "n"))
+                .by(vec![ElementSpec::pair(
+                    Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                    "s",
+                )]),
+        );
+        // Only one occurrence of [3,'n']: the 2-ary reaction must not match.
+        let bag: ElementBag = [e(3, "n", 0)].into_iter().collect();
+        assert_eq!(r.find_match(0, &bag, None).unwrap(), None);
+        // Two occurrences: fires, consuming both.
+        let bag: ElementBag = [e(3, "n", 0), e(3, "n", 0)].into_iter().collect();
+        let f = r.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(f.produced, vec![e(6, "s", 0)]);
+    }
+
+    #[test]
+    fn steer_if_else_selects_clause() {
+        // Paper's R16 shape.
+        let r16 = compile(
+            ReactionSpec::new("R16")
+                .replace(Pattern::tagged("id1", "B13", "v"))
+                .replace(Pattern::tagged("id2", "B15", "v"))
+                .by_if(
+                    vec![ElementSpec::tagged(Expr::var("id1"), "B17", "v")],
+                    Expr::cmp(CmpOp::Eq, Expr::var("id2"), Expr::int(1)),
+                )
+                .by_else(vec![]),
+        );
+        // True control signal: produce B17.
+        let bag: ElementBag = [e(10, "B13", 2), e(1, "B15", 2)].into_iter().collect();
+        let f = r16.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(f.clause, 0);
+        assert_eq!(f.produced, vec![e(10, "B17", 2)]);
+        // False: fires but produces nothing (`by 0 else`).
+        let bag: ElementBag = [e(10, "B13", 2), e(0, "B15", 2)].into_iter().collect();
+        let f = r16.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(f.clause, 1);
+        assert!(f.produced.is_empty());
+    }
+
+    #[test]
+    fn inctag_one_of_and_label_var() {
+        // Paper's R11: replace [id1,x,v] by [id1,'A12',v+1]
+        //              if (x=='A1') or (x=='A11')
+        let r11 = compile(
+            ReactionSpec::new("R11")
+                .replace(Pattern::one_of("id1", "x", &["A1", "A11"], "v"))
+                .by(vec![ElementSpec::inc_tagged(Expr::var("id1"), "A12", "v")]),
+        );
+        let bag: ElementBag = [e(5, "A11", 3)].into_iter().collect();
+        let f = r11.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(f.consumed, vec![e(5, "A11", 3)]);
+        assert_eq!(f.produced, vec![e(5, "A12", 4)]);
+        // Non-member label never matches.
+        let bag: ElementBag = [e(5, "B1", 3)].into_iter().collect();
+        assert_eq!(r11.find_match(0, &bag, None).unwrap(), None);
+    }
+
+    #[test]
+    fn if_without_else_disables_when_false() {
+        let r = compile(
+            ReactionSpec::new("gate")
+                .replace(Pattern::pair("x", "in"))
+                .by_if(
+                    vec![ElementSpec::pair(Expr::var("x"), "out")],
+                    Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::int(0)),
+                ),
+        );
+        let bag: ElementBag = [e(-3, "in", 0)].into_iter().collect();
+        assert_eq!(r.find_match(0, &bag, None).unwrap(), None);
+        let bag: ElementBag = [e(3, "in", 0)].into_iter().collect();
+        assert!(r.find_match(0, &bag, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn action_division_by_zero_is_error() {
+        let r = compile(
+            ReactionSpec::new("div")
+                .replace(Pattern::pair("x", "in"))
+                .by(vec![ElementSpec::pair(
+                    Expr::bin(BinOp::Div, Expr::int(1), Expr::var("x")),
+                    "out",
+                )]),
+        );
+        let bag: ElementBag = [e(0, "in", 0)].into_iter().collect();
+        assert!(matches!(
+            r.find_match(0, &bag, None),
+            Err(MatchError::Action { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_type_error_means_not_enabled() {
+        // Condition compares an int to a string: unevaluable, so the
+        // reaction is simply never enabled (no panic, no error).
+        let r = compile(
+            ReactionSpec::new("odd")
+                .replace(Pattern::pair("x", "in"))
+                .where_(Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::str("zzz")))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "out")]),
+        );
+        let bag: ElementBag = [e(1, "in", 0)].into_iter().collect();
+        assert_eq!(r.find_match(0, &bag, None).unwrap(), None);
+    }
+
+    #[test]
+    fn seeded_matching_is_reproducible() {
+        let r = compile(
+            ReactionSpec::new("pick")
+                .replace(Pattern::pair("x", "n"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "out")]),
+        );
+        let bag: ElementBag = (0..50).map(|i| e(i, "n", 0)).collect();
+        let pick = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            r.find_match(0, &bag, Some(&mut rng))
+                .unwrap()
+                .unwrap()
+                .consumed[0]
+                .clone()
+        };
+        assert_eq!(pick(7), pick(7));
+        // Different seeds eventually pick different elements.
+        let distinct = (0..10).map(pick).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "shuffling should vary selection");
+    }
+
+    #[test]
+    fn find_any_respects_order() {
+        let prog = GammaProgram::new(vec![
+            ReactionSpec::new("first")
+                .replace(Pattern::pair("x", "n"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "a")]),
+            ReactionSpec::new("second")
+                .replace(Pattern::pair("x", "n"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "b")]),
+        ]);
+        let compiled = CompiledProgram::compile(&prog).unwrap();
+        let bag: ElementBag = [e(1, "n", 0)].into_iter().collect();
+        let f = compiled.find_any(&[1, 0], &bag, None).unwrap().unwrap();
+        assert_eq!(f.reaction, 1);
+        let f = compiled.find_any(&[0, 1], &bag, None).unwrap().unwrap();
+        assert_eq!(f.reaction, 0);
+    }
+}

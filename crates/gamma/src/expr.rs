@@ -1,0 +1,373 @@
+//! Expression AST for reaction conditions and actions.
+//!
+//! Reactions are kept *declarative* — conditions and produced values are
+//! expression trees over the variables bound by the replace-list, not opaque
+//! closures. This is load-bearing for the paper's Algorithm 2: converting a
+//! Gamma reaction back into a dataflow graph requires *analysing* its
+//! condition and action expressions (each arithmetic operator becomes an
+//! arithmetic node, each comparison a comparison+steer pair). Closures would
+//! make that impossible.
+//!
+//! Variables are a single namespace of interned [`Symbol`]s. At binding time
+//! a pattern position `[id1, x, v]` binds `id1` to the element's value, `x`
+//! to its label (as a string value, so `x == 'A1'` works exactly like the
+//! paper writes it), and `v` to its tag (as an integer, so `v + 1`
+//! implements inctag).
+
+use gammaflow_multiset::value::{BinOp, CmpOp, UnOp, ValueError};
+use gammaflow_multiset::{Symbol, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An expression over reaction variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Variable reference (bound by a pattern position).
+    Var(Symbol),
+    /// Binary arithmetic/logic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (produces a boolean).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Unary operator.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Errors from expression evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding; indicates a malformed reaction (the spec
+    /// validator catches these before execution).
+    Unbound(Symbol),
+    /// A value-level error (type mismatch, division by zero).
+    Value(ValueError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(s) => write!(f, "unbound variable `{s}`"),
+            EvalError::Value(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for EvalError {}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> Self {
+        EvalError::Value(e)
+    }
+}
+
+/// An environment resolving variables to values.
+pub trait Env {
+    /// Look up a variable.
+    fn lookup(&self, var: Symbol) -> Option<Value>;
+}
+
+impl Env for gammaflow_multiset::FxHashMap<Symbol, Value> {
+    fn lookup(&self, var: Symbol) -> Option<Value> {
+        self.get(&var).cloned()
+    }
+}
+
+impl Expr {
+    /// Literal integer shorthand.
+    pub fn int(x: i64) -> Expr {
+        Expr::Lit(Value::Int(x))
+    }
+
+    /// Literal boolean shorthand.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+
+    /// Literal string shorthand (used for label comparisons `x == 'A1'`).
+    pub fn str(s: &str) -> Expr {
+        Expr::Lit(Value::str(s))
+    }
+
+    /// Variable shorthand.
+    pub fn var(name: impl Into<Symbol>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `lhs op rhs` arithmetic.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs op rhs` comparison.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `op e` unary.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Un(op, Box::new(e))
+    }
+
+    /// Disjunction of `a` and `b` (bools).
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Or, a, b)
+    }
+
+    /// Conjunction of `a` and `b` (bools).
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &impl Env) -> Result<Value, EvalError> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Var(s) => env.lookup(*s).ok_or(EvalError::Unbound(*s)),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(env)?;
+                let b = b.eval(env)?;
+                Ok(Value::binop(*op, &a, &b)?)
+            }
+            Expr::Cmp(op, a, b) => {
+                let a = a.eval(env)?;
+                let b = b.eval(env)?;
+                Ok(Value::cmp_op(*op, &a, &b)?)
+            }
+            Expr::Un(op, a) => {
+                let a = a.eval(env)?;
+                Ok(Value::unop(*op, &a)?)
+            }
+        }
+    }
+
+    /// Evaluate to a boolean; non-boolean results use control-signal
+    /// truthiness (`1`/`0`), matching the paper's integer-encoded steer
+    /// signals.
+    pub fn eval_bool(&self, env: &impl Env) -> Result<bool, EvalError> {
+        let v = self.eval(env)?;
+        v.truthiness().ok_or_else(|| {
+            EvalError::Value(ValueError::Type {
+                op: "condition".into(),
+                operands: format!("{v} : {}", v.type_name()),
+            })
+        })
+    }
+
+    /// Collect every variable referenced, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Un(_, a) => a.collect_vars(out),
+        }
+    }
+
+    /// Structural size (number of AST nodes); used by granularity metrics.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Un(_, a) => 1 + a.size(),
+        }
+    }
+
+    /// Substitute variables by expressions (used by reaction fusion,
+    /// §III-A3: the consumer's input variable is replaced by the producer's
+    /// action expression).
+    pub fn substitute(&self, subst: &gammaflow_multiset::FxHashMap<Symbol, Expr>) -> Expr {
+        match self {
+            Expr::Lit(_) => self.clone(),
+            Expr::Var(s) => subst.get(s).cloned().unwrap_or_else(|| self.clone()),
+            Expr::Bin(op, a, b) => Expr::bin(*op, a.substitute(subst), b.substitute(subst)),
+            Expr::Cmp(op, a, b) => Expr::cmp(*op, a.substitute(subst), b.substitute(subst)),
+            Expr::Un(op, a) => Expr::un(*op, a.substitute(subst)),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 100,
+            Expr::Un(..) => 90,
+            Expr::Bin(BinOp::Mul | BinOp::Div | BinOp::Rem, ..) => 80,
+            Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 70,
+            Expr::Cmp(..) => 60,
+            Expr::Bin(BinOp::And, ..) => 50,
+            Expr::Bin(BinOp::Xor, ..) => 45,
+            Expr::Bin(BinOp::Or, ..) => 40,
+            Expr::Bin(BinOp::Min | BinOp::Max, ..) => 30,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        let prec = self.precedence();
+        let parens = prec < parent;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'")?,
+            Expr::Lit(v) => write!(f, "{v}")?,
+            Expr::Var(s) => write!(f, "{s}")?,
+            Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                write!(f, "{op}(")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, ", ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, ")")?;
+            }
+            Expr::Bin(op, a, b) => {
+                a.fmt_prec(f, prec)?;
+                write!(f, " {op} ")?;
+                b.fmt_prec(f, prec + 1)?;
+            }
+            Expr::Cmp(op, a, b) => {
+                a.fmt_prec(f, prec + 1)?;
+                write!(f, " {op} ")?;
+                b.fmt_prec(f, prec + 1)?;
+            }
+            Expr::Un(op, a) => {
+                write!(f, "{op}")?;
+                a.fmt_prec(f, prec)?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gammaflow_multiset::FxHashMap;
+
+    fn env(pairs: &[(&str, Value)]) -> FxHashMap<Symbol, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (Symbol::intern(k), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // (x + y) - (k * j) with the paper's Example-1 values = 0.
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+            Expr::bin(BinOp::Mul, Expr::var("k"), Expr::var("j")),
+        );
+        let env = env(&[
+            ("x", Value::int(1)),
+            ("y", Value::int(5)),
+            ("k", Value::int(3)),
+            ("j", Value::int(2)),
+        ]);
+        assert_eq!(e.eval(&env).unwrap(), Value::int(0));
+    }
+
+    #[test]
+    fn eval_label_disjunction() {
+        // The paper's R11 condition: (x=='A1') or (x=='A11').
+        let cond = Expr::or(
+            Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("A1")),
+            Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("A11")),
+        );
+        assert!(cond.eval_bool(&env(&[("x", Value::str("A1"))])).unwrap());
+        assert!(cond.eval_bool(&env(&[("x", Value::str("A11"))])).unwrap());
+        assert!(!cond.eval_bool(&env(&[("x", Value::str("B1"))])).unwrap());
+    }
+
+    #[test]
+    fn eval_bool_accepts_control_integers() {
+        // The paper's steers test integers: `if id2 == 1` but also bare
+        // signals.
+        assert!(Expr::int(1).eval_bool(&env(&[])).unwrap());
+        assert!(!Expr::int(0).eval_bool(&env(&[])).unwrap());
+        assert!(Expr::int(1)
+            .eval_bool(&env(&[]))
+            .and(Expr::str("s").eval_bool(&env(&[])).map(|_| true))
+            .is_err());
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::var("nope");
+        assert_eq!(
+            e.eval(&env(&[])),
+            Err(EvalError::Unbound(Symbol::intern("nope")))
+        );
+    }
+
+    #[test]
+    fn vars_in_first_occurrence_order() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::var("b"), Expr::var("a")),
+            Expr::var("b"),
+        );
+        let names: Vec<&str> = e.vars().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn substitution_rewrites_vars() {
+        let e = Expr::bin(BinOp::Add, Expr::var("p"), Expr::int(1));
+        let mut subst = FxHashMap::default();
+        subst.insert(
+            Symbol::intern("p"),
+            Expr::bin(BinOp::Mul, Expr::var("q"), Expr::int(2)),
+        );
+        let out = e.substitute(&subst);
+        assert_eq!(out.to_string(), "q * 2 + 1");
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e2 = Expr::bin(
+            BinOp::Add,
+            Expr::var("a"),
+            Expr::bin(BinOp::Mul, Expr::var("b"), Expr::var("c")),
+        );
+        assert_eq!(e2.to_string(), "a + b * c");
+        // Sub is left-associative: a - (b - c) keeps parens.
+        let e3 = Expr::bin(
+            BinOp::Sub,
+            Expr::var("a"),
+            Expr::bin(BinOp::Sub, Expr::var("b"), Expr::var("c")),
+        );
+        assert_eq!(e3.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::bin(BinOp::Add, Expr::var("a"), Expr::int(1));
+        assert_eq!(e.size(), 3);
+    }
+}

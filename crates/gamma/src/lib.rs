@@ -1,0 +1,51 @@
+//! The Gamma execution model — *General Abstract Model for Multiset
+//! mAnipulation* (Banâtre & Le Métayer, 1986), as described in §II-B of the
+//! reproduced paper.
+//!
+//! A Gamma program is a set of `(condition, action)` reaction pairs applied
+//! to a single multiset until no condition holds (Eq. (1) of the paper):
+//!
+//! ```text
+//! Γ((R₁,A₁),…,(Rₘ,Aₘ))(M) =
+//!   if ∀i ∀x⃗∈M. ¬Rᵢ(x⃗) then M
+//!   else pick i, x⃗ with Rᵢ(x⃗) and recurse on (M − x⃗) + Aᵢ(x⃗)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`spec`] — declarative reactions ([`ReactionSpec`]) following the
+//!   paper's Fig. 3 grammar: replace-list patterns, `where` conditions, and
+//!   `by … if … / by … else` clause chains; [`GammaProgram`] (parallel `|`
+//!   composition) and [`Pipeline`] (sequential `;` composition).
+//! * [`expr`] — the expression AST used in conditions and actions, kept as
+//!   analysable data because Algorithm 2 of the paper reconstructs dataflow
+//!   graphs from reaction syntax.
+//! * [`compiled`] — a selectivity-ordered backtracking matcher exploiting
+//!   the `(label, tag)` index.
+//! * [`seq`] — the sequential interpreter (seeded nondeterminism, exact
+//!   steady-state termination, firing traces, maximal-parallel-step mode).
+//! * [`parallel`] — a shared-memory parallel interpreter with optimistic
+//!   claims over a sharded multiset and snapshot-based termination.
+
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod expr;
+pub mod naive;
+pub mod parallel;
+pub mod reuse;
+pub mod seq;
+pub mod spec;
+pub mod trace;
+
+pub use compiled::{CompiledProgram, CompiledReaction, Firing, MatchError, MatchSource};
+pub use expr::{EvalError, Expr};
+pub use naive::{run_naive, NaiveBag};
+pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
+pub use parallel::{run_parallel, ParConfig, ParResult, ParStats};
+pub use seq::{run_pipeline, ExecConfig, ExecError, ExecResult, Selection, SeqInterpreter, Status};
+pub use spec::{
+    ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
+    ReactionSpec, SpecError, TagPat, TagSpec, ValuePat,
+};
+pub use trace::{ExecStats, FiringRecord};

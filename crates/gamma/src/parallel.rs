@@ -1,0 +1,503 @@
+//! Shared-memory parallel Gamma interpreter.
+//!
+//! The paper (§II-B) surveys Gamma implementations on the Connection
+//! Machine, MasPar, MPI clusters and GPUs; this module is the workspace's
+//! substitute — a shared-memory engine whose workers realise the model's
+//! "reactions occur freely and in parallel" directly:
+//!
+//! * The multiset lives in a [`ShardedBag`]; a **key directory** (an
+//!   append-only `(label → tags)` map) gives workers a lock-light view of
+//!   which buckets may hold candidates.
+//! * Each worker runs an **optimistic match–claim loop**: search a sampled
+//!   [`MatchSource`] view of the bag (stale reads allowed), then
+//!   [`ShardedBag::claim_and_replace`] the tuple atomically. A lost race
+//!   shows up as a failed claim and the worker simply retries — the
+//!   multiset is never corrupted because enabledness depends only on the
+//!   element fields the claim re-validates.
+//! * **Termination** uses an authoritative check: when a worker's sampled
+//!   search comes up dry, it takes the checker mutex, snapshots the bag
+//!   (all shard locks, so no claim can interleave), and runs the *exact*
+//!   sequential matcher. "No match in a consistent snapshot" is precisely
+//!   the paper's global termination state, because any in-flight optimistic
+//!   claim would require its tuple to still be available — which would make
+//!   the reaction enabled in the snapshot.
+
+use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource};
+use crate::seq::{ExecError, ExecResult, Status};
+use crate::spec::GammaProgram;
+use crate::trace::ExecStats;
+use gammaflow_multiset::{ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value};
+use parking_lot::{Mutex, RwLock};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Configuration for the parallel interpreter.
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of multiset shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Global firing budget.
+    pub max_firings: u64,
+    /// Seed for per-worker RNG streams.
+    pub seed: u64,
+    /// Cap on candidate values examined per bucket probe during worker
+    /// search (the exact terminal check ignores this). Keeps single probes
+    /// cheap on huge buckets; matches missed by sampling are found by
+    /// retries or the checker.
+    pub sample_cap: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            shards: 64,
+            max_firings: 10_000_000,
+            seed: 0,
+            sample_cap: 64,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Config with `workers` threads, other fields default.
+    pub fn with_workers(workers: usize) -> ParConfig {
+        ParConfig {
+            workers: workers.max(1),
+            ..ParConfig::default()
+        }
+    }
+}
+
+/// Extra counters reported by a parallel run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Claims that lost a race and were retried.
+    pub claim_failures: u64,
+    /// Sampled searches that found nothing.
+    pub dry_probes: u64,
+    /// Authoritative snapshot checks performed.
+    pub snapshot_checks: u64,
+}
+
+/// Result of a parallel run: the usual [`ExecResult`] plus engine counters.
+#[derive(Debug, Clone)]
+pub struct ParResult {
+    /// Final multiset, status, and firing statistics.
+    pub exec: ExecResult,
+    /// Parallel-engine counters.
+    pub par: ParStats,
+}
+
+/// Label → tag directory. Append-only superset of keys ever present; empty
+/// buckets are skipped naturally when probed.
+struct Directory {
+    map: RwLock<FxHashMap<Symbol, FxHashSet<Tag>>>,
+}
+
+impl Directory {
+    fn new(initial: &ElementBag) -> Directory {
+        let mut map: FxHashMap<Symbol, FxHashSet<Tag>> = FxHashMap::default();
+        for (e, _) in initial.iter_counts() {
+            map.entry(e.label).or_default().insert(e.tag);
+        }
+        Directory {
+            map: RwLock::new(map),
+        }
+    }
+
+    fn note(&self, label: Symbol, tag: Tag) {
+        {
+            let g = self.map.read();
+            if g.get(&label).is_some_and(|tags| tags.contains(&tag)) {
+                return;
+            }
+        }
+        self.map.write().entry(label).or_default().insert(tag);
+    }
+
+    fn labels(&self) -> Vec<Symbol> {
+        self.map.read().keys().copied().collect()
+    }
+
+    fn tags(&self, label: Symbol) -> Vec<Tag> {
+        self.map
+            .read()
+            .get(&label)
+            .map(|tags| tags.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A sampled, lock-per-probe view of the sharded bag for worker search.
+struct ShardedView<'a> {
+    bag: &'a ShardedBag,
+    directory: &'a Directory,
+    sample_cap: usize,
+    salt: u64,
+}
+
+impl MatchSource for ShardedView<'_> {
+    fn all_labels(&self) -> Vec<Symbol> {
+        self.directory.labels()
+    }
+
+    fn tags_for_label(&self, label: Symbol) -> Vec<Tag> {
+        self.directory.tags(label)
+    }
+
+    fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)> {
+        let shard = self.bag.shard_of(label, tag);
+        self.bag.with_shard(shard, |b| {
+            let Some(bucket) = b.bucket(label, tag) else {
+                return Vec::new();
+            };
+            let mut values: Vec<(Value, usize)> =
+                bucket.iter_counts().map(|(v, c)| (v.clone(), c)).collect();
+            if values.len() > self.sample_cap {
+                // Salted subsample: rotate to a pseudo-random offset and
+                // keep a window. Missed candidates are recovered by retries
+                // or the terminal snapshot check.
+                let skip = (self.salt as usize) % values.len();
+                values.rotate_left(skip);
+                values.truncate(self.sample_cap);
+            }
+            values
+        })
+    }
+
+    fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
+        let shard = self.bag.shard_of(label, tag);
+        self.bag
+            .with_shard(shard, |b| b.bucket(label, tag).map_or(0, |x| x.count(value)))
+    }
+}
+
+/// Run `program` on `initial` with the parallel engine.
+pub fn run_parallel(
+    program: &GammaProgram,
+    initial: ElementBag,
+    config: &ParConfig,
+) -> Result<ParResult, ExecError> {
+    let compiled = CompiledProgram::compile(program)?;
+    let nreactions = compiled.reactions.len();
+
+    let directory = Directory::new(&initial);
+    let bag = ShardedBag::new(config.shards);
+    bag.insert_all(initial.iter());
+
+    let done = AtomicBool::new(false);
+    let budget_exhausted = AtomicBool::new(false);
+    let firings_global = AtomicU64::new(0);
+    let checker = Mutex::new(());
+    let error: Mutex<Option<MatchError>> = Mutex::new(None);
+
+    let mut worker_stats: Vec<(ExecStats, ParStats)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let compiled = &compiled;
+            let bag = &bag;
+            let directory = &directory;
+            let done = &done;
+            let budget_exhausted = &budget_exhausted;
+            let firings_global = &firings_global;
+            let checker = &checker;
+            let error = &error;
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(w as u64 * 0x9e37));
+                let mut stats = ExecStats::new(nreactions);
+                let mut par = ParStats::default();
+                let mut order: Vec<usize> = (0..nreactions).collect();
+
+                'main: while !done.load(Ordering::Acquire) {
+                    order.shuffle(&mut rng);
+                    let view = ShardedView {
+                        bag,
+                        directory,
+                        sample_cap: config.sample_cap,
+                        salt: rng.gen(),
+                    };
+                    let found = match compiled.find_any(&order, &view, Some(&mut rng)) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            done.store(true, Ordering::Release);
+                            break 'main;
+                        }
+                    };
+                    match found {
+                        Some(firing) => {
+                            if !try_fire(
+                                bag,
+                                directory,
+                                firings_global,
+                                config.max_firings,
+                                done,
+                                budget_exhausted,
+                                &firing,
+                                &mut stats,
+                                &mut par,
+                            ) {
+                                par.claim_failures += 1;
+                            }
+                        }
+                        None => {
+                            par.dry_probes += 1;
+                            // Authoritative termination check under the
+                            // checker mutex: exact search on a consistent
+                            // snapshot.
+                            let _guard = checker.lock();
+                            if done.load(Ordering::Acquire) {
+                                break 'main;
+                            }
+                            let snapshot = bag.snapshot();
+                            par.snapshot_checks += 1;
+                            let exact =
+                                match compiled.find_any(&order, &snapshot, Some(&mut rng)) {
+                                    Ok(f) => f,
+                                    Err(e) => {
+                                        *error.lock() = Some(e);
+                                        done.store(true, Ordering::Release);
+                                        break 'main;
+                                    }
+                                };
+                            match exact {
+                                None => {
+                                    // Steady state reached.
+                                    done.store(true, Ordering::Release);
+                                    break 'main;
+                                }
+                                Some(firing) => {
+                                    // The snapshot is consistent and we
+                                    // still hold the checker lock, but
+                                    // other workers may race us; claim
+                                    // normally.
+                                    if !try_fire(
+                                        bag,
+                                        directory,
+                                        firings_global,
+                                        config.max_firings,
+                                        done,
+                                        budget_exhausted,
+                                        &firing,
+                                        &mut stats,
+                                        &mut par,
+                                    ) {
+                                        par.claim_failures += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (stats, par)
+            }));
+        }
+        for h in handles {
+            worker_stats.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    if let Some(e) = error.lock().take() {
+        return Err(ExecError::Match(e));
+    }
+
+    let mut stats = ExecStats::new(nreactions);
+    let mut par = ParStats::default();
+    for (s, p) in &worker_stats {
+        stats.absorb(s);
+        par.claim_failures += p.claim_failures;
+        par.dry_probes += p.dry_probes;
+        par.snapshot_checks += p.snapshot_checks;
+    }
+
+    let status = if budget_exhausted.load(Ordering::Acquire) {
+        Status::BudgetExhausted
+    } else {
+        Status::Stable
+    };
+
+    Ok(ParResult {
+        exec: ExecResult {
+            multiset: bag.drain(),
+            status,
+            stats,
+            trace: None,
+        },
+        par,
+    })
+}
+
+/// Attempt to claim and apply `firing`. Returns `false` on a lost race.
+#[allow(clippy::too_many_arguments)]
+fn try_fire(
+    bag: &ShardedBag,
+    directory: &Directory,
+    firings_global: &AtomicU64,
+    max_firings: u64,
+    done: &AtomicBool,
+    budget_exhausted: &AtomicBool,
+    firing: &Firing,
+    stats: &mut ExecStats,
+    _par: &mut ParStats,
+) -> bool {
+    if !bag.claim_and_replace(&firing.consumed, &firing.produced) {
+        return false;
+    }
+    for e in &firing.produced {
+        directory.note(e.label, e.tag);
+    }
+    stats.record_firing(firing.reaction, firing);
+    let n = firings_global.fetch_add(1, Ordering::AcqRel) + 1;
+    if n >= max_firings {
+        budget_exhausted.store(true, Ordering::Release);
+        done.store(true, Ordering::Release);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::spec::{ElementSpec, Pattern, ReactionSpec};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use gammaflow_multiset::Element;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    fn sum_program() -> GammaProgram {
+        GammaProgram::new(vec![ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                "n",
+            )])])
+    }
+
+    fn max_program() -> GammaProgram {
+        GammaProgram::new(vec![ReactionSpec::new("max")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .where_(Expr::cmp(CmpOp::Ge, Expr::var("x"), Expr::var("y")))
+            .by(vec![ElementSpec::pair(Expr::var("x"), "n")])])
+    }
+
+    #[test]
+    fn parallel_sum_reduces_to_total() {
+        let initial: ElementBag = (1..=100).map(|v| e(v, "n", 0)).collect();
+        let result = run_parallel(&sum_program(), initial, &ParConfig::with_workers(4)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.exec.multiset.len(), 1);
+        assert!(result.exec.multiset.contains(&e(5050, "n", 0)));
+        assert_eq!(result.exec.stats.firings_total(), 99);
+    }
+
+    #[test]
+    fn parallel_max_agrees_with_semantics() {
+        let initial: ElementBag = [3, 99, 7, 42, 56, 11].iter().map(|&v| e(v, "n", 0)).collect();
+        let result = run_parallel(&max_program(), initial, &ParConfig::with_workers(3)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.exec.multiset.sorted_elements(), vec![e(99, "n", 0)]);
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_result() {
+        let initial: ElementBag = (1..=30).map(|v| e(v, "n", 0)).collect();
+        let par = run_parallel(&sum_program(), initial.clone(), &ParConfig::with_workers(1))
+            .unwrap();
+        let seq = crate::seq::SeqInterpreter::with_seed(&sum_program(), initial, 9)
+            .run()
+            .unwrap();
+        assert_eq!(par.exec.multiset, seq.multiset);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let diverge = GammaProgram::new(vec![ReactionSpec::new("inc")
+            .replace(Pattern::pair("x", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+                "n",
+            )])]);
+        let initial: ElementBag = [e(0, "n", 0)].into_iter().collect();
+        let config = ParConfig {
+            workers: 2,
+            max_firings: 50,
+            ..ParConfig::default()
+        };
+        let result = run_parallel(&diverge, initial, &config).unwrap();
+        assert_eq!(result.exec.status, Status::BudgetExhausted);
+        // Workers can slightly overshoot only by in-flight firings; with the
+        // check inside try_fire the count is bounded by max + workers.
+        assert!(result.exec.stats.firings_total() >= 50);
+        assert!(result.exec.stats.firings_total() <= 52);
+    }
+
+    #[test]
+    fn empty_program_terminates_immediately() {
+        let initial: ElementBag = [e(1, "n", 0)].into_iter().collect();
+        let result = run_parallel(
+            &GammaProgram::default(),
+            initial.clone(),
+            &ParConfig::with_workers(4),
+        )
+        .unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.exec.multiset, initial);
+    }
+
+    #[test]
+    fn action_error_propagates() {
+        let bad = GammaProgram::new(vec![ReactionSpec::new("div")
+            .replace(Pattern::pair("x", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Div, Expr::int(1), Expr::var("x")),
+                "out",
+            )])]);
+        let initial: ElementBag = [e(0, "n", 0)].into_iter().collect();
+        let result = run_parallel(&bad, initial, &ParConfig::with_workers(2));
+        assert!(matches!(result, Err(ExecError::Match(_))));
+    }
+
+    #[test]
+    fn tagged_iterations_do_not_mix() {
+        // Reaction pairs A and B with equal tags; mismatched tags must
+        // survive untouched.
+        let pair = GammaProgram::new(vec![ReactionSpec::new("pair")
+            .replace(Pattern::tagged("a", "A", "v"))
+            .replace(Pattern::tagged("b", "B", "v"))
+            .by(vec![ElementSpec::tagged(
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                "C",
+                "v",
+            )])]);
+        let initial: ElementBag = [e(1, "A", 0), e(2, "B", 1), e(10, "A", 1)]
+            .into_iter()
+            .collect();
+        let result = run_parallel(&pair, initial, &ParConfig::with_workers(4)).unwrap();
+        let sorted = result.exec.multiset.sorted_elements();
+        assert_eq!(sorted, vec![e(1, "A", 0), e(12, "C", 1)]);
+    }
+
+    #[test]
+    fn stress_many_workers_many_elements() {
+        let initial: ElementBag = (1..=500).map(|v| e(v, "n", 0)).collect();
+        let result = run_parallel(&sum_program(), initial, &ParConfig::with_workers(8)).unwrap();
+        assert_eq!(result.exec.multiset.len(), 1);
+        assert!(result.exec.multiset.contains(&e(125250, "n", 0)));
+    }
+}

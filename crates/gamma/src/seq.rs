@@ -1,0 +1,494 @@
+//! Sequential Gamma interpreter — a direct executable reading of Eq. (1).
+//!
+//! The Γ operator repeatedly selects *any* enabled `(reaction, tuple)` pair
+//! and rewrites the multiset, terminating at the steady state where no
+//! reaction condition holds. This interpreter realises the
+//! "interchange of reactions on a single processor" implementation the
+//! paper attributes to Muylaert/Gay's sequential Gamma \[13\]:
+//!
+//! * **Selection** is seeded-random by default (honest nondeterminism,
+//!   reproducible per seed) or deterministic (first enabled reaction in
+//!   program order) for throughput measurements.
+//! * **Termination** is exact: a step that finds no enabled reaction
+//!   anywhere is the paper's "global termination state".
+//! * A **step budget** guards non-terminating programs (Gamma programs may
+//!   legitimately diverge), reported as [`Status::BudgetExhausted`].
+//!
+//! [`SeqInterpreter::run_max_parallel_steps`] additionally executes the
+//! program in *maximal parallel steps* — each step fires a maximal set of
+//! disjoint enabled tuples "simultaneously" — which yields the idealised
+//! parallelism profile used by experiment P1.
+
+use crate::compiled::{CompiledProgram, Firing, MatchError};
+use crate::spec::{GammaProgram, Pipeline, SpecError};
+use crate::trace::{ExecStats, FiringRecord};
+use gammaflow_multiset::ElementBag;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Steady state: no reaction is enabled anywhere in the multiset.
+    Stable,
+    /// The step budget ran out first.
+    BudgetExhausted,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum number of firings before giving up (default 10 million).
+    pub max_steps: u64,
+    /// Record a full firing trace (consumed/produced per step).
+    pub record_trace: bool,
+    /// Reaction/tuple selection policy.
+    pub selection: Selection,
+}
+
+/// Selection policy for the nondeterministic choice in Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// First enabled reaction in program order, first tuple in index order.
+    /// Fast and deterministic, but biased.
+    Deterministic,
+    /// Seeded uniform-ish choice: reaction order and candidate orders are
+    /// shuffled per step with a ChaCha8 stream.
+    Seeded(u64),
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_steps: 10_000_000,
+            record_trace: false,
+            selection: Selection::Seeded(0),
+        }
+    }
+}
+
+/// Errors from building or running an interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A reaction failed validation/compilation.
+    Spec(SpecError),
+    /// An action failed at runtime (division by zero, bad tag, …).
+    Match(MatchError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Spec(e) => write!(f, "{e}"),
+            ExecError::Match(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for ExecError {}
+
+impl From<SpecError> for ExecError {
+    fn from(e: SpecError) -> Self {
+        ExecError::Spec(e)
+    }
+}
+impl From<MatchError> for ExecError {
+    fn from(e: MatchError) -> Self {
+        ExecError::Match(e)
+    }
+}
+
+/// The result of running a Gamma program to completion (or budget).
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// The final multiset.
+    pub multiset: ElementBag,
+    /// Why execution stopped.
+    pub status: Status,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// The firing trace, if [`ExecConfig::record_trace`] was set.
+    pub trace: Option<Vec<FiringRecord>>,
+}
+
+/// Sequential Gamma interpreter over a compiled program.
+pub struct SeqInterpreter {
+    compiled: CompiledProgram,
+    multiset: ElementBag,
+    config: ExecConfig,
+}
+
+impl SeqInterpreter {
+    /// Build an interpreter with explicit configuration.
+    pub fn with_config(
+        program: &GammaProgram,
+        initial: ElementBag,
+        config: ExecConfig,
+    ) -> Result<SeqInterpreter, ExecError> {
+        Ok(SeqInterpreter {
+            compiled: CompiledProgram::compile(program)?,
+            multiset: initial,
+            config,
+        })
+    }
+
+    /// Build with default config and the given selection seed. Panics only
+    /// if the program fails validation — use [`Self::with_config`] to
+    /// handle that gracefully.
+    pub fn with_seed(program: &GammaProgram, initial: ElementBag, seed: u64) -> SeqInterpreter {
+        Self::with_config(
+            program,
+            initial,
+            ExecConfig {
+                selection: Selection::Seeded(seed),
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program failed validation")
+    }
+
+    /// Build with deterministic (first-match) selection.
+    pub fn deterministic(program: &GammaProgram, initial: ElementBag) -> SeqInterpreter {
+        Self::with_config(
+            program,
+            initial,
+            ExecConfig {
+                selection: Selection::Deterministic,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program failed validation")
+    }
+
+    /// Run to steady state (or budget), consuming the interpreter.
+    pub fn run(mut self) -> Result<ExecResult, ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        let mut order: Vec<usize> = (0..nreactions).collect();
+
+        let status = loop {
+            if stats.firings_total() >= self.config.max_steps {
+                break Status::BudgetExhausted;
+            }
+            if let Some(r) = rng.as_mut() {
+                order.shuffle(r);
+            }
+            match self
+                .compiled
+                .find_any(&order, &self.multiset, rng.as_mut())?
+            {
+                None => break Status::Stable,
+                Some(firing) => {
+                    self.apply(&firing);
+                    stats.record_firing(firing.reaction, &firing);
+                    if let Some(t) = trace.as_mut() {
+                        t.push(FiringRecord::from_firing(
+                            stats.firings_total() - 1,
+                            &self.compiled.reactions[firing.reaction].name,
+                            &firing,
+                        ));
+                    }
+                }
+            }
+        };
+
+        Ok(ExecResult {
+            multiset: self.multiset,
+            status,
+            stats,
+            trace,
+        })
+    }
+
+    /// Run in *maximal parallel steps*: each step collects a maximal set of
+    /// disjoint enabled firings and applies them together. Returns the
+    /// usual result plus the per-step firing counts (the parallelism
+    /// profile). Each step is one "chemical tick" — the idealised machine
+    /// with unbounded processors.
+    pub fn run_max_parallel_steps(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        let mut order: Vec<usize> = (0..nreactions).collect();
+        let mut profile = Vec::new();
+
+        let status = 'outer: loop {
+            // One maximal step: repeatedly match against a *shadow* bag
+            // from which we remove consumed elements but to which we do NOT
+            // add products (products only become visible next step).
+            let mut fired_this_step = 0usize;
+            let mut products: Vec<Firing> = Vec::new();
+            loop {
+                if stats.firings_total() + (fired_this_step as u64) >= self.config.max_steps {
+                    // Apply what we have, then stop.
+                    for f in &products {
+                        for e in &f.produced {
+                            self.multiset.insert(e.clone());
+                        }
+                    }
+                    if fired_this_step > 0 {
+                        profile.push(fired_this_step);
+                    }
+                    break 'outer Status::BudgetExhausted;
+                }
+                if let Some(r) = rng.as_mut() {
+                    order.shuffle(r);
+                }
+                match self
+                    .compiled
+                    .find_any(&order, &self.multiset, rng.as_mut())?
+                {
+                    None => break,
+                    Some(firing) => {
+                        let ok = self.multiset.remove_all(&firing.consumed);
+                        debug_assert!(ok);
+                        stats.record_firing(firing.reaction, &firing);
+                        if let Some(t) = trace.as_mut() {
+                            t.push(FiringRecord::from_firing(
+                                stats.firings_total() - 1,
+                                &self.compiled.reactions[firing.reaction].name,
+                                &firing,
+                            ));
+                        }
+                        fired_this_step += 1;
+                        products.push(firing);
+                    }
+                }
+            }
+            if fired_this_step == 0 {
+                break Status::Stable;
+            }
+            profile.push(fired_this_step);
+            for f in &products {
+                for e in &f.produced {
+                    self.multiset.insert(e.clone());
+                }
+            }
+        };
+
+        Ok((
+            ExecResult {
+                multiset: self.multiset,
+                status,
+                stats,
+                trace,
+            },
+            profile,
+        ))
+    }
+
+    fn apply(&mut self, firing: &Firing) {
+        let ok = self.multiset.remove_all(&firing.consumed);
+        debug_assert!(ok, "matched elements must be present");
+        for e in &firing.produced {
+            self.multiset.insert(e.clone());
+        }
+    }
+}
+
+/// Run a [`Pipeline`] (sequential composition `P1 ; P2 ; …`): each stage
+/// runs to steady state and its final multiset seeds the next stage.
+pub fn run_pipeline(
+    pipeline: &Pipeline,
+    initial: ElementBag,
+    config: &ExecConfig,
+) -> Result<ExecResult, ExecError> {
+    let mut multiset = initial;
+    let mut stats = ExecStats::new(0);
+    let mut last_status = Status::Stable;
+    for stage in &pipeline.stages {
+        let interp = SeqInterpreter::with_config(stage, multiset, config.clone())?;
+        let result = interp.run()?;
+        multiset = result.multiset;
+        stats.absorb(&result.stats);
+        last_status = result.status;
+        if last_status == Status::BudgetExhausted {
+            break;
+        }
+    }
+    Ok(ExecResult {
+        multiset,
+        status: last_status,
+        stats,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::spec::{ElementSpec, Pattern, ReactionSpec};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use gammaflow_multiset::Element;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    /// The paper's Eq. (2) minimum program: one reaction keeps the smaller
+    /// of any two elements.
+    fn min_program() -> GammaProgram {
+        GammaProgram::new(vec![ReactionSpec::new("R")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .where_(Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")))
+            .by(vec![ElementSpec::pair(Expr::var("x"), "n")])])
+    }
+
+    #[test]
+    fn min_program_reaches_minimum() {
+        let initial: ElementBag = [9, 4, 7, 1, 8].into_iter().map(|v| e(v, "n", 0)).collect();
+        let result = SeqInterpreter::with_seed(&min_program(), initial, 1)
+            .run()
+            .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset.len(), 1);
+        assert!(result.multiset.contains(&e(1, "n", 0)));
+        assert_eq!(result.stats.firings_total(), 4);
+    }
+
+    #[test]
+    fn min_with_duplicates_stabilises_with_ties() {
+        // x < y is strict: two equal minima both survive.
+        let initial: ElementBag = [3, 3, 9].into_iter().map(|v| e(v, "n", 0)).collect();
+        let result = SeqInterpreter::with_seed(&min_program(), initial, 3)
+            .run()
+            .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset.len(), 2);
+        assert_eq!(result.multiset.count(&e(3, "n", 0)), 2);
+    }
+
+    #[test]
+    fn all_seeds_agree_on_confluent_result() {
+        let initial: ElementBag = (1..=20).map(|v| e(v, "n", 0)).collect();
+        for seed in 0..5 {
+            let result =
+                SeqInterpreter::with_seed(&min_program(), initial.clone(), seed)
+                    .run()
+                    .unwrap();
+            assert_eq!(result.multiset.sorted_elements(), vec![e(1, "n", 0)]);
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_matches_seeded_outcome() {
+        let initial: ElementBag = (1..=10).map(|v| e(v, "n", 0)).collect();
+        let result = SeqInterpreter::deterministic(&min_program(), initial)
+            .run()
+            .unwrap();
+        assert_eq!(result.multiset.sorted_elements(), vec![e(1, "n", 0)]);
+    }
+
+    #[test]
+    fn empty_program_is_immediately_stable() {
+        let initial: ElementBag = [e(1, "n", 0)].into_iter().collect();
+        let result =
+            SeqInterpreter::with_seed(&GammaProgram::default(), initial.clone(), 0)
+                .run()
+                .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset, initial);
+        assert_eq!(result.stats.firings_total(), 0);
+    }
+
+    #[test]
+    fn budget_stops_divergent_program() {
+        // x -> x + 1 forever.
+        let diverge = GammaProgram::new(vec![ReactionSpec::new("inc")
+            .replace(Pattern::pair("x", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+                "n",
+            )])]);
+        let initial: ElementBag = [e(0, "n", 0)].into_iter().collect();
+        let config = ExecConfig {
+            max_steps: 100,
+            ..ExecConfig::default()
+        };
+        let result = SeqInterpreter::with_config(&diverge, initial, config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result.status, Status::BudgetExhausted);
+        assert_eq!(result.stats.firings_total(), 100);
+        assert!(result.multiset.contains(&e(100, "n", 0)));
+    }
+
+    #[test]
+    fn trace_records_every_firing() {
+        let initial: ElementBag = [4, 2, 9].into_iter().map(|v| e(v, "n", 0)).collect();
+        let config = ExecConfig {
+            record_trace: true,
+            ..ExecConfig::default()
+        };
+        let result = SeqInterpreter::with_config(&min_program(), initial, config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let trace = result.trace.unwrap();
+        assert_eq!(trace.len() as u64, result.stats.firings_total());
+        assert!(trace.iter().all(|r| r.reaction == "R"));
+        // Each firing consumes 2 and produces 1.
+        for r in &trace {
+            assert_eq!(r.consumed.len(), 2);
+            assert_eq!(r.produced.len(), 1);
+        }
+    }
+
+    #[test]
+    fn max_parallel_steps_profile() {
+        // Pairwise sum tree: 8 leaves halve each step: profile 4,2,1.
+        let sum = GammaProgram::new(vec![ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                "n",
+            )])]);
+        let initial: ElementBag = (1..=8).map(|v| e(v, "n", 0)).collect();
+        let (result, profile) =
+            SeqInterpreter::with_seed(&sum, initial, 0)
+                .run_max_parallel_steps()
+                .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset.len(), 1);
+        assert!(result.multiset.contains(&e(36, "n", 0)));
+        assert_eq!(profile, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn pipeline_stages_run_in_sequence() {
+        // Stage 1: double everything once is impossible in Gamma (no
+        // once-only), so: stage 1 relabels n -> m; stage 2 sums all m.
+        let stage1 = GammaProgram::new(vec![ReactionSpec::new("relabel")
+            .replace(Pattern::pair("x", "n"))
+            .by(vec![ElementSpec::pair(Expr::var("x"), "m")])]);
+        let stage2 = GammaProgram::new(vec![ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "m"))
+            .replace(Pattern::pair("y", "m"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                "m",
+            )])]);
+        let initial: ElementBag = (1..=4).map(|v| e(v, "n", 0)).collect();
+        let result = run_pipeline(
+            &Pipeline::new(vec![stage1, stage2]),
+            initial,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset.sorted_elements(), vec![e(10, "m", 0)]);
+    }
+}

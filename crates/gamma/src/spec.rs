@@ -1,0 +1,559 @@
+//! Declarative reaction specifications — the `(Rᵢ, Aᵢ)` pairs of Eq. (1).
+//!
+//! A [`ReactionSpec`] captures the paper's Fig. 3 grammar as data:
+//!
+//! ```text
+//! R = replace <pattern>, ... [ where <cond> ]
+//!     by <elements> [ if <cond> ]
+//!     [ by <elements> else ]
+//! ```
+//!
+//! * the **replace-list** is a sequence of [`Pattern`]s binding variables to
+//!   the value/label/tag fields of consumed elements;
+//! * an optional **where** condition gates firing entirely (Eq. (2) style:
+//!   `replace x, y by x where x < y`);
+//! * the **by-list** is an `if`/`else if`/`else` chain of [`ByClause`]s;
+//!   the first clause whose guard holds selects the produced elements. A
+//!   clause with no outputs is the paper's `by 0` (consume and drop).
+//!
+//! A reaction is *enabled* on a tuple iff the patterns match, the `where`
+//! condition holds, and some clause guard holds.
+
+use crate::expr::Expr;
+use gammaflow_multiset::{Symbol, Tag, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Constraint on the label field of a consumed element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelPat {
+    /// A literal label: `[id1, 'A1', v]`.
+    Lit(Symbol),
+    /// One of several literal labels — the paper's merged-input reactions
+    /// (`if (x=='A1') or (x=='A11')`) in index-friendly form. Binds the
+    /// variable when one is given.
+    OneOf(Vec<Symbol>, Option<Symbol>),
+    /// Any label, bound to a variable: `[id1, x, v]`.
+    Var(Symbol),
+}
+
+/// Constraint on the value field of a consumed element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValuePat {
+    /// Bind the value to a variable (the common case: `id1`).
+    Var(Symbol),
+    /// Match only this literal value.
+    Lit(Value),
+}
+
+/// Constraint on the tag field of a consumed element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagPat {
+    /// Bind the tag to a variable; positions sharing a variable must match
+    /// elements with *equal* tags (the dynamic-dataflow rule).
+    Var(Symbol),
+    /// Match only this literal tag.
+    Lit(Tag),
+    /// Don't care (and don't bind). Example-1 style pair reactions.
+    Any,
+}
+
+/// One replace-list position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Value field constraint.
+    pub value: ValuePat,
+    /// Label field constraint.
+    pub label: LabelPat,
+    /// Tag field constraint.
+    pub tag: TagPat,
+}
+
+impl Pattern {
+    /// `[var, 'label', tagvar]` — the workhorse form of Algorithm 1.
+    pub fn tagged(value_var: &str, label: impl Into<Symbol>, tag_var: &str) -> Pattern {
+        Pattern {
+            value: ValuePat::Var(Symbol::intern(value_var)),
+            label: LabelPat::Lit(label.into()),
+            tag: TagPat::Var(Symbol::intern(tag_var)),
+        }
+    }
+
+    /// `[var, 'label']` — Example-1 style pair (tag ignored).
+    pub fn pair(value_var: &str, label: impl Into<Symbol>) -> Pattern {
+        Pattern {
+            value: ValuePat::Var(Symbol::intern(value_var)),
+            label: LabelPat::Lit(label.into()),
+            tag: TagPat::Any,
+        }
+    }
+
+    /// `[var, labelvar, tagvar]` with the label restricted to `labels` —
+    /// the paper's inctag input (`x ∈ {A1, A11}`).
+    pub fn one_of(value_var: &str, label_var: &str, labels: &[&str], tag_var: &str) -> Pattern {
+        Pattern {
+            value: ValuePat::Var(Symbol::intern(value_var)),
+            label: LabelPat::OneOf(
+                labels.iter().map(|l| Symbol::intern(l)).collect(),
+                Some(Symbol::intern(label_var)),
+            ),
+            tag: TagPat::Var(Symbol::intern(tag_var)),
+        }
+    }
+
+    /// Variables bound by this pattern, in field order.
+    pub fn bound_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        if let ValuePat::Var(v) = &self.value {
+            out.push(*v);
+        }
+        match &self.label {
+            LabelPat::Var(v) => out.push(*v),
+            LabelPat::OneOf(_, Some(v)) => out.push(*v),
+            _ => {}
+        }
+        if let TagPat::Var(v) = &self.tag {
+            out.push(*v);
+        }
+        out
+    }
+}
+
+/// A produced element: expressions for each field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ElementSpec {
+    /// Value expression (e.g. `id1 + id2`).
+    pub value: Expr,
+    /// Label: literal or a label variable bound in the replace-list.
+    pub label: LabelSpec,
+    /// Tag expression evaluated to an integer (e.g. `v` or `v + 1`);
+    /// [`TagSpec::Zero`] for pair-style outputs.
+    pub tag: TagSpec,
+}
+
+/// Label of a produced element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelSpec {
+    /// Literal label.
+    Lit(Symbol),
+    /// A label variable bound by some pattern.
+    Var(Symbol),
+}
+
+/// Tag of a produced element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagSpec {
+    /// Tag 0 (pair-style).
+    Zero,
+    /// Evaluate an expression to an integer tag (`v`, `v + 1`, …).
+    Expr(Expr),
+}
+
+impl ElementSpec {
+    /// `[expr, 'label', tag-expr]`.
+    pub fn new(value: Expr, label: impl Into<Symbol>, tag: TagSpec) -> ElementSpec {
+        ElementSpec {
+            value,
+            label: LabelSpec::Lit(label.into()),
+            tag,
+        }
+    }
+
+    /// `[expr, 'label', v]` — same-tag output.
+    pub fn tagged(value: Expr, label: impl Into<Symbol>, tag_var: &str) -> ElementSpec {
+        ElementSpec::new(value, label, TagSpec::Expr(Expr::var(tag_var)))
+    }
+
+    /// `[expr, 'label', v+1]` — inctag output.
+    pub fn inc_tagged(value: Expr, label: impl Into<Symbol>, tag_var: &str) -> ElementSpec {
+        ElementSpec::new(
+            value,
+            label,
+            TagSpec::Expr(Expr::bin(
+                gammaflow_multiset::value::BinOp::Add,
+                Expr::var(tag_var),
+                Expr::int(1),
+            )),
+        )
+    }
+
+    /// `[expr, 'label']` — pair-style output.
+    pub fn pair(value: Expr, label: impl Into<Symbol>) -> ElementSpec {
+        ElementSpec::new(value, label, TagSpec::Zero)
+    }
+}
+
+/// Guard of a by-clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Guard {
+    /// Unconditional (single-clause reactions).
+    Always,
+    /// `if <cond>` — fires when the condition holds.
+    If(Expr),
+    /// `else` — fires when no earlier clause did.
+    Else,
+}
+
+/// One `by …` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByClause {
+    /// Elements produced when this clause is selected; empty = `by 0`.
+    pub outputs: Vec<ElementSpec>,
+    /// Selection guard.
+    pub guard: Guard,
+}
+
+/// A full reaction: named `(condition, action)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReactionSpec {
+    /// Reaction name (`R1`, `R16`, …) for traces and pretty-printing.
+    pub name: String,
+    /// The replace-list.
+    pub patterns: Vec<Pattern>,
+    /// Optional firing condition (`where`).
+    pub where_cond: Option<Expr>,
+    /// The by-clause chain.
+    pub clauses: Vec<ByClause>,
+}
+
+/// Spec validation errors, reported before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A reaction has an empty replace-list.
+    EmptyReplaceList(String),
+    /// A reaction has no by-clauses.
+    NoClauses(String),
+    /// An expression references a variable no pattern binds.
+    UnboundVar {
+        /// Reaction name.
+        reaction: String,
+        /// The offending variable.
+        var: Symbol,
+    },
+    /// An `Else` clause appears first, or a clause follows an `Always`/
+    /// `Else` clause (unreachable).
+    BadGuardChain(String),
+    /// The same variable is bound to two different *fields* in a way that
+    /// can never match (e.g. label var reused as tag var).
+    ConflictingBinding {
+        /// Reaction name.
+        reaction: String,
+        /// The offending variable.
+        var: Symbol,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyReplaceList(r) => write!(f, "reaction {r}: empty replace-list"),
+            SpecError::NoClauses(r) => write!(f, "reaction {r}: no by-clauses"),
+            SpecError::UnboundVar { reaction, var } => {
+                write!(f, "reaction {reaction}: unbound variable `{var}`")
+            }
+            SpecError::BadGuardChain(r) => {
+                write!(f, "reaction {r}: malformed if/else clause chain")
+            }
+            SpecError::ConflictingBinding { reaction, var } => write!(
+                f,
+                "reaction {reaction}: variable `{var}` bound to incompatible fields"
+            ),
+        }
+    }
+}
+impl std::error::Error for SpecError {}
+
+impl ReactionSpec {
+    /// Create a named reaction; populate with the builder methods.
+    pub fn new(name: impl Into<String>) -> ReactionSpec {
+        ReactionSpec {
+            name: name.into(),
+            patterns: Vec::new(),
+            where_cond: None,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Add a replace-list pattern.
+    pub fn replace(mut self, p: Pattern) -> Self {
+        self.patterns.push(p);
+        self
+    }
+
+    /// Set the `where` condition.
+    pub fn where_(mut self, cond: Expr) -> Self {
+        self.where_cond = Some(cond);
+        self
+    }
+
+    /// Add an unconditional by-clause.
+    pub fn by(mut self, outputs: Vec<ElementSpec>) -> Self {
+        self.clauses.push(ByClause {
+            outputs,
+            guard: Guard::Always,
+        });
+        self
+    }
+
+    /// Add an `if`-guarded by-clause.
+    pub fn by_if(mut self, outputs: Vec<ElementSpec>, cond: Expr) -> Self {
+        self.clauses.push(ByClause {
+            outputs,
+            guard: Guard::If(cond),
+        });
+        self
+    }
+
+    /// Add an `else` by-clause (`by 0 else` = empty outputs).
+    pub fn by_else(mut self, outputs: Vec<ElementSpec>) -> Self {
+        self.clauses.push(ByClause {
+            outputs,
+            guard: Guard::Else,
+        });
+        self
+    }
+
+    /// Arity of the replace-list.
+    pub fn arity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// All variables bound by the replace-list.
+    pub fn bound_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for p in &self.patterns {
+            for v in p.bound_vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate well-formedness; called by the compiler.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.patterns.is_empty() {
+            return Err(SpecError::EmptyReplaceList(self.name.clone()));
+        }
+        if self.clauses.is_empty() {
+            return Err(SpecError::NoClauses(self.name.clone()));
+        }
+        // Guard chain shape: (If* (Always | Else)?) with Always alone also
+        // allowed; nothing may follow a terminal clause.
+        for (i, c) in self.clauses.iter().enumerate() {
+            match c.guard {
+                Guard::If(_) => {}
+                Guard::Always | Guard::Else => {
+                    if i + 1 != self.clauses.len() {
+                        return Err(SpecError::BadGuardChain(self.name.clone()));
+                    }
+                    if matches!(c.guard, Guard::Else) && i == 0 {
+                        return Err(SpecError::BadGuardChain(self.name.clone()));
+                    }
+                }
+            }
+        }
+        let bound = self.bound_vars();
+        let check_expr = |e: &Expr| -> Result<(), SpecError> {
+            for v in e.vars() {
+                if !bound.contains(&v) {
+                    return Err(SpecError::UnboundVar {
+                        reaction: self.name.clone(),
+                        var: v,
+                    });
+                }
+            }
+            Ok(())
+        };
+        if let Some(w) = &self.where_cond {
+            check_expr(w)?;
+        }
+        for c in &self.clauses {
+            if let Guard::If(e) = &c.guard {
+                check_expr(e)?;
+            }
+            for o in &c.outputs {
+                check_expr(&o.value)?;
+                if let TagSpec::Expr(e) = &o.tag {
+                    check_expr(e)?;
+                }
+                if let LabelSpec::Var(v) = &o.label {
+                    if !bound.contains(v) {
+                        return Err(SpecError::UnboundVar {
+                            reaction: self.name.clone(),
+                            var: *v,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count of produced elements across all clauses (granularity metric).
+    pub fn max_outputs(&self) -> usize {
+        self.clauses
+            .iter()
+            .map(|c| c.outputs.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A Gamma program: reactions composed with the parallel operator `|`.
+///
+/// The paper's examples run all reactions in parallel (`R1|R2|…|Rn`); the
+/// sequential operator `;` is modelled by [`Pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GammaProgram {
+    /// The parallel reaction set.
+    pub reactions: Vec<ReactionSpec>,
+}
+
+impl GammaProgram {
+    /// A program from a reaction list.
+    pub fn new(reactions: Vec<ReactionSpec>) -> GammaProgram {
+        GammaProgram { reactions }
+    }
+
+    /// Validate every reaction.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for r in &self.reactions {
+            r.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Find a reaction by name.
+    pub fn reaction(&self, name: &str) -> Option<&ReactionSpec> {
+        self.reactions.iter().find(|r| r.name == name)
+    }
+
+    /// Number of reactions.
+    pub fn len(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// True if the program has no reactions.
+    pub fn is_empty(&self) -> bool {
+        self.reactions.is_empty()
+    }
+}
+
+/// Sequential composition of Gamma programs (the paper's `;` operator):
+/// each stage runs to its steady state, whose multiset seeds the next.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// The stages, executed left to right.
+    pub stages: Vec<GammaProgram>,
+}
+
+impl Pipeline {
+    /// Build a pipeline from stages.
+    pub fn new(stages: Vec<GammaProgram>) -> Pipeline {
+        Pipeline { stages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gammaflow_multiset::value::BinOp;
+
+    /// The paper's R1: `replace [id1,'A1'],[id2,'B1'] by [id1+id2,'B2']`.
+    fn paper_r1() -> ReactionSpec {
+        ReactionSpec::new("R1")
+            .replace(Pattern::pair("id1", "A1"))
+            .replace(Pattern::pair("id2", "B1"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("id1"), Expr::var("id2")),
+                "B2",
+            )])
+    }
+
+    #[test]
+    fn r1_validates() {
+        assert_eq!(paper_r1().validate(), Ok(()));
+        assert_eq!(paper_r1().arity(), 2);
+        assert_eq!(paper_r1().max_outputs(), 1);
+    }
+
+    #[test]
+    fn steer_shape_validates() {
+        // Paper's R16: replace [id1,'B13',v],[id2,'B15',v]
+        //              by [id1,'B17',v] if id2 == 1 by 0 else
+        let r16 = ReactionSpec::new("R16")
+            .replace(Pattern::tagged("id1", "B13", "v"))
+            .replace(Pattern::tagged("id2", "B15", "v"))
+            .by_if(
+                vec![ElementSpec::tagged(Expr::var("id1"), "B17", "v")],
+                Expr::cmp(
+                    gammaflow_multiset::value::CmpOp::Eq,
+                    Expr::var("id2"),
+                    Expr::int(1),
+                ),
+            )
+            .by_else(vec![]);
+        assert_eq!(r16.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unbound_var_rejected() {
+        let bad = ReactionSpec::new("bad")
+            .replace(Pattern::pair("id1", "A"))
+            .by(vec![ElementSpec::pair(Expr::var("mystery"), "B")]);
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::UnboundVar { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_replace_list_rejected() {
+        let bad = ReactionSpec::new("bad").by(vec![]);
+        assert!(matches!(bad.validate(), Err(SpecError::EmptyReplaceList(_))));
+    }
+
+    #[test]
+    fn clause_after_else_rejected() {
+        let bad = ReactionSpec::new("bad")
+            .replace(Pattern::pair("x", "A"))
+            .by_if(vec![], Expr::bool(true))
+            .by_else(vec![])
+            .by(vec![]);
+        assert!(matches!(bad.validate(), Err(SpecError::BadGuardChain(_))));
+    }
+
+    #[test]
+    fn leading_else_rejected() {
+        let bad = ReactionSpec::new("bad")
+            .replace(Pattern::pair("x", "A"))
+            .by_else(vec![]);
+        assert!(matches!(bad.validate(), Err(SpecError::BadGuardChain(_))));
+    }
+
+    #[test]
+    fn bound_vars_deduplicate() {
+        let r = ReactionSpec::new("r")
+            .replace(Pattern::tagged("a", "A", "v"))
+            .replace(Pattern::tagged("b", "B", "v"));
+        let names: Vec<&str> = r.bound_vars().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["a", "v", "b"]);
+    }
+
+    #[test]
+    fn one_of_binds_label_var() {
+        let p = Pattern::one_of("id1", "x", &["A1", "A11"], "v");
+        let names: Vec<&str> = p.bound_vars().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["id1", "x", "v"]);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let prog = GammaProgram::new(vec![paper_r1()]);
+        assert!(prog.reaction("R1").is_some());
+        assert!(prog.reaction("R9").is_none());
+        assert_eq!(prog.len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Execution traces and counters.
+//!
+//! The paper's motivation (§I) includes applying dataflow-style analyses —
+//! instruction trace reuse, speculation studies — to Gamma programs via the
+//! equivalence. A faithful firing trace is the raw material for that:
+//! [`FiringRecord`] captures each Γ step's consumed and produced elements,
+//! which is exactly the token-level trace a dataflow machine would emit for
+//! the converted program.
+
+use crate::compiled::Firing;
+use gammaflow_multiset::Element;
+use serde::{Deserialize, Serialize};
+
+/// One Γ step: which reaction fired, on what, producing what.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiringRecord {
+    /// Zero-based firing sequence number.
+    pub step: u64,
+    /// Reaction name.
+    pub reaction: String,
+    /// Elements consumed (replace-list order).
+    pub consumed: Vec<Element>,
+    /// Elements produced.
+    pub produced: Vec<Element>,
+    /// Which by-clause produced them.
+    pub clause: usize,
+}
+
+impl FiringRecord {
+    /// Build a record from a [`Firing`].
+    pub fn from_firing(step: u64, reaction: &str, f: &Firing) -> FiringRecord {
+        FiringRecord {
+            step,
+            reaction: reaction.to_string(),
+            consumed: f.consumed.clone(),
+            produced: f.produced.clone(),
+            clause: f.clause,
+        }
+    }
+}
+
+/// Aggregate execution counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Firings per reaction (indexed like the program's reaction list).
+    pub firings_per_reaction: Vec<u64>,
+    /// Total elements consumed.
+    pub consumed: u64,
+    /// Total elements produced.
+    pub produced: u64,
+}
+
+impl ExecStats {
+    /// Fresh counters for a program with `nreactions` reactions.
+    pub fn new(nreactions: usize) -> ExecStats {
+        ExecStats {
+            firings_per_reaction: vec![0; nreactions],
+            consumed: 0,
+            produced: 0,
+        }
+    }
+
+    /// Record one firing of reaction `idx`.
+    pub fn record_firing(&mut self, idx: usize, f: &Firing) {
+        if idx >= self.firings_per_reaction.len() {
+            self.firings_per_reaction.resize(idx + 1, 0);
+        }
+        self.firings_per_reaction[idx] += 1;
+        self.consumed += f.consumed.len() as u64;
+        self.produced += f.produced.len() as u64;
+    }
+
+    /// Total firings across all reactions.
+    pub fn firings_total(&self) -> u64 {
+        self.firings_per_reaction.iter().sum()
+    }
+
+    /// Merge another stats block (pipelines, parallel workers).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        if self.firings_per_reaction.len() < other.firings_per_reaction.len() {
+            self.firings_per_reaction
+                .resize(other.firings_per_reaction.len(), 0);
+        }
+        for (i, &c) in other.firings_per_reaction.iter().enumerate() {
+            self.firings_per_reaction[i] += c;
+        }
+        self.consumed += other.consumed;
+        self.produced += other.produced;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firing(consumed: usize, produced: usize) -> Firing {
+        Firing {
+            reaction: 0,
+            consumed: (0..consumed as i64)
+                .map(|i| Element::new(i, "c", 0u64))
+                .collect(),
+            produced: (0..produced as i64)
+                .map(|i| Element::new(i, "p", 0u64))
+                .collect(),
+            clause: 0,
+        }
+    }
+
+    #[test]
+    fn record_counts() {
+        let mut s = ExecStats::new(2);
+        s.record_firing(0, &firing(2, 1));
+        s.record_firing(1, &firing(1, 3));
+        s.record_firing(0, &firing(2, 0));
+        assert_eq!(s.firings_per_reaction, vec![2, 1]);
+        assert_eq!(s.firings_total(), 3);
+        assert_eq!(s.consumed, 5);
+        assert_eq!(s.produced, 4);
+    }
+
+    #[test]
+    fn record_grows_for_unknown_reaction() {
+        let mut s = ExecStats::new(1);
+        s.record_firing(4, &firing(1, 1));
+        assert_eq!(s.firings_per_reaction.len(), 5);
+        assert_eq!(s.firings_per_reaction[4], 1);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = ExecStats::new(1);
+        a.record_firing(0, &firing(2, 1));
+        let mut b = ExecStats::new(3);
+        b.record_firing(2, &firing(1, 1));
+        a.absorb(&b);
+        assert_eq!(a.firings_per_reaction, vec![1, 0, 1]);
+        assert_eq!(a.consumed, 3);
+        assert_eq!(a.produced, 2);
+    }
+
+    #[test]
+    fn firing_record_roundtrip() {
+        let f = firing(2, 1);
+        let r = FiringRecord::from_firing(7, "R1", &f);
+        assert_eq!(r.step, 7);
+        assert_eq!(r.reaction, "R1");
+        assert_eq!(r.consumed.len(), 2);
+        assert_eq!(r.produced.len(), 1);
+    }
+}

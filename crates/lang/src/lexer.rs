@@ -1,0 +1,519 @@
+//! Lexer for the Gamma reaction language (the paper's Fig. 3 grammar).
+//!
+//! The surface syntax is the one used throughout the paper's examples:
+//!
+//! ```text
+//! R16 = replace [id1,'B13',v], [id2,'B15',v]
+//!       by [id1,'B17',v] if id2 == 1
+//!       by 0 else
+//! ```
+//!
+//! Tokens carry line/column spans for error reporting.
+
+use std::fmt;
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (variable or reaction name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted label/string literal: `'A1'`.
+    Str(String),
+    /// `replace`
+    Replace,
+    /// `by`
+    By,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `where`
+    Where,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `xor`
+    Xor,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `|` — parallel composition.
+    Pipe,
+    /// `;` — sequential composition.
+    Semi,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(x) => write!(f, "integer `{x}`"),
+            Tok::Str(s) => write!(f, "label `'{s}'`"),
+            Tok::Replace => write!(f, "`replace`"),
+            Tok::By => write!(f, "`by`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::Where => write!(f, "`where`"),
+            Tok::Or => write!(f, "`or`"),
+            Tok::And => write!(f, "`and`"),
+            Tok::Xor => write!(f, "`xor`"),
+            Tok::Not => write!(f, "`not`"),
+            Tok::True => write!(f, "`true`"),
+            Tok::False => write!(f, "`false`"),
+            Tok::Min => write!(f, "`min`"),
+            Tok::Max => write!(f, "`max`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+impl std::error::Error for LexError {}
+
+/// Tokenise `src`. Comments run from `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start_col = col;
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+                continue;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '[' => {
+                push!(Tok::LBracket, start_col);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, start_col);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(Tok::LParen, start_col);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, start_col);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, start_col);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(Tok::Plus, start_col);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(Tok::Minus, start_col);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star, start_col);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(Tok::Slash, start_col);
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                push!(Tok::Percent, start_col);
+                i += 1;
+                col += 1;
+            }
+            '|' => {
+                push!(Tok::Pipe, start_col);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, start_col);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Assign, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::NotEq, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Bang, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '\'' => {
+                // Label literal up to the closing quote.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if j >= bytes.len() || bytes[j] != b'\'' {
+                    return Err(LexError {
+                        msg: "unterminated label literal".into(),
+                        line,
+                        col: start_col,
+                    });
+                }
+                let s = std::str::from_utf8(&bytes[i + 1..j]).map_err(|_| LexError {
+                    msg: "invalid UTF-8 in label".into(),
+                    line,
+                    col: start_col,
+                })?;
+                push!(Tok::Str(s.to_string()), start_col);
+                col += (j - i + 1) as u32;
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = std::str::from_utf8(&bytes[i..j]).unwrap();
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("integer literal `{text}` out of range"),
+                    line,
+                    col: start_col,
+                })?;
+                push!(Tok::Int(value), start_col);
+                col += (j - i) as u32;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = std::str::from_utf8(&bytes[i..j]).unwrap();
+                let tok = match word {
+                    "replace" => Tok::Replace,
+                    "by" => Tok::By,
+                    "if" | "If" => Tok::If,
+                    "else" => Tok::Else,
+                    "where" => Tok::Where,
+                    "or" => Tok::Or,
+                    "and" => Tok::And,
+                    "xor" => Tok::Xor,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "min" => Tok::Min,
+                    "max" => Tok::Max,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned {
+                    tok,
+                    line,
+                    col: start_col,
+                });
+                col += (j - i) as u32;
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    line,
+                    col: start_col,
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paper_r1() {
+        let toks = kinds("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("R1".into()),
+                Tok::Assign,
+                Tok::Replace,
+                Tok::LBracket,
+                Tok::Ident("id1".into()),
+                Tok::Comma,
+                Tok::Str("A1".into()),
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::LBracket,
+                Tok::Ident("id2".into()),
+                Tok::Comma,
+                Tok::Str("B1".into()),
+                Tok::RBracket,
+                Tok::By,
+                Tok::LBracket,
+                Tok::Ident("id1".into()),
+                Tok::Plus,
+                Tok::Ident("id2".into()),
+                Tok::Comma,
+                Tok::Str("B2".into()),
+                Tok::RBracket,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e < f > g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn capital_if_is_accepted() {
+        // The paper's examples alternate between `if` and `If`.
+        assert_eq!(kinds("If id1 > 0"), kinds("if id1 > 0"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a # trailing\nb // also\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_label_is_error() {
+        let err = lex("['A1").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.msg.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn pipe_and_semi() {
+        assert_eq!(
+            kinds("R1 | R2 ; R3"),
+            vec![
+                Tok::Ident("R1".into()),
+                Tok::Pipe,
+                Tok::Ident("R2".into()),
+                Tok::Semi,
+                Tok::Ident("R3".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

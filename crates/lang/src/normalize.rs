@@ -1,0 +1,234 @@
+//! Normalisation: lifting label-disjunction conditions into patterns.
+//!
+//! The paper writes merged-input reactions (inctags fed by an initial edge
+//! *and* a loop-back edge) as a wildcard label plus a condition:
+//!
+//! ```text
+//! R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')
+//! ```
+//!
+//! Executing that literally forces the matcher to scan *every* label. This
+//! pass recognises conditions that are pure disjunctions of equality tests
+//! on one label variable and replaces the wildcard with an indexable
+//! [`LabelPat::OneOf`] — semantically identical (the proof obligation is
+//! discharged by the differential tests in this module), and exactly the
+//! information Algorithm 2 needs to recognise the reaction as an inctag.
+
+use gammaflow_gamma::expr::Expr;
+use gammaflow_gamma::spec::{Guard, LabelPat, ReactionSpec};
+use gammaflow_multiset::value::{BinOp, CmpOp};
+use gammaflow_multiset::{Symbol, Value};
+
+/// Split a conjunction into its top-level conjuncts.
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Bin(BinOp::And, a, b) => {
+            let mut out = conjuncts(a);
+            out.extend(conjuncts(b));
+            out
+        }
+        _ => vec![e],
+    }
+}
+
+/// Rebuild a conjunction from conjuncts (None for an empty list).
+fn rebuild_conjunction(parts: Vec<Expr>) -> Option<Expr> {
+    parts.into_iter().reduce(|a, b| Expr::bin(BinOp::And, a, b))
+}
+
+/// If `e` is a pure disjunction of `var == 'label'` tests over a single
+/// variable, return `(var, labels)`.
+fn as_label_disjunction(e: &Expr) -> Option<(Symbol, Vec<Symbol>)> {
+    match e {
+        Expr::Cmp(CmpOp::Eq, a, b) => {
+            let (var, lit) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Var(v), Expr::Lit(Value::Str(s))) => (*v, s.clone()),
+                (Expr::Lit(Value::Str(s)), Expr::Var(v)) => (*v, s.clone()),
+                _ => return None,
+            };
+            Some((var, vec![Symbol::intern(&lit)]))
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            let (va, mut la) = as_label_disjunction(a)?;
+            let (vb, lb) = as_label_disjunction(b)?;
+            if va != vb {
+                return None;
+            }
+            la.extend(lb);
+            Some((va, la))
+        }
+        _ => None,
+    }
+}
+
+/// Try to lift label disjunctions from `cond` into the patterns of `spec`.
+/// Returns the residual condition (None if fully consumed).
+fn lift_from_condition(spec: &mut ReactionSpec, cond: &Expr) -> Option<Expr> {
+    let parts = conjuncts(cond);
+    let mut residual: Vec<Expr> = Vec::new();
+    'part: for part in parts {
+        if let Some((var, labels)) = as_label_disjunction(part) {
+            // Find the unique pattern binding `var` as a wildcard label.
+            let mut target = None;
+            for (i, p) in spec.patterns.iter().enumerate() {
+                if p.label == LabelPat::Var(var) {
+                    if target.is_some() {
+                        // Ambiguous; keep the condition as-is.
+                        residual.push(part.clone());
+                        continue 'part;
+                    }
+                    target = Some(i);
+                }
+            }
+            if let Some(i) = target {
+                let mut labels = labels;
+                labels.sort();
+                labels.dedup();
+                spec.patterns[i].label = LabelPat::OneOf(labels, Some(var));
+                continue 'part;
+            }
+        }
+        residual.push(part.clone());
+    }
+    rebuild_conjunction(residual)
+}
+
+/// Normalise a reaction in place. Lifts label disjunctions found in the
+/// `where` condition, or in the guard of a reaction whose by-chain is a
+/// single `if` clause with no `else` (where the guard is semantically a
+/// firing condition). Guards in genuine `if`/`else` chains are left alone —
+/// there the false branch must still fire.
+pub fn normalize_reaction(spec: &mut ReactionSpec) {
+    if let Some(cond) = spec.where_cond.take() {
+        spec.where_cond = lift_from_condition(spec, &cond);
+    }
+    if spec.clauses.len() == 1 {
+        if let Guard::If(cond) = spec.clauses[0].guard.clone() {
+            let residual = lift_from_condition(spec, &cond);
+            spec.clauses[0].guard = match residual {
+                Some(c) => Guard::If(c),
+                None => Guard::Always,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gammaflow_gamma::spec::{ElementSpec, Pattern};
+
+    #[test]
+    fn lifts_simple_disjunction_from_if() {
+        let mut r = ReactionSpec::new("R11")
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("id1")),
+                label: LabelPat::Var(Symbol::intern("x")),
+                tag: gammaflow_gamma::spec::TagPat::Var(Symbol::intern("v")),
+            })
+            .by_if(
+                vec![ElementSpec::inc_tagged(Expr::var("id1"), "A12", "v")],
+                Expr::or(
+                    Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("A1")),
+                    Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("A11")),
+                ),
+            );
+        normalize_reaction(&mut r);
+        assert_eq!(r.patterns[0], Pattern::one_of("id1", "x", &["A1", "A11"], "v"));
+        assert!(matches!(r.clauses[0].guard, Guard::Always));
+    }
+
+    #[test]
+    fn lifts_from_where_keeping_residual() {
+        let mut r = ReactionSpec::new("R")
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("a")),
+                label: LabelPat::Var(Symbol::intern("x")),
+                tag: gammaflow_gamma::spec::TagPat::Any,
+            })
+            .where_(Expr::and(
+                Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("L")),
+                Expr::cmp(CmpOp::Gt, Expr::var("a"), Expr::int(0)),
+            ))
+            .by(vec![ElementSpec::pair(Expr::var("a"), "out")]);
+        normalize_reaction(&mut r);
+        assert!(matches!(&r.patterns[0].label, LabelPat::OneOf(ls, _) if ls.len() == 1));
+        assert_eq!(r.where_cond.as_ref().unwrap().to_string(), "a > 0");
+    }
+
+    #[test]
+    fn leaves_if_else_chains_alone() {
+        // With an else branch, lifting would change which tuples reach the
+        // else clause — must not happen.
+        let cond = Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("L"));
+        let mut r = ReactionSpec::new("R")
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("a")),
+                label: LabelPat::Var(Symbol::intern("x")),
+                tag: gammaflow_gamma::spec::TagPat::Any,
+            })
+            .by_if(vec![], cond.clone())
+            .by_else(vec![]);
+        let before = r.clone();
+        normalize_reaction(&mut r);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn mixed_variable_disjunction_not_lifted() {
+        let mut r = ReactionSpec::new("R")
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("a")),
+                label: LabelPat::Var(Symbol::intern("x")),
+                tag: gammaflow_gamma::spec::TagPat::Any,
+            })
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("b")),
+                label: LabelPat::Var(Symbol::intern("y")),
+                tag: gammaflow_gamma::spec::TagPat::Any,
+            })
+            .where_(Expr::or(
+                Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("L")),
+                Expr::cmp(CmpOp::Eq, Expr::var("y"), Expr::str("M")),
+            ))
+            .by(vec![]);
+        let before = r.clone();
+        normalize_reaction(&mut r);
+        assert_eq!(r, before, "cross-variable disjunction must stay a condition");
+    }
+
+    #[test]
+    fn equality_on_values_not_lifted() {
+        // a == 'A1' where a is a *value* var (bound by the value field) must
+        // not be lifted into the label pattern.
+        let mut r = ReactionSpec::new("R")
+            .replace(Pattern::pair("a", "L"))
+            .where_(Expr::cmp(CmpOp::Eq, Expr::var("a"), Expr::str("A1")))
+            .by(vec![]);
+        let before = r.clone();
+        normalize_reaction(&mut r);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn duplicate_labels_deduplicated() {
+        let mut r = ReactionSpec::new("R")
+            .replace(Pattern {
+                value: gammaflow_gamma::spec::ValuePat::Var(Symbol::intern("a")),
+                label: LabelPat::Var(Symbol::intern("x")),
+                tag: gammaflow_gamma::spec::TagPat::Any,
+            })
+            .by_if(
+                vec![],
+                Expr::or(
+                    Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("L")),
+                    Expr::cmp(CmpOp::Eq, Expr::var("x"), Expr::str("L")),
+                ),
+            );
+        normalize_reaction(&mut r);
+        match &r.patterns[0].label {
+            LabelPat::OneOf(ls, Some(_)) => assert_eq!(ls.len(), 1),
+            other => panic!("expected OneOf, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! Recursive-descent parser for the Gamma reaction language.
+//!
+//! Produces [`ReactionSpec`]s (the AST *is* the executable spec — see the
+//! gamma crate) and applies [`crate::normalize`] so that paper-style label
+//! disjunctions (`if (x=='A1') or (x=='A11')`) are lifted into indexable
+//! [`LabelPat::OneOf`] patterns.
+
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use crate::normalize::normalize_reaction;
+use gammaflow_gamma::expr::Expr;
+use gammaflow_gamma::spec::{
+    ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
+    ReactionSpec, TagPat, TagSpec, ValuePat,
+};
+use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
+use gammaflow_multiset::{Symbol, Tag, Value};
+use std::fmt;
+
+/// Parse errors with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Recursion ceiling for expression parsing: recursive descent uses the
+/// call stack, so pathological inputs (thousands of nested parens) must be
+/// rejected rather than overflow it.
+const MAX_EXPR_DEPTH: u32 = 128;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    auto_name: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let s = &self.toks[self.pos];
+        (s.line, s.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn at_reaction_start(&self) -> bool {
+        matches!(self.peek(), Tok::Replace)
+            || (matches!(self.peek(), Tok::Ident(_) | Tok::Min | Tok::Max)
+                && matches!(self.peek2(), Tok::Assign))
+    }
+
+    // ---- reactions -------------------------------------------------------
+
+    fn reaction(&mut self) -> Result<ReactionSpec, ParseError> {
+        // `min`/`max` lex as keywords but are fine reaction names.
+        let name = if let (Tok::Ident(_) | Tok::Min | Tok::Max, Tok::Assign) =
+            (self.peek(), self.peek2())
+        {
+            let n = match self.bump() {
+                Tok::Ident(n) => n,
+                Tok::Min => "min".to_string(),
+                Tok::Max => "max".to_string(),
+                _ => unreachable!(),
+            };
+            self.bump(); // '='
+            n
+        } else {
+            self.auto_name += 1;
+            format!("R{}", self.auto_name)
+        };
+        self.expect(&Tok::Replace)?;
+
+        let mut patterns = vec![self.pattern()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            patterns.push(self.pattern()?);
+        }
+
+        let mut where_cond = None;
+        if matches!(self.peek(), Tok::Where) {
+            self.bump();
+            where_cond = Some(self.expr()?);
+        }
+
+        let mut clauses = Vec::new();
+        while matches!(self.peek(), Tok::By) {
+            self.bump();
+            let outputs = self.outputs()?;
+            let guard = match self.peek() {
+                Tok::If => {
+                    self.bump();
+                    Guard::If(self.expr()?)
+                }
+                Tok::Else => {
+                    self.bump();
+                    Guard::Else
+                }
+                _ => Guard::Always,
+            };
+            clauses.push(ByClause { outputs, guard });
+        }
+        if clauses.is_empty() {
+            return self.err(format!("reaction {name}: expected at least one `by` clause"));
+        }
+        // `where` may also be written after the by-chain (Eq. (2) style:
+        // `replace x, y by x where x < y`).
+        if where_cond.is_none() && matches!(self.peek(), Tok::Where) {
+            self.bump();
+            where_cond = Some(self.expr()?);
+        }
+
+        let mut spec = ReactionSpec {
+            name,
+            patterns,
+            where_cond,
+            clauses,
+        };
+        normalize_reaction(&mut spec);
+        Ok(spec)
+    }
+
+    /// `0` (empty) or `[e, l, t], [e, l, t], …`
+    fn outputs(&mut self) -> Result<Vec<ElementSpec>, ParseError> {
+        if matches!(self.peek(), Tok::Int(0)) {
+            self.bump();
+            return Ok(Vec::new());
+        }
+        let mut out = vec![self.element()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            out.push(self.element()?);
+        }
+        Ok(out)
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        // Value field.
+        let value = match self.bump() {
+            Tok::Ident(v) => ValuePat::Var(Symbol::intern(&v)),
+            Tok::Int(x) => ValuePat::Lit(Value::Int(x)),
+            Tok::Minus => match self.bump() {
+                Tok::Int(x) => ValuePat::Lit(Value::Int(-x)),
+                other => return self.err(format!("expected integer after `-`, found {other}")),
+            },
+            Tok::Str(s) => ValuePat::Lit(Value::str(s)),
+            Tok::True => ValuePat::Lit(Value::Bool(true)),
+            Tok::False => ValuePat::Lit(Value::Bool(false)),
+            other => return self.err(format!("expected pattern value field, found {other}")),
+        };
+        self.expect(&Tok::Comma)?;
+        // Label field.
+        let label = match self.bump() {
+            Tok::Str(l) => LabelPat::Lit(Symbol::intern(&l)),
+            Tok::Ident(v) => LabelPat::Var(Symbol::intern(&v)),
+            other => return self.err(format!("expected label field, found {other}")),
+        };
+        // Optional tag field.
+        let tag = if matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            match self.bump() {
+                Tok::Ident(v) => TagPat::Var(Symbol::intern(&v)),
+                Tok::Int(x) if x >= 0 => TagPat::Lit(Tag(x as u64)),
+                other => return self.err(format!("expected tag field, found {other}")),
+            }
+        } else {
+            TagPat::Any
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(Pattern { value, label, tag })
+    }
+
+    fn element(&mut self) -> Result<ElementSpec, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let value = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let label = match self.bump() {
+            Tok::Str(l) => LabelSpec::Lit(Symbol::intern(&l)),
+            Tok::Ident(v) => LabelSpec::Var(Symbol::intern(&v)),
+            other => return self.err(format!("expected output label, found {other}")),
+        };
+        let tag = if matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            TagSpec::Expr(self.expr()?)
+        } else {
+            TagSpec::Zero
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(ElementSpec { value, label, tag })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return self.err("expression too deeply nested");
+        }
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Or => BinOp::Or,
+                Tok::Xor => BinOp::Xor,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Tok::And) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::cmp(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return self.err("expression too deeply nested");
+        }
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                // Fold negation of literals so `-3` is a literal.
+                match self.unary()? {
+                    Expr::Lit(Value::Int(x)) => Ok(Expr::int(-x)),
+                    e => Ok(Expr::un(UnOp::Neg, e)),
+                }
+            }
+            Tok::Not | Tok::Bang => {
+                self.bump();
+                Ok(Expr::un(UnOp::Not, self.unary()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Int(x) => Ok(Expr::int(x)),
+            Tok::Str(s) => Ok(Expr::str(&s)),
+            Tok::True => Ok(Expr::bool(true)),
+            Tok::False => Ok(Expr::bool(false)),
+            Tok::Ident(v) => Ok(Expr::var(v.as_str())),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            t @ (Tok::Min | Tok::Max) => {
+                let op = if t == Tok::Min { BinOp::Min } else { BinOp::Max };
+                self.expect(&Tok::LParen)?;
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::bin(op, a, b))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    // ---- programs --------------------------------------------------------
+
+    fn stage(&mut self) -> Result<GammaProgram, ParseError> {
+        let mut reactions = Vec::new();
+        loop {
+            if matches!(self.peek(), Tok::Pipe) {
+                self.bump();
+                continue;
+            }
+            if self.at_reaction_start() {
+                reactions.push(self.reaction()?);
+            } else {
+                break;
+            }
+        }
+        Ok(GammaProgram::new(reactions))
+    }
+}
+
+/// Parse a single reaction.
+pub fn parse_reaction(src: &str) -> Result<ReactionSpec, ParseError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        auto_name: 0,
+        depth: 0,
+    };
+    let r = p.reaction()?;
+    if !matches!(p.peek(), Tok::Eof) {
+        return p.err(format!("unexpected trailing {}", p.peek()));
+    }
+    Ok(r)
+}
+
+/// Parse a parallel program (`R1 | R2 | …`; newlines also separate).
+pub fn parse_program(src: &str) -> Result<GammaProgram, ParseError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        auto_name: 0,
+        depth: 0,
+    };
+    let prog = p.stage()?;
+    if !matches!(p.peek(), Tok::Eof) {
+        return p.err(format!(
+            "unexpected {} (use parse_pipeline for `;` composition)",
+            p.peek()
+        ));
+    }
+    Ok(prog)
+}
+
+/// Parse a pipeline: stages separated by `;`, each a parallel program.
+pub fn parse_pipeline(src: &str) -> Result<Pipeline, ParseError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        auto_name: 0,
+        depth: 0,
+    };
+    let mut stages = vec![p.stage()?];
+    while matches!(p.peek(), Tok::Semi) {
+        p.bump();
+        stages.push(p.stage()?);
+    }
+    if !matches!(p.peek(), Tok::Eof) {
+        return p.err(format!("unexpected trailing {}", p.peek()));
+    }
+    Ok(Pipeline::new(stages))
+}
+
+/// Parse a multiset literal: `{[1,'A1'], [5,'B1',2], ...}` (braces
+/// optional, tag optional — the paper's Example-1 pair style). Used by the
+/// CLI to accept initial multisets on the command line.
+pub fn parse_multiset(src: &str) -> Result<gammaflow_multiset::ElementBag, ParseError> {
+    use gammaflow_multiset::{Element, ElementBag, Tag as MTag};
+    // Braces are display sugar (`{…}`), not tokens: strip a matched pair.
+    let trimmed = src.trim();
+    let inner = match (trimmed.strip_prefix('{'), trimmed.strip_suffix('}')) {
+        (Some(_), Some(_)) => &trimmed[1..trimmed.len() - 1],
+        _ => trimmed,
+    };
+    let mut p = Parser {
+        toks: lex(inner)?,
+        pos: 0,
+        auto_name: 0,
+        depth: 0,
+    };
+    let mut bag = ElementBag::new();
+    loop {
+        if matches!(p.peek(), Tok::Eof) {
+            break;
+        }
+        p.expect(&Tok::LBracket)?;
+        let value = match p.bump() {
+            Tok::Int(x) => gammaflow_multiset::Value::Int(x),
+            Tok::Minus => match p.bump() {
+                Tok::Int(x) => gammaflow_multiset::Value::Int(-x),
+                other => return p.err(format!("expected integer after `-`, found {other}")),
+            },
+            Tok::Str(s) => gammaflow_multiset::Value::str(s),
+            Tok::True => gammaflow_multiset::Value::Bool(true),
+            Tok::False => gammaflow_multiset::Value::Bool(false),
+            other => return p.err(format!("expected element value, found {other}")),
+        };
+        p.expect(&Tok::Comma)?;
+        let label = match p.bump() {
+            Tok::Str(l) => Symbol::intern(&l),
+            other => return p.err(format!("expected quoted label, found {other}")),
+        };
+        let tag = if matches!(p.peek(), Tok::Comma) {
+            p.bump();
+            match p.bump() {
+                Tok::Int(x) if x >= 0 => MTag(x as u64),
+                other => return p.err(format!("expected non-negative tag, found {other}")),
+            }
+        } else {
+            MTag::ZERO
+        };
+        p.expect(&Tok::RBracket)?;
+        bag.insert(Element { value, label, tag });
+        if matches!(p.peek(), Tok::Comma) {
+            p.bump();
+        }
+    }
+    Ok(bag)
+}
+
+/// Parse a bare expression (used by tests and the frontend).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        auto_name: 0,
+        depth: 0,
+    };
+    let e = p.expr()?;
+    if !matches!(p.peek(), Tok::Eof) {
+        return p.err(format!("unexpected trailing {}", p.peek()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_r1() {
+        let r = parse_reaction("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']")
+            .unwrap();
+        assert_eq!(r.name, "R1");
+        assert_eq!(r.patterns.len(), 2);
+        assert_eq!(r.patterns[0], Pattern::pair("id1", "A1"));
+        assert_eq!(r.clauses.len(), 1);
+        assert!(matches!(r.clauses[0].guard, Guard::Always));
+        assert_eq!(r.clauses[0].outputs[0].value.to_string(), "id1 + id2");
+    }
+
+    #[test]
+    fn parses_paper_r16_steer() {
+        let r = parse_reaction(
+            "R16 = replace [id1,'B13',v], [id2,'B15',v]\n      by [id1,'B17',v] if id2 == 1\n      by 0 else",
+        )
+        .unwrap();
+        assert_eq!(r.patterns[0], Pattern::tagged("id1", "B13", "v"));
+        assert_eq!(r.clauses.len(), 2);
+        assert!(matches!(r.clauses[0].guard, Guard::If(_)));
+        assert!(matches!(r.clauses[1].guard, Guard::Else));
+        assert!(r.clauses[1].outputs.is_empty());
+        assert_eq!(r.validate(), Ok(()));
+    }
+
+    #[test]
+    fn parses_paper_r11_inctag_with_normalisation() {
+        // The label disjunction is lifted into a OneOf pattern.
+        let r = parse_reaction(
+            "R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')",
+        )
+        .unwrap();
+        assert_eq!(r.patterns[0], Pattern::one_of("id1", "x", &["A1", "A11"], "v"));
+        assert_eq!(r.clauses.len(), 1);
+        assert!(matches!(r.clauses[0].guard, Guard::Always));
+        match &r.clauses[0].outputs[0].tag {
+            TagSpec::Expr(e) => assert_eq!(e.to_string(), "v + 1"),
+            other => panic!("bad tag spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_eq2_where_form() {
+        // Eq. (2): R = replace(x, y) by x where x < y — we write tuples.
+        let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x,'n'] where x < y").unwrap();
+        assert!(r.where_cond.is_some());
+        assert_eq!(r.where_cond.as_ref().unwrap().to_string(), "x < y");
+    }
+
+    #[test]
+    fn parses_r14_three_outputs() {
+        let r = parse_reaction(
+            "R14 = replace [id1, 'B12', v]\n  by [1,'B14',v], [1,'B15',v], [1,'B16',v] If id1 > 0\n  by [0,'B14',v], [0,'B15',v], [0,'B16',v] else",
+        )
+        .unwrap();
+        assert_eq!(r.clauses[0].outputs.len(), 3);
+        assert_eq!(r.clauses[1].outputs.len(), 3);
+        assert_eq!(r.validate(), Ok(()));
+    }
+
+    #[test]
+    fn program_with_pipes() {
+        let prog = parse_program(
+            "R1 = replace [a,'A'] by [a,'B'] | R2 = replace [b,'B'] by [b,'C']",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog.reactions[1].name, "R2");
+    }
+
+    #[test]
+    fn program_with_newline_separation() {
+        let prog = parse_program(
+            "R1 = replace [a,'A'] by [a,'B']\nR2 = replace [b,'B'] by [b,'C']",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_with_semicolons() {
+        let pipe = parse_pipeline(
+            "replace [a,'A'] by [a,'B'] ; replace [b,'B'] by [b,'C']",
+        )
+        .unwrap();
+        assert_eq!(pipe.stages.len(), 2);
+        // Auto-named reactions.
+        assert_eq!(pipe.stages[0].reactions[0].name, "R1");
+    }
+
+    #[test]
+    fn semicolon_rejected_in_plain_program() {
+        let err =
+            parse_program("replace [a,'A'] by [a,'B'] ; replace [b,'B'] by [b,'C']").unwrap_err();
+        assert!(err.msg.contains("parse_pipeline"));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        assert_eq!(parse_expr("1 + 2 * 3").unwrap().to_string(), "1 + 2 * 3");
+        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
+        assert_eq!(
+            parse_expr("a < b and c > d or e == f").unwrap().to_string(),
+            "a < b and c > d or e == f"
+        );
+        assert_eq!(parse_expr("min(a, b + 1)").unwrap().to_string(), "min(a, b + 1)");
+        assert_eq!(parse_expr("-3").unwrap(), Expr::int(-3));
+        assert_eq!(parse_expr("not (a == b)").unwrap().to_string(), "!(a == b)");
+    }
+
+    #[test]
+    fn pattern_with_literal_value_and_tag() {
+        let r = parse_reaction("R = replace [1, 'ctl', 0] by 0").unwrap();
+        assert_eq!(r.patterns[0].value, ValuePat::Lit(Value::Int(1)));
+        assert_eq!(r.patterns[0].tag, TagPat::Lit(Tag(0)));
+    }
+
+    #[test]
+    fn multiset_literal_parses() {
+        let bag = parse_multiset("[1,'A1'], [5,'B1'], [3,'C1',2], [-4,'D']").unwrap();
+        assert_eq!(bag.len(), 4);
+        assert!(bag.contains(&gammaflow_multiset::Element::pair(1, "A1")));
+        assert!(bag.contains(&gammaflow_multiset::Element::new(3, "C1", 2u64)));
+        assert!(bag.contains(&gammaflow_multiset::Element::pair(-4, "D")));
+    }
+
+    #[test]
+    fn multiset_literal_duplicates_accumulate() {
+        let bag = parse_multiset("[7,'n'], [7,'n']").unwrap();
+        assert_eq!(bag.count(&gammaflow_multiset::Element::pair(7, "n")), 2);
+    }
+
+    #[test]
+    fn empty_multiset_literal() {
+        assert!(parse_multiset("").unwrap().is_empty());
+        assert!(parse_multiset("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn braced_multiset_literal() {
+        let bag = parse_multiset("{[1,'A1'], [5,'B1']}").unwrap();
+        assert_eq!(bag.len(), 2);
+    }
+
+    #[test]
+    fn bad_multiset_literal_errors() {
+        assert!(parse_multiset("[1 'A']").is_err());
+        assert!(parse_multiset("[1,'A',-3]").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_reaction("R1 = replace [id1 'A1'] by [id1,'B']").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("expected"));
+    }
+
+    #[test]
+    fn missing_by_is_error() {
+        let err = parse_reaction("R1 = replace [a,'A']").unwrap_err();
+        assert!(err.msg.contains("by"));
+    }
+}

@@ -1,0 +1,440 @@
+//! A generic counted multiset (bag).
+//!
+//! `HashBag<T>` stores each distinct item once with a multiplicity counter,
+//! which makes multiset algebra (union `+`, difference `−`, inclusion `⊆`)
+//! cheap even when elements repeat heavily — as they do in Gamma programs
+//! like the primes sieve where thousands of identical `[1,'candidate']`
+//! elements coexist.
+//!
+//! The Γ-operator step `(M − {x₁…xₙ}) + A(x₁…xₙ)` from the paper's Eq. (1)
+//! is exactly [`HashBag::remove_all`] followed by [`HashBag::extend`].
+
+use crate::fxhash::FxBuildHasher;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A hash-based counted multiset.
+///
+/// Serialised as a `(item, count)` pair list: formats like JSON require
+/// string map keys, and bag items are arbitrary values.
+#[derive(Clone)]
+pub struct HashBag<T: Eq + Hash> {
+    counts: HashMap<T, usize, FxBuildHasher>,
+    len: usize,
+}
+
+impl<T: Eq + Hash + Serialize> Serialize for HashBag<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.counts.iter().map(|(t, c)| (t, *c)))
+    }
+}
+
+impl<'de, T: Eq + Hash + Deserialize<'de>> Deserialize<'de> for HashBag<T> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(T, usize)> = Vec::deserialize(deserializer)?;
+        let mut bag = HashBag::with_capacity(pairs.len());
+        for (t, c) in pairs {
+            bag.insert_n(t, c);
+        }
+        Ok(bag)
+    }
+}
+
+impl<T: Eq + Hash> Default for HashBag<T> {
+    fn default() -> Self {
+        HashBag {
+            counts: HashMap::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Eq + Hash> HashBag<T> {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bag with room for `n` distinct items.
+    pub fn with_capacity(n: usize) -> Self {
+        HashBag {
+            counts: HashMap::with_capacity_and_hasher(n, FxBuildHasher::default()),
+            len: 0,
+        }
+    }
+
+    /// Total number of elements, counting multiplicity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of *distinct* elements.
+    #[inline]
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the bag holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Multiplicity of `item` (0 if absent).
+    #[inline]
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// True if `item` occurs at least once.
+    #[inline]
+    pub fn contains(&self, item: &T) -> bool {
+        self.counts.contains_key(item)
+    }
+
+    /// Insert one occurrence of `item`.
+    pub fn insert(&mut self, item: T) {
+        self.insert_n(item, 1);
+    }
+
+    /// Insert `n` occurrences of `item`.
+    pub fn insert_n(&mut self, item: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(item).or_insert(0) += n;
+        self.len += n;
+    }
+
+    /// Remove one occurrence of `item`. Returns `true` if it was present.
+    pub fn remove(&mut self, item: &T) -> bool {
+        self.remove_n(item, 1) == 1
+    }
+
+    /// Remove up to `n` occurrences of `item`, returning how many were
+    /// actually removed.
+    pub fn remove_n(&mut self, item: &T, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self.counts.get_mut(item) {
+            None => 0,
+            Some(c) => {
+                let removed = n.min(*c);
+                *c -= removed;
+                if *c == 0 {
+                    self.counts.remove(item);
+                }
+                self.len -= removed;
+                removed
+            }
+        }
+    }
+
+    /// Remove one occurrence of *each* item in `items`, atomically: either
+    /// all are present (with multiplicity — removing `[x, x]` needs
+    /// `count(x) >= 2`) and get removed, or the bag is unchanged and `false`
+    /// is returned. This is the consume half of the Γ-operator step.
+    pub fn remove_all<'a>(&mut self, items: impl IntoIterator<Item = &'a T> + Clone) -> bool
+    where
+        T: 'a,
+    {
+        // First pass: count demand per item and check availability.
+        let mut demand: HashMap<&T, usize, FxBuildHasher> = HashMap::default();
+        for item in items.clone() {
+            *demand.entry(item).or_insert(0) += 1;
+        }
+        for (item, need) in &demand {
+            if self.count(item) < *need {
+                return false;
+            }
+        }
+        for (item, need) in demand {
+            self.remove_n(item, need);
+        }
+        true
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.len = 0;
+    }
+
+    /// Iterate over `(item, multiplicity)` pairs.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Iterate over every occurrence (items with multiplicity `k` appear
+    /// `k` times).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(t, &c)| std::iter::repeat_n(t, c))
+    }
+
+    /// Multiset union: multiplicities add.
+    pub fn union(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        for (item, c) in other.iter_counts() {
+            out.insert_n(item.clone(), c);
+        }
+        out
+    }
+
+    /// Multiset difference: multiplicities subtract, saturating at zero.
+    pub fn difference(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = Self::with_capacity(self.distinct_len());
+        for (item, c) in self.iter_counts() {
+            let rem = c.saturating_sub(other.count(item));
+            if rem > 0 {
+                out.insert_n(item.clone(), rem);
+            }
+        }
+        out
+    }
+
+    /// Multiset intersection: pointwise minimum of multiplicities.
+    pub fn intersection(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let (small, big) = if self.distinct_len() <= other.distinct_len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Self::with_capacity(small.distinct_len());
+        for (item, c) in small.iter_counts() {
+            let m = c.min(big.count(item));
+            if m > 0 {
+                out.insert_n(item.clone(), m);
+            }
+        }
+        out
+    }
+
+    /// Multiset inclusion: every multiplicity in `self` is ≤ the one in
+    /// `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.len <= other.len && self.iter_counts().all(|(item, c)| c <= other.count(item))
+    }
+
+    /// Retain only occurrences whose item satisfies the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        let mut removed = 0;
+        self.counts.retain(|item, c| {
+            if keep(item) {
+                true
+            } else {
+                removed += *c;
+                false
+            }
+        });
+        self.len -= removed;
+    }
+}
+
+impl<T: Eq + Hash> PartialEq for HashBag<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.counts == other.counts
+    }
+}
+impl<T: Eq + Hash> Eq for HashBag<T> {}
+
+impl<T: Eq + Hash> FromIterator<T> for HashBag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut bag = HashBag::new();
+        bag.extend(iter);
+        bag
+    }
+}
+
+impl<T: Eq + Hash> Extend<T> for HashBag<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+impl<T: Eq + Hash + fmt::Debug> fmt::Debug for HashBag<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.counts.iter())
+            .finish()
+    }
+}
+
+impl<T: Eq + Hash + fmt::Display + Ord> fmt::Display for HashBag<T> {
+    /// Deterministic `{a, a, b}` rendering (sorted), for snapshots and
+    /// error messages.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        write!(f, "{{")?;
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut bag = HashBag::new();
+        bag.insert("a");
+        bag.insert("a");
+        bag.insert("b");
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.distinct_len(), 2);
+        assert_eq!(bag.count(&"a"), 2);
+        assert!(bag.remove(&"a"));
+        assert_eq!(bag.count(&"a"), 1);
+        assert!(bag.remove(&"a"));
+        assert!(!bag.remove(&"a"));
+        assert_eq!(bag.len(), 1);
+    }
+
+    #[test]
+    fn remove_all_is_atomic() {
+        let mut bag: HashBag<i32> = [1, 1, 2].into_iter().collect();
+        // Needs 1 three times but only two are present: must not change bag.
+        assert!(!bag.remove_all(&[1, 1, 1]));
+        assert_eq!(bag.len(), 3);
+        assert!(bag.remove_all(&[1, 2]));
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.count(&1), 1);
+    }
+
+    #[test]
+    fn remove_all_respects_duplicate_demand() {
+        let mut bag: HashBag<i32> = [5, 5].into_iter().collect();
+        assert!(bag.remove_all(&[5, 5]));
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a: HashBag<i32> = [1, 1, 2].into_iter().collect();
+        let b: HashBag<i32> = [1, 2, 3].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.count(&1), 3);
+        assert_eq!(u.len(), 6);
+        let d = a.difference(&b);
+        assert_eq!(d.count(&1), 1);
+        assert_eq!(d.len(), 1);
+        let i = a.intersection(&b);
+        assert_eq!(i.count(&1), 1);
+        assert_eq!(i.count(&2), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn subset() {
+        let a: HashBag<i32> = [1, 2].into_iter().collect();
+        let b: HashBag<i32> = [1, 1, 2, 3].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let twice: HashBag<i32> = [1, 1].into_iter().collect();
+        assert!(twice.is_subset(&b));
+        let thrice: HashBag<i32> = [1, 1, 1].into_iter().collect();
+        assert!(!thrice.is_subset(&b));
+    }
+
+    #[test]
+    fn retain_updates_len() {
+        let mut bag: HashBag<i32> = [1, 1, 2, 3, 3, 3].into_iter().collect();
+        bag.retain(|x| x % 2 == 1);
+        assert_eq!(bag.len(), 5);
+        assert!(!bag.contains(&2));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let bag: HashBag<i32> = [3, 1, 2, 1].into_iter().collect();
+        assert_eq!(bag.to_string(), "{1, 1, 2, 3}");
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a: HashBag<i32> = [1, 2, 2, 3].into_iter().collect();
+        let b: HashBag<i32> = [3, 2, 1, 2].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    fn arb_bag() -> impl Strategy<Value = HashBag<u8>> {
+        proptest::collection::vec(0u8..16, 0..64).prop_map(|v| v.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_len_adds(a in arb_bag(), b in arb_bag()) {
+            prop_assert_eq!(a.union(&b).len(), a.len() + b.len());
+        }
+
+        #[test]
+        fn prop_union_is_commutative(a in arb_bag(), b in arb_bag()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn prop_difference_then_union_restores_intersection_law(
+            a in arb_bag(), b in arb_bag()
+        ) {
+            // (a − b) + (a ∩ b) == a   — the fundamental bag identity.
+            let left = a.difference(&b).union(&a.intersection(&b));
+            prop_assert_eq!(left, a);
+        }
+
+        #[test]
+        fn prop_subset_of_union(a in arb_bag(), b in arb_bag()) {
+            prop_assert!(a.is_subset(&a.union(&b)));
+            prop_assert!(b.is_subset(&a.union(&b)));
+        }
+
+        #[test]
+        fn prop_intersection_is_lower_bound(a in arb_bag(), b in arb_bag()) {
+            let i = a.intersection(&b);
+            prop_assert!(i.is_subset(&a));
+            prop_assert!(i.is_subset(&b));
+        }
+
+        #[test]
+        fn prop_len_tracks_iter(a in arb_bag()) {
+            prop_assert_eq!(a.len(), a.iter().count());
+            prop_assert_eq!(a.distinct_len(), a.iter_counts().count());
+        }
+
+        #[test]
+        fn prop_remove_all_succeeds_iff_subset(a in arb_bag(), b in arb_bag()) {
+            let items: Vec<u8> = b.iter().copied().collect();
+            let mut a2 = a.clone();
+            let ok = a2.remove_all(items.iter());
+            prop_assert_eq!(ok, b.is_subset(&a));
+            if ok {
+                prop_assert_eq!(a2, a.difference(&b));
+            } else {
+                prop_assert_eq!(a2, a);
+            }
+        }
+    }
+}

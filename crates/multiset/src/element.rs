@@ -1,0 +1,152 @@
+//! Tagged multiset elements — the paper's `[value, label, tag]` triples.
+//!
+//! §III-A1 of the paper represents every dataflow edge datum as a multiset
+//! element carrying (1) the value, (2) the edge label, and (3) the dynamic
+//! iteration tag maintained by `inctag` nodes. Acyclic programs (Example 1)
+//! use the degenerate tag 0 and the paper prints them as pairs; we keep the
+//! tag always present and let the display layer elide it.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dynamic-dataflow iteration tag.
+///
+/// Tags isolate loop iterations: the dataflow firing rule only matches
+/// operands with equal tags, and the Gamma image of a graph (Algorithm 1)
+/// requires equal tags across a reaction's consumed elements.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// The initial tag carried by root/constant elements.
+    pub const ZERO: Tag = Tag(0);
+
+    /// The successor tag, as produced by an `inctag` node. Saturating: a
+    /// program that runs 2^64 iterations has other problems.
+    #[inline]
+    pub fn next(self) -> Tag {
+        Tag(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(x: u64) -> Self {
+        Tag(x)
+    }
+}
+
+/// A Gamma multiset element / annotated dataflow token: `[value, label, tag]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Element {
+    /// The payload.
+    pub value: Value,
+    /// The edge label this element travels on / is matched by.
+    pub label: Symbol,
+    /// The iteration tag.
+    pub tag: Tag,
+}
+
+impl Element {
+    /// Construct an element.
+    #[inline]
+    pub fn new(value: impl Into<Value>, label: impl Into<Symbol>, tag: impl Into<Tag>) -> Element {
+        Element {
+            value: value.into(),
+            label: label.into(),
+            tag: tag.into(),
+        }
+    }
+
+    /// Construct a tag-0 element (Example-1 style pair `[value, label]`).
+    #[inline]
+    pub fn pair(value: impl Into<Value>, label: impl Into<Symbol>) -> Element {
+        Element::new(value, label, Tag::ZERO)
+    }
+
+    /// The `(label, tag)` matching key.
+    #[inline]
+    pub fn key(&self) -> (Symbol, Tag) {
+        (self.label, self.tag)
+    }
+
+    /// Same element content at the successor tag (inctag semantics).
+    pub fn with_next_tag(&self) -> Element {
+        Element {
+            value: self.value.clone(),
+            label: self.label,
+            tag: self.tag.next(),
+        }
+    }
+
+    /// Same element content relabelled onto another edge.
+    pub fn relabelled(&self, label: Symbol) -> Element {
+        Element {
+            value: self.value.clone(),
+            label,
+            tag: self.tag,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    /// Paper-style rendering: `[5,'B1',0]`, eliding a zero tag to the pair
+    /// form `[5,'B1']` used in Example 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tag == Tag::ZERO {
+            write!(f, "[{},'{}']", self.value, self.label)
+        } else {
+            write!(f, "[{},'{}',{}]", self.value, self.label, self.tag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_elides_zero_tag() {
+        let e = Element::pair(5, "B1");
+        assert_eq!(e.to_string(), "[5,'B1']");
+        let e = Element::new(5, "B1", 3u64);
+        assert_eq!(e.to_string(), "[5,'B1',3]");
+    }
+
+    #[test]
+    fn next_tag_increments() {
+        let e = Element::new(1, "A1", 0u64);
+        assert_eq!(e.with_next_tag().tag, Tag(1));
+        assert_eq!(e.with_next_tag().value, e.value);
+        assert_eq!(e.with_next_tag().label, e.label);
+    }
+
+    #[test]
+    fn tag_next_saturates() {
+        assert_eq!(Tag(u64::MAX).next(), Tag(u64::MAX));
+    }
+
+    #[test]
+    fn relabel_preserves_value_and_tag() {
+        let e = Element::new(9, "X", 4u64);
+        let r = e.relabelled(Symbol::intern("Y"));
+        assert_eq!(r.value, Value::int(9));
+        assert_eq!(r.tag, Tag(4));
+        assert_eq!(r.label.as_str(), "Y");
+    }
+
+    #[test]
+    fn key_is_label_and_tag() {
+        let e = Element::new(1, "K", 7u64);
+        assert_eq!(e.key(), (Symbol::intern("K"), Tag(7)));
+    }
+}

@@ -1,0 +1,150 @@
+//! A from-scratch implementation of the Fx hash function.
+//!
+//! The keys hashed on gammaflow's hot paths are tiny — interned `u32`
+//! symbols, `u64` tags, and small `(Symbol, Tag)` pairs — for which the
+//! standard library's SipHash is measurably slow (see the Rust Performance
+//! Book, "Hashing"). The Fx algorithm (originally from Firefox, used
+//! throughout rustc via the `rustc-hash` crate) is a simple
+//! multiply-and-rotate mix that excels on short integer keys. It is
+//! implemented here directly rather than pulled in as a dependency to keep
+//! the offline dependency set minimal.
+//!
+//! Fx is *not* HashDoS-resistant; all keys hashed with it in this workspace
+//! are internally generated (interner ids, node ids, tags), never attacker
+//! controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplication constant (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming hasher state implementing the Fx algorithm.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail; this mirrors the
+        // reference implementation closely enough to keep the same
+        // distribution quality.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline(always)]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a single `u64` with Fx; handy for shard selection. Equals the
+/// result of a fresh [`FxHasher`] after one `write_u64`.
+#[inline(always)]
+pub fn hash_u64(x: u64) -> u64 {
+    x.wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Fx is weak but must at least separate consecutive small ints.
+        let a = hash_of(&1u64);
+        let b = hash_of(&2u64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2][..]));
+        assert_ne!(hash_of(&[0u8; 3][..]), hash_of(&[0u8; 4][..]));
+    }
+
+    #[test]
+    fn spread_over_buckets_is_reasonable() {
+        // 10k sequential keys into 64 buckets should not collapse into a few.
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u64 {
+            buckets[(hash_of(&i) % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 400, "max bucket {max} too full");
+        assert!(min > 50, "min bucket {min} too empty");
+    }
+
+    #[test]
+    fn hash_u64_matches_single_write() {
+        let mut h = FxHasher::default();
+        h.write_u64(77);
+        assert_eq!(h.finish(), hash_u64(77));
+    }
+}

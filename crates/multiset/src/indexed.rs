@@ -1,0 +1,422 @@
+//! `(label, tag)`-indexed multiset of [`Element`]s.
+//!
+//! Reaction matching is the performance heart of any Gamma implementation:
+//! a k-ary reaction naively scans O(|M|^k) tuples. Algorithm 1's image has a
+//! decisive structural property — every consumed position carries a *literal
+//! label* and all positions share one tag — so indexing the multiset by
+//! `(label, tag)` turns matching into bucket lookups. This mirrors how the
+//! waiting–matching store of a tagged-token dataflow machine is keyed, which
+//! is itself one facet of the paper's equivalence.
+
+use crate::bag::HashBag;
+use crate::element::{Element, Tag};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A multiset of `[value, label, tag]` elements with a two-level
+/// label → tag → values index.
+///
+/// Serialised as a `(element, count)` pair list; the index is rebuilt on
+/// load (it is derived data, and JSON map keys must be strings).
+#[derive(Clone, Default)]
+pub struct ElementBag {
+    index: FxHashMap<Symbol, FxHashMap<Tag, HashBag<Value>>>,
+    len: usize,
+}
+
+impl Serialize for ElementBag {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter_counts())
+    }
+}
+
+impl<'de> Deserialize<'de> for ElementBag {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(Element, usize)> = Vec::deserialize(deserializer)?;
+        let mut bag = ElementBag::new();
+        for (e, c) in pairs {
+            bag.insert_n(e, c);
+        }
+        Ok(bag)
+    }
+}
+
+impl ElementBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of elements, counting multiplicity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one occurrence of `e`.
+    pub fn insert(&mut self, e: Element) {
+        self.insert_n(e, 1);
+    }
+
+    /// Insert `n` occurrences of `e`.
+    pub fn insert_n(&mut self, e: Element, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.index
+            .entry(e.label)
+            .or_default()
+            .entry(e.tag)
+            .or_default()
+            .insert_n(e.value, n);
+        self.len += n;
+    }
+
+    /// Multiplicity of `e`.
+    pub fn count(&self, e: &Element) -> usize {
+        self.bucket(e.label, e.tag)
+            .map_or(0, |bucket| bucket.count(&e.value))
+    }
+
+    /// True if `e` occurs at least once.
+    pub fn contains(&self, e: &Element) -> bool {
+        self.count(e) > 0
+    }
+
+    /// Remove one occurrence of `e`. Returns `true` if present.
+    pub fn remove(&mut self, e: &Element) -> bool {
+        let Some(tags) = self.index.get_mut(&e.label) else {
+            return false;
+        };
+        let Some(bucket) = tags.get_mut(&e.tag) else {
+            return false;
+        };
+        if !bucket.remove(&e.value) {
+            return false;
+        }
+        if bucket.is_empty() {
+            tags.remove(&e.tag);
+            if tags.is_empty() {
+                self.index.remove(&e.label);
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Remove one occurrence of each element in `items`, atomically: if any
+    /// is unavailable (with multiplicity) nothing is removed and `false` is
+    /// returned. The consume half of a Γ step.
+    pub fn remove_all(&mut self, items: &[Element]) -> bool {
+        // Availability check with duplicate demand.
+        let mut demand: FxHashMap<&Element, usize> = FxHashMap::default();
+        for e in items {
+            *demand.entry(e).or_insert(0) += 1;
+        }
+        for (e, need) in &demand {
+            if self.count(e) < *need {
+                return false;
+            }
+        }
+        for e in items {
+            let removed = self.remove(e);
+            debug_assert!(removed);
+        }
+        true
+    }
+
+    /// The value bucket for `(label, tag)`, if any elements are present.
+    #[inline]
+    pub fn bucket(&self, label: Symbol, tag: Tag) -> Option<&HashBag<Value>> {
+        self.index.get(&label).and_then(|tags| tags.get(&tag))
+    }
+
+    /// Number of elements carrying `label` (any tag).
+    pub fn count_label(&self, label: Symbol) -> usize {
+        self.index
+            .get(&label)
+            .map_or(0, |tags| tags.values().map(|b| b.len()).sum())
+    }
+
+    /// Iterate over the distinct labels currently present.
+    pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Iterate over the distinct tags present for `label`.
+    pub fn tags_for(&self, label: Symbol) -> impl Iterator<Item = Tag> + '_ {
+        self.index
+            .get(&label)
+            .into_iter()
+            .flat_map(|tags| tags.keys().copied())
+    }
+
+    /// Iterate over every element occurrence.
+    pub fn iter(&self) -> impl Iterator<Item = Element> + '_ {
+        self.index.iter().flat_map(|(&label, tags)| {
+            tags.iter().flat_map(move |(&tag, bucket)| {
+                bucket.iter().map(move |value| Element {
+                    value: value.clone(),
+                    label,
+                    tag,
+                })
+            })
+        })
+    }
+
+    /// Iterate over `(element, multiplicity)` pairs.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (Element, usize)> + '_ {
+        self.index.iter().flat_map(|(&label, tags)| {
+            tags.iter().flat_map(move |(&tag, bucket)| {
+                bucket.iter_counts().map(move |(value, c)| {
+                    (
+                        Element {
+                            value: value.clone(),
+                            label,
+                            tag,
+                        },
+                        c,
+                    )
+                })
+            })
+        })
+    }
+
+    /// The sub-multiset of elements whose label passes `keep`, as a new bag.
+    /// Used to project final multisets onto output labels for equivalence
+    /// comparison.
+    pub fn project(&self, mut keep: impl FnMut(Symbol) -> bool) -> ElementBag {
+        let mut out = ElementBag::new();
+        for (e, c) in self.iter_counts() {
+            if keep(e.label) {
+                out.insert_n(e, c);
+            }
+        }
+        out
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.len = 0;
+    }
+
+    /// Merge another bag into this one.
+    pub fn absorb(&mut self, other: ElementBag) {
+        for (e, c) in other.iter_counts() {
+            self.insert_n(e, c);
+        }
+    }
+
+    /// Convert to a plain [`HashBag`] of elements (loses the index).
+    pub fn to_hash_bag(&self) -> HashBag<Element> {
+        let mut bag = HashBag::with_capacity(self.len);
+        for (e, c) in self.iter_counts() {
+            bag.insert_n(e, c);
+        }
+        bag
+    }
+
+    /// Deterministic sorted listing, for snapshot tests and display.
+    pub fn sorted_elements(&self) -> Vec<Element> {
+        let mut v: Vec<Element> = self.iter().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for ElementBag {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.iter_counts().all(|(e, c)| other.count(&e) == c)
+    }
+}
+impl Eq for ElementBag {}
+
+impl FromIterator<Element> for ElementBag {
+    fn from_iter<I: IntoIterator<Item = Element>>(iter: I) -> Self {
+        let mut bag = ElementBag::new();
+        for e in iter {
+            bag.insert(e);
+        }
+        bag
+    }
+}
+
+impl Extend<Element> for ElementBag {
+    fn extend<I: IntoIterator<Item = Element>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl fmt::Debug for ElementBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ElementBag{}", self)
+    }
+}
+
+impl fmt::Display for ElementBag {
+    /// Paper-style `{[1,'A1'], [5,'B1']}` rendering, sorted for determinism.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.sorted_elements().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    #[test]
+    fn insert_and_bucket_lookup() {
+        let mut bag = ElementBag::new();
+        bag.insert(e(1, "A1", 0));
+        bag.insert(e(5, "B1", 0));
+        bag.insert(e(5, "B1", 0));
+        bag.insert(e(7, "B1", 3));
+        assert_eq!(bag.len(), 4);
+        let b = bag.bucket(Symbol::intern("B1"), Tag(0)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.count(&Value::int(5)), 2);
+        assert_eq!(bag.count_label(Symbol::intern("B1")), 3);
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets() {
+        let mut bag = ElementBag::new();
+        bag.insert(e(1, "X", 0));
+        assert!(bag.remove(&e(1, "X", 0)));
+        assert!(bag.is_empty());
+        assert!(bag.bucket(Symbol::intern("X"), Tag(0)).is_none());
+        assert_eq!(bag.labels().count(), 0);
+    }
+
+    #[test]
+    fn remove_all_atomicity() {
+        let mut bag: ElementBag = [e(1, "A", 0), e(2, "B", 0)].into_iter().collect();
+        assert!(!bag.remove_all(&[e(1, "A", 0), e(9, "C", 0)]));
+        assert_eq!(bag.len(), 2);
+        assert!(bag.remove_all(&[e(1, "A", 0), e(2, "B", 0)]));
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn remove_all_duplicate_demand() {
+        let mut bag: ElementBag = [e(1, "A", 0)].into_iter().collect();
+        assert!(!bag.remove_all(&[e(1, "A", 0), e(1, "A", 0)]));
+        assert_eq!(bag.len(), 1);
+    }
+
+    #[test]
+    fn tags_are_isolated() {
+        let mut bag = ElementBag::new();
+        bag.insert(e(1, "A", 0));
+        bag.insert(e(1, "A", 1));
+        assert_eq!(bag.bucket(Symbol::intern("A"), Tag(0)).unwrap().len(), 1);
+        assert_eq!(bag.bucket(Symbol::intern("A"), Tag(1)).unwrap().len(), 1);
+        let mut tags: Vec<Tag> = bag.tags_for(Symbol::intern("A")).collect();
+        tags.sort();
+        assert_eq!(tags, vec![Tag(0), Tag(1)]);
+    }
+
+    #[test]
+    fn projection_filters_labels() {
+        let bag: ElementBag = [e(1, "keep", 0), e(2, "drop", 0), e(3, "keep", 1)]
+            .into_iter()
+            .collect();
+        let keep = Symbol::intern("keep");
+        let p = bag.project(|l| l == keep);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&e(1, "keep", 0)));
+        assert!(p.contains(&e(3, "keep", 1)));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let bag: ElementBag = [e(1, "A1", 0), e(5, "B1", 0)].into_iter().collect();
+        assert_eq!(bag.to_string(), "{[1,'A1'], [5,'B1']}");
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a: ElementBag = [e(1, "A", 0), e(1, "A", 0), e(2, "B", 1)]
+            .into_iter()
+            .collect();
+        let b: ElementBag = [e(2, "B", 1), e(1, "A", 0), e(1, "A", 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+        let c: ElementBag = [e(1, "A", 0), e(2, "B", 1)].into_iter().collect();
+        assert_ne!(a, c);
+    }
+
+    fn arb_elem() -> impl Strategy<Value = Element> {
+        (0i64..4, 0usize..3, 0u64..3).prop_map(|(v, l, t)| {
+            let labels = ["L0", "L1", "L2"];
+            Element::new(v, labels[l], t)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_is_iter_count(elems in proptest::collection::vec(arb_elem(), 0..40)) {
+            let bag: ElementBag = elems.iter().cloned().collect();
+            prop_assert_eq!(bag.len(), bag.iter().count());
+            prop_assert_eq!(bag.len(), elems.len());
+        }
+
+        #[test]
+        fn prop_roundtrip_through_hashbag(elems in proptest::collection::vec(arb_elem(), 0..40)) {
+            let bag: ElementBag = elems.iter().cloned().collect();
+            let hb = bag.to_hash_bag();
+            let back: ElementBag = hb.iter().cloned().collect();
+            prop_assert_eq!(bag, back);
+        }
+
+        #[test]
+        fn prop_insert_then_remove_is_identity(
+            elems in proptest::collection::vec(arb_elem(), 0..40),
+            extra in arb_elem()
+        ) {
+            let bag: ElementBag = elems.iter().cloned().collect();
+            let mut bag2 = bag.clone();
+            bag2.insert(extra.clone());
+            prop_assert!(bag2.remove(&extra));
+            prop_assert_eq!(bag, bag2);
+        }
+
+        #[test]
+        fn prop_count_label_sums_buckets(elems in proptest::collection::vec(arb_elem(), 0..40)) {
+            let bag: ElementBag = elems.iter().cloned().collect();
+            for label in ["L0", "L1", "L2"] {
+                let sym = Symbol::intern(label);
+                let expected = elems.iter().filter(|e| e.label == sym).count();
+                prop_assert_eq!(bag.count_label(sym), expected);
+            }
+        }
+    }
+}

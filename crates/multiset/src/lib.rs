@@ -1,0 +1,49 @@
+//! Multiset substrate for the gammaflow workspace.
+//!
+//! The Gamma model (Banâtre & Le Métayer, 1986) operates on a single shared
+//! *multiset* whose elements are consumed and produced by reactions; the
+//! dynamic dataflow model moves *tagged tokens* along graph edges. The paper
+//! reproduced by this workspace shows the two are inter-convertible when
+//! multiset elements are triples `[value, label, tag]` — exactly the shape of
+//! a dataflow token annotated with the edge it travels on.
+//!
+//! This crate provides the shared substrate both execution models are built
+//! on:
+//!
+//! * [`Value`] — the scalar value domain (integers, booleans, floats,
+//!   strings) with total arithmetic/comparison semantics shared by both
+//!   interpreters, so differential testing compares like with like.
+//! * [`Symbol`] — interned edge/element labels (`'A1'`, `'B2'`, …).
+//! * [`Element`] and [`Tag`] — the `[value, label, tag]` triples of the
+//!   paper's §III-A1.
+//! * [`HashBag`] — a generic counted multiset with full multiset algebra.
+//! * [`ElementBag`] — a `(label, tag)`-indexed multiset of [`Element`]s; the
+//!   index is what makes Gamma reaction matching tractable.
+//! * [`ShardedBag`] — a concurrent, sharded multiset used by the parallel
+//!   Gamma interpreter, supporting atomic multi-element claims.
+//!
+//! Hashing throughout uses a from-scratch implementation of the Fx hash
+//! algorithm ([`fxhash`]) because label/tag keys are tiny and hot, following
+//! the Rust Performance Book's guidance on alternative hashers.
+
+#![warn(missing_docs)]
+
+pub mod bag;
+pub mod element;
+pub mod fxhash;
+pub mod indexed;
+pub mod sharded;
+pub mod symbol;
+pub mod value;
+
+pub use bag::HashBag;
+pub use element::{Element, Tag};
+pub use indexed::ElementBag;
+pub use sharded::ShardedBag;
+pub use symbol::Symbol;
+pub use value::{Value, ValueError};
+
+/// Convenience alias: a `HashMap` keyed with the crate's fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, fxhash::FxBuildHasher>;
+/// Convenience alias: a `HashSet` keyed with the crate's fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, fxhash::FxBuildHasher>;

@@ -1,0 +1,155 @@
+//! Interned label symbols.
+//!
+//! Edge labels (`'A1'`, `'B17'`, …) are the join keys of the whole system:
+//! every reaction match and every token route goes through them. Interning
+//! turns label comparison and hashing into `u32` operations and lets labels
+//! be `Copy`, which keeps the hot matching structures allocation-free.
+//!
+//! The interner is a process-global, append-only table. Interned strings are
+//! leaked (`Box::leak`) to hand out `&'static str`; the total leak is
+//! bounded by the number of *distinct* labels ever created, which for this
+//! workload (graph edges, node names) is small and proportional to program
+//! size, not to execution length.
+
+use crate::FxHashMap;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string label. Cheap to copy, compare, and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern a string, returning its symbol. Idempotent.
+    pub fn intern(s: &str) -> Symbol {
+        // Fast path: read lock only.
+        {
+            let g = interner().read();
+            if let Some(&id) = g.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut g = interner().write();
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(g.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw interner index (stable within a process run; useful for
+    /// dense per-label tables).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Number of distinct symbols interned so far (for sizing dense tables).
+    pub fn count() -> usize {
+        interner().read().strings.len()
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+// Serialize symbols as their strings so snapshots survive across processes.
+impl Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("A1");
+        let b = Symbol::intern("A1");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("distinct-x"), Symbol::intern("distinct-y"));
+    }
+
+    #[test]
+    fn round_trips_string() {
+        let s = Symbol::intern("B17");
+        assert_eq!(s.as_str(), "B17");
+        assert_eq!(s.to_string(), "B17");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("concurrent-label").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "from-str".into();
+        let b: Symbol = String::from("from-str").into();
+        assert_eq!(a, b);
+    }
+}

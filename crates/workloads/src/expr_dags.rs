@@ -1,0 +1,268 @@
+//! Random expression-DAG generators.
+//!
+//! Produce acyclic dataflow graphs of parameterised size and shape —
+//! layered DAGs of arithmetic/comparison nodes over integer constants —
+//! plus the reference value of every output (computed structurally, not by
+//! an engine, so engine bugs cannot hide). These drive the randomized
+//! differential equivalence experiment (E6) and the conversion-throughput
+//! benchmarks (P4).
+
+use gammaflow_dataflow::graph::{DataflowGraph, GraphBuilder, NodeId};
+use gammaflow_dataflow::node::NodeKind;
+use gammaflow_multiset::value::BinOp;
+use gammaflow_multiset::{Element, ElementBag};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_dag`].
+#[derive(Debug, Clone)]
+pub struct DagParams {
+    /// Number of constant (root) nodes.
+    pub roots: usize,
+    /// Number of operator layers.
+    pub layers: usize,
+    /// Operator nodes per layer.
+    pub width: usize,
+    /// Constant value range (inclusive, symmetric: `-range..=range`).
+    pub range: i64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            roots: 4,
+            layers: 3,
+            width: 4,
+            range: 100,
+        }
+    }
+}
+
+/// A generated DAG plus its reference outputs.
+#[derive(Debug, Clone)]
+pub struct GeneratedDag {
+    /// The graph (every last-layer node wired to an output sink).
+    pub graph: DataflowGraph,
+    /// The expected output bag (edge label → value, tag 0).
+    pub expected: ElementBag,
+}
+
+/// Division/remainder are excluded: a random divisor can be zero, which is
+/// a *fault* in both models — faults are tested separately, not here.
+const OPS: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max];
+
+/// Generate a random layered DAG. Each operator draws its two operands
+/// uniformly from all earlier nodes, so fan-out (one producer feeding many
+/// consumers — the interesting case for Algorithm 1's per-edge elements)
+/// arises naturally.
+pub fn random_dag(seed: u64, params: &DagParams) -> GeneratedDag {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+
+    // Reference values per producing node.
+    let mut produced: Vec<(NodeId, i64)> = Vec::new();
+
+    for i in 0..params.roots.max(1) {
+        let v = rng.gen_range(-params.range..=params.range);
+        let id = b.constant_named(v, &format!("c{i}"));
+        produced.push((id, v));
+    }
+
+    for layer in 0..params.layers {
+        let layer_start = produced.len();
+        for w in 0..params.width {
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            // Draw operands from strictly earlier layers so the graph
+            // stays acyclic even while this layer is under construction.
+            let ai = rng.gen_range(0..layer_start);
+            let bi = rng.gen_range(0..layer_start);
+            let node = b.add_named(NodeKind::Arith(op, None), format!("l{layer}w{w}"));
+            b.connect(produced[ai].0, node, 0);
+            b.connect(produced[bi].0, node, 1);
+            let value = eval(op, produced[ai].1, produced[bi].1);
+            produced.push((node, value));
+        }
+    }
+
+    // Wire every node with no consumer yet (sources of the final layer and
+    // any unused intermediates) to output sinks so all results are
+    // observable.
+    let consumed: gammaflow_multiset::FxHashSet<NodeId> = {
+        // GraphBuilder doesn't expose edges; track via a second pass using
+        // the builder's build() — instead, just wire the last layer.
+        gammaflow_multiset::FxHashSet::default()
+    };
+    let _ = consumed;
+    let last_layer = produced.len() - params.width.min(produced.len())..produced.len();
+    let mut expected = ElementBag::new();
+    for (k, idx) in last_layer.enumerate() {
+        let (node, value) = produced[idx];
+        let sink = b.add_named(NodeKind::Output, format!("out{k}_sink"));
+        let label = format!("out{k}");
+        b.connect_labelled(node, sink, 0, &label);
+        expected.insert(Element::pair(value, label.as_str()));
+    }
+
+    let graph = b.build().expect("generated DAG is structurally valid");
+    GeneratedDag { graph, expected }
+}
+
+fn eval(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => unreachable!("OPS contains no other operator"),
+    }
+}
+
+/// A wide, embarrassingly parallel DAG: `pairs` independent `a ⊕ b`
+/// computations. Used for PE-scaling experiments where the parallelism is
+/// known by construction (= `pairs`).
+pub fn wide_pairs(seed: u64, pairs: usize) -> GeneratedDag {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut expected = ElementBag::new();
+    for i in 0..pairs {
+        let x = rng.gen_range(-1000..=1000);
+        let y = rng.gen_range(-1000..=1000);
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let cx = b.constant(x);
+        let cy = b.constant(y);
+        let node = b.add(NodeKind::Arith(op, None));
+        let sink = b.add_named(NodeKind::Output, format!("p{i}_sink"));
+        b.connect(cx, node, 0);
+        b.connect(cy, node, 1);
+        let label = format!("p{i}");
+        b.connect_labelled(node, sink, 0, &label);
+        expected.insert(Element::pair(eval(op, x, y), label.as_str()));
+    }
+    GeneratedDag {
+        graph: b.build().expect("valid by construction"),
+        expected,
+    }
+}
+
+/// `chains` independent chains of `depth` increment nodes each — known
+/// parallelism = `chains`, with enough work per chain to amortise
+/// scheduling. Nodes of one chain have consecutive ids, so the parallel
+/// engine's block partition keeps each chain PE-local (experiment P2's
+/// locality ablation).
+pub fn wide_chains(seed: u64, chains: usize, depth: usize) -> GeneratedDag {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut expected = ElementBag::new();
+    for c in 0..chains {
+        let start = rng.gen_range(-1000..=1000);
+        let mut prev = b.constant(start);
+        for _ in 0..depth {
+            let node = b.add(NodeKind::Arith(
+                BinOp::Add,
+                Some(gammaflow_dataflow::node::Imm::right(1)),
+            ));
+            b.connect(prev, node, 0);
+            prev = node;
+        }
+        let sink = b.add_named(NodeKind::Output, format!("c{c}_sink"));
+        let label = format!("c{c}");
+        b.connect_labelled(prev, sink, 0, &label);
+        expected.insert(Element::pair(start + depth as i64, label.as_str()));
+    }
+    GeneratedDag {
+        graph: b.build().expect("valid by construction"),
+        expected,
+    }
+}
+
+/// A deep dependency chain of `depth` unary increments — zero parallelism,
+/// the worst case for any parallel engine (used as the serial baseline in
+/// scaling experiments).
+pub fn deep_chain(depth: usize, start: i64) -> GeneratedDag {
+    let mut b = GraphBuilder::new();
+    let mut prev = b.constant(start);
+    for _ in 0..depth {
+        let node = b.add(NodeKind::Arith(
+            BinOp::Add,
+            Some(gammaflow_dataflow::node::Imm::right(1)),
+        ));
+        b.connect(prev, node, 0);
+        prev = node;
+    }
+    let sink = b.add_named(NodeKind::Output, "end_sink");
+    b.connect_labelled(prev, sink, 0, "end");
+    let mut expected = ElementBag::new();
+    expected.insert(Element::pair(start.wrapping_add(depth as i64), "end"));
+    GeneratedDag {
+        graph: b.build().expect("valid by construction"),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gammaflow_dataflow::engine::SeqEngine;
+
+    #[test]
+    fn random_dag_reference_matches_engine() {
+        for seed in 0..10 {
+            let dag = random_dag(seed, &DagParams::default());
+            let result = SeqEngine::new(&dag.graph).run().unwrap();
+            assert_eq!(result.outputs, dag.expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bigger_dags_also_agree() {
+        let params = DagParams {
+            roots: 10,
+            layers: 6,
+            width: 8,
+            range: 1_000_000,
+        };
+        for seed in [99, 1234] {
+            let dag = random_dag(seed, &params);
+            assert_eq!(dag.graph.node_count(), 10 + 6 * 8 + 8);
+            let result = SeqEngine::new(&dag.graph).run().unwrap();
+            assert_eq!(result.outputs, dag.expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_dag(7, &DagParams::default());
+        let b = random_dag(7, &DagParams::default());
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.expected, b.expected);
+    }
+
+    #[test]
+    fn wide_pairs_has_expected_profile() {
+        let dag = wide_pairs(1, 16);
+        let result = SeqEngine::new(&dag.graph).run().unwrap();
+        assert_eq!(result.outputs, dag.expected);
+        // All 16 operator firings land in one wave.
+        assert_eq!(result.profile, vec![16]);
+    }
+
+    #[test]
+    fn wide_chains_reference_matches_engine() {
+        let dag = wide_chains(5, 8, 64);
+        let result = SeqEngine::new(&dag.graph).run().unwrap();
+        assert_eq!(result.outputs, dag.expected);
+        // 8 chains advance in lockstep: every wave fires 8 nodes.
+        assert!(result.profile[..64].iter().all(|&w| w == 8));
+    }
+
+    #[test]
+    fn deep_chain_is_serial() {
+        let dag = deep_chain(50, 7);
+        let result = SeqEngine::new(&dag.graph).run().unwrap();
+        assert_eq!(result.outputs, dag.expected);
+        // One firing per wave: fully serial.
+        assert_eq!(result.profile.len(), 50);
+        assert!(result.profile.iter().all(|&w| w == 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload generators and classic programs for the gammaflow test and
+//! benchmark suites.
+//!
+//! * [`expr_dags`] — random layered expression DAGs with structurally
+//!   computed reference outputs (experiments E6, P4), plus wide/deep
+//!   extremes for scaling studies.
+//! * [`loops`] — parameterised families of the paper's Fig. 2 loop,
+//!   including multi-loop graphs with known inter-loop parallelism (P2)
+//!   and the mini-C sources they correspond to.
+//! * [`classic`] — the standard Gamma repertoire (minimum per the paper's
+//!   Eq. (2), maximum, sum, primes sieve, GCD, exchange sort), each
+//!   self-checking (P3).
+//! * [`fusion`] — synthetic sensor data-fusion / target-tracking scenario
+//!   standing in for the paper's application reference \[1\].
+//! * [`image`] — synthetic image segmentation + histogram scenario
+//!   standing in for the chemical-model image-processing applications
+//!   (paper ref. \[21\]).
+
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod expr_dags;
+pub mod fusion;
+pub mod image;
+pub mod loops;
+
+pub use classic::{exchange_sort, gcd, maximum, minimum, primes, sum, Workload};
+pub use expr_dags::{deep_chain, random_dag, wide_chains, wide_pairs, DagParams, GeneratedDag};
+pub use fusion::{scenario as fusion_scenario, FusionScenario};
+pub use image::{scenario as image_scenario, ImageScenario};
+pub use loops::{accumulator_loop, build_fig2_into, parallel_loops, source_for, LoopWorkload};

@@ -1,0 +1,67 @@
+//! # gammaflow
+//!
+//! A faithful, executable reproduction of *"Exploring the Equivalence
+//! between Dynamic Dataflow Model and Gamma — General Abstract Model for
+//! Multiset mAnipulation"* (Mello Jr. et al., 2019).
+//!
+//! The workspace builds **both** computational models from scratch and the
+//! conversion algorithms between them:
+//!
+//! * [`multiset`] — tagged elements `[value, label, tag]`, counted bags,
+//!   indexed and concurrent multisets.
+//! * [`gamma`] — the Gamma model: reactions, the Γ operator, sequential and
+//!   parallel interpreters with steady-state termination.
+//! * [`dataflow`] — the dynamic (tagged-token) dataflow model: graphs,
+//!   steer/inctag nodes, waiting–matching store, sequential and multi-PE
+//!   engines.
+//! * [`lang`] — the paper's Fig. 3 Gamma syntax: parser, pretty-printer, and
+//!   a compiler to executable reactions.
+//! * [`frontend`] — a mini imperative language that regenerates the paper's
+//!   example graphs (Figs. 1–2) from C-like source.
+//! * [`core`] — the paper's contribution: Algorithm 1 (dataflow → Gamma),
+//!   Algorithm 2 (Gamma → dataflow, incl. the Fig. 4 multiset mapping),
+//!   §III-A3 reductions, and differential equivalence checking.
+//! * [`workloads`] — generators and classic Gamma/dataflow programs used by
+//!   tests and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gammaflow::prelude::*;
+//!
+//! // The paper's Example 1: m = (x + y) - (k * j).
+//! let src = "int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j);";
+//! let graph = gammaflow::frontend::compile(src).unwrap();
+//!
+//! // Run it on the dataflow engine...
+//! let df = gammaflow::dataflow::SeqEngine::new(&graph).run().unwrap();
+//!
+//! // ...convert it with Algorithm 1 and run the Gamma program instead.
+//! let conv = gammaflow::core::dataflow_to_gamma(&graph).unwrap();
+//! let gm = gammaflow::gamma::SeqInterpreter::with_seed(&conv.program, conv.initial.clone(), 42)
+//!     .run()
+//!     .unwrap();
+//!
+//! // Both models agree on the output edge `m`.
+//! let m = Symbol::intern("m");
+//! assert_eq!(
+//!     df.outputs.project(|l| l == m),
+//!     gm.multiset.project(|l| l == m),
+//! );
+//! ```
+
+pub use gammaflow_core as core;
+pub use gammaflow_dataflow as dataflow;
+pub use gammaflow_frontend as frontend;
+pub use gammaflow_gamma as gamma;
+pub use gammaflow_lang as lang;
+pub use gammaflow_multiset as multiset;
+pub use gammaflow_workloads as workloads;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use gammaflow_core::{dataflow_to_gamma, gamma_to_dataflow};
+    pub use gammaflow_dataflow::{GraphBuilder, SeqEngine};
+    pub use gammaflow_gamma::{GammaProgram, SeqInterpreter};
+    pub use gammaflow_multiset::{Element, ElementBag, Symbol, Tag, Value};
+}

@@ -1,0 +1,189 @@
+//! Integration tests for the `gfc` command line, driving the real binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn gfc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gfc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gammaflow-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(contents.as_bytes())
+        .unwrap();
+    path
+}
+
+const EX1_MC: &str =
+    "int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j); output m;";
+
+const EX1_GAMMA: &str = "
+R1 = replace [id1,'A1'], [id2,'B1'] by [id1+id2,'B2']
+R2 = replace [id1,'C1'], [id2,'D1'] by [id1*id2,'C2']
+R3 = replace [id1,'B2'], [id2,'C2'] by [id1-id2,'m']
+";
+
+const EX1_M: &str = "{[1,'A1'],[5,'B1'],[3,'C1'],[2,'D1']}";
+
+#[test]
+fn no_args_prints_usage() {
+    let out = gfc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn compile_lists_nodes() {
+    let f = write_temp("c1.mc", EX1_MC);
+    let out = gfc().arg("compile").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8 nodes"), "{text}");
+    assert!(text.contains("4 roots"), "{text}");
+}
+
+#[test]
+fn compile_dot_is_graphviz() {
+    let f = write_temp("c2.mc", EX1_MC);
+    let out = gfc().arg("compile").arg(&f).arg("--dot").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+    assert!(text.contains("shape=square"));
+}
+
+#[test]
+fn run_df_reports_outputs() {
+    let f = write_temp("r1.mc", EX1_MC);
+    let out = gfc().arg("run-df").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("{[0,'m']}"), "{text}");
+    assert!(text.contains("Quiescent"), "{text}");
+}
+
+#[test]
+fn convert_emits_gamma_code() {
+    let f = write_temp("v1.mc", EX1_MC);
+    let out = gfc().arg("convert").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replace"), "{text}");
+    assert!(text.contains("# M = "), "{text}");
+    assert!(text.contains("output labels: m"), "{text}");
+}
+
+#[test]
+fn run_gamma_reaches_steady_state() {
+    let f = write_temp("g1.gamma", EX1_GAMMA);
+    let out = gfc()
+        .arg("run-gamma")
+        .arg(&f)
+        .arg("-m")
+        .arg(EX1_M)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("steady state: {[0,'m']}"), "{text}");
+}
+
+#[test]
+fn run_gamma_without_multiset_fails() {
+    let f = write_temp("g2.gamma", EX1_GAMMA);
+    let out = gfc().arg("run-gamma").arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-m"));
+}
+
+#[test]
+fn check_reports_equivalence() {
+    let f = write_temp("k1.mc", EX1_MC);
+    let out = gfc().arg("check").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("equivalent:        true"), "{text}");
+}
+
+#[test]
+fn fuse_reduces_example1() {
+    let f = write_temp("f1.gamma", EX1_GAMMA);
+    let out = gfc()
+        .arg("fuse")
+        .arg(&f)
+        .arg("--protect")
+        .arg("A1,B1,C1,D1,m")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fused 3 -> 1"), "{text}");
+    assert!(text.contains("id1 + id2 - id3 * id4"), "{text}");
+}
+
+#[test]
+fn reverse_stitches_graph() {
+    let f = write_temp("rv1.gamma", EX1_GAMMA);
+    let out = gfc()
+        .arg("reverse")
+        .arg(&f)
+        .arg("-m")
+        .arg(EX1_M)
+        .arg("--dot")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+}
+
+#[test]
+fn reuse_reports_redundancy() {
+    let prog = "double = replace [x,'in'] by [x*2,'out']";
+    let f = write_temp("u1.gamma", prog);
+    let out = gfc()
+        .arg("reuse")
+        .arg(&f)
+        .arg("-m")
+        .arg("{[7,'in'],[7,'in'],[7,'in'],[7,'in']}")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 firings, 3 redundant (75.0% memoizable)"), "{text}");
+}
+
+#[test]
+fn bad_file_is_a_clean_error() {
+    let out = gfc().arg("compile").arg("/nonexistent/x.mc").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn parse_error_is_a_clean_error() {
+    let f = write_temp("bad.mc", "int x = ;");
+    let out = gfc().arg("compile").arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
+fn stdin_is_not_consumed() {
+    // Commands read files, never stdin: closing stdin must not hang.
+    let f = write_temp("s1.mc", EX1_MC);
+    let mut child = gfc()
+        .arg("run-df")
+        .arg(&f)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}

@@ -1,0 +1,113 @@
+//! Shared fixtures for the integration tests: the paper's Fig. 1 and
+//! Fig. 2 graphs, built with the paper's exact node names and edge labels.
+//!
+//! Each integration test binary uses a different subset of these fixtures.
+#![allow(dead_code)]
+
+use gammaflow::dataflow::graph::{DataflowGraph, GraphBuilder, OutPort};
+use gammaflow::dataflow::node::{Imm, NodeKind};
+use gammaflow::multiset::value::{BinOp, CmpOp};
+
+/// The paper's Fig. 1: `m = (x + y) - (k * j)` with x=1, y=5, k=3, j=2,
+/// result observable on edge `m`.
+pub fn fig1() -> DataflowGraph {
+    let mut b = GraphBuilder::new();
+    let x = b.constant_named(1, "x");
+    let y = b.constant_named(5, "y");
+    let k = b.constant_named(3, "k");
+    let j = b.constant_named(2, "j");
+    let r1 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R1");
+    let r2 = b.add_named(NodeKind::Arith(BinOp::Mul, None), "R2");
+    let r3 = b.add_named(NodeKind::Arith(BinOp::Sub, None), "R3");
+    let m = b.output("m_sink");
+    b.connect_labelled(x, r1, 0, "A1");
+    b.connect_labelled(y, r1, 1, "B1");
+    b.connect_labelled(k, r2, 0, "C1");
+    b.connect_labelled(j, r2, 1, "D1");
+    b.connect_labelled(r1, r3, 0, "B2");
+    b.connect_labelled(r2, r3, 1, "C2");
+    b.connect_labelled(r3, m, 0, "m");
+    b.build().expect("Fig. 1 is valid")
+}
+
+/// The paper's Fig. 2, exactly as drawn: `for (i = z; i > 0; i--) x += y`
+/// with every steer's false port unconnected (the final values are
+/// discarded, as in the paper). Set `observable` to wire the final `x`
+/// through R17's false port to an output instead.
+pub fn fig2(y0: i64, z0: i64, x0: i64, observable: bool) -> DataflowGraph {
+    let mut b = GraphBuilder::new();
+    let y = b.constant_named(y0, "y");
+    let z = b.constant_named(z0, "z");
+    let x = b.constant_named(x0, "x");
+    let r11 = b.add_named(NodeKind::IncTag, "R11");
+    let r12 = b.add_named(NodeKind::IncTag, "R12");
+    let r13 = b.add_named(NodeKind::IncTag, "R13");
+    let r14 = b.add_named(NodeKind::Cmp(CmpOp::Gt, Some(Imm::right(0))), "R14");
+    let r15 = b.add_named(NodeKind::Steer, "R15");
+    let r16 = b.add_named(NodeKind::Steer, "R16");
+    let r17 = b.add_named(NodeKind::Steer, "R17");
+    let r18 = b.add_named(NodeKind::Arith(BinOp::Sub, Some(Imm::right(1))), "R18");
+    let r19 = b.add_named(NodeKind::Arith(BinOp::Add, None), "R19");
+    b.connect_labelled(y, r11, 0, "A1");
+    b.connect_labelled(z, r12, 0, "B1");
+    b.connect_labelled(x, r13, 0, "C1");
+    b.connect_labelled(r11, r15, 0, "A12");
+    b.connect_labelled(r12, r14, 0, "B12");
+    b.connect_labelled(r12, r16, 0, "B13");
+    b.connect_labelled(r13, r17, 0, "C12");
+    b.connect_labelled(r14, r15, 1, "B14");
+    b.connect_labelled(r14, r16, 1, "B15");
+    b.connect_labelled(r14, r17, 1, "B16");
+    b.connect_full(r15, OutPort::True, r11, 0, Some("A11"));
+    b.connect_full(r15, OutPort::True, r19, 0, Some("A13"));
+    b.connect_full(r16, OutPort::True, r18, 0, Some("B17"));
+    b.connect_full(r17, OutPort::True, r19, 1, Some("C13"));
+    b.connect_labelled(r18, r12, 0, "B11");
+    b.connect_labelled(r19, r13, 0, "C11");
+    if observable {
+        let out = b.output("result");
+        b.connect_full(r17, OutPort::False, out, 0, Some("xout"));
+    }
+    b.build().expect("Fig. 2 is valid")
+}
+
+/// The paper's Example-1 source snippet.
+pub const EXAMPLE1_SOURCE: &str =
+    "int x = 1; int y = 5; int k = 3; int j = 2; int m; m = (x + y) - (k * j); output m;";
+
+/// The paper's nine Example-2 reactions, verbatim (modulo whitespace).
+pub const EXAMPLE2_GAMMA: &str = "
+R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')
+R12 = replace [id1,x,v] by [id1,'B12',v+1], [id1,'B13',v+1] if (x=='B1') or (x=='B11')
+R13 = replace [id1,x,v] by [id1,'C12',v+1] if (x=='C1') or (x=='C11')
+R14 = replace [id1, 'B12', v]
+      by [1,'B14',v], [1,'B15',v], [1,'B16',v] If id1 > 0
+      by [0,'B14',v], [0,'B15',v], [0,'B16',v] else
+R15 = replace [id1,'A12',v], [id2,'B14',v]
+      by [id1,'A11',v], [id1,'A13',v] If id2 == 1
+      by 0 else
+R16 = replace [id1,'B13',v], [id2,'B15',v]
+      by [id1,'B17',v] If id2 == 1
+      by 0 else
+R17 = replace [id1,'C12',v], [id2,'B16',v]
+      by [id1,'C13',v] If id2 == 1
+      by 0 else
+R18 = replace [id1,'B17',v] by [id1 - 1,'B11',v]
+R19 = replace [id1,'A13',v], [id2,'C13',v] by [id1+id2,'C11',v]
+";
+
+/// The paper's six hand-reduced Example-2 reactions (§III-A3), verbatim.
+pub const EXAMPLE2_REDUCED_GAMMA: &str = "
+Rd11 = replace [id1,x,v] by [id1,'A12',v+1] If (x=='A1') or (x=='A11')
+Rd12 = replace [id1,x,v] by [id1,'B14',v+1], [id1,'B12',v+1], [id1,'B16',v+1] If (x=='B1') or (x=='B11')
+Rd13 = replace [id1,x,v] by [id1,'C12',v+1] If (x=='C1') or (x=='C11')
+Rd14 = replace [id1,'A12',v], [id2,'B14',v]
+       by [id1,'A11',v], [id1,'A13',v] If id2 > 0
+       by 0 else
+Rd15 = replace [id1,'B12',v]
+       by [id1 - 1,'B11',v] If id1 > 0
+       by 0 else
+Rd16 = replace [id1,'A13',v], [id2,'B16',v], [id3,'C12',v]
+       by [id1 + id3,'C11',v] If id2 > 0
+       by 0 else
+";

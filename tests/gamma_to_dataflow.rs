@@ -1,0 +1,176 @@
+//! E4: Algorithm 2 — Gamma → dataflow, including the Fig. 4 multiset
+//! mapping and full round-trips through both conversion directions.
+
+mod common;
+
+use common::{fig1, fig2, EXAMPLE2_GAMMA};
+use gammaflow::core::{
+    dataflow_to_gamma, gamma_to_dataflow, map_multiset, reaction_to_graph, recover_shape, Shape,
+};
+use gammaflow::dataflow::engine::SeqEngine;
+use gammaflow::dataflow::iso::isomorphic;
+use gammaflow::lang::{parse_program, parse_reaction};
+use gammaflow::multiset::{Element, ElementBag};
+
+// ------------------------------------------------ node-kind recovery ----
+
+#[test]
+fn e4_shapes_of_papers_example2_reactions() {
+    // The paper's future work: "identify kinds of dataflow nodes (steer,
+    // inctag, etc) via the analysis of the behavior of Gamma reactions".
+    let prog = parse_program(EXAMPLE2_GAMMA).unwrap();
+    let shapes: Vec<(String, Shape)> = prog
+        .reactions
+        .iter()
+        .map(|r| (r.name.clone(), recover_shape(r)))
+        .collect();
+    let expect = [
+        ("R11", Shape::IncTag),
+        ("R12", Shape::IncTag),
+        ("R13", Shape::IncTag),
+        ("R14", Shape::Cmp),
+        ("R15", Shape::Steer),
+        ("R16", Shape::Steer),
+        ("R17", Shape::Steer),
+        ("R18", Shape::Generic),
+        ("R19", Shape::Generic),
+    ];
+    for ((name, shape), (en, es)) in shapes.iter().zip(expect.iter()) {
+        assert_eq!(name, en);
+        assert_eq!(shape, es, "{name}");
+    }
+}
+
+// ------------------------------------------------------- round trips ----
+
+#[test]
+fn e4_example1_round_trip_is_isomorphic() {
+    // Fig. 1 → Algorithm 1 → Algorithm 2 stitching → Fig. 1 again.
+    let g = fig1();
+    let conv = dataflow_to_gamma(&g).unwrap();
+    let back = gamma_to_dataflow(&conv.program, &conv.initial).unwrap();
+    assert!(isomorphic(&g, &back), "round trip lost Fig. 1's structure");
+}
+
+#[test]
+fn e4_example2_round_trip_is_isomorphic() {
+    // Fig. 2 (paper version, outputs discarded) round-trips too — the
+    // node-kind recovery rebuilds the triangles and lozenges.
+    let g = fig2(5, 3, 10, false);
+    let conv = dataflow_to_gamma(&g).unwrap();
+    let back = gamma_to_dataflow(&conv.program, &conv.initial).unwrap();
+    assert!(isomorphic(&g, &back), "round trip lost Fig. 2's structure");
+}
+
+#[test]
+fn e4_papers_text_converts_to_fig2() {
+    // Straight from the paper's program text to the paper's figure.
+    let prog = parse_program(EXAMPLE2_GAMMA).unwrap();
+    let initial: ElementBag = [
+        Element::new(5, "A1", 0u64),
+        Element::new(3, "B1", 0u64),
+        Element::new(10, "C1", 0u64),
+    ]
+    .into_iter()
+    .collect();
+    let g = gamma_to_dataflow(&prog, &initial).unwrap();
+    assert!(isomorphic(&g, &fig2(5, 3, 10, false)));
+    // And it executes: quiescent, nothing observable, nothing stuck.
+    let result = SeqEngine::new(&g).run().unwrap();
+    assert!(result.outputs.is_empty());
+    assert!(result.residue.is_empty());
+}
+
+#[test]
+fn e4_observable_round_trip_preserves_results() {
+    let g = fig2(4, 6, 1, true);
+    let df1 = SeqEngine::new(&g).run().unwrap();
+    let conv = dataflow_to_gamma(&g).unwrap();
+    let back = gamma_to_dataflow(&conv.program, &conv.initial).unwrap();
+    let df2 = SeqEngine::new(&back).run().unwrap();
+    assert_eq!(df1.outputs, df2.outputs);
+}
+
+#[test]
+fn e4_gamma_round_trip_example1_program() {
+    // Gamma → dataflow → Gamma: starting from the paper's Example-1 code.
+    let prog = parse_program(
+        "R1 = replace [id1,'A1'], [id2,'B1'] by [id1+id2,'B2']
+         R2 = replace [id1,'C1'], [id2,'D1'] by [id1*id2,'C2']
+         R3 = replace [id1,'B2'], [id2,'C2'] by [id1-id2,'m']",
+    )
+    .unwrap();
+    let initial: ElementBag = [
+        Element::pair(1, "A1"),
+        Element::pair(5, "B1"),
+        Element::pair(3, "C1"),
+        Element::pair(2, "D1"),
+    ]
+    .into_iter()
+    .collect();
+    let g = gamma_to_dataflow(&prog, &initial).unwrap();
+    let conv = dataflow_to_gamma(&g).unwrap();
+    // The reconstructed program is the original (names differ: reactions
+    // are renamed after the synthesized node names, so compare content).
+    assert_eq!(conv.program.len(), prog.len());
+    for (a, b) in conv.program.reactions.iter().zip(prog.reactions.iter()) {
+        assert_eq!(a.patterns, b.patterns, "{} vs {}", a.name, b.name);
+        assert_eq!(a.clauses, b.clauses, "{} vs {}", a.name, b.name);
+    }
+    assert_eq!(conv.initial, initial);
+}
+
+// ------------------------------------------------------------ Fig. 4 ----
+
+#[test]
+fn e4_fig4_instancing_matches_figure() {
+    // Fig. 4 shows one 2-ary reaction instanced 3 times over a 6-element
+    // multiset.
+    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x+y,'s']").unwrap();
+    let m: ElementBag = (1..=6).map(|v| Element::pair(v, "n")).collect();
+    let mapping = map_multiset(&r, &m, usize::MAX).unwrap();
+    assert_eq!(mapping.instances, 3);
+    assert!(mapping.leftover.is_empty());
+}
+
+#[test]
+fn e4_fig4_replication_scales_with_multiset() {
+    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x+y,'s']").unwrap();
+    for size in [6usize, 60, 600] {
+        let m: ElementBag = (1..=size as i64).map(|v| Element::pair(v, "n")).collect();
+        let mapping = map_multiset(&r, &m, usize::MAX).unwrap();
+        assert_eq!(mapping.instances, size / 2, "|M| = {size}");
+        // Each instance contributes 2 roots + 1 op + 1 sink.
+        assert_eq!(mapping.graph.node_count(), 4 * (size / 2));
+        // Executing the instanced graph = one parallel Gamma round.
+        let result = SeqEngine::new(&mapping.graph).run().unwrap();
+        assert_eq!(result.outputs.len(), size / 2);
+        let total: i64 = result.outputs.iter().map(|e| e.value.as_int().unwrap()).sum();
+        let want: i64 = (1..=size as i64).sum();
+        assert_eq!(total, want);
+    }
+}
+
+#[test]
+fn e4_fig4_conditioned_reaction_instances_only_matches() {
+    // A guarded reaction maps only tuples that satisfy the condition.
+    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x,'keep'] if x > y by 0 else")
+        .unwrap();
+    let m: ElementBag = [10, 1, 20, 2].iter().map(|&v| Element::pair(v, "n")).collect();
+    let mapping = map_multiset(&r, &m, usize::MAX).unwrap();
+    // All four elements pair up (any two distinct values satisfy if or
+    // else), so 2 instances regardless of orientation.
+    assert_eq!(mapping.instances, 2);
+}
+
+#[test]
+fn e4_single_reaction_graphs_have_papers_shape() {
+    // §III-A2: "the vertex R1 will have two inputs operands A1 and B1 and
+    // produce one output operand, B2".
+    let r = parse_reaction("R1 = replace [id1,'A1'], [id2,'B1'] by [id1+id2,'B2']").unwrap();
+    let g = reaction_to_graph(&r).unwrap();
+    assert_eq!(g.roots().count(), 2);
+    assert_eq!(g.outputs().count(), 1);
+    let labels: Vec<&str> = g.output_labels().iter().map(|s| s.as_str()).collect();
+    assert_eq!(labels, vec!["B2"]);
+}
