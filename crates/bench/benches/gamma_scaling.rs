@@ -21,24 +21,20 @@ fn bench_sum(c: &mut Criterion) {
         })
     });
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("par", workers),
-            &workers,
-            |b, &workers| {
-                b.iter(|| {
-                    run_parallel(
-                        &w.program,
-                        w.initial.clone(),
-                        &ParConfig {
-                            workers,
-                            seed: 1,
-                            ..ParConfig::default()
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                run_parallel(
+                    &w.program,
+                    w.initial.clone(),
+                    &ParConfig {
+                        workers,
+                        seed: 1,
+                        ..ParConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -55,24 +51,20 @@ fn bench_primes(c: &mut Criterion) {
         })
     });
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("par", workers),
-            &workers,
-            |b, &workers| {
-                b.iter(|| {
-                    run_parallel(
-                        &w.program,
-                        w.initial.clone(),
-                        &ParConfig {
-                            workers,
-                            seed: 1,
-                            ..ParConfig::default()
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                run_parallel(
+                    &w.program,
+                    w.initial.clone(),
+                    &ParConfig {
+                        workers,
+                        seed: 1,
+                        ..ParConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -137,11 +137,9 @@ fn bench_naive_vs_indexed(c: &mut Criterion) {
             .collect();
         let indexed: ElementBag = elems.iter().cloned().collect();
         let naive = NaiveBag::from_iter(elems);
-        group.bench_with_input(
-            BenchmarkId::new("indexed", size),
-            &indexed,
-            |b, bag| b.iter(|| r.find_match(0, bag, None).unwrap().unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("indexed", size), &indexed, |b, bag| {
+            b.iter(|| r.find_match(0, bag, None).unwrap().unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("naive", size), &naive, |b, bag| {
             b.iter(|| r.find_match(0, bag, None).unwrap().unwrap())
         });

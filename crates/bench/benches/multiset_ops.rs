@@ -48,7 +48,10 @@ fn bench_elementbag(c: &mut Criterion) {
     });
     group.bench_function("bucket_probe", |b| {
         let label = gammaflow_multiset::Symbol::intern("l3");
-        b.iter(|| bag.bucket(label, gammaflow_multiset::Tag(3)).map(|x| x.len()))
+        b.iter(|| {
+            bag.bucket(label, gammaflow_multiset::Tag(3))
+                .map(|x| x.len())
+        })
     });
     group.finish();
 }

@@ -18,7 +18,9 @@ use gammaflow_dataflow::engine_par::{run_parallel as df_parallel, ParEngineConfi
 use gammaflow_gamma::{run_parallel as gm_parallel, ParConfig, SeqInterpreter};
 use gammaflow_lang::{parse_program, parse_reaction, pretty_program, pretty_reaction};
 use gammaflow_multiset::{Element, ElementBag};
-use gammaflow_workloads::{parallel_loops, primes, random_dag, sum, wide_chains, wide_pairs, DagParams};
+use gammaflow_workloads::{
+    parallel_loops, primes, random_dag, sum, wide_chains, wide_pairs, DagParams,
+};
 use std::time::Instant;
 
 fn banner(id: &str, title: &str) {
@@ -47,7 +49,10 @@ fn time_median<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn e1() {
-    banner("E1", "Fig. 1 / Example 1 — Algorithm 1 output and execution");
+    banner(
+        "E1",
+        "Fig. 1 / Example 1 — Algorithm 1 output and execution",
+    );
     let g = fig1();
     let conv = dataflow_to_gamma(&g).unwrap();
     println!("{}", pretty_program(&conv.program));
@@ -88,7 +93,10 @@ fn e2() {
 }
 
 fn e3() {
-    banner("E3", "§III-A3 reductions — fusion to Rd1; reduced Example 2");
+    banner(
+        "E3",
+        "§III-A3 reductions — fusion to Rd1; reduced Example 2",
+    );
     let conv = dataflow_to_gamma(&fig1()).unwrap();
     let protected: Vec<_> = ["A1", "B1", "C1", "D1", "m"]
         .iter()
@@ -99,7 +107,10 @@ fn e3() {
         "Example 1: {} reactions -> {} (paper: 3 -> 1); fused chain: {:?}",
         report.before, report.after, report.fused
     );
-    println!("{}", pretty_reaction(&canonicalize_vars(&fused.reactions[0])));
+    println!(
+        "{}",
+        pretty_reaction(&canonicalize_vars(&fused.reactions[0]))
+    );
     let g_before = granularity(&conv.program);
     let g_after = granularity(&fused);
     println!(
@@ -120,8 +131,12 @@ fn e3() {
     ]
     .into_iter()
     .collect();
-    let a = SeqInterpreter::with_seed(&full, initial.clone(), 1).run().unwrap();
-    let b = SeqInterpreter::with_seed(&reduced, initial, 1).run().unwrap();
+    let a = SeqInterpreter::with_seed(&full, initial.clone(), 1)
+        .run()
+        .unwrap();
+    let b = SeqInterpreter::with_seed(&reduced, initial, 1)
+        .run()
+        .unwrap();
     println!(
         "Example 2: full 9 reactions, {} firings, final = {}",
         a.stats.firings_total(),
@@ -135,7 +150,10 @@ fn e3() {
 }
 
 fn e4() {
-    banner("E4", "Algorithm 2 — node recovery, round trips, Fig. 4 mapping");
+    banner(
+        "E4",
+        "Algorithm 2 — node recovery, round trips, Fig. 4 mapping",
+    );
     let g = fig2(5, 3, 10);
     let conv = dataflow_to_gamma(&g).unwrap();
     print!("recovered shapes:");
@@ -151,7 +169,10 @@ fn e4() {
 
     let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x+y,'s']").unwrap();
     println!("\nFig. 4 replication (2-ary reaction):");
-    println!("{:>8} {:>10} {:>10} {:>12}", "|M|", "instances", "leftover", "map time ms");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "|M|", "instances", "leftover", "map time ms"
+    );
     for size in [6usize, 60, 600, 6000] {
         let m: ElementBag = (1..=size as i64).map(|v| Element::pair(v, "n")).collect();
         let t = time_median(5, || map_multiset(&r, &m, usize::MAX).unwrap());
@@ -167,7 +188,10 @@ fn e4() {
 }
 
 fn e5() {
-    banner("E5", "Fig. 3 grammar — parser/pretty round trip on all outputs");
+    banner(
+        "E5",
+        "Fig. 3 grammar — parser/pretty round trip on all outputs",
+    );
     let mut count = 0;
     for conv in [
         dataflow_to_gamma(&fig1()).unwrap(),
@@ -184,9 +208,20 @@ fn e5() {
 
 fn e6() {
     banner("E6", "§III-C — differential equivalence on random programs");
-    println!("{:>6} {:>8} {:>8} {:>12} {:>12}", "seed", "nodes", "equal", "df firings", "gm firings");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12}",
+        "seed", "nodes", "equal", "df firings", "gm firings"
+    );
     for seed in 0..8u64 {
-        let dag = random_dag(seed, &DagParams { roots: 4, layers: 4, width: 5, range: 1000 });
+        let dag = random_dag(
+            seed,
+            &DagParams {
+                roots: 4,
+                layers: 4,
+                width: 5,
+                range: 1000,
+            },
+        );
         let report = check_equivalence(&dag.graph, &CheckConfig::default()).unwrap();
         println!(
             "{:>6} {:>8} {:>8} {:>12} {:>12}",
@@ -201,12 +236,18 @@ fn e6() {
 }
 
 fn m1() {
-    banner("M1", "Trace reuse (the paper's motivating application, ref. [3])");
+    banner(
+        "M1",
+        "Trace reuse (the paper's motivating application, ref. [3])",
+    );
     use gammaflow_gamma::{analyze_reuse, ExecConfig, Selection};
     // The Fig. 2 loop re-fires several nodes with identical values every
     // iteration (y's steer, the control distribution): measure how much a
     // DF-DTM-style memo table would save, per reaction, for growing z.
-    println!("{:>6} {:>10} {:>12} {:>12}", "z", "firings", "redundant", "memoizable");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "z", "firings", "redundant", "memoizable"
+    );
     for z in [4i64, 16, 64] {
         let g = fig2(5, z, 10);
         let conv = dataflow_to_gamma(&g).unwrap();
@@ -253,7 +294,10 @@ fn m1() {
 }
 
 fn p1() {
-    banner("P1", "Granularity vs parallelism (fused vs unfused, Example-1 family)");
+    banner(
+        "P1",
+        "Granularity vs parallelism (fused vs unfused, Example-1 family)",
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12} {:>14} {:>14}",
         "width", "reactions", "fused", "seq ms", "fused seq ms", "par(4) ms", "fused par ms"
@@ -279,7 +323,11 @@ fn p1() {
                 gm_parallel(
                     &prog,
                     init.clone(),
-                    &ParConfig { workers: 4, seed: 1, ..ParConfig::default() },
+                    &ParConfig {
+                        workers: 4,
+                        seed: 1,
+                        ..ParConfig::default()
+                    },
                 )
                 .unwrap()
             })
@@ -355,7 +403,11 @@ fn p3() {
                 gm_parallel(
                     &w.program,
                     w.initial.clone(),
-                    &ParConfig { workers, seed: 1, ..ParConfig::default() },
+                    &ParConfig {
+                        workers,
+                        seed: 1,
+                        ..ParConfig::default()
+                    },
                 )
                 .unwrap()
             });
@@ -367,7 +419,10 @@ fn p3() {
 
     // Matching-strategy ablation: the same programs on an unindexed bag.
     println!("\nmatching ablation (deterministic schedule):");
-    println!("{:<14} {:>14} {:>14} {:>8}", "workload", "indexed ms", "naive ms", "ratio");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}",
+        "workload", "indexed ms", "naive ms", "ratio"
+    );
     use gammaflow_gamma::run_naive;
     use gammaflow_gamma::{ExecConfig, Selection};
     let sum_small = sum(&(1..=192).collect::<Vec<_>>());
@@ -403,16 +458,26 @@ fn p3() {
 
 fn p4() {
     banner("P4", "Conversion throughput");
-    println!("{:>8} {:>8} {:>14} {:>14}", "nodes", "edges", "alg1 ms", "alg2 ms");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "nodes", "edges", "alg1 ms", "alg2 ms"
+    );
     for nodes in [100usize, 1000, 10000] {
         let width = (nodes / 20).max(1);
         let dag = random_dag(
             42,
-            &DagParams { roots: width.max(2), layers: 18, width, range: 1000 },
+            &DagParams {
+                roots: width.max(2),
+                layers: 18,
+                width,
+                range: 1000,
+            },
         );
         let t1 = time_median(5, || dataflow_to_gamma(&dag.graph).unwrap());
         let conv = dataflow_to_gamma(&dag.graph).unwrap();
-        let t2 = time_median(5, || gamma_to_dataflow(&conv.program, &conv.initial).unwrap());
+        let t2 = time_median(5, || {
+            gamma_to_dataflow(&conv.program, &conv.initial).unwrap()
+        });
         println!(
             "{:>8} {:>8} {:>14.3} {:>14.3}",
             dag.graph.node_count(),
@@ -427,13 +492,174 @@ fn p5() {
     banner("P5", "Fig. 4 replication cost sweep");
     let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x+y,'s']").unwrap();
     let rc = parse_reaction("R = replace [x,'n'], [y,'n'] by [x-y,'d'] where x > y").unwrap();
-    println!("{:>8} {:>14} {:>18}", "|M|", "plain map ms", "where-cond map ms");
+    println!(
+        "{:>8} {:>14} {:>18}",
+        "|M|", "plain map ms", "where-cond map ms"
+    );
     for size in [64usize, 256, 1024] {
         let m: ElementBag = (1..=size as i64).map(|v| Element::pair(v, "n")).collect();
         let t_plain = time_median(5, || map_multiset(&r, &m, usize::MAX).unwrap());
         let t_cond = time_median(5, || map_multiset(&rc, &m, usize::MAX).unwrap());
         println!("{size:>8} {t_plain:>14.3} {t_cond:>18.3}");
     }
+}
+
+// ------------------------------------------------------------------ S1 ----
+
+/// One engine's timing on one workload, in BENCH_scheduling.json.
+#[derive(serde::Serialize)]
+struct EngineRow {
+    seconds: f64,
+    firings: u64,
+    firings_per_sec: f64,
+}
+
+/// One workload's rescan-vs-delta comparison.
+#[derive(serde::Serialize)]
+struct SchedulingRow {
+    workload: String,
+    selection: String,
+    firings: u64,
+    rescan: EngineRow,
+    delta: EngineRow,
+    speedup: f64,
+    identical_final_multiset: bool,
+}
+
+/// S1: delta-driven scheduling vs the rescanning reference, recorded as
+/// machine-readable `BENCH_scheduling.json` so the perf trajectory is
+/// tracked across PRs.
+fn s1() {
+    use gammaflow_gamma::{ExecConfig, Scheduling, Selection, Status};
+    banner(
+        "S1",
+        "Delta-driven reaction scheduling vs rescanning baseline",
+    );
+
+    let time_engine = |program: &gammaflow_gamma::GammaProgram,
+                       initial: &ElementBag,
+                       selection: Selection,
+                       scheduling: Scheduling|
+     -> (f64, u64, ElementBag) {
+        let t = Instant::now();
+        let result = SeqInterpreter::with_config(
+            program,
+            initial.clone(),
+            ExecConfig {
+                selection,
+                scheduling,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program compiles")
+        .run()
+        .expect("run succeeds");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(result.status, Status::Stable, "workload must stabilise");
+        (secs, result.stats.firings_total(), result.multiset)
+    };
+
+    let mut rows = Vec::new();
+    let mut workloads: Vec<(String, Selection, gammaflow_gamma::GammaProgram, ElementBag)> =
+        Vec::new();
+
+    // The headline workload: 16 independent Fig. 2 loops, ~29k firings
+    // over 144 reactions. Rescanning probes every reaction after every
+    // firing; the delta worklist re-searches only the few reactions
+    // reachable from each firing's products.
+    let loops = parallel_loops(16, 3, 200, 5);
+    let conv = dataflow_to_gamma(&loops.graph).expect("loop graph converts");
+    workloads.push((
+        "parallel_loops_16x200".into(),
+        Selection::Deterministic,
+        conv.program,
+        conv.initial,
+    ));
+
+    // A wide converted expression DAG: one enabled reaction per node,
+    // firing each exactly once.
+    let dag = random_dag(
+        7,
+        &DagParams {
+            roots: 24,
+            layers: 5,
+            width: 24,
+            range: 1000,
+        },
+    );
+    let conv = dataflow_to_gamma(&dag.graph).expect("dag converts");
+    workloads.push((
+        "random_dag_24x5x24".into(),
+        Selection::Deterministic,
+        conv.program,
+        conv.initial,
+    ));
+
+    // The single-reaction sieve: no reactions to skip, so this is the
+    // worst case for the scheduler — included to show the overhead bound
+    // (the final multiset is the prime set under any schedule).
+    let sieve = gammaflow_workloads::primes(2_000);
+    workloads.push((
+        "primes_sieve_2000".into(),
+        Selection::Seeded(1),
+        sieve.program,
+        sieve.initial,
+    ));
+
+    println!(
+        "{:<24} {:>9} {:>13} {:>13} {:>9}",
+        "workload", "firings", "rescan f/s", "delta f/s", "speedup"
+    );
+    for (name, selection, program, initial) in &workloads {
+        let (rescan_s, rescan_firings, rescan_final) =
+            time_engine(program, initial, *selection, Scheduling::Rescan);
+        let (delta_s, delta_firings, delta_final) =
+            time_engine(program, initial, *selection, Scheduling::Delta);
+        let identical = rescan_final == delta_final && rescan_firings == delta_firings;
+        assert!(
+            identical,
+            "{name}: engines diverged (rescan {rescan_firings} firings vs delta {delta_firings})"
+        );
+        let rescan_fps = rescan_firings as f64 / rescan_s;
+        let delta_fps = delta_firings as f64 / delta_s;
+        println!(
+            "{name:<24} {rescan_firings:>9} {rescan_fps:>13.0} {delta_fps:>13.0} {:>8.2}x",
+            delta_fps / rescan_fps
+        );
+        rows.push(SchedulingRow {
+            workload: name.clone(),
+            selection: match selection {
+                Selection::Deterministic => "deterministic".into(),
+                Selection::Seeded(s) => format!("seeded({s})"),
+            },
+            firings: delta_firings,
+            rescan: EngineRow {
+                seconds: rescan_s,
+                firings: rescan_firings,
+                firings_per_sec: rescan_fps,
+            },
+            delta: EngineRow {
+                seconds: delta_s,
+                firings: delta_firings,
+                firings_per_sec: delta_fps,
+            },
+            speedup: delta_fps / rescan_fps,
+            identical_final_multiset: identical,
+        });
+    }
+
+    #[derive(serde::Serialize)]
+    struct SchedulingReport {
+        bench: String,
+        rows: Vec<SchedulingRow>,
+    }
+    let report = SchedulingReport {
+        bench: "scheduling".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_scheduling.json", &json).expect("write BENCH_scheduling.json");
+    println!("wrote BENCH_scheduling.json");
 }
 
 fn main() {
@@ -476,5 +702,11 @@ fn main() {
     if want("P5") {
         p5();
     }
-    println!("\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md", t0.elapsed());
+    if want("S1") {
+        s1();
+    }
+    println!(
+        "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",
+        t0.elapsed()
+    );
 }

@@ -136,6 +136,7 @@ pub fn check_equivalence(
                 max_steps: config.max_firings,
                 record_trace: false,
                 selection: Selection::Seeded(seed),
+                ..ExecConfig::default()
             },
         )?
         .run()?;

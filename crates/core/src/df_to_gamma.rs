@@ -151,10 +151,7 @@ fn binary_operands(imm: &Option<gammaflow_dataflow::node::Imm>) -> (Expr, Expr) 
 
 /// Run Algorithm 1 on `g`.
 pub fn dataflow_to_gamma(g: &DataflowGraph) -> Result<Conversion, ConvertError> {
-    let tagged = g
-        .nodes()
-        .iter()
-        .any(|n| matches!(n.kind, NodeKind::IncTag));
+    let tagged = g.nodes().iter().any(|n| matches!(n.kind, NodeKind::IncTag));
 
     let mut initial = ElementBag::new();
     let mut reactions = Vec::new();
@@ -321,7 +318,9 @@ R3 = replace [id1,'B2'], [id2,'C2']
     fn example1_gamma_execution_matches_dataflow() {
         let g = fig1();
         let conv = dataflow_to_gamma(&g).unwrap();
-        let df = gammaflow_dataflow::engine::SeqEngine::new(&g).run().unwrap();
+        let df = gammaflow_dataflow::engine::SeqEngine::new(&g)
+            .run()
+            .unwrap();
         let gm = SeqInterpreter::with_seed(&conv.program, conv.initial.clone(), 11)
             .run()
             .unwrap();

@@ -31,8 +31,7 @@ use gammaflow_dataflow::node::{Imm, NodeKind};
 use gammaflow_gamma::compiled::CompiledReaction;
 use gammaflow_gamma::expr::Expr;
 use gammaflow_gamma::spec::{
-    ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec, TagSpec,
-    ValuePat,
+    ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec, TagSpec, ValuePat,
 };
 use gammaflow_multiset::value::{BinOp, CmpOp};
 use gammaflow_multiset::{ElementBag, FxHashMap, Symbol, Value};
@@ -72,16 +71,28 @@ impl fmt::Display for Alg2Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Alg2Error::UnsupportedWhere(r) => {
-                write!(f, "reaction {r}: `where` conditions have no dataflow counterpart")
+                write!(
+                    f,
+                    "reaction {r}: `where` conditions have no dataflow counterpart"
+                )
             }
             Alg2Error::UnsupportedClauses(r) => {
-                write!(f, "reaction {r}: only `Always` or `If`/`Else` clause chains convert")
+                write!(
+                    f,
+                    "reaction {r}: only `Always` or `If`/`Else` clause chains convert"
+                )
             }
             Alg2Error::VarOutputLabel(r) => {
-                write!(f, "reaction {r}: variable output labels cannot become static edges")
+                write!(
+                    f,
+                    "reaction {r}: variable output labels cannot become static edges"
+                )
             }
             Alg2Error::UnsupportedTag(r) => {
-                write!(f, "reaction {r}: output tags must be `v`, `v + 1`, or elided")
+                write!(
+                    f,
+                    "reaction {r}: output tags must be `v`, `v + 1`, or elided"
+                )
             }
             Alg2Error::NonValueVar(v) => {
                 write!(f, "expression uses non-value variable `{v}`")
@@ -129,13 +140,11 @@ fn tag_form(spec: &ElementSpec, tag_var: Option<Symbol>) -> Result<TagForm, ()> 
     match (&spec.tag, tag_var) {
         (TagSpec::Zero, _) => Ok(TagForm::Same),
         (TagSpec::Expr(Expr::Var(v)), Some(tv)) if *v == tv => Ok(TagForm::Same),
-        (TagSpec::Expr(Expr::Bin(BinOp::Add, a, b)), Some(tv)) => {
-            match (a.as_ref(), b.as_ref()) {
-                (Expr::Var(v), Expr::Lit(Value::Int(1))) if *v == tv => Ok(TagForm::Inc),
-                (Expr::Lit(Value::Int(1)), Expr::Var(v)) if *v == tv => Ok(TagForm::Inc),
-                _ => Err(()),
-            }
-        }
+        (TagSpec::Expr(Expr::Bin(BinOp::Add, a, b)), Some(tv)) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), Expr::Lit(Value::Int(1))) if *v == tv => Ok(TagForm::Inc),
+            (Expr::Lit(Value::Int(1)), Expr::Var(v)) if *v == tv => Ok(TagForm::Inc),
+            _ => Err(()),
+        },
         _ => Err(()),
     }
 }
@@ -185,8 +194,7 @@ pub fn recover_shape(r: &ReactionSpec) -> Shape {
     // IncTag: one input, one Always clause, outputs re-emit the input value
     // at tag + 1.
     if r.patterns.len() == 1 && r.clauses.len() == 1 && r.where_cond.is_none() {
-        if let (Guard::Always, Some(vv)) =
-            (&r.clauses[0].guard, pattern_value_var(&r.patterns[0]))
+        if let (Guard::Always, Some(vv)) = (&r.clauses[0].guard, pattern_value_var(&r.patterns[0]))
         {
             let all_inc = !r.clauses[0].outputs.is_empty()
                 && r.clauses[0].outputs.iter().all(|o| {
@@ -226,8 +234,7 @@ pub fn recover_shape(r: &ReactionSpec) -> Shape {
             // Steer: two inputs, condition is a truth test on one (the
             // control), both branches re-emit the other (the data).
             if same_tags && r.patterns.len() == 2 {
-                let vals: Vec<Option<Symbol>> =
-                    r.patterns.iter().map(pattern_value_var).collect();
+                let vals: Vec<Option<Symbol>> = r.patterns.iter().map(pattern_value_var).collect();
                 if let (Some(v0), Some(v1)) = (vals[0], vals[1]) {
                     for (cv, dv) in [(v1, v0), (v0, v1)] {
                         if is_control_test(cond, cv)
@@ -413,7 +420,9 @@ pub fn build_reaction_subgraph(
             };
             let var_index = |side: &Expr| -> Option<usize> {
                 let Expr::Var(v) = side else { return None };
-                r.patterns.iter().position(|p| pattern_value_var(p) == Some(*v))
+                r.patterns
+                    .iter()
+                    .position(|p| pattern_value_var(p) == Some(*v))
             };
             let node = match (fold_int(lhs), fold_int(rhs)) {
                 (None, Some(bi)) => {
@@ -447,9 +456,7 @@ pub fn build_reaction_subgraph(
                     ports.inputs[ri].push((n, 1));
                     n
                 }
-                (Some(_), Some(_)) => {
-                    return Err(Alg2Error::UnsupportedClauses(r.name.clone()))
-                }
+                (Some(_), Some(_)) => return Err(Alg2Error::UnsupportedClauses(r.name.clone())),
             };
             for o in &r.clauses[0].outputs {
                 let label = lit_label(o).expect("checked by recover_shape");
@@ -580,10 +587,10 @@ fn build_generic(
     }
 
     let compile_outputs = |b: &mut GraphBuilder,
-                               outputs: &[ElementSpec],
-                               branch: OutPort,
-                               raw_uses: &mut Vec<Vec<(NodeId, usize)>>,
-                               out: &mut Vec<(Symbol, NodeId, OutPort)>|
+                           outputs: &[ElementSpec],
+                           branch: OutPort,
+                           raw_uses: &mut Vec<Vec<(NodeId, usize)>>,
+                           out: &mut Vec<(Symbol, NodeId, OutPort)>|
      -> Result<(), Alg2Error> {
         let mut env: FxHashMap<Symbol, Operand> = FxHashMap::default();
         for (i, v) in vars.iter().enumerate() {
@@ -598,10 +605,9 @@ fn build_generic(
             }
         }
         for o in outputs {
-            let label =
-                lit_label(o).ok_or_else(|| Alg2Error::VarOutputLabel(r.name.clone()))?;
-            let form = tag_form(o, shared_tag)
-                .map_err(|_| Alg2Error::UnsupportedTag(r.name.clone()))?;
+            let label = lit_label(o).ok_or_else(|| Alg2Error::VarOutputLabel(r.name.clone()))?;
+            let form =
+                tag_form(o, shared_tag).map_err(|_| Alg2Error::UnsupportedTag(r.name.clone()))?;
             let mut ec = ExprCompiler {
                 b,
                 env: env.clone(),
@@ -646,7 +652,12 @@ pub fn reaction_to_graph(r: &ReactionSpec) -> Result<DataflowGraph, Alg2Error> {
     let ports = build_reaction_subgraph(&mut b, r)?;
     finish_standalone(&mut b, r, &ports, None, "");
     b.build().map_err(|es| {
-        Alg2Error::Spec(es.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; "))
+        Alg2Error::Spec(
+            es.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
     })
 }
 
@@ -672,10 +683,7 @@ fn finish_standalone(
     }
     let mut seen: FxHashMap<Symbol, usize> = FxHashMap::default();
     for (label, node, port) in &ports.outputs {
-        let n = *seen
-            .entry(*label)
-            .and_modify(|n| *n += 1)
-            .or_insert(0usize);
+        let n = *seen.entry(*label).and_modify(|n| *n += 1).or_insert(0usize);
         let edge_label = if n == 0 && suffix.is_empty() {
             label.as_str().to_string()
         } else {
@@ -784,10 +792,8 @@ pub fn gamma_to_dataflow(
 
     // Unconsumed produced labels → output sinks; untouched initial
     // elements become observable constants.
-    let mut produced: Vec<(Symbol, NodeId, OutPort)> = producer
-        .iter()
-        .map(|(l, (n, p))| (*l, *n, *p))
-        .collect();
+    let mut produced: Vec<(Symbol, NodeId, OutPort)> =
+        producer.iter().map(|(l, (n, p))| (*l, *n, *p)).collect();
     produced.sort_by_key(|(l, _, _)| *l);
     for (label, node, port) in produced {
         if !consumer.contains_key(&label) {
@@ -804,7 +810,12 @@ pub fn gamma_to_dataflow(
     }
 
     b.build().map_err(|es| {
-        Alg2Error::Spec(es.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; "))
+        Alg2Error::Spec(
+            es.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
     })
 }
 
@@ -849,12 +860,23 @@ pub fn map_multiset(
         debug_assert!(removed);
         let ports = build_reaction_subgraph(&mut b, &subgraph_spec)?;
         let values: Vec<Value> = firing.consumed.iter().map(|e| e.value.clone()).collect();
-        finish_standalone(&mut b, &subgraph_spec, &ports, Some(&values), &format!("_i{instances}"));
+        finish_standalone(
+            &mut b,
+            &subgraph_spec,
+            &ports,
+            Some(&values),
+            &format!("_i{instances}"),
+        );
         instances += 1;
     }
 
     let graph = b.build().map_err(|es| {
-        Alg2Error::Spec(es.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; "))
+        Alg2Error::Spec(
+            es.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
     })?;
     Ok(MultisetMapping {
         graph,
@@ -872,10 +894,9 @@ mod tests {
 
     #[test]
     fn recovers_inctag_shape() {
-        let r = parse_reaction(
-            "R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')",
-        )
-        .unwrap();
+        let r =
+            parse_reaction("R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')")
+                .unwrap();
         assert_eq!(recover_shape(&r), Shape::IncTag);
     }
 
@@ -927,7 +948,13 @@ mod tests {
         let r = parse_reaction("R = replace [a,'X'], [b,'Y'] by [a*b,'P']").unwrap();
         let mut b = GraphBuilder::new();
         let ports = build_reaction_subgraph(&mut b, &r).unwrap();
-        finish_standalone(&mut b, &r, &ports, Some(&[Value::Int(6), Value::Int(7)]), "");
+        finish_standalone(
+            &mut b,
+            &r,
+            &ports,
+            Some(&[Value::Int(6), Value::Int(7)]),
+            "",
+        );
         let g = b.build().unwrap();
         let out = SeqEngine::new(&g).run().unwrap();
         assert_eq!(out.outputs.sorted_elements(), vec![Element::pair(42, "P")]);
@@ -944,11 +971,7 @@ mod tests {
         // Executing the instanced graph performs one Gamma "round": three
         // sums totalling 21.
         let out = SeqEngine::new(&mapping.graph).run().unwrap();
-        let total: i64 = out
-            .outputs
-            .iter()
-            .map(|e| e.value.as_int().unwrap())
-            .sum();
+        let total: i64 = out.outputs.iter().map(|e| e.value.as_int().unwrap()).sum();
         assert_eq!(total, 21);
         assert_eq!(out.outputs.len(), 3);
     }
@@ -1017,8 +1040,7 @@ mod tests {
 
     #[test]
     fn stitching_dangling_label_rejected() {
-        let prog =
-            gammaflow_lang::parse_program("R1 = replace [a,'ghost'] by [a,'x']").unwrap();
+        let prog = gammaflow_lang::parse_program("R1 = replace [a,'ghost'] by [a,'x']").unwrap();
         let initial = ElementBag::new();
         assert!(matches!(
             gamma_to_dataflow(&prog, &initial),

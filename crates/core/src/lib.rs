@@ -25,7 +25,7 @@ pub mod gamma_to_df;
 pub mod reduce;
 
 pub use check::{check_equivalence, CheckConfig, CheckError, EquivReport};
-pub use df_to_gamma::{dataflow_to_gamma, ConvertError, Conversion};
+pub use df_to_gamma::{dataflow_to_gamma, Conversion, ConvertError};
 pub use gamma_to_df::{
     build_reaction_subgraph, gamma_to_dataflow, map_multiset, reaction_to_graph, recover_shape,
     Alg2Error, MultisetMapping, Shape, SubgraphPorts,

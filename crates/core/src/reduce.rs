@@ -22,8 +22,8 @@
 
 use gammaflow_gamma::expr::Expr;
 use gammaflow_gamma::spec::{
-    ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec,
-    TagPat, TagSpec, ValuePat,
+    ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec, TagPat, TagSpec,
+    ValuePat,
 };
 use gammaflow_multiset::{FxHashMap, Symbol};
 
@@ -345,8 +345,7 @@ pub fn canonicalize_vars(spec: &ReactionSpec) -> ReactionSpec {
             });
         }
     }
-    let subst: FxHashMap<Symbol, Expr> =
-        map.iter().map(|(k, v)| (*k, Expr::Var(*v))).collect();
+    let subst: FxHashMap<Symbol, Expr> = map.iter().map(|(k, v)| (*k, Expr::Var(*v))).collect();
     let ren = |e: &Expr| e.substitute(&subst);
 
     let mut out = spec.clone();
@@ -507,7 +506,14 @@ mod tests {
              C = replace [x,'mid'] by [x+1,'out']",
         )
         .unwrap();
-        let (fused, report) = fuse_all(&prog, &[Symbol::intern("in"), Symbol::intern("ctl"), Symbol::intern("out")]);
+        let (fused, report) = fuse_all(
+            &prog,
+            &[
+                Symbol::intern("in"),
+                Symbol::intern("ctl"),
+                Symbol::intern("out"),
+            ],
+        );
         assert_eq!(fused.len(), 2);
         assert!(report.fused.is_empty());
     }
@@ -519,7 +525,10 @@ mod tests {
              C = replace [b,'mid',w], [c,'y',w] by [b+c,'out',w]",
         )
         .unwrap();
-        let prot: Vec<Symbol> = ["x", "y", "out"].iter().map(|l| Symbol::intern(l)).collect();
+        let prot: Vec<Symbol> = ["x", "y", "out"]
+            .iter()
+            .map(|l| Symbol::intern(l))
+            .collect();
         let (fused, report) = fuse_all(&prog, &prot);
         assert_eq!(fused.len(), 1);
         assert_eq!(report.fused.len(), 1);

@@ -282,12 +282,12 @@ fn execute(
     let node = graph.node(firing.node);
     let mut produced = Vec::new();
     let send = |store: &mut MatchingStore,
-                    outputs: &mut ElementBag,
-                    stats: &mut DfStats,
-                    ready: &mut VecDeque<ReadyFiring>,
-                    port: OutPort,
-                    value: Value,
-                    tag: Tag|
+                outputs: &mut ElementBag,
+                stats: &mut DfStats,
+                ready: &mut VecDeque<ReadyFiring>,
+                port: OutPort,
+                value: Value,
+                tag: Tag|
      -> Vec<Element> {
         let mut out = Vec::new();
         for &eid in graph.out_edges(firing.node, port) {
@@ -313,12 +313,13 @@ fn execute(
 
     match &node.kind {
         NodeKind::Arith(..) | NodeKind::Cmp(..) | NodeKind::Un(_) => {
-            let value = node.kind.apply(&firing.inputs).map_err(|error| {
-                EngineError::Value {
+            let value = node
+                .kind
+                .apply(&firing.inputs)
+                .map_err(|error| EngineError::Value {
                     node: node.name.clone(),
                     error,
-                }
-            })?;
+                })?;
             produced.extend(send(
                 store,
                 outputs,
@@ -434,7 +435,7 @@ mod tests {
         b.connect_full(r17, OutPort::True, r19, 1, Some("C13")); // x to adder
         b.connect_labelled(r18, r12, 0, "B11"); // i loop-back
         b.connect_labelled(r19, r13, 0, "C11"); // x loop-back
-        // False branch of x's steer: the loop result.
+                                                // False branch of x's steer: the loop result.
         b.connect_full(r17, OutPort::False, out, 0, Some("xout"));
         b.build().unwrap()
     }

@@ -182,9 +182,7 @@ pub fn run_parallel(
                         match rx.recv_timeout(Duration::from_micros(20)) {
                             Ok(m) => Some(m),
                             Err(crossbeam_channel::RecvTimeoutError::Timeout) => None,
-                            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                                break 'main
-                            }
+                            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break 'main,
                         }
                     };
                     let Some((edge_id, value, tag)) = msg else {
@@ -326,10 +324,7 @@ pub fn run_parallel(
 
 /// Execute one firing, returning the tokens to send as
 /// `(edge, value, tag)` triples.
-fn execute_firing(
-    graph: &DataflowGraph,
-    firing: &ReadyFiring,
-) -> Result<Vec<Msg>, EngineError> {
+fn execute_firing(graph: &DataflowGraph, firing: &ReadyFiring) -> Result<Vec<Msg>, EngineError> {
     let node = graph.node(firing.node);
     let mut sends = Vec::new();
     let push_all = |port: OutPort, value: Value, tag: Tag, sends: &mut Vec<Msg>| {
@@ -465,7 +460,11 @@ mod tests {
         let par = run_parallel(&g, &ParEngineConfig::with_pes(4)).unwrap();
         assert_eq!(par.fired_per_pe.len(), 4);
         let active = par.fired_per_pe.iter().filter(|&&f| f > 0).count();
-        assert!(active >= 2, "work should spread across PEs: {:?}", par.fired_per_pe);
+        assert!(
+            active >= 2,
+            "work should spread across PEs: {:?}",
+            par.fired_per_pe
+        );
     }
 
     #[test]
@@ -514,10 +513,7 @@ mod tests {
         let hash = run_parallel(&g, &ParEngineConfig::with_pes(4)).unwrap();
         let block = run_parallel(&g, &ParEngineConfig::with_pes_block(4)).unwrap();
         assert_eq!(hash.run.outputs, block.run.outputs);
-        assert_eq!(
-            hash.run.stats.fired_total(),
-            block.run.stats.fired_total()
-        );
+        assert_eq!(hash.run.stats.fired_total(), block.run.stats.fired_total());
     }
 
     #[test]
@@ -540,10 +536,7 @@ mod tests {
             "block partition should keep the chain local, crossed {} times",
             par.cross_pe_tokens
         );
-        assert_eq!(
-            par.run.outputs.sorted_elements()[0].value,
-            Value::int(1000)
-        );
+        assert_eq!(par.run.outputs.sorted_elements()[0].value, Value::int(1000));
     }
 
     #[test]

@@ -546,7 +546,10 @@ mod tests {
         b.connect(x, add, 0);
         // Port 1 left dangling.
         let err = b.build().unwrap_err();
-        assert!(matches!(err[0], GraphError::UnconnectedInput { port: 1, .. }));
+        assert!(matches!(
+            err[0],
+            GraphError::UnconnectedInput { port: 1, .. }
+        ));
     }
 
     #[test]
@@ -603,7 +606,10 @@ mod tests {
         let inc = b.add(NodeKind::IncTag);
         let cmp = b.add(NodeKind::Cmp(CmpOp::Gt, Some(crate::node::Imm::right(0))));
         let steer = b.add(NodeKind::Steer);
-        let dec = b.add(NodeKind::Arith(BinOp::Sub, Some(crate::node::Imm::right(1))));
+        let dec = b.add(NodeKind::Arith(
+            BinOp::Sub,
+            Some(crate::node::Imm::right(1)),
+        ));
         let _unused = z;
         b.connect(x, inc, 0); // initial entry
         b.connect(inc, cmp, 0);

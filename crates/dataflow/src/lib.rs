@@ -30,9 +30,7 @@ pub mod iso;
 pub mod node;
 pub mod token;
 
-pub use engine::{
-    DfFiring, DfStats, DfStatus, EngineConfig, EngineError, RunResult, SeqEngine,
-};
+pub use engine::{DfFiring, DfStats, DfStatus, EngineConfig, EngineError, RunResult, SeqEngine};
 pub use engine_par::{run_parallel, ParEngineConfig, ParRunResult};
 pub use graph::{DataflowGraph, Edge, EdgeId, GraphBuilder, GraphError, Node, NodeId, OutPort};
 pub use node::{Imm, ImmSide, NodeKind};

@@ -654,10 +654,9 @@ impl Codegen {
 /// Names *declared* by a statement, recursively (block scoping).
 fn declared_in(stmt: &Stmt, out: &mut Vec<String>) {
     match stmt {
-        Stmt::Decl { name, .. }
-            if !out.contains(name) => {
-                out.push(name.clone());
-            }
+        Stmt::Decl { name, .. } if !out.contains(name) => {
+            out.push(name.clone());
+        }
         Stmt::If {
             then_branch,
             else_branch,
@@ -772,11 +771,7 @@ mod tests {
     fn run_outputs(src: &str) -> Vec<(String, i64, u64)> {
         let g = compile(src).unwrap();
         let r = SeqEngine::new(&g).run().unwrap();
-        assert!(
-            r.residue.is_empty(),
-            "residue after {src}: {:?}",
-            r.residue
-        );
+        assert!(r.residue.is_empty(), "residue after {src}: {:?}", r.residue);
         let mut out: Vec<(String, i64, u64)> = r
             .outputs
             .iter()
@@ -846,17 +841,14 @@ mod tests {
 
     #[test]
     fn loop_with_update_assignment_form() {
-        let out = run_outputs(
-            "int x = 1; for (i = 5; i > 0; i = i - 1) { x = x * 2; } output x;",
-        );
+        let out = run_outputs("int x = 1; for (i = 5; i > 0; i = i - 1) { x = x * 2; } output x;");
         assert_eq!(out, vec![("x".to_string(), 32, 6)]);
     }
 
     #[test]
     fn counting_up_loop() {
-        let out = run_outputs(
-            "int s = 0; int n = 4; for (i = 0; i < n; i++) { s = s + i; } output s;",
-        );
+        let out =
+            run_outputs("int s = 0; int n = 4; for (i = 0; i < n; i++) { s = s + i; } output s;");
         // 0+0+1+2+3 = 6.
         assert_eq!(out, vec![("s".to_string(), 6, 5)]);
     }
@@ -925,27 +917,22 @@ mod tests {
         // Nodes: const x, add-imm, output. No const node for the 1.
         assert_eq!(g.node_count(), 3);
         let r = SeqEngine::new(&g).run().unwrap();
-        assert_eq!(
-            r.outputs.sorted_elements()[0].value,
-            Value::int(8)
-        );
+        assert_eq!(r.outputs.sorted_elements()[0].value, Value::int(8));
     }
 
     #[test]
     fn multiple_outputs() {
-        let out = run_outputs("int a = 2; int b = 3; int s; int p; s = a + b; p = a * b; output s; output p;");
-        assert_eq!(
-            out,
-            vec![("p".to_string(), 6, 0), ("s".to_string(), 5, 0)]
+        let out = run_outputs(
+            "int a = 2; int b = 3; int s; int p; s = a + b; p = a * b; output s; output p;",
         );
+        assert_eq!(out, vec![("p".to_string(), 6, 0), ("s".to_string(), 5, 0)]);
     }
 
     #[test]
     fn if_else_takes_both_paths() {
         for (a, want) in [(5, 6), (-5, -4)] {
-            let src = format!(
-                "int a = {a}; if (a > 0) {{ a = a + 1; }} else {{ a = a + 1; }} output a;"
-            );
+            let src =
+                format!("int a = {a}; if (a > 0) {{ a = a + 1; }} else {{ a = a + 1; }} output a;");
             let out = run_outputs(&src);
             assert_eq!(out[0].1, want, "a={a}");
         }
@@ -965,8 +952,7 @@ mod tests {
     #[test]
     fn if_without_else_passes_through() {
         for (a, want) in [(10, 11), (0, 0)] {
-            let src =
-                format!("int a = {a}; if (a > 5) {{ a = a + 1; }} output a;");
+            let src = format!("int a = {a}; if (a > 5) {{ a = a + 1; }} output a;");
             let out = run_outputs(&src);
             assert_eq!(out[0].1, want, "a={a}");
         }

@@ -88,6 +88,14 @@ struct CompiledPattern {
     tag_any: bool,
 }
 
+/// Which element field a pattern variable binds (see `bind_position`).
+#[derive(Clone, Copy)]
+enum BindField {
+    Value,
+    Label,
+    Tag,
+}
+
 #[derive(Debug, Clone)]
 enum LabelFilter {
     Exact(Symbol),
@@ -123,6 +131,37 @@ pub trait MatchSource {
     fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)>;
     /// Exact multiplicity of one element.
     fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize;
+
+    /// Visit distinct labels until `f` returns `false`. Implementations
+    /// backed by an in-process index override this to iterate without
+    /// materialising a `Vec` — the deterministic search path is built on
+    /// these visitors and allocates nothing per probe.
+    fn visit_labels(&self, f: &mut dyn FnMut(Symbol) -> bool) {
+        for label in self.all_labels() {
+            if !f(label) {
+                return;
+            }
+        }
+    }
+
+    /// Visit distinct tags for `label` until `f` returns `false`.
+    fn visit_tags(&self, label: Symbol, f: &mut dyn FnMut(Tag) -> bool) {
+        for tag in self.tags_for_label(label) {
+            if !f(tag) {
+                return;
+            }
+        }
+    }
+
+    /// Visit `(value, multiplicity)` pairs in the `(label, tag)` bucket
+    /// until `f` returns `false`.
+    fn visit_values(&self, label: Symbol, tag: Tag, f: &mut dyn FnMut(&Value, usize) -> bool) {
+        for (value, count) in self.values_at(label, tag) {
+            if !f(&value, count) {
+                return;
+            }
+        }
+    }
 }
 
 impl MatchSource for ElementBag {
@@ -142,6 +181,62 @@ impl MatchSource for ElementBag {
 
     fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
         self.bucket(label, tag).map_or(0, |b| b.count(value))
+    }
+
+    fn visit_labels(&self, f: &mut dyn FnMut(Symbol) -> bool) {
+        for label in self.labels() {
+            if !f(label) {
+                return;
+            }
+        }
+    }
+
+    fn visit_tags(&self, label: Symbol, f: &mut dyn FnMut(Tag) -> bool) {
+        for tag in self.tags_for(label) {
+            if !f(tag) {
+                return;
+            }
+        }
+    }
+
+    fn visit_values(&self, label: Symbol, tag: Tag, f: &mut dyn FnMut(&Value, usize) -> bool) {
+        for (value, count) in self.values_with_counts(label, tag) {
+            if !f(value, count) {
+                return;
+            }
+        }
+    }
+}
+
+/// Reusable per-depth candidate buffers for the shuffled (seeded) search
+/// path. One `SearchScratch` lives for a whole engine run, so the steady
+/// state of the matcher allocates nothing: every probe reuses these
+/// vectors instead of collecting fresh `Vec`s at each search depth
+/// (the allocation hot spot the delta-scheduling PR removes).
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    levels: Vec<ScratchLevel>,
+    /// Scratch for anchored-search orders (`[anchor] ++ rest`).
+    order: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct ScratchLevel {
+    labels: Vec<Symbol>,
+    tags: Vec<Tag>,
+    values: Vec<(Value, usize)>,
+}
+
+impl SearchScratch {
+    /// Fresh scratch; grows on demand to the deepest reaction arity.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    fn ensure_depth(&mut self, depth: usize) {
+        if self.levels.len() < depth {
+            self.levels.resize_with(depth, ScratchLevel::default);
+        }
     }
 }
 
@@ -186,7 +281,10 @@ impl std::fmt::Display for MatchError {
                 write!(f, "reaction {reaction}: action evaluation failed: {error}")
             }
             MatchError::BadTag { reaction, value } => {
-                write!(f, "reaction {reaction}: output tag is not a valid tag: {value}")
+                write!(
+                    f,
+                    "reaction {reaction}: output tag is not a valid tag: {value}"
+                )
             }
         }
     }
@@ -438,6 +536,471 @@ impl CompiledReaction {
         Ok(false)
     }
 
+    // --- delta-scheduling fast paths ------------------------------------
+    //
+    // The methods below are the matcher half of the incremental scheduler
+    // in [`crate::schedule`]: an allocation-free search (lazy index
+    // iteration when deterministic, reusable scratch buffers when seeded)
+    // and an *anchored* search that pins one search-plan position to a
+    // specific freshly-inserted element and completes the tuple from the
+    // index — the Gamma image of delivering one token to the dataflow
+    // waiting–matching store and joining it against waiting operands.
+
+    /// The label classes this reaction consumes: every literal label
+    /// (including all `OneOf` members), plus whether any position is a
+    /// label wildcard. The scheduler's dependency index is built from
+    /// this.
+    pub fn consumed_label_classes(&self) -> (Vec<Symbol>, bool) {
+        let mut labels = Vec::new();
+        let mut wildcard = false;
+        for pat in &self.positions {
+            match &pat.label {
+                LabelFilter::Exact(l) => labels.push(*l),
+                LabelFilter::OneOf(ls) => labels.extend_from_slice(ls),
+                LabelFilter::Any => wildcard = true,
+            }
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        (labels, wildcard)
+    }
+
+    /// Whether position `p`'s static filters (label, literal tag, literal
+    /// value) admit `anchor`.
+    fn position_admits(&self, p: usize, anchor: &Element) -> bool {
+        let pat = &self.positions[p];
+        let label_ok = match &pat.label {
+            LabelFilter::Exact(l) => *l == anchor.label,
+            LabelFilter::OneOf(ls) => ls.contains(&anchor.label),
+            LabelFilter::Any => true,
+        };
+        label_ok
+            && pat.tag_lit.is_none_or(|t| t == anchor.tag)
+            && pat.value_lit.as_ref().is_none_or(|v| *v == anchor.value)
+    }
+
+    /// Full-tuple acceptance: `where` condition plus some enabled clause.
+    /// Condition evaluation errors mean "not enabled", as in [`Self::search`].
+    fn accept(&self, bindings: &Bindings<'_>) -> bool {
+        if let Some(w) = &self.spec.where_cond {
+            if !w.eval_bool(bindings).unwrap_or(false) {
+                return false;
+            }
+        }
+        self.enabled_clause(bindings).is_some()
+    }
+
+    /// Bind one matched position's variables. Returns the freshly bound
+    /// slots (for backtracking) or `None` on a repeated-variable conflict,
+    /// in which case everything bound here is already unbound again.
+    fn bind_position(
+        &self,
+        pat: &CompiledPattern,
+        label: Symbol,
+        tag: Tag,
+        value: &Value,
+        bindings: &mut Bindings<'_>,
+    ) -> Option<([u16; 3], usize)> {
+        let mut fresh = [0u16; 3];
+        let mut nfresh = 0;
+        let slots = [
+            (pat.value_var, BindField::Value),
+            (pat.label_var, BindField::Label),
+            (pat.tag_var, BindField::Tag),
+        ];
+        for (var, field) in slots {
+            let Some(v) = var else { continue };
+            let bound = match field {
+                BindField::Value => value.clone(),
+                BindField::Label => Value::str(label.as_str()),
+                BindField::Tag => Value::Int(tag.0 as i64),
+            };
+            match bindings.bind(v, bound) {
+                Some(true) => {
+                    fresh[nfresh] = v;
+                    nfresh += 1;
+                }
+                Some(false) => {}
+                None => {
+                    for &u in &fresh[..nfresh] {
+                        bindings.unbind(u);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some((fresh, nfresh))
+    }
+
+    /// Deterministic allocation-free search: finds the same first-in-index-
+    /// order tuple as the materialising [`Self::search`] with no RNG, but by
+    /// lazy iteration over the bag index — no candidate vectors are built,
+    /// so a probe costs exactly the candidates it inspects.
+    fn det_search<S: MatchSource>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+    ) -> bool {
+        if depth == order.len() {
+            return self.accept(bindings);
+        }
+        match &self.positions[order[depth]].label {
+            LabelFilter::Exact(l) => self.det_label(depth, order, *l, bag, bindings, consumed),
+            LabelFilter::OneOf(ls) => {
+                for &label in ls.iter() {
+                    if self.det_label(depth, order, label, bag, bindings, consumed) {
+                        return true;
+                    }
+                }
+                false
+            }
+            LabelFilter::Any => {
+                let mut found = false;
+                bag.visit_labels(&mut |label| {
+                    found = self.det_label(depth, order, label, bag, bindings, consumed);
+                    !found
+                });
+                found
+            }
+        }
+    }
+
+    fn det_label<S: MatchSource>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        label: Symbol,
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+    ) -> bool {
+        let pat = &self.positions[order[depth]];
+        let bound_tag = pat.tag_var.and_then(|v| bindings.get_tag(v));
+        match (pat.tag_lit, bound_tag, pat.tag_any) {
+            (Some(t), _, _) | (None, Some(t), _) => {
+                self.det_tag(depth, order, label, t, bag, bindings, consumed)
+            }
+            _ => {
+                let mut found = false;
+                bag.visit_tags(label, &mut |tag| {
+                    found = self.det_tag(depth, order, label, tag, bag, bindings, consumed);
+                    !found
+                });
+                found
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn det_tag<S: MatchSource>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        label: Symbol,
+        tag: Tag,
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+    ) -> bool {
+        let pat = &self.positions[order[depth]];
+        let bound_value = pat
+            .value_var
+            .and_then(|v| bindings.slots[v as usize].clone());
+        let pinned = match (&pat.value_lit, bound_value) {
+            (Some(lit), _) => Some(lit.clone()),
+            (None, Some(b)) => Some(b),
+            _ => None,
+        };
+        match pinned {
+            Some(value) => {
+                let available = bag.count_at(label, tag, &value);
+                self.det_value(
+                    depth, order, label, tag, &value, available, bag, bindings, consumed,
+                )
+            }
+            None => {
+                let mut found = false;
+                bag.visit_values(label, tag, &mut |value, available| {
+                    found = self.det_value(
+                        depth, order, label, tag, value, available, bag, bindings, consumed,
+                    );
+                    !found
+                });
+                found
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn det_value<S: MatchSource>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        label: Symbol,
+        tag: Tag,
+        value: &Value,
+        available: usize,
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+    ) -> bool {
+        if available == 0 {
+            return false;
+        }
+        let candidate = Element {
+            value: value.clone(),
+            label,
+            tag,
+        };
+        let already_used = consumed
+            .iter()
+            .flatten()
+            .filter(|e| **e == candidate)
+            .count();
+        if already_used >= available {
+            return false;
+        }
+        let pat = &self.positions[order[depth]];
+        let Some((fresh, nfresh)) = self.bind_position(pat, label, tag, value, bindings) else {
+            return false;
+        };
+        consumed[order[depth]] = Some(candidate);
+        if self.det_search(depth + 1, order, bag, bindings, consumed) {
+            return true;
+        }
+        consumed[order[depth]] = None;
+        for &v in &fresh[..nfresh] {
+            bindings.unbind(v);
+        }
+        false
+    }
+
+    /// Seeded search over reusable scratch buffers: same candidate
+    /// shuffling as [`Self::search`], but per-depth candidate lists live in
+    /// `scratch` instead of fresh `Vec`s.
+    #[allow(clippy::too_many_arguments)]
+    fn scratch_search<S: MatchSource>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        bag: &S,
+        bindings: &mut Bindings<'_>,
+        consumed: &mut [Option<Element>],
+        rng: &mut ChaCha8Rng,
+        scratch: &mut [ScratchLevel],
+    ) -> bool {
+        if depth == order.len() {
+            return self.accept(bindings);
+        }
+        let (level, rest) = scratch.split_first_mut().expect("scratch sized to arity");
+        let pos_idx = order[depth];
+        let pat = &self.positions[pos_idx];
+
+        level.labels.clear();
+        match &pat.label {
+            LabelFilter::Exact(l) => level.labels.push(*l),
+            LabelFilter::OneOf(ls) => level.labels.extend_from_slice(ls),
+            LabelFilter::Any => bag.visit_labels(&mut |l| {
+                level.labels.push(l);
+                true
+            }),
+        }
+        level.labels.shuffle(rng);
+
+        for li in 0..level.labels.len() {
+            let label = level.labels[li];
+            let bound_tag = pat.tag_var.and_then(|v| bindings.get_tag(v));
+            level.tags.clear();
+            match (pat.tag_lit, bound_tag, pat.tag_any) {
+                (Some(t), _, _) | (None, Some(t), _) => level.tags.push(t),
+                _ => bag.visit_tags(label, &mut |t| {
+                    level.tags.push(t);
+                    true
+                }),
+            }
+            if level.tags.len() > 1 {
+                level.tags.shuffle(rng);
+            }
+
+            for ti in 0..level.tags.len() {
+                let tag = level.tags[ti];
+                let bound_value = pat
+                    .value_var
+                    .and_then(|v| bindings.slots[v as usize].clone());
+                level.values.clear();
+                match (&pat.value_lit, &bound_value) {
+                    (Some(lit), _) => {
+                        let c = bag.count_at(label, tag, lit);
+                        level.values.push((lit.clone(), c));
+                    }
+                    (None, Some(b)) => {
+                        let c = bag.count_at(label, tag, b);
+                        level.values.push((b.clone(), c));
+                    }
+                    _ => bag.visit_values(label, tag, &mut |v, c| {
+                        level.values.push((v.clone(), c));
+                        true
+                    }),
+                }
+                if level.values.len() > 1 {
+                    level.values.shuffle(rng);
+                }
+
+                'values: for vi in 0..level.values.len() {
+                    let (value, available) = {
+                        let entry = &level.values[vi];
+                        (entry.0.clone(), entry.1)
+                    };
+                    if available == 0 {
+                        continue;
+                    }
+                    let candidate = Element {
+                        value: value.clone(),
+                        label,
+                        tag,
+                    };
+                    let already_used = consumed
+                        .iter()
+                        .flatten()
+                        .filter(|e| **e == candidate)
+                        .count();
+                    if already_used >= available {
+                        continue;
+                    }
+                    let Some((fresh, nfresh)) =
+                        self.bind_position(pat, label, tag, &value, bindings)
+                    else {
+                        continue 'values;
+                    };
+                    consumed[pos_idx] = Some(candidate);
+                    if self.scratch_search(depth + 1, order, bag, bindings, consumed, rng, rest) {
+                        return true;
+                    }
+                    consumed[pos_idx] = None;
+                    for &v in &fresh[..nfresh] {
+                        bindings.unbind(v);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Build the [`Firing`] for a successful search.
+    fn finish(
+        &self,
+        reaction_index: usize,
+        consumed: Vec<Option<Element>>,
+        bindings: &Bindings<'_>,
+    ) -> Result<Option<Firing>, MatchError> {
+        let consumed: Vec<Element> = consumed.into_iter().map(|e| e.unwrap()).collect();
+        let (clause, produced) = self
+            .outputs_for(bindings)?
+            .expect("search only succeeds with an enabled clause");
+        Ok(Some(Firing {
+            reaction: reaction_index,
+            consumed,
+            produced,
+            clause,
+        }))
+    }
+
+    /// Like [`Self::find_match`], but allocation-free on the steady state:
+    /// deterministic mode iterates the index lazily, seeded mode reuses
+    /// `scratch` buffers. Selects the same tuple as [`Self::find_match`]
+    /// when deterministic.
+    pub fn find_match_fast<S: MatchSource>(
+        &self,
+        reaction_index: usize,
+        bag: &S,
+        rng: Option<&mut ChaCha8Rng>,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, MatchError> {
+        let mut bindings = Bindings::new(self.nvars, &self.var_index);
+        let mut consumed: Vec<Option<Element>> = vec![None; self.positions.len()];
+        let found = match rng {
+            None => self.det_search(0, &self.order, bag, &mut bindings, &mut consumed),
+            Some(r) => {
+                scratch.ensure_depth(self.order.len());
+                self.scratch_search(
+                    0,
+                    &self.order,
+                    bag,
+                    &mut bindings,
+                    &mut consumed,
+                    r,
+                    &mut scratch.levels,
+                )
+            }
+        };
+        if !found {
+            return Ok(None);
+        }
+        self.finish(reaction_index, consumed, &bindings)
+    }
+
+    /// Semi-naive anchored probe: find a match whose tuple *includes*
+    /// `anchor`, one specific element inserted since this reaction last
+    /// failed to match. If the reaction provably had no match before the
+    /// insertion, anchored probing is complete: matching is monotone in
+    /// the multiset, so any new match must consume at least one inserted
+    /// element. Every position whose static filters admit the anchor is
+    /// tried; the remaining positions are completed from the index.
+    pub fn find_match_anchored<S: MatchSource>(
+        &self,
+        reaction_index: usize,
+        bag: &S,
+        anchor: &Element,
+        mut rng: Option<&mut ChaCha8Rng>,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, MatchError> {
+        if bag.count_at(anchor.label, anchor.tag, &anchor.value) == 0 {
+            // The anchor has already been consumed again; any match through
+            // it is gone with it.
+            return Ok(None);
+        }
+        scratch.ensure_depth(self.order.len());
+        for p in 0..self.positions.len() {
+            if !self.position_admits(p, anchor) {
+                continue;
+            }
+            let mut bindings = Bindings::new(self.nvars, &self.var_index);
+            let mut consumed: Vec<Option<Element>> = vec![None; self.positions.len()];
+            let pat = &self.positions[p];
+            if self
+                .bind_position(pat, anchor.label, anchor.tag, &anchor.value, &mut bindings)
+                .is_none()
+            {
+                continue;
+            }
+            consumed[p] = Some(anchor.clone());
+            // Complete the rest of the plan in selectivity order.
+            let mut rest = std::mem::take(&mut scratch.order);
+            rest.clear();
+            rest.extend(self.order.iter().copied().filter(|&i| i != p));
+            let found = match rng.as_deref_mut() {
+                None => self.det_search(0, &rest, bag, &mut bindings, &mut consumed),
+                Some(r) => self.scratch_search(
+                    0,
+                    &rest,
+                    bag,
+                    &mut bindings,
+                    &mut consumed,
+                    r,
+                    &mut scratch.levels,
+                ),
+            };
+            scratch.order = rest;
+            if found {
+                return self.finish(reaction_index, consumed, &bindings);
+            }
+        }
+        Ok(None)
+    }
+
     /// Index of the first clause whose guard holds under `bindings`, if any.
     fn enabled_clause(&self, bindings: &Bindings<'_>) -> Option<usize> {
         for (i, c) in self.spec.clauses.iter().enumerate() {
@@ -474,17 +1037,22 @@ impl CompiledReaction {
         out: &ElementSpec,
         bindings: &Bindings<'_>,
     ) -> Result<Element, MatchError> {
-        let value = out.value.eval(bindings).map_err(|error| MatchError::Action {
-            reaction: self.name.clone(),
-            error,
-        })?;
+        let value = out
+            .value
+            .eval(bindings)
+            .map_err(|error| MatchError::Action {
+                reaction: self.name.clone(),
+                error,
+            })?;
         let label = match &out.label {
             LabelSpec::Lit(l) => *l,
             LabelSpec::Var(v) => {
-                let lv = Expr::Var(*v).eval(bindings).map_err(|error| MatchError::Action {
-                    reaction: self.name.clone(),
-                    error,
-                })?;
+                let lv = Expr::Var(*v)
+                    .eval(bindings)
+                    .map_err(|error| MatchError::Action {
+                        reaction: self.name.clone(),
+                        error,
+                    })?;
                 match lv {
                     Value::Str(s) => Symbol::intern(&s),
                     other => {
@@ -546,6 +1114,26 @@ impl CompiledProgram {
     ) -> Result<Option<Firing>, MatchError> {
         for &i in order {
             if let Some(f) = self.reactions[i].find_match(i, bag, rng.as_deref_mut())? {
+                return Ok(Some(f));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Allocation-free [`Self::find_any`]: identical semantics and (when
+    /// deterministic) identical tuple selection, running on the fast
+    /// search paths with reusable `scratch`.
+    pub fn find_any_fast<S: MatchSource>(
+        &self,
+        order: &[usize],
+        bag: &S,
+        mut rng: Option<&mut ChaCha8Rng>,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, MatchError> {
+        for &i in order {
+            if let Some(f) =
+                self.reactions[i].find_match_fast(i, bag, rng.as_deref_mut(), scratch)?
+            {
                 return Ok(Some(f));
             }
         }

@@ -34,16 +34,22 @@ pub mod expr;
 pub mod naive;
 pub mod parallel;
 pub mod reuse;
+pub mod schedule;
 pub mod seq;
 pub mod spec;
 pub mod trace;
 
-pub use compiled::{CompiledProgram, CompiledReaction, Firing, MatchError, MatchSource};
+pub use compiled::{
+    CompiledProgram, CompiledReaction, Firing, MatchError, MatchSource, SearchScratch,
+};
 pub use expr::{EvalError, Expr};
 pub use naive::{run_naive, NaiveBag};
-pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
 pub use parallel::{run_parallel, ParConfig, ParResult, ParStats};
-pub use seq::{run_pipeline, ExecConfig, ExecError, ExecResult, Selection, SeqInterpreter, Status};
+pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
+pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats};
+pub use seq::{
+    run_pipeline, ExecConfig, ExecError, ExecResult, Scheduling, Selection, SeqInterpreter, Status,
+};
 pub use spec::{
     ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
     ReactionSpec, SpecError, TagPat, TagSpec, ValuePat,

@@ -32,7 +32,6 @@ impl FromIterator<Element> for NaiveBag {
 }
 
 impl NaiveBag {
-
     /// Build from an indexed bag (flattening it).
     pub fn from_bag(bag: &ElementBag) -> NaiveBag {
         Self::from_iter(bag.iter())

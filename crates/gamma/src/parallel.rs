@@ -22,7 +22,8 @@
 //!   claim would require its tuple to still be available — which would make
 //!   the reaction enabled in the snapshot.
 
-use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource};
+use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
+use crate::schedule::DependencyIndex;
 use crate::seq::{ExecError, ExecResult, Status};
 use crate::spec::GammaProgram;
 use crate::trace::ExecStats;
@@ -32,6 +33,43 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-reaction dirty flags shared by all workers: a cleared flag means
+/// "some worker's sampled probe found nothing for this reaction and no
+/// potentially-enabling element has been produced since". Workers skip
+/// clean reactions when probing — the parallel image of the sequential
+/// delta worklist. The flags are *heuristic* (sampled probes under-read
+/// and clearing races with concurrent producers); termination never
+/// depends on them because the snapshot check stays exact over every
+/// reaction.
+struct DirtyFlags {
+    flags: Vec<AtomicBool>,
+}
+
+impl DirtyFlags {
+    fn new(n: usize) -> DirtyFlags {
+        DirtyFlags {
+            flags: (0..n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    fn set(&self, r: usize) {
+        self.flags[r].store(true, Ordering::Release);
+    }
+
+    fn clear(&self, r: usize) {
+        self.flags[r].store(false, Ordering::Release);
+    }
+
+    fn collect_dirty(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for (r, f) in self.flags.iter().enumerate() {
+            if f.load(Ordering::Acquire) {
+                out.push(r);
+            }
+        }
+    }
+}
 
 /// Configuration for the parallel interpreter.
 #[derive(Debug, Clone)]
@@ -174,8 +212,9 @@ impl MatchSource for ShardedView<'_> {
 
     fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
         let shard = self.bag.shard_of(label, tag);
-        self.bag
-            .with_shard(shard, |b| b.bucket(label, tag).map_or(0, |x| x.count(value)))
+        self.bag.with_shard(shard, |b| {
+            b.bucket(label, tag).map_or(0, |x| x.count(value))
+        })
     }
 }
 
@@ -187,6 +226,8 @@ pub fn run_parallel(
 ) -> Result<ParResult, ExecError> {
     let compiled = CompiledProgram::compile(program)?;
     let nreactions = compiled.reactions.len();
+    let deps = DependencyIndex::new(&compiled);
+    let dirty = DirtyFlags::new(nreactions);
 
     let directory = Directory::new(&initial);
     let bag = ShardedBag::new(config.shards);
@@ -212,27 +253,38 @@ pub fn run_parallel(
             let checker = &checker;
             let error = &error;
             let config = config.clone();
+            let deps = &deps;
+            let dirty = &dirty;
             handles.push(scope.spawn(move || {
                 let mut rng =
                     ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(w as u64 * 0x9e37));
                 let mut stats = ExecStats::new(nreactions);
                 let mut par = ParStats::default();
-                let mut order: Vec<usize> = (0..nreactions).collect();
+                // Probe order: only reactions whose dirty flag is set (the
+                // delta-scheduling prune); refreshed every iteration.
+                let mut order: Vec<usize> = Vec::with_capacity(nreactions);
+                let mut all: Vec<usize> = (0..nreactions).collect();
+                let mut scratch = SearchScratch::new();
 
                 'main: while !done.load(Ordering::Acquire) {
-                    order.shuffle(&mut rng);
-                    let view = ShardedView {
-                        bag,
-                        directory,
-                        sample_cap: config.sample_cap,
-                        salt: rng.gen(),
-                    };
-                    let found = match compiled.find_any(&order, &view, Some(&mut rng)) {
-                        Ok(f) => f,
-                        Err(e) => {
-                            *error.lock() = Some(e);
-                            done.store(true, Ordering::Release);
-                            break 'main;
+                    dirty.collect_dirty(&mut order);
+                    let found = if order.is_empty() {
+                        None
+                    } else {
+                        order.shuffle(&mut rng);
+                        let view = ShardedView {
+                            bag,
+                            directory,
+                            sample_cap: config.sample_cap,
+                            salt: rng.gen(),
+                        };
+                        match compiled.find_any(&order, &view, Some(&mut rng)) {
+                            Ok(f) => f,
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                done.store(true, Ordering::Release);
+                                break 'main;
+                            }
                         }
                     };
                     match found {
@@ -240,6 +292,8 @@ pub fn run_parallel(
                             if !try_fire(
                                 bag,
                                 directory,
+                                deps,
+                                dirty,
                                 firings_global,
                                 config.max_firings,
                                 done,
@@ -252,25 +306,38 @@ pub fn run_parallel(
                             }
                         }
                         None => {
+                            // A sampled pass over the dirty set found
+                            // nothing: clear those flags (any concurrent
+                            // producer re-sets them) and fall through to
+                            // the authoritative check.
+                            for &r in &order {
+                                dirty.clear(r);
+                            }
                             par.dry_probes += 1;
                             // Authoritative termination check under the
                             // checker mutex: exact search on a consistent
-                            // snapshot.
+                            // snapshot. Exactness lives here, so the dirty
+                            // flags can stay heuristic.
                             let _guard = checker.lock();
                             if done.load(Ordering::Acquire) {
                                 break 'main;
                             }
                             let snapshot = bag.snapshot();
                             par.snapshot_checks += 1;
-                            let exact =
-                                match compiled.find_any(&order, &snapshot, Some(&mut rng)) {
-                                    Ok(f) => f,
-                                    Err(e) => {
-                                        *error.lock() = Some(e);
-                                        done.store(true, Ordering::Release);
-                                        break 'main;
-                                    }
-                                };
+                            all.shuffle(&mut rng);
+                            let exact = match compiled.find_any_fast(
+                                &all,
+                                &snapshot,
+                                Some(&mut rng),
+                                &mut scratch,
+                            ) {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    *error.lock() = Some(e);
+                                    done.store(true, Ordering::Release);
+                                    break 'main;
+                                }
+                            };
                             match exact {
                                 None => {
                                     // Steady state reached.
@@ -285,6 +352,8 @@ pub fn run_parallel(
                                     if !try_fire(
                                         bag,
                                         directory,
+                                        deps,
+                                        dirty,
                                         firings_global,
                                         config.max_firings,
                                         done,
@@ -333,6 +402,7 @@ pub fn run_parallel(
             status,
             stats,
             trace: None,
+            sched: None,
         },
         par,
     })
@@ -343,6 +413,8 @@ pub fn run_parallel(
 fn try_fire(
     bag: &ShardedBag,
     directory: &Directory,
+    deps: &DependencyIndex,
+    dirty: &DirtyFlags,
     firings_global: &AtomicU64,
     max_firings: u64,
     done: &AtomicBool,
@@ -354,8 +426,12 @@ fn try_fire(
     if !bag.claim_and_replace(&firing.consumed, &firing.produced) {
         return false;
     }
+    // Wake the fired reaction (it may match again) and every reaction
+    // with a consuming pattern reachable from a produced label.
+    dirty.set(firing.reaction);
     for e in &firing.produced {
         directory.note(e.label, e.tag);
+        deps.for_each_dependent(e.label, |r| dirty.set(r));
     }
     stats.record_firing(firing.reaction, firing);
     let n = firings_global.fetch_add(1, Ordering::AcqRel) + 1;
@@ -408,7 +484,10 @@ mod tests {
 
     #[test]
     fn parallel_max_agrees_with_semantics() {
-        let initial: ElementBag = [3, 99, 7, 42, 56, 11].iter().map(|&v| e(v, "n", 0)).collect();
+        let initial: ElementBag = [3, 99, 7, 42, 56, 11]
+            .iter()
+            .map(|&v| e(v, "n", 0))
+            .collect();
         let result = run_parallel(&max_program(), initial, &ParConfig::with_workers(3)).unwrap();
         assert_eq!(result.exec.status, Status::Stable);
         assert_eq!(result.exec.multiset.sorted_elements(), vec![e(99, "n", 0)]);
@@ -417,8 +496,8 @@ mod tests {
     #[test]
     fn single_worker_matches_sequential_result() {
         let initial: ElementBag = (1..=30).map(|v| e(v, "n", 0)).collect();
-        let par = run_parallel(&sum_program(), initial.clone(), &ParConfig::with_workers(1))
-            .unwrap();
+        let par =
+            run_parallel(&sum_program(), initial.clone(), &ParConfig::with_workers(1)).unwrap();
         let seq = crate::seq::SeqInterpreter::with_seed(&sum_program(), initial, 9)
             .run()
             .unwrap();

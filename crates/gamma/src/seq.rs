@@ -20,6 +20,7 @@
 //! parallelism profile used by experiment P1.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError};
+use crate::schedule::{DeltaScheduler, SchedStats};
 use crate::spec::{GammaProgram, Pipeline, SpecError};
 use crate::trace::{ExecStats, FiringRecord};
 use gammaflow_multiset::ElementBag;
@@ -45,6 +46,26 @@ pub struct ExecConfig {
     pub record_trace: bool,
     /// Reaction/tuple selection policy.
     pub selection: Selection,
+    /// Enabled-reaction scheduling strategy.
+    pub scheduling: Scheduling,
+}
+
+/// How the interpreter decides which reactions to (re-)search per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// The reference strategy: after every firing, search every reaction
+    /// against the whole multiset from scratch (`find_any`). O(F ×
+    /// full-search) for F firings; kept as the baseline for differential
+    /// testing and benchmarking.
+    Rescan,
+    /// Delta-driven scheduling (default): a [`DeltaScheduler`] worklist
+    /// re-searches only reactions reachable from elements produced since
+    /// they last failed to match — see [`crate::schedule`] for the
+    /// waiting–matching-store correspondence. Observable behaviour is
+    /// identical to `Rescan`: same stable states, and under
+    /// [`Selection::Deterministic`] the same firing trace.
+    #[default]
+    Delta,
 }
 
 /// Selection policy for the nondeterministic choice in Eq. (1).
@@ -64,6 +85,7 @@ impl Default for ExecConfig {
             max_steps: 10_000_000,
             record_trace: false,
             selection: Selection::Seeded(0),
+            scheduling: Scheduling::default(),
         }
     }
 }
@@ -109,6 +131,8 @@ pub struct ExecResult {
     pub stats: ExecStats,
     /// The firing trace, if [`ExecConfig::record_trace`] was set.
     pub trace: Option<Vec<FiringRecord>>,
+    /// Delta-scheduler counters, when [`Scheduling::Delta`] ran.
+    pub sched: Option<SchedStats>,
 }
 
 /// Sequential Gamma interpreter over a compiled program.
@@ -161,7 +185,17 @@ impl SeqInterpreter {
     }
 
     /// Run to steady state (or budget), consuming the interpreter.
-    pub fn run(mut self) -> Result<ExecResult, ExecError> {
+    pub fn run(self) -> Result<ExecResult, ExecError> {
+        match self.config.scheduling {
+            Scheduling::Rescan => self.run_rescan(),
+            Scheduling::Delta => self.run_delta(),
+        }
+    }
+
+    /// The reference rescanning loop: a full `find_any` over every
+    /// reaction after every firing. Kept verbatim as the differential
+    /// baseline for [`Scheduling::Delta`].
+    fn run_rescan(mut self) -> Result<ExecResult, ExecError> {
         let nreactions = self.compiled.reactions.len();
         let mut stats = ExecStats::new(nreactions);
         let mut trace = self.config.record_trace.then(Vec::new);
@@ -202,6 +236,54 @@ impl SeqInterpreter {
             status,
             stats,
             trace,
+            sched: None,
+        })
+    }
+
+    /// The delta-scheduled loop: after a firing, only reactions reachable
+    /// from the produced elements through the dependency index are
+    /// re-searched. See [`crate::schedule`] for the invariants.
+    fn run_delta(mut self) -> Result<ExecResult, ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        // Anchored probes change which tuple a dirty reaction selects, so
+        // they are reserved for seeded mode; deterministic mode keeps the
+        // rescanning reference's exact trace.
+        let use_anchors = rng.is_some();
+        let mut scheduler = DeltaScheduler::new(&self.compiled);
+
+        let status = loop {
+            if stats.firings_total() >= self.config.max_steps {
+                break Status::BudgetExhausted;
+            }
+            match scheduler.next_firing(&self.compiled, &self.multiset, rng.as_mut())? {
+                None => break Status::Stable,
+                Some(firing) => {
+                    self.apply(&firing);
+                    scheduler.on_fired(&firing, use_anchors);
+                    stats.record_firing(firing.reaction, &firing);
+                    if let Some(t) = trace.as_mut() {
+                        t.push(FiringRecord::from_firing(
+                            stats.firings_total() - 1,
+                            &self.compiled.reactions[firing.reaction].name,
+                            &firing,
+                        ));
+                    }
+                }
+            }
+        };
+
+        Ok(ExecResult {
+            multiset: self.multiset,
+            status,
+            stats,
+            trace,
+            sched: Some(scheduler.stats.clone()),
         })
     }
 
@@ -210,7 +292,92 @@ impl SeqInterpreter {
     /// usual result plus the per-step firing counts (the parallelism
     /// profile). Each step is one "chemical tick" — the idealised machine
     /// with unbounded processors.
-    pub fn run_max_parallel_steps(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
+    pub fn run_max_parallel_steps(self) -> Result<(ExecResult, Vec<usize>), ExecError> {
+        match self.config.scheduling {
+            Scheduling::Rescan => self.run_max_parallel_steps_rescan(),
+            Scheduling::Delta => self.run_max_parallel_steps_delta(),
+        }
+    }
+
+    /// Delta-scheduled maximal parallel steps: within a step the visible
+    /// multiset only shrinks (products are withheld), so a reaction that
+    /// fails a search stays matchless for the rest of the step; products
+    /// wake their dependents at the step barrier.
+    fn run_max_parallel_steps_delta(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        let use_anchors = rng.is_some();
+        let mut scheduler = DeltaScheduler::new(&self.compiled);
+        let mut profile = Vec::new();
+
+        let status = 'outer: loop {
+            let mut fired_this_step = 0usize;
+            let mut products: Vec<Firing> = Vec::new();
+            loop {
+                // `stats` already counts this step's firings (recorded as
+                // they happen), so the budget test reads it directly.
+                if stats.firings_total() >= self.config.max_steps {
+                    for f in &products {
+                        for e in &f.produced {
+                            self.multiset.insert(e.clone());
+                        }
+                    }
+                    if fired_this_step > 0 {
+                        profile.push(fired_this_step);
+                    }
+                    break 'outer Status::BudgetExhausted;
+                }
+                match scheduler.next_firing(&self.compiled, &self.multiset, rng.as_mut())? {
+                    None => break,
+                    Some(firing) => {
+                        let ok = self.multiset.remove_all(&firing.consumed);
+                        debug_assert!(ok);
+                        scheduler.on_fired_consumed_only(&firing);
+                        stats.record_firing(firing.reaction, &firing);
+                        if let Some(t) = trace.as_mut() {
+                            t.push(FiringRecord::from_firing(
+                                stats.firings_total() - 1,
+                                &self.compiled.reactions[firing.reaction].name,
+                                &firing,
+                            ));
+                        }
+                        fired_this_step += 1;
+                        products.push(firing);
+                    }
+                }
+            }
+            if fired_this_step == 0 {
+                break Status::Stable;
+            }
+            profile.push(fired_this_step);
+            // Step barrier: products become visible and wake dependents.
+            for f in &products {
+                for e in &f.produced {
+                    self.multiset.insert(e.clone());
+                }
+                scheduler.on_inserted(&f.produced, use_anchors);
+            }
+        };
+
+        Ok((
+            ExecResult {
+                multiset: self.multiset,
+                status,
+                stats,
+                trace,
+                sched: Some(scheduler.stats.clone()),
+            },
+            profile,
+        ))
+    }
+
+    /// The rescanning reference for [`Self::run_max_parallel_steps`].
+    fn run_max_parallel_steps_rescan(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
         let nreactions = self.compiled.reactions.len();
         let mut stats = ExecStats::new(nreactions);
         let mut trace = self.config.record_trace.then(Vec::new);
@@ -228,7 +395,9 @@ impl SeqInterpreter {
             let mut fired_this_step = 0usize;
             let mut products: Vec<Firing> = Vec::new();
             loop {
-                if stats.firings_total() + (fired_this_step as u64) >= self.config.max_steps {
+                // `stats` already counts this step's firings (recorded as
+                // they happen), so the budget test reads it directly.
+                if stats.firings_total() >= self.config.max_steps {
                     // Apply what we have, then stop.
                     for f in &products {
                         for e in &f.produced {
@@ -281,6 +450,7 @@ impl SeqInterpreter {
                 status,
                 stats,
                 trace,
+                sched: None,
             },
             profile,
         ))
@@ -320,6 +490,7 @@ pub fn run_pipeline(
         status: last_status,
         stats,
         trace: None,
+        sched: None,
     })
 }
 
@@ -373,10 +544,9 @@ mod tests {
     fn all_seeds_agree_on_confluent_result() {
         let initial: ElementBag = (1..=20).map(|v| e(v, "n", 0)).collect();
         for seed in 0..5 {
-            let result =
-                SeqInterpreter::with_seed(&min_program(), initial.clone(), seed)
-                    .run()
-                    .unwrap();
+            let result = SeqInterpreter::with_seed(&min_program(), initial.clone(), seed)
+                .run()
+                .unwrap();
             assert_eq!(result.multiset.sorted_elements(), vec![e(1, "n", 0)]);
         }
     }
@@ -393,10 +563,9 @@ mod tests {
     #[test]
     fn empty_program_is_immediately_stable() {
         let initial: ElementBag = [e(1, "n", 0)].into_iter().collect();
-        let result =
-            SeqInterpreter::with_seed(&GammaProgram::default(), initial.clone(), 0)
-                .run()
-                .unwrap();
+        let result = SeqInterpreter::with_seed(&GammaProgram::default(), initial.clone(), 0)
+            .run()
+            .unwrap();
         assert_eq!(result.status, Status::Stable);
         assert_eq!(result.multiset, initial);
         assert_eq!(result.stats.firings_total(), 0);
@@ -457,10 +626,9 @@ mod tests {
                 "n",
             )])]);
         let initial: ElementBag = (1..=8).map(|v| e(v, "n", 0)).collect();
-        let (result, profile) =
-            SeqInterpreter::with_seed(&sum, initial, 0)
-                .run_max_parallel_steps()
-                .unwrap();
+        let (result, profile) = SeqInterpreter::with_seed(&sum, initial, 0)
+            .run_max_parallel_steps()
+            .unwrap();
         assert_eq!(result.status, Status::Stable);
         assert_eq!(result.multiset.len(), 1);
         assert!(result.multiset.contains(&e(36, "n", 0)));

@@ -503,16 +503,16 @@ mod tests {
         let bad = ReactionSpec::new("bad")
             .replace(Pattern::pair("id1", "A"))
             .by(vec![ElementSpec::pair(Expr::var("mystery"), "B")]);
-        assert!(matches!(
-            bad.validate(),
-            Err(SpecError::UnboundVar { .. })
-        ));
+        assert!(matches!(bad.validate(), Err(SpecError::UnboundVar { .. })));
     }
 
     #[test]
     fn empty_replace_list_rejected() {
         let bad = ReactionSpec::new("bad").by(vec![]);
-        assert!(matches!(bad.validate(), Err(SpecError::EmptyReplaceList(_))));
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::EmptyReplaceList(_))
+        ));
     }
 
     #[test]

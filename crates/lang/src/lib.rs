@@ -28,7 +28,9 @@ pub mod pretty;
 
 pub use lexer::{lex, LexError, Spanned, Tok};
 pub use normalize::normalize_reaction;
-pub use parser::{parse_expr, parse_multiset, parse_pipeline, parse_program, parse_reaction, ParseError};
+pub use parser::{
+    parse_expr, parse_multiset, parse_pipeline, parse_program, parse_reaction, ParseError,
+};
 pub use pretty::{pretty_pipeline, pretty_program, pretty_reaction};
 
 #[cfg(test)]
@@ -137,11 +139,7 @@ R19 = replace [id1,'A13',v], [id2,'C13',v] by [id1+id2,'C11',v]
         );
         // The loop really ran: R19 (the x += y adder) fired exactly z = 3
         // times.
-        let r19_idx = prog
-            .reactions
-            .iter()
-            .position(|r| r.name == "R19")
-            .unwrap();
+        let r19_idx = prog.reactions.iter().position(|r| r.name == "R19").unwrap();
         assert_eq!(result.stats.firings_per_reaction[r19_idx], 3);
     }
 }

@@ -134,7 +134,10 @@ mod tests {
                 ),
             );
         normalize_reaction(&mut r);
-        assert_eq!(r.patterns[0], Pattern::one_of("id1", "x", &["A1", "A11"], "v"));
+        assert_eq!(
+            r.patterns[0],
+            Pattern::one_of("id1", "x", &["A1", "A11"], "v")
+        );
         assert!(matches!(r.clauses[0].guard, Guard::Always));
     }
 
@@ -194,7 +197,10 @@ mod tests {
             .by(vec![]);
         let before = r.clone();
         normalize_reaction(&mut r);
-        assert_eq!(r, before, "cross-variable disjunction must stay a condition");
+        assert_eq!(
+            r, before,
+            "cross-variable disjunction must stay a condition"
+        );
     }
 
     #[test]

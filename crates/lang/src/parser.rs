@@ -153,7 +153,9 @@ impl Parser {
             clauses.push(ByClause { outputs, guard });
         }
         if clauses.is_empty() {
-            return self.err(format!("reaction {name}: expected at least one `by` clause"));
+            return self.err(format!(
+                "reaction {name}: expected at least one `by` clause"
+            ));
         }
         // `where` may also be written after the by-chain (Eq. (2) style:
         // `replace x, y by x where x < y`).
@@ -369,7 +371,11 @@ impl Parser {
                 Ok(e)
             }
             t @ (Tok::Min | Tok::Max) => {
-                let op = if t == Tok::Min { BinOp::Min } else { BinOp::Max };
+                let op = if t == Tok::Min {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 self.expect(&Tok::LParen)?;
                 let a = self.expr()?;
                 self.expect(&Tok::Comma)?;
@@ -530,8 +536,8 @@ mod tests {
 
     #[test]
     fn parses_paper_r1() {
-        let r = parse_reaction("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']")
-            .unwrap();
+        let r =
+            parse_reaction("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']").unwrap();
         assert_eq!(r.name, "R1");
         assert_eq!(r.patterns.len(), 2);
         assert_eq!(r.patterns[0], Pattern::pair("id1", "A1"));
@@ -557,11 +563,13 @@ mod tests {
     #[test]
     fn parses_paper_r11_inctag_with_normalisation() {
         // The label disjunction is lifted into a OneOf pattern.
-        let r = parse_reaction(
-            "R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')",
-        )
-        .unwrap();
-        assert_eq!(r.patterns[0], Pattern::one_of("id1", "x", &["A1", "A11"], "v"));
+        let r =
+            parse_reaction("R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')")
+                .unwrap();
+        assert_eq!(
+            r.patterns[0],
+            Pattern::one_of("id1", "x", &["A1", "A11"], "v")
+        );
         assert_eq!(r.clauses.len(), 1);
         assert!(matches!(r.clauses[0].guard, Guard::Always));
         match &r.clauses[0].outputs[0].tag {
@@ -591,29 +599,25 @@ mod tests {
 
     #[test]
     fn program_with_pipes() {
-        let prog = parse_program(
-            "R1 = replace [a,'A'] by [a,'B'] | R2 = replace [b,'B'] by [b,'C']",
-        )
-        .unwrap();
+        let prog =
+            parse_program("R1 = replace [a,'A'] by [a,'B'] | R2 = replace [b,'B'] by [b,'C']")
+                .unwrap();
         assert_eq!(prog.len(), 2);
         assert_eq!(prog.reactions[1].name, "R2");
     }
 
     #[test]
     fn program_with_newline_separation() {
-        let prog = parse_program(
-            "R1 = replace [a,'A'] by [a,'B']\nR2 = replace [b,'B'] by [b,'C']",
-        )
-        .unwrap();
+        let prog =
+            parse_program("R1 = replace [a,'A'] by [a,'B']\nR2 = replace [b,'B'] by [b,'C']")
+                .unwrap();
         assert_eq!(prog.len(), 2);
     }
 
     #[test]
     fn pipeline_with_semicolons() {
-        let pipe = parse_pipeline(
-            "replace [a,'A'] by [a,'B'] ; replace [b,'B'] by [b,'C']",
-        )
-        .unwrap();
+        let pipe =
+            parse_pipeline("replace [a,'A'] by [a,'B'] ; replace [b,'B'] by [b,'C']").unwrap();
         assert_eq!(pipe.stages.len(), 2);
         // Auto-named reactions.
         assert_eq!(pipe.stages[0].reactions[0].name, "R1");
@@ -629,12 +633,18 @@ mod tests {
     #[test]
     fn expression_precedence() {
         assert_eq!(parse_expr("1 + 2 * 3").unwrap().to_string(), "1 + 2 * 3");
-        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
+        assert_eq!(
+            parse_expr("(1 + 2) * 3").unwrap().to_string(),
+            "(1 + 2) * 3"
+        );
         assert_eq!(
             parse_expr("a < b and c > d or e == f").unwrap().to_string(),
             "a < b and c > d or e == f"
         );
-        assert_eq!(parse_expr("min(a, b + 1)").unwrap().to_string(), "min(a, b + 1)");
+        assert_eq!(
+            parse_expr("min(a, b + 1)").unwrap().to_string(),
+            "min(a, b + 1)"
+        );
         assert_eq!(parse_expr("-3").unwrap(), Expr::int(-3));
         assert_eq!(parse_expr("not (a == b)").unwrap().to_string(), "!(a == b)");
     }

@@ -98,9 +98,7 @@ pub fn pretty_reaction(spec: &ReactionSpec) -> String {
             lifted.push(c);
         }
     }
-    let lifted = lifted
-        .into_iter()
-        .reduce(Expr::and);
+    let lifted = lifted.into_iter().reduce(Expr::and);
 
     // Where goes right after the replace list, with lifted OneOf conditions
     // folded in when an if/else chain prevents printing them as `if`.
@@ -239,8 +237,7 @@ mod tests {
     // ---- property: parse . pretty == id --------------------------------
 
     fn arb_label() -> impl Strategy<Value = String> {
-        prop::sample::select(vec!["A1", "B1", "B2", "C12", "xout", "n"])
-            .prop_map(|s| s.to_string())
+        prop::sample::select(vec!["A1", "B1", "B2", "C12", "xout", "n"]).prop_map(|s| s.to_string())
     }
 
     fn arb_var() -> impl Strategy<Value = String> {

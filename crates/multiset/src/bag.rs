@@ -270,9 +270,7 @@ impl<T: Eq + Hash> Extend<T> for HashBag<T> {
 
 impl<T: Eq + Hash + fmt::Debug> fmt::Debug for HashBag<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map()
-            .entries(self.counts.iter())
-            .finish()
+        f.debug_map().entries(self.counts.iter()).finish()
     }
 }
 

@@ -160,6 +160,21 @@ impl ElementBag {
             .flat_map(|tags| tags.keys().copied())
     }
 
+    /// Iterate over the distinct values in the `(label, tag)` bucket with
+    /// their multiplicities, without materialising anything. This is the
+    /// non-allocating accessor the reaction-match inner loop runs on: a
+    /// probe walks the bucket in index order and stops at the first hit,
+    /// instead of cloning the whole bucket into a `Vec` first.
+    pub fn values_with_counts(
+        &self,
+        label: Symbol,
+        tag: Tag,
+    ) -> impl Iterator<Item = (&Value, usize)> + '_ {
+        self.bucket(label, tag)
+            .into_iter()
+            .flat_map(|bucket| bucket.iter_counts())
+    }
+
     /// Iterate over every element occurrence.
     pub fn iter(&self) -> impl Iterator<Item = Element> + '_ {
         self.index.iter().flat_map(|(&label, tags)| {

@@ -124,10 +124,7 @@ pub fn gcd(values: &[i64]) -> Workload {
         .replace(Pattern::pair("y", "n"))
         .where_(Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::var("y")))
         .by(vec![
-            ElementSpec::pair(
-                Expr::bin(BinOp::Sub, Expr::var("x"), Expr::var("y")),
-                "n",
-            ),
+            ElementSpec::pair(Expr::bin(BinOp::Sub, Expr::var("x"), Expr::var("y")), "n"),
             ElementSpec::pair(Expr::var("y"), "n"),
         ])]);
     let initial: ElementBag = values.iter().map(|&v| Element::pair(v, "n")).collect();
@@ -263,8 +260,8 @@ mod tests {
     #[test]
     fn sort_runs_in_parallel_engine() {
         let w = exchange_sort(&(0..20).rev().collect::<Vec<_>>(), 3);
-        let result = run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4))
-            .unwrap();
+        let result =
+            run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4)).unwrap();
         assert_eq!(result.exec.status, Status::Stable);
         assert_eq!(result.exec.multiset, w.expected);
     }
@@ -272,8 +269,8 @@ mod tests {
     #[test]
     fn primes_runs_in_parallel_engine() {
         let w = primes(60);
-        let result = run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4))
-            .unwrap();
+        let result =
+            run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4)).unwrap();
         assert_eq!(result.exec.status, Status::Stable);
         assert_eq!(result.exec.multiset, w.expected);
     }

@@ -75,9 +75,9 @@ pub fn scenario(seed: u64, pixels: usize) -> ImageScenario {
             ElementSpec::tagged(Expr::int(0), "seg", "i"),
             ElementSpec {
                 value: Expr::int(0),
-                label: gammaflow_gamma::spec::LabelSpec::Lit(
-                    gammaflow_multiset::Symbol::intern("fgpart"),
-                ),
+                label: gammaflow_gamma::spec::LabelSpec::Lit(gammaflow_multiset::Symbol::intern(
+                    "fgpart",
+                )),
                 tag: TagSpec::Zero,
             },
         ])]);
@@ -141,9 +141,6 @@ mod tests {
             ..scenario(0, 1)
         };
         let result = run_pipeline(&s.pipeline, s.initial.clone(), &ExecConfig::default()).unwrap();
-        assert!(result
-            .multiset
-            .iter()
-            .any(|e| e.label.as_str() == "fg"));
+        assert!(result.multiset.iter().any(|e| e.label.as_str() == "fg"));
     }
 }

@@ -158,6 +158,8 @@ mod tests {
         // And the graphs are isomorphic (up to commutative operand order:
         // the paper draws y into the adder's first port, the frontend
         // compiles `x + y` with x first).
-        assert!(gammaflow_dataflow::iso::isomorphic_commutative(&w.graph, &g));
+        assert!(gammaflow_dataflow::iso::isomorphic_commutative(
+            &w.graph, &g
+        ));
     }
 }

@@ -67,7 +67,10 @@ fn main() {
         "fused {} → {} reactions via {:?}",
         freport.before, freport.after, freport.fused
     );
-    println!("{}", pretty_reaction(&canonicalize_vars(&fused.reactions[0])));
+    println!(
+        "{}",
+        pretty_reaction(&canonicalize_vars(&fused.reactions[0]))
+    );
 
     // ---------------------------------------------------------- Fig. 2 --
     section("Fig. 2 — Example 2: for (i = z; i > 0; i--) x = x + y");

@@ -20,7 +20,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
     let w = primes(n);
-    println!("sieving 2..={n} — program:\n{}\n", pretty_program(&w.program));
+    println!(
+        "sieving 2..={n} — program:\n{}\n",
+        pretty_program(&w.program)
+    );
 
     let t0 = Instant::now();
     let seq = SeqInterpreter::with_seed(&w.program, w.initial.clone(), 1)

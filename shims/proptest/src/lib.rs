@@ -1,0 +1,587 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use: range/tuple/`Just`/`select`/`vec` strategies, `prop_map`,
+//! `prop_oneof!`, `prop_recursive`, `prop_compose!`, and the `proptest!`
+//! runner. Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number; rerun
+//!   with the (deterministic, name-derived) seed to reproduce.
+//! * **Fixed case counts** (default 64; `ProptestConfig::with_cases`
+//!   honoured).
+//! * Generation is plain pseudo-random sampling, not size-directed.
+//!
+//! That keeps the harness ~300 lines while preserving the tests' power to
+//! catch semantic divergences.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Deterministic generator driving all strategies (splitmix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed derived from a test name, so every test gets a distinct but
+    /// reproducible stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (> 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = Rc::new(self);
+        BoxedStrategy(Rc::new(move |rng| this.gen(rng)))
+    }
+
+    /// Recursive strategies: `f` maps an inner strategy to one layer of
+    /// structure; depth is capped at `depth` with a leaf/recurse coin-flip
+    /// per layer (the shim ignores the node-count/branch hints).
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _nodes: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let layer = f(strat).boxed();
+            strat = one_of(vec![leaf.clone(), layer]);
+        }
+        strat
+    }
+}
+
+/// Cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Build a [`BoxedStrategy`] from a generator closure (used by
+/// `prop_compose!`).
+pub fn boxed_fn<T, F: Fn(&mut TestRng) -> T + 'static>(f: F) -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(f))
+}
+
+/// Uniform choice among already-boxed strategies (used by `prop_oneof!`).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.below(options.len() as u64) as usize;
+        options[i].gen(rng)
+    }))
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// String strategies from a regex subset, mirroring proptest's
+/// `impl Strategy for &str`. Supported syntax: literal chars, `[...]`
+/// character classes (ranges, `\n`/`\t`/`\r`/`\\` escapes), and the
+/// quantifiers `{m,n}`, `{n}`, `*`, `+`, `?` — enough for the fuzzing
+/// patterns this workspace uses (e.g. `"[ -~\n]{0,200}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = rng.below(chars.len() as u64) as usize;
+                out.push(chars[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a regex subset into (choices, min-reps, max-reps) atoms.
+fn parse_regex(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: class or single char.
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    None => {
+                        let n: usize = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        if !choices.is_empty() {
+            atoms.push((choices, min, max));
+        }
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical full-range strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        boxed_fn(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                boxed_fn(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{boxed_fn, BoxedStrategy};
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        boxed_fn(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].clone()
+        })
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Assert inside a property (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests. Each `fn` runs `cases` times with fresh values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg) $($rest)*);
+    };
+    (@cases ($cfg:expr)) => {};
+    (@cases ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let __run = || {
+                    $(let $arg = $crate::Strategy::gen(&($strat), &mut __rng);)*
+                    $body
+                };
+                // Name the failing case for reproduction (the rng stream is
+                // deterministic per test, so case N always sees the same
+                // values).
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)).is_err() {
+                    panic!(
+                        "property {} failed at case {}/{} (deterministic seed; rerun to reproduce)",
+                        stringify!($name), __case + 1, __cfg.cases
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@cases ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Define a composite strategy function (subset of proptest's
+/// `prop_compose!`: one or two binding groups after the argument list).
+#[macro_export]
+macro_rules! prop_compose {
+    // fn name(args)(stage1)(stage2) -> T { body }
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($a:ident in $sa:expr),* $(,)?)
+        ($($b:ident in $sb:expr),* $(,)?)
+        -> $t:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($fnargs)*) -> $crate::BoxedStrategy<$t> {
+            $crate::boxed_fn(move |__rng: &mut $crate::TestRng| {
+                $(let $a = $crate::Strategy::gen(&($sa), __rng);)*
+                $(let $b = $crate::Strategy::gen(&($sb), __rng);)*
+                $body
+            })
+        }
+    };
+    // fn name(args)(stage1) -> T { body }
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($a:ident in $sa:expr),* $(,)?)
+        -> $t:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($fnargs)*) -> $crate::BoxedStrategy<$t> {
+            $crate::boxed_fn(move |__rng: &mut $crate::TestRng| {
+                $(let $a = $crate::Strategy::gen(&($sa), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// The `proptest::prelude` import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Namespaced strategy modules, as `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0i64..10, y in 1u8..=4u8) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_header_accepted(v in prop::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0i64..5).prop_map(|v| v * 2), Just(100i64),];
+        let mut rng = TestRng::from_name("oneof");
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = strat.gen(&mut rng);
+            assert!(v == 100 || (v % 2 == 0 && v < 10));
+            saw_just |= v == 100;
+        }
+        assert!(saw_just);
+    }
+
+    #[test]
+    fn recursive_generates_varied_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_name("rec");
+        let depths: Vec<u32> = (0..100).map(|_| depth(&strat.gen(&mut rng))).collect();
+        assert!(depths.contains(&0));
+        assert!(depths.iter().any(|&d| d > 0));
+        assert!(depths.iter().all(|&d| d <= 3));
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0i64..5)(b in Just(a), c in 0i64..5) -> (i64, i64, i64) {
+            (a, b, c)
+        }
+    }
+
+    #[test]
+    fn compose_two_stages() {
+        let mut rng = TestRng::from_name("compose");
+        for _ in 0..50 {
+            let (a, b, c) = arb_pair().gen(&mut rng);
+            assert_eq!(a, b);
+            assert!((0..5).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! from-scratch miniature of the serde data model sized to what the
+//! workspace uses. The heart is [`Content`], a self-describing value tree:
+//! serializers lower values into `Content` and data formats (the
+//! `serde_json` shim) print/parse it. This trades serde's zero-copy
+//! streaming for drastic simplicity; every payload this workspace
+//! serialises (specs, traces, snapshots) is small configuration-sized
+//! data, far off any hot path.
+//!
+//! Compatible surface kept: the `Serialize`/`Deserialize` traits with
+//! serde's method signatures (so the workspace's hand-written impls
+//! compile unchanged), `Serializer::serialize_str`/`collect_seq`-style
+//! entry points, `de::Error::custom`, and the derive macros re-exported
+//! from `serde_derive`.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`; also the encoding of `None` and unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization error helpers, mirroring `serde::ser`.
+pub mod ser {
+    use super::Display;
+
+    /// Errors producible by a [`crate::Serializer`].
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error helpers, mirroring `serde::de`.
+pub mod de {
+    use super::Display;
+
+    /// Errors producible by a [`crate::Deserializer`].
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can lower itself into a [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization sink. One required method — everything else lowers to
+/// [`Content`] through the provided defaults.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consume a finished [`Content`] tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        if let Ok(i) = i64::try_from(v) {
+            self.serialize_content(Content::I64(i))
+        } else {
+            self.serialize_content(Content::U64(v))
+        }
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(to_content(value))
+    }
+
+    /// Serialize a sequence from an iterator.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let items = iter.into_iter().map(|item| to_content(&item)).collect();
+        self.serialize_content(Content::Seq(items))
+    }
+
+    /// Serialize a string-keyed map from an iterator.
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        K: Display,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let items = iter
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), to_content(&v)))
+            .collect();
+        self.serialize_content(Content::Map(items))
+    }
+}
+
+/// Infallible error for [`ContentSerializer`]. Uninhabited in practice —
+/// lowering to `Content` cannot fail.
+#[derive(Debug)]
+pub struct ContentError;
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("content serialization error")
+    }
+}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(_msg: T) -> Self {
+        ContentError
+    }
+}
+
+/// The canonical serializer: lowers any [`Serialize`] into [`Content`].
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Lower a value to its [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value.serialize(ContentSerializer).unwrap_or(Content::Null)
+}
+
+/// A deserialization source. One required method: surrender a [`Content`]
+/// tree; `Deserialize` impls pattern-match it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yield the underlying value tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an in-memory [`Content`] tree, generic in the
+/// error type so nested fields surface the outer deserializer's error.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: std::marker::PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wrap `content`.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a value directly from a [`Content`] tree.
+pub fn from_content<'de, T, E>(content: Content) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: de::Error,
+{
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (used by serde_derive-generated code).
+// ---------------------------------------------------------------------------
+
+/// Expect a map, or fail with a message naming `what`.
+pub fn expect_map<E: de::Error>(c: Content, what: &str) -> Result<Vec<(String, Content)>, E> {
+    match c {
+        Content::Map(m) => Ok(m),
+        other => Err(E::custom(format_args!(
+            "expected map for {what}, found {other:?}"
+        ))),
+    }
+}
+
+/// Expect a sequence of exactly `len` items, or fail naming `what`.
+pub fn expect_seq<E: de::Error>(c: Content, len: usize, what: &str) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(s) if s.len() == len => Ok(s),
+        other => Err(E::custom(format_args!(
+            "expected sequence of {len} for {what}, found {other:?}"
+        ))),
+    }
+}
+
+/// Remove and return field `name` from a decoded map, if present.
+pub fn take_field(map: &mut Vec<(String, Content)>, name: &str) -> Option<Content> {
+    let idx = map.iter().position(|(k, _)| k == name)?;
+    Some(map.remove(idx).1)
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if (*self as i128) <= i64::MAX as i128 && (*self as i128) >= i64::MIN as i128 {
+                    serializer.serialize_i64(*self as i64)
+                } else {
+                    serializer.serialize_u64(*self as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.take_content()?;
+                let out = match &c {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    de::Error::custom(format_args!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), c
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format_args!(
+                "expected bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            // serde_json prints non-finite floats as null; accept the
+            // round-trip back as NaN.
+            Content::Null => Ok(f64::NAN),
+            other => Err(de::Error::custom(format_args!(
+                "expected float, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for std::borrow::Cow<'_, str> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(std::borrow::Cow::Owned)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            other => from_content::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        <[T; N]>::try_from(items).map_err(|items| {
+            de::Error::custom(format_args!(
+                "expected array of {N}, found {} items",
+                items.len()
+            ))
+        })
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Vec::into_boxed_slice)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![
+                    $(to_content(&self.$idx)),+
+                ]))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let seq = expect_seq::<__D::Error>(deserializer.take_content()?, $len, "tuple")?;
+                let mut it = seq.into_iter();
+                Ok(($(
+                    {
+                        let _ = stringify!($name);
+                        from_content::<_, __D::Error>(it.next().expect("length checked"))?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0) => 1;
+    (A: 0, B: 1) => 2;
+    (A: 0, B: 1, C: 2) => 3;
+    (A: 0, B: 1, C: 2, D: 3) => 4;
+}
+
+impl<K, V, H> Serialize for std::collections::HashMap<K, V, H>
+where
+    K: Display,
+    V: Serialize,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), to_content(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_content()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct TestError(String);
+
+    impl Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl de::Error for TestError {
+        fn custom<T: Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_content(&42i64), Content::I64(42));
+        assert_eq!(to_content(&true), Content::Bool(true));
+        assert_eq!(to_content("hi"), Content::Str("hi".into()));
+        let n: Result<i64, TestError> = from_content(Content::I64(-7));
+        assert_eq!(n.unwrap(), -7);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let c = to_content(&v);
+        let back: Vec<(u64, String)> = from_content::<_, TestError>(c).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_content(&Option::<i64>::None), Content::Null);
+        let c = to_content(&Some(5i64));
+        let back: Option<i64> = from_content::<_, TestError>(c).unwrap();
+        assert_eq!(back, Some(5));
+    }
+
+    #[test]
+    fn int_overflow_is_error() {
+        let r: Result<u8, TestError> = from_content(Content::I64(300));
+        assert!(r.is_err());
+    }
+}

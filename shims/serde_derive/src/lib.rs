@@ -1,0 +1,422 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` over the
+//! workspace's serde shim — no `syn`/`quote` (crates.io is unreachable in
+//! this build environment), just a small token-tree walk that recognises
+//! the shapes the workspace actually derives: non-generic structs (unit /
+//! newtype / tuple / named) and enums (unit / tuple / struct variants).
+//!
+//! Encoding mirrors serde's defaults so hand-written impls and snapshots
+//! stay conventional: named structs become string-keyed maps, newtype
+//! structs are transparent, tuples become sequences, and enums are
+//! externally tagged (`"Variant"` or `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: an optional name (named structs/variants) — tuple
+/// fields are addressed positionally.
+#[derive(Debug)]
+struct Fields {
+    named: Option<Vec<String>>,
+    count: usize,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split a token slice on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: '#' followed by a bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+/// Parse the fields of a named-field group `{ a: T, b: U }`.
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Result<Fields, String> {
+    let mut names = Vec::new();
+    for field in split_top_level_commas(&group_tokens) {
+        let field = strip_attrs_and_vis(&field);
+        if field.is_empty() {
+            continue;
+        }
+        match field.first() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("unsupported field start: {other:?}")),
+        }
+    }
+    Ok(Fields {
+        count: names.len(),
+        named: Some(names),
+    })
+}
+
+/// Parse the fields of a tuple group `(T, U)`.
+fn parse_tuple_fields(group_tokens: Vec<TokenTree>) -> Fields {
+    let count = split_top_level_commas(&group_tokens)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .count();
+    Fields { named: None, count }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` keyword, skipping attrs and visibility.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct or enum found".into()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim does not support generic type {name}"
+            ));
+        }
+    }
+    // Skip a `where` clause if present (none expected).
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some((g.delimiter(), g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        _ => None,
+    });
+
+    if kind == "struct" {
+        let shape = match body {
+            None => Shape::Unit,
+            Some((Delimiter::Parenthesis, toks)) => Shape::Struct(parse_tuple_fields(toks)),
+            Some((Delimiter::Brace, toks)) => Shape::Struct(parse_named_fields(toks)?),
+            _ => unreachable!(),
+        };
+        return Ok(Input { name, shape });
+    }
+
+    // Enum: walk variants.
+    let Some((Delimiter::Brace, toks)) = body else {
+        return Err(format!("enum {name} has no body"));
+    };
+    let mut variants = Vec::new();
+    for var in split_top_level_commas(&toks) {
+        let var = strip_attrs_and_vis(&var);
+        if var.is_empty() {
+            continue;
+        }
+        let vname = match var.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("unsupported variant start: {other:?}")),
+        };
+        let fields = match var.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                parse_tuple_fields(g.stream().into_iter().collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream().into_iter().collect())?
+            }
+            _ => Fields {
+                named: None,
+                count: 0,
+            },
+        };
+        variants.push((vname, fields));
+    }
+    Ok(Input {
+        name,
+        shape: Shape::Enum(variants),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Unit => "__s.serialize_unit()".to_string(),
+        Shape::Struct(fields) => serialize_fields_expr(fields, "self.", name, None),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let pattern = variant_pattern(name, vname, fields);
+                let expr = if fields.count == 0 {
+                    format!("__s.serialize_str({vname:?})")
+                } else {
+                    serialize_fields_expr(fields, "", name, Some(vname))
+                };
+                arms.push_str(&format!("{pattern} => {{ {expr} }}\n"));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Pattern to destructure one enum variant, binding fields to `__f0…`.
+fn variant_pattern(name: &str, vname: &str, fields: &Fields) -> String {
+    match &fields.named {
+        _ if fields.count == 0 => format!("{name}::{vname}"),
+        Some(names) => {
+            let binds: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("{n}: __f{i}"))
+                .collect();
+            format!("{name}::{vname} {{ {} }}", binds.join(", "))
+        }
+        None => {
+            let binds: Vec<String> = (0..fields.count).map(|i| format!("__f{i}")).collect();
+            format!("{name}::{vname}({})", binds.join(", "))
+        }
+    }
+}
+
+/// Expression serializing a field set. `access` is `"self."` for structs
+/// (fields read as `self.x` / `self.0`) or `""` for enum variants (fields
+/// pre-bound to `__f0…`). `variant` wraps the payload in the
+/// externally-tagged single-entry map.
+fn serialize_fields_expr(
+    fields: &Fields,
+    access: &str,
+    _name: &str,
+    variant: Option<&str>,
+) -> String {
+    let field_expr = |i: usize, fname: Option<&String>| -> String {
+        if access.is_empty() {
+            format!("__f{i}")
+        } else {
+            match fname {
+                Some(n) => format!("&{access}{n}"),
+                None => format!("&{access}{i}"),
+            }
+        }
+    };
+    let payload = match &fields.named {
+        Some(names) => {
+            let mut pushes = String::new();
+            for (i, n) in names.iter().enumerate() {
+                let fe = field_expr(i, Some(n));
+                pushes.push_str(&format!(
+                    "__fields.push(({n:?}.to_string(), ::serde::to_content({fe})));\n"
+                ));
+            }
+            format!(
+                "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                   = ::std::vec::Vec::new();\n{pushes} ::serde::Content::Map(__fields) }}"
+            )
+        }
+        None if fields.count == 1 => {
+            let fe = field_expr(0, None);
+            format!("::serde::to_content({fe})")
+        }
+        None => {
+            let items: Vec<String> = (0..fields.count)
+                .map(|i| format!("::serde::to_content({})", field_expr(i, None)))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+    };
+    match variant {
+        Some(v) => format!(
+            "__s.serialize_content(::serde::Content::Map(::std::vec![({v:?}.to_string(), {payload})]))"
+        ),
+        None => format!("__s.serialize_content({payload})"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Unit => format!("let _ = __d.take_content()?; ::core::result::Result::Ok({name})"),
+        Shape::Struct(fields) => {
+            let construct = deserialize_fields_expr(fields, name, name);
+            format!("let __c = __d.take_content()?;\n{construct}")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                if fields.count == 0 {
+                    unit_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else {
+                    let construct =
+                        deserialize_fields_expr(fields, name, &format!("{name}::{vname}"));
+                    data_arms.push_str(&format!(
+                        "{vname:?} => {{ let __c = __payload; {construct} }}\n"
+                    ));
+                }
+            }
+            format!(
+                "match __d.take_content()? {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(\
+                             <__D::Error as ::serde::de::Error>::custom(\
+                                 format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = __m.remove(0);\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::core::result::Result::Err(\
+                                 <__D::Error as ::serde::de::Error>::custom(\
+                                     format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                             format!(\"expected {name} variant, found {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Expression that consumes a `Content` in `__c` and builds `constructor`
+/// with the given fields.
+fn deserialize_fields_expr(fields: &Fields, name: &str, constructor: &str) -> String {
+    match &fields.named {
+        Some(names) => {
+            let mut inits = String::new();
+            for n in names {
+                inits.push_str(&format!(
+                    "{n}: ::serde::from_content(match ::serde::take_field(&mut __map, {n:?}) {{\n\
+                         ::core::option::Option::Some(__v) => __v,\n\
+                         ::core::option::Option::None => ::serde::Content::Null,\n\
+                     }})?,\n"
+                ));
+            }
+            format!(
+                "let mut __map = ::serde::expect_map::<__D::Error>(__c, {name:?})?;\n\
+                 ::core::result::Result::Ok({constructor} {{ {inits} }})"
+            )
+        }
+        None if fields.count == 1 => {
+            format!("::core::result::Result::Ok({constructor}(::serde::from_content(__c)?))")
+        }
+        None => {
+            let items: Vec<String> = (0..fields.count)
+                .map(|_| "::serde::from_content(__it.next().expect(\"length checked\"))?".into())
+                .collect();
+            format!(
+                "let __seq = ::serde::expect_seq::<__D::Error>(__c, {count}, {name:?})?;\n\
+                 let mut __it = __seq.into_iter();\n\
+                 ::core::result::Result::Ok({constructor}({items}))",
+                count = fields.count,
+                items = items.join(", ")
+            )
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //! Multiset literals use the paper's syntax: `{[1,'A1'], [5,'B1'], [3,'C1',2]}`
 //! (braces optional, third field = tag, default 0).
 
-use gammaflow::core::{canonicalize_vars, check_equivalence, dataflow_to_gamma, fuse_all, gamma_to_dataflow, CheckConfig};
+use gammaflow::core::{
+    canonicalize_vars, check_equivalence, dataflow_to_gamma, fuse_all, gamma_to_dataflow,
+    CheckConfig,
+};
 use gammaflow::dataflow::engine::{EngineConfig, SeqEngine};
 use gammaflow::gamma::{analyze_reuse, ExecConfig, Selection, SeqInterpreter};
 use gammaflow::lang::{parse_multiset, parse_program, pretty_program};
@@ -147,7 +150,10 @@ fn cmd_run_df(args: &Args) -> Result<(), String> {
     println!("firings: {}", result.stats.fired_total());
     println!("profile: {:?}", result.profile);
     if !result.residue.is_empty() {
-        println!("residue: {} stuck tokens (tag mismatch?)", result.residue.len());
+        println!(
+            "residue: {} stuck tokens (tag mismatch?)",
+            result.residue.len()
+        );
     }
     Ok(())
 }
@@ -186,7 +192,11 @@ fn cmd_run_gamma(args: &Args) -> Result<(), String> {
     println!("status:       {:?}", result.status);
     println!("steady state: {}", result.multiset);
     println!("firings:      {}", result.stats.firings_total());
-    for (r, n) in prog.reactions.iter().zip(&result.stats.firings_per_reaction) {
+    for (r, n) in prog
+        .reactions
+        .iter()
+        .zip(&result.stats.firings_per_reaction)
+    {
         println!("  {:12} {n}", r.name);
     }
     if let Some(trace) = result.trace {
@@ -196,8 +206,14 @@ fn cmd_run_gamma(args: &Args) -> Result<(), String> {
                 "  #{:<4} {:8} consumed {:?} produced {:?}",
                 rec.step,
                 rec.reaction,
-                rec.consumed.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
-                rec.produced.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+                rec.consumed
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>(),
+                rec.produced
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
             );
         }
         if trace.len() > 50 {
@@ -293,7 +309,10 @@ fn cmd_reuse(args: &Args) -> Result<(), String> {
         report.redundant,
         report.ratio() * 100.0
     );
-    println!("{:<16} {:>10} {:>10} {:>10}", "reaction", "firings", "distinct", "reuse");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "reaction", "firings", "distinct", "reuse"
+    );
     for row in &report.per_reaction {
         println!(
             "{:<16} {:>10} {:>10} {:>10}",

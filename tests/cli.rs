@@ -87,7 +87,11 @@ fn run_gamma_reaches_steady_state() {
         .arg(EX1_M)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("steady state: {[0,'m']}"), "{text}");
 }
@@ -136,7 +140,11 @@ fn reverse_stitches_graph() {
         .arg("--dot")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("digraph"), "{text}");
 }
@@ -152,14 +160,25 @@ fn reuse_reports_redundancy() {
         .arg("{[7,'in'],[7,'in'],[7,'in'],[7,'in']}")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("4 firings, 3 redundant (75.0% memoizable)"), "{text}");
+    assert!(
+        text.contains("4 firings, 3 redundant (75.0% memoizable)"),
+        "{text}"
+    );
 }
 
 #[test]
 fn bad_file_is_a_clean_error() {
-    let out = gfc().arg("compile").arg("/nonexistent/x.mc").output().unwrap();
+    let out = gfc()
+        .arg("compile")
+        .arg("/nonexistent/x.mc")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -29,8 +29,7 @@ fn classic_workloads_on_both_gamma_engines() {
             assert_eq!(r.multiset, w.expected, "{} seed {seed}", w.name);
         }
         // Parallel engine.
-        let r = run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4))
-            .unwrap();
+        let r = run_parallel(&w.program, w.initial.clone(), &ParConfig::with_workers(4)).unwrap();
         assert_eq!(r.exec.status, Status::Stable, "{} parallel", w.name);
         assert_eq!(r.exec.multiset, w.expected, "{} parallel", w.name);
     }
@@ -72,8 +71,8 @@ fn workload_programs_survive_pretty_parse_round_trip() {
         exchange_sort(&[2, 1], 0).program,
     ] {
         let printed = pretty_program(&prog);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(reparsed, prog, "\n{printed}");
     }
 }
@@ -122,7 +121,11 @@ fn trace_lengths_match_firing_counts() {
     let mut available = w.initial.clone();
     for record in &trace {
         for e in &record.consumed {
-            assert!(available.remove(e), "step {} consumed missing {e}", record.step);
+            assert!(
+                available.remove(e),
+                "step {} consumed missing {e}",
+                record.step
+            );
         }
         for e in &record.produced {
             available.insert(e.clone());

@@ -145,7 +145,11 @@ fn e4_fig4_replication_scales_with_multiset() {
         // Executing the instanced graph = one parallel Gamma round.
         let result = SeqEngine::new(&mapping.graph).run().unwrap();
         assert_eq!(result.outputs.len(), size / 2);
-        let total: i64 = result.outputs.iter().map(|e| e.value.as_int().unwrap()).sum();
+        let total: i64 = result
+            .outputs
+            .iter()
+            .map(|e| e.value.as_int().unwrap())
+            .sum();
         let want: i64 = (1..=size as i64).sum();
         assert_eq!(total, want);
     }
@@ -154,9 +158,12 @@ fn e4_fig4_replication_scales_with_multiset() {
 #[test]
 fn e4_fig4_conditioned_reaction_instances_only_matches() {
     // A guarded reaction maps only tuples that satisfy the condition.
-    let r = parse_reaction("R = replace [x,'n'], [y,'n'] by [x,'keep'] if x > y by 0 else")
-        .unwrap();
-    let m: ElementBag = [10, 1, 20, 2].iter().map(|&v| Element::pair(v, "n")).collect();
+    let r =
+        parse_reaction("R = replace [x,'n'], [y,'n'] by [x,'keep'] if x > y by 0 else").unwrap();
+    let m: ElementBag = [10, 1, 20, 2]
+        .iter()
+        .map(|&v| Element::pair(v, "n"))
+        .collect();
     let mapping = map_multiset(&r, &m, usize::MAX).unwrap();
     // All four elements pair up (any two distinct values satisfy if or
     // else), so 2 instances regardless of orientation.

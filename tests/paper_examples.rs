@@ -152,7 +152,11 @@ fn e2_gamma_execution_drains_multiset_and_loops_z_times() {
         assert_eq!(result.status, Status::Stable);
         // As written in the paper, every value is eventually discarded by
         // a steer else-branch: the steady state is empty.
-        assert!(result.multiset.is_empty(), "seed {seed}: {}", result.multiset);
+        assert!(
+            result.multiset.is_empty(),
+            "seed {seed}: {}",
+            result.multiset
+        );
         // The loop body (R19) fired exactly z times.
         let r19 = conv
             .program
@@ -160,7 +164,10 @@ fn e2_gamma_execution_drains_multiset_and_loops_z_times() {
             .iter()
             .position(|r| r.name == "R19")
             .unwrap();
-        assert_eq!(result.stats.firings_per_reaction[r19], z as u64, "seed {seed}");
+        assert_eq!(
+            result.stats.firings_per_reaction[r19], z as u64,
+            "seed {seed}"
+        );
         // The iteration-tag machinery ran z+1 times (one extra test round).
         let r12 = conv
             .program
@@ -186,7 +193,11 @@ fn e2_observable_variant_checks_equivalent() {
             ..CheckConfig::default()
         };
         let report = check_equivalence(&g, &config).unwrap();
-        assert!(report.equivalent, "(y={y},z={z},x={x}): {:?}", report.mismatch);
+        assert!(
+            report.equivalent,
+            "(y={y},z={z},x={x}): {:?}",
+            report.mismatch
+        );
         let expected = x + y * z.max(0);
         let out = report.dataflow_outputs.sorted_elements();
         assert_eq!(out[0].value, Value::int(expected));

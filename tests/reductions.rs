@@ -83,10 +83,9 @@ fn e3_max_parallel_steps_show_parallelism_loss() {
     // total as maximal parallel rounds: {R1,R2} then {R3}); the fused
     // version needs 1 round but exposes no intra-round parallelism.
     let conv = dataflow_to_gamma(&fig1()).unwrap();
-    let (result, profile) =
-        SeqInterpreter::with_seed(&conv.program, conv.initial.clone(), 0)
-            .run_max_parallel_steps()
-            .unwrap();
+    let (result, profile) = SeqInterpreter::with_seed(&conv.program, conv.initial.clone(), 0)
+        .run_max_parallel_steps()
+        .unwrap();
     assert_eq!(result.status, Status::Stable);
     assert_eq!(profile, vec![2, 1], "R1|R2 in parallel, then R3");
 }
@@ -107,8 +106,12 @@ fn e3_papers_reduced_example2_runs_the_same_loop() {
     .into_iter()
     .collect();
 
-    let a = SeqInterpreter::with_seed(&full, initial.clone(), 1).run().unwrap();
-    let b = SeqInterpreter::with_seed(&reduced, initial, 1).run().unwrap();
+    let a = SeqInterpreter::with_seed(&full, initial.clone(), 1)
+        .run()
+        .unwrap();
+    let b = SeqInterpreter::with_seed(&reduced, initial, 1)
+        .run()
+        .unwrap();
     assert_eq!(a.status, Status::Stable);
     assert_eq!(b.status, Status::Stable);
 
@@ -160,8 +163,12 @@ fn e3_reduced_example2_fires_fewer_reactions_per_iteration() {
         .into_iter()
         .collect()
     };
-    let a = SeqInterpreter::with_seed(&full, initial(5), 0).run().unwrap();
-    let b = SeqInterpreter::with_seed(&reduced, initial(5), 0).run().unwrap();
+    let a = SeqInterpreter::with_seed(&full, initial(5), 0)
+        .run()
+        .unwrap();
+    let b = SeqInterpreter::with_seed(&reduced, initial(5), 0)
+        .run()
+        .unwrap();
     assert!(
         b.stats.firings_total() < a.stats.firings_total(),
         "reduced {} vs full {}",
@@ -176,7 +183,10 @@ fn e3_fusion_never_fuses_example2_loop() {
     // steer outputs — none meet the producer eligibility rule, so fusion
     // must leave the program alone rather than corrupt the loop.
     let conv = dataflow_to_gamma(&fig2(5, 3, 10, false)).unwrap();
-    let protected: Vec<Symbol> = ["A1", "B1", "C1"].iter().map(|l| Symbol::intern(l)).collect();
+    let protected: Vec<Symbol> = ["A1", "B1", "C1"]
+        .iter()
+        .map(|l| Symbol::intern(l))
+        .collect();
     let (fused, report) = fuse_all(&conv.program, &protected);
     assert_eq!(fused.len(), conv.program.len());
     assert!(report.fused.is_empty());

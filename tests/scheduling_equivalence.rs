@@ -1,0 +1,210 @@
+//! Delta-scheduling regression: the incremental scheduler must be
+//! observationally indistinguishable from the rescanning reference.
+//!
+//! On random converted-dataflow programs and the classic Gamma repertoire:
+//!
+//! * under any selection policy, both engines reach the same stable
+//!   multiset (byte-identical, not just projected);
+//! * under `Selection::Deterministic`, the delta engine replays the
+//!   rescanning reference's *exact firing trace* — the scheduler only
+//!   skips provably-disabled reactions, it never changes a choice.
+
+use gammaflow::core::dataflow_to_gamma;
+use gammaflow::gamma::{
+    ExecConfig, ExecResult, GammaProgram, Scheduling, Selection, SeqInterpreter, Status,
+};
+use gammaflow::multiset::ElementBag;
+use gammaflow::workloads::{gcd, maximum, minimum, primes, random_dag, sum, DagParams};
+use proptest::prelude::*;
+
+fn run_with(
+    program: &GammaProgram,
+    initial: &ElementBag,
+    selection: Selection,
+    scheduling: Scheduling,
+) -> ExecResult {
+    SeqInterpreter::with_config(
+        program,
+        initial.clone(),
+        ExecConfig {
+            selection,
+            scheduling,
+            record_trace: true,
+            ..ExecConfig::default()
+        },
+    )
+    .expect("program compiles")
+    .run()
+    .expect("run succeeds")
+}
+
+/// Deterministic selection: trace-identical replay.
+fn assert_trace_identical(program: &GammaProgram, initial: &ElementBag) {
+    let rescan = run_with(
+        program,
+        initial,
+        Selection::Deterministic,
+        Scheduling::Rescan,
+    );
+    let delta = run_with(
+        program,
+        initial,
+        Selection::Deterministic,
+        Scheduling::Delta,
+    );
+    assert_eq!(rescan.status, delta.status);
+    assert_eq!(rescan.multiset, delta.multiset);
+    assert_eq!(
+        rescan.stats.firings_per_reaction, delta.stats.firings_per_reaction,
+        "per-reaction firing counts diverged"
+    );
+    assert_eq!(
+        rescan.trace, delta.trace,
+        "deterministic traces diverged: the scheduler changed a selection"
+    );
+}
+
+/// Seeded selection: same stable multiset on confluent programs.
+fn assert_confluent_outcome(program: &GammaProgram, initial: &ElementBag, seed: u64) {
+    let rescan = run_with(
+        program,
+        initial,
+        Selection::Seeded(seed),
+        Scheduling::Rescan,
+    );
+    let delta = run_with(program, initial, Selection::Seeded(seed), Scheduling::Delta);
+    assert_eq!(rescan.status, Status::Stable);
+    assert_eq!(delta.status, Status::Stable);
+    assert_eq!(
+        rescan.multiset, delta.multiset,
+        "stable multisets diverged under seed {seed}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random converted-dataflow programs: deterministic delta scheduling
+    /// replays the rescanning trace exactly.
+    #[test]
+    fn prop_delta_replays_rescan_trace(
+        seed in 0u64..10_000,
+        roots in 2usize..6,
+        layers in 1usize..4,
+        width in 1usize..6,
+    ) {
+        let dag = random_dag(seed, &DagParams { roots, layers, width, range: 1000 });
+        let conv = dataflow_to_gamma(&dag.graph).expect("conversion succeeds");
+        assert_trace_identical(&conv.program, &conv.initial);
+    }
+
+    /// Random converted-dataflow programs under seeded nondeterminism:
+    /// both engines stabilise on the same multiset (the programs are
+    /// confluent by construction — they compute the DAG's outputs).
+    #[test]
+    fn prop_delta_matches_rescan_seeded(
+        seed in 0u64..10_000,
+        run_seed in 0u64..64,
+    ) {
+        let dag = random_dag(seed, &DagParams::default());
+        let conv = dataflow_to_gamma(&dag.graph).expect("conversion succeeds");
+        assert_confluent_outcome(&conv.program, &conv.initial, run_seed);
+    }
+}
+
+#[test]
+fn classic_workloads_trace_identical_deterministic() {
+    let workloads = [
+        minimum(&[9, 4, 7, 1, 8, 4]),
+        maximum(&[3, 99, 7, 42]),
+        sum(&(1..=40).collect::<Vec<i64>>()),
+        gcd(&[12, 18, 30]),
+        primes(120),
+    ];
+    for w in &workloads {
+        assert_trace_identical(&w.program, &w.initial);
+    }
+}
+
+#[test]
+fn classic_workloads_agree_seeded() {
+    let workloads = [
+        minimum(&[5, 2, 8, 2]),
+        sum(&(1..=30).collect::<Vec<i64>>()),
+        primes(80),
+    ];
+    for w in &workloads {
+        for seed in 0..4 {
+            assert_confluent_outcome(&w.program, &w.initial, seed);
+        }
+    }
+}
+
+#[test]
+fn delta_engine_reaches_expected_results() {
+    // End-to-end: the delta engine (the default) computes the workloads'
+    // self-check references.
+    for w in [minimum(&[6, 1, 9]), sum(&[1, 2, 3, 4]), primes(60)] {
+        let result = SeqInterpreter::with_seed(&w.program, w.initial.clone(), 3)
+            .run()
+            .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset, w.expected, "workload {}", w.name);
+        let sched = result.sched.expect("delta scheduling is the default");
+        assert!(sched.full_searches > 0);
+        assert!(sched.authoritative_confirms >= 1);
+    }
+}
+
+#[test]
+fn max_parallel_budget_counts_each_firing_once() {
+    // 64 pairable elements: the first maximal step has 32 enabled
+    // firings. A budget of 20 must allow exactly 20 firings (the old
+    // check double-counted the in-step firings and stopped at 10).
+    let w = sum(&(1..=64).collect::<Vec<i64>>());
+    for scheduling in [Scheduling::Rescan, Scheduling::Delta] {
+        let (result, _profile) = SeqInterpreter::with_config(
+            &w.program,
+            w.initial.clone(),
+            ExecConfig {
+                max_steps: 20,
+                selection: Selection::Deterministic,
+                scheduling,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .run_max_parallel_steps()
+        .unwrap();
+        assert_eq!(result.status, Status::BudgetExhausted);
+        assert_eq!(
+            result.stats.firings_total(),
+            20,
+            "{scheduling:?} must consume the budget exactly"
+        );
+    }
+}
+
+#[test]
+fn max_parallel_steps_agree_across_schedulers() {
+    let w = sum(&(1..=16).collect::<Vec<i64>>());
+    let run = |scheduling| {
+        SeqInterpreter::with_config(
+            &w.program,
+            w.initial.clone(),
+            ExecConfig {
+                selection: Selection::Deterministic,
+                scheduling,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .run_max_parallel_steps()
+        .unwrap()
+    };
+    let (rescan, rescan_profile) = run(Scheduling::Rescan);
+    let (delta, delta_profile) = run(Scheduling::Delta);
+    assert_eq!(rescan.multiset, delta.multiset);
+    assert_eq!(rescan_profile, delta_profile);
+    assert_eq!(rescan_profile, vec![8, 4, 2, 1]);
+}

@@ -27,7 +27,10 @@ fn dataflow_graph_round_trips_through_json() {
     assert_eq!(back, g);
     // The deserialised graph still runs.
     let result = gammaflow::dataflow::SeqEngine::new(&back).run().unwrap();
-    assert_eq!(result.outputs.sorted_elements(), vec![Element::pair(0, "m")]);
+    assert_eq!(
+        result.outputs.sorted_elements(),
+        vec![Element::pair(0, "m")]
+    );
 }
 
 #[test]
@@ -74,7 +77,11 @@ fn trace_round_trips_and_replays() {
     // Replay: initial − consumed + produced per step = final.
     let mut bag = conv.initial.clone();
     for rec in &back {
-        assert!(bag.remove_all(&rec.consumed), "step {} replay failed", rec.step);
+        assert!(
+            bag.remove_all(&rec.consumed),
+            "step {} replay failed",
+            rec.step
+        );
         for e in &rec.produced {
             bag.insert(e.clone());
         }
