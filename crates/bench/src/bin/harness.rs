@@ -506,8 +506,8 @@ fn p5() {
 
 // ------------------------------------------------------------------ S1 ----
 
-/// One engine's timing on one workload, in BENCH_scheduling.json.
-#[derive(serde::Serialize)]
+/// One engine's timing on one workload, in the committed BENCH json files.
+#[derive(serde::Serialize, serde::Deserialize)]
 struct EngineRow {
     seconds: f64,
     firings: u64,
@@ -515,7 +515,7 @@ struct EngineRow {
 }
 
 /// One workload's rescan-vs-delta comparison.
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct SchedulingRow {
     workload: String,
     selection: String,
@@ -524,6 +524,50 @@ struct SchedulingRow {
     delta: EngineRow,
     speedup: f64,
     identical_final_multiset: bool,
+}
+
+/// Run-to-run timing jitter allowance before a drop counts as a
+/// regression: warnings below ~10% would mostly report noise and train
+/// readers to ignore them.
+const FPS_REGRESSION_TOLERANCE: f64 = 0.90;
+
+/// Read a committed baseline report, tolerating a missing or unparseable
+/// file (first run, format change).
+fn read_baseline<T: for<'de> serde::Deserialize<'de>>(path: &str) -> Option<T> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<T>(&s).ok())
+}
+
+/// Compare freshly measured `firings_per_sec` figures against the
+/// committed baseline file (read *before* it is overwritten) and print a
+/// regression warning for every series that dropped below its baseline
+/// by more than the noise tolerance. Keys are `workload/engine`.
+fn warn_fps_regressions(path: &str, baseline: &[(String, f64)], current: &[(String, f64)]) {
+    // The committed baselines were measured on a developer machine;
+    // shared CI runners are slower and noisier than any tolerance band,
+    // so the comparison would cry wolf there. CI still exercises the
+    // harness and the byte-identical-finals assertions.
+    if std::env::var_os("CI").is_some() {
+        println!("(CI run: skipping firings/sec baseline comparison against {path})");
+        return;
+    }
+    let mut regressions = 0;
+    for (key, new_fps) in current {
+        let Some((_, old_fps)) = baseline.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        if *new_fps < old_fps * FPS_REGRESSION_TOLERANCE {
+            regressions += 1;
+            println!(
+                "WARNING: {key} regressed to {new_fps:.0} firings/sec \
+                 (committed baseline in {path}: {old_fps:.0})"
+            );
+        }
+    }
+    if regressions == 0 && !baseline.is_empty() {
+        println!("no firings/sec regressions against committed {path}");
+    }
 }
 
 /// S1: delta-driven scheduling vs the rescanning reference, recorded as
@@ -648,11 +692,36 @@ fn s1() {
         });
     }
 
-    #[derive(serde::Serialize)]
+    #[derive(serde::Serialize, serde::Deserialize)]
     struct SchedulingReport {
         bench: String,
         rows: Vec<SchedulingRow>,
     }
+    // Baseline comparison against the committed file, before overwriting.
+    let baseline: Vec<(String, f64)> = read_baseline::<SchedulingReport>("BENCH_scheduling.json")
+        .map(|old| {
+            old.rows
+                .iter()
+                .flat_map(|r| {
+                    [
+                        (format!("{}/rescan", r.workload), r.rescan.firings_per_sec),
+                        (format!("{}/delta", r.workload), r.delta.firings_per_sec),
+                    ]
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let current: Vec<(String, f64)> = rows
+        .iter()
+        .flat_map(|r| {
+            [
+                (format!("{}/rescan", r.workload), r.rescan.firings_per_sec),
+                (format!("{}/delta", r.workload), r.delta.firings_per_sec),
+            ]
+        })
+        .collect();
+    warn_fps_regressions("BENCH_scheduling.json", &baseline, &current);
+
     let report = SchedulingReport {
         bench: "scheduling".into(),
         rows,
@@ -660,6 +729,160 @@ fn s1() {
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_scheduling.json", &json).expect("write BENCH_scheduling.json");
     println!("wrote BENCH_scheduling.json");
+}
+
+// ------------------------------------------------------------------ S2 ----
+
+/// One workload's three-engine comparison in BENCH_matching.json.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MatchingRow {
+    workload: String,
+    selection: String,
+    firings: u64,
+    rescan: EngineRow,
+    delta: EngineRow,
+    rete: EngineRow,
+    rete_speedup_vs_rescan: f64,
+    rete_speedup_vs_delta: f64,
+    rete_tokens_created: u64,
+    rete_peak_live_tokens: u64,
+    rete_guard_rejects: u64,
+    identical_final_multiset: bool,
+}
+
+/// S2: the rete join-network matcher vs delta scheduling vs the
+/// rescanning baseline, on the single-reaction sieve (the workload delta
+/// scheduling could not accelerate — it is bound by per-firing search,
+/// not by reaction selection) and the guard-heavy join workloads. Every
+/// run must land on the workload's self-check multiset; results are
+/// recorded in `BENCH_matching.json` for cross-PR tracking.
+fn s2() {
+    use gammaflow_gamma::{ExecConfig, ExecResult, Scheduling, Selection, Status};
+    use gammaflow_workloads::{divisor_sieve, interval_merge, triangles, Workload};
+    banner("S2", "Rete partial-match memory vs delta vs rescan");
+
+    let time_engine =
+        |w: &Workload, selection: Selection, scheduling: Scheduling| -> (f64, ExecResult) {
+            let t = Instant::now();
+            let result = SeqInterpreter::with_config(
+                &w.program,
+                w.initial.clone(),
+                ExecConfig {
+                    selection,
+                    scheduling,
+                    ..ExecConfig::default()
+                },
+            )
+            .expect("program compiles")
+            .run()
+            .expect("run succeeds");
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(result.status, Status::Stable, "{} must stabilise", w.name);
+            assert_eq!(
+                result.multiset, w.expected,
+                "{} must land on its self-check multiset under {scheduling:?}",
+                w.name
+            );
+            (secs, result)
+        };
+
+    // Chained-overlap interval soup: dense enough that merges cascade.
+    let intervals: Vec<(i64, i64)> = (0..600i64)
+        .map(|i| {
+            let lo = (i * 137) % 9_000;
+            (lo, lo + (i * 29) % 60)
+        })
+        .collect();
+    let workloads: Vec<(Workload, Selection)> = vec![
+        (primes(2_000), Selection::Seeded(1)),
+        (divisor_sieve(2_000), Selection::Seeded(1)),
+        (triangles(60, 39), Selection::Seeded(1)),
+        (interval_merge(&intervals), Selection::Seeded(1)),
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "workload", "firings", "rescan f/s", "delta f/s", "rete f/s", "vs resc", "tokens"
+    );
+    let mut rows = Vec::new();
+    for (w, selection) in &workloads {
+        let (rescan_s, rescan) = time_engine(w, *selection, Scheduling::Rescan);
+        let (delta_s, delta) = time_engine(w, *selection, Scheduling::Delta);
+        let (rete_s, rete) = time_engine(w, *selection, Scheduling::Rete);
+        let firings = rete.stats.firings_total();
+        assert_eq!(rescan.stats.firings_total(), firings, "{}", w.name);
+        assert_eq!(delta.stats.firings_total(), firings, "{}", w.name);
+        let rescan_fps = firings as f64 / rescan_s;
+        let delta_fps = firings as f64 / delta_s;
+        let rete_fps = firings as f64 / rete_s;
+        let rete_stats = rete.rete.expect("rete run reports stats");
+        println!(
+            "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8}",
+            w.name,
+            firings,
+            rescan_fps,
+            delta_fps,
+            rete_fps,
+            rete_fps / rescan_fps,
+            rete_stats.tokens_created,
+        );
+        rows.push(MatchingRow {
+            workload: w.name.to_string(),
+            selection: match selection {
+                Selection::Deterministic => "deterministic".into(),
+                Selection::Seeded(s) => format!("seeded({s})"),
+            },
+            firings,
+            rescan: EngineRow {
+                seconds: rescan_s,
+                firings,
+                firings_per_sec: rescan_fps,
+            },
+            delta: EngineRow {
+                seconds: delta_s,
+                firings,
+                firings_per_sec: delta_fps,
+            },
+            rete: EngineRow {
+                seconds: rete_s,
+                firings,
+                firings_per_sec: rete_fps,
+            },
+            rete_speedup_vs_rescan: rete_fps / rescan_fps,
+            rete_speedup_vs_delta: rete_fps / delta_fps,
+            rete_tokens_created: rete_stats.tokens_created,
+            rete_peak_live_tokens: rete_stats.peak_live_tokens,
+            rete_guard_rejects: rete_stats.guard_rejects,
+            identical_final_multiset: true,
+        });
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct MatchingReport {
+        bench: String,
+        rows: Vec<MatchingRow>,
+    }
+    let baseline: Vec<(String, f64)> = read_baseline::<MatchingReport>("BENCH_matching.json")
+        .map(|old| {
+            old.rows
+                .iter()
+                .map(|r| (format!("{}/rete", r.workload), r.rete.firings_per_sec))
+                .collect()
+        })
+        .unwrap_or_default();
+    let current: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("{}/rete", r.workload), r.rete.firings_per_sec))
+        .collect();
+    warn_fps_regressions("BENCH_matching.json", &baseline, &current);
+
+    let report = MatchingReport {
+        bench: "matching".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
+    println!("wrote BENCH_matching.json");
 }
 
 fn main() {
@@ -704,6 +927,9 @@ fn main() {
     }
     if want("S1") {
         s1();
+    }
+    if want("S2") {
+        s2();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

@@ -76,16 +76,19 @@ impl<'a> Bindings<'a> {
     }
 }
 
-/// Compiled form of one pattern position.
+/// Compiled form of one pattern position. Crate-visible so the rete
+/// join-network matcher ([`crate::rete`]) can drive its alpha filters and
+/// join enumeration off the same compiled filter data as the backtracking
+/// search.
 #[derive(Debug, Clone)]
-struct CompiledPattern {
-    label: LabelFilter,
-    value_var: Option<u16>,
-    value_lit: Option<Value>,
-    label_var: Option<u16>,
-    tag_var: Option<u16>,
-    tag_lit: Option<Tag>,
-    tag_any: bool,
+pub(crate) struct CompiledPattern {
+    pub(crate) label: LabelFilter,
+    pub(crate) value_var: Option<u16>,
+    pub(crate) value_lit: Option<Value>,
+    pub(crate) label_var: Option<u16>,
+    pub(crate) tag_var: Option<u16>,
+    pub(crate) tag_lit: Option<Tag>,
+    pub(crate) tag_any: bool,
 }
 
 /// Which element field a pattern variable binds (see `bind_position`).
@@ -97,7 +100,7 @@ enum BindField {
 }
 
 #[derive(Debug, Clone)]
-enum LabelFilter {
+pub(crate) enum LabelFilter {
     Exact(Symbol),
     OneOf(Box<[Symbol]>),
     Any,
@@ -291,6 +294,27 @@ impl std::fmt::Display for MatchError {
 }
 impl std::error::Error for MatchError {}
 
+/// Result of the guard-analysis pass: a reaction's enabledness condition
+/// decomposed into conjuncts and assigned to join levels.
+///
+/// The `where` condition is split with [`Expr::conjuncts`] and each
+/// conjunct is *pushed down* to the earliest position in the search/join
+/// order at which all of its variables are bound. A backtracking search or
+/// a rete join network can then reject a partial tuple the moment a pushed
+/// conjunct fails, instead of enumerating full tuples first — the
+/// query-compilation view of condition-aware multiset matching.
+#[derive(Debug, Clone)]
+pub struct GuardPlan {
+    /// `level_conjuncts[k]` holds the `where` conjuncts that become fully
+    /// bound when join level `k` (search-plan step `k`) binds its
+    /// position. Conjuncts with no variables land on level 0.
+    pub level_conjuncts: Vec<Vec<Expr>>,
+    /// The clause-guard disjunction a full tuple must additionally satisfy
+    /// when every by-clause is `if`-guarded; `None` when an `Always`/`Else`
+    /// clause makes the chain total (any tuple passing `where` is enabled).
+    pub clause_disjunction: Option<Vec<Expr>>,
+}
+
 /// A compiled reaction: spec + var table + selectivity-ordered search plan.
 #[derive(Debug, Clone)]
 pub struct CompiledReaction {
@@ -368,6 +392,98 @@ impl CompiledReaction {
     /// Replace-list arity.
     pub fn arity(&self) -> usize {
         self.positions.len()
+    }
+
+    /// The compiled pattern positions, in replace-list order.
+    pub(crate) fn positions(&self) -> &[CompiledPattern] {
+        &self.positions
+    }
+
+    /// The selectivity-ordered search plan (indices into
+    /// [`Self::positions`]); the rete network joins in this order.
+    pub(crate) fn join_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The variable table mapping symbols to binding slots.
+    pub(crate) fn var_index(&self) -> &FxHashMap<Symbol, u16> {
+        &self.var_index
+    }
+
+    /// Number of binding slots.
+    pub(crate) fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Run the guard-analysis pass: decompose the `where` condition into
+    /// conjuncts, push each down to the earliest join level binding all of
+    /// its variables, and extract the clause-guard disjunction (see
+    /// [`GuardPlan`]).
+    pub fn guard_plan(&self) -> GuardPlan {
+        // First join level at which each binding slot is bound.
+        let mut first_bound = vec![usize::MAX; self.nvars];
+        for (k, &p) in self.order.iter().enumerate() {
+            let pat = &self.positions[p];
+            for v in [pat.value_var, pat.label_var, pat.tag_var]
+                .into_iter()
+                .flatten()
+            {
+                if first_bound[v as usize] == usize::MAX {
+                    first_bound[v as usize] = k;
+                }
+            }
+        }
+        let mut level_conjuncts = vec![Vec::new(); self.order.len()];
+        if let Some(w) = &self.spec.where_cond {
+            for c in w.conjuncts() {
+                let level = c
+                    .vars()
+                    .iter()
+                    .map(|v| first_bound[self.var_index[v] as usize])
+                    .max()
+                    .unwrap_or(0);
+                debug_assert!(level < self.order.len(), "where vars are bound");
+                level_conjuncts[level].push(c.clone());
+            }
+        }
+        let clause_disjunction = if self
+            .spec
+            .clauses
+            .iter()
+            .any(|c| matches!(c.guard, Guard::Always | Guard::Else))
+        {
+            None
+        } else {
+            Some(
+                self.spec
+                    .clauses
+                    .iter()
+                    .filter_map(|c| match &c.guard {
+                        Guard::If(e) => Some(e.clone()),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        };
+        GuardPlan {
+            level_conjuncts,
+            clause_disjunction,
+        }
+    }
+
+    /// Evaluate the enabled clause's outputs for an externally produced
+    /// binding (the rete matcher's tokens carry their slots directly).
+    /// Returns the selected clause index and produced elements, or `None`
+    /// when no clause guard holds.
+    pub(crate) fn eval_outputs_for_slots(
+        &self,
+        slots: &[Option<Value>],
+    ) -> Result<Option<(usize, Vec<Element>)>, MatchError> {
+        let bindings = Bindings {
+            slots: slots.to_vec(),
+            index: &self.var_index,
+        };
+        self.outputs_for(&bindings)
     }
 
     /// Find one enabled match in `bag`, or `None` if the reaction is not
@@ -566,8 +682,9 @@ impl CompiledReaction {
     }
 
     /// Whether position `p`'s static filters (label, literal tag, literal
-    /// value) admit `anchor`.
-    fn position_admits(&self, p: usize, anchor: &Element) -> bool {
+    /// value) admit `anchor`. This is the alpha-memory membership test of
+    /// the rete network (label class + literal tag + literal value).
+    pub(crate) fn position_admits(&self, p: usize, anchor: &Element) -> bool {
         let pat = &self.positions[p];
         let label_ok = match &pat.label {
             LabelFilter::Exact(l) => *l == anchor.label,
@@ -1361,6 +1478,76 @@ mod tests {
         // Different seeds eventually pick different elements.
         let distinct = (0..10).map(pick).collect::<std::collections::HashSet<_>>();
         assert!(distinct.len() > 1, "shuffling should vary selection");
+    }
+
+    #[test]
+    fn guard_plan_pushes_conjuncts_to_earliest_level() {
+        // 3-ary reaction, literal labels so join order == replace order.
+        // where a > 0 and a < b and b < c
+        let r = compile(
+            ReactionSpec::new("chain")
+                .replace(Pattern::pair("a", "e1"))
+                .replace(Pattern::pair("b", "e2"))
+                .replace(Pattern::pair("c", "e3"))
+                .where_(Expr::and(
+                    Expr::and(
+                        Expr::cmp(CmpOp::Gt, Expr::var("a"), Expr::int(0)),
+                        Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("b")),
+                    ),
+                    Expr::cmp(CmpOp::Lt, Expr::var("b"), Expr::var("c")),
+                ))
+                .by(vec![ElementSpec::pair(Expr::var("a"), "out")]),
+        );
+        let plan = r.guard_plan();
+        let sizes: Vec<usize> = plan.level_conjuncts.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1], "one conjunct per join level");
+        assert_eq!(plan.level_conjuncts[0][0].to_string(), "a > 0");
+        assert_eq!(plan.level_conjuncts[1][0].to_string(), "a < b");
+        assert_eq!(plan.level_conjuncts[2][0].to_string(), "b < c");
+        assert!(plan.clause_disjunction.is_none());
+    }
+
+    #[test]
+    fn guard_plan_keeps_unsafe_and_whole() {
+        // `x and (x < 5)`: integer left operand — must stay one terminal
+        // conjunct (bitwise `and` + truthiness, not logical conjunction).
+        let r = compile(
+            ReactionSpec::new("bitand")
+                .replace(Pattern::pair("x", "n"))
+                .where_(Expr::and(
+                    Expr::var("x"),
+                    Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::int(5)),
+                ))
+                .by(vec![]),
+        );
+        let plan = r.guard_plan();
+        assert_eq!(plan.level_conjuncts[0].len(), 1);
+    }
+
+    #[test]
+    fn guard_plan_extracts_clause_disjunction() {
+        // All clauses if-guarded: enabledness needs the disjunction.
+        let gated = compile(
+            ReactionSpec::new("gate")
+                .replace(Pattern::pair("x", "in"))
+                .by_if(
+                    vec![ElementSpec::pair(Expr::var("x"), "out")],
+                    Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::int(0)),
+                ),
+        );
+        let plan = gated.guard_plan();
+        assert_eq!(plan.clause_disjunction.as_ref().map(Vec::len), Some(1));
+        // An else clause makes the chain total: no disjunction filter.
+        let total = compile(
+            ReactionSpec::new("total")
+                .replace(Pattern::pair("x", "in"))
+                .by_if(
+                    vec![ElementSpec::pair(Expr::var("x"), "out")],
+                    Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::int(0)),
+                )
+                .by_else(vec![]),
+        );
+        assert!(total.guard_plan().clause_disjunction.is_none());
     }
 
     #[test]

@@ -176,6 +176,51 @@ impl Expr {
         }
     }
 
+    /// True when this expression *always* evaluates to a [`Value::Bool`]
+    /// (or fails): comparisons, boolean literals, and logical combinations
+    /// thereof. Used to decide whether an `and` chain may be decomposed
+    /// into independently evaluated conjuncts — integer operands use
+    /// bitwise `and` plus end-of-expression truthiness, which is not the
+    /// same as conjunction of per-operand truthiness, so only
+    /// boolean-shaped operands split safely.
+    pub fn is_boolean_shaped(&self) -> bool {
+        match self {
+            Expr::Lit(Value::Bool(_)) => true,
+            Expr::Lit(_) | Expr::Var(_) => false,
+            Expr::Cmp(..) => true,
+            Expr::Bin(BinOp::And | BinOp::Or | BinOp::Xor, a, b) => {
+                a.is_boolean_shaped() && b.is_boolean_shaped()
+            }
+            Expr::Bin(..) => false,
+            Expr::Un(UnOp::Not, a) => a.is_boolean_shaped(),
+            Expr::Un(..) => false,
+        }
+    }
+
+    /// Split a condition into conjuncts: `a and b and c` becomes
+    /// `[a, b, c]` when every operand is boolean-shaped (see
+    /// [`Self::is_boolean_shaped`]); otherwise the expression is returned
+    /// whole. Evaluating each conjunct with [`Self::eval_bool`] and
+    /// conjoining the results is then observably identical to evaluating
+    /// the original expression — including the "evaluation error means
+    /// false" rule — which is what lets the rete matcher push conjuncts
+    /// down to the earliest join where their variables are bound.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Bin(BinOp::And, a, b) if a.is_boolean_shaped() && b.is_boolean_shaped() => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
     /// Structural size (number of AST nodes); used by granularity metrics.
     pub fn size(&self) -> usize {
         match self {
@@ -363,6 +408,46 @@ mod tests {
             Expr::bin(BinOp::Sub, Expr::var("b"), Expr::var("c")),
         );
         assert_eq!(e3.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn conjuncts_split_boolean_and_chains() {
+        let e = Expr::and(
+            Expr::and(
+                Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("b")),
+                Expr::cmp(CmpOp::Gt, Expr::var("c"), Expr::int(0)),
+            ),
+            Expr::cmp(CmpOp::Eq, Expr::var("d"), Expr::int(1)),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn conjuncts_keep_integer_and_whole() {
+        // `x and y` over integer variables is a single bitwise-and
+        // conjunct: `2 and 1` is 0 (false) even though both operands are
+        // truthy, so decomposing would wrongly report true.
+        let e = Expr::and(Expr::var("x"), Expr::var("y"));
+        assert_eq!(e.conjuncts().len(), 1);
+        assert!(!e.is_boolean_shaped());
+        let env = env(&[("x", Value::int(2)), ("y", Value::int(1))]);
+        assert!(!e.eval_bool(&env).unwrap());
+        // Mixed int/bool operands do not even evaluate ("error means the
+        // condition does not hold") — another reason not to decompose.
+        let mixed = Expr::and(
+            Expr::var("x"),
+            Expr::cmp(CmpOp::Lt, Expr::var("y"), Expr::int(3)),
+        );
+        assert_eq!(mixed.conjuncts().len(), 1);
+        assert!(mixed.eval_bool(&env).is_err());
+    }
+
+    #[test]
+    fn boolean_shape_recognises_not_and_or() {
+        let c = Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("b"));
+        assert!(Expr::un(UnOp::Not, c.clone()).is_boolean_shaped());
+        assert!(Expr::or(c.clone(), Expr::bool(true)).is_boolean_shaped());
+        assert!(!Expr::un(UnOp::Neg, Expr::var("a")).is_boolean_shaped());
     }
 
     #[test]

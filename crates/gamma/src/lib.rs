@@ -21,7 +21,14 @@
 //!   analysable data because Algorithm 2 of the paper reconstructs dataflow
 //!   graphs from reaction syntax.
 //! * [`compiled`] — a selectivity-ordered backtracking matcher exploiting
-//!   the `(label, tag)` index.
+//!   the `(label, tag)` index, plus the guard-analysis pass
+//!   ([`compiled::GuardPlan`]) that decomposes conditions into pushdown
+//!   conjuncts.
+//! * [`rete`] — an incremental join-network matcher (alpha/beta partial-
+//!   match memories, guard pushdown) that remembers matches across
+//!   firings instead of re-searching; [`seq::Scheduling::Rete`] runs on it.
+//! * [`schedule`] — delta-driven reaction scheduling (the worklist image
+//!   of the waiting–matching store).
 //! * [`seq`] — the sequential interpreter (seeded nondeterminism, exact
 //!   steady-state termination, firing traces, maximal-parallel-step mode).
 //! * [`parallel`] — a shared-memory parallel interpreter with optimistic
@@ -33,6 +40,7 @@ pub mod compiled;
 pub mod expr;
 pub mod naive;
 pub mod parallel;
+pub mod rete;
 pub mod reuse;
 pub mod schedule;
 pub mod seq;
@@ -40,11 +48,12 @@ pub mod spec;
 pub mod trace;
 
 pub use compiled::{
-    CompiledProgram, CompiledReaction, Firing, MatchError, MatchSource, SearchScratch,
+    CompiledProgram, CompiledReaction, Firing, GuardPlan, MatchError, MatchSource, SearchScratch,
 };
 pub use expr::{EvalError, Expr};
 pub use naive::{run_naive, NaiveBag};
 pub use parallel::{run_parallel, ParConfig, ParResult, ParStats};
+pub use rete::{ReteNetwork, ReteStats};
 pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
 pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats};
 pub use seq::{

@@ -15,20 +15,26 @@
 //!   multiset is never corrupted because enabledness depends only on the
 //!   element fields the claim re-validates.
 //! * **Termination** uses an authoritative check: when a worker's sampled
-//!   search comes up dry, it takes the checker mutex, snapshots the bag
-//!   (all shard locks, so no claim can interleave), and runs the *exact*
-//!   sequential matcher. "No match in a consistent snapshot" is precisely
-//!   the paper's global termination state, because any in-flight optimistic
-//!   claim would require its tuple to still be available — which would make
-//!   the reaction enabled in the snapshot.
+//!   search comes up dry, it takes the checker mutex, locks every shard
+//!   (so no claim can interleave), and runs the *exact* sequential matcher
+//!   directly over the locked shards — a consistent view with no whole-bag
+//!   clone. "No match in a consistent view" is precisely the paper's
+//!   global termination state, because any in-flight optimistic claim
+//!   would require its tuple to still be available — which would make the
+//!   reaction enabled in the view.
+//! * **Startup pruning**: a level-capped [`ReteNetwork`] occupancy probe
+//!   over the initial multiset pre-clears the dirty flags of reactions
+//!   with no memorised match, so workers do not burn their first probes on
+//!   reactions that cannot fire until someone feeds them.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
+use crate::rete::ReteNetwork;
 use crate::schedule::DependencyIndex;
 use crate::seq::{ExecError, ExecResult, Status};
 use crate::spec::GammaProgram;
 use crate::trace::ExecStats;
 use gammaflow_multiset::{ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -120,8 +126,11 @@ pub struct ParStats {
     pub claim_failures: u64,
     /// Sampled searches that found nothing.
     pub dry_probes: u64,
-    /// Authoritative snapshot checks performed.
+    /// Authoritative locked-shard checks performed.
     pub snapshot_checks: u64,
+    /// Reactions whose dirty flag was pre-cleared at startup because the
+    /// capped rete occupancy probe found no enabled match for them.
+    pub rete_precleared: u64,
 }
 
 /// Result of a parallel run: the usual [`ExecResult`] plus engine counters.
@@ -218,6 +227,73 @@ impl MatchSource for ShardedView<'_> {
     }
 }
 
+/// An exact, allocation-free [`MatchSource`] over a fully locked
+/// [`ShardedBag`]: the terminal stability check searches the live shards
+/// in place instead of cloning the whole bag into a snapshot (every
+/// `(label, tag)` bucket lives in exactly one shard, so per-bucket
+/// accessors are single-guard lookups). Lock order matches
+/// `claim_and_replace`, so concurrent claimants block but never deadlock.
+struct LockedShards<'a> {
+    bag: &'a ShardedBag,
+    guards: Vec<MutexGuard<'a, ElementBag>>,
+}
+
+impl<'a> LockedShards<'a> {
+    fn lock(bag: &'a ShardedBag) -> LockedShards<'a> {
+        LockedShards {
+            bag,
+            guards: bag.lock_all(),
+        }
+    }
+
+    fn shard(&self, label: Symbol, tag: Tag) -> &ElementBag {
+        &self.guards[self.bag.shard_of(label, tag)]
+    }
+}
+
+impl MatchSource for LockedShards<'_> {
+    fn all_labels(&self) -> Vec<Symbol> {
+        let mut seen: FxHashSet<Symbol> = FxHashSet::default();
+        for g in &self.guards {
+            seen.extend(g.labels());
+        }
+        seen.into_iter().collect()
+    }
+
+    fn tags_for_label(&self, label: Symbol) -> Vec<Tag> {
+        // A (label, tag) key is co-located in one shard, so the per-shard
+        // tag sets are disjoint and concatenation needs no dedup.
+        self.guards.iter().flat_map(|g| g.tags_for(label)).collect()
+    }
+
+    fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)> {
+        self.shard(label, tag).values_at(label, tag)
+    }
+
+    fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
+        self.shard(label, tag).count_at(label, tag, value)
+    }
+
+    fn visit_tags(&self, label: Symbol, f: &mut dyn FnMut(Tag) -> bool) {
+        for g in &self.guards {
+            for tag in g.tags_for(label) {
+                if !f(tag) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn visit_values(&self, label: Symbol, tag: Tag, f: &mut dyn FnMut(&Value, usize) -> bool) {
+        self.shard(label, tag).visit_values(label, tag, f);
+    }
+}
+
+/// Beta-memory cap for the startup occupancy probe: big enough to see a
+/// match through shallow joins, small enough that building the probe is
+/// O(|M|) instead of O(matches).
+const OCCUPANCY_PROBE_CAP: usize = 32;
+
 /// Run `program` on `initial` with the parallel engine.
 pub fn run_parallel(
     program: &GammaProgram,
@@ -228,6 +304,23 @@ pub fn run_parallel(
     let nreactions = compiled.reactions.len();
     let deps = DependencyIndex::new(&compiled);
     let dirty = DirtyFlags::new(nreactions);
+
+    // Startup pruning: a level-capped rete probe over the initial multiset
+    // reports per-reaction beta occupancy; reactions with no memorised
+    // match start clean, so workers skip probing them until something they
+    // consume is produced. The capped probe may under-report (it is
+    // heuristic by construction), which is safe here: the flags are only a
+    // prune, and the locked-shard terminal check stays exact.
+    let mut rete_precleared = 0u64;
+    if nreactions > 0 {
+        let probe = ReteNetwork::with_level_cap(&compiled, &initial, OCCUPANCY_PROBE_CAP);
+        for r in 0..nreactions {
+            if probe.match_count(r) == 0 {
+                dirty.clear(r);
+                rete_precleared += 1;
+            }
+        }
+    }
 
     let directory = Directory::new(&initial);
     let bag = ShardedBag::new(config.shards);
@@ -315,27 +408,32 @@ pub fn run_parallel(
                             }
                             par.dry_probes += 1;
                             // Authoritative termination check under the
-                            // checker mutex: exact search on a consistent
-                            // snapshot. Exactness lives here, so the dirty
-                            // flags can stay heuristic.
+                            // checker mutex: exact search over the live
+                            // shards with every shard lock held — a
+                            // consistent view with no whole-bag clone.
+                            // Exactness lives here, so the dirty flags can
+                            // stay heuristic. The guards must drop before
+                            // try_fire, which re-locks shards to claim.
                             let _guard = checker.lock();
                             if done.load(Ordering::Acquire) {
                                 break 'main;
                             }
-                            let snapshot = bag.snapshot();
                             par.snapshot_checks += 1;
                             all.shuffle(&mut rng);
-                            let exact = match compiled.find_any_fast(
-                                &all,
-                                &snapshot,
-                                Some(&mut rng),
-                                &mut scratch,
-                            ) {
-                                Ok(f) => f,
-                                Err(e) => {
-                                    *error.lock() = Some(e);
-                                    done.store(true, Ordering::Release);
-                                    break 'main;
+                            let exact = {
+                                let locked = LockedShards::lock(bag);
+                                match compiled.find_any_fast(
+                                    &all,
+                                    &locked,
+                                    Some(&mut rng),
+                                    &mut scratch,
+                                ) {
+                                    Ok(f) => f,
+                                    Err(e) => {
+                                        *error.lock() = Some(e);
+                                        done.store(true, Ordering::Release);
+                                        break 'main;
+                                    }
                                 }
                             };
                             match exact {
@@ -382,7 +480,10 @@ pub fn run_parallel(
     }
 
     let mut stats = ExecStats::new(nreactions);
-    let mut par = ParStats::default();
+    let mut par = ParStats {
+        rete_precleared,
+        ..ParStats::default()
+    };
     for (s, p) in &worker_stats {
         stats.absorb(s);
         par.claim_failures += p.claim_failures;
@@ -403,6 +504,7 @@ pub fn run_parallel(
             stats,
             trace: None,
             sched: None,
+            rete: None,
         },
         par,
     })
@@ -570,6 +672,25 @@ mod tests {
         let result = run_parallel(&pair, initial, &ParConfig::with_workers(4)).unwrap();
         let sorted = result.exec.multiset.sorted_elements();
         assert_eq!(sorted, vec![e(1, "A", 0), e(12, "C", 1)]);
+    }
+
+    #[test]
+    fn occupancy_probe_preclears_unfireable_reactions() {
+        // A two-stage chain: `later` cannot fire until `first` produces,
+        // so the startup occupancy probe must pre-clear it.
+        let chain = GammaProgram::new(vec![
+            ReactionSpec::new("first")
+                .replace(Pattern::pair("x", "a"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "b")]),
+            ReactionSpec::new("later")
+                .replace(Pattern::pair("x", "b"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "c")]),
+        ]);
+        let initial: ElementBag = (1..=4).map(|v| e(v, "a", 0)).collect();
+        let result = run_parallel(&chain, initial, &ParConfig::with_workers(2)).unwrap();
+        assert_eq!(result.par.rete_precleared, 1);
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.exec.multiset.count_label("c".into()), 4);
     }
 
     #[test]

@@ -1,0 +1,1239 @@
+//! Rete-style partial-match memory with guard pushdown — the join-network
+//! matcher behind [`Scheduling::Rete`](crate::seq::Scheduling).
+//!
+//! # The network *is* the waiting–matching store, remembered
+//!
+//! The paper's equivalence rests on the tagged-token waiting–matching
+//! store: a dataflow PE never re-derives a match — it *remembers* partial
+//! ones and completes them the instant the missing operand token arrives.
+//! The delta scheduler ([`crate::schedule`]) brought that discipline to
+//! *which reaction* gets probed; this module brings it to *the probe
+//! itself*. Each reaction is compiled into a join network in the style of
+//! Forgy's Rete:
+//!
+//! * **Alpha memories** — one per pattern position, holding the elements
+//!   passing the position's static filters (label class, literal tag,
+//!   literal value). They are *virtual*: the `(label, tag)`-indexed
+//!   [`ElementBag`] already is that memory, discriminated by the
+//!   [`DependencyIndex`]'s label-class routing, so insert/remove deltas
+//!   reach exactly the positions whose filters admit them. This is the
+//!   store half of the waiting–matching unit: every token is filed under
+//!   the key the consumers wait on.
+//! * **Beta memories** — one per join level, holding *partial tuples*
+//!   (tokens): assignments of elements to the first `k` positions of the
+//!   reaction's selectivity-ordered search plan, with their variable
+//!   bindings. A token at the terminal level is a complete, enabled match.
+//!   This is the matching half: a partial tuple is precisely an
+//!   instruction "waiting" on its remaining operands.
+//! * **Guard pushdown** — the `where` condition is decomposed into
+//!   conjuncts ([`crate::expr::Expr::conjuncts`]) and each is evaluated at the
+//!   *earliest* join level binding all of its variables
+//!   ([`CompiledReaction::guard_plan`]). A constraint like `x % y == 0`
+//!   filters *during* the join that binds `y`, so the beta memories hold
+//!   only constraint-satisfying prefixes instead of a cross product.
+//!
+//! # Incremental maintenance
+//!
+//! The engine feeds the network the **net delta** of every firing
+//! (consumed minus produced, so an element consumed and re-produced is a
+//! no-op). An inserted element enters at every admitting position: it
+//! joins with the existing tokens of the previous level, and each new
+//! token is completed rightward by querying the bag index. A removed
+//! occurrence retires every token using the element more often than its
+//! remaining multiplicity — descendants of a retired token necessarily
+//! use the same element at least as often, so element-indexed retirement
+//! needs no parent/child links. Token identity is the element sequence
+//! itself, deduplicated in a hash map, which makes multiset multiplicity
+//! (`{3, 3}` matching a 2-ary pattern once per *pair*, not per value)
+//! fall out of membership checks against the live bag counts.
+//!
+//! # Exactness and stability
+//!
+//! An uncapped network is *exact*: terminal beta tokens are in bijection
+//! with the enabled `(tuple, reaction)` instances of Eq. (1). A drained
+//! network with empty terminal memories therefore **proves** the paper's
+//! global termination state — the engine needs no authoritative rescan
+//! (the scheduler's drain-time `find_any` is replaced by an emptiness
+//! check; debug builds still cross-check). A network built
+//! [`with_level_cap`](ReteNetwork::with_level_cap) bounds every beta
+//! memory and is deliberately *heuristic* (it may under-report matches):
+//! the parallel engine uses one to pre-clear worker dirty flags, where an
+//! exact snapshot check already guards termination.
+
+use crate::compiled::{
+    CompiledProgram, CompiledReaction, Firing, LabelFilter, MatchError, MatchSource,
+};
+use crate::schedule::DependencyIndex;
+use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
+use gammaflow_multiset::{Element, ElementBag, FxHashMap, FxHashSet, Symbol, Tag, Value};
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+
+/// Observability counters for a network's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReteStats {
+    /// Insert deltas processed, counted per routed `(element, reaction)`
+    /// pair: one inserted element consumed by two reactions counts twice.
+    pub inserts: u64,
+    /// Remove deltas processed, counted per routed `(element, reaction)`
+    /// pair, like [`ReteStats::inserts`].
+    pub removals: u64,
+    /// Tokens created across all levels.
+    pub tokens_created: u64,
+    /// Tokens retired by element removal.
+    pub tokens_retired: u64,
+    /// Candidate extensions rejected by a pushed-down guard conjunct —
+    /// work the network *didn't* have to re-do downstream.
+    pub guard_rejects: u64,
+    /// Candidate tokens that already existed (multiplicity-overlap paths).
+    pub dedup_hits: u64,
+    /// Tokens skipped because a level hit its cap (capped networks only).
+    pub cap_skips: u64,
+    /// Peak number of live tokens across the network.
+    pub peak_live_tokens: u64,
+}
+
+/// One operand of a fast-path integer comparison: a literal, a slot, or a
+/// single binary operation over slots/literals. Covers the common guard
+/// shapes (`x % y == 0`, `a < b`, `ab % K == bc / K`, endpoints of the
+/// interval-overlap test) without boxing values.
+#[derive(Debug, Clone, Copy)]
+enum FastOperand {
+    Lit(i64),
+    Slot(u16),
+    SlotOpLit(BinOp, u16, i64),
+    SlotOpSlot(BinOp, u16, u16),
+}
+
+/// A comparison whose operands are [`FastOperand`]s, evaluated directly
+/// on `i64`. Semantics match [`Value::binop`]/[`Value::cmp_op`] exactly
+/// for integer inputs (wrapping arithmetic, division by zero = evaluation
+/// error = condition false); any non-integer or unbound slot defers to
+/// the generic evaluator.
+#[derive(Debug, Clone, Copy)]
+struct FastCmp {
+    op: CmpOp,
+    lhs: FastOperand,
+    rhs: FastOperand,
+}
+
+/// Outcome of resolving a [`FastOperand`].
+enum OperandVal {
+    /// A definite integer.
+    Int(i64),
+    /// Definite evaluation error (division by zero): condition is false.
+    Error,
+    /// Non-integer or unbound input: defer to the generic evaluator.
+    Defer,
+}
+
+fn int_binop(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+    })
+}
+
+impl FastOperand {
+    fn from_expr(e: &crate::expr::Expr, var_index: &FxHashMap<Symbol, u16>) -> Option<FastOperand> {
+        use crate::expr::Expr;
+        match e {
+            Expr::Lit(Value::Int(i)) => Some(FastOperand::Lit(*i)),
+            Expr::Var(s) => Some(FastOperand::Slot(var_index[s])),
+            Expr::Bin(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Var(s), Expr::Lit(Value::Int(i))) => {
+                    Some(FastOperand::SlotOpLit(*op, var_index[s], *i))
+                }
+                (Expr::Var(s), Expr::Var(t)) => {
+                    Some(FastOperand::SlotOpSlot(*op, var_index[s], var_index[t]))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> OperandVal {
+        #[inline]
+        fn slot_int(base: &[Option<Value>], extra: &[(u16, Value)], s: u16) -> Option<i64> {
+            let v = extra
+                .iter()
+                .find(|(j, _)| *j == s)
+                .map(|(_, v)| v)
+                .or_else(|| base[s as usize].as_ref())?;
+            match v {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            }
+        }
+        match *self {
+            FastOperand::Lit(i) => OperandVal::Int(i),
+            FastOperand::Slot(s) => match slot_int(base, extra, s) {
+                Some(i) => OperandVal::Int(i),
+                None => OperandVal::Defer,
+            },
+            FastOperand::SlotOpLit(op, s, lit) => match slot_int(base, extra, s) {
+                Some(i) => match int_binop(op, i, lit) {
+                    Some(r) => OperandVal::Int(r),
+                    None => OperandVal::Error,
+                },
+                None => OperandVal::Defer,
+            },
+            FastOperand::SlotOpSlot(op, s, t) => {
+                match (slot_int(base, extra, s), slot_int(base, extra, t)) {
+                    (Some(x), Some(y)) => match int_binop(op, x, y) {
+                        Some(r) => OperandVal::Int(r),
+                        None => OperandVal::Error,
+                    },
+                    _ => OperandVal::Defer,
+                }
+            }
+        }
+    }
+}
+
+impl FastCmp {
+    /// `Some(result)` when decidable on the fast path, `None` to defer.
+    #[inline]
+    fn try_eval(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> Option<bool> {
+        let lhs = match self.lhs.resolve(base, extra) {
+            OperandVal::Int(i) => i,
+            OperandVal::Error => return Some(false),
+            OperandVal::Defer => return None,
+        };
+        let rhs = match self.rhs.resolve(base, extra) {
+            OperandVal::Int(i) => i,
+            OperandVal::Error => return Some(false),
+            OperandVal::Defer => return None,
+        };
+        Some(match self.op {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        })
+    }
+}
+
+/// A compiled guard conjunct: the optional integer fast path plus the
+/// generic slot-resolved evaluator it defers to.
+#[derive(Debug, Clone)]
+struct CompiledGuard {
+    fast: Option<FastCmp>,
+    generic: GuardExpr,
+}
+
+impl CompiledGuard {
+    fn compile(e: &crate::expr::Expr, var_index: &FxHashMap<Symbol, u16>) -> CompiledGuard {
+        use crate::expr::Expr;
+        let fast = match e {
+            Expr::Cmp(op, a, b) => FastOperand::from_expr(a, var_index)
+                .zip(FastOperand::from_expr(b, var_index))
+                .map(|(lhs, rhs)| FastCmp { op: *op, lhs, rhs }),
+            _ => None,
+        };
+        CompiledGuard {
+            fast,
+            generic: GuardExpr::compile(e, var_index),
+        }
+    }
+
+    #[inline]
+    fn eval_bool(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> bool {
+        if let Some(f) = &self.fast {
+            if let Some(b) = f.try_eval(base, extra) {
+                return b;
+            }
+        }
+        self.generic.eval_bool(base, extra)
+    }
+}
+
+/// A `where`/guard conjunct with variables resolved to binding slots, so
+/// the join hot loop evaluates guards by direct slot index instead of
+/// symbol hashing.
+#[derive(Debug, Clone)]
+enum GuardExpr {
+    Lit(Value),
+    Slot(u16),
+    Bin(BinOp, Box<GuardExpr>, Box<GuardExpr>),
+    Cmp(CmpOp, Box<GuardExpr>, Box<GuardExpr>),
+    Un(UnOp, Box<GuardExpr>),
+}
+
+impl GuardExpr {
+    fn compile(e: &crate::expr::Expr, var_index: &FxHashMap<Symbol, u16>) -> GuardExpr {
+        use crate::expr::Expr;
+        match e {
+            Expr::Lit(v) => GuardExpr::Lit(v.clone()),
+            Expr::Var(s) => GuardExpr::Slot(var_index[s]),
+            Expr::Bin(op, a, b) => GuardExpr::Bin(
+                *op,
+                Box::new(GuardExpr::compile(a, var_index)),
+                Box::new(GuardExpr::compile(b, var_index)),
+            ),
+            Expr::Cmp(op, a, b) => GuardExpr::Cmp(
+                *op,
+                Box::new(GuardExpr::compile(a, var_index)),
+                Box::new(GuardExpr::compile(b, var_index)),
+            ),
+            Expr::Un(op, a) => GuardExpr::Un(*op, Box::new(GuardExpr::compile(a, var_index))),
+        }
+    }
+
+    /// Evaluate over a base binding with an overlay of fresh bindings;
+    /// `None` means an evaluation error (which, for conditions, means
+    /// "does not hold" — the engines' shared rule).
+    fn eval(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> Option<Value> {
+        match self {
+            GuardExpr::Lit(v) => Some(v.clone()),
+            GuardExpr::Slot(i) => extra
+                .iter()
+                .find(|(j, _)| j == i)
+                .map(|(_, v)| v.clone())
+                .or_else(|| base[*i as usize].clone()),
+            GuardExpr::Bin(op, a, b) => {
+                let a = a.eval(base, extra)?;
+                let b = b.eval(base, extra)?;
+                Value::binop(*op, &a, &b).ok()
+            }
+            GuardExpr::Cmp(op, a, b) => {
+                let a = a.eval(base, extra)?;
+                let b = b.eval(base, extra)?;
+                Value::cmp_op(*op, &a, &b).ok()
+            }
+            GuardExpr::Un(op, a) => {
+                let a = a.eval(base, extra)?;
+                Value::unop(*op, &a).ok()
+            }
+        }
+    }
+
+    fn eval_bool(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> bool {
+        self.eval(base, extra)
+            .and_then(|v| v.truthiness())
+            .unwrap_or(false)
+    }
+}
+
+/// A beta-memory token: a partial tuple over join levels `0..=k` with its
+/// variable bindings.
+#[derive(Debug)]
+struct Token {
+    /// Matched elements in *join order* (`elems.len() == level + 1`).
+    elems: Box<[Element]>,
+    /// Variable binding slots (full width; unbound slots are `None`).
+    slots: Box<[Option<Value>]>,
+    /// Position inside `levels[level]`, maintained under swap-removal.
+    pos: usize,
+}
+
+/// One reaction's join network: pushed-down guards plus beta memories.
+#[derive(Debug)]
+struct ReactionNet {
+    arity: usize,
+    /// Pushed-down `where` conjuncts, per join level.
+    level_guards: Vec<Vec<CompiledGuard>>,
+    /// Terminal clause-guard disjunction (see [`crate::compiled::GuardPlan`]).
+    clause_disjunction: Option<Vec<CompiledGuard>>,
+    /// Token arena; `None` slots are free-listed.
+    tokens: Vec<Option<Token>>,
+    free: Vec<u32>,
+    /// Live token ids per join level; the last level holds full matches.
+    levels: Vec<Vec<u32>>,
+    /// Token identity index for deduplication (key = join-order element
+    /// sequence; lengths differ per level, so one map serves all levels).
+    by_key: FxHashMap<Box<[Element]>, u32>,
+    /// Element → tokens using it, for removal-driven retirement.
+    uses: FxHashMap<Element, FxHashSet<u32>>,
+    /// Per-level token bound for heuristic (occupancy-only) networks.
+    level_cap: Option<usize>,
+    /// Scratch for retirement scans.
+    doomed: Vec<u32>,
+    /// All-`None` binding row, the prefix of every level-0 entry.
+    empty_slots: Box<[Option<Value>]>,
+}
+
+impl ReactionNet {
+    fn new(cr: &CompiledReaction, level_cap: Option<usize>) -> ReactionNet {
+        let plan = cr.guard_plan();
+        let vi = cr.var_index();
+        ReactionNet {
+            arity: cr.arity(),
+            level_guards: plan
+                .level_conjuncts
+                .iter()
+                .map(|cs| cs.iter().map(|c| CompiledGuard::compile(c, vi)).collect())
+                .collect(),
+            clause_disjunction: plan
+                .clause_disjunction
+                .as_ref()
+                .map(|ds| ds.iter().map(|d| CompiledGuard::compile(d, vi)).collect()),
+            tokens: Vec::new(),
+            free: Vec::new(),
+            levels: vec![Vec::new(); cr.arity()],
+            by_key: FxHashMap::default(),
+            uses: FxHashMap::default(),
+            level_cap,
+            doomed: Vec::new(),
+            empty_slots: vec![None; cr.nvars()].into_boxed_slice(),
+        }
+    }
+
+    fn match_count(&self) -> usize {
+        self.levels[self.arity - 1].len()
+    }
+
+    fn live_tokens(&self) -> usize {
+        self.tokens.len() - self.free.len()
+    }
+
+    /// Process one inserted element: enter it at every admitting position,
+    /// joining leftward with existing tokens and completing rightward from
+    /// the bag index.
+    ///
+    /// With `first_position_only` the element enters at join level 0
+    /// exclusively — the *bulk build* rule: when every element of the bag
+    /// receives its own insert event and extensions query the full bag,
+    /// any tuple is generated by its position-0 element's event, so the
+    /// leftward joins at deeper levels produce only duplicates. Runtime
+    /// deltas must keep all entries (existing prefixes wait on the new
+    /// element at deeper positions).
+    fn on_insert(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &ElementBag,
+        e: &Element,
+        first_position_only: bool,
+        stats: &mut ReteStats,
+    ) {
+        stats.inserts += 1;
+        let entry_levels = if first_position_only { 1 } else { self.arity };
+        for k in 0..entry_levels {
+            let p = cr.join_order()[k];
+            if !cr.position_admits(p, e) {
+                continue;
+            }
+            let pat = &cr.positions()[p];
+            let avail = bag.count(e);
+            if k == 0 {
+                let empty = std::mem::take(&mut self.empty_slots);
+                let made =
+                    self.try_child(pat, &[], &empty, 0, e.label, e.tag, &e.value, avail, stats);
+                self.empty_slots = empty;
+                if let Some(id) = made {
+                    self.extend_all(cr, bag, id, stats);
+                }
+            } else {
+                // Join the new element against the previous level. The
+                // snapshot excludes tokens created by this very event;
+                // tuples using the element at several positions are still
+                // produced, by rightward completion from its earliest
+                // admitting position (the bag already holds the element).
+                let prior: Vec<u32> = self.levels[k - 1].clone();
+                for tid in prior {
+                    let t = self.tokens[tid as usize].take().expect("live token");
+                    let made = self.try_child(
+                        pat, &t.elems, &t.slots, k, e.label, e.tag, &e.value, avail, stats,
+                    );
+                    self.tokens[tid as usize] = Some(t);
+                    if let Some(id) = made {
+                        self.extend_all(cr, bag, id, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process one removed occurrence: retire every token using `e` more
+    /// often than its remaining multiplicity.
+    fn on_remove(&mut self, e: &Element, remaining: usize, stats: &mut ReteStats) {
+        stats.removals += 1;
+        let Some(ids) = self.uses.get(e) else { return };
+        let mut doomed = std::mem::take(&mut self.doomed);
+        doomed.clear();
+        doomed.extend(ids.iter().copied().filter(|&id| {
+            let t = self.tokens[id as usize].as_ref().expect("indexed token");
+            t.elems.iter().filter(|x| *x == e).count() > remaining
+        }));
+        for id in &doomed {
+            self.retire(*id, stats);
+        }
+        self.doomed = doomed;
+    }
+
+    /// Complete token `id` rightward through every remaining join level,
+    /// enumerating candidates from the bag index.
+    fn extend_all(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &ElementBag,
+        id: u32,
+        stats: &mut ReteStats,
+    ) {
+        let level = {
+            let t = self.tokens[id as usize].as_ref().expect("live token");
+            t.elems.len()
+        };
+        if level == self.arity {
+            return;
+        }
+        let t = self.tokens[id as usize].take().expect("live token");
+        self.extend_from(cr, bag, &t.elems, &t.slots, level, stats);
+        self.tokens[id as usize] = Some(t);
+    }
+
+    /// Enumerate candidates for join level `k` compatible with the prefix
+    /// `(elems, slots)`, creating (and recursively completing) children.
+    fn extend_from(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &ElementBag,
+        elems: &[Element],
+        slots: &[Option<Value>],
+        k: usize,
+        stats: &mut ReteStats,
+    ) {
+        let p = cr.join_order()[k];
+        let pat = &cr.positions()[p];
+
+        // Label candidates: pinned by a bound label variable when present,
+        // otherwise the position's static filter.
+        if let Some(v) = pat.label_var {
+            if let Some(bound) = &slots[v as usize] {
+                let Value::Str(s) = bound else { return };
+                let label = Symbol::intern(s);
+                let admits = match &pat.label {
+                    LabelFilter::Exact(l) => *l == label,
+                    LabelFilter::OneOf(ls) => ls.contains(&label),
+                    LabelFilter::Any => true,
+                };
+                if admits {
+                    self.extend_label(cr, bag, elems, slots, k, label, stats);
+                }
+                return;
+            }
+        }
+        match &pat.label {
+            LabelFilter::Exact(l) => self.extend_label(cr, bag, elems, slots, k, *l, stats),
+            LabelFilter::OneOf(ls) => {
+                for &l in ls.iter() {
+                    self.extend_label(cr, bag, elems, slots, k, l, stats);
+                }
+            }
+            LabelFilter::Any => {
+                for l in bag.labels() {
+                    self.extend_label(cr, bag, elems, slots, k, l, stats);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_label(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &ElementBag,
+        elems: &[Element],
+        slots: &[Option<Value>],
+        k: usize,
+        label: Symbol,
+        stats: &mut ReteStats,
+    ) {
+        let pat = &cr.positions()[cr.join_order()[k]];
+        let bound_tag = pat.tag_var.and_then(|v| match &slots[v as usize] {
+            Some(Value::Int(t)) if *t >= 0 => Some(Tag(*t as u64)),
+            Some(_) => None,
+            None => None,
+        });
+        let tag_is_bound = pat.tag_var.is_some_and(|v| slots[v as usize].is_some());
+        match (pat.tag_lit, bound_tag, tag_is_bound) {
+            (Some(t), _, _) => self.extend_tag(cr, bag, elems, slots, k, label, t, stats),
+            (None, Some(t), _) => self.extend_tag(cr, bag, elems, slots, k, label, t, stats),
+            // Tag variable bound to a non-tag value: no candidate matches.
+            (None, None, true) => {}
+            _ => {
+                for t in bag.tags_for(label) {
+                    self.extend_tag(cr, bag, elems, slots, k, label, t, stats);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_tag(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &ElementBag,
+        elems: &[Element],
+        slots: &[Option<Value>],
+        k: usize,
+        label: Symbol,
+        tag: Tag,
+        stats: &mut ReteStats,
+    ) {
+        let pat = &cr.positions()[cr.join_order()[k]];
+        let pinned: Option<Value> = match (&pat.value_lit, pat.value_var) {
+            (Some(lit), _) => Some(lit.clone()),
+            (None, Some(v)) => slots[v as usize].clone(),
+            _ => None,
+        };
+        let mut made: Vec<u32> = Vec::new();
+        match pinned {
+            Some(value) => {
+                let avail = bag.count_at(label, tag, &value);
+                if let Some(id) =
+                    self.try_child(pat, elems, slots, k, label, tag, &value, avail, stats)
+                {
+                    made.push(id);
+                }
+            }
+            None => {
+                for (value, avail) in bag.values_with_counts(label, tag) {
+                    if let Some(id) =
+                        self.try_child(pat, elems, slots, k, label, tag, value, avail, stats)
+                    {
+                        made.push(id);
+                    }
+                }
+            }
+        }
+        for id in made {
+            self.extend_all(cr, bag, id, stats);
+        }
+    }
+
+    /// Try to create the child token `prefix + element@level k`. Performs,
+    /// in cost order: multiplicity check, binding compatibility, pushed
+    /// guard conjuncts, terminal clause disjunction, level cap, and
+    /// deduplication. Rejections allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn try_child(
+        &mut self,
+        pat: &crate::compiled::CompiledPattern,
+        elems: &[Element],
+        slots: &[Option<Value>],
+        k: usize,
+        label: Symbol,
+        tag: Tag,
+        value: &Value,
+        avail: usize,
+        stats: &mut ReteStats,
+    ) -> Option<u32> {
+        if avail == 0 {
+            return None;
+        }
+        // A full lane rejects in O(1), before any binding or guard work —
+        // capped (occupancy-probe) networks would otherwise pay the whole
+        // candidate evaluation just to drop the token at the end.
+        if let Some(cap) = self.level_cap {
+            if self.levels[k].len() >= cap {
+                stats.cap_skips += 1;
+                return None;
+            }
+        }
+        let used = elems
+            .iter()
+            .filter(|x| x.tag == tag && x.label == label && x.value == *value)
+            .count();
+        if used + 1 > avail {
+            return None;
+        }
+
+        // Binding compatibility without allocating: bound slots must agree
+        // with the candidate's fields; unbound slots become overlay extras.
+        let mut extras: [(u16, Value); 3] = [
+            (u16::MAX, Value::Bool(false)),
+            (u16::MAX, Value::Bool(false)),
+            (u16::MAX, Value::Bool(false)),
+        ];
+        let mut nextra = 0usize;
+        {
+            let mut bind = |slot: u16, candidate: Value| -> bool {
+                if let Some(existing) = &slots[slot as usize] {
+                    return *existing == candidate;
+                }
+                if let Some((_, prev)) = extras[..nextra].iter().find(|(s, _)| *s == slot) {
+                    return *prev == candidate;
+                }
+                extras[nextra] = (slot, candidate);
+                nextra += 1;
+                true
+            };
+            if let Some(v) = pat.value_var {
+                if !bind(v, value.clone()) {
+                    return None;
+                }
+            }
+            if let Some(v) = pat.label_var {
+                if !bind(v, Value::str(label.as_str())) {
+                    return None;
+                }
+            }
+            if let Some(v) = pat.tag_var {
+                if !bind(v, Value::Int(tag.0 as i64)) {
+                    return None;
+                }
+            }
+        }
+        let extras = &extras[..nextra];
+
+        for g in &self.level_guards[k] {
+            if !g.eval_bool(slots, extras) {
+                stats.guard_rejects += 1;
+                return None;
+            }
+        }
+        if k + 1 == self.arity {
+            if let Some(disj) = &self.clause_disjunction {
+                if !disj.iter().any(|g| g.eval_bool(slots, extras)) {
+                    stats.guard_rejects += 1;
+                    return None;
+                }
+            }
+        }
+
+        // Materialise the key and deduplicate.
+        let mut child_elems = Vec::with_capacity(k + 1);
+        child_elems.extend_from_slice(elems);
+        child_elems.push(Element {
+            value: value.clone(),
+            label,
+            tag,
+        });
+        let child_elems: Box<[Element]> = child_elems.into_boxed_slice();
+        if self.by_key.contains_key(&*child_elems) {
+            stats.dedup_hits += 1;
+            return None;
+        }
+
+        let mut child_slots: Box<[Option<Value>]> = slots.to_vec().into_boxed_slice();
+        for (slot, v) in extras {
+            child_slots[*slot as usize] = Some(v.clone());
+        }
+
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.tokens.push(None);
+                (self.tokens.len() - 1) as u32
+            }
+        };
+        let pos = self.levels[k].len();
+        self.levels[k].push(id);
+        self.by_key.insert(child_elems.clone(), id);
+        for (i, e) in child_elems.iter().enumerate() {
+            if child_elems[..i].contains(e) {
+                continue;
+            }
+            self.uses.entry(e.clone()).or_default().insert(id);
+        }
+        self.tokens[id as usize] = Some(Token {
+            elems: child_elems,
+            slots: child_slots,
+            pos,
+        });
+        stats.tokens_created += 1;
+        // Network-wide live count: the stats are shared by every reaction
+        // net, so derive liveness from the global counters rather than
+        // this net's arena.
+        stats.peak_live_tokens = stats
+            .peak_live_tokens
+            .max(stats.tokens_created - stats.tokens_retired);
+        Some(id)
+    }
+
+    fn retire(&mut self, id: u32, stats: &mut ReteStats) {
+        let t = self.tokens[id as usize].take().expect("live token");
+        let level = t.elems.len() - 1;
+        let lane = &mut self.levels[level];
+        lane.swap_remove(t.pos);
+        if t.pos < lane.len() {
+            let moved = lane[t.pos];
+            self.tokens[moved as usize]
+                .as_mut()
+                .expect("moved token is live")
+                .pos = t.pos;
+        }
+        self.by_key.remove(&*t.elems);
+        for (i, e) in t.elems.iter().enumerate() {
+            if t.elems[..i].contains(e) {
+                continue;
+            }
+            if let Some(set) = self.uses.get_mut(e) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.uses.remove(e);
+                }
+            }
+        }
+        self.free.push(id);
+        stats.tokens_retired += 1;
+    }
+}
+
+/// The program-wide join network: one per-reaction net of beta memories,
+/// deltas routed through the scheduler's [`DependencyIndex`].
+#[derive(Debug)]
+pub struct ReteNetwork {
+    nets: Vec<ReactionNet>,
+    deps: DependencyIndex,
+    /// Scratch for delta routing (dependents, deduplicated).
+    route: Vec<usize>,
+    /// Scratch for seeded ready-reaction picks.
+    ready: Vec<usize>,
+    /// Lifetime counters.
+    pub stats: ReteStats,
+    exact: bool,
+}
+
+impl ReteNetwork {
+    /// Build an *exact* network over `initial`: terminal beta memories are
+    /// in bijection with the enabled matches, and emptiness proves
+    /// stability.
+    pub fn new(compiled: &CompiledProgram, initial: &ElementBag) -> ReteNetwork {
+        Self::build(compiled, initial, None)
+    }
+
+    /// Build a *heuristic* network whose beta memories are bounded by
+    /// `cap` tokens per level. Occupancy may under-report (a capped level
+    /// can starve deeper joins), so this variant is only suitable where an
+    /// exact check guards correctness — e.g. seeding the parallel
+    /// engine's dirty flags.
+    pub fn with_level_cap(
+        compiled: &CompiledProgram,
+        initial: &ElementBag,
+        cap: usize,
+    ) -> ReteNetwork {
+        Self::build(compiled, initial, Some(cap.max(1)))
+    }
+
+    fn build(compiled: &CompiledProgram, initial: &ElementBag, cap: Option<usize>) -> ReteNetwork {
+        let mut net = ReteNetwork {
+            nets: compiled
+                .reactions
+                .iter()
+                .map(|cr| ReactionNet::new(cr, cap))
+                .collect(),
+            deps: DependencyIndex::new(compiled),
+            route: Vec::new(),
+            ready: Vec::new(),
+            stats: ReteStats::default(),
+            exact: cap.is_none(),
+        };
+        // Bulk build: one event per distinct element (joins read live bag
+        // multiplicities), entering at position 0 only — every tuple is
+        // generated by its position-0 element's event completing rightward
+        // through the full bag, so deeper entries would only duplicate.
+        let distinct: Vec<Element> = initial.iter_counts().map(|(e, _)| e).collect();
+        for e in &distinct {
+            net.feed_insert_inner(compiled, initial, e, true);
+        }
+        net
+    }
+
+    /// True when the network is exact (built without a level cap).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Number of complete (enabled) matches memorised for reaction `r`.
+    pub fn match_count(&self, r: usize) -> usize {
+        self.nets[r].match_count()
+    }
+
+    /// Total live tokens across all reactions and levels.
+    pub fn total_tokens(&self) -> usize {
+        self.nets.iter().map(|n| n.live_tokens()).sum()
+    }
+
+    /// Lowest-indexed reaction with a complete match — the deterministic
+    /// engine's selection rule ("first enabled reaction in program
+    /// order"), answered from memory instead of by search.
+    pub fn first_ready(&self) -> Option<usize> {
+        self.nets.iter().position(|n| n.match_count() > 0)
+    }
+
+    /// A uniformly random reaction among those with a complete match.
+    pub fn pick_ready(&mut self, rng: &mut ChaCha8Rng) -> Option<usize> {
+        self.ready.clear();
+        self.ready
+            .extend((0..self.nets.len()).filter(|&r| self.nets[r].match_count() > 0));
+        if self.ready.is_empty() {
+            return None;
+        }
+        Some(self.ready[(rng.next_u64() % self.ready.len() as u64) as usize])
+    }
+
+    /// Materialise a [`Firing`] from a random terminal token of reaction
+    /// `r` (which must have a match). Output evaluation errors propagate
+    /// exactly as in the searching engines.
+    pub fn pick_firing(
+        &self,
+        compiled: &CompiledProgram,
+        r: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Firing, MatchError> {
+        let cr = &compiled.reactions[r];
+        let net = &self.nets[r];
+        let lane = &net.levels[net.arity - 1];
+        let id = lane[(rng.next_u64() % lane.len() as u64) as usize];
+        let token = net.tokens[id as usize].as_ref().expect("live token");
+        let mut consumed: Vec<Option<Element>> = vec![None; net.arity];
+        for (k, &p) in cr.join_order().iter().enumerate() {
+            consumed[p] = Some(token.elems[k].clone());
+        }
+        let (clause, produced) = cr
+            .eval_outputs_for_slots(&token.slots)?
+            .expect("terminal token has an enabled clause");
+        Ok(Firing {
+            reaction: r,
+            consumed: consumed
+                .into_iter()
+                .map(|e| e.expect("permutation"))
+                .collect(),
+            produced,
+            clause,
+        })
+    }
+
+    /// Account a firing already applied to `bag`: feed the network the
+    /// firing's **net** delta, so an element both consumed and produced
+    /// (a dataflow token passing through unchanged) costs nothing.
+    pub fn on_firing_applied(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &ElementBag,
+        firing: &Firing,
+    ) {
+        let mut produced_cancelled = vec![false; firing.produced.len()];
+        let mut removals: Vec<&Element> = Vec::new();
+        'consumed: for c in &firing.consumed {
+            for (i, p) in firing.produced.iter().enumerate() {
+                if !produced_cancelled[i] && p == c {
+                    produced_cancelled[i] = true;
+                    continue 'consumed;
+                }
+            }
+            removals.push(c);
+        }
+        for (i, c) in removals.iter().enumerate() {
+            if removals[..i].contains(c) {
+                continue;
+            }
+            self.feed_remove(bag, c);
+        }
+        let inserts: Vec<&Element> = firing
+            .produced
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !produced_cancelled[*i])
+            .map(|(_, p)| p)
+            .collect();
+        for (i, p) in inserts.iter().enumerate() {
+            if inserts[..i].contains(p) {
+                continue;
+            }
+            self.feed_insert(compiled, bag, p);
+        }
+    }
+
+    /// Account externally removed occurrences (maximal-parallel stepping
+    /// removes consumed tuples mid-step while withholding products).
+    pub fn on_removed(&mut self, bag: &ElementBag, elems: &[Element]) {
+        for (i, e) in elems.iter().enumerate() {
+            if elems[..i].contains(e) {
+                continue;
+            }
+            self.feed_remove(bag, e);
+        }
+    }
+
+    /// Account externally inserted elements (pipeline seeding, parallel
+    /// step barriers).
+    pub fn on_inserted(&mut self, compiled: &CompiledProgram, bag: &ElementBag, elems: &[Element]) {
+        for (i, e) in elems.iter().enumerate() {
+            if elems[..i].contains(e) {
+                continue;
+            }
+            self.feed_insert(compiled, bag, e);
+        }
+    }
+
+    fn collect_route(&mut self, label: Symbol) {
+        // A reaction can be reachable both via the label class and the
+        // wildcard list; deduplicate so it processes each delta once.
+        self.route.clear();
+        let route = &mut self.route;
+        self.deps.for_each_dependent(label, |r| route.push(r));
+        route.sort_unstable();
+        route.dedup();
+    }
+
+    fn feed_insert(&mut self, compiled: &CompiledProgram, bag: &ElementBag, e: &Element) {
+        self.feed_insert_inner(compiled, bag, e, false);
+    }
+
+    fn feed_insert_inner(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &ElementBag,
+        e: &Element,
+        first_position_only: bool,
+    ) {
+        self.collect_route(e.label);
+        let route = std::mem::take(&mut self.route);
+        for &r in &route {
+            self.nets[r].on_insert(
+                &compiled.reactions[r],
+                bag,
+                e,
+                first_position_only,
+                &mut self.stats,
+            );
+        }
+        self.route = route;
+    }
+
+    fn feed_remove(&mut self, bag: &ElementBag, e: &Element) {
+        let remaining = bag.count(e);
+        self.collect_route(e.label);
+        let route = std::mem::take(&mut self.route);
+        for &r in &route {
+            self.nets[r].on_remove(e, remaining, &mut self.stats);
+        }
+        self.route = route;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::spec::{ElementSpec, GammaProgram, Pattern, ReactionSpec};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use rand::SeedableRng;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    fn compile(reactions: Vec<ReactionSpec>) -> CompiledProgram {
+        CompiledProgram::compile(&GammaProgram::new(reactions)).unwrap()
+    }
+
+    fn sieve_program() -> CompiledProgram {
+        compile(vec![ReactionSpec::new("sieve")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .where_(Expr::cmp(
+                CmpOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("x"), Expr::var("y")),
+                Expr::int(0),
+            ))
+            .by(vec![ElementSpec::pair(Expr::var("y"), "n")])])
+    }
+
+    #[test]
+    fn terminal_tokens_enumerate_enabled_pairs() {
+        let compiled = sieve_program();
+        let bag: ElementBag = [2, 3, 4, 6].iter().map(|&v| e(v, "n", 0)).collect();
+        let net = ReteNetwork::new(&compiled, &bag);
+        // Ordered pairs (x, y), x % y == 0, x != y occurrence-wise:
+        // (4,2), (6,2), (6,3) — each value has multiplicity 1, so (x,x)
+        // pairs are excluded by the multiplicity check.
+        assert_eq!(net.match_count(0), 3);
+        assert!(net.is_exact());
+    }
+
+    #[test]
+    fn multiplicity_two_enables_self_pair() {
+        let compiled = sieve_program();
+        let mut bag = ElementBag::new();
+        bag.insert_n(e(5, "n", 0), 2);
+        let net = ReteNetwork::new(&compiled, &bag);
+        // (5,5) divides itself; needs both occurrences.
+        assert_eq!(net.match_count(0), 1);
+        let mut one = ElementBag::new();
+        one.insert(e(5, "n", 0));
+        let net = ReteNetwork::new(&compiled, &one);
+        assert_eq!(net.match_count(0), 0);
+    }
+
+    #[test]
+    fn firing_delta_updates_memory() {
+        let compiled = sieve_program();
+        let mut bag: ElementBag = [2, 3, 4].iter().map(|&v| e(v, "n", 0)).collect();
+        let mut net = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(net.match_count(0), 1); // (4,2)
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let firing = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        assert_eq!(firing.consumed, vec![e(4, "n", 0), e(2, "n", 0)]);
+        assert_eq!(firing.produced, vec![e(2, "n", 0)]);
+        assert!(bag.remove_all(&firing.consumed));
+        for p in &firing.produced {
+            bag.insert(p.clone());
+        }
+        net.on_firing_applied(&compiled, &bag, &firing);
+        // 2 was consumed and re-produced (net no-op); 4 left: no matches.
+        assert_eq!(net.match_count(0), 0);
+        assert!(net.stats.removals >= 1);
+        // The re-produced divisor must not have been processed as a delta.
+        assert_eq!(
+            net.stats.inserts as usize, 3,
+            "only the initial build inserts"
+        );
+    }
+
+    #[test]
+    fn guard_pushdown_prunes_before_terminal_join() {
+        // 3-ary chain a < b < c over distinct labels: the level-1 conjunct
+        // must reject (a, b) prefixes eagerly.
+        let compiled = compile(vec![ReactionSpec::new("chain")
+            .replace(Pattern::pair("a", "A"))
+            .replace(Pattern::pair("b", "B"))
+            .replace(Pattern::pair("c", "C"))
+            .where_(Expr::and(
+                Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("b")),
+                Expr::cmp(CmpOp::Lt, Expr::var("b"), Expr::var("c")),
+            ))
+            .by(vec![ElementSpec::pair(Expr::var("a"), "out")])]);
+        let mut bag = ElementBag::new();
+        for v in [1, 9] {
+            bag.insert(e(v, "A", 0));
+        }
+        for v in [5, 7] {
+            bag.insert(e(v, "B", 0));
+        }
+        bag.insert(e(6, "C", 0));
+        let net = ReteNetwork::new(&compiled, &bag);
+        // Enabled: (1,5,6). Prefix (9,*) dies at level 1; (1,7,6) at 2.
+        assert_eq!(net.match_count(0), 1);
+        assert!(net.stats.guard_rejects > 0);
+    }
+
+    #[test]
+    fn tag_join_completes_through_bound_tag() {
+        // Waiting–matching shape: two labels joined on a shared tag var.
+        let compiled = compile(vec![ReactionSpec::new("pair")
+            .replace(Pattern::tagged("a", "A", "v"))
+            .replace(Pattern::tagged("b", "B", "v"))
+            .by(vec![ElementSpec::tagged(
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                "C",
+                "v",
+            )])]);
+        let bag: ElementBag = [e(1, "A", 0), e(2, "B", 1), e(10, "A", 1)]
+            .into_iter()
+            .collect();
+        let net = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(net.match_count(0), 1); // only tag 1 pairs up
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let f = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        assert_eq!(f.consumed, vec![e(10, "A", 1), e(2, "B", 1)]);
+        assert_eq!(f.produced, vec![e(12, "C", 1)]);
+    }
+
+    #[test]
+    fn clause_disjunction_gates_terminal_tokens() {
+        // All clauses if-guarded: tuples failing every guard are disabled.
+        let compiled = compile(vec![ReactionSpec::new("gate")
+            .replace(Pattern::pair("x", "in"))
+            .by_if(
+                vec![ElementSpec::pair(Expr::var("x"), "out")],
+                Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::int(0)),
+            )]);
+        let bag: ElementBag = [e(-3, "in", 0), e(4, "in", 0)].into_iter().collect();
+        let net = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(net.match_count(0), 1);
+    }
+
+    #[test]
+    fn insertion_wakes_waiting_partial_match() {
+        let compiled = compile(vec![ReactionSpec::new("join")
+            .replace(Pattern::pair("a", "A"))
+            .replace(Pattern::pair("b", "B"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                "C",
+            )])]);
+        let mut bag: ElementBag = [e(1, "A", 0)].into_iter().collect();
+        let mut net = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(net.match_count(0), 0);
+        assert_eq!(net.total_tokens(), 1); // the waiting partial match
+        let b = e(2, "B", 0);
+        bag.insert(b.clone());
+        net.on_inserted(&compiled, &bag, std::slice::from_ref(&b));
+        assert_eq!(net.match_count(0), 1);
+        assert_eq!(net.first_ready(), Some(0));
+    }
+
+    #[test]
+    fn capped_network_bounds_memory() {
+        let compiled = compile(vec![ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                "n",
+            )])]);
+        let bag: ElementBag = (1..=100).map(|v| e(v, "n", 0)).collect();
+        let capped = ReteNetwork::with_level_cap(&compiled, &bag, 8);
+        assert!(!capped.is_exact());
+        assert!(capped.total_tokens() <= 16);
+        assert!(capped.match_count(0) >= 1, "occupancy still detected");
+        assert!(capped.stats.cap_skips > 0);
+        // The exact network on the same bag holds all ordered pairs.
+        let exact = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(exact.match_count(0), 100 * 99);
+    }
+
+    #[test]
+    fn one_of_label_variable_binds_and_joins() {
+        // R11 shape: OneOf label pattern binding the label variable.
+        let compiled = compile(vec![ReactionSpec::new("R11")
+            .replace(Pattern::one_of("id1", "x", &["A1", "A11"], "v"))
+            .by(vec![ElementSpec::inc_tagged(Expr::var("id1"), "A12", "v")])]);
+        let bag: ElementBag = [e(5, "A11", 3), e(9, "B1", 3)].into_iter().collect();
+        let net = ReteNetwork::new(&compiled, &bag);
+        assert_eq!(net.match_count(0), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let f = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        assert_eq!(f.produced, vec![e(5, "A12", 4)]);
+    }
+
+    #[test]
+    fn removal_retires_descendant_tokens() {
+        let compiled = sieve_program();
+        let mut bag: ElementBag = [2, 4, 8].iter().map(|&v| e(v, "n", 0)).collect();
+        let mut net = ReteNetwork::new(&compiled, &bag);
+        // Pairs: (4,2), (8,2), (8,4).
+        assert_eq!(net.match_count(0), 3);
+        let victim = e(8, "n", 0);
+        assert!(bag.remove(&victim));
+        net.on_removed(&bag, std::slice::from_ref(&victim));
+        assert_eq!(net.match_count(0), 1); // only (4,2) survives
+        assert!(net.stats.tokens_retired >= 2);
+    }
+}

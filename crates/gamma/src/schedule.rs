@@ -32,7 +32,7 @@
 //!   proportional to the delta, not the database.
 //! * **Anchored probes** — under seeded selection, a reaction dirtied by
 //!   inserted elements is probed with
-//!   [`CompiledReaction::find_match_anchored`], which pins one search-plan
+//!   [`crate::compiled::CompiledReaction::find_match_anchored`], which pins one search-plan
 //!   position to the delta element and completes the tuple from the
 //!   index: the literal Gamma image of delivering one token to the
 //!   matching store. Completeness again follows from monotonicity: if the

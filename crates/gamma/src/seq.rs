@@ -19,7 +19,8 @@
 //! disjoint enabled tuples "simultaneously" — which yields the idealised
 //! parallelism profile used by experiment P1.
 
-use crate::compiled::{CompiledProgram, Firing, MatchError};
+use crate::compiled::{CompiledProgram, Firing, MatchError, SearchScratch};
+use crate::rete::{ReteNetwork, ReteStats};
 use crate::schedule::{DeltaScheduler, SchedStats};
 use crate::spec::{GammaProgram, Pipeline, SpecError};
 use crate::trace::{ExecStats, FiringRecord};
@@ -66,6 +67,17 @@ pub enum Scheduling {
     /// [`Selection::Deterministic`] the same firing trace.
     #[default]
     Delta,
+    /// Rete join-network scheduling: a [`ReteNetwork`] of partial-match
+    /// memories is kept incrementally consistent with the multiset, so
+    /// enabled matches are *read* rather than searched, per-firing cost is
+    /// proportional to the delta's token traffic, and stability is proven
+    /// by empty terminal memories (no authoritative rescan). Observable
+    /// behaviour is identical to `Rescan`: same stable states, and under
+    /// [`Selection::Deterministic`] the same firing trace. Best on
+    /// guard-selective reactions (the memory holds only enabled partial
+    /// tuples); an unguarded n² reaction memorises all n² pairs — see
+    /// [`crate::rete`] for the trade-off.
+    Rete,
 }
 
 /// Selection policy for the nondeterministic choice in Eq. (1).
@@ -133,6 +145,8 @@ pub struct ExecResult {
     pub trace: Option<Vec<FiringRecord>>,
     /// Delta-scheduler counters, when [`Scheduling::Delta`] ran.
     pub sched: Option<SchedStats>,
+    /// Join-network counters, when [`Scheduling::Rete`] ran.
+    pub rete: Option<ReteStats>,
 }
 
 /// Sequential Gamma interpreter over a compiled program.
@@ -189,6 +203,7 @@ impl SeqInterpreter {
         match self.config.scheduling {
             Scheduling::Rescan => self.run_rescan(),
             Scheduling::Delta => self.run_delta(),
+            Scheduling::Rete => self.run_rete(),
         }
     }
 
@@ -237,6 +252,7 @@ impl SeqInterpreter {
             stats,
             trace,
             sched: None,
+            rete: None,
         })
     }
 
@@ -284,6 +300,111 @@ impl SeqInterpreter {
             stats,
             trace,
             sched: Some(scheduler.stats.clone()),
+            rete: None,
+        })
+    }
+
+    /// The rete-scheduled loop: the join network memorises partial and
+    /// complete matches, the engine feeds it each firing's net delta, and
+    /// a drained network (no terminal tokens anywhere) *is* the stability
+    /// proof — no authoritative rescan. Under
+    /// [`Selection::Deterministic`] the network only answers "which
+    /// reaction is enabled" (lowest index, as the rescanning reference
+    /// would find) and the tuple itself comes from the same deterministic
+    /// index search, so the firing trace is identical by construction.
+    /// Under [`Selection::Seeded`] the firing is read straight off a
+    /// random terminal token — O(1) instead of a search.
+    /// Deterministic-mode firing selection for a reaction the rete
+    /// network reports enabled: the exact per-reaction index search (the
+    /// trace-preserving tuple choice). If the network over-approximated
+    /// (a maintenance bug, not a semantics hazard — debug builds assert),
+    /// fall back to the exact whole-program search; `Ok(None)` means even
+    /// that came up dry.
+    fn rete_deterministic_firing(
+        &self,
+        reaction: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, ExecError> {
+        if let Some(f) = self.compiled.reactions[reaction].find_match_fast(
+            reaction,
+            &self.multiset,
+            None,
+            scratch,
+        )? {
+            return Ok(Some(f));
+        }
+        debug_assert!(
+            false,
+            "rete memory disagrees with search for reaction {reaction}"
+        );
+        let order: Vec<usize> = (0..self.compiled.reactions.len()).collect();
+        Ok(self
+            .compiled
+            .find_any_fast(&order, &self.multiset, None, scratch)?)
+    }
+
+    fn run_rete(mut self) -> Result<ExecResult, ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        let mut scratch = SearchScratch::new();
+        let mut network = ReteNetwork::new(&self.compiled, &self.multiset);
+
+        let status = loop {
+            if stats.firings_total() >= self.config.max_steps {
+                break Status::BudgetExhausted;
+            }
+            let picked = match rng.as_mut() {
+                None => network.first_ready(),
+                Some(r) => network.pick_ready(r),
+            };
+            let Some(reaction) = picked else {
+                break Status::Stable;
+            };
+            let firing = match rng.as_mut() {
+                Some(r) => network.pick_firing(&self.compiled, reaction, r)?,
+                None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
+                    Some(f) => f,
+                    None => break Status::Stable,
+                },
+            };
+            self.apply(&firing);
+            network.on_firing_applied(&self.compiled, &self.multiset, &firing);
+            stats.record_firing(firing.reaction, &firing);
+            if let Some(t) = trace.as_mut() {
+                t.push(FiringRecord::from_firing(
+                    stats.firings_total() - 1,
+                    &self.compiled.reactions[firing.reaction].name,
+                    &firing,
+                ));
+            }
+        };
+
+        // The emptiness proof replaced the drain-time rescan; debug builds
+        // still cross-check it against the exact search.
+        #[cfg(debug_assertions)]
+        if status == Status::Stable {
+            let order: Vec<usize> = (0..nreactions).collect();
+            let confirm =
+                self.compiled
+                    .find_any_fast(&order, &self.multiset, None, &mut scratch)?;
+            debug_assert!(
+                confirm.is_none(),
+                "rete network drained while a reaction was enabled"
+            );
+        }
+
+        Ok(ExecResult {
+            multiset: self.multiset,
+            status,
+            stats,
+            trace,
+            sched: None,
+            rete: Some(network.stats.clone()),
         })
     }
 
@@ -296,7 +417,94 @@ impl SeqInterpreter {
         match self.config.scheduling {
             Scheduling::Rescan => self.run_max_parallel_steps_rescan(),
             Scheduling::Delta => self.run_max_parallel_steps_delta(),
+            Scheduling::Rete => self.run_max_parallel_steps_rete(),
         }
+    }
+
+    /// Rete-scheduled maximal parallel steps: consumed tuples are fed to
+    /// the network as they are removed (the visible multiset shrinks
+    /// within a step), and withheld products are fed at the step barrier
+    /// together with their insertion.
+    fn run_max_parallel_steps_rete(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
+        let nreactions = self.compiled.reactions.len();
+        let mut stats = ExecStats::new(nreactions);
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut rng = match self.config.selection {
+            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Deterministic => None,
+        };
+        let mut scratch = SearchScratch::new();
+        let mut network = ReteNetwork::new(&self.compiled, &self.multiset);
+        let mut profile = Vec::new();
+
+        let status = 'outer: loop {
+            let mut fired_this_step = 0usize;
+            let mut products: Vec<Firing> = Vec::new();
+            loop {
+                if stats.firings_total() >= self.config.max_steps {
+                    for f in &products {
+                        for e in &f.produced {
+                            self.multiset.insert(e.clone());
+                        }
+                    }
+                    if fired_this_step > 0 {
+                        profile.push(fired_this_step);
+                    }
+                    break 'outer Status::BudgetExhausted;
+                }
+                let picked = match rng.as_mut() {
+                    None => network.first_ready(),
+                    Some(r) => network.pick_ready(r),
+                };
+                let Some(reaction) = picked else { break };
+                let firing = match rng.as_mut() {
+                    Some(r) => network.pick_firing(&self.compiled, reaction, r)?,
+                    // A dry fallback result just ends the step.
+                    None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
+                        Some(f) => f,
+                        None => break,
+                    },
+                };
+                let ok = self.multiset.remove_all(&firing.consumed);
+                debug_assert!(ok);
+                network.on_removed(&self.multiset, &firing.consumed);
+                stats.record_firing(firing.reaction, &firing);
+                if let Some(t) = trace.as_mut() {
+                    t.push(FiringRecord::from_firing(
+                        stats.firings_total() - 1,
+                        &self.compiled.reactions[firing.reaction].name,
+                        &firing,
+                    ));
+                }
+                fired_this_step += 1;
+                products.push(firing);
+            }
+            if fired_this_step == 0 {
+                break Status::Stable;
+            }
+            profile.push(fired_this_step);
+            // Step barrier: products become visible and join the network.
+            let mut inserted: Vec<gammaflow_multiset::Element> = Vec::new();
+            for f in &products {
+                for e in &f.produced {
+                    self.multiset.insert(e.clone());
+                    inserted.push(e.clone());
+                }
+            }
+            network.on_inserted(&self.compiled, &self.multiset, &inserted);
+        };
+
+        Ok((
+            ExecResult {
+                multiset: self.multiset,
+                status,
+                stats,
+                trace,
+                sched: None,
+                rete: Some(network.stats.clone()),
+            },
+            profile,
+        ))
     }
 
     /// Delta-scheduled maximal parallel steps: within a step the visible
@@ -371,6 +579,7 @@ impl SeqInterpreter {
                 stats,
                 trace,
                 sched: Some(scheduler.stats.clone()),
+                rete: None,
             },
             profile,
         ))
@@ -451,6 +660,7 @@ impl SeqInterpreter {
                 stats,
                 trace,
                 sched: None,
+                rete: None,
             },
             profile,
         ))
@@ -491,6 +701,7 @@ pub fn run_pipeline(
         stats,
         trace: None,
         sched: None,
+        rete: None,
     })
 }
 

@@ -196,6 +196,16 @@ impl ShardedBag {
         f(&self.shards[i].lock())
     }
 
+    /// Lock every shard in index order and return the guards. While the
+    /// guards are held the bag is a consistent frozen multiset; searching
+    /// through them (see the parallel engine's terminal check) avoids the
+    /// O(|M|) clone that [`Self::snapshot`] pays. Lock order matches
+    /// [`Self::claim_and_replace`], so holders and claimants cannot
+    /// deadlock.
+    pub fn lock_all(&self) -> Vec<parking_lot::MutexGuard<'_, ElementBag>> {
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+
     /// Lock every shard (in order) and produce a consistent snapshot.
     pub fn snapshot(&self) -> ElementBag {
         let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
@@ -298,6 +308,19 @@ mod tests {
         let a = bag.shard_of(Symbol::intern("L"), Tag(5));
         let b = bag.shard_of(Symbol::intern("L"), Tag(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lock_all_freezes_a_consistent_view() {
+        let bag = ShardedBag::new(4);
+        bag.insert_all([e(1, "A", 0), e(2, "B", 1), e(2, "B", 1)]);
+        let guards = bag.lock_all();
+        assert_eq!(guards.len(), bag.num_shards());
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 3);
+        drop(guards);
+        // Locks released: claims proceed again.
+        assert!(bag.claim_and_replace(&[e(1, "A", 0)], &[]));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`classic`] — the standard Gamma repertoire (minimum per the paper's
 //!   Eq. (2), maximum, sum, primes sieve, GCD, exchange sort), each
 //!   self-checking (P3).
+//! * [`joins`] — guard-heavy join workloads (conjunctive sieve, triangle
+//!   counting over edge elements, interval union) exercising the rete
+//!   matcher's partial-match memory and guard pushdown (harness `S2`).
 //! * [`fusion`] — synthetic sensor data-fusion / target-tracking scenario
 //!   standing in for the paper's application reference \[1\].
 //! * [`image`] — synthetic image segmentation + histogram scenario
@@ -22,10 +25,12 @@ pub mod classic;
 pub mod expr_dags;
 pub mod fusion;
 pub mod image;
+pub mod joins;
 pub mod loops;
 
 pub use classic::{exchange_sort, gcd, maximum, minimum, primes, sum, Workload};
 pub use expr_dags::{deep_chain, random_dag, wide_chains, wide_pairs, DagParams, GeneratedDag};
 pub use fusion::{scenario as fusion_scenario, FusionScenario};
 pub use image::{scenario as image_scenario, ImageScenario};
+pub use joins::{divisor_sieve, interval_merge, triangles};
 pub use loops::{accumulator_loop, build_fig2_into, parallel_loops, source_for, LoopWorkload};

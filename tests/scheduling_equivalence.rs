@@ -1,20 +1,27 @@
-//! Delta-scheduling regression: the incremental scheduler must be
-//! observationally indistinguishable from the rescanning reference.
+//! Scheduling regression: the incremental engines (delta worklist and
+//! rete join network) must be observationally indistinguishable from the
+//! rescanning reference.
 //!
-//! On random converted-dataflow programs and the classic Gamma repertoire:
+//! On random converted-dataflow programs, the classic Gamma repertoire,
+//! and the guard-heavy join workloads:
 //!
-//! * under any selection policy, both engines reach the same stable
+//! * under any selection policy, all engines reach the same stable
 //!   multiset (byte-identical, not just projected);
-//! * under `Selection::Deterministic`, the delta engine replays the
-//!   rescanning reference's *exact firing trace* — the scheduler only
-//!   skips provably-disabled reactions, it never changes a choice.
+//! * under `Selection::Deterministic`, both incremental engines replay the
+//!   rescanning reference's *exact firing trace* — the delta scheduler
+//!   only skips provably-disabled reactions, and the rete network only
+//!   answers "which reaction is enabled" from memory; neither changes a
+//!   choice.
 
 use gammaflow::core::dataflow_to_gamma;
 use gammaflow::gamma::{
     ExecConfig, ExecResult, GammaProgram, Scheduling, Selection, SeqInterpreter, Status,
 };
 use gammaflow::multiset::ElementBag;
-use gammaflow::workloads::{gcd, maximum, minimum, primes, random_dag, sum, DagParams};
+use gammaflow::workloads::{
+    divisor_sieve, exchange_sort, gcd, interval_merge, maximum, minimum, primes, random_dag, sum,
+    triangles, DagParams,
+};
 use proptest::prelude::*;
 
 fn run_with(
@@ -38,7 +45,8 @@ fn run_with(
     .expect("run succeeds")
 }
 
-/// Deterministic selection: trace-identical replay.
+/// Deterministic selection: trace-identical replay for every incremental
+/// engine against the rescanning reference.
 fn assert_trace_identical(program: &GammaProgram, initial: &ElementBag) {
     let rescan = run_with(
         program,
@@ -46,25 +54,23 @@ fn assert_trace_identical(program: &GammaProgram, initial: &ElementBag) {
         Selection::Deterministic,
         Scheduling::Rescan,
     );
-    let delta = run_with(
-        program,
-        initial,
-        Selection::Deterministic,
-        Scheduling::Delta,
-    );
-    assert_eq!(rescan.status, delta.status);
-    assert_eq!(rescan.multiset, delta.multiset);
-    assert_eq!(
-        rescan.stats.firings_per_reaction, delta.stats.firings_per_reaction,
-        "per-reaction firing counts diverged"
-    );
-    assert_eq!(
-        rescan.trace, delta.trace,
-        "deterministic traces diverged: the scheduler changed a selection"
-    );
+    for scheduling in [Scheduling::Delta, Scheduling::Rete] {
+        let engine = run_with(program, initial, Selection::Deterministic, scheduling);
+        assert_eq!(rescan.status, engine.status, "{scheduling:?} status");
+        assert_eq!(rescan.multiset, engine.multiset, "{scheduling:?} multiset");
+        assert_eq!(
+            rescan.stats.firings_per_reaction, engine.stats.firings_per_reaction,
+            "{scheduling:?}: per-reaction firing counts diverged"
+        );
+        assert_eq!(
+            rescan.trace, engine.trace,
+            "{scheduling:?}: deterministic traces diverged — the engine changed a selection"
+        );
+    }
 }
 
-/// Seeded selection: same stable multiset on confluent programs.
+/// Seeded selection: same stable multiset on confluent programs, across
+/// every engine.
 fn assert_confluent_outcome(program: &GammaProgram, initial: &ElementBag, seed: u64) {
     let rescan = run_with(
         program,
@@ -72,13 +78,15 @@ fn assert_confluent_outcome(program: &GammaProgram, initial: &ElementBag, seed: 
         Selection::Seeded(seed),
         Scheduling::Rescan,
     );
-    let delta = run_with(program, initial, Selection::Seeded(seed), Scheduling::Delta);
     assert_eq!(rescan.status, Status::Stable);
-    assert_eq!(delta.status, Status::Stable);
-    assert_eq!(
-        rescan.multiset, delta.multiset,
-        "stable multisets diverged under seed {seed}"
-    );
+    for scheduling in [Scheduling::Delta, Scheduling::Rete] {
+        let engine = run_with(program, initial, Selection::Seeded(seed), scheduling);
+        assert_eq!(engine.status, Status::Stable);
+        assert_eq!(
+            rescan.multiset, engine.multiset,
+            "{scheduling:?}: stable multisets diverged under seed {seed}"
+        );
+    }
 }
 
 proptest! {
@@ -120,6 +128,19 @@ fn classic_workloads_trace_identical_deterministic() {
         sum(&(1..=40).collect::<Vec<i64>>()),
         gcd(&[12, 18, 30]),
         primes(120),
+        exchange_sort(&[9, 1, 8, 2, 7, 3], 11),
+    ];
+    for w in &workloads {
+        assert_trace_identical(&w.program, &w.initial);
+    }
+}
+
+#[test]
+fn join_workloads_trace_identical_deterministic() {
+    let workloads = [
+        divisor_sieve(120),
+        triangles(5, 8),
+        interval_merge(&[(1, 3), (2, 6), (8, 10), (10, 12), (20, 25)]),
     ];
     for w in &workloads {
         assert_trace_identical(&w.program, &w.initial);
@@ -132,6 +153,20 @@ fn classic_workloads_agree_seeded() {
         minimum(&[5, 2, 8, 2]),
         sum(&(1..=30).collect::<Vec<i64>>()),
         primes(80),
+    ];
+    for w in &workloads {
+        for seed in 0..4 {
+            assert_confluent_outcome(&w.program, &w.initial, seed);
+        }
+    }
+}
+
+#[test]
+fn join_workloads_agree_seeded() {
+    let workloads = [
+        divisor_sieve(80),
+        triangles(4, 6),
+        interval_merge(&[(0, 5), (4, 9), (9, 9), (11, 12), (12, 14)]),
     ];
     for w in &workloads {
         for seed in 0..4 {
@@ -162,7 +197,7 @@ fn max_parallel_budget_counts_each_firing_once() {
     // firings. A budget of 20 must allow exactly 20 firings (the old
     // check double-counted the in-step firings and stopped at 10).
     let w = sum(&(1..=64).collect::<Vec<i64>>());
-    for scheduling in [Scheduling::Rescan, Scheduling::Delta] {
+    for scheduling in [Scheduling::Rescan, Scheduling::Delta, Scheduling::Rete] {
         let (result, _profile) = SeqInterpreter::with_config(
             &w.program,
             w.initial.clone(),
@@ -204,7 +239,70 @@ fn max_parallel_steps_agree_across_schedulers() {
     };
     let (rescan, rescan_profile) = run(Scheduling::Rescan);
     let (delta, delta_profile) = run(Scheduling::Delta);
+    let (rete, rete_profile) = run(Scheduling::Rete);
     assert_eq!(rescan.multiset, delta.multiset);
+    assert_eq!(rescan.multiset, rete.multiset);
     assert_eq!(rescan_profile, delta_profile);
+    assert_eq!(rescan_profile, rete_profile);
     assert_eq!(rescan_profile, vec![8, 4, 2, 1]);
+}
+
+#[test]
+fn rete_engine_reaches_expected_results_with_stats() {
+    // End-to-end: the rete engine computes the workloads' self-check
+    // references and reports join-network counters.
+    for w in [
+        minimum(&[6, 1, 9]),
+        divisor_sieve(60),
+        triangles(3, 4),
+        primes(60),
+    ] {
+        let result = SeqInterpreter::with_config(
+            &w.program,
+            w.initial.clone(),
+            ExecConfig {
+                selection: Selection::Seeded(3),
+                scheduling: Scheduling::Rete,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset, w.expected, "workload {}", w.name);
+        let rete = result.rete.expect("rete scheduling reports its stats");
+        assert!(rete.tokens_created > 0, "{}: no tokens built", w.name);
+        assert!(
+            rete.tokens_created >= rete.tokens_retired,
+            "{}: retired more than created",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn rete_guard_pushdown_is_observable_on_triangles() {
+    // The 3-ary triangle reaction's b-consistency conjunct is bound at
+    // join level 1; the network must reject star-edge pairs there instead
+    // of enumerating the full edge³ product.
+    let w = triangles(2, 10);
+    let result = SeqInterpreter::with_config(
+        &w.program,
+        w.initial.clone(),
+        ExecConfig {
+            selection: Selection::Seeded(0),
+            scheduling: Scheduling::Rete,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(result.multiset, w.expected);
+    let rete = result.rete.unwrap();
+    assert!(
+        rete.guard_rejects > 0,
+        "pushdown conjuncts should prune star-edge joins: {rete:?}"
+    );
 }
