@@ -1,13 +1,17 @@
 //! Experiment harness: regenerates every table/figure row from DESIGN.md's
-//! per-experiment index (E1–E6, P1–P5) and prints them in one run.
+//! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
+//! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`) and
+//! prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
 //! cargo run --release -p gammaflow-bench --bin harness -- E1 P3 # subset
+//! cargo run --release -p gammaflow-bench --bin harness -- S2 S3 # matching
 //! ```
 //!
 //! The output of a release-mode run is recorded in EXPERIMENTS.md.
 
+use gammaflow_bench::baseline::{read_baseline, warn_fps_regressions};
 use gammaflow_bench::fixtures::{example1_family, example1_family_protected, fig1, fig2};
 use gammaflow_core::{
     canonicalize_vars, check_equivalence, dataflow_to_gamma, fuse_all, gamma_to_dataflow,
@@ -526,50 +530,6 @@ struct SchedulingRow {
     identical_final_multiset: bool,
 }
 
-/// Run-to-run timing jitter allowance before a drop counts as a
-/// regression: warnings below ~10% would mostly report noise and train
-/// readers to ignore them.
-const FPS_REGRESSION_TOLERANCE: f64 = 0.90;
-
-/// Read a committed baseline report, tolerating a missing or unparseable
-/// file (first run, format change).
-fn read_baseline<T: for<'de> serde::Deserialize<'de>>(path: &str) -> Option<T> {
-    std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str::<T>(&s).ok())
-}
-
-/// Compare freshly measured `firings_per_sec` figures against the
-/// committed baseline file (read *before* it is overwritten) and print a
-/// regression warning for every series that dropped below its baseline
-/// by more than the noise tolerance. Keys are `workload/engine`.
-fn warn_fps_regressions(path: &str, baseline: &[(String, f64)], current: &[(String, f64)]) {
-    // The committed baselines were measured on a developer machine;
-    // shared CI runners are slower and noisier than any tolerance band,
-    // so the comparison would cry wolf there. CI still exercises the
-    // harness and the byte-identical-finals assertions.
-    if std::env::var_os("CI").is_some() {
-        println!("(CI run: skipping firings/sec baseline comparison against {path})");
-        return;
-    }
-    let mut regressions = 0;
-    for (key, new_fps) in current {
-        let Some((_, old_fps)) = baseline.iter().find(|(k, _)| k == key) else {
-            continue;
-        };
-        if *new_fps < old_fps * FPS_REGRESSION_TOLERANCE {
-            regressions += 1;
-            println!(
-                "WARNING: {key} regressed to {new_fps:.0} firings/sec \
-                 (committed baseline in {path}: {old_fps:.0})"
-            );
-        }
-    }
-    if regressions == 0 && !baseline.is_empty() {
-        println!("no firings/sec regressions against committed {path}");
-    }
-}
-
 /// S1: delta-driven scheduling vs the rescanning reference, recorded as
 /// machine-readable `BENCH_scheduling.json` so the perf trajectory is
 /// tracked across PRs.
@@ -750,6 +710,110 @@ struct MatchingRow {
     identical_final_multiset: bool,
 }
 
+/// The BENCH_matching.json schema: S2 writes the file, S3 upserts its
+/// adversarial row into the same `rows` array.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MatchingReport {
+    bench: String,
+    rows: Vec<MatchingRow>,
+}
+
+/// Workload rows owned by the S3 step inside BENCH_matching.json: S2
+/// preserves exactly these when rewriting the file, and S3 upserts them.
+const S3_WORKLOADS: &[&str] = &["cross_sum"];
+
+/// The series keys ({workload}/rete) the matching steps compare against
+/// the committed baseline.
+fn matching_fps_series(rows: &[MatchingRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .map(|r| (format!("{}/rete", r.workload), r.rete.firings_per_sec))
+        .collect()
+}
+
+/// Time one workload under the three engines (asserting stability and
+/// the self-check multiset for each), print the comparison line, and
+/// produce its BENCH_matching.json row. Shared by S2 and S3.
+fn matching_row(
+    w: &gammaflow_workloads::Workload,
+    selection: gammaflow_gamma::Selection,
+) -> MatchingRow {
+    use gammaflow_gamma::{ExecConfig, ExecResult, Scheduling, Selection, Status};
+
+    let time_engine = |scheduling: Scheduling| -> (f64, ExecResult) {
+        let t = Instant::now();
+        let result = SeqInterpreter::with_config(
+            &w.program,
+            w.initial.clone(),
+            ExecConfig {
+                selection,
+                scheduling,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program compiles")
+        .run()
+        .expect("run succeeds");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(result.status, Status::Stable, "{} must stabilise", w.name);
+        assert_eq!(
+            result.multiset, w.expected,
+            "{} must land on its self-check multiset under {scheduling:?}",
+            w.name
+        );
+        (secs, result)
+    };
+
+    let (rescan_s, rescan) = time_engine(Scheduling::Rescan);
+    let (delta_s, delta) = time_engine(Scheduling::Delta);
+    let (rete_s, rete) = time_engine(Scheduling::Rete);
+    let firings = rete.stats.firings_total();
+    assert_eq!(rescan.stats.firings_total(), firings, "{}", w.name);
+    assert_eq!(delta.stats.firings_total(), firings, "{}", w.name);
+    let rescan_fps = firings as f64 / rescan_s;
+    let delta_fps = firings as f64 / delta_s;
+    let rete_fps = firings as f64 / rete_s;
+    let rete_stats = rete.rete.expect("rete run reports stats");
+    println!(
+        "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8}",
+        w.name,
+        firings,
+        rescan_fps,
+        delta_fps,
+        rete_fps,
+        rete_fps / rescan_fps,
+        rete_stats.tokens_created,
+    );
+    MatchingRow {
+        workload: w.name.to_string(),
+        selection: match selection {
+            Selection::Deterministic => "deterministic".into(),
+            Selection::Seeded(s) => format!("seeded({s})"),
+        },
+        firings,
+        rescan: EngineRow {
+            seconds: rescan_s,
+            firings,
+            firings_per_sec: rescan_fps,
+        },
+        delta: EngineRow {
+            seconds: delta_s,
+            firings,
+            firings_per_sec: delta_fps,
+        },
+        rete: EngineRow {
+            seconds: rete_s,
+            firings,
+            firings_per_sec: rete_fps,
+        },
+        rete_speedup_vs_rescan: rete_fps / rescan_fps,
+        rete_speedup_vs_delta: rete_fps / delta_fps,
+        rete_tokens_created: rete_stats.tokens_created,
+        rete_peak_live_tokens: rete_stats.peak_live_tokens,
+        rete_guard_rejects: rete_stats.guard_rejects,
+        identical_final_multiset: true,
+    }
+}
+
 /// S2: the rete join-network matcher vs delta scheduling vs the
 /// rescanning baseline, on the single-reaction sieve (the workload delta
 /// scheduling could not accelerate — it is bound by per-firing search,
@@ -757,34 +821,9 @@ struct MatchingRow {
 /// run must land on the workload's self-check multiset; results are
 /// recorded in `BENCH_matching.json` for cross-PR tracking.
 fn s2() {
-    use gammaflow_gamma::{ExecConfig, ExecResult, Scheduling, Selection, Status};
+    use gammaflow_gamma::Selection;
     use gammaflow_workloads::{divisor_sieve, interval_merge, triangles, Workload};
     banner("S2", "Rete partial-match memory vs delta vs rescan");
-
-    let time_engine =
-        |w: &Workload, selection: Selection, scheduling: Scheduling| -> (f64, ExecResult) {
-            let t = Instant::now();
-            let result = SeqInterpreter::with_config(
-                &w.program,
-                w.initial.clone(),
-                ExecConfig {
-                    selection,
-                    scheduling,
-                    ..ExecConfig::default()
-                },
-            )
-            .expect("program compiles")
-            .run()
-            .expect("run succeeds");
-            let secs = t.elapsed().as_secs_f64();
-            assert_eq!(result.status, Status::Stable, "{} must stabilise", w.name);
-            assert_eq!(
-                result.multiset, w.expected,
-                "{} must land on its self-check multiset under {scheduling:?}",
-                w.name
-            );
-            (secs, result)
-        };
 
     // Chained-overlap interval soup: dense enough that merges cascade.
     let intervals: Vec<(i64, i64)> = (0..600i64)
@@ -804,82 +843,99 @@ fn s2() {
         "{:<18} {:>8} {:>12} {:>12} {:>12} {:>9} {:>8}",
         "workload", "firings", "rescan f/s", "delta f/s", "rete f/s", "vs resc", "tokens"
     );
-    let mut rows = Vec::new();
-    for (w, selection) in &workloads {
-        let (rescan_s, rescan) = time_engine(w, *selection, Scheduling::Rescan);
-        let (delta_s, delta) = time_engine(w, *selection, Scheduling::Delta);
-        let (rete_s, rete) = time_engine(w, *selection, Scheduling::Rete);
-        let firings = rete.stats.firings_total();
-        assert_eq!(rescan.stats.firings_total(), firings, "{}", w.name);
-        assert_eq!(delta.stats.firings_total(), firings, "{}", w.name);
-        let rescan_fps = firings as f64 / rescan_s;
-        let delta_fps = firings as f64 / delta_s;
-        let rete_fps = firings as f64 / rete_s;
-        let rete_stats = rete.rete.expect("rete run reports stats");
-        println!(
-            "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8}",
-            w.name,
-            firings,
-            rescan_fps,
-            delta_fps,
-            rete_fps,
-            rete_fps / rescan_fps,
-            rete_stats.tokens_created,
-        );
-        rows.push(MatchingRow {
-            workload: w.name.to_string(),
-            selection: match selection {
-                Selection::Deterministic => "deterministic".into(),
-                Selection::Seeded(s) => format!("seeded({s})"),
-            },
-            firings,
-            rescan: EngineRow {
-                seconds: rescan_s,
-                firings,
-                firings_per_sec: rescan_fps,
-            },
-            delta: EngineRow {
-                seconds: delta_s,
-                firings,
-                firings_per_sec: delta_fps,
-            },
-            rete: EngineRow {
-                seconds: rete_s,
-                firings,
-                firings_per_sec: rete_fps,
-            },
-            rete_speedup_vs_rescan: rete_fps / rescan_fps,
-            rete_speedup_vs_delta: rete_fps / delta_fps,
-            rete_tokens_created: rete_stats.tokens_created,
-            rete_peak_live_tokens: rete_stats.peak_live_tokens,
-            rete_guard_rejects: rete_stats.guard_rejects,
-            identical_final_multiset: true,
-        });
-    }
-
-    #[derive(serde::Serialize, serde::Deserialize)]
-    struct MatchingReport {
-        bench: String,
-        rows: Vec<MatchingRow>,
-    }
-    let baseline: Vec<(String, f64)> = read_baseline::<MatchingReport>("BENCH_matching.json")
-        .map(|old| {
-            old.rows
-                .iter()
-                .map(|r| (format!("{}/rete", r.workload), r.rete.firings_per_sec))
-                .collect()
-        })
-        .unwrap_or_default();
-    let current: Vec<(String, f64)> = rows
+    let rows: Vec<MatchingRow> = workloads
         .iter()
-        .map(|r| (format!("{}/rete", r.workload), r.rete.firings_per_sec))
+        .map(|(w, selection)| matching_row(w, *selection))
         .collect();
-    warn_fps_regressions("BENCH_matching.json", &baseline, &current);
 
-    let report = MatchingReport {
+    // Baseline comparison against the committed file, before overwriting;
+    // S3's rows (if committed) are preserved so a standalone S2 run does
+    // not drop them. Only S3-owned workloads carry over — anything else
+    // absent from the fresh run is a renamed/removed S2 row and must not
+    // accrete in the file.
+    let old = read_baseline::<MatchingReport>("BENCH_matching.json");
+    let baseline: Vec<(String, f64)> = old
+        .as_ref()
+        .map(|old| matching_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_matching.json",
+        &baseline,
+        &matching_fps_series(&rows),
+    );
+
+    let mut report = MatchingReport {
         bench: "matching".into(),
         rows,
     };
+    if let Some(old) = old {
+        for r in old.rows {
+            if S3_WORKLOADS.contains(&r.workload.as_str())
+                && !report.rows.iter().any(|n| n.workload == r.workload)
+            {
+                report.rows.push(r);
+            }
+        }
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
+    println!("wrote BENCH_matching.json");
+}
+
+// ------------------------------------------------------------------ S3 ----
+
+/// S3: the adversarial unguarded n² cross product. Before spill-to-search
+/// eviction landed, this workload is why `Scheduling::Rete` was opt-in —
+/// an unbounded network memorises all `n·(n-1)` pairs before the first
+/// firing. The default watermark demotes the terminal level instead; this
+/// step records the three engines' throughput *and* the bounded peak
+/// beta-token count, upserting its row into `BENCH_matching.json`
+/// alongside S2's.
+fn s3() {
+    use gammaflow_gamma::Selection;
+    use gammaflow_workloads::cross_sum;
+    banner(
+        "S3",
+        "Adversarial n² cross product under the spill watermark",
+    );
+
+    let n = 400i64;
+    let w = cross_sum(n);
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "workload", "firings", "rescan f/s", "delta f/s", "rete f/s", "vs resc", "tokens"
+    );
+    let row = matching_row(&w, Selection::Seeded(1));
+    let unbounded = (n * (n - 1)) as u64;
+    assert!(
+        row.rete_peak_live_tokens < unbounded,
+        "watermark failed to bound the cross product: peak {} of {} pairs",
+        row.rete_peak_live_tokens,
+        unbounded
+    );
+    println!(
+        "peak beta tokens: {} (unbounded cross product: {}; default watermark {})",
+        row.rete_peak_live_tokens,
+        unbounded,
+        gammaflow_gamma::DEFAULT_SPILL_WATERMARK
+    );
+
+    // Upsert into the committed report: S2 owns the file layout, S3 only
+    // replaces (or appends) its own row, so the steps compose in any
+    // order and a standalone S3 run keeps S2's committed figures.
+    let mut report =
+        read_baseline::<MatchingReport>("BENCH_matching.json").unwrap_or(MatchingReport {
+            bench: "matching".into(),
+            rows: Vec::new(),
+        });
+    let baseline = matching_fps_series(&report.rows);
+    warn_fps_regressions(
+        "BENCH_matching.json",
+        &baseline,
+        &matching_fps_series(std::slice::from_ref(&row)),
+    );
+    report.rows.retain(|r| r.workload != row.workload);
+    report.rows.push(row);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
     println!("wrote BENCH_matching.json");
@@ -930,6 +986,9 @@ fn main() {
     }
     if want("S2") {
         s2();
+    }
+    if want("S3") {
+        s3();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

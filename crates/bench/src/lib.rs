@@ -104,3 +104,115 @@ pub mod fixtures {
         out
     }
 }
+
+/// Committed-baseline regression detection shared by the harness's
+/// `S1`/`S2`/`S3` steps: compare freshly measured `firings_per_sec`
+/// series against the figures committed in a `BENCH_*.json` file and
+/// report every series that dropped below the noise tolerance.
+pub mod baseline {
+    /// Run-to-run timing jitter allowance before a drop counts as a
+    /// regression: warnings below ~10% would mostly report noise and
+    /// train readers to ignore them.
+    pub const FPS_REGRESSION_TOLERANCE: f64 = 0.90;
+
+    /// One detected regression: the `workload/engine` series key, the
+    /// fresh figure, and the committed figure it fell short of.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// Series key, conventionally `workload/engine`.
+        pub key: String,
+        /// Freshly measured firings/sec.
+        pub current: f64,
+        /// Committed baseline firings/sec.
+        pub baseline: f64,
+    }
+
+    /// Pure comparison core: every series present in both lists whose
+    /// fresh figure dropped below `baseline * tolerance`. Series missing
+    /// from either side are ignored (new workloads, renamed rows).
+    pub fn fps_regressions(
+        baseline: &[(String, f64)],
+        current: &[(String, f64)],
+        tolerance: f64,
+    ) -> Vec<Regression> {
+        current
+            .iter()
+            .filter_map(|(key, new_fps)| {
+                let (_, old_fps) = baseline.iter().find(|(k, _)| k == key)?;
+                (*new_fps < old_fps * tolerance).then(|| Regression {
+                    key: key.clone(),
+                    current: *new_fps,
+                    baseline: *old_fps,
+                })
+            })
+            .collect()
+    }
+
+    /// Read a committed baseline report, tolerating a missing or
+    /// unparseable file (first run, format change).
+    pub fn read_baseline<T: for<'de> serde::Deserialize<'de>>(path: &str) -> Option<T> {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<T>(&s).ok())
+    }
+
+    /// Compare fresh `firings_per_sec` figures against the committed
+    /// baseline (read *before* it is overwritten) and print a warning per
+    /// regressed series. Skipped on CI: the committed baselines were
+    /// measured on a developer machine, and shared CI runners are slower
+    /// and noisier than any tolerance band, so the comparison would cry
+    /// wolf there — CI still exercises the harness and its
+    /// byte-identical-finals assertions.
+    pub fn warn_fps_regressions(path: &str, baseline: &[(String, f64)], current: &[(String, f64)]) {
+        if std::env::var_os("CI").is_some() {
+            println!("(CI run: skipping firings/sec baseline comparison against {path})");
+            return;
+        }
+        let regressions = fps_regressions(baseline, current, FPS_REGRESSION_TOLERANCE);
+        for r in &regressions {
+            println!(
+                "WARNING: {} regressed to {:.0} firings/sec \
+                 (committed baseline in {path}: {:.0})",
+                r.key, r.current, r.baseline
+            );
+        }
+        if regressions.is_empty() && !baseline.is_empty() {
+            println!("no firings/sec regressions against committed {path}");
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn series(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        }
+
+        #[test]
+        fn detects_only_drops_past_tolerance() {
+            let committed = series(&[
+                ("sieve/rete", 10_000.0),
+                ("sieve/delta", 5_000.0),
+                ("triangles/rete", 100.0),
+            ]);
+            let fresh = series(&[
+                ("sieve/rete", 8_000.0),     // 20% drop: regression
+                ("sieve/delta", 4_700.0),    // 6% drop: within tolerance
+                ("triangles/rete", 120.0),   // improvement
+                ("cross_sum/rete", 9_999.0), // new series: ignored
+            ]);
+            let found = fps_regressions(&committed, &fresh, FPS_REGRESSION_TOLERANCE);
+            assert_eq!(found.len(), 1);
+            assert_eq!(found[0].key, "sieve/rete");
+            assert_eq!(found[0].current, 8_000.0);
+            assert_eq!(found[0].baseline, 10_000.0);
+        }
+
+        #[test]
+        fn empty_baseline_reports_nothing() {
+            let fresh = series(&[("sieve/rete", 1.0)]);
+            assert!(fps_regressions(&[], &fresh, FPS_REGRESSION_TOLERANCE).is_empty());
+        }
+    }
+}

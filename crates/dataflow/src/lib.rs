@@ -20,6 +20,33 @@
 //! * [`engine`] — sequential engine with wave-based parallelism profiles.
 //! * [`engine_par`] — multi-PE engine: static node partitioning, per-PE
 //!   matching stores and inboxes, token-counter quiescence detection.
+//!
+//! # Example
+//!
+//! The left half of the paper's Fig. 1 — `x + y` as a dataflow graph —
+//! built, validated, and run to quiescence:
+//!
+//! ```
+//! use gammaflow_dataflow::engine::{DfStatus, SeqEngine};
+//! use gammaflow_dataflow::graph::GraphBuilder;
+//! use gammaflow_dataflow::node::NodeKind;
+//! use gammaflow_multiset::value::BinOp;
+//! use gammaflow_multiset::Element;
+//!
+//! let mut b = GraphBuilder::new();
+//! let x = b.constant(1);
+//! let y = b.constant(5);
+//! let add = b.add_named(NodeKind::Arith(BinOp::Add, None), "R1");
+//! let sink = b.output("m_sink");
+//! b.connect_labelled(x, add, 0, "A1");
+//! b.connect_labelled(y, add, 1, "B1");
+//! b.connect_labelled(add, sink, 0, "m");
+//! let graph = b.build().unwrap();
+//!
+//! let result = SeqEngine::new(&graph).run().unwrap();
+//! assert_eq!(result.status, DfStatus::Quiescent);
+//! assert_eq!(result.outputs.sorted_elements(), vec![Element::new(6, "m", 0u64)]);
+//! ```
 
 #![warn(missing_docs)]
 

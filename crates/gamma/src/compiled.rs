@@ -221,6 +221,10 @@ pub struct SearchScratch {
     levels: Vec<ScratchLevel>,
     /// Scratch for anchored-search orders (`[anchor] ++ rest`).
     order: Vec<usize>,
+    /// Scratch binding row for spilled-prefix completions.
+    slots: Vec<Option<Value>>,
+    /// Scratch consumed row for spilled-prefix completions.
+    consumed: Vec<Option<Element>>,
 }
 
 #[derive(Debug, Default)]
@@ -328,6 +332,80 @@ pub struct CompiledReaction {
     order: Vec<usize>,
 }
 
+/// Greedy guard-coverage join-order planner.
+///
+/// Picks positions one level at a time, preferring (in lexicographic
+/// order) the position that
+///
+/// 1. lets the most not-yet-satisfied `where` conjuncts become fully
+///    bound at this level — a pushed conjunct then filters the beta
+///    memory *during* this join instead of levels later (the triangle
+///    reaction's `b`-consistency binding after `(ab, bc)` is the
+///    canonical payoff);
+/// 2. has the most selective static label filter (literal before `OneOf`
+///    before wildcard), the old planner's only criterion;
+/// 3. shares a variable with the already-bound prefix (a repeated
+///    variable turns the join into an index lookup instead of a cross
+///    product);
+/// 4. comes first in replace-list order (stability tiebreak).
+///
+/// Conjuncts with no variables trivially hold everywhere and are ignored
+/// for scoring (the guard plan still evaluates them at level 0).
+fn plan_join_order(positions: &[CompiledPattern], conjunct_slots: &[Vec<u16>]) -> Vec<usize> {
+    let pos_slots: Vec<Vec<u16>> = positions
+        .iter()
+        .map(|p| {
+            [p.value_var, p.label_var, p.tag_var]
+                .into_iter()
+                .flatten()
+                .collect()
+        })
+        .collect();
+    let nslots = pos_slots
+        .iter()
+        .flatten()
+        .map(|&v| v as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut bound = vec![false; nslots];
+    let mut satisfied: Vec<bool> = conjunct_slots.iter().map(|cs| cs.is_empty()).collect();
+    let mut remaining: Vec<usize> = (0..positions.len()).collect();
+    let mut order = Vec::with_capacity(positions.len());
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, (usize, u8, bool))> = None;
+        for (slot, &p) in remaining.iter().enumerate() {
+            let newly_bound = conjunct_slots
+                .iter()
+                .zip(&satisfied)
+                .filter(|(cs, sat)| {
+                    !**sat
+                        && cs
+                            .iter()
+                            .all(|v| bound[*v as usize] || pos_slots[p].contains(v))
+                })
+                .count();
+            let connected = pos_slots[p].iter().any(|v| bound[*v as usize]);
+            let key = (newly_bound, 2 - positions[p].label.rank(), connected);
+            // Strict `>` keeps the lowest position index on ties
+            // (`remaining` stays in ascending order).
+            if best.is_none_or(|(_, k)| key > k) {
+                best = Some((slot, key));
+            }
+        }
+        let p = remaining.remove(best.expect("remaining is non-empty").0);
+        for &v in &pos_slots[p] {
+            bound[v as usize] = true;
+        }
+        for (cs, sat) in conjunct_slots.iter().zip(satisfied.iter_mut()) {
+            if !*sat && cs.iter().all(|v| bound[*v as usize]) {
+                *sat = true;
+            }
+        }
+        order.push(p);
+    }
+    order
+}
+
 impl CompiledReaction {
     /// Compile and validate a single reaction.
     pub fn compile(spec: &ReactionSpec) -> Result<CompiledReaction, SpecError> {
@@ -368,10 +446,22 @@ impl CompiledReaction {
             });
         }
 
-        // Selectivity order: literal labels first, then OneOf, then Any;
-        // stable within ranks to keep replace-list order as tiebreak.
-        let mut order: Vec<usize> = (0..positions.len()).collect();
-        order.sort_by_key(|&i| positions[i].label.rank());
+        // Join order: guard-coverage planning. Earlier revisions ordered
+        // purely by static label selectivity; the planner below also
+        // weighs which position lets pushed `where` conjuncts bind at the
+        // earliest possible join level (ties fall back to selectivity,
+        // then join connectivity, then replace-list order).
+        let conjunct_slots: Vec<Vec<u16>> = spec
+            .where_cond
+            .as_ref()
+            .map(|w| {
+                w.conjuncts()
+                    .iter()
+                    .map(|c| c.vars().iter().map(|v| var_index[v]).collect())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let order = plan_join_order(&positions, &conjunct_slots);
 
         let nvars = var_index.len();
         Ok(CompiledReaction {
@@ -469,6 +559,43 @@ impl CompiledReaction {
             level_conjuncts,
             clause_disjunction,
         }
+    }
+
+    /// Render the compiled join plan for debugging: the planner-chosen
+    /// join order with each level's label filter and pushed-down guard
+    /// conjuncts, plus the terminal clause disjunction. Set
+    /// `GAMMAFLOW_EXPLAIN_PLAN=1` to print every reaction's plan to
+    /// stderr as programs compile.
+    pub fn explain_plan(&self) -> String {
+        use std::fmt::Write;
+        let plan = self.guard_plan();
+        let mut out = String::new();
+        let _ = writeln!(out, "reaction {} (arity {}):", self.name, self.arity());
+        for (k, &p) in self.order.iter().enumerate() {
+            let pat = &self.positions[p];
+            let label = match &pat.label {
+                LabelFilter::Exact(l) => format!("'{l}'"),
+                LabelFilter::OneOf(ls) => {
+                    let names: Vec<&str> = ls.iter().map(|l| l.as_str()).collect();
+                    format!("one of {names:?}")
+                }
+                LabelFilter::Any => "any label".to_string(),
+            };
+            let _ = write!(out, "  level {k}: position {p} ({label})");
+            if !plan.level_conjuncts[k].is_empty() {
+                let guards: Vec<String> = plan.level_conjuncts[k]
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect();
+                let _ = write!(out, "  pushes: {}", guards.join(" and "));
+            }
+            let _ = writeln!(out);
+        }
+        if let Some(disj) = &plan.clause_disjunction {
+            let guards: Vec<String> = disj.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "  terminal: some of [{}]", guards.join(", "));
+        }
+        out
     }
 
     /// Evaluate the enabled clause's outputs for an externally produced
@@ -1118,6 +1245,95 @@ impl CompiledReaction {
         Ok(None)
     }
 
+    // --- spill-to-search completions -------------------------------------
+    //
+    // The bounded rete network ([`crate::rete`]) materialises only the
+    // shallow join levels of a reaction past its token watermark; the
+    // virtual deep levels are recomputed on demand by the two methods
+    // below, which resume the index search from a frontier token's
+    // already-joined, already-guard-filtered prefix.
+
+    /// True when the partial match binding the first `prefix.len()`
+    /// join-order positions extends to a full enabled match in `bag`.
+    /// `prefix` holds the matched elements in join order and `slots` the
+    /// variable bindings they produced. Deterministic; the binding and
+    /// consumed rows live in `scratch`, so a warmed-up probe only clones
+    /// the prefix's values, never fresh vectors — this runs once per
+    /// frontier token on every spill-cache miss.
+    pub(crate) fn prefix_completes<S: MatchSource>(
+        &self,
+        bag: &S,
+        prefix: &[Element],
+        slots: &[Option<Value>],
+        scratch: &mut SearchScratch,
+    ) -> bool {
+        scratch.slots.clear();
+        scratch.slots.extend_from_slice(slots);
+        scratch.consumed.clear();
+        scratch.consumed.resize(self.positions.len(), None);
+        for (k, e) in prefix.iter().enumerate() {
+            scratch.consumed[self.order[k]] = Some(e.clone());
+        }
+        let mut bindings = Bindings {
+            slots: std::mem::take(&mut scratch.slots),
+            index: &self.var_index,
+        };
+        let mut consumed = std::mem::take(&mut scratch.consumed);
+        let found = self.det_search(
+            0,
+            &self.order[prefix.len()..],
+            bag,
+            &mut bindings,
+            &mut consumed,
+        );
+        scratch.slots = bindings.slots;
+        scratch.consumed = consumed;
+        found
+    }
+
+    /// Complete a spilled prefix into a full [`Firing`], or `None` when no
+    /// completion exists. With an RNG the remaining levels shuffle their
+    /// candidates exactly like [`Self::find_match`]; without, the first
+    /// completion in index order is taken.
+    pub(crate) fn complete_prefix<S: MatchSource>(
+        &self,
+        reaction_index: usize,
+        bag: &S,
+        prefix: &[Element],
+        slots: &[Option<Value>],
+        rng: Option<&mut ChaCha8Rng>,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, MatchError> {
+        let mut bindings = Bindings {
+            slots: slots.to_vec(),
+            index: &self.var_index,
+        };
+        let mut consumed: Vec<Option<Element>> = vec![None; self.positions.len()];
+        for (k, e) in prefix.iter().enumerate() {
+            consumed[self.order[k]] = Some(e.clone());
+        }
+        let rest = &self.order[prefix.len()..];
+        let found = match rng {
+            None => self.det_search(0, rest, bag, &mut bindings, &mut consumed),
+            Some(r) => {
+                scratch.ensure_depth(self.order.len());
+                self.scratch_search(
+                    0,
+                    rest,
+                    bag,
+                    &mut bindings,
+                    &mut consumed,
+                    r,
+                    &mut scratch.levels,
+                )
+            }
+        };
+        if !found {
+            return Ok(None);
+        }
+        self.finish(reaction_index, consumed, &bindings)
+    }
+
     /// Index of the first clause whose guard holds under `bindings`, if any.
     fn enabled_clause(&self, bindings: &Bindings<'_>) -> Option<usize> {
         for (i, c) in self.spec.clauses.iter().enumerate() {
@@ -1211,13 +1427,21 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
-    /// Compile and validate every reaction of `program`.
+    /// Compile and validate every reaction of `program`. With
+    /// `GAMMAFLOW_EXPLAIN_PLAN=1` in the environment, each reaction's
+    /// join plan ([`CompiledReaction::explain_plan`]) is printed to
+    /// stderr — the quickest way to see where the planner put a guard.
     pub fn compile(program: &GammaProgram) -> Result<CompiledProgram, SpecError> {
         let reactions = program
             .reactions
             .iter()
             .map(CompiledReaction::compile)
             .collect::<Result<Vec<_>, _>>()?;
+        if std::env::var_os("GAMMAFLOW_EXPLAIN_PLAN").is_some() {
+            for r in &reactions {
+                eprint!("{}", r.explain_plan());
+            }
+        }
         Ok(CompiledProgram { reactions })
     }
 
@@ -1505,6 +1729,71 @@ mod tests {
         assert_eq!(plan.level_conjuncts[1][0].to_string(), "a < b");
         assert_eq!(plan.level_conjuncts[2][0].to_string(), "b < c");
         assert!(plan.clause_disjunction.is_none());
+    }
+
+    #[test]
+    fn planner_orders_positions_by_guard_coverage() {
+        // where f(a, c) only: the old selectivity-only planner kept
+        // replace order (a, b, c) and the conjunct bound at the terminal
+        // level; the guard-coverage planner joins c second so the
+        // conjunct filters the beta memory before b's cross product.
+        let r = compile(
+            ReactionSpec::new("skip")
+                .replace(Pattern::pair("a", "e1"))
+                .replace(Pattern::pair("b", "e2"))
+                .replace(Pattern::pair("c", "e3"))
+                .where_(Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("c")))
+                .by(vec![ElementSpec::pair(Expr::var("a"), "out")]),
+        );
+        assert_eq!(r.join_order(), &[0, 2, 1]);
+        let plan = r.guard_plan();
+        let sizes: Vec<usize> = plan.level_conjuncts.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![0, 1, 0], "conjunct bound at level 1, not 2");
+        // Search results are unchanged in content, only found via the
+        // planned order.
+        let bag: ElementBag = [e(1, "e1", 0), e(7, "e2", 0), e(5, "e3", 0)]
+            .into_iter()
+            .collect();
+        let f = r.find_match(0, &bag, None).unwrap().unwrap();
+        assert_eq!(
+            f.consumed,
+            vec![e(1, "e1", 0), e(7, "e2", 0), e(5, "e3", 0)],
+            "consumed stays in replace-list order"
+        );
+    }
+
+    #[test]
+    fn planner_prefers_selective_labels_on_guard_ties() {
+        // No guard distinctions: the wildcard position joins last, as the
+        // selectivity-only planner would have ordered it.
+        use crate::spec::{LabelPat, TagPat, ValuePat};
+        let any = Pattern {
+            value: ValuePat::Var(Symbol::intern("w")),
+            label: LabelPat::Var(Symbol::intern("l")),
+            tag: TagPat::Any,
+        };
+        let r = compile(
+            ReactionSpec::new("mix")
+                .replace(any)
+                .replace(Pattern::pair("x", "e1"))
+                .by(vec![]),
+        );
+        assert_eq!(r.join_order(), &[1, 0]);
+    }
+
+    #[test]
+    fn explain_plan_shows_levels_and_pushed_guards() {
+        let r = compile(
+            ReactionSpec::new("chain")
+                .replace(Pattern::pair("a", "e1"))
+                .replace(Pattern::pair("b", "e2"))
+                .where_(Expr::cmp(CmpOp::Lt, Expr::var("a"), Expr::var("b")))
+                .by(vec![ElementSpec::pair(Expr::var("a"), "out")]),
+        );
+        let plan = r.explain_plan();
+        assert!(plan.contains("reaction chain (arity 2):"), "{plan}");
+        assert!(plan.contains("level 0: position 0 ('e1')"), "{plan}");
+        assert!(plan.contains("pushes: a < b"), "{plan}");
     }
 
     #[test]

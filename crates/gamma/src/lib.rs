@@ -33,6 +33,33 @@
 //!   steady-state termination, firing traces, maximal-parallel-step mode).
 //! * [`parallel`] — a shared-memory parallel interpreter with optimistic
 //!   claims over a sharded multiset and snapshot-based termination.
+//!
+//! # Example
+//!
+//! The paper's Eq. (2) minimum program — `replace x, y by x where x < y`
+//! — compiled and run to stability on the default (rete-scheduled)
+//! interpreter:
+//!
+//! ```
+//! use gammaflow_gamma::{
+//!     ElementSpec, Expr, GammaProgram, Pattern, ReactionSpec, SeqInterpreter, Status,
+//! };
+//! use gammaflow_multiset::value::CmpOp;
+//! use gammaflow_multiset::{Element, ElementBag};
+//!
+//! let program = GammaProgram::new(vec![ReactionSpec::new("min")
+//!     .replace(Pattern::pair("x", "n"))
+//!     .replace(Pattern::pair("y", "n"))
+//!     .where_(Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")))
+//!     .by(vec![ElementSpec::pair(Expr::var("x"), "n")])]);
+//! let initial: ElementBag = [9, 4, 7, 1].into_iter()
+//!     .map(|v| Element::pair(v, "n"))
+//!     .collect();
+//!
+//! let result = SeqInterpreter::with_seed(&program, initial, 0).run().unwrap();
+//! assert_eq!(result.status, Status::Stable);
+//! assert_eq!(result.multiset.sorted_elements(), vec![Element::pair(1, "n")]);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -53,7 +80,7 @@ pub use compiled::{
 pub use expr::{EvalError, Expr};
 pub use naive::{run_naive, NaiveBag};
 pub use parallel::{run_parallel, ParConfig, ParResult, ParStats};
-pub use rete::{ReteNetwork, ReteStats};
+pub use rete::{ReteNetwork, ReteStats, DEFAULT_SPILL_WATERMARK};
 pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
 pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats};
 pub use seq::{

@@ -22,10 +22,11 @@
 //!   global termination state, because any in-flight optimistic claim
 //!   would require its tuple to still be available — which would make the
 //!   reaction enabled in the view.
-//! * **Startup pruning**: a level-capped [`ReteNetwork`] occupancy probe
-//!   over the initial multiset pre-clears the dirty flags of reactions
-//!   with no memorised match, so workers do not burn their first probes on
-//!   reactions that cannot fire until someone feeds them.
+//! * **Startup pruning**: a watermark-bounded [`ReteNetwork`] occupancy
+//!   probe over the initial multiset pre-clears the dirty flags of
+//!   reactions with no enabled match (exact at any watermark — deep join
+//!   levels spill to on-demand search), so workers do not burn their
+//!   first probes on reactions that cannot fire until someone feeds them.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
 use crate::rete::ReteNetwork;
@@ -129,7 +130,8 @@ pub struct ParStats {
     /// Authoritative locked-shard checks performed.
     pub snapshot_checks: u64,
     /// Reactions whose dirty flag was pre-cleared at startup because the
-    /// capped rete occupancy probe found no enabled match for them.
+    /// watermark-bounded rete occupancy probe found no enabled match for
+    /// them.
     pub rete_precleared: u64,
 }
 
@@ -289,10 +291,11 @@ impl MatchSource for LockedShards<'_> {
     }
 }
 
-/// Beta-memory cap for the startup occupancy probe: big enough to see a
-/// match through shallow joins, small enough that building the probe is
-/// O(|M|) instead of O(matches).
-const OCCUPANCY_PROBE_CAP: usize = 32;
+/// Spill watermark for the startup occupancy probe: small enough that
+/// building the probe never materialises more than a few hundred tokens
+/// per reaction (deep levels spill to on-demand search), while
+/// [`ReteNetwork::has_match`] stays exact at any watermark.
+const OCCUPANCY_PROBE_WATERMARK: usize = 256;
 
 /// Run `program` on `initial` with the parallel engine.
 pub fn run_parallel(
@@ -305,17 +308,18 @@ pub fn run_parallel(
     let deps = DependencyIndex::new(&compiled);
     let dirty = DirtyFlags::new(nreactions);
 
-    // Startup pruning: a level-capped rete probe over the initial multiset
-    // reports per-reaction beta occupancy; reactions with no memorised
-    // match start clean, so workers skip probing them until something they
-    // consume is produced. The capped probe may under-report (it is
-    // heuristic by construction), which is safe here: the flags are only a
-    // prune, and the locked-shard terminal check stays exact.
+    // Startup pruning: a watermark-bounded rete probe over the initial
+    // multiset answers exact per-reaction enabledness (deep join levels
+    // spill to on-demand search past the watermark, so building it is
+    // cheap); reactions with no enabled match start clean, and workers
+    // skip probing them until something they consume is produced. The
+    // locked-shard terminal check stays the exactness backstop either
+    // way.
     let mut rete_precleared = 0u64;
     if nreactions > 0 {
-        let probe = ReteNetwork::with_level_cap(&compiled, &initial, OCCUPANCY_PROBE_CAP);
+        let mut probe = ReteNetwork::with_watermark(&compiled, &initial, OCCUPANCY_PROBE_WATERMARK);
         for r in 0..nreactions {
-            if probe.match_count(r) == 0 {
+            if !probe.has_match(&compiled, &initial, r) {
                 dirty.clear(r);
                 rete_precleared += 1;
             }

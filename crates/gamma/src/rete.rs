@@ -47,21 +47,37 @@
 //! (`{3, 3}` matching a 2-ary pattern once per *pair*, not per value)
 //! fall out of membership checks against the live bag counts.
 //!
+//! # Bounded memory: spill-to-search
+//!
+//! An unguarded n-ary reaction memorises its full match cross product
+//! (the 2-ary `sum` fold holds n² tokens), which is why earlier
+//! revisions kept the network opt-in. Every reaction net now carries a
+//! **token watermark**: past it, the *deepest* materialised join level
+//! demotes to *virtual* — its tokens are dropped, and its matches are
+//! recomputed on demand by resuming the index search from the remaining
+//! (shallow, still-materialised, guard-filtered) frontier tokens
+//! (`CompiledReaction::prefix_completes` /
+//! `CompiledReaction::complete_prefix`). Exactness is preserved: every
+//! full match's join-order prefix survives at the frontier, because
+//! pushed guards only reject prefixes that no match extends. Enabledness
+//! answers for spilled reactions are cached and invalidated
+//! monotonically — an insert can only enable (a cached "no match" is
+//! dropped, a cached "match" kept), a removal can only disable — so the
+//! per-firing cost stays proportional to the delta.
+//!
 //! # Exactness and stability
 //!
-//! An uncapped network is *exact*: terminal beta tokens are in bijection
-//! with the enabled `(tuple, reaction)` instances of Eq. (1). A drained
-//! network with empty terminal memories therefore **proves** the paper's
-//! global termination state — the engine needs no authoritative rescan
-//! (the scheduler's drain-time `find_any` is replaced by an emptiness
-//! check; debug builds still cross-check). A network built
-//! [`with_level_cap`](ReteNetwork::with_level_cap) bounds every beta
-//! memory and is deliberately *heuristic* (it may under-report matches):
-//! the parallel engine uses one to pre-clear worker dirty flags, where an
-//! exact snapshot check already guards termination.
+//! The network is *exact* at any watermark: for fully materialised
+//! reactions the terminal beta tokens are in bijection with the enabled
+//! `(tuple, reaction)` instances of Eq. (1), and for spilled reactions
+//! the frontier-completion probe decides enabledness against the live
+//! bag. A drained network — no terminal token anywhere, no spilled
+//! reaction whose frontier completes — therefore **proves** the paper's
+//! global termination state; the engine needs no authoritative rescan
+//! (debug builds still cross-check).
 
 use crate::compiled::{
-    CompiledProgram, CompiledReaction, Firing, LabelFilter, MatchError, MatchSource,
+    CompiledProgram, CompiledReaction, Firing, LabelFilter, MatchError, MatchSource, SearchScratch,
 };
 use crate::schedule::DependencyIndex;
 use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
@@ -87,8 +103,11 @@ pub struct ReteStats {
     pub guard_rejects: u64,
     /// Candidate tokens that already existed (multiplicity-overlap paths).
     pub dedup_hits: u64,
-    /// Tokens skipped because a level hit its cap (capped networks only).
-    pub cap_skips: u64,
+    /// Join levels demoted to virtual by the spill watermark.
+    pub spill_demotions: u64,
+    /// On-demand frontier-completion enabledness probes run for spilled
+    /// reactions (cache misses; cached answers are free).
+    pub spill_probes: u64,
     /// Peak number of live tokens across the network.
     pub peak_live_tokens: u64,
 }
@@ -367,8 +386,20 @@ struct ReactionNet {
     by_key: FxHashMap<Box<[Element]>, u32>,
     /// Element → tokens using it, for removal-driven retirement.
     uses: FxHashMap<Element, FxHashSet<u32>>,
-    /// Per-level token bound for heuristic (occupancy-only) networks.
-    level_cap: Option<usize>,
+    /// Live-token budget; crossing it demotes the deepest materialised
+    /// join level (spill-to-search).
+    watermark: usize,
+    /// Join levels `0..materialized` are maintained exactly; deeper
+    /// levels are virtual, recomputed by frontier-completion search.
+    /// `materialized == arity` means the terminal memory is live. Never
+    /// drops below 1 (the level-0/alpha frontier stays materialised) and
+    /// never re-promotes (promotion would mean rebuilding the dropped
+    /// levels wholesale).
+    materialized: usize,
+    /// Cached spilled-enabledness answer; `None` forces a re-probe.
+    /// Invalidated monotonically: inserts drop a cached `false`,
+    /// removals drop a cached `true`.
+    cached_enabled: Option<bool>,
     /// Scratch for retirement scans.
     doomed: Vec<u32>,
     /// All-`None` binding row, the prefix of every level-0 entry.
@@ -376,7 +407,7 @@ struct ReactionNet {
 }
 
 impl ReactionNet {
-    fn new(cr: &CompiledReaction, level_cap: Option<usize>) -> ReactionNet {
+    fn new(cr: &CompiledReaction, watermark: usize) -> ReactionNet {
         let plan = cr.guard_plan();
         let vi = cr.var_index();
         ReactionNet {
@@ -395,18 +426,43 @@ impl ReactionNet {
             levels: vec![Vec::new(); cr.arity()],
             by_key: FxHashMap::default(),
             uses: FxHashMap::default(),
-            level_cap,
+            watermark,
+            materialized: cr.arity(),
+            cached_enabled: None,
             doomed: Vec::new(),
             empty_slots: vec![None; cr.nvars()].into_boxed_slice(),
         }
     }
 
+    /// Complete matches in the terminal memory. Only the enabled-match
+    /// count when the net is fully materialised; a spilled net's terminal
+    /// lane was demoted (see [`ReteNetwork::has_match`]).
     fn match_count(&self) -> usize {
         self.levels[self.arity - 1].len()
     }
 
     fn live_tokens(&self) -> usize {
         self.tokens.len() - self.free.len()
+    }
+
+    /// True when deep join levels have been demoted to virtual.
+    fn is_spilled(&self) -> bool {
+        self.materialized < self.arity
+    }
+
+    /// Spill-to-search eviction: while the live-token count exceeds the
+    /// watermark, demote the deepest materialised level — drop its tokens
+    /// and leave its matches to on-demand recomputation — keeping at
+    /// least the level-0 frontier.
+    fn enforce_watermark(&mut self, stats: &mut ReteStats) {
+        while self.live_tokens() > self.watermark && self.materialized > 1 {
+            self.materialized -= 1;
+            while let Some(&id) = self.levels[self.materialized].last() {
+                self.retire(id, stats);
+            }
+            self.cached_enabled = None;
+            stats.spill_demotions += 1;
+        }
     }
 
     /// Process one inserted element: enter it at every admitting position,
@@ -429,7 +485,16 @@ impl ReactionNet {
         stats: &mut ReteStats,
     ) {
         stats.inserts += 1;
-        let entry_levels = if first_position_only { 1 } else { self.arity };
+        // Insertion is monotone: it can enable a spilled reaction but
+        // never disable one, so only a cached "no match" goes stale.
+        if self.cached_enabled == Some(false) {
+            self.cached_enabled = None;
+        }
+        let entry_levels = if first_position_only {
+            1
+        } else {
+            self.materialized
+        };
         for k in 0..entry_levels {
             let p = cr.join_order()[k];
             if !cr.position_admits(p, e) {
@@ -464,12 +529,18 @@ impl ReactionNet {
                 }
             }
         }
+        self.enforce_watermark(stats);
     }
 
     /// Process one removed occurrence: retire every token using `e` more
     /// often than its remaining multiplicity.
     fn on_remove(&mut self, e: &Element, remaining: usize, stats: &mut ReteStats) {
         stats.removals += 1;
+        // Removal is anti-monotone: a cached "match" may now be gone, a
+        // cached "no match" cannot come back.
+        if self.cached_enabled == Some(true) {
+            self.cached_enabled = None;
+        }
         let Some(ids) = self.uses.get(e) else { return };
         let mut doomed = std::mem::take(&mut self.doomed);
         doomed.clear();
@@ -496,7 +567,10 @@ impl ReactionNet {
             let t = self.tokens[id as usize].as_ref().expect("live token");
             t.elems.len()
         };
-        if level == self.arity {
+        // The materialised horizon: a token at `materialized - 1` is
+        // either a complete match (fully materialised net) or a frontier
+        // prefix whose deeper joins are recomputed on demand.
+        if level == self.materialized {
             return;
         }
         let t = self.tokens[id as usize].take().expect("live token");
@@ -626,8 +700,8 @@ impl ReactionNet {
 
     /// Try to create the child token `prefix + element@level k`. Performs,
     /// in cost order: multiplicity check, binding compatibility, pushed
-    /// guard conjuncts, terminal clause disjunction, level cap, and
-    /// deduplication. Rejections allocate nothing.
+    /// guard conjuncts, terminal clause disjunction, and deduplication.
+    /// Rejections allocate nothing.
     #[allow(clippy::too_many_arguments)]
     fn try_child(
         &mut self,
@@ -643,15 +717,6 @@ impl ReactionNet {
     ) -> Option<u32> {
         if avail == 0 {
             return None;
-        }
-        // A full lane rejects in O(1), before any binding or guard work —
-        // capped (occupancy-probe) networks would otherwise pay the whole
-        // candidate evaluation just to drop the token at the end.
-        if let Some(cap) = self.level_cap {
-            if self.levels[k].len() >= cap {
-                stats.cap_skips += 1;
-                return None;
-            }
         }
         let used = elems
             .iter()
@@ -793,6 +858,14 @@ impl ReactionNet {
     }
 }
 
+/// Default per-reaction token watermark for [`ReteNetwork::new`].
+///
+/// Sized so the committed workloads' exact memories fit comfortably (the
+/// `primes(2000)` sieve peaks around 14k live tokens) while an
+/// adversarial unguarded cross product is demoted long before it can
+/// memorise its n² pairs.
+pub const DEFAULT_SPILL_WATERMARK: usize = 32 * 1024;
+
 /// The program-wide join network: one per-reaction net of beta memories,
 /// deltas routed through the scheduler's [`DependencyIndex`].
 #[derive(Debug)]
@@ -803,44 +876,40 @@ pub struct ReteNetwork {
     route: Vec<usize>,
     /// Scratch for seeded ready-reaction picks.
     ready: Vec<usize>,
+    /// Scratch for spilled-prefix completion searches.
+    probe_scratch: SearchScratch,
     /// Lifetime counters.
     pub stats: ReteStats,
-    exact: bool,
 }
 
 impl ReteNetwork {
-    /// Build an *exact* network over `initial`: terminal beta memories are
-    /// in bijection with the enabled matches, and emptiness proves
-    /// stability.
+    /// Build a network over `initial` with the
+    /// [default watermark](DEFAULT_SPILL_WATERMARK). The network is exact
+    /// at any watermark (see the module docs); the watermark only trades
+    /// memorisation against on-demand recomputation.
     pub fn new(compiled: &CompiledProgram, initial: &ElementBag) -> ReteNetwork {
-        Self::build(compiled, initial, None)
+        Self::with_watermark(compiled, initial, DEFAULT_SPILL_WATERMARK)
     }
 
-    /// Build a *heuristic* network whose beta memories are bounded by
-    /// `cap` tokens per level. Occupancy may under-report (a capped level
-    /// can starve deeper joins), so this variant is only suitable where an
-    /// exact check guards correctness — e.g. seeding the parallel
-    /// engine's dirty flags.
-    pub fn with_level_cap(
+    /// Build a network whose per-reaction beta memories are bounded by
+    /// `watermark` live tokens: past it, the deepest join levels demote
+    /// to virtual and their matches are recomputed by search on demand.
+    pub fn with_watermark(
         compiled: &CompiledProgram,
         initial: &ElementBag,
-        cap: usize,
+        watermark: usize,
     ) -> ReteNetwork {
-        Self::build(compiled, initial, Some(cap.max(1)))
-    }
-
-    fn build(compiled: &CompiledProgram, initial: &ElementBag, cap: Option<usize>) -> ReteNetwork {
         let mut net = ReteNetwork {
             nets: compiled
                 .reactions
                 .iter()
-                .map(|cr| ReactionNet::new(cr, cap))
+                .map(|cr| ReactionNet::new(cr, watermark))
                 .collect(),
             deps: DependencyIndex::new(compiled),
             route: Vec::new(),
             ready: Vec::new(),
+            probe_scratch: SearchScratch::new(),
             stats: ReteStats::default(),
-            exact: cap.is_none(),
         };
         // Bulk build: one event per distinct element (joins read live bag
         // multiplicities), entering at position 0 only — every tuple is
@@ -853,14 +922,18 @@ impl ReteNetwork {
         net
     }
 
-    /// True when the network is exact (built without a level cap).
-    pub fn is_exact(&self) -> bool {
-        self.exact
-    }
-
     /// Number of complete (enabled) matches memorised for reaction `r`.
+    /// Only meaningful while `r` is fully materialised — a spilled
+    /// reaction's terminal lane was demoted; use [`Self::has_match`] for
+    /// the exact enabledness answer at any watermark.
     pub fn match_count(&self, r: usize) -> usize {
         self.nets[r].match_count()
+    }
+
+    /// True when reaction `r`'s deep join levels have been demoted to
+    /// virtual by the spill watermark.
+    pub fn is_spilled(&self, r: usize) -> bool {
+        self.nets[r].is_spilled()
     }
 
     /// Total live tokens across all reactions and levels.
@@ -868,54 +941,128 @@ impl ReteNetwork {
         self.nets.iter().map(|n| n.live_tokens()).sum()
     }
 
-    /// Lowest-indexed reaction with a complete match — the deterministic
-    /// engine's selection rule ("first enabled reaction in program
-    /// order"), answered from memory instead of by search.
-    pub fn first_ready(&self) -> Option<usize> {
-        self.nets.iter().position(|n| n.match_count() > 0)
-    }
-
-    /// A uniformly random reaction among those with a complete match.
-    pub fn pick_ready(&mut self, rng: &mut ChaCha8Rng) -> Option<usize> {
-        self.ready.clear();
-        self.ready
-            .extend((0..self.nets.len()).filter(|&r| self.nets[r].match_count() > 0));
-        if self.ready.is_empty() {
-            return None;
+    /// Exact enabledness of reaction `r`: read off the terminal memory
+    /// when fully materialised; decided by completing frontier prefixes
+    /// against the live bag (then cached until the next routed delta)
+    /// when spilled.
+    pub fn has_match(&mut self, compiled: &CompiledProgram, bag: &ElementBag, r: usize) -> bool {
+        let ReteNetwork {
+            nets,
+            probe_scratch,
+            stats,
+            ..
+        } = self;
+        let net = &mut nets[r];
+        if !net.is_spilled() {
+            return net.match_count() > 0;
         }
-        Some(self.ready[(rng.next_u64() % self.ready.len() as u64) as usize])
+        if let Some(cached) = net.cached_enabled {
+            return cached;
+        }
+        stats.spill_probes += 1;
+        let cr = &compiled.reactions[r];
+        let enabled = net.levels[net.materialized - 1].iter().any(|&id| {
+            let t = net.tokens[id as usize].as_ref().expect("live token");
+            cr.prefix_completes(bag, &t.elems, &t.slots, probe_scratch)
+        });
+        net.cached_enabled = Some(enabled);
+        enabled
     }
 
-    /// Materialise a [`Firing`] from a random terminal token of reaction
-    /// `r` (which must have a match). Output evaluation errors propagate
-    /// exactly as in the searching engines.
-    pub fn pick_firing(
-        &self,
+    /// Lowest-indexed enabled reaction — the deterministic engine's
+    /// selection rule ("first enabled reaction in program order"),
+    /// answered from memory (or the cached/on-demand spill probe)
+    /// instead of by whole-program search.
+    pub fn first_ready(&mut self, compiled: &CompiledProgram, bag: &ElementBag) -> Option<usize> {
+        (0..self.nets.len()).find(|&r| self.has_match(compiled, bag, r))
+    }
+
+    /// A uniformly random reaction among the enabled ones.
+    pub fn pick_ready(
+        &mut self,
         compiled: &CompiledProgram,
+        bag: &ElementBag,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<usize> {
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        for r in 0..self.nets.len() {
+            if self.has_match(compiled, bag, r) {
+                ready.push(r);
+            }
+        }
+        let pick = if ready.is_empty() {
+            None
+        } else {
+            Some(ready[(rng.next_u64() % ready.len() as u64) as usize])
+        };
+        self.ready = ready;
+        pick
+    }
+
+    /// Materialise a [`Firing`] for reaction `r` (which must be enabled):
+    /// from a random terminal token when fully materialised, by seeded
+    /// completion of a random frontier prefix when spilled. Output
+    /// evaluation errors propagate exactly as in the searching engines;
+    /// `Ok(None)` is only possible on a maintenance bug (debug builds
+    /// assert) and tells the engine to fall back to the exact search.
+    pub fn pick_firing(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &ElementBag,
         r: usize,
         rng: &mut ChaCha8Rng,
-    ) -> Result<Firing, MatchError> {
+    ) -> Result<Option<Firing>, MatchError> {
         let cr = &compiled.reactions[r];
-        let net = &self.nets[r];
-        let lane = &net.levels[net.arity - 1];
-        let id = lane[(rng.next_u64() % lane.len() as u64) as usize];
-        let token = net.tokens[id as usize].as_ref().expect("live token");
-        let mut consumed: Vec<Option<Element>> = vec![None; net.arity];
-        for (k, &p) in cr.join_order().iter().enumerate() {
-            consumed[p] = Some(token.elems[k].clone());
+        let net = &mut self.nets[r];
+        if !net.is_spilled() {
+            let lane = &net.levels[net.arity - 1];
+            let id = lane[(rng.next_u64() % lane.len() as u64) as usize];
+            let token = net.tokens[id as usize].as_ref().expect("live token");
+            let mut consumed: Vec<Option<Element>> = vec![None; net.arity];
+            for (k, &p) in cr.join_order().iter().enumerate() {
+                consumed[p] = Some(token.elems[k].clone());
+            }
+            let (clause, produced) = cr
+                .eval_outputs_for_slots(&token.slots)?
+                .expect("terminal token has an enabled clause");
+            return Ok(Some(Firing {
+                reaction: r,
+                consumed: consumed
+                    .into_iter()
+                    .map(|e| e.expect("permutation"))
+                    .collect(),
+                produced,
+                clause,
+            }));
         }
-        let (clause, produced) = cr
-            .eval_outputs_for_slots(&token.slots)?
-            .expect("terminal token has an enabled clause");
-        Ok(Firing {
-            reaction: r,
-            consumed: consumed
-                .into_iter()
-                .map(|e| e.expect("permutation"))
-                .collect(),
-            produced,
-            clause,
-        })
+        // Spilled: complete a frontier prefix, starting from a random
+        // offset so tuple selection stays seeded-nondeterministic.
+        let lane = &net.levels[net.materialized - 1];
+        let start = if lane.is_empty() {
+            0
+        } else {
+            (rng.next_u64() % lane.len() as u64) as usize
+        };
+        for i in 0..lane.len() {
+            let id = lane[(start + i) % lane.len()];
+            let t = net.tokens[id as usize].as_ref().expect("live token");
+            if let Some(f) = cr.complete_prefix(
+                r,
+                bag,
+                &t.elems,
+                &t.slots,
+                Some(rng),
+                &mut self.probe_scratch,
+            )? {
+                return Ok(Some(f));
+            }
+        }
+        debug_assert!(
+            false,
+            "reaction {r} reported enabled but no frontier prefix completes"
+        );
+        Ok(None)
     }
 
     /// Account a firing already applied to `bag`: feed the network the
@@ -1064,7 +1211,7 @@ mod tests {
         // (4,2), (6,2), (6,3) — each value has multiplicity 1, so (x,x)
         // pairs are excluded by the multiplicity check.
         assert_eq!(net.match_count(0), 3);
-        assert!(net.is_exact());
+        assert!(!net.is_spilled(0));
     }
 
     #[test]
@@ -1088,7 +1235,10 @@ mod tests {
         let mut net = ReteNetwork::new(&compiled, &bag);
         assert_eq!(net.match_count(0), 1); // (4,2)
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let firing = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        let firing = net
+            .pick_firing(&compiled, &bag, 0, &mut rng)
+            .unwrap()
+            .unwrap();
         assert_eq!(firing.consumed, vec![e(4, "n", 0), e(2, "n", 0)]);
         assert_eq!(firing.produced, vec![e(2, "n", 0)]);
         assert!(bag.remove_all(&firing.consumed));
@@ -1147,10 +1297,13 @@ mod tests {
         let bag: ElementBag = [e(1, "A", 0), e(2, "B", 1), e(10, "A", 1)]
             .into_iter()
             .collect();
-        let net = ReteNetwork::new(&compiled, &bag);
+        let mut net = ReteNetwork::new(&compiled, &bag);
         assert_eq!(net.match_count(0), 1); // only tag 1 pairs up
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let f = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        let f = net
+            .pick_firing(&compiled, &bag, 0, &mut rng)
+            .unwrap()
+            .unwrap();
         assert_eq!(f.consumed, vec![e(10, "A", 1), e(2, "B", 1)]);
         assert_eq!(f.produced, vec![e(12, "C", 1)]);
     }
@@ -1186,27 +1339,97 @@ mod tests {
         bag.insert(b.clone());
         net.on_inserted(&compiled, &bag, std::slice::from_ref(&b));
         assert_eq!(net.match_count(0), 1);
-        assert_eq!(net.first_ready(), Some(0));
+        assert_eq!(net.first_ready(&compiled, &bag), Some(0));
     }
 
-    #[test]
-    fn capped_network_bounds_memory() {
-        let compiled = compile(vec![ReactionSpec::new("sum")
+    fn sum_program() -> CompiledProgram {
+        compile(vec![ReactionSpec::new("sum")
             .replace(Pattern::pair("x", "n"))
             .replace(Pattern::pair("y", "n"))
             .by(vec![ElementSpec::pair(
                 Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
                 "n",
-            )])]);
+            )])])
+    }
+
+    #[test]
+    fn watermark_spills_deep_levels_and_stays_exact() {
+        let compiled = sum_program();
         let bag: ElementBag = (1..=100).map(|v| e(v, "n", 0)).collect();
-        let capped = ReteNetwork::with_level_cap(&compiled, &bag, 8);
-        assert!(!capped.is_exact());
-        assert!(capped.total_tokens() <= 16);
-        assert!(capped.match_count(0) >= 1, "occupancy still detected");
-        assert!(capped.stats.cap_skips > 0);
-        // The exact network on the same bag holds all ordered pairs.
+        // The exact (high-watermark) network memorises all ordered pairs.
         let exact = ReteNetwork::new(&compiled, &bag);
         assert_eq!(exact.match_count(0), 100 * 99);
+        // A tight watermark demotes the terminal level: only the level-0
+        // frontier (one token per element) survives, and enabledness is
+        // answered by frontier completion — still exactly.
+        let mut spilled = ReteNetwork::with_watermark(&compiled, &bag, 50);
+        assert!(spilled.is_spilled(0));
+        assert!(spilled.total_tokens() <= 100 + 50);
+        assert!(spilled.stats.spill_demotions > 0);
+        assert!(spilled.has_match(&compiled, &bag, 0));
+        assert!(spilled.stats.spill_probes > 0);
+        assert!(
+            spilled.stats.peak_live_tokens <= (50 + 2 * 100) as u64,
+            "peak {} exceeds watermark + one event burst",
+            spilled.stats.peak_live_tokens
+        );
+    }
+
+    #[test]
+    fn spilled_network_tracks_enabledness_through_deltas() {
+        let compiled = sum_program();
+        let mut bag: ElementBag = (1..=40).map(|v| e(v, "n", 0)).collect();
+        let mut net = ReteNetwork::with_watermark(&compiled, &bag, 16);
+        assert!(net.is_spilled(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Drive the spilled net to stability by firing through it.
+        let mut firings = 0;
+        while net.pick_ready(&compiled, &bag, &mut rng).is_some() {
+            let f = net
+                .pick_firing(&compiled, &bag, 0, &mut rng)
+                .unwrap()
+                .unwrap();
+            assert!(bag.remove_all(&f.consumed));
+            for p in &f.produced {
+                bag.insert(p.clone());
+            }
+            net.on_firing_applied(&compiled, &bag, &f);
+            firings += 1;
+        }
+        assert_eq!(firings, 39, "sum fold fires n-1 times");
+        assert_eq!(bag.sorted_elements(), vec![e(820, "n", 0)]);
+        assert!(
+            !net.has_match(&compiled, &bag, 0),
+            "stable: nothing enabled"
+        );
+    }
+
+    #[test]
+    fn spilled_cache_invalidates_monotonically() {
+        let compiled = sum_program();
+        let mut bag = ElementBag::new();
+        bag.insert(e(1, "n", 0));
+        // Watermark 0 forces an immediate spill to the level-0 frontier.
+        let mut net = ReteNetwork::with_watermark(&compiled, &bag, 0);
+        assert!(net.is_spilled(0));
+        assert!(
+            !net.has_match(&compiled, &bag, 0),
+            "one element cannot pair"
+        );
+        let probes = net.stats.spill_probes;
+        // Cached negative answer: asking again costs nothing.
+        assert!(!net.has_match(&compiled, &bag, 0));
+        assert_eq!(net.stats.spill_probes, probes);
+        // An insert drops the cached "no match".
+        let b = e(2, "n", 0);
+        bag.insert(b.clone());
+        net.on_inserted(&compiled, &bag, std::slice::from_ref(&b));
+        assert!(net.has_match(&compiled, &bag, 0));
+        assert_eq!(net.stats.spill_probes, probes + 1);
+        // A removal drops the cached "match".
+        assert!(bag.remove(&b));
+        net.on_removed(&bag, std::slice::from_ref(&b));
+        assert!(!net.has_match(&compiled, &bag, 0));
     }
 
     #[test]
@@ -1216,10 +1439,13 @@ mod tests {
             .replace(Pattern::one_of("id1", "x", &["A1", "A11"], "v"))
             .by(vec![ElementSpec::inc_tagged(Expr::var("id1"), "A12", "v")])]);
         let bag: ElementBag = [e(5, "A11", 3), e(9, "B1", 3)].into_iter().collect();
-        let net = ReteNetwork::new(&compiled, &bag);
+        let mut net = ReteNetwork::new(&compiled, &bag);
         assert_eq!(net.match_count(0), 1);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let f = net.pick_firing(&compiled, 0, &mut rng).unwrap();
+        let f = net
+            .pick_firing(&compiled, &bag, 0, &mut rng)
+            .unwrap()
+            .unwrap();
         assert_eq!(f.produced, vec![e(5, "A12", 4)]);
     }
 

@@ -49,6 +49,11 @@ pub struct ExecConfig {
     pub selection: Selection,
     /// Enabled-reaction scheduling strategy.
     pub scheduling: Scheduling,
+    /// Per-reaction live-token budget for [`Scheduling::Rete`]: past it,
+    /// the deepest join levels spill to on-demand search (see
+    /// [`crate::rete`]). Exactness does not depend on the value; it only
+    /// trades memory for recomputation.
+    pub rete_watermark: usize,
 }
 
 /// How the interpreter decides which reactions to (re-)search per step.
@@ -59,24 +64,25 @@ pub enum Scheduling {
     /// full-search) for F firings; kept as the baseline for differential
     /// testing and benchmarking.
     Rescan,
-    /// Delta-driven scheduling (default): a [`DeltaScheduler`] worklist
-    /// re-searches only reactions reachable from elements produced since
-    /// they last failed to match — see [`crate::schedule`] for the
+    /// Delta-driven scheduling: a [`DeltaScheduler`] worklist re-searches
+    /// only reactions reachable from elements produced since they last
+    /// failed to match — see [`crate::schedule`] for the
     /// waiting–matching-store correspondence. Observable behaviour is
     /// identical to `Rescan`: same stable states, and under
     /// [`Selection::Deterministic`] the same firing trace.
-    #[default]
     Delta,
-    /// Rete join-network scheduling: a [`ReteNetwork`] of partial-match
-    /// memories is kept incrementally consistent with the multiset, so
-    /// enabled matches are *read* rather than searched, per-firing cost is
-    /// proportional to the delta's token traffic, and stability is proven
-    /// by empty terminal memories (no authoritative rescan). Observable
-    /// behaviour is identical to `Rescan`: same stable states, and under
-    /// [`Selection::Deterministic`] the same firing trace. Best on
-    /// guard-selective reactions (the memory holds only enabled partial
-    /// tuples); an unguarded n² reaction memorises all n² pairs — see
-    /// [`crate::rete`] for the trade-off.
+    /// Rete join-network scheduling (the default): a [`ReteNetwork`] of
+    /// partial-match memories is kept incrementally consistent with the
+    /// multiset, so enabled matches are *read* rather than searched,
+    /// per-firing cost is proportional to the delta's token traffic, and
+    /// stability is proven by drained memories (no authoritative
+    /// rescan). Observable behaviour is identical to `Rescan`: same
+    /// stable states, and under [`Selection::Deterministic`] the same
+    /// firing trace. Memory is bounded by a spill watermark
+    /// ([`ExecConfig::rete_watermark`]): an unguarded n² reaction
+    /// demotes its deep join levels to on-demand search instead of
+    /// memorising the cross product — see [`crate::rete`].
+    #[default]
     Rete,
 }
 
@@ -98,6 +104,7 @@ impl Default for ExecConfig {
             record_trace: false,
             selection: Selection::Seeded(0),
             scheduling: Scheduling::default(),
+            rete_watermark: crate::rete::DEFAULT_SPILL_WATERMARK,
         }
     }
 }
@@ -305,9 +312,10 @@ impl SeqInterpreter {
     }
 
     /// The rete-scheduled loop: the join network memorises partial and
-    /// complete matches, the engine feeds it each firing's net delta, and
-    /// a drained network (no terminal tokens anywhere) *is* the stability
-    /// proof — no authoritative rescan. Under
+    /// complete matches (bounded by the spill watermark), the engine
+    /// feeds it each firing's net delta, and a drained network — no
+    /// terminal token anywhere, no spilled frontier that completes — *is*
+    /// the stability proof; no authoritative rescan. Under
     /// [`Selection::Deterministic`] the network only answers "which
     /// reaction is enabled" (lowest index, as the rescanning reference
     /// would find) and the tuple itself comes from the same deterministic
@@ -343,6 +351,22 @@ impl SeqInterpreter {
             .find_any_fast(&order, &self.multiset, None, scratch)?)
     }
 
+    /// Seeded-mode recovery mirror of [`Self::rete_deterministic_firing`]:
+    /// [`ReteNetwork::pick_firing`] returned `Ok(None)` (a maintenance
+    /// bug, not a semantics hazard — debug builds have already asserted),
+    /// so fall back to the exact whole-program search before concluding
+    /// anything about stability.
+    fn rete_seeded_fallback(
+        &self,
+        rng: &mut ChaCha8Rng,
+        scratch: &mut SearchScratch,
+    ) -> Result<Option<Firing>, ExecError> {
+        let order: Vec<usize> = (0..self.compiled.reactions.len()).collect();
+        Ok(self
+            .compiled
+            .find_any_fast(&order, &self.multiset, Some(rng), scratch)?)
+    }
+
     fn run_rete(mut self) -> Result<ExecResult, ExecError> {
         let nreactions = self.compiled.reactions.len();
         let mut stats = ExecStats::new(nreactions);
@@ -352,21 +376,31 @@ impl SeqInterpreter {
             Selection::Deterministic => None,
         };
         let mut scratch = SearchScratch::new();
-        let mut network = ReteNetwork::new(&self.compiled, &self.multiset);
+        let mut network =
+            ReteNetwork::with_watermark(&self.compiled, &self.multiset, self.config.rete_watermark);
 
         let status = loop {
             if stats.firings_total() >= self.config.max_steps {
                 break Status::BudgetExhausted;
             }
             let picked = match rng.as_mut() {
-                None => network.first_ready(),
-                Some(r) => network.pick_ready(r),
+                None => network.first_ready(&self.compiled, &self.multiset),
+                Some(r) => network.pick_ready(&self.compiled, &self.multiset, r),
             };
             let Some(reaction) = picked else {
                 break Status::Stable;
             };
             let firing = match rng.as_mut() {
-                Some(r) => network.pick_firing(&self.compiled, reaction, r)?,
+                Some(r) => {
+                    match network.pick_firing(&self.compiled, &self.multiset, reaction, r)? {
+                        Some(f) => f,
+                        // The exact search has the last word on stability.
+                        None => match self.rete_seeded_fallback(r, &mut scratch)? {
+                            Some(f) => f,
+                            None => break Status::Stable,
+                        },
+                    }
+                }
                 None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
                     Some(f) => f,
                     None => break Status::Stable,
@@ -434,7 +468,8 @@ impl SeqInterpreter {
             Selection::Deterministic => None,
         };
         let mut scratch = SearchScratch::new();
-        let mut network = ReteNetwork::new(&self.compiled, &self.multiset);
+        let mut network =
+            ReteNetwork::with_watermark(&self.compiled, &self.multiset, self.config.rete_watermark);
         let mut profile = Vec::new();
 
         let status = 'outer: loop {
@@ -453,13 +488,23 @@ impl SeqInterpreter {
                     break 'outer Status::BudgetExhausted;
                 }
                 let picked = match rng.as_mut() {
-                    None => network.first_ready(),
-                    Some(r) => network.pick_ready(r),
+                    None => network.first_ready(&self.compiled, &self.multiset),
+                    Some(r) => network.pick_ready(&self.compiled, &self.multiset, r),
                 };
                 let Some(reaction) = picked else { break };
+                // A dry fallback result just ends the step (products of
+                // this step are still withheld, so the next step's
+                // barrier re-checks).
                 let firing = match rng.as_mut() {
-                    Some(r) => network.pick_firing(&self.compiled, reaction, r)?,
-                    // A dry fallback result just ends the step.
+                    Some(r) => {
+                        match network.pick_firing(&self.compiled, &self.multiset, reaction, r)? {
+                            Some(f) => f,
+                            None => match self.rete_seeded_fallback(r, &mut scratch)? {
+                                Some(f) => f,
+                                None => break,
+                            },
+                        }
+                    }
                     None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
                         Some(f) => f,
                         None => break,

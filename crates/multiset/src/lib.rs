@@ -25,6 +25,29 @@
 //! Hashing throughout uses a from-scratch implementation of the Fx hash
 //! algorithm ([`fxhash`]) because label/tag keys are tiny and hot, following
 //! the Rust Performance Book's guidance on alternative hashers.
+//!
+//! # Example
+//!
+//! The multiset both models share: `[value, label, tag]` elements counted
+//! with multiplicity and indexed by `(label, tag)` — the shape of a
+//! dataflow token filed under the edge it travels on:
+//!
+//! ```
+//! use gammaflow_multiset::{Element, ElementBag, Symbol, Tag};
+//!
+//! let mut bag = ElementBag::new();
+//! bag.insert(Element::new(1, "A1", 0u64)); // token on edge A1, iteration 0
+//! bag.insert(Element::new(5, "B1", 0u64));
+//! bag.insert_n(Element::new(5, "B1", 0u64), 2); // multiplicity 3 total
+//!
+//! assert_eq!(bag.len(), 4);
+//! assert_eq!(bag.count(&Element::new(5, "B1", 0u64)), 3);
+//! // The (label, tag) index answers "which operands wait on edge B1?".
+//! assert_eq!(bag.count_label(Symbol::intern("B1")), 3);
+//! assert!(bag.tags_for(Symbol::intern("A1")).any(|t| t == Tag(0)));
+//! assert!(bag.remove(&Element::new(1, "A1", 0u64)));
+//! assert!(!bag.contains(&Element::new(1, "A1", 0u64)));
+//! ```
 
 #![warn(missing_docs)]
 

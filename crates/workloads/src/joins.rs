@@ -14,7 +14,10 @@
 //!   the full |E|³ cross product, with it only path prefixes survive;
 //! * [`interval_merge`] — interval union by repeated pairwise merging,
 //!   a confluent reaction whose overlap condition splits into two
-//!   comparisons.
+//!   comparisons;
+//! * [`cross_sum`] — the adversarial *unguarded* n² fold whose full
+//!   cross product would blow the beta memory: the spill-watermark
+//!   regression workload (harness `S3`).
 //!
 //! Every workload is self-checking (a [`Workload`] with its expected
 //! stable multiset) and confluent by construction — [`triangles`] keeps
@@ -52,6 +55,34 @@ pub fn divisor_sieve(n: i64) -> Workload {
         .collect();
     Workload {
         name: "divisor_sieve",
+        program,
+        initial,
+        expected,
+    }
+}
+
+/// Adversarial cross-product workload for the rete spill watermark: an
+/// *unguarded* 2-ary sum fold over `n` distinct elements.
+///
+/// Every ordered pair is enabled, so an unbounded join network memorises
+/// all `n·(n-1)` terminal tokens before the first firing — the worst
+/// case that kept `Scheduling::Rete` opt-in before beta-memory eviction
+/// landed. Past the watermark the terminal level demotes to virtual and
+/// the network keeps only the `n`-token level-0 frontier, completing
+/// matches by index search on demand; the harness `S3` step records the
+/// peak token count alongside the three engines' throughput.
+pub fn cross_sum(n: i64) -> Workload {
+    let program = GammaProgram::new(vec![ReactionSpec::new("xsum")
+        .replace(Pattern::pair("x", "n"))
+        .replace(Pattern::pair("y", "n"))
+        .by(vec![ElementSpec::pair(
+            Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+            "n",
+        )])]);
+    let initial: ElementBag = (1..=n).map(|v| Element::pair(v, "n")).collect();
+    let expected: ElementBag = [Element::pair(n * (n + 1) / 2, "n")].into_iter().collect();
+    Workload {
+        name: "cross_sum",
         program,
         initial,
         expected,
@@ -241,6 +272,11 @@ mod tests {
     #[test]
     fn divisor_sieve_finds_primes_under_every_engine() {
         run_all_engines(&divisor_sieve(60));
+    }
+
+    #[test]
+    fn cross_sum_collapses_to_total_under_every_engine() {
+        run_all_engines(&cross_sum(48));
     }
 
     #[test]

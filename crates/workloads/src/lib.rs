@@ -18,6 +18,24 @@
 //! * [`image`] — synthetic image segmentation + histogram scenario
 //!   standing in for the chemical-model image-processing applications
 //!   (paper ref. \[21\]).
+//!
+//! # Example
+//!
+//! Every workload is self-checking: it carries the program, the initial
+//! multiset, and the expected stable multiset, so any engine can be
+//! asserted against it. The primes sieve, run to stability:
+//!
+//! ```
+//! use gammaflow_gamma::{SeqInterpreter, Status};
+//! use gammaflow_workloads::primes;
+//!
+//! let w = primes(30);
+//! let result = SeqInterpreter::with_seed(&w.program, w.initial.clone(), 7)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.status, Status::Stable);
+//! assert_eq!(result.multiset, w.expected); // {2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+//! ```
 
 #![warn(missing_docs)]
 
@@ -32,5 +50,5 @@ pub use classic::{exchange_sort, gcd, maximum, minimum, primes, sum, Workload};
 pub use expr_dags::{deep_chain, random_dag, wide_chains, wide_pairs, DagParams, GeneratedDag};
 pub use fusion::{scenario as fusion_scenario, FusionScenario};
 pub use image::{scenario as image_scenario, ImageScenario};
-pub use joins::{divisor_sieve, interval_merge, triangles};
+pub use joins::{cross_sum, divisor_sieve, interval_merge, triangles};
 pub use loops::{accumulator_loop, build_fig2_into, parallel_loops, source_for, LoopWorkload};

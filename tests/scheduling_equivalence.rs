@@ -19,8 +19,8 @@ use gammaflow::gamma::{
 };
 use gammaflow::multiset::ElementBag;
 use gammaflow::workloads::{
-    divisor_sieve, exchange_sort, gcd, interval_merge, maximum, minimum, primes, random_dag, sum,
-    triangles, DagParams,
+    cross_sum, divisor_sieve, exchange_sort, gcd, interval_merge, maximum, minimum, primes,
+    random_dag, sum, triangles, DagParams,
 };
 use proptest::prelude::*;
 
@@ -176,16 +176,42 @@ fn join_workloads_agree_seeded() {
 }
 
 #[test]
-fn delta_engine_reaches_expected_results() {
-    // End-to-end: the delta engine (the default) computes the workloads'
+fn rete_is_the_default_scheduler() {
+    // End-to-end: the default configuration runs on the rete join
+    // network (with automatic spill) and computes the workloads'
     // self-check references.
+    assert_eq!(Scheduling::default(), Scheduling::Rete);
     for w in [minimum(&[6, 1, 9]), sum(&[1, 2, 3, 4]), primes(60)] {
         let result = SeqInterpreter::with_seed(&w.program, w.initial.clone(), 3)
             .run()
             .unwrap();
         assert_eq!(result.status, Status::Stable);
         assert_eq!(result.multiset, w.expected, "workload {}", w.name);
-        let sched = result.sched.expect("delta scheduling is the default");
+        let rete = result.rete.expect("rete scheduling is the default");
+        assert!(rete.tokens_created > 0);
+    }
+}
+
+#[test]
+fn delta_engine_reaches_expected_results() {
+    // End-to-end: the delta worklist engine computes the workloads'
+    // self-check references.
+    for w in [minimum(&[6, 1, 9]), sum(&[1, 2, 3, 4]), primes(60)] {
+        let result = SeqInterpreter::with_config(
+            &w.program,
+            w.initial.clone(),
+            ExecConfig {
+                selection: Selection::Seeded(3),
+                scheduling: Scheduling::Delta,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset, w.expected, "workload {}", w.name);
+        let sched = result.sched.expect("delta scheduling reports its stats");
         assert!(sched.full_searches > 0);
         assert!(sched.authoritative_confirms >= 1);
     }
@@ -279,6 +305,155 @@ fn rete_engine_reaches_expected_results_with_stats() {
             w.name
         );
     }
+}
+
+/// A program whose rete memory *grows* mid-run: stage-0 `expand`
+/// reactions turn each seed into two `n` elements, and the unguarded
+/// `sum` fold's pair memory grows quadratically as they appear — sized so
+/// a small watermark is crossed well after the first firing.
+fn expanding_sum(seeds: i64) -> (GammaProgram, ElementBag) {
+    use gammaflow::gamma::{ElementSpec, Pattern, ReactionSpec};
+    use gammaflow::multiset::value::BinOp;
+    use gammaflow::multiset::Element;
+    let program = GammaProgram::new(vec![
+        ReactionSpec::new("expand")
+            .replace(Pattern::pair("x", "seed"))
+            .by(vec![
+                ElementSpec::pair(gammaflow::gamma::Expr::var("x"), "n"),
+                ElementSpec::pair(
+                    gammaflow::gamma::Expr::bin(
+                        BinOp::Add,
+                        gammaflow::gamma::Expr::var("x"),
+                        gammaflow::gamma::Expr::int(100),
+                    ),
+                    "n",
+                ),
+            ]),
+        ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .by(vec![ElementSpec::pair(
+                gammaflow::gamma::Expr::bin(
+                    BinOp::Add,
+                    gammaflow::gamma::Expr::var("x"),
+                    gammaflow::gamma::Expr::var("y"),
+                ),
+                "n",
+            )]),
+    ]);
+    let initial: ElementBag = (1..=seeds).map(|v| Element::pair(v, "seed")).collect();
+    (program, initial)
+}
+
+#[test]
+fn watermark_crossing_mid_run_stays_trace_equal() {
+    // The spill threshold is crossed while the run is in flight (the
+    // deterministic schedule fires all expands first, growing the sum
+    // fold's pair memory past 200 tokens around seed 8 of 20): the
+    // spilled engine must keep replaying the rescanning reference's
+    // exact trace, because frontier-completion enabledness is exact.
+    let (program, initial) = expanding_sum(20);
+    let config = ExecConfig {
+        selection: Selection::Deterministic,
+        scheduling: Scheduling::Rete,
+        record_trace: true,
+        rete_watermark: 200,
+        ..ExecConfig::default()
+    };
+    let rete = SeqInterpreter::with_config(&program, initial.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let rete_stats = rete.rete.clone().unwrap();
+    assert!(
+        rete_stats.spill_demotions > 0,
+        "the workload must actually cross the watermark: {rete_stats:?}"
+    );
+    assert!(
+        rete_stats.tokens_created > 40,
+        "memory grew before the spill: {rete_stats:?}"
+    );
+    let rescan = run_with(
+        &program,
+        &initial,
+        Selection::Deterministic,
+        Scheduling::Rescan,
+    );
+    assert_eq!(rescan.status, rete.status);
+    assert_eq!(rescan.multiset, rete.multiset);
+    assert_eq!(
+        rescan.trace, rete.trace,
+        "spill-to-search changed a deterministic selection"
+    );
+}
+
+#[test]
+fn watermark_crossing_mid_run_agrees_seeded() {
+    // Same workload under seeded selection: finals must stay
+    // byte-identical to the rescanning reference (the program is
+    // confluent — expansion commutes with the associative fold).
+    let (program, initial) = expanding_sum(20);
+    for seed in 0..4 {
+        let run = |scheduling, watermark| {
+            SeqInterpreter::with_config(
+                &program,
+                initial.clone(),
+                ExecConfig {
+                    selection: Selection::Seeded(seed),
+                    scheduling,
+                    rete_watermark: watermark,
+                    ..ExecConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let rescan = run(Scheduling::Rescan, 200);
+        let rete = run(Scheduling::Rete, 200);
+        assert_eq!(rescan.status, Status::Stable);
+        assert_eq!(rete.status, Status::Stable);
+        assert_eq!(
+            rescan.multiset, rete.multiset,
+            "seed {seed}: spilled rete diverged from rescan"
+        );
+        assert!(rete.rete.unwrap().spill_demotions > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn adversarial_cross_sum_peak_tokens_bounded_by_watermark() {
+    // The unguarded n² fold: an unbounded network would memorise
+    // n·(n-1) = 35,532 tokens at n = 189; the watermark must bound the
+    // peak to watermark + one insert event's burst (≤ 2n tokens) while
+    // the fold still reaches its self-check total.
+    let w = cross_sum(189);
+    let n = 189u64;
+    let watermark = 2_000usize;
+    let result = SeqInterpreter::with_config(
+        &w.program,
+        w.initial.clone(),
+        ExecConfig {
+            selection: Selection::Seeded(1),
+            scheduling: Scheduling::Rete,
+            rete_watermark: watermark,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(result.status, Status::Stable);
+    assert_eq!(result.multiset, w.expected);
+    let rete = result.rete.unwrap();
+    assert!(rete.spill_demotions > 0, "{rete:?}");
+    assert!(
+        rete.peak_live_tokens <= watermark as u64 + 2 * n,
+        "peak {} tokens exceeds watermark {} + event burst {}",
+        rete.peak_live_tokens,
+        watermark,
+        2 * n
+    );
 }
 
 #[test]
