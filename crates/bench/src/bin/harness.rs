@@ -1,12 +1,13 @@
 //! Experiment harness: regenerates every table/figure row from DESIGN.md's
 //! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
-//! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`) and
-//! prints them in one run.
+//! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
+//! S4 → `BENCH_parallel.json`) and prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
 //! cargo run --release -p gammaflow-bench --bin harness -- E1 P3 # subset
 //! cargo run --release -p gammaflow-bench --bin harness -- S2 S3 # matching
+//! cargo run --release -p gammaflow-bench --bin harness -- S4    # parallel
 //! ```
 //!
 //! The output of a release-mode run is recorded in EXPERIMENTS.md.
@@ -941,6 +942,166 @@ fn s3() {
     println!("wrote BENCH_matching.json");
 }
 
+// ------------------------------------------------------------------ S4 ----
+
+/// One (workload, worker-count) comparison between the parallel engines
+/// in BENCH_parallel.json.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ParallelRow {
+    workload: String,
+    workers: usize,
+    firings: u64,
+    probe_retry: EngineRow,
+    sharded_rete: EngineRow,
+    sharded_speedup_vs_probe: f64,
+    /// Maximum per-worker peak live beta tokens across the sharded run's
+    /// slices — the recorded evidence that the per-shard watermark held.
+    max_shard_peak_tokens: u64,
+    identical_final_multiset: bool,
+}
+
+/// The BENCH_parallel.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ParallelReport {
+    bench: String,
+    rows: Vec<ParallelRow>,
+}
+
+fn parallel_fps_series(rows: &[ParallelRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                (
+                    format!("{}/w{}/probe_retry", r.workload, r.workers),
+                    r.probe_retry.firings_per_sec,
+                ),
+                (
+                    format!("{}/w{}/sharded_rete", r.workload, r.workers),
+                    r.sharded_rete.firings_per_sec,
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// S4: the delta-driven sharded-rete parallel engine vs the sampled
+/// probe-retry baseline, swept over worker counts. Every run's final
+/// multiset is asserted byte-identical to the sequential reference (the
+/// workloads are confluent), and the sharded runs' per-worker peak beta
+/// token counts are recorded so the per-shard watermark bound is part of
+/// the committed evidence. Results go to `BENCH_parallel.json`.
+fn s4() {
+    use gammaflow_gamma::{ExecConfig, ParEngine, Selection, Status};
+    banner("S4", "Sharded-rete parallel engine vs probe-retry baseline");
+
+    // The headline workload: 16 independent Fig. 2 loops (tags advance
+    // every iteration, so alpha-shard ownership rotates across workers)
+    // plus the single-bucket associative fold (maximal shard skew: one
+    // worker owns every key and the others must steal).
+    let loops = parallel_loops(16, 3, 200, 5);
+    let conv = dataflow_to_gamma(&loops.graph).expect("loop graph converts");
+    let sum_w = sum(&(1..=2048).collect::<Vec<_>>());
+    let workloads: Vec<(String, gammaflow_gamma::GammaProgram, ElementBag)> = vec![
+        ("parallel_loops_16x200".into(), conv.program, conv.initial),
+        ("sum_2048".into(), sum_w.program, sum_w.initial),
+    ];
+
+    println!(
+        "{:<24} {:>3} {:>9} {:>14} {:>14} {:>9} {:>10}",
+        "workload", "w", "firings", "probe f/s", "sharded f/s", "speedup", "peak tok"
+    );
+    let mut rows = Vec::new();
+    for (name, program, initial) in &workloads {
+        // Sequential reference final (deterministic rete): the byte-
+        // identical target for every parallel run.
+        let reference = SeqInterpreter::with_config(
+            program,
+            initial.clone(),
+            ExecConfig {
+                selection: Selection::Deterministic,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program compiles")
+        .run()
+        .expect("reference run succeeds");
+        assert_eq!(reference.status, Status::Stable);
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut engine_rows: Vec<(EngineRow, u64)> = Vec::new();
+            for engine in [ParEngine::ProbeRetry, ParEngine::ShardedRete] {
+                let config = ParConfig {
+                    workers,
+                    seed: 1,
+                    engine,
+                    ..ParConfig::default()
+                };
+                let mut firings = 0u64;
+                let mut peak = 0u64;
+                let secs = time_median(3, || {
+                    let result = gm_parallel(program, initial.clone(), &config)
+                        .expect("parallel run succeeds");
+                    assert_eq!(result.exec.status, Status::Stable, "{name}");
+                    assert_eq!(
+                        result.exec.multiset, reference.multiset,
+                        "{name} x{workers} {engine:?}: finals diverged"
+                    );
+                    firings = result.exec.stats.firings_total();
+                    peak = result
+                        .par
+                        .shard_peak_tokens
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0);
+                }) / 1e3;
+                engine_rows.push((
+                    EngineRow {
+                        seconds: secs,
+                        firings,
+                        firings_per_sec: firings as f64 / secs,
+                    },
+                    peak,
+                ));
+            }
+            let (probe, _) = engine_rows.remove(0);
+            let (sharded, peak) = engine_rows.remove(0);
+            let speedup = sharded.firings_per_sec / probe.firings_per_sec;
+            println!(
+                "{name:<24} {workers:>3} {:>9} {:>14.0} {:>14.0} {:>8.2}x {:>10}",
+                sharded.firings, probe.firings_per_sec, sharded.firings_per_sec, speedup, peak
+            );
+            rows.push(ParallelRow {
+                workload: name.clone(),
+                workers,
+                firings: sharded.firings,
+                probe_retry: probe,
+                sharded_rete: sharded,
+                sharded_speedup_vs_probe: speedup,
+                max_shard_peak_tokens: peak,
+                identical_final_multiset: true,
+            });
+        }
+    }
+
+    let baseline: Vec<(String, f64)> = read_baseline::<ParallelReport>("BENCH_parallel.json")
+        .map(|old| parallel_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_parallel.json",
+        &baseline,
+        &parallel_fps_series(&rows),
+    );
+
+    let report = ParallelReport {
+        bench: "parallel".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -989,6 +1150,9 @@ fn main() {
     }
     if want("S3") {
         s3();
+    }
+    if want("S4") {
+        s4();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

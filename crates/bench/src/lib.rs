@@ -106,7 +106,7 @@ pub mod fixtures {
 }
 
 /// Committed-baseline regression detection shared by the harness's
-/// `S1`/`S2`/`S3` steps: compare freshly measured `firings_per_sec`
+/// `S1`/`S2`/`S3`/`S4` steps: compare freshly measured `firings_per_sec`
 /// series against the figures committed in a `BENCH_*.json` file and
 /// report every series that dropped below the noise tolerance.
 pub mod baseline {
@@ -213,6 +213,32 @@ pub mod baseline {
         fn empty_baseline_reports_nothing() {
             let fresh = series(&[("sieve/rete", 1.0)]);
             assert!(fps_regressions(&[], &fresh, FPS_REGRESSION_TOLERANCE).is_empty());
+        }
+
+        #[test]
+        fn multi_row_parallel_series_reports_every_regressed_cell() {
+            // BENCH_parallel.json-style keys: workload × worker count ×
+            // engine. Every regressed cell must be reported, across rows.
+            let committed = series(&[
+                ("loops/w1/probe_retry", 80_000.0),
+                ("loops/w1/sharded_rete", 400_000.0),
+                ("loops/w8/probe_retry", 75_000.0),
+                ("loops/w8/sharded_rete", 380_000.0),
+                ("sum/w8/probe_retry", 30_000.0),
+                ("sum/w8/sharded_rete", 10_000.0),
+            ]);
+            let fresh = series(&[
+                ("loops/w1/probe_retry", 79_000.0),   // within tolerance
+                ("loops/w1/sharded_rete", 200_000.0), // regression
+                ("loops/w8/probe_retry", 76_000.0),   // improvement
+                ("loops/w8/sharded_rete", 100_000.0), // regression
+                ("sum/w8/probe_retry", 31_000.0),
+                ("sum/w8/sharded_rete", 9_500.0), // within tolerance
+                ("sum/w16/sharded_rete", 1.0),    // new cell: ignored
+            ]);
+            let found = fps_regressions(&committed, &fresh, FPS_REGRESSION_TOLERANCE);
+            let keys: Vec<&str> = found.iter().map(|r| r.key.as_str()).collect();
+            assert_eq!(keys, vec!["loops/w1/sharded_rete", "loops/w8/sharded_rete"]);
         }
     }
 }

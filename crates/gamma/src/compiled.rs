@@ -808,6 +808,24 @@ impl CompiledReaction {
         (labels, wildcard)
     }
 
+    /// The literal labels this reaction can produce across all of its
+    /// clauses (label-variable outputs are runtime-determined and
+    /// excluded). The parallel engine's slice planner links producers to
+    /// consumers through this.
+    pub fn produced_label_literals(&self) -> Vec<Symbol> {
+        let mut labels = Vec::new();
+        for c in &self.spec.clauses {
+            for out in &c.outputs {
+                if let LabelSpec::Lit(l) = &out.label {
+                    labels.push(*l);
+                }
+            }
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
     /// Whether position `p`'s static filters (label, literal tag, literal
     /// value) admit `anchor`. This is the alpha-memory membership test of
     /// the rete network (label class + literal tag + literal value).

@@ -31,8 +31,10 @@
 //!   of the waiting–matching store).
 //! * [`seq`] — the sequential interpreter (seeded nondeterminism, exact
 //!   steady-state termination, firing traces, maximal-parallel-step mode).
-//! * [`parallel`] — a shared-memory parallel interpreter with optimistic
-//!   claims over a sharded multiset and snapshot-based termination.
+//! * [`parallel`] — a shared-memory parallel interpreter over a sharded
+//!   multiset: delta-driven workers each owning a slice of the rete
+//!   network (the default), with the optimistic probe-and-retry loop
+//!   kept as the measurable baseline.
 //!
 //! # Example
 //!
@@ -79,10 +81,10 @@ pub use compiled::{
 };
 pub use expr::{EvalError, Expr};
 pub use naive::{run_naive, NaiveBag};
-pub use parallel::{run_parallel, ParConfig, ParResult, ParStats};
-pub use rete::{ReteNetwork, ReteStats, DEFAULT_SPILL_WATERMARK};
+pub use parallel::{run_parallel, ParConfig, ParEngine, ParResult, ParStats};
+pub use rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan, DEFAULT_SPILL_WATERMARK};
 pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
-pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats};
+pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats, ShardedWorklist};
 pub use seq::{
     run_pipeline, ExecConfig, ExecError, ExecResult, Scheduling, Selection, SeqInterpreter, Status,
 };

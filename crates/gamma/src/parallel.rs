@@ -3,43 +3,88 @@
 //! The paper (§II-B) surveys Gamma implementations on the Connection
 //! Machine, MasPar, MPI clusters and GPUs; this module is the workspace's
 //! substitute — a shared-memory engine whose workers realise the model's
-//! "reactions occur freely and in parallel" directly:
+//! "reactions occur freely and in parallel". Two engines share the
+//! multiset substrate (a [`ShardedBag`] plus a **key directory**, an
+//! append-only `(label → tags)` map giving workers a lock-light view of
+//! which buckets exist):
 //!
-//! * The multiset lives in a [`ShardedBag`]; a **key directory** (an
-//!   append-only `(label → tags)` map) gives workers a lock-light view of
-//!   which buckets may hold candidates.
+//! # The sharded-rete engine ([`ParEngine::ShardedRete`], the default)
+//!
+//! The Rete network of [`crate::rete`] is partitioned across the
+//! workers by a static [`SlicePlan`](crate::rete::SlicePlan): reactions
+//! are grouped into *dependency components* (union–find over consumed ∪
+//! produced label classes) and each component — with every label it
+//! touches — is assigned to one worker; labels outside every component
+//! fall back to the bag's own shard map
+//! ([`gammaflow_multiset::shard_index`]). Each worker maintains a
+//! **slice** of the network ([`AlphaSlice`]) that materialises exactly
+//! the tokens whose join-order *position-0* element carries a label the
+//! worker owns. Deeper join levels complete **cross-shard** by reading
+//! candidates from the live bag through the shared [`MatchSource`]
+//! search core, so the union of the slices is the full network — every
+//! enabled match memorised by exactly one worker. (Component ownership
+//! is the Gamma image of the dataflow machines the paper surveys: a
+//! label is an instruction edge, the tag its loop iteration, and
+//! instructions are assigned to PEs statically, so a loop's firing
+//! chain never migrates between workers.)
+//!
+//! * **Delta mailboxes** — a successful claim publishes the firing's
+//!   *net* delta over per-worker crossbeam channels, addressed to the
+//!   workers whose slices can be affected (tokens involving a label
+//!   live only in its owner's slice, so most firings address a single
+//!   mailbox; a wildcard consumer forces full broadcast). Each worker
+//!   drains its mailbox before matching, keeping its slice
+//!   incrementally consistent. Discovery of enabled reactions is
+//!   O(delta): a drained slice answers enabledness by memory read (or a
+//!   cached spill probe), never by search. This replaces the
+//!   probe-retry engine's heuristic dirty-flag broadcast.
+//! * **Claims** — firings are still validated by the atomic
+//!   [`ShardedBag::claim_and_replace`]; a slice that raced a concurrent
+//!   claimant simply loses the claim and retires the stale token when
+//!   the winner's delta arrives.
+//! * **Work stealing** — a worker whose slice is dry pops globally woken
+//!   reactions from a [`ShardedWorklist`] and searches them on the
+//!   *sampled* probe-retry view (claims re-validate, so thieves are
+//!   pure heuristic rebalancing for skewed partitions — e.g. a
+//!   single-bucket fold whose every key one worker owns).
+//! * **Termination** — exact, from *empty sharded memories*: when every
+//!   addressed delta has been processed (`processed[v] == sent[v]` for
+//!   all workers `v`), no worker is active, and no slice holds an
+//!   enabled match, the union of the slices is the full (exact) network
+//!   and proves the paper's global termination state. No lock-all
+//!   snapshot search runs; debug builds still cross-check against the
+//!   locked-shard exact matcher.
+//!
+//! # The probe-retry engine ([`ParEngine::ProbeRetry`], the baseline)
+//!
 //! * Each worker runs an **optimistic match–claim loop**: search a sampled
-//!   [`MatchSource`] view of the bag (stale reads allowed), then
-//!   [`ShardedBag::claim_and_replace`] the tuple atomically. A lost race
-//!   shows up as a failed claim and the worker simply retries — the
-//!   multiset is never corrupted because enabledness depends only on the
-//!   element fields the claim re-validates.
-//! * **Termination** uses an authoritative check: when a worker's sampled
-//!   search comes up dry, it takes the checker mutex, locks every shard
-//!   (so no claim can interleave), and runs the *exact* sequential matcher
-//!   directly over the locked shards — a consistent view with no whole-bag
-//!   clone. "No match in a consistent view" is precisely the paper's
-//!   global termination state, because any in-flight optimistic claim
-//!   would require its tuple to still be available — which would make the
-//!   reaction enabled in the view.
+//!   [`MatchSource`] view of the bag (stale reads allowed), then claim. A
+//!   lost race shows up as a failed claim and the worker retries.
+//! * **Termination** uses an authoritative check: a worker whose sampled
+//!   search comes up dry locks every shard and runs the exact matcher
+//!   over the locked shards.
 //! * **Startup pruning**: a watermark-bounded [`ReteNetwork`] occupancy
-//!   probe over the initial multiset pre-clears the dirty flags of
-//!   reactions with no enabled match (exact at any watermark — deep join
-//!   levels spill to on-demand search), so workers do not burn their
-//!   first probes on reactions that cannot fire until someone feeds them.
+//!   probe pre-clears the dirty flags of reactions with no enabled match.
+//!
+//! Kept as the measurable baseline: harness step `S4` records both
+//! engines' firings/sec in `BENCH_parallel.json`.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
-use crate::rete::ReteNetwork;
-use crate::schedule::DependencyIndex;
+use crate::rete::{AlphaSlice, ReteNetwork, ReteStats};
+use crate::schedule::{DependencyIndex, ShardedWorklist};
 use crate::seq::{ExecError, ExecResult, Status};
 use crate::spec::GammaProgram;
 use crate::trace::ExecStats;
-use gammaflow_multiset::{ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value};
+use crossbeam_channel::{Receiver, Sender};
+use gammaflow_multiset::{
+    Element, ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value,
+};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Per-reaction dirty flags shared by all workers: a cleared flag means
 /// "some worker's sampled probe found nothing for this reaction and no
@@ -78,6 +123,20 @@ impl DirtyFlags {
     }
 }
 
+/// Which parallel engine drives the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParEngine {
+    /// Delta-driven sharded Rete matching (the default): each worker owns
+    /// a slice of the `(label, tag)` alpha space and reads enabled
+    /// matches from its incrementally maintained network slice. See the
+    /// module docs.
+    #[default]
+    ShardedRete,
+    /// The sampled optimistic probe-and-retry loop with heuristic dirty
+    /// flags — the pre-sharding engine, kept as the measurable baseline.
+    ProbeRetry,
+}
+
 /// Configuration for the parallel interpreter.
 #[derive(Debug, Clone)]
 pub struct ParConfig {
@@ -90,10 +149,17 @@ pub struct ParConfig {
     /// Seed for per-worker RNG streams.
     pub seed: u64,
     /// Cap on candidate values examined per bucket probe during worker
-    /// search (the exact terminal check ignores this). Keeps single probes
-    /// cheap on huge buckets; matches missed by sampling are found by
-    /// retries or the checker.
+    /// search (probe-retry engine only; exact checks and the sharded
+    /// engine ignore it). Keeps single probes cheap on huge buckets;
+    /// matches missed by sampling are found by retries or the checker.
     pub sample_cap: usize,
+    /// Which worker loop runs (see [`ParEngine`]).
+    pub engine: ParEngine,
+    /// Per-reaction live-token budget for each worker's rete slice
+    /// (sharded engine): past it, deep join levels spill to on-demand
+    /// search exactly as in the sequential engine. Exactness never
+    /// depends on the value.
+    pub rete_watermark: usize,
 }
 
 impl Default for ParConfig {
@@ -106,6 +172,8 @@ impl Default for ParConfig {
             max_firings: 10_000_000,
             seed: 0,
             sample_cap: 64,
+            engine: ParEngine::default(),
+            rete_watermark: crate::rete::DEFAULT_SPILL_WATERMARK,
         }
     }
 }
@@ -125,14 +193,46 @@ impl ParConfig {
 pub struct ParStats {
     /// Claims that lost a race and were retried.
     pub claim_failures: u64,
-    /// Sampled searches that found nothing.
+    /// Sampled searches that found nothing (probe-retry engine).
     pub dry_probes: u64,
-    /// Authoritative locked-shard checks performed.
+    /// Authoritative locked-shard checks performed (probe-retry engine;
+    /// for the sharded engine this counts only the debug-build
+    /// cross-check of the memory-emptiness termination proof).
     pub snapshot_checks: u64,
     /// Reactions whose dirty flag was pre-cleared at startup because the
     /// watermark-bounded rete occupancy probe found no enabled match for
-    /// them.
+    /// them (probe-retry engine).
     pub rete_precleared: u64,
+    /// Firings whose net delta was broadcast to the worker mailboxes
+    /// (sharded engine; equals the total firings).
+    pub deltas_published: u64,
+    /// Delta messages drained from mailboxes, summed over workers
+    /// (sharded engine). When the run ends drained this equals the sum
+    /// of per-firing *addressed* workers — `deltas_published` itself for
+    /// a single-component program, up to `deltas_published × workers`
+    /// when a wildcard consumer forces broadcast.
+    pub deltas_processed: u64,
+    /// Firings found by an idle worker searching a stolen worklist
+    /// reaction instead of reading its own slice (sharded engine).
+    pub stolen_firings: u64,
+    /// Stolen worklist reactions whose exact search found nothing
+    /// (sharded engine).
+    pub steal_misses: u64,
+    /// Join levels demoted to virtual by the spill watermark, summed over
+    /// the startup occupancy probe (probe-retry) and every worker slice
+    /// (sharded).
+    pub spill_demotions: u64,
+    /// Frontier-completion enabledness probes for spilled reactions,
+    /// summed like [`ParStats::spill_demotions`].
+    pub spill_probes: u64,
+    /// Demoted levels re-materialised after their slice shrank below the
+    /// hysteresis threshold, summed over worker slices (sharded engine).
+    pub spill_repromotions: u64,
+    /// Per-worker peak live beta tokens across that worker's rete slice
+    /// (sharded engine) — the committed `BENCH_parallel.json` records the
+    /// maximum, and the equivalence suite asserts each entry stays within
+    /// the watermark plus one delta burst.
+    pub shard_peak_tokens: Vec<u64>,
 }
 
 /// Result of a parallel run: the usual [`ExecResult`] plus engine counters.
@@ -297,8 +397,21 @@ impl MatchSource for LockedShards<'_> {
 /// [`ReteNetwork::has_match`] stays exact at any watermark.
 const OCCUPANCY_PROBE_WATERMARK: usize = 256;
 
-/// Run `program` on `initial` with the parallel engine.
+/// Run `program` on `initial` with the parallel engine selected by
+/// [`ParConfig::engine`].
 pub fn run_parallel(
+    program: &GammaProgram,
+    initial: ElementBag,
+    config: &ParConfig,
+) -> Result<ParResult, ExecError> {
+    match config.engine {
+        ParEngine::ShardedRete => run_sharded(program, initial, config),
+        ParEngine::ProbeRetry => run_probe_retry(program, initial, config),
+    }
+}
+
+/// The sampled probe-and-retry worker loop (see the module docs).
+fn run_probe_retry(
     program: &GammaProgram,
     initial: ElementBag,
     config: &ParConfig,
@@ -316,6 +429,7 @@ pub fn run_parallel(
     // locked-shard terminal check stays the exactness backstop either
     // way.
     let mut rete_precleared = 0u64;
+    let mut probe_stats = ReteStats::default();
     if nreactions > 0 {
         let mut probe = ReteNetwork::with_watermark(&compiled, &initial, OCCUPANCY_PROBE_WATERMARK);
         for r in 0..nreactions {
@@ -324,6 +438,9 @@ pub fn run_parallel(
                 rete_precleared += 1;
             }
         }
+        // The probe's own spill activity is part of the run's accounting:
+        // aggregation used to drop these counters entirely.
+        probe_stats = probe.stats.clone();
     }
 
     let directory = Directory::new(&initial);
@@ -486,6 +603,8 @@ pub fn run_parallel(
     let mut stats = ExecStats::new(nreactions);
     let mut par = ParStats {
         rete_precleared,
+        spill_demotions: probe_stats.spill_demotions,
+        spill_probes: probe_stats.spill_probes,
         ..ParStats::default()
     };
     for (s, p) in &worker_stats {
@@ -546,6 +665,544 @@ fn try_fire(
         done.store(true, Ordering::Release);
     }
     true
+}
+
+// ------------------------------------------------------------------------
+// The sharded-rete engine
+// ------------------------------------------------------------------------
+
+/// An exact, per-probe-locking [`MatchSource`] over the live sharded bag:
+/// label/tag enumeration comes from the (append-only, superset) key
+/// directory, bucket contents from a single transient shard lock. This is
+/// the cross-shard **join frontier**: worker slices complete deep join
+/// levels through it, thieves run the same exact search core over it, and
+/// every read is unsampled — stale only in the benign claim-validated
+/// sense.
+struct ShardedSource<'a> {
+    bag: &'a ShardedBag,
+    directory: &'a Directory,
+}
+
+impl MatchSource for ShardedSource<'_> {
+    fn all_labels(&self) -> Vec<Symbol> {
+        self.directory.labels()
+    }
+
+    fn tags_for_label(&self, label: Symbol) -> Vec<Tag> {
+        self.directory.tags(label)
+    }
+
+    fn values_at(&self, label: Symbol, tag: Tag) -> Vec<(Value, usize)> {
+        let shard = self.bag.shard_of(label, tag);
+        self.bag
+            .with_shard(shard, |b| MatchSource::values_at(b, label, tag))
+    }
+
+    fn count_at(&self, label: Symbol, tag: Tag, value: &Value) -> usize {
+        let shard = self.bag.shard_of(label, tag);
+        self.bag
+            .with_shard(shard, |b| MatchSource::count_at(b, label, tag, value))
+    }
+
+    // Note: no visitor overrides. The defaults collect each bucket into a
+    // Vec *outside* the shard lock (values_at locks, copies, unlocks),
+    // which keeps the search free of nested lock acquisitions — a
+    // recursive search level probing another shard while a lock is held
+    // could deadlock against the sorted multi-shard claim path.
+}
+
+/// One firing's net delta (distinct removed / inserted elements, with
+/// consumed-and-reproduced elements cancelled), broadcast to every
+/// worker's mailbox after the claim commits.
+#[derive(Debug, Clone)]
+struct DeltaMsg {
+    removed: Vec<Element>,
+    inserted: Vec<Element>,
+}
+
+/// Compute a firing's net delta — the exact cancellation rule of
+/// [`ReteNetwork::on_firing_applied`], shared via
+/// [`crate::rete::firing_net_delta`] so the slices and the sequential
+/// network can never disagree on what a firing changes.
+fn net_delta(firing: &Firing) -> DeltaMsg {
+    let (removed, inserted) = crate::rete::firing_net_delta(firing);
+    DeltaMsg { removed, inserted }
+}
+
+/// Shared state of a sharded-rete run (borrowed by every worker).
+struct SharedRun<'a> {
+    compiled: &'a CompiledProgram,
+    deps: &'a DependencyIndex,
+    plan: &'a crate::rete::SlicePlan,
+    bag: &'a ShardedBag,
+    directory: &'a Directory,
+    worklist: &'a ShardedWorklist,
+    senders: &'a [Sender<DeltaMsg>],
+    /// Firings published. Doubles as the global firing counter:
+    /// incremented (before sending) once per claim.
+    published: &'a AtomicU64,
+    /// Per-worker count of delta messages *addressed* to that worker
+    /// (incremented before the send, so `processed == sent` implies a
+    /// truly drained mailbox).
+    sent: &'a [AtomicU64],
+    /// Per-worker count of delta messages drained from the mailbox.
+    processed: &'a [AtomicU64],
+    /// Per-worker activity flags: a worker is *inactive* only while
+    /// spinning in the idle loop with a drained mailbox and a dry slice —
+    /// never between a claim and its publish.
+    active: &'a [AtomicBool],
+    done: &'a AtomicBool,
+    budget_exhausted: &'a AtomicBool,
+    error: &'a Mutex<Option<MatchError>>,
+    max_firings: u64,
+    /// Bucket sampling cap for thieves' stolen searches (their claims
+    /// re-validate, so sampling is as safe here as in probe-retry).
+    sample_cap: usize,
+}
+
+impl SharedRun<'_> {
+    /// Publish a just-claimed firing: bump the global counter, note new
+    /// directory keys, enforce the budget, and deliver the net delta to
+    /// the workers whose slices can be affected — the owner of every
+    /// delta label's component (tokens involving a label live only in
+    /// its owner's slice), or everyone when a wildcard consumer exists.
+    /// The claimant's own slice learns about the firing from its mailbox
+    /// like everyone else's.
+    fn publish(&self, firing: &Firing) {
+        for e in &firing.produced {
+            self.directory.note(e.label, e.tag);
+        }
+        let n = self.published.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.max_firings {
+            self.budget_exhausted.store(true, Ordering::Release);
+            self.done.store(true, Ordering::Release);
+        }
+        let msg = net_delta(firing);
+        let workers = self.senders.len();
+        let broadcast = self.plan.wildcard_consumer() || workers > 128;
+        let mut mask: u128 = 0;
+        if !broadcast {
+            for e in msg.removed.iter().chain(msg.inserted.iter()) {
+                // Unconsumed labels never appear in any token; skip them.
+                if self.deps.has_dependents(e.label) {
+                    mask |= 1u128 << self.plan.owner_of(e.label);
+                }
+            }
+        }
+        for (v, tx) in self.senders.iter().enumerate() {
+            if !broadcast && mask & (1u128 << v) == 0 {
+                continue;
+            }
+            // Count the delivery before sending so the termination scan
+            // can never observe a drained mailbox with a message still in
+            // flight. A send only fails if the receiver is gone, which
+            // means the run is tearing down anyway.
+            self.sent[v].fetch_add(1, Ordering::AcqRel);
+            let _ = tx.send(msg.clone());
+        }
+    }
+
+    /// True when the run has globally stopped (stable, budget, or error).
+    fn stopped(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// The delta-driven sharded-rete engine (see the module docs).
+fn run_sharded(
+    program: &GammaProgram,
+    initial: ElementBag,
+    config: &ParConfig,
+) -> Result<ParResult, ExecError> {
+    let compiled = CompiledProgram::compile(program)?;
+    let nreactions = compiled.reactions.len();
+    let workers = config.workers.max(1);
+
+    if nreactions == 0 {
+        return Ok(ParResult {
+            exec: ExecResult {
+                multiset: initial,
+                status: Status::Stable,
+                stats: ExecStats::new(0),
+                trace: None,
+                sched: None,
+                rete: None,
+            },
+            par: ParStats::default(),
+        });
+    }
+
+    let deps = DependencyIndex::new(&compiled);
+    let directory = Directory::new(&initial);
+    let bag = ShardedBag::new(config.shards);
+    let nshards = bag.num_shards();
+    let plan = std::sync::Arc::new(crate::rete::SlicePlan::build(&compiled, workers, nshards));
+
+    // Build each worker's slice over the plain initial bag (a coherent
+    // pre-sharding view); the live engine reads the sharded bag through
+    // the same MatchSource core.
+    let slices: Vec<ReteNetwork> = (0..workers)
+        .map(|w| {
+            ReteNetwork::with_slice(
+                &compiled,
+                &initial,
+                config.rete_watermark,
+                AlphaSlice {
+                    plan: plan.clone(),
+                    worker: w,
+                },
+            )
+        })
+        .collect();
+
+    bag.insert_all(initial.iter());
+
+    let (senders, receivers): (Vec<Sender<DeltaMsg>>, Vec<Receiver<DeltaMsg>>) =
+        (0..workers).map(|_| crossbeam_channel::unbounded()).unzip();
+    let worklist = ShardedWorklist::new(workers, nreactions);
+    for r in 0..nreactions {
+        worklist.push(r % workers, r);
+    }
+
+    let published = AtomicU64::new(0);
+    let sent: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let processed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let active: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(true)).collect();
+    let done = AtomicBool::new(false);
+    let budget_exhausted = AtomicBool::new(false);
+    let error: Mutex<Option<MatchError>> = Mutex::new(None);
+
+    let shared = SharedRun {
+        compiled: &compiled,
+        deps: &deps,
+        plan: &plan,
+        bag: &bag,
+        directory: &directory,
+        worklist: &worklist,
+        senders: &senders,
+        published: &published,
+        sent: &sent,
+        processed: &processed,
+        active: &active,
+        done: &done,
+        budget_exhausted: &budget_exhausted,
+        error: &error,
+        max_firings: config.max_firings,
+        sample_cap: config.sample_cap,
+    };
+
+    let mut worker_stats: Vec<(ExecStats, ParStats, ReteStats)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, (slice, rx)) in slices.into_iter().zip(receivers).enumerate() {
+            let shared = &shared;
+            let seed = config.seed;
+            handles
+                .push(scope.spawn(move || sharded_worker(shared, w, slice, rx, seed, nreactions)));
+        }
+        for h in handles {
+            worker_stats.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    if let Some(e) = error.lock().take() {
+        return Err(ExecError::Match(e));
+    }
+
+    let mut stats = ExecStats::new(nreactions);
+    let mut par = ParStats {
+        deltas_published: published.load(Ordering::Acquire),
+        ..ParStats::default()
+    };
+    for (s, p, rete) in &worker_stats {
+        stats.absorb(s);
+        par.claim_failures += p.claim_failures;
+        par.deltas_processed += p.deltas_processed;
+        par.stolen_firings += p.stolen_firings;
+        par.steal_misses += p.steal_misses;
+        par.snapshot_checks += p.snapshot_checks;
+        par.spill_demotions += rete.spill_demotions;
+        par.spill_probes += rete.spill_probes;
+        par.spill_repromotions += rete.spill_repromotions;
+        par.shard_peak_tokens.push(rete.peak_live_tokens);
+    }
+
+    let status = if budget_exhausted.load(Ordering::Acquire) {
+        Status::BudgetExhausted
+    } else {
+        Status::Stable
+    };
+
+    // Debug cross-check of the memory-emptiness termination proof: the
+    // locked-shard exact matcher must agree that nothing is enabled.
+    #[cfg(debug_assertions)]
+    if status == Status::Stable {
+        let locked = LockedShards::lock(&bag);
+        let order: Vec<usize> = (0..nreactions).collect();
+        let mut scratch = SearchScratch::new();
+        let confirm = compiled
+            .find_any_fast(&order, &locked, None, &mut scratch)
+            .map_err(ExecError::Match)?;
+        debug_assert!(
+            confirm.is_none(),
+            "sharded slices drained while reaction {:?} was enabled",
+            confirm.map(|f| f.reaction)
+        );
+        par.snapshot_checks += 1;
+    }
+
+    Ok(ParResult {
+        exec: ExecResult {
+            multiset: bag.drain(),
+            status,
+            stats,
+            trace: None,
+            sched: None,
+            rete: None,
+        },
+        par,
+    })
+}
+
+/// One sharded-rete worker: drain the delta mailbox into the local slice,
+/// fire from the slice's memorised matches, steal searches when dry, and
+/// participate in the drained-memories termination consensus.
+/// Per-worker readiness bookkeeping: a `ready` bitmap plus a lazily
+/// purged candidate list (stale entries are dropped at pick time), so
+/// maintenance is O(1) per enabledness flip instead of O(reactions) per
+/// delta batch.
+struct ReadySet {
+    ready: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl ReadySet {
+    fn new(n: usize) -> ReadySet {
+        ReadySet {
+            ready: vec![false; n],
+            list: Vec::new(),
+        }
+    }
+
+    fn set(&mut self, r: usize, enabled: bool) {
+        if enabled && !self.ready[r] {
+            self.list.push(r);
+        }
+        self.ready[r] = enabled;
+    }
+
+    /// A uniformly random ready reaction, purging stale entries as they
+    /// are drawn.
+    fn pick(&mut self, rng: &mut ChaCha8Rng) -> Option<usize> {
+        use rand::RngCore;
+        while !self.list.is_empty() {
+            let i = (rng.next_u64() % self.list.len() as u64) as usize;
+            let r = self.list[i];
+            if self.ready[r] {
+                return Some(r);
+            }
+            self.list.swap_remove(i);
+        }
+        None
+    }
+}
+
+fn sharded_worker(
+    shared: &SharedRun<'_>,
+    w: usize,
+    mut slice: ReteNetwork,
+    rx: Receiver<DeltaMsg>,
+    seed: u64,
+    nreactions: usize,
+) -> (ExecStats, ParStats, ReteStats) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(w as u64 * 0x9e37).wrapping_add(1));
+    let mut stats = ExecStats::new(nreactions);
+    let mut par = ParStats::default();
+    let src = ShardedSource {
+        bag: shared.bag,
+        directory: shared.directory,
+    };
+    let mut scratch = SearchScratch::new();
+    let mut ready = ReadySet::new(nreactions);
+    let mut routed: Vec<usize> = Vec::new();
+    let workers = shared.processed.len();
+
+    // Initial readiness from the freshly built slice.
+    for r in 0..nreactions {
+        let en = slice.has_match(shared.compiled, &src, r);
+        ready.set(r, en);
+    }
+
+    // Drain one delta message into the slice and refresh the readiness of
+    // the reactions it routed to.
+    let absorb = |msg: DeltaMsg,
+                  slice: &mut ReteNetwork,
+                  ready: &mut ReadySet,
+                  routed: &mut Vec<usize>,
+                  par: &mut ParStats| {
+        routed.clear();
+        for e in msg.removed.iter().chain(msg.inserted.iter()) {
+            shared.deps.for_each_dependent(e.label, |r| routed.push(r));
+        }
+        slice.on_removed(shared.compiled, &src, &msg.removed);
+        slice.on_inserted(shared.compiled, &src, &msg.inserted);
+        shared.processed[w].fetch_add(1, Ordering::AcqRel);
+        par.deltas_processed += 1;
+        routed.sort_unstable();
+        routed.dedup();
+        for &r in routed.iter() {
+            let en = slice.has_match(shared.compiled, &src, r);
+            ready.set(r, en);
+        }
+    };
+
+    'main: while !shared.stopped() {
+        // 1. Drain the mailbox: keep the slice delta-consistent before
+        //    reading matches off it.
+        let mut drained_any = false;
+        while let Ok(msg) = rx.try_recv() {
+            absorb(msg, &mut slice, &mut ready, &mut routed, &mut par);
+            drained_any = true;
+        }
+
+        // 2. Fire from the slice: an O(1) read of a memorised match (or a
+        //    cached spill completion), then an atomic claim.
+        if let Some(r) = ready.pick(&mut rng) {
+            match slice.pick_firing(shared.compiled, &src, r, &mut rng) {
+                Err(e) => {
+                    *shared.error.lock() = Some(e);
+                    shared.done.store(true, Ordering::Release);
+                    break 'main;
+                }
+                Ok(None) => {
+                    // A stale cached spill answer raced a concurrent
+                    // claim; the correcting delta is already on its way.
+                    ready.set(r, false);
+                }
+                Ok(Some(firing)) => {
+                    if shared
+                        .bag
+                        .claim_and_replace(&firing.consumed, &firing.produced)
+                    {
+                        stats.record_firing(firing.reaction, &firing);
+                        wake_dependents(shared, w, &firing);
+                        shared.publish(&firing);
+                    } else {
+                        par.claim_failures += 1;
+                        if !drained_any {
+                            // The winner has not published yet; give it a
+                            // beat instead of burning the lock.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // 3. Slice dry: steal a woken reaction and search it with the
+        //    sampled probe-retry view (rebalances skewed component
+        //    ownership; sampling is safe because the claim re-validates,
+        //    and exactness lives in the slices, never in thieves).
+        if let Some(r) = shared
+            .worklist
+            .pop_local(w)
+            .or_else(|| shared.worklist.steal(w))
+        {
+            use rand::Rng as _;
+            let sampled = ShardedView {
+                bag: shared.bag,
+                directory: shared.directory,
+                sample_cap: shared.sample_cap,
+                salt: rng.gen(),
+            };
+            match shared.compiled.reactions[r].find_match_fast(
+                r,
+                &sampled,
+                Some(&mut rng),
+                &mut scratch,
+            ) {
+                Err(e) => {
+                    *shared.error.lock() = Some(e);
+                    shared.done.store(true, Ordering::Release);
+                    break 'main;
+                }
+                Ok(Some(firing)) => {
+                    if shared
+                        .bag
+                        .claim_and_replace(&firing.consumed, &firing.produced)
+                    {
+                        par.stolen_firings += 1;
+                        stats.record_firing(firing.reaction, &firing);
+                        wake_dependents(shared, w, &firing);
+                        shared.publish(&firing);
+                    } else {
+                        par.claim_failures += 1;
+                    }
+                }
+                Ok(None) => {
+                    par.steal_misses += 1;
+                }
+            }
+            continue;
+        }
+
+        // 4. Idle: drained mailbox, dry slice, empty worklist. Join the
+        //    termination consensus; leave on the first delta.
+        shared.active[w].store(false, Ordering::Release);
+        loop {
+            if shared.stopped() {
+                break 'main;
+            }
+            // The drained-memories termination proof: every addressed
+            // delta processed by its worker, nobody active, and the
+            // firing count unchanged across the scan — then every slice
+            // is exact, no slice holds a match, and their union is the
+            // full network, so no reaction is enabled anywhere (Eq. (1)'s
+            // global termination state).
+            let p1 = shared.published.load(Ordering::Acquire);
+            let all_drained = shared
+                .processed
+                .iter()
+                .zip(shared.sent.iter())
+                .all(|(p, s)| p.load(Ordering::Acquire) == s.load(Ordering::Acquire));
+            let all_idle = (0..workers).all(|v| !shared.active[v].load(Ordering::Acquire));
+            if all_drained && all_idle && shared.published.load(Ordering::Acquire) == p1 {
+                shared.done.store(true, Ordering::Release);
+                break 'main;
+            }
+            match rx.recv_timeout(Duration::from_micros(200)) {
+                Ok(msg) => {
+                    shared.active[w].store(true, Ordering::Release);
+                    absorb(msg, &mut slice, &mut ready, &mut routed, &mut par);
+                    continue 'main;
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    // Steal hints do not arrive through the mailbox; an
+                    // idle worker re-checks the worklist on every tick.
+                    if !shared.worklist.is_empty() {
+                        shared.active[w].store(true, Ordering::Release);
+                        continue 'main;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break 'main,
+            }
+        }
+    }
+
+    let rete_stats = slice.stats.clone();
+    (stats, par, rete_stats)
+}
+
+/// Queue the reactions consuming a produced label on the claimant's
+/// worklist shard, so idle workers have steal targets.
+fn wake_dependents(shared: &SharedRun<'_>, w: usize, firing: &Firing) {
+    shared.worklist.push(w, firing.reaction);
+    for e in &firing.produced {
+        shared
+            .deps
+            .for_each_dependent(e.label, |r| shared.worklist.push(w, r));
+    }
 }
 
 #[cfg(test)]
@@ -680,8 +1337,9 @@ mod tests {
 
     #[test]
     fn occupancy_probe_preclears_unfireable_reactions() {
-        // A two-stage chain: `later` cannot fire until `first` produces,
-        // so the startup occupancy probe must pre-clear it.
+        // Probe-retry engine: a two-stage chain where `later` cannot fire
+        // until `first` produces, so the startup occupancy probe must
+        // pre-clear it.
         let chain = GammaProgram::new(vec![
             ReactionSpec::new("first")
                 .replace(Pattern::pair("x", "a"))
@@ -691,10 +1349,153 @@ mod tests {
                 .by(vec![ElementSpec::pair(Expr::var("x"), "c")]),
         ]);
         let initial: ElementBag = (1..=4).map(|v| e(v, "a", 0)).collect();
-        let result = run_parallel(&chain, initial, &ParConfig::with_workers(2)).unwrap();
+        let config = ParConfig {
+            engine: ParEngine::ProbeRetry,
+            ..ParConfig::with_workers(2)
+        };
+        let result = run_parallel(&chain, initial, &config).unwrap();
         assert_eq!(result.par.rete_precleared, 1);
         assert_eq!(result.exec.status, Status::Stable);
         assert_eq!(result.exec.multiset.count_label("c".into()), 4);
+    }
+
+    #[test]
+    fn probe_retry_matches_sharded_finals() {
+        // Both engines on the same confluent workloads land on identical
+        // final multisets.
+        for (program, initial) in [
+            (
+                sum_program(),
+                (1..=60).map(|v| e(v, "n", 0)).collect::<ElementBag>(),
+            ),
+            (
+                max_program(),
+                [4, 9, 2, 9, 1].iter().map(|&v| e(v, "n", 0)).collect(),
+            ),
+        ] {
+            let mut finals = Vec::new();
+            for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+                let config = ParConfig {
+                    engine,
+                    ..ParConfig::with_workers(4)
+                };
+                let result = run_parallel(&program, initial.clone(), &config).unwrap();
+                assert_eq!(result.exec.status, Status::Stable);
+                finals.push(result.exec.multiset);
+            }
+            assert_eq!(finals[0], finals[1]);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_publishes_and_drains_deltas() {
+        let initial: ElementBag = (1..=50).map(|v| e(v, "n", 0)).collect();
+        let config = ParConfig::with_workers(3);
+        assert_eq!(config.engine, ParEngine::ShardedRete);
+        let result = run_parallel(&sum_program(), initial, &config).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert!(result.exec.multiset.contains(&e(1275, "n", 0)));
+        let par = &result.par;
+        assert_eq!(par.deltas_published, 49, "one delta per firing");
+        // Targeted delivery: the single-component sum program routes
+        // every delta to exactly its owning worker's mailbox.
+        assert_eq!(
+            par.deltas_processed, 49,
+            "one worker owns the single component: {par:?}"
+        );
+        assert_eq!(par.shard_peak_tokens.len(), 3);
+    }
+
+    #[test]
+    fn sharded_work_stealing_rescues_skewed_ownership() {
+        // Every element lives in one (label, tag) bucket, so one worker
+        // owns the whole slice; with several workers the thieves' stolen
+        // searches must contribute (or at least never break the result).
+        let initial: ElementBag = (1..=200).map(|v| e(v, "n", 0)).collect();
+        let result = run_parallel(&sum_program(), initial, &ParConfig::with_workers(4)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert!(result.exec.multiset.contains(&e(20100, "n", 0)));
+        assert_eq!(result.exec.stats.firings_total(), 199);
+        // Thieves at least attempted the skewed bucket (stolen firings
+        // themselves are racy — a fast owner may win every claim).
+        assert!(
+            result.par.stolen_firings + result.par.steal_misses + result.par.claim_failures > 0
+                || result.par.deltas_processed > 0,
+            "{:?}",
+            result.par
+        );
+    }
+
+    #[test]
+    fn sharded_slices_respect_watermark_and_record_spills() {
+        // An unguarded n² fold with a tiny per-slice watermark: the
+        // owning slice must demote, probe through the spill, and record a
+        // bounded peak.
+        let n = 120i64;
+        let initial: ElementBag = (1..=n).map(|v| e(v, "n", 0)).collect();
+        let config = ParConfig {
+            rete_watermark: 500,
+            ..ParConfig::with_workers(2)
+        };
+        let result = run_parallel(&sum_program(), initial, &config).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        let expected: i64 = (1..=n).sum();
+        assert!(result.exec.multiset.contains(&e(expected, "n", 0)));
+        let par = &result.par;
+        assert!(par.spill_demotions > 0, "{par:?}");
+        assert!(par.spill_probes > 0, "{par:?}");
+        for (w, &peak) in par.shard_peak_tokens.iter().enumerate() {
+            assert!(
+                peak <= 500 + 2 * n as u64,
+                "worker {w} peak {peak} exceeds watermark + delta burst: {par:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_retry_startup_probe_spills_are_accounted() {
+        // The startup occupancy probe runs at watermark 256; a 2-ary
+        // unguarded fold over 300 elements forces it to demote and probe
+        // through the spill — those counters must reach ParStats (the
+        // aggregation used to drop them).
+        let initial: ElementBag = (1..=300).map(|v| e(v, "n", 0)).collect();
+        let config = ParConfig {
+            engine: ParEngine::ProbeRetry,
+            ..ParConfig::with_workers(2)
+        };
+        let result = run_parallel(&sum_program(), initial, &config).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert!(result.par.spill_demotions > 0, "{:?}", result.par);
+        assert!(result.par.spill_probes > 0, "{:?}", result.par);
+    }
+
+    #[test]
+    fn sharded_engine_tagged_join_workload() {
+        // Tag-joined pairs spread ownership across workers; the sharded
+        // engine must fuse every tag pair exactly once.
+        let pair = GammaProgram::new(vec![ReactionSpec::new("pair")
+            .replace(Pattern::tagged("a", "A", "v"))
+            .replace(Pattern::tagged("b", "B", "v"))
+            .by(vec![ElementSpec::tagged(
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                "C",
+                "v",
+            )])]);
+        let mut initial = ElementBag::new();
+        for t in 0..64u64 {
+            initial.insert(e(t as i64, "A", t));
+            initial.insert(e(1000 + t as i64, "B", t));
+        }
+        let result = run_parallel(&pair, initial, &ParConfig::with_workers(4)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.exec.multiset.len(), 64);
+        assert_eq!(result.exec.multiset.count_label("C".into()), 64);
+        for t in 0..64u64 {
+            assert!(result
+                .exec
+                .multiset
+                .contains(&e(1000 + 2 * t as i64, "C", t)));
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! * **Alpha memories** — one per pattern position, holding the elements
 //!   passing the position's static filters (label class, literal tag,
 //!   literal value). They are *virtual*: the `(label, tag)`-indexed
-//!   [`ElementBag`] already is that memory, discriminated by the
+//!   [`ElementBag`](gammaflow_multiset::ElementBag) already is that
+//!   memory, discriminated by the
 //!   [`DependencyIndex`]'s label-class routing, so insert/remove deltas
 //!   reach exactly the positions whose filters admit them. This is the
 //!   store half of the waiting–matching unit: every token is filed under
@@ -81,9 +82,158 @@ use crate::compiled::{
 };
 use crate::schedule::DependencyIndex;
 use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
-use gammaflow_multiset::{Element, ElementBag, FxHashMap, FxHashSet, Symbol, Tag, Value};
+use gammaflow_multiset::{shard_index, Element, FxHashMap, FxHashSet, Symbol, Tag, Value};
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
+
+/// The static label-ownership plan the parallel engine's worker slices
+/// share: which worker materialises tokens anchored at each label.
+///
+/// Ownership is by **dependency component**: reactions are grouped by a
+/// union–find over the label classes they consume and (literally)
+/// produce, and each component — with every label it touches — is
+/// assigned to one worker, largest components first onto the least
+/// loaded worker. This is the Gamma image of the dataflow machines the
+/// paper surveys (and of `engine_par.rs` on the dataflow side): a label
+/// is a dataflow edge/instruction and the tag its loop iteration, and
+/// those machines assign *instructions* to PEs statically — all
+/// iterations of a node fire on the same PE, so a loop's firing chain
+/// never migrates between workers. Labels outside every component
+/// (runtime-synthesised, or consumed by nobody) fall back to the same
+/// shard map as the [`ShardedBag`](gammaflow_multiset::ShardedBag)
+/// ([`shard_index`] on the label), so every worker agrees on ownership
+/// without coordination.
+#[derive(Debug)]
+pub struct SlicePlan {
+    workers: usize,
+    /// Power-of-two shard count of the live bag, reused for the hash
+    /// fallback.
+    hash_shards: usize,
+    /// Component-assigned labels → owning worker.
+    label_owner: FxHashMap<Symbol, u32>,
+    /// True when some reaction consumes a label wildcard: its slice may
+    /// hold tokens anchored at *any* label, so deltas must reach every
+    /// worker.
+    wildcard_consumer: bool,
+}
+
+impl SlicePlan {
+    /// Build the ownership plan for `workers` workers over a bag with
+    /// `hash_shards` shards.
+    pub fn build(compiled: &CompiledProgram, workers: usize, hash_shards: usize) -> SlicePlan {
+        let workers = workers.max(1);
+        let n = compiled.reactions.len();
+        // Union–find over reaction indices; labels attach to the first
+        // reaction that mentions them.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        let mut label_rep: FxHashMap<Symbol, u32> = FxHashMap::default();
+        let mut wildcard_consumer = false;
+        for (i, cr) in compiled.reactions.iter().enumerate() {
+            let (consumed, wildcard) = cr.consumed_label_classes();
+            wildcard_consumer |= wildcard;
+            let mut labels = consumed;
+            labels.extend(cr.produced_label_literals());
+            for label in labels {
+                match label_rep.entry(label) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(i as u32);
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        let a = find(&mut parent, *o.get());
+                        let b = find(&mut parent, i as u32);
+                        if a != b {
+                            parent[a as usize] = b;
+                        }
+                    }
+                }
+            }
+        }
+        // Component sizes (reactions per root), then greedy assignment:
+        // largest component onto the least-loaded worker.
+        let mut size: FxHashMap<u32, usize> = FxHashMap::default();
+        for i in 0..n as u32 {
+            *size.entry(find(&mut parent, i)).or_insert(0) += 1;
+        }
+        let mut components: Vec<(u32, usize)> = size.into_iter().collect();
+        components.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut load = vec![0usize; workers];
+        let mut owner_of_root: FxHashMap<u32, u32> = FxHashMap::default();
+        for (root, weight) in components {
+            let w = (0..workers).min_by_key(|&w| (load[w], w)).unwrap_or(0);
+            load[w] += weight;
+            owner_of_root.insert(root, w as u32);
+        }
+        let label_owner = label_rep
+            .iter()
+            .map(|(&label, &rep)| {
+                let root = find(&mut parent, rep);
+                (label, owner_of_root[&root])
+            })
+            .collect();
+        SlicePlan {
+            workers,
+            hash_shards: hash_shards.max(1).next_power_of_two(),
+            label_owner,
+            wildcard_consumer,
+        }
+    }
+
+    /// Number of workers the plan stripes over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker owning `label`: its component's assignee, or the
+    /// shard-map hash for labels outside every component.
+    #[inline]
+    pub fn owner_of(&self, label: Symbol) -> usize {
+        match self.label_owner.get(&label) {
+            Some(&w) => w as usize,
+            None => shard_index(label, Tag::ZERO, self.hash_shards) % self.workers,
+        }
+    }
+
+    /// True when a wildcard-consuming reaction forces deltas to reach
+    /// every worker.
+    pub fn wildcard_consumer(&self) -> bool {
+        self.wildcard_consumer
+    }
+}
+
+/// One worker's slice of the alpha space under a shared [`SlicePlan`].
+///
+/// A sliced [`ReteNetwork`] materialises exactly the tokens whose
+/// *join-order position-0 element* carries a label this worker owns:
+/// every complete match is generated by its position-0 element entering
+/// at level 0 and completing rightward through the (whole) bag — the
+/// bulk-build rule — so label ownership partitions the full network's
+/// token set across workers with no overlap and no gaps. Deeper join
+/// levels still read candidates from the *entire* bag (the cross-shard
+/// join frontier), which is what lets a slice complete matches whose
+/// other operands live in foreign shards.
+#[derive(Debug, Clone)]
+pub struct AlphaSlice {
+    /// The shared ownership plan.
+    pub plan: std::sync::Arc<SlicePlan>,
+    /// This worker's index in `0..plan.workers()`.
+    pub worker: usize,
+}
+
+impl AlphaSlice {
+    /// Does this slice own `label` — i.e. is this worker the one that
+    /// materialises tokens anchored at it?
+    #[inline]
+    pub fn owns(&self, label: Symbol, _tag: Tag) -> bool {
+        self.plan.owner_of(label) == self.worker
+    }
+}
 
 /// Observability counters for a network's lifetime.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -108,6 +258,10 @@ pub struct ReteStats {
     /// On-demand frontier-completion enabledness probes run for spilled
     /// reactions (cache misses; cached answers are free).
     pub spill_probes: u64,
+    /// Demoted join levels re-materialised after the live-token count fell
+    /// below half the watermark (hysteresis; failed attempts that
+    /// immediately re-crossed the watermark are not counted).
+    pub spill_repromotions: u64,
     /// Peak number of live tokens across the network.
     pub peak_live_tokens: u64,
 }
@@ -392,14 +546,19 @@ struct ReactionNet {
     /// Join levels `0..materialized` are maintained exactly; deeper
     /// levels are virtual, recomputed by frontier-completion search.
     /// `materialized == arity` means the terminal memory is live. Never
-    /// drops below 1 (the level-0/alpha frontier stays materialised) and
-    /// never re-promotes (promotion would mean rebuilding the dropped
-    /// levels wholesale).
+    /// drops below 1 (the level-0/alpha frontier stays materialised).
+    /// Demoted levels are re-materialised when the live-token count falls
+    /// below half the watermark (see [`ReactionNet::maybe_repromote`]).
     materialized: usize,
     /// Cached spilled-enabledness answer; `None` forces a re-probe.
     /// Invalidated monotonically: inserts drop a cached `false`,
     /// removals drop a cached `true`.
     cached_enabled: Option<bool>,
+    /// Re-promotion hysteresis floor: after a rebuild attempt failed at
+    /// `L` live tokens, the next attempt waits until the memory shrinks
+    /// below `L / 2`, so repeated failures cost at most a geometric
+    /// number of (early-aborted) rebuilds. `usize::MAX` = unblocked.
+    repromote_floor: usize,
     /// Scratch for retirement scans.
     doomed: Vec<u32>,
     /// All-`None` binding row, the prefix of every level-0 entry.
@@ -429,6 +588,7 @@ impl ReactionNet {
             watermark,
             materialized: cr.arity(),
             cached_enabled: None,
+            repromote_floor: usize::MAX,
             doomed: Vec::new(),
             empty_slots: vec![None; cr.nvars()].into_boxed_slice(),
         }
@@ -450,18 +610,23 @@ impl ReactionNet {
         self.materialized < self.arity
     }
 
+    /// Demote the deepest materialised level: drop its tokens and leave
+    /// its matches to on-demand recomputation.
+    fn demote_deepest(&mut self, stats: &mut ReteStats) {
+        self.materialized -= 1;
+        while let Some(&id) = self.levels[self.materialized].last() {
+            self.retire(id, stats);
+        }
+        self.cached_enabled = None;
+        stats.spill_demotions += 1;
+    }
+
     /// Spill-to-search eviction: while the live-token count exceeds the
-    /// watermark, demote the deepest materialised level — drop its tokens
-    /// and leave its matches to on-demand recomputation — keeping at
+    /// watermark, demote the deepest materialised level, keeping at
     /// least the level-0 frontier.
     fn enforce_watermark(&mut self, stats: &mut ReteStats) {
         while self.live_tokens() > self.watermark && self.materialized > 1 {
-            self.materialized -= 1;
-            while let Some(&id) = self.levels[self.materialized].last() {
-                self.retire(id, stats);
-            }
-            self.cached_enabled = None;
-            stats.spill_demotions += 1;
+            self.demote_deepest(stats);
         }
     }
 
@@ -476,12 +641,19 @@ impl ReactionNet {
     /// leftward joins at deeper levels produce only duplicates. Runtime
     /// deltas must keep all entries (existing prefixes wait on the new
     /// element at deeper positions).
-    fn on_insert(
+    ///
+    /// With `enter_level0 == false` (a sliced network processing an
+    /// element another worker's slice owns) the element joins existing
+    /// prefixes at levels ≥ 1 but creates no level-0 token: tokens
+    /// anchored at a foreign `(label, tag)` key belong to the foreign
+    /// slice.
+    fn on_insert<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
-        bag: &ElementBag,
+        bag: &S,
         e: &Element,
         first_position_only: bool,
+        enter_level0: bool,
         stats: &mut ReteStats,
     ) {
         stats.inserts += 1;
@@ -495,13 +667,31 @@ impl ReactionNet {
         } else {
             self.materialized
         };
+        // The bag count is shared by every entry level; read it lazily so
+        // a delta that enters nowhere (foreign slice, no waiting
+        // prefixes) costs no bag probe at all — on the sharded engine a
+        // probe is a shard lock, paid per worker per delta otherwise.
+        let mut avail_cache: Option<usize> = None;
         for k in 0..entry_levels {
+            if k == 0 && !enter_level0 {
+                continue;
+            }
+            if k > 0 && self.levels[k - 1].is_empty() {
+                continue;
+            }
             let p = cr.join_order()[k];
             if !cr.position_admits(p, e) {
                 continue;
             }
             let pat = &cr.positions()[p];
-            let avail = bag.count(e);
+            let avail = match avail_cache {
+                Some(a) => a,
+                None => {
+                    let a = bag.count_at(e.label, e.tag, &e.value);
+                    avail_cache = Some(a);
+                    a
+                }
+            };
             if k == 0 {
                 let empty = std::mem::take(&mut self.empty_slots);
                 let made =
@@ -554,12 +744,72 @@ impl ReactionNet {
         self.doomed = doomed;
     }
 
-    /// Complete token `id` rightward through every remaining join level,
-    /// enumerating candidates from the bag index.
-    fn extend_all(
+    /// Re-materialise demoted join levels once the memory has shrunk well
+    /// below the watermark: while spilled and the live-token count is
+    /// under **half** the watermark, rebuild the shallowest demoted level
+    /// by extending every frontier token one level rightward from the
+    /// bag index. A rebuild must also *finish* under half the watermark —
+    /// a re-promoted level always lands in the hysteresis gap
+    /// `[watermark/2, watermark]`, so subsequent insert growth has to
+    /// genuinely double the memory before demotion can trigger again
+    /// (no demote/re-promote ping-pong, which would cost O(watermark)
+    /// per firing on an n² fold hovering at the boundary). A rebuild
+    /// that would overflow the gap is aborted mid-way, demoted again,
+    /// and blocked until the memory halves once more
+    /// (`repromote_floor`), so an oscillating bag pays at most a
+    /// geometric number of failed rebuilds.
+    fn maybe_repromote<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
-        bag: &ElementBag,
+        bag: &S,
+        stats: &mut ReteStats,
+    ) {
+        while self.is_spilled()
+            && self.live_tokens() < self.watermark / 2
+            && self.live_tokens() < self.repromote_floor
+        {
+            let live_before = self.live_tokens();
+            self.materialized += 1;
+            self.cached_enabled = None;
+            let frontier: Vec<u32> = self.levels[self.materialized - 2].clone();
+            let frontier_len = frontier.len();
+            let mut overflowed = false;
+            for (extended, id) in frontier.into_iter().enumerate() {
+                self.extend_all(cr, bag, id, stats);
+                let built = self.live_tokens() - live_before;
+                // Hard cap, plus an early extrapolation after a small
+                // sample of frontier extensions: a rebuild projected to
+                // blow the gap is abandoned after O(sample) work instead
+                // of O(watermark).
+                let projected_overflow =
+                    extended + 1 >= 8 && built * frontier_len / (extended + 1) > self.watermark / 2;
+                if self.live_tokens() > self.watermark / 2 || projected_overflow {
+                    overflowed = true;
+                    break;
+                }
+            }
+            if overflowed {
+                // The rebuilt level does not fit in the hysteresis gap
+                // `[watermark/2, watermark]` (landing inside it would let
+                // modest insert growth demote again and the next removal
+                // re-promote — O(watermark) per firing at the boundary).
+                // Drop the partial rebuild (a half-built level would be
+                // inexact) and wait for the memory to halve.
+                self.demote_deepest(stats);
+                self.repromote_floor = live_before / 2;
+                return;
+            }
+            self.repromote_floor = usize::MAX;
+            stats.spill_repromotions += 1;
+        }
+    }
+
+    /// Complete token `id` rightward through every remaining join level,
+    /// enumerating candidates from the bag index.
+    fn extend_all<S: MatchSource>(
+        &mut self,
+        cr: &CompiledReaction,
+        bag: &S,
         id: u32,
         stats: &mut ReteStats,
     ) {
@@ -580,10 +830,10 @@ impl ReactionNet {
 
     /// Enumerate candidates for join level `k` compatible with the prefix
     /// `(elems, slots)`, creating (and recursively completing) children.
-    fn extend_from(
+    fn extend_from<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
-        bag: &ElementBag,
+        bag: &S,
         elems: &[Element],
         slots: &[Option<Value>],
         k: usize,
@@ -617,18 +867,19 @@ impl ReactionNet {
                 }
             }
             LabelFilter::Any => {
-                for l in bag.labels() {
+                bag.visit_labels(&mut |l| {
                     self.extend_label(cr, bag, elems, slots, k, l, stats);
-                }
+                    true
+                });
             }
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn extend_label(
+    fn extend_label<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
-        bag: &ElementBag,
+        bag: &S,
         elems: &[Element],
         slots: &[Option<Value>],
         k: usize,
@@ -648,18 +899,19 @@ impl ReactionNet {
             // Tag variable bound to a non-tag value: no candidate matches.
             (None, None, true) => {}
             _ => {
-                for t in bag.tags_for(label) {
+                bag.visit_tags(label, &mut |t| {
                     self.extend_tag(cr, bag, elems, slots, k, label, t, stats);
-                }
+                    true
+                });
             }
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn extend_tag(
+    fn extend_tag<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
-        bag: &ElementBag,
+        bag: &S,
         elems: &[Element],
         slots: &[Option<Value>],
         k: usize,
@@ -684,13 +936,14 @@ impl ReactionNet {
                 }
             }
             None => {
-                for (value, avail) in bag.values_with_counts(label, tag) {
+                bag.visit_values(label, tag, &mut |value, avail| {
                     if let Some(id) =
                         self.try_child(pat, elems, slots, k, label, tag, value, avail, stats)
                     {
                         made.push(id);
                     }
-                }
+                    true
+                });
             }
         }
         for id in made {
@@ -858,6 +1111,35 @@ impl ReactionNet {
     }
 }
 
+/// A firing's **net** delta: the distinct removed and inserted elements
+/// after cancelling every element both consumed and produced (a dataflow
+/// token passing through unchanged is a no-op). The single source of the
+/// cancellation rule, shared by [`ReteNetwork::on_firing_applied`] and
+/// the parallel engine's delta-mailbox publisher — the two must agree or
+/// worker slices would silently diverge from the sequential reference.
+pub(crate) fn firing_net_delta(firing: &Firing) -> (Vec<Element>, Vec<Element>) {
+    let mut produced_cancelled = vec![false; firing.produced.len()];
+    let mut removed: Vec<Element> = Vec::new();
+    'consumed: for c in &firing.consumed {
+        for (i, p) in firing.produced.iter().enumerate() {
+            if !produced_cancelled[i] && p == c {
+                produced_cancelled[i] = true;
+                continue 'consumed;
+            }
+        }
+        if !removed.contains(c) {
+            removed.push(c.clone());
+        }
+    }
+    let mut inserted: Vec<Element> = Vec::new();
+    for (i, p) in firing.produced.iter().enumerate() {
+        if !produced_cancelled[i] && !inserted.contains(p) {
+            inserted.push(p.clone());
+        }
+    }
+    (removed, inserted)
+}
+
 /// Default per-reaction token watermark for [`ReteNetwork::new`].
 ///
 /// Sized so the committed workloads' exact memories fit comfortably (the
@@ -872,6 +1154,10 @@ pub const DEFAULT_SPILL_WATERMARK: usize = 32 * 1024;
 pub struct ReteNetwork {
     nets: Vec<ReactionNet>,
     deps: DependencyIndex,
+    /// When set, this network is one worker's slice: only tokens whose
+    /// join-order position-0 element's `(label, tag)` key the slice owns
+    /// are materialised (see [`AlphaSlice`]).
+    slice: Option<AlphaSlice>,
     /// Scratch for delta routing (dependents, deduplicated).
     route: Vec<usize>,
     /// Scratch for seeded ready-reaction picks.
@@ -887,17 +1173,39 @@ impl ReteNetwork {
     /// [default watermark](DEFAULT_SPILL_WATERMARK). The network is exact
     /// at any watermark (see the module docs); the watermark only trades
     /// memorisation against on-demand recomputation.
-    pub fn new(compiled: &CompiledProgram, initial: &ElementBag) -> ReteNetwork {
+    pub fn new<S: MatchSource>(compiled: &CompiledProgram, initial: &S) -> ReteNetwork {
         Self::with_watermark(compiled, initial, DEFAULT_SPILL_WATERMARK)
     }
 
     /// Build a network whose per-reaction beta memories are bounded by
     /// `watermark` live tokens: past it, the deepest join levels demote
     /// to virtual and their matches are recomputed by search on demand.
-    pub fn with_watermark(
+    pub fn with_watermark<S: MatchSource>(
         compiled: &CompiledProgram,
-        initial: &ElementBag,
+        initial: &S,
         watermark: usize,
+    ) -> ReteNetwork {
+        Self::build(compiled, initial, watermark, None)
+    }
+
+    /// Build one worker's *slice* of the network: only matches anchored
+    /// (at join-order position 0) in the slice's alpha shards are
+    /// memorised. The union of the `slice.workers` slices is exactly the
+    /// full network, with every token owned by one worker.
+    pub fn with_slice<S: MatchSource>(
+        compiled: &CompiledProgram,
+        initial: &S,
+        watermark: usize,
+        slice: AlphaSlice,
+    ) -> ReteNetwork {
+        Self::build(compiled, initial, watermark, Some(slice))
+    }
+
+    fn build<S: MatchSource>(
+        compiled: &CompiledProgram,
+        initial: &S,
+        watermark: usize,
+        slice: Option<AlphaSlice>,
     ) -> ReteNetwork {
         let mut net = ReteNetwork {
             nets: compiled
@@ -906,6 +1214,7 @@ impl ReteNetwork {
                 .map(|cr| ReactionNet::new(cr, watermark))
                 .collect(),
             deps: DependencyIndex::new(compiled),
+            slice,
             route: Vec::new(),
             ready: Vec::new(),
             probe_scratch: SearchScratch::new(),
@@ -915,11 +1224,28 @@ impl ReteNetwork {
         // multiplicities), entering at position 0 only — every tuple is
         // generated by its position-0 element's event completing rightward
         // through the full bag, so deeper entries would only duplicate.
-        let distinct: Vec<Element> = initial.iter_counts().map(|(e, _)| e).collect();
+        // A slice additionally skips elements it does not own: their
+        // tuples are anchored in (and built by) another worker's slice.
+        let mut distinct: Vec<Element> = Vec::new();
+        for label in initial.all_labels() {
+            for tag in initial.tags_for_label(label) {
+                for (value, _) in initial.values_at(label, tag) {
+                    distinct.push(Element { value, label, tag });
+                }
+            }
+        }
         for e in &distinct {
+            if net.slice.as_ref().is_some_and(|s| !s.owns(e.label, e.tag)) {
+                continue;
+            }
             net.feed_insert_inner(compiled, initial, e, true);
         }
         net
+    }
+
+    /// The slice filter this network was built with, if any.
+    pub fn slice(&self) -> Option<&AlphaSlice> {
+        self.slice.as_ref()
     }
 
     /// Number of complete (enabled) matches memorised for reaction `r`.
@@ -944,8 +1270,14 @@ impl ReteNetwork {
     /// Exact enabledness of reaction `r`: read off the terminal memory
     /// when fully materialised; decided by completing frontier prefixes
     /// against the live bag (then cached until the next routed delta)
-    /// when spilled.
-    pub fn has_match(&mut self, compiled: &CompiledProgram, bag: &ElementBag, r: usize) -> bool {
+    /// when spilled. For a sliced network the answer covers the matches
+    /// this slice owns.
+    pub fn has_match<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        r: usize,
+    ) -> bool {
         let ReteNetwork {
             nets,
             probe_scratch,
@@ -973,15 +1305,19 @@ impl ReteNetwork {
     /// selection rule ("first enabled reaction in program order"),
     /// answered from memory (or the cached/on-demand spill probe)
     /// instead of by whole-program search.
-    pub fn first_ready(&mut self, compiled: &CompiledProgram, bag: &ElementBag) -> Option<usize> {
+    pub fn first_ready<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+    ) -> Option<usize> {
         (0..self.nets.len()).find(|&r| self.has_match(compiled, bag, r))
     }
 
     /// A uniformly random reaction among the enabled ones.
-    pub fn pick_ready(
+    pub fn pick_ready<S: MatchSource>(
         &mut self,
         compiled: &CompiledProgram,
-        bag: &ElementBag,
+        bag: &S,
         rng: &mut ChaCha8Rng,
     ) -> Option<usize> {
         let mut ready = std::mem::take(&mut self.ready);
@@ -1003,13 +1339,16 @@ impl ReteNetwork {
     /// Materialise a [`Firing`] for reaction `r` (which must be enabled):
     /// from a random terminal token when fully materialised, by seeded
     /// completion of a random frontier prefix when spilled. Output
-    /// evaluation errors propagate exactly as in the searching engines;
-    /// `Ok(None)` is only possible on a maintenance bug (debug builds
-    /// assert) and tells the engine to fall back to the exact search.
-    pub fn pick_firing(
+    /// evaluation errors propagate exactly as in the searching engines.
+    /// For an unsliced network, `Ok(None)` is only possible on a
+    /// maintenance bug (debug builds assert) and tells the engine to fall
+    /// back to the exact search; a *sliced* network racing concurrent
+    /// claimants may legitimately return `Ok(None)` from a stale cached
+    /// enabledness answer — the caller retries after draining its deltas.
+    pub fn pick_firing<S: MatchSource>(
         &mut self,
         compiled: &CompiledProgram,
-        bag: &ElementBag,
+        bag: &S,
         r: usize,
         rng: &mut ChaCha8Rng,
     ) -> Result<Option<Firing>, MatchError> {
@@ -1059,7 +1398,7 @@ impl ReteNetwork {
             }
         }
         debug_assert!(
-            false,
+            self.slice.is_some(),
             "reaction {r} reported enabled but no frontier prefix completes"
         );
         Ok(None)
@@ -1068,58 +1407,46 @@ impl ReteNetwork {
     /// Account a firing already applied to `bag`: feed the network the
     /// firing's **net** delta, so an element both consumed and produced
     /// (a dataflow token passing through unchanged) costs nothing.
-    pub fn on_firing_applied(
+    pub fn on_firing_applied<S: MatchSource>(
         &mut self,
         compiled: &CompiledProgram,
-        bag: &ElementBag,
+        bag: &S,
         firing: &Firing,
     ) {
-        let mut produced_cancelled = vec![false; firing.produced.len()];
-        let mut removals: Vec<&Element> = Vec::new();
-        'consumed: for c in &firing.consumed {
-            for (i, p) in firing.produced.iter().enumerate() {
-                if !produced_cancelled[i] && p == c {
-                    produced_cancelled[i] = true;
-                    continue 'consumed;
-                }
-            }
-            removals.push(c);
+        let (removed, inserted) = firing_net_delta(firing);
+        for e in &removed {
+            self.feed_remove(compiled, bag, e);
         }
-        for (i, c) in removals.iter().enumerate() {
-            if removals[..i].contains(c) {
-                continue;
-            }
-            self.feed_remove(bag, c);
-        }
-        let inserts: Vec<&Element> = firing
-            .produced
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !produced_cancelled[*i])
-            .map(|(_, p)| p)
-            .collect();
-        for (i, p) in inserts.iter().enumerate() {
-            if inserts[..i].contains(p) {
-                continue;
-            }
-            self.feed_insert(compiled, bag, p);
+        for e in &inserted {
+            self.feed_insert(compiled, bag, e);
         }
     }
 
     /// Account externally removed occurrences (maximal-parallel stepping
-    /// removes consumed tuples mid-step while withholding products).
-    pub fn on_removed(&mut self, bag: &ElementBag, elems: &[Element]) {
+    /// removes consumed tuples mid-step while withholding products; the
+    /// sharded parallel engine feeds foreign workers' removal deltas).
+    pub fn on_removed<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        elems: &[Element],
+    ) {
         for (i, e) in elems.iter().enumerate() {
             if elems[..i].contains(e) {
                 continue;
             }
-            self.feed_remove(bag, e);
+            self.feed_remove(compiled, bag, e);
         }
     }
 
     /// Account externally inserted elements (pipeline seeding, parallel
-    /// step barriers).
-    pub fn on_inserted(&mut self, compiled: &CompiledProgram, bag: &ElementBag, elems: &[Element]) {
+    /// step barriers, sharded delta mailboxes).
+    pub fn on_inserted<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        elems: &[Element],
+    ) {
         for (i, e) in elems.iter().enumerate() {
             if elems[..i].contains(e) {
                 continue;
@@ -1138,17 +1465,20 @@ impl ReteNetwork {
         route.dedup();
     }
 
-    fn feed_insert(&mut self, compiled: &CompiledProgram, bag: &ElementBag, e: &Element) {
+    fn feed_insert<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, e: &Element) {
         self.feed_insert_inner(compiled, bag, e, false);
     }
 
-    fn feed_insert_inner(
+    fn feed_insert_inner<S: MatchSource>(
         &mut self,
         compiled: &CompiledProgram,
-        bag: &ElementBag,
+        bag: &S,
         e: &Element,
         first_position_only: bool,
     ) {
+        // A sliced network only anchors tokens it owns at level 0; the
+        // element still joins existing prefixes at deeper levels.
+        let enter_level0 = self.slice.as_ref().is_none_or(|s| s.owns(e.label, e.tag));
         self.collect_route(e.label);
         let route = std::mem::take(&mut self.route);
         for &r in &route {
@@ -1157,18 +1487,41 @@ impl ReteNetwork {
                 bag,
                 e,
                 first_position_only,
+                enter_level0,
                 &mut self.stats,
             );
         }
         self.route = route;
     }
 
-    fn feed_remove(&mut self, bag: &ElementBag, e: &Element) {
-        let remaining = bag.count(e);
+    fn feed_remove<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, e: &Element) {
         self.collect_route(e.label);
         let route = std::mem::take(&mut self.route);
+        // The remaining-count probe is a shard lock on the sharded
+        // engine; read it lazily and only for nets that actually hold a
+        // token using the element.
+        let mut remaining: Option<usize> = None;
         for &r in &route {
-            self.nets[r].on_remove(e, remaining, &mut self.stats);
+            if self.nets[r].uses.contains_key(e) {
+                let rem = match remaining {
+                    Some(x) => x,
+                    None => {
+                        let x = bag.count_at(e.label, e.tag, &e.value);
+                        remaining = Some(x);
+                        x
+                    }
+                };
+                self.nets[r].on_remove(e, rem, &mut self.stats);
+            } else {
+                // No token to retire, but a spilled reaction's cached
+                // "enabled" may have rested on a virtual completion
+                // through this element.
+                self.stats.removals += 1;
+                if self.nets[r].cached_enabled == Some(true) {
+                    self.nets[r].cached_enabled = None;
+                }
+            }
+            self.nets[r].maybe_repromote(&compiled.reactions[r], bag, &mut self.stats);
         }
         self.route = route;
     }
@@ -1180,6 +1533,7 @@ mod tests {
     use crate::expr::Expr;
     use crate::spec::{ElementSpec, GammaProgram, Pattern, ReactionSpec};
     use gammaflow_multiset::value::{BinOp, CmpOp};
+    use gammaflow_multiset::ElementBag;
     use rand::SeedableRng;
 
     fn e(v: i64, l: &str, t: u64) -> Element {
@@ -1428,8 +1782,153 @@ mod tests {
         assert_eq!(net.stats.spill_probes, probes + 1);
         // A removal drops the cached "match".
         assert!(bag.remove(&b));
-        net.on_removed(&bag, std::slice::from_ref(&b));
+        net.on_removed(&compiled, &bag, std::slice::from_ref(&b));
         assert!(!net.has_match(&compiled, &bag, 0));
+    }
+
+    fn tag_pair_program() -> CompiledProgram {
+        compile(vec![ReactionSpec::new("pair")
+            .replace(Pattern::tagged("a", "A", "v"))
+            .replace(Pattern::tagged("b", "B", "v"))
+            .by(vec![ElementSpec::tagged(
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                "C",
+                "v",
+            )])])
+    }
+
+    fn slices_for(
+        compiled: &CompiledProgram,
+        workers: usize,
+        bag: &ElementBag,
+    ) -> Vec<ReteNetwork> {
+        let plan = std::sync::Arc::new(SlicePlan::build(compiled, workers, 64));
+        (0..workers)
+            .map(|w| {
+                ReteNetwork::with_slice(
+                    compiled,
+                    bag,
+                    DEFAULT_SPILL_WATERMARK,
+                    AlphaSlice {
+                        plan: plan.clone(),
+                        worker: w,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_union_equals_full_network() {
+        // Four independent pair reactions = four dependency components:
+        // the planner spreads them over the workers, and the slices'
+        // terminal tokens partition the full network's matches — no
+        // overlap, no gaps.
+        let reactions: Vec<ReactionSpec> = (0..4)
+            .map(|g| {
+                ReactionSpec::new(format!("pair{g}"))
+                    .replace(Pattern::pair("a", format!("A{g}").as_str()))
+                    .replace(Pattern::pair("b", format!("B{g}").as_str()))
+                    .by(vec![ElementSpec::pair(
+                        Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                        format!("C{g}").as_str(),
+                    )])
+            })
+            .collect();
+        let compiled = compile(reactions);
+        let mut bag = ElementBag::new();
+        for g in 0..4i64 {
+            for v in 0..3 {
+                bag.insert(e(v, &format!("A{g}"), 0));
+                bag.insert(e(10 + v, &format!("B{g}"), 0));
+            }
+        }
+        let full = ReteNetwork::new(&compiled, &bag);
+        let workers = 3;
+        let slices = slices_for(&compiled, workers, &bag);
+        let mut spread = 0;
+        for r in 0..4 {
+            assert_eq!(full.match_count(r), 9);
+            let per_slice: Vec<usize> = slices.iter().map(|s| s.match_count(r)).collect();
+            assert_eq!(
+                per_slice.iter().sum::<usize>(),
+                9,
+                "reaction {r}: no overlap, no gaps ({per_slice:?})"
+            );
+            // Component ownership: each reaction's matches live in
+            // exactly one slice.
+            assert_eq!(per_slice.iter().filter(|&&c| c > 0).count(), 1);
+            spread |= 1 << per_slice.iter().position(|&c| c > 0).unwrap();
+        }
+        assert!(
+            (spread as u32).count_ones() > 1,
+            "four components should spread over three workers: {spread:b}"
+        );
+    }
+
+    #[test]
+    fn sliced_deltas_route_to_the_owning_slice() {
+        let compiled = tag_pair_program();
+        let mut bag = ElementBag::new();
+        for t in 0..8u64 {
+            bag.insert(e(t as i64, "A", t));
+            bag.insert(e(10 + t as i64, "B", t));
+        }
+        let workers = 3;
+        let mut slices = slices_for(&compiled, workers, &bag);
+        let total = |ss: &[ReteNetwork]| ss.iter().map(|s| s.match_count(0)).sum::<usize>();
+        assert_eq!(total(&slices), 8);
+        // A fresh tagged pair becomes exactly one new match, in exactly
+        // one slice, after every slice sees both insert deltas.
+        let a = e(40, "A", 77);
+        let b = e(41, "B", 77);
+        bag.insert(a.clone());
+        for s in slices.iter_mut() {
+            s.on_inserted(&compiled, &bag, std::slice::from_ref(&a));
+        }
+        bag.insert(b.clone());
+        for s in slices.iter_mut() {
+            s.on_inserted(&compiled, &bag, std::slice::from_ref(&b));
+        }
+        assert_eq!(total(&slices), 9);
+        // Removing one operand retires it from the owning slice only.
+        assert!(bag.remove(&a));
+        for s in slices.iter_mut() {
+            s.on_removed(&compiled, &bag, std::slice::from_ref(&a));
+        }
+        assert_eq!(total(&slices), 8);
+    }
+
+    #[test]
+    fn shrinking_bag_repromotes_demoted_levels() {
+        // A spilled sum fold is driven down to a single element: once the
+        // live-token count falls under half the watermark, the demoted
+        // terminal level must re-materialise (with the hysteresis floor
+        // absorbing the attempts whose rebuild would still overflow).
+        let compiled = sum_program();
+        let mut bag: ElementBag = (1..=100).map(|v| e(v, "n", 0)).collect();
+        let mut net = ReteNetwork::with_watermark(&compiled, &bag, 50);
+        assert!(net.is_spilled(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        while let Some(r) = net.pick_ready(&compiled, &bag, &mut rng) {
+            let f = net
+                .pick_firing(&compiled, &bag, r, &mut rng)
+                .unwrap()
+                .unwrap();
+            assert!(bag.remove_all(&f.consumed));
+            for p in &f.produced {
+                bag.insert(p.clone());
+            }
+            net.on_firing_applied(&compiled, &bag, &f);
+        }
+        assert_eq!(bag.len(), 1, "fold reaches a single element");
+        assert!(
+            !net.is_spilled(0),
+            "shrunk memory must re-materialise: {:?}",
+            net.stats
+        );
+        assert!(net.stats.spill_repromotions > 0, "{:?}", net.stats);
+        assert!(net.stats.spill_demotions > 0, "{:?}", net.stats);
     }
 
     #[test]
@@ -1458,7 +1957,7 @@ mod tests {
         assert_eq!(net.match_count(0), 3);
         let victim = e(8, "n", 0);
         assert!(bag.remove(&victim));
-        net.on_removed(&bag, std::slice::from_ref(&victim));
+        net.on_removed(&compiled, &bag, std::slice::from_ref(&victim));
         assert_eq!(net.match_count(0), 1); // only (4,2) survives
         assert!(net.stats.tokens_retired >= 2);
     }

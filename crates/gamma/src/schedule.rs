@@ -109,6 +109,13 @@ impl DependencyIndex {
         }
     }
 
+    /// True when some reaction consumes `label` (directly, through a
+    /// label class, or via a wildcard pattern). The parallel engine's
+    /// targeted delta delivery skips labels nobody consumes.
+    pub fn has_dependents(&self, label: Symbol) -> bool {
+        !self.wildcard.is_empty() || self.by_label.contains_key(&label)
+    }
+
     /// The dependents of `label` as a collected vector (tests/diagnostics).
     pub fn dependents(&self, label: Symbol) -> Vec<usize> {
         let mut out = Vec::new();
@@ -139,6 +146,10 @@ pub struct SchedStats {
     pub full_searches: u64,
     /// Anchored (delta-element) probes executed.
     pub anchored_probes: u64,
+    /// Deterministic-mode re-selections: an anchored probe proved the
+    /// reaction enabled and the firing was then re-found with the
+    /// trace-preserving index-order search.
+    pub anchored_confirm_searches: u64,
     /// Reaction wake-ups that were deduplicated into an existing dirty
     /// entry.
     pub coalesced_wakeups: u64,
@@ -321,6 +332,8 @@ impl DeltaScheduler {
                     )?
                 }
                 DirtyState::Anchored(anchors) => {
+                    // Anchors are probed in insertion (index) order, so the
+                    // deterministic path stays reproducible.
                     let mut found = None;
                     for anchor in &anchors {
                         self.stats.anchored_probes += 1;
@@ -340,6 +353,25 @@ impl DeltaScheduler {
                         // anchors live for the next visit. (The consumed
                         // anchor re-probes as a cheap no-op.)
                         self.state[reaction] = DirtyState::Anchored(anchors);
+                        if rng.is_none() {
+                            // Deterministic mode: the anchored probe only
+                            // decided *enabledness* (complete, because any
+                            // new match consumes an anchor). The firing
+                            // itself is re-selected by the same index-order
+                            // search as the rescanning reference, so the
+                            // trace is preserved by construction.
+                            self.stats.anchored_confirm_searches += 1;
+                            found = compiled.reactions[reaction].find_match_fast(
+                                reaction,
+                                bag,
+                                None,
+                                &mut self.scratch,
+                            )?;
+                            debug_assert!(
+                                found.is_some(),
+                                "anchored probe proved reaction {reaction} enabled"
+                            );
+                        }
                     }
                     found
                 }
@@ -388,6 +420,86 @@ impl DeltaScheduler {
                 Ok(Some(firing))
             }
         }
+    }
+}
+
+/// A work-stealing sharded worklist of dirty reactions for the parallel
+/// engine: the concurrent image of [`DeltaScheduler`]'s worklist.
+///
+/// Each worker owns one queue. Producers push a woken reaction onto
+/// *their own* queue (LIFO pop for locality); a worker whose queue and
+/// rete slice are both dry steals FIFO from its peers, which balances
+/// load when the alpha-shard partition is skewed (e.g. a single-bucket
+/// fold owned by one worker).
+///
+/// Entries are deduplicated by a per-reaction membership flag so a
+/// reaction is queued at most once however many producers wake it. The
+/// flag protocol is intentionally *lossy* under races (a wake-up arriving
+/// in the instant between a pop and its flag clear is dropped): the
+/// worklist is thief guidance only — the sharded engine's exactness and
+/// termination rest on the per-worker rete slices, never on this queue.
+#[derive(Debug)]
+pub struct ShardedWorklist {
+    queues: Vec<parking_lot::Mutex<std::collections::VecDeque<u32>>>,
+    queued: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl ShardedWorklist {
+    /// A worklist striped across `workers` queues for `nreactions`
+    /// reactions.
+    pub fn new(workers: usize, nreactions: usize) -> ShardedWorklist {
+        ShardedWorklist {
+            queues: (0..workers.max(1))
+                .map(|_| parking_lot::Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            queued: (0..nreactions)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Queue `reaction` on `worker`'s shard unless it is already queued
+    /// somewhere.
+    pub fn push(&self, worker: usize, reaction: usize) {
+        use std::sync::atomic::Ordering;
+        if self.queued[reaction].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.queues[worker % self.queues.len()]
+            .lock()
+            .push_back(reaction as u32);
+    }
+
+    /// Pop from `worker`'s own shard (LIFO — the most recently woken
+    /// reaction is the most likely to still be enabled).
+    pub fn pop_local(&self, worker: usize) -> Option<usize> {
+        let popped = self.queues[worker % self.queues.len()].lock().pop_back();
+        self.finish_pop(popped)
+    }
+
+    /// Steal from the other shards (FIFO — take the oldest waiting work).
+    pub fn steal(&self, worker: usize) -> Option<usize> {
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            let popped = self.queues[victim].lock().pop_front();
+            if popped.is_some() {
+                return self.finish_pop(popped);
+            }
+        }
+        None
+    }
+
+    fn finish_pop(&self, popped: Option<u32>) -> Option<usize> {
+        use std::sync::atomic::Ordering;
+        let r = popped? as usize;
+        self.queued[r].store(false, Ordering::Release);
+        Some(r)
+    }
+
+    /// True when every shard is empty (racy; advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.lock().is_empty())
     }
 }
 
@@ -531,6 +643,83 @@ mod tests {
         }
         assert_eq!(bag.len(), 1);
         assert!(bag.contains(&e(10, "n", 0)));
+    }
+
+    #[test]
+    fn deterministic_anchored_mode_replays_full_search_selection() {
+        // With anchors on in deterministic mode, each firing must be the
+        // exact tuple the unanchored search would select (the anchored
+        // probe only decides enabledness). The consumer reaction comes
+        // *first* in program order, so it is proven clean before the
+        // producer wakes it — the wake-up lands as an anchor.
+        let reversed = GammaProgram::new(vec![
+            ReactionSpec::new("bc")
+                .replace(Pattern::pair("x", "b"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "c")]),
+            ReactionSpec::new("ab")
+                .replace(Pattern::pair("x", "a"))
+                .by(vec![ElementSpec::pair(Expr::var("x"), "b")]),
+        ]);
+        let compiled = CompiledProgram::compile(&reversed).unwrap();
+        let run = |use_anchors: bool| {
+            let mut bag: ElementBag = [e(1, "a", 0), e(2, "a", 0)].into_iter().collect();
+            let mut sched = DeltaScheduler::new(&compiled);
+            let mut firings = Vec::new();
+            while let Some(f) = sched.next_firing(&compiled, &bag, None).unwrap() {
+                assert!(bag.remove_all(&f.consumed));
+                for p in &f.produced {
+                    bag.insert(p.clone());
+                }
+                sched.on_fired(&f, use_anchors);
+                firings.push(f);
+            }
+            (firings, sched.stats)
+        };
+        let (plain, _) = run(false);
+        let (anchored, stats) = run(true);
+        assert_eq!(plain, anchored, "anchored det mode changed a selection");
+        assert!(stats.anchored_probes > 0, "{stats:?}");
+        assert!(stats.anchored_confirm_searches > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn sharded_worklist_dedups_and_steals() {
+        let wl = ShardedWorklist::new(2, 4);
+        wl.push(0, 3);
+        wl.push(0, 3); // deduplicated
+        wl.push(0, 1);
+        assert_eq!(wl.pop_local(0), Some(1), "LIFO local pop");
+        assert_eq!(wl.steal(1), Some(3), "peer steals the oldest entry");
+        assert_eq!(wl.pop_local(0), None);
+        assert!(wl.is_empty());
+        // Popped entries may be re-queued.
+        wl.push(1, 3);
+        assert_eq!(wl.pop_local(1), Some(3));
+    }
+
+    #[test]
+    fn sharded_worklist_concurrent_smoke() {
+        use std::sync::Arc;
+        let wl = Arc::new(ShardedWorklist::new(4, 64));
+        let mut handles = Vec::new();
+        for w in 0..4usize {
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0usize;
+                for r in 0..64 {
+                    wl.push(w, r);
+                }
+                while wl.pop_local(w).is_some() || wl.steal(w).is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Each reaction is queued at most once per concurrent epoch; all
+        // queued entries are drained.
+        assert!(total >= 64, "at least one full wave drains: {total}");
+        assert!(wl.is_empty());
     }
 
     #[test]

@@ -274,10 +274,11 @@ impl SeqInterpreter {
             Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
             Selection::Deterministic => None,
         };
-        // Anchored probes change which tuple a dirty reaction selects, so
-        // they are reserved for seeded mode; deterministic mode keeps the
-        // rescanning reference's exact trace.
-        let use_anchors = rng.is_some();
+        // Anchored probes are trace-preserving in both modes: seeded mode
+        // fires the anchored tuple directly, deterministic mode uses the
+        // anchors only to decide enabledness and re-selects the firing
+        // with the same index-order search as the rescanning reference.
+        let use_anchors = true;
         let mut scheduler = DeltaScheduler::new(&self.compiled);
 
         let status = loop {
@@ -512,7 +513,7 @@ impl SeqInterpreter {
                 };
                 let ok = self.multiset.remove_all(&firing.consumed);
                 debug_assert!(ok);
-                network.on_removed(&self.multiset, &firing.consumed);
+                network.on_removed(&self.compiled, &self.multiset, &firing.consumed);
                 stats.record_firing(firing.reaction, &firing);
                 if let Some(t) = trace.as_mut() {
                     t.push(FiringRecord::from_firing(
@@ -564,7 +565,8 @@ impl SeqInterpreter {
             Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
             Selection::Deterministic => None,
         };
-        let use_anchors = rng.is_some();
+        // Trace-preserving in both modes; see `run_delta`.
+        let use_anchors = true;
         let mut scheduler = DeltaScheduler::new(&self.compiled);
         let mut profile = Vec::new();
 

@@ -62,7 +62,7 @@ pub mod value;
 pub use bag::HashBag;
 pub use element::{Element, Tag};
 pub use indexed::ElementBag;
-pub use sharded::ShardedBag;
+pub use sharded::{shard_index, ShardedBag};
 pub use symbol::Symbol;
 pub use value::{Value, ValueError};
 

@@ -48,10 +48,21 @@ mod crossbeam_utils_shim {
     }
 }
 
+/// Which of `num_shards` shards (a power of two) the `(label, tag)` key
+/// lives in. Exposed as a free function so consumers that partition the
+/// same alpha space — the parallel Gamma engine assigns each worker a
+/// slice of `(label, tag)` keys — agree with [`ShardedBag::shard_of`]
+/// without holding a bag.
+#[inline]
+pub fn shard_index(label: Symbol, tag: Tag, num_shards: usize) -> usize {
+    debug_assert!(num_shards.is_power_of_two());
+    let key = ((label.index() as u64) << 32) ^ tag.0;
+    (fxhash::hash_u64(key) & (num_shards as u64 - 1)) as usize
+}
+
 /// A sharded, internally synchronised multiset of [`Element`]s.
 pub struct ShardedBag {
     shards: Box<[CachePadded<Mutex<ElementBag>>]>,
-    mask: u64,
     version: AtomicU64,
     len: AtomicUsize,
 }
@@ -67,7 +78,6 @@ impl ShardedBag {
             .into_boxed_slice();
         ShardedBag {
             shards,
-            mask: (n - 1) as u64,
             version: AtomicU64::new(0),
             len: AtomicUsize::new(0),
         }
@@ -84,8 +94,7 @@ impl ShardedBag {
     /// lock.
     #[inline]
     pub fn shard_of(&self, label: Symbol, tag: Tag) -> usize {
-        let key = ((label.index() as u64) << 32) ^ tag.0;
-        (fxhash::hash_u64(key) & self.mask) as usize
+        shard_index(label, tag, self.shards.len())
     }
 
     /// Monotonic mutation counter. Bumped after every successful
@@ -308,6 +317,18 @@ mod tests {
         let a = bag.shard_of(Symbol::intern("L"), Tag(5));
         let b = bag.shard_of(Symbol::intern("L"), Tag(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn free_shard_index_agrees_with_bag() {
+        let bag = ShardedBag::new(16);
+        for (l, t) in [("L", 0u64), ("M", 7), ("worker", 123), ("n", 42)] {
+            let label = Symbol::intern(l);
+            assert_eq!(
+                shard_index(label, Tag(t), bag.num_shards()),
+                bag.shard_of(label, Tag(t))
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use gammaflow::core::dataflow_to_gamma;
 use gammaflow::gamma::{
-    ExecConfig, ExecResult, GammaProgram, Scheduling, Selection, SeqInterpreter, Status,
+    run_parallel, ExecConfig, ExecResult, GammaProgram, ParConfig, ParEngine, Scheduling,
+    Selection, SeqInterpreter, Status,
 };
 use gammaflow::multiset::ElementBag;
 use gammaflow::workloads::{
@@ -454,6 +455,92 @@ fn adversarial_cross_sum_peak_tokens_bounded_by_watermark() {
         watermark,
         2 * n
     );
+}
+
+/// The parallel-engine matrix: both worker loops (sampled probe-retry
+/// and delta-driven sharded rete), across worker counts, must land on
+/// the byte-identical stable multiset the sequential reference computes
+/// — these workloads are confluent, so the final state is
+/// schedule-independent even though parallel interleavings are not.
+#[test]
+fn parallel_matrix_byte_identical_finals() {
+    let mut workloads: Vec<(String, GammaProgram, ElementBag)> = Vec::new();
+    for seed in [3u64, 11] {
+        let dag = random_dag(
+            seed,
+            &DagParams {
+                roots: 3,
+                layers: 3,
+                width: 4,
+                range: 1000,
+            },
+        );
+        let conv = dataflow_to_gamma(&dag.graph).expect("conversion succeeds");
+        workloads.push((format!("random_dag_{seed}"), conv.program, conv.initial));
+    }
+    for w in [
+        cross_sum(40),
+        divisor_sieve(80),
+        triangles(4, 6),
+        interval_merge(&[(1, 3), (2, 6), (8, 10), (10, 12), (20, 25)]),
+    ] {
+        workloads.push((w.name.to_string(), w.program, w.initial));
+    }
+    for (name, program, initial) in &workloads {
+        let reference = run_with(program, initial, Selection::Deterministic, Scheduling::Rete);
+        assert_eq!(reference.status, Status::Stable, "{name}");
+        for workers in [1usize, 2, 8] {
+            for engine in [ParEngine::ProbeRetry, ParEngine::ShardedRete] {
+                let config = ParConfig {
+                    workers,
+                    engine,
+                    seed: 7,
+                    ..ParConfig::default()
+                };
+                let result = run_parallel(program, initial.clone(), &config)
+                    .unwrap_or_else(|e| panic!("{name} {engine:?} x{workers}: {e}"));
+                assert_eq!(
+                    result.exec.status,
+                    Status::Stable,
+                    "{name} {engine:?} x{workers}"
+                );
+                assert_eq!(
+                    result.exec.multiset, reference.multiset,
+                    "{name} {engine:?} x{workers}: finals diverged from the sequential reference"
+                );
+            }
+        }
+    }
+}
+
+/// The sharded engine's per-worker slices honour the spill watermark:
+/// the adversarial n² fold must keep every slice's peak beta tokens
+/// within the watermark plus one delta burst, and the spill counters
+/// (including the ones the old aggregation dropped) must be visible.
+#[test]
+fn parallel_sharded_per_shard_tokens_bounded_by_watermark() {
+    let n = 150i64;
+    let w = cross_sum(n);
+    let watermark = 1_000usize;
+    let config = ParConfig {
+        workers: 4,
+        rete_watermark: watermark,
+        seed: 1,
+        ..ParConfig::default()
+    };
+    let result = run_parallel(&w.program, w.initial.clone(), &config).unwrap();
+    assert_eq!(result.exec.status, Status::Stable);
+    assert_eq!(result.exec.multiset, w.expected, "cross_sum self-check");
+    let par = &result.par;
+    assert!(par.spill_demotions > 0, "{par:?}");
+    assert!(par.spill_probes > 0, "{par:?}");
+    assert_eq!(par.shard_peak_tokens.len(), 4);
+    for (i, &peak) in par.shard_peak_tokens.iter().enumerate() {
+        assert!(
+            peak <= (watermark as u64) + 2 * n as u64,
+            "shard {i} peak {peak} exceeds watermark {watermark} + delta burst: {par:?}"
+        );
+    }
 }
 
 #[test]
