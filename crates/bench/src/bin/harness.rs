@@ -1,7 +1,8 @@
 //! Experiment harness: regenerates every table/figure row from DESIGN.md's
 //! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
-//! S4 → `BENCH_parallel.json`) and prints them in one run.
+//! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`) and prints
+//! them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -1102,6 +1103,167 @@ fn s4() {
     println!("wrote BENCH_parallel.json");
 }
 
+// ------------------------------------------------------------------ S5 ----
+
+/// One streaming comparison in BENCH_streaming.json: the same wave
+/// schedule executed by a persistent `Session` (matcher state resumed
+/// across waves) vs a fresh interpreter rebuilt on the accumulated bag
+/// every wave.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StreamingRow {
+    workload: String,
+    waves: usize,
+    elements_per_wave: usize,
+    firings: u64,
+    rebuild_per_wave: EngineRow,
+    session_resume: EngineRow,
+    session_speedup_vs_rebuild: f64,
+    identical_final_multiset: bool,
+}
+
+/// The BENCH_streaming.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StreamingReport {
+    bench: String,
+    rows: Vec<StreamingRow>,
+}
+
+fn streaming_fps_series(rows: &[StreamingRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                (
+                    format!("{}/session", r.workload),
+                    r.session_resume.firings_per_sec,
+                ),
+                (
+                    format!("{}/rebuild", r.workload),
+                    r.rebuild_per_wave.firings_per_sec,
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// S5: the unified `Session` API on a streaming workload — wave-resume
+/// over a persistent Rete network vs rebuilding the interpreter on the
+/// accumulated bag every wave. The windowed-sum stream collapses each
+/// window to a total that stays in the bag forever under a consumed
+/// label, so a fresh matcher build pays O(history) token
+/// materialisation per wave while the resumed session absorbs only the
+/// wave's insertion delta. The workload's firing count and final
+/// multiset are schedule-independent (pairwise integer folds per tag),
+/// so the seeded engines are compared firing-for-firing and the finals
+/// are asserted byte-identical in-run (to each other and to the
+/// workload's self-check multiset). Results go to
+/// `BENCH_streaming.json`.
+fn s5() {
+    use gammaflow_gamma::{ExecConfig, Selection, Session, Status};
+    use gammaflow_workloads::windowed_sum;
+    banner("S5", "Streaming sessions: wave-resume vs rebuild-per-wave");
+
+    let (waves, windows_per_wave, per_window) = (64usize, 128usize, 2usize);
+    let w = windowed_sum(waves, windows_per_wave, per_window, 42);
+    let per_wave = windows_per_wave * per_window;
+
+    // Session-resume: build matcher state once, inject + resume per wave.
+    let t = Instant::now();
+    let mut session = Session::build(&w.program)
+        .selection(Selection::Seeded(1))
+        .start(w.initial.clone())
+        .expect("program compiles");
+    for wave in &w.waves {
+        session.inject(wave.iter().cloned());
+        let wv = session.run_to_stable().expect("wave runs");
+        assert_eq!(wv.status, Status::Stable);
+    }
+    let session_result = session.finish();
+    let session_secs = t.elapsed().as_secs_f64();
+    let session_firings = session_result.stats.firings_total();
+    assert_eq!(
+        session_result.multiset, w.expected,
+        "session final must match the workload self-check"
+    );
+
+    // Rebuild-per-wave: a fresh interpreter (fresh compile, fresh Rete
+    // build over the whole accumulated bag) every wave.
+    let t = Instant::now();
+    let mut bag = w.initial.clone();
+    let mut rebuild_firings = 0u64;
+    for wave in &w.waves {
+        for e in wave {
+            bag.insert(e.clone());
+        }
+        let result = SeqInterpreter::with_config(
+            &w.program,
+            bag,
+            ExecConfig {
+                selection: Selection::Seeded(1),
+                ..ExecConfig::default()
+            },
+        )
+        .expect("program compiles")
+        .run()
+        .expect("rebuild run succeeds");
+        assert_eq!(result.status, Status::Stable);
+        rebuild_firings += result.stats.firings_total();
+        bag = result.multiset;
+    }
+    let rebuild_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        bag, session_result.multiset,
+        "wave-resume and rebuild-per-wave finals must be byte-identical"
+    );
+    assert_eq!(
+        session_firings, rebuild_firings,
+        "windowed folds fire a schedule-independent count"
+    );
+
+    let session_fps = session_firings as f64 / session_secs;
+    let rebuild_fps = rebuild_firings as f64 / rebuild_secs;
+    let speedup = session_fps / rebuild_fps;
+    println!(
+        "{:<26} {:>3} waves x {:<4} {:>8} firings  rebuild {:>10.0} f/s  session {:>10.0} f/s  {:>6.2}x",
+        w.name, waves, per_wave, session_firings, rebuild_fps, session_fps, speedup
+    );
+
+    let rows = vec![StreamingRow {
+        workload: w.name.clone(),
+        waves,
+        elements_per_wave: per_wave,
+        firings: session_firings,
+        rebuild_per_wave: EngineRow {
+            seconds: rebuild_secs,
+            firings: rebuild_firings,
+            firings_per_sec: rebuild_fps,
+        },
+        session_resume: EngineRow {
+            seconds: session_secs,
+            firings: session_firings,
+            firings_per_sec: session_fps,
+        },
+        session_speedup_vs_rebuild: speedup,
+        identical_final_multiset: true,
+    }];
+
+    let baseline: Vec<(String, f64)> = read_baseline::<StreamingReport>("BENCH_streaming.json")
+        .map(|old| streaming_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_streaming.json",
+        &baseline,
+        &streaming_fps_series(&rows),
+    );
+
+    let report = StreamingReport {
+        bench: "streaming".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_streaming.json", &json).expect("write BENCH_streaming.json");
+    println!("wrote BENCH_streaming.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -1153,6 +1315,9 @@ fn main() {
     }
     if want("S4") {
         s4();
+    }
+    if want("S5") {
+        s5();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

@@ -35,6 +35,11 @@
 //!   multiset: delta-driven workers each owning a slice of the rete
 //!   network (the default), with the optimistic probe-and-retry loop
 //!   kept as the measurable baseline.
+//! * [`session`] — the unified execution API: a [`Session`] compiles
+//!   once, builds matcher state once, and then runs **incremental input
+//!   waves** over it ([`Session::run_to_stable`] / [`Session::inject`]),
+//!   so steady-state resumption pays O(delta) instead of a rebuild. The
+//!   interpreters above are thin one-wave wrappers over it.
 //!
 //! # Example
 //!
@@ -73,6 +78,7 @@ pub mod rete;
 pub mod reuse;
 pub mod schedule;
 pub mod seq;
+pub mod session;
 pub mod spec;
 pub mod trace;
 
@@ -88,6 +94,7 @@ pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats, ShardedWorklist}
 pub use seq::{
     run_pipeline, ExecConfig, ExecError, ExecResult, Scheduling, Selection, SeqInterpreter, Status,
 };
+pub use session::{Engine, EngineConfig, Session, SessionBuilder, Wave, WaveObserver};
 pub use spec::{
     ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
     ReactionSpec, SpecError, TagPat, TagSpec, ValuePat,

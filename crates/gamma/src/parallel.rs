@@ -11,7 +11,7 @@
 //! # The sharded-rete engine ([`ParEngine::ShardedRete`], the default)
 //!
 //! The Rete network of [`crate::rete`] is partitioned across the
-//! workers by a static [`SlicePlan`](crate::rete::SlicePlan): reactions
+//! workers by a static [`SlicePlan`]: reactions
 //! are grouped into *dependency components* (union–find over consumed ∪
 //! produced label classes) and each component — with every label it
 //! touches — is assigned to one worker; labels outside every component
@@ -70,9 +70,10 @@
 //! engines' firings/sec in `BENCH_parallel.json`.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
-use crate::rete::{AlphaSlice, ReteNetwork, ReteStats};
+use crate::rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan};
 use crate::schedule::{DependencyIndex, ShardedWorklist};
 use crate::seq::{ExecError, ExecResult, Status};
+use crate::session::{EngineConfig, Session};
 use crate::spec::GammaProgram;
 use crate::trace::ExecStats;
 use crossbeam_channel::{Receiver, Sender};
@@ -84,6 +85,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-reaction dirty flags shared by all workers: a cleared flag means
@@ -233,6 +235,30 @@ pub struct ParStats {
     /// maximum, and the equivalence suite asserts each entry stays within
     /// the watermark plus one delta burst.
     pub shard_peak_tokens: Vec<u64>,
+}
+
+impl ParStats {
+    /// Merge another block's **wave-level** scalar counters (worker
+    /// folds, session waves). The slice-lifetime fields
+    /// (`rete_precleared`, `spill_*`, `shard_peak_tokens`) are
+    /// deliberately excluded — they are folded once, at finish time, by
+    /// the engine states' `fold_lifetime_stats`.
+    fn absorb_wave_counters(&mut self, other: &ParStats) {
+        self.claim_failures += other.claim_failures;
+        self.dry_probes += other.dry_probes;
+        self.snapshot_checks += other.snapshot_checks;
+        self.deltas_published += other.deltas_published;
+        self.deltas_processed += other.deltas_processed;
+        self.stolen_firings += other.stolen_firings;
+        self.steal_misses += other.steal_misses;
+    }
+}
+
+/// Per-wave RNG stream base, shared by both parallel engines so their
+/// seed derivation can never silently diverge: wave 0 reproduces the
+/// legacy one-shot seed exactly.
+fn wave_seed(seed: u64, wave_index: u64) -> u64 {
+    seed.wrapping_add(wave_index.wrapping_mul(0x517c_c1b7_2722_0a95))
 }
 
 /// Result of a parallel run: the usual [`ExecResult`] plus engine counters.
@@ -399,238 +425,318 @@ const OCCUPANCY_PROBE_WATERMARK: usize = 256;
 
 /// Run `program` on `initial` with the parallel engine selected by
 /// [`ParConfig::engine`].
+///
+/// A thin wrapper over a one-wave [`Session`]: the session builds the
+/// same sharded bag / slices / dirty flags this function historically
+/// built inline, runs one wave to stability, and reports the identical
+/// result shape. Long-running callers that inject input incrementally
+/// should hold a [`Session`] with [`Engine::Parallel`](crate::session::Engine::Parallel) directly and pay
+/// the slice build once.
 pub fn run_parallel(
     program: &GammaProgram,
     initial: ElementBag,
     config: &ParConfig,
 ) -> Result<ParResult, ExecError> {
-    match config.engine {
-        ParEngine::ShardedRete => run_sharded(program, initial, config),
-        ParEngine::ProbeRetry => run_probe_retry(program, initial, config),
-    }
+    let mut session = Session::build(program)
+        .config(EngineConfig::from(config))
+        .start(initial)?;
+    session.run_to_stable()?;
+    Ok(session.finish_parallel())
 }
 
-/// The sampled probe-and-retry worker loop (see the module docs).
-fn run_probe_retry(
-    program: &GammaProgram,
-    initial: ElementBag,
-    config: &ParConfig,
-) -> Result<ParResult, ExecError> {
-    let compiled = CompiledProgram::compile(program)?;
-    let nreactions = compiled.reactions.len();
-    let deps = DependencyIndex::new(&compiled);
-    let dirty = DirtyFlags::new(nreactions);
+/// Persistent state of the probe-retry engine across a session's waves:
+/// the sharded bag, the key directory, and the heuristic dirty flags
+/// (injection re-arms exactly the dependents of injected labels — the
+/// delta discipline of the sequential worklist). Worker threads are
+/// scoped per wave; everything else survives.
+pub(crate) struct ProbeState {
+    deps: DependencyIndex,
+    dirty: DirtyFlags,
+    bag: ShardedBag,
+    directory: Directory,
+    nreactions: usize,
+    workers: usize,
+    sample_cap: usize,
+    seed: u64,
+    /// Startup occupancy-probe accounting, folded into the session's
+    /// cumulative [`ParStats`] at finish time.
+    rete_precleared: u64,
+    probe_stats: ReteStats,
+}
 
-    // Startup pruning: a watermark-bounded rete probe over the initial
-    // multiset answers exact per-reaction enabledness (deep join levels
-    // spill to on-demand search past the watermark, so building it is
-    // cheap); reactions with no enabled match start clean, and workers
-    // skip probing them until something they consume is produced. The
-    // locked-shard terminal check stays the exactness backstop either
-    // way.
-    let mut rete_precleared = 0u64;
-    let mut probe_stats = ReteStats::default();
-    if nreactions > 0 {
-        let mut probe = ReteNetwork::with_watermark(&compiled, &initial, OCCUPANCY_PROBE_WATERMARK);
-        for r in 0..nreactions {
-            if !probe.has_match(&compiled, &initial, r) {
-                dirty.clear(r);
-                rete_precleared += 1;
+impl ProbeState {
+    /// Build the engine state over `initial` (see the module docs for
+    /// the startup occupancy probe).
+    pub(crate) fn build(
+        compiled: &CompiledProgram,
+        initial: ElementBag,
+        config: &EngineConfig,
+    ) -> ProbeState {
+        let nreactions = compiled.reactions.len();
+        let deps = DependencyIndex::new(compiled);
+        let dirty = DirtyFlags::new(nreactions);
+
+        // Startup pruning: a watermark-bounded rete probe over the initial
+        // multiset answers exact per-reaction enabledness (deep join levels
+        // spill to on-demand search past the watermark, so building it is
+        // cheap); reactions with no enabled match start clean, and workers
+        // skip probing them until something they consume is produced. The
+        // locked-shard terminal check stays the exactness backstop either
+        // way.
+        let mut rete_precleared = 0u64;
+        let mut probe_stats = ReteStats::default();
+        if nreactions > 0 {
+            let mut probe =
+                ReteNetwork::with_watermark(compiled, &initial, OCCUPANCY_PROBE_WATERMARK);
+            for r in 0..nreactions {
+                if !probe.has_match(compiled, &initial, r) {
+                    dirty.clear(r);
+                    rete_precleared += 1;
+                }
             }
+            // The probe's own spill activity is part of the run's
+            // accounting: aggregation used to drop these counters entirely.
+            probe_stats = probe.stats.clone();
         }
-        // The probe's own spill activity is part of the run's accounting:
-        // aggregation used to drop these counters entirely.
-        probe_stats = probe.stats.clone();
+
+        let directory = Directory::new(&initial);
+        let bag = ShardedBag::new(config.shards);
+        bag.insert_all(initial.iter());
+
+        ProbeState {
+            deps,
+            dirty,
+            bag,
+            directory,
+            nreactions,
+            workers: config.workers.max(1),
+            sample_cap: config.sample_cap,
+            seed: config.seed,
+            rete_precleared,
+            probe_stats,
+        }
     }
 
-    let directory = Directory::new(&initial);
-    let bag = ShardedBag::new(config.shards);
-    bag.insert_all(initial.iter());
+    /// Inject new elements: insert into the sharded bag, note directory
+    /// keys, and re-arm exactly the dirty flags of reactions consuming
+    /// an injected label.
+    pub(crate) fn inject(&mut self, elements: &[Element]) {
+        for e in elements {
+            self.directory.note(e.label, e.tag);
+        }
+        self.bag.insert_all(elements.iter().cloned());
+        for e in elements {
+            self.deps.for_each_dependent(e.label, |r| self.dirty.set(r));
+        }
+    }
 
-    let done = AtomicBool::new(false);
-    let budget_exhausted = AtomicBool::new(false);
-    let firings_global = AtomicU64::new(0);
-    let checker = Mutex::new(());
-    let error: Mutex<Option<MatchError>> = Mutex::new(None);
+    /// A consistent copy of the live multiset.
+    pub(crate) fn snapshot(&self) -> ElementBag {
+        self.bag.snapshot()
+    }
 
-    let mut worker_stats: Vec<(ExecStats, ParStats)> = Vec::new();
+    /// Drain the bag (the dirty flags stay heuristic; exactness lives in
+    /// the locked-shard checks).
+    pub(crate) fn drain(&mut self) -> ElementBag {
+        self.bag.drain()
+    }
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
-            let compiled = &compiled;
-            let bag = &bag;
-            let directory = &directory;
-            let done = &done;
-            let budget_exhausted = &budget_exhausted;
-            let firings_global = &firings_global;
-            let checker = &checker;
-            let error = &error;
-            let config = config.clone();
-            let deps = &deps;
-            let dirty = &dirty;
-            handles.push(scope.spawn(move || {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(w as u64 * 0x9e37));
-                let mut stats = ExecStats::new(nreactions);
-                let mut par = ParStats::default();
-                // Probe order: only reactions whose dirty flag is set (the
-                // delta-scheduling prune); refreshed every iteration.
-                let mut order: Vec<usize> = Vec::with_capacity(nreactions);
-                let mut all: Vec<usize> = (0..nreactions).collect();
-                let mut scratch = SearchScratch::new();
+    /// Consume the state, returning the final multiset.
+    pub(crate) fn into_bag(self) -> ElementBag {
+        self.bag.drain()
+    }
 
-                'main: while !done.load(Ordering::Acquire) {
-                    dirty.collect_dirty(&mut order);
-                    let found = if order.is_empty() {
-                        None
-                    } else {
-                        order.shuffle(&mut rng);
-                        let view = ShardedView {
-                            bag,
-                            directory,
-                            sample_cap: config.sample_cap,
-                            salt: rng.gen(),
-                        };
-                        match compiled.find_any(&order, &view, Some(&mut rng)) {
-                            Ok(f) => f,
-                            Err(e) => {
-                                *error.lock() = Some(e);
-                                done.store(true, Ordering::Release);
-                                break 'main;
-                            }
-                        }
-                    };
-                    match found {
-                        Some(firing) => {
-                            if !try_fire(
+    /// Fold the build-time occupancy-probe accounting into `par`.
+    pub(crate) fn fold_lifetime_stats(&self, par: &mut ParStats) {
+        par.rete_precleared += self.rete_precleared;
+        par.spill_demotions += self.probe_stats.spill_demotions;
+        par.spill_probes += self.probe_stats.spill_probes;
+    }
+
+    /// One wave of the sampled probe-and-retry worker loop (see the
+    /// module docs). Wave-level counters are added to `par`; the wave's
+    /// firing stats and status are returned.
+    pub(crate) fn wave(
+        &mut self,
+        compiled: &CompiledProgram,
+        budget: u64,
+        wave_index: u64,
+        par: &mut ParStats,
+    ) -> Result<(ExecStats, Status), ExecError> {
+        let nreactions = self.nreactions;
+        if nreactions == 0 {
+            return Ok((ExecStats::new(0), Status::Stable));
+        }
+        if budget == 0 {
+            return Ok((ExecStats::new(nreactions), Status::BudgetExhausted));
+        }
+        let bag = &self.bag;
+        let directory = &self.directory;
+        let deps = &self.deps;
+        let dirty = &self.dirty;
+        let sample_cap = self.sample_cap;
+        let wave_seed = wave_seed(self.seed, wave_index);
+
+        let done = AtomicBool::new(false);
+        let budget_exhausted = AtomicBool::new(false);
+        let firings_global = AtomicU64::new(0);
+        let checker = Mutex::new(());
+        let error: Mutex<Option<MatchError>> = Mutex::new(None);
+
+        let mut worker_stats: Vec<(ExecStats, ParStats)> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for w in 0..self.workers {
+                let done = &done;
+                let budget_exhausted = &budget_exhausted;
+                let firings_global = &firings_global;
+                let checker = &checker;
+                let error = &error;
+                handles.push(scope.spawn(move || {
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(wave_seed.wrapping_add(w as u64 * 0x9e37));
+                    let mut stats = ExecStats::new(nreactions);
+                    let mut par = ParStats::default();
+                    // Probe order: only reactions whose dirty flag is set (the
+                    // delta-scheduling prune); refreshed every iteration.
+                    let mut order: Vec<usize> = Vec::with_capacity(nreactions);
+                    let mut all: Vec<usize> = (0..nreactions).collect();
+                    let mut scratch = SearchScratch::new();
+
+                    'main: while !done.load(Ordering::Acquire) {
+                        dirty.collect_dirty(&mut order);
+                        let found = if order.is_empty() {
+                            None
+                        } else {
+                            order.shuffle(&mut rng);
+                            let view = ShardedView {
                                 bag,
                                 directory,
-                                deps,
-                                dirty,
-                                firings_global,
-                                config.max_firings,
-                                done,
-                                budget_exhausted,
-                                &firing,
-                                &mut stats,
-                                &mut par,
-                            ) {
-                                par.claim_failures += 1;
-                            }
-                        }
-                        None => {
-                            // A sampled pass over the dirty set found
-                            // nothing: clear those flags (any concurrent
-                            // producer re-sets them) and fall through to
-                            // the authoritative check.
-                            for &r in &order {
-                                dirty.clear(r);
-                            }
-                            par.dry_probes += 1;
-                            // Authoritative termination check under the
-                            // checker mutex: exact search over the live
-                            // shards with every shard lock held — a
-                            // consistent view with no whole-bag clone.
-                            // Exactness lives here, so the dirty flags can
-                            // stay heuristic. The guards must drop before
-                            // try_fire, which re-locks shards to claim.
-                            let _guard = checker.lock();
-                            if done.load(Ordering::Acquire) {
-                                break 'main;
-                            }
-                            par.snapshot_checks += 1;
-                            all.shuffle(&mut rng);
-                            let exact = {
-                                let locked = LockedShards::lock(bag);
-                                match compiled.find_any_fast(
-                                    &all,
-                                    &locked,
-                                    Some(&mut rng),
-                                    &mut scratch,
-                                ) {
-                                    Ok(f) => f,
-                                    Err(e) => {
-                                        *error.lock() = Some(e);
-                                        done.store(true, Ordering::Release);
-                                        break 'main;
-                                    }
-                                }
+                                sample_cap,
+                                salt: rng.gen(),
                             };
-                            match exact {
-                                None => {
-                                    // Steady state reached.
+                            match compiled.find_any(&order, &view, Some(&mut rng)) {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    *error.lock() = Some(e);
                                     done.store(true, Ordering::Release);
                                     break 'main;
                                 }
-                                Some(firing) => {
-                                    // The snapshot is consistent and we
-                                    // still hold the checker lock, but
-                                    // other workers may race us; claim
-                                    // normally.
-                                    if !try_fire(
-                                        bag,
-                                        directory,
-                                        deps,
-                                        dirty,
-                                        firings_global,
-                                        config.max_firings,
-                                        done,
-                                        budget_exhausted,
-                                        &firing,
-                                        &mut stats,
-                                        &mut par,
+                            }
+                        };
+                        match found {
+                            Some(firing) => {
+                                if !try_fire(
+                                    bag,
+                                    directory,
+                                    deps,
+                                    dirty,
+                                    firings_global,
+                                    budget,
+                                    done,
+                                    budget_exhausted,
+                                    &firing,
+                                    &mut stats,
+                                    &mut par,
+                                ) {
+                                    par.claim_failures += 1;
+                                }
+                            }
+                            None => {
+                                // A sampled pass over the dirty set found
+                                // nothing: clear those flags (any concurrent
+                                // producer re-sets them) and fall through to
+                                // the authoritative check.
+                                for &r in &order {
+                                    dirty.clear(r);
+                                }
+                                par.dry_probes += 1;
+                                // Authoritative termination check under the
+                                // checker mutex: exact search over the live
+                                // shards with every shard lock held — a
+                                // consistent view with no whole-bag clone.
+                                // Exactness lives here, so the dirty flags can
+                                // stay heuristic. The guards must drop before
+                                // try_fire, which re-locks shards to claim.
+                                let _guard = checker.lock();
+                                if done.load(Ordering::Acquire) {
+                                    break 'main;
+                                }
+                                par.snapshot_checks += 1;
+                                all.shuffle(&mut rng);
+                                let exact = {
+                                    let locked = LockedShards::lock(bag);
+                                    match compiled.find_any_fast(
+                                        &all,
+                                        &locked,
+                                        Some(&mut rng),
+                                        &mut scratch,
                                     ) {
-                                        par.claim_failures += 1;
+                                        Ok(f) => f,
+                                        Err(e) => {
+                                            *error.lock() = Some(e);
+                                            done.store(true, Ordering::Release);
+                                            break 'main;
+                                        }
+                                    }
+                                };
+                                match exact {
+                                    None => {
+                                        // Steady state reached.
+                                        done.store(true, Ordering::Release);
+                                        break 'main;
+                                    }
+                                    Some(firing) => {
+                                        // The snapshot is consistent and we
+                                        // still hold the checker lock, but
+                                        // other workers may race us; claim
+                                        // normally.
+                                        if !try_fire(
+                                            bag,
+                                            directory,
+                                            deps,
+                                            dirty,
+                                            firings_global,
+                                            budget,
+                                            done,
+                                            budget_exhausted,
+                                            &firing,
+                                            &mut stats,
+                                            &mut par,
+                                        ) {
+                                            par.claim_failures += 1;
+                                        }
                                     }
                                 }
                             }
                         }
                     }
-                }
-                (stats, par)
-            }));
+                    (stats, par)
+                }));
+            }
+            for h in handles {
+                worker_stats.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        if let Some(e) = error.lock().take() {
+            return Err(ExecError::Match(e));
         }
-        for h in handles {
-            worker_stats.push(h.join().expect("worker panicked"));
+
+        let mut stats = ExecStats::new(nreactions);
+        for (s, p) in &worker_stats {
+            stats.absorb(s);
+            par.absorb_wave_counters(p);
         }
-    });
 
-    if let Some(e) = error.lock().take() {
-        return Err(ExecError::Match(e));
+        let status = if budget_exhausted.load(Ordering::Acquire) {
+            Status::BudgetExhausted
+        } else {
+            Status::Stable
+        };
+        Ok((stats, status))
     }
-
-    let mut stats = ExecStats::new(nreactions);
-    let mut par = ParStats {
-        rete_precleared,
-        spill_demotions: probe_stats.spill_demotions,
-        spill_probes: probe_stats.spill_probes,
-        ..ParStats::default()
-    };
-    for (s, p) in &worker_stats {
-        stats.absorb(s);
-        par.claim_failures += p.claim_failures;
-        par.dry_probes += p.dry_probes;
-        par.snapshot_checks += p.snapshot_checks;
-    }
-
-    let status = if budget_exhausted.load(Ordering::Acquire) {
-        Status::BudgetExhausted
-    } else {
-        Status::Stable
-    };
-
-    Ok(ParResult {
-        exec: ExecResult {
-            multiset: bag.drain(),
-            status,
-            stats,
-            trace: None,
-            sched: None,
-            rete: None,
-        },
-        par,
-    })
 }
 
 /// Attempt to claim and apply `firing`. Returns `false` on a lost race.
@@ -712,13 +818,19 @@ impl MatchSource for ShardedSource<'_> {
 }
 
 /// One firing's net delta (distinct removed / inserted elements, with
-/// consumed-and-reproduced elements cancelled), broadcast to every
-/// worker's mailbox after the claim commits.
+/// consumed-and-reproduced elements cancelled), delivered to the
+/// addressed workers' mailboxes after the claim commits as a shared
+/// [`Arc`] payload: one allocation per firing, one reference-count bump
+/// per addressed mailbox, so wildcard/broadcast programs no longer
+/// deep-copy the element vectors per worker.
 #[derive(Debug, Clone)]
 struct DeltaMsg {
     removed: Vec<Element>,
     inserted: Vec<Element>,
 }
+
+/// A delta mailbox endpoint pair (one per worker).
+type DeltaChannel = (Sender<Arc<DeltaMsg>>, Receiver<Arc<DeltaMsg>>);
 
 /// Compute a firing's net delta — the exact cancellation rule of
 /// [`ReteNetwork::on_firing_applied`], shared via
@@ -737,7 +849,7 @@ struct SharedRun<'a> {
     bag: &'a ShardedBag,
     directory: &'a Directory,
     worklist: &'a ShardedWorklist,
-    senders: &'a [Sender<DeltaMsg>],
+    senders: &'a [Sender<Arc<DeltaMsg>>],
     /// Firings published. Doubles as the global firing counter:
     /// incremented (before sending) once per claim.
     published: &'a AtomicU64,
@@ -777,7 +889,7 @@ impl SharedRun<'_> {
             self.budget_exhausted.store(true, Ordering::Release);
             self.done.store(true, Ordering::Release);
         }
-        let msg = net_delta(firing);
+        let msg = Arc::new(net_delta(firing));
         let workers = self.senders.len();
         let broadcast = self.plan.wildcard_consumer() || workers > 128;
         let mut mask: u128 = 0;
@@ -808,160 +920,277 @@ impl SharedRun<'_> {
     }
 }
 
-/// The delta-driven sharded-rete engine (see the module docs).
-fn run_sharded(
-    program: &GammaProgram,
-    initial: ElementBag,
-    config: &ParConfig,
-) -> Result<ParResult, ExecError> {
-    let compiled = CompiledProgram::compile(program)?;
-    let nreactions = compiled.reactions.len();
-    let workers = config.workers.max(1);
+/// Persistent state of the delta-driven sharded-rete engine across a
+/// session's waves: the sharded bag, the key directory, the static
+/// [`SlicePlan`], and — crucially — the per-worker [`ReteNetwork`]
+/// slices, whose alpha/beta memories, spill demotions, and re-promotion
+/// hysteresis all carry over from wave to wave. Worker threads, delta
+/// mailboxes, and the steal worklist are scoped per wave; at a wave's
+/// end every mailbox is provably drained, so the surviving slices are
+/// exact and the next wave resumes from them without a rebuild.
+pub(crate) struct ShardedState {
+    deps: DependencyIndex,
+    plan: Arc<SlicePlan>,
+    bag: ShardedBag,
+    directory: Directory,
+    slices: Vec<ReteNetwork>,
+    workers: usize,
+    nreactions: usize,
+    watermark: usize,
+    sample_cap: usize,
+    seed: u64,
+}
 
-    if nreactions == 0 {
-        return Ok(ParResult {
-            exec: ExecResult {
-                multiset: initial,
-                status: Status::Stable,
-                stats: ExecStats::new(0),
-                trace: None,
-                sched: None,
-                rete: None,
-            },
-            par: ParStats::default(),
-        });
+impl ShardedState {
+    /// Build the slices and the sharded bag over `initial` (see the
+    /// module docs).
+    pub(crate) fn build(
+        compiled: &CompiledProgram,
+        initial: ElementBag,
+        config: &EngineConfig,
+    ) -> ShardedState {
+        let workers = config.workers.max(1);
+        let deps = DependencyIndex::new(compiled);
+        let directory = Directory::new(&initial);
+        let bag = ShardedBag::new(config.shards);
+        let nshards = bag.num_shards();
+        let plan = Arc::new(SlicePlan::build(compiled, workers, nshards));
+
+        // Build each worker's slice over the plain initial bag (a coherent
+        // pre-sharding view); the live engine reads the sharded bag through
+        // the same MatchSource core.
+        let slices: Vec<ReteNetwork> = (0..workers)
+            .map(|w| {
+                ReteNetwork::with_slice(
+                    compiled,
+                    &initial,
+                    config.rete_watermark,
+                    AlphaSlice {
+                        plan: plan.clone(),
+                        worker: w,
+                    },
+                )
+            })
+            .collect();
+
+        bag.insert_all(initial.iter());
+
+        ShardedState {
+            deps,
+            plan,
+            bag,
+            directory,
+            slices,
+            workers,
+            nreactions: compiled.reactions.len(),
+            watermark: config.rete_watermark,
+            sample_cap: config.sample_cap,
+            seed: config.seed,
+        }
     }
 
-    let deps = DependencyIndex::new(&compiled);
-    let directory = Directory::new(&initial);
-    let bag = ShardedBag::new(config.shards);
-    let nshards = bag.num_shards();
-    let plan = std::sync::Arc::new(crate::rete::SlicePlan::build(&compiled, workers, nshards));
+    /// Inject new elements between waves: insert into the sharded bag,
+    /// note directory keys, and feed the insertion delta to the slices
+    /// using the mailbox addressing rule ([`SharedRun::publish`]): every
+    /// token involving a label lives in its component owner's slice, so
+    /// each element routes to exactly `plan.owner_of(label)` — skipping
+    /// labels no reaction consumes — and only a wildcard consumer forces
+    /// delivery to every slice.
+    pub(crate) fn inject(&mut self, compiled: &CompiledProgram, elements: &[Element]) {
+        let ShardedState {
+            deps,
+            plan,
+            bag,
+            directory,
+            slices,
+            ..
+        } = self;
+        for e in elements {
+            directory.note(e.label, e.tag);
+        }
+        bag.insert_all(elements.iter().cloned());
+        let src = ShardedSource { bag, directory };
+        if plan.wildcard_consumer() {
+            for slice in slices.iter_mut() {
+                slice.on_inserted(compiled, &src, elements);
+            }
+            return;
+        }
+        let mut per_worker: Vec<Vec<Element>> = vec![Vec::new(); slices.len()];
+        for e in elements {
+            if deps.has_dependents(e.label) {
+                per_worker[plan.owner_of(e.label)].push(e.clone());
+            }
+        }
+        for (slice, batch) in slices.iter_mut().zip(&per_worker) {
+            if !batch.is_empty() {
+                slice.on_inserted(compiled, &src, batch);
+            }
+        }
+    }
 
-    // Build each worker's slice over the plain initial bag (a coherent
-    // pre-sharding view); the live engine reads the sharded bag through
-    // the same MatchSource core.
-    let slices: Vec<ReteNetwork> = (0..workers)
-        .map(|w| {
-            ReteNetwork::with_slice(
-                &compiled,
-                &initial,
-                config.rete_watermark,
+    /// A consistent copy of the live multiset.
+    pub(crate) fn snapshot(&self) -> ElementBag {
+        self.bag.snapshot()
+    }
+
+    /// Drain the bag and reset each slice to memories over the (now
+    /// empty) bag, preserving its lifetime counters — the pipeline
+    /// chaining primitive.
+    pub(crate) fn drain_reset(&mut self, compiled: &CompiledProgram) -> ElementBag {
+        let out = self.bag.drain();
+        let empty = ElementBag::new();
+        for (w, slice) in self.slices.iter_mut().enumerate() {
+            let stats = slice.stats.clone();
+            *slice = ReteNetwork::with_slice(
+                compiled,
+                &empty,
+                self.watermark,
                 AlphaSlice {
-                    plan: plan.clone(),
+                    plan: self.plan.clone(),
                     worker: w,
                 },
-            )
-        })
-        .collect();
-
-    bag.insert_all(initial.iter());
-
-    let (senders, receivers): (Vec<Sender<DeltaMsg>>, Vec<Receiver<DeltaMsg>>) =
-        (0..workers).map(|_| crossbeam_channel::unbounded()).unzip();
-    let worklist = ShardedWorklist::new(workers, nreactions);
-    for r in 0..nreactions {
-        worklist.push(r % workers, r);
-    }
-
-    let published = AtomicU64::new(0);
-    let sent: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let processed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let active: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(true)).collect();
-    let done = AtomicBool::new(false);
-    let budget_exhausted = AtomicBool::new(false);
-    let error: Mutex<Option<MatchError>> = Mutex::new(None);
-
-    let shared = SharedRun {
-        compiled: &compiled,
-        deps: &deps,
-        plan: &plan,
-        bag: &bag,
-        directory: &directory,
-        worklist: &worklist,
-        senders: &senders,
-        published: &published,
-        sent: &sent,
-        processed: &processed,
-        active: &active,
-        done: &done,
-        budget_exhausted: &budget_exhausted,
-        error: &error,
-        max_firings: config.max_firings,
-        sample_cap: config.sample_cap,
-    };
-
-    let mut worker_stats: Vec<(ExecStats, ParStats, ReteStats)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, (slice, rx)) in slices.into_iter().zip(receivers).enumerate() {
-            let shared = &shared;
-            let seed = config.seed;
-            handles
-                .push(scope.spawn(move || sharded_worker(shared, w, slice, rx, seed, nreactions)));
+            );
+            slice.stats = stats;
         }
-        for h in handles {
-            worker_stats.push(h.join().expect("worker panicked"));
+        out
+    }
+
+    /// Consume the state, returning the final multiset.
+    pub(crate) fn into_bag(self) -> ElementBag {
+        self.bag.drain()
+    }
+
+    /// Fold the persistent slices' lifetime spill/peak counters into
+    /// `par` (wave-level counters are aggregated per wave; these would
+    /// double-count if folded then).
+    pub(crate) fn fold_lifetime_stats(&self, par: &mut ParStats) {
+        for slice in &self.slices {
+            par.spill_demotions += slice.stats.spill_demotions;
+            par.spill_probes += slice.stats.spill_probes;
+            par.spill_repromotions += slice.stats.spill_repromotions;
+            par.shard_peak_tokens.push(slice.stats.peak_live_tokens);
         }
-    });
-
-    if let Some(e) = error.lock().take() {
-        return Err(ExecError::Match(e));
     }
 
-    let mut stats = ExecStats::new(nreactions);
-    let mut par = ParStats {
-        deltas_published: published.load(Ordering::Acquire),
-        ..ParStats::default()
-    };
-    for (s, p, rete) in &worker_stats {
-        stats.absorb(s);
-        par.claim_failures += p.claim_failures;
-        par.deltas_processed += p.deltas_processed;
-        par.stolen_firings += p.stolen_firings;
-        par.steal_misses += p.steal_misses;
-        par.snapshot_checks += p.snapshot_checks;
-        par.spill_demotions += rete.spill_demotions;
-        par.spill_probes += rete.spill_probes;
-        par.spill_repromotions += rete.spill_repromotions;
-        par.shard_peak_tokens.push(rete.peak_live_tokens);
+    /// One wave of the delta-driven sharded-rete engine (see the module
+    /// docs): scoped worker threads take the persistent slices, run to
+    /// the drained-memories termination consensus, and hand the slices
+    /// back for the next wave. Wave-level counters are added to `par`.
+    pub(crate) fn wave(
+        &mut self,
+        compiled: &CompiledProgram,
+        budget: u64,
+        wave_index: u64,
+        par: &mut ParStats,
+    ) -> Result<(ExecStats, Status), ExecError> {
+        let nreactions = self.nreactions;
+        if nreactions == 0 {
+            return Ok((ExecStats::new(0), Status::Stable));
+        }
+        if budget == 0 {
+            return Ok((ExecStats::new(nreactions), Status::BudgetExhausted));
+        }
+        let workers = self.workers;
+        let wave_seed = wave_seed(self.seed, wave_index);
+
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..workers)
+            .map(|_| -> DeltaChannel { crossbeam_channel::unbounded() })
+            .unzip();
+        let worklist = ShardedWorklist::new(workers, nreactions);
+        for r in 0..nreactions {
+            worklist.push(r % workers, r);
+        }
+
+        let published = AtomicU64::new(0);
+        let sent: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let processed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let active: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(true)).collect();
+        let done = AtomicBool::new(false);
+        let budget_exhausted = AtomicBool::new(false);
+        let error: Mutex<Option<MatchError>> = Mutex::new(None);
+
+        let shared = SharedRun {
+            compiled,
+            deps: &self.deps,
+            plan: &self.plan,
+            bag: &self.bag,
+            directory: &self.directory,
+            worklist: &worklist,
+            senders: &senders,
+            published: &published,
+            sent: &sent,
+            processed: &processed,
+            active: &active,
+            done: &done,
+            budget_exhausted: &budget_exhausted,
+            error: &error,
+            max_firings: budget,
+            sample_cap: self.sample_cap,
+        };
+
+        let slices = std::mem::take(&mut self.slices);
+        let mut worker_stats: Vec<(ExecStats, ParStats, ReteNetwork)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, (slice, rx)) in slices.into_iter().zip(receivers).enumerate() {
+                let shared = &shared;
+                handles
+                    .push(scope.spawn(move || {
+                        sharded_worker(shared, w, slice, rx, wave_seed, nreactions)
+                    }));
+            }
+            for h in handles {
+                worker_stats.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        // Hand the slices back for the next wave (join order == spawn
+        // order, so slice w returns to position w).
+        let mut stats = ExecStats::new(nreactions);
+        let mut wave_par = ParStats::default();
+        for (s, p, slice) in worker_stats {
+            stats.absorb(&s);
+            wave_par.absorb_wave_counters(&p);
+            self.slices.push(slice);
+        }
+
+        // Error before aggregation (matching `ProbeState::wave`): a
+        // failed wave contributes nothing to the session's cumulative
+        // counters, and the error propagating out of `run_to_stable`
+        // marks the session unusable either way.
+        if let Some(e) = error.lock().take() {
+            return Err(ExecError::Match(e));
+        }
+        wave_par.deltas_published = published.load(Ordering::Acquire);
+        par.absorb_wave_counters(&wave_par);
+
+        let status = if budget_exhausted.load(Ordering::Acquire) {
+            Status::BudgetExhausted
+        } else {
+            Status::Stable
+        };
+
+        // Debug cross-check of the memory-emptiness termination proof: the
+        // locked-shard exact matcher must agree that nothing is enabled.
+        #[cfg(debug_assertions)]
+        if status == Status::Stable {
+            let locked = LockedShards::lock(&self.bag);
+            let order: Vec<usize> = (0..nreactions).collect();
+            let mut scratch = SearchScratch::new();
+            let confirm = compiled
+                .find_any_fast(&order, &locked, None, &mut scratch)
+                .map_err(ExecError::Match)?;
+            debug_assert!(
+                confirm.is_none(),
+                "sharded slices drained while reaction {:?} was enabled",
+                confirm.map(|f| f.reaction)
+            );
+            par.snapshot_checks += 1;
+        }
+
+        Ok((stats, status))
     }
-
-    let status = if budget_exhausted.load(Ordering::Acquire) {
-        Status::BudgetExhausted
-    } else {
-        Status::Stable
-    };
-
-    // Debug cross-check of the memory-emptiness termination proof: the
-    // locked-shard exact matcher must agree that nothing is enabled.
-    #[cfg(debug_assertions)]
-    if status == Status::Stable {
-        let locked = LockedShards::lock(&bag);
-        let order: Vec<usize> = (0..nreactions).collect();
-        let mut scratch = SearchScratch::new();
-        let confirm = compiled
-            .find_any_fast(&order, &locked, None, &mut scratch)
-            .map_err(ExecError::Match)?;
-        debug_assert!(
-            confirm.is_none(),
-            "sharded slices drained while reaction {:?} was enabled",
-            confirm.map(|f| f.reaction)
-        );
-        par.snapshot_checks += 1;
-    }
-
-    Ok(ParResult {
-        exec: ExecResult {
-            multiset: bag.drain(),
-            status,
-            stats,
-            trace: None,
-            sched: None,
-            rete: None,
-        },
-        par,
-    })
 }
 
 /// One sharded-rete worker: drain the delta mailbox into the local slice,
@@ -1011,10 +1240,10 @@ fn sharded_worker(
     shared: &SharedRun<'_>,
     w: usize,
     mut slice: ReteNetwork,
-    rx: Receiver<DeltaMsg>,
+    rx: Receiver<Arc<DeltaMsg>>,
     seed: u64,
     nreactions: usize,
-) -> (ExecStats, ParStats, ReteStats) {
+) -> (ExecStats, ParStats, ReteNetwork) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(w as u64 * 0x9e37).wrapping_add(1));
     let mut stats = ExecStats::new(nreactions);
     let mut par = ParStats::default();
@@ -1035,7 +1264,7 @@ fn sharded_worker(
 
     // Drain one delta message into the slice and refresh the readiness of
     // the reactions it routed to.
-    let absorb = |msg: DeltaMsg,
+    let absorb = |msg: Arc<DeltaMsg>,
                   slice: &mut ReteNetwork,
                   ready: &mut ReadySet,
                   routed: &mut Vec<usize>,
@@ -1190,8 +1419,7 @@ fn sharded_worker(
         }
     }
 
-    let rete_stats = slice.stats.clone();
-    (stats, par, rete_stats)
+    (stats, par, slice)
 }
 
 /// Queue the reactions consuming a produced label on the claimant's
@@ -1496,6 +1724,59 @@ mod tests {
                 .multiset
                 .contains(&e(1000 + 2 * t as i64, "C", t)));
         }
+    }
+
+    #[test]
+    fn wildcard_broadcast_delta_semantics_unchanged() {
+        // A label-wildcard consumer forces every delta to broadcast to
+        // all mailboxes. The `Arc<DeltaMsg>` payload shares one
+        // allocation per firing; the *semantics* must be unchanged:
+        // exactly one publish per firing, and (the run ending drained)
+        // one processed message per (firing, worker) pair.
+        use crate::spec::{LabelPat, LabelSpec, TagPat, TagSpec, ValuePat};
+        use gammaflow_multiset::Symbol;
+        let countdown = GammaProgram::new(vec![ReactionSpec::new("dec")
+            .replace(Pattern {
+                value: ValuePat::Var(Symbol::intern("x")),
+                label: LabelPat::Var(Symbol::intern("l")),
+                tag: TagPat::Any,
+            })
+            .where_(Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::int(0)))
+            .by(vec![crate::spec::ElementSpec {
+                value: Expr::bin(BinOp::Sub, Expr::var("x"), Expr::int(1)),
+                label: LabelSpec::Var(Symbol::intern("l")),
+                tag: TagSpec::Zero,
+            }])]);
+        let initial: ElementBag = [e(3, "a", 0), e(2, "b", 0), e(4, "c", 0)]
+            .into_iter()
+            .collect();
+        let workers = 4usize;
+        let result = run_parallel(&countdown, initial, &ParConfig::with_workers(workers)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        // Every label counted down to zero: 3 + 2 + 4 firings.
+        assert_eq!(result.exec.stats.firings_total(), 9);
+        let sorted = result.exec.multiset.sorted_elements();
+        assert_eq!(sorted, vec![e(0, "a", 0), e(0, "b", 0), e(0, "c", 0)]);
+        let par = &result.par;
+        assert_eq!(par.deltas_published, 9, "one publish per firing: {par:?}");
+        assert_eq!(
+            par.deltas_processed,
+            9 * workers as u64,
+            "wildcard consumers broadcast to every mailbox and the run ends drained: {par:?}"
+        );
+    }
+
+    #[test]
+    fn targeted_delivery_delta_semantics_unchanged() {
+        // Dual of the broadcast test (the ROADMAP follow-up asked for the
+        // `deltas_published` semantics to be pinned): without a wildcard
+        // consumer the single-component sum routes every delta to exactly
+        // its owner's mailbox — Arc sharing must not change the counts.
+        let initial: ElementBag = (1..=50).map(|v| e(v, "n", 0)).collect();
+        let result = run_parallel(&sum_program(), initial, &ParConfig::with_workers(3)).unwrap();
+        assert_eq!(result.exec.status, Status::Stable);
+        assert_eq!(result.par.deltas_published, 49);
+        assert_eq!(result.par.deltas_processed, 49);
     }
 
     #[test]

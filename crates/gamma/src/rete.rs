@@ -266,6 +266,25 @@ pub struct ReteStats {
     pub peak_live_tokens: u64,
 }
 
+impl ReteStats {
+    /// Merge another network's counters (pipeline stages, session waves,
+    /// parallel slices). Additive everywhere except
+    /// [`ReteStats::peak_live_tokens`], which takes the maximum — the
+    /// merged figure stays "the largest memory any one network held".
+    pub fn absorb(&mut self, other: &ReteStats) {
+        self.inserts += other.inserts;
+        self.removals += other.removals;
+        self.tokens_created += other.tokens_created;
+        self.tokens_retired += other.tokens_retired;
+        self.guard_rejects += other.guard_rejects;
+        self.dedup_hits += other.dedup_hits;
+        self.spill_demotions += other.spill_demotions;
+        self.spill_probes += other.spill_probes;
+        self.spill_repromotions += other.spill_repromotions;
+        self.peak_live_tokens = self.peak_live_tokens.max(other.peak_live_tokens);
+    }
+}
+
 /// One operand of a fast-path integer comparison: a literal, a slot, or a
 /// single binary operation over slots/literals. Covers the common guard
 /// shapes (`x % y == 0`, `a < b`, `ab % K == bc / K`, endpoints of the
@@ -559,6 +578,19 @@ struct ReactionNet {
     /// below `L / 2`, so repeated failures cost at most a geometric
     /// number of (early-aborted) rebuilds. `usize::MAX` = unblocked.
     repromote_floor: usize,
+    /// For each join level `k ≥ 1` whose pattern's tag is a variable
+    /// slot already bound by every prefix token (decided statically from
+    /// the join order), that slot — the static half of the tag join
+    /// index. `None` entries fall back to the full prior-level scan.
+    next_tag_slot: Vec<Option<u16>>,
+    /// The dynamic half: `tag_joins[k]` maps a tag to the live
+    /// level-`k−1` tokens an element carrying it could extend, so a
+    /// runtime insertion delta joins against the *compatible* prefixes
+    /// instead of scanning the whole prior level — O(bucket) instead of
+    /// O(history) per delta, the difference between a streaming
+    /// session's wave cost and a rebuild (tokens whose slot holds a
+    /// non-integer can never equal a tag and are indexed nowhere).
+    tag_joins: Vec<Option<FxHashMap<Tag, FxHashSet<u32>>>>,
     /// Scratch for retirement scans.
     doomed: Vec<u32>,
     /// All-`None` binding row, the prefix of every level-0 entry.
@@ -569,6 +601,33 @@ impl ReactionNet {
     fn new(cr: &CompiledReaction, watermark: usize) -> ReactionNet {
         let plan = cr.guard_plan();
         let vi = cr.var_index();
+        // Which join levels can be answered from the tag index: level k's
+        // pattern carries a tag variable whose slot every level-(k−1)
+        // token has already bound (tag-partitioned joins — the dynamic
+        // dataflow iteration-matching rule — hit this on every level).
+        let positions = cr.positions();
+        let order = cr.join_order();
+        let mut bound: FxHashSet<u16> = FxHashSet::default();
+        let mut next_tag_slot: Vec<Option<u16>> = Vec::with_capacity(cr.arity());
+        for (k, &p) in order.iter().enumerate() {
+            let pat = &positions[p];
+            let slot = if k > 0 {
+                pat.tag_var.filter(|s| bound.contains(s))
+            } else {
+                None
+            };
+            next_tag_slot.push(slot);
+            for v in [pat.value_var, pat.label_var, pat.tag_var]
+                .into_iter()
+                .flatten()
+            {
+                bound.insert(v);
+            }
+        }
+        let tag_joins = next_tag_slot
+            .iter()
+            .map(|s| s.map(|_| FxHashMap::default()))
+            .collect();
         ReactionNet {
             arity: cr.arity(),
             level_guards: plan
@@ -589,8 +648,23 @@ impl ReactionNet {
             materialized: cr.arity(),
             cached_enabled: None,
             repromote_floor: usize::MAX,
+            next_tag_slot,
+            tag_joins,
             doomed: Vec::new(),
             empty_slots: vec![None; cr.nvars()].into_boxed_slice(),
+        }
+    }
+
+    /// The tag an element must carry to extend the token with `slots`
+    /// into join level `k` (when that level is tag-indexed): the indexed
+    /// slot's integer binding, mapped exactly as [`ReactionNet::try_child`]'s
+    /// bind rule maps tags to values. A non-integer binding can never
+    /// equal a tag, so such tokens are joinable at that level by nothing
+    /// and live in no index bucket.
+    fn required_tag(slots: &[Option<Value>], slot: u16) -> Option<Tag> {
+        match &slots[slot as usize] {
+            Some(Value::Int(i)) => Some(Tag(*i as u64)),
+            _ => None,
         }
     }
 
@@ -701,12 +775,21 @@ impl ReactionNet {
                     self.extend_all(cr, bag, id, stats);
                 }
             } else {
-                // Join the new element against the previous level. The
-                // snapshot excludes tokens created by this very event;
-                // tuples using the element at several positions are still
-                // produced, by rightward completion from its earliest
-                // admitting position (the bag already holds the element).
-                let prior: Vec<u32> = self.levels[k - 1].clone();
+                // Join the new element against the previous level — via
+                // the tag join index when this level is tag-discriminated
+                // (only prefixes bound to `e.tag` can extend), the full
+                // prior-level scan otherwise. The snapshot excludes tokens
+                // created by this very event; tuples using the element at
+                // several positions are still produced, by rightward
+                // completion from its earliest admitting position (the bag
+                // already holds the element).
+                let prior: Vec<u32> = match &self.tag_joins[k] {
+                    Some(map) => map
+                        .get(&e.tag)
+                        .map(|ids| ids.iter().copied().collect())
+                        .unwrap_or_default(),
+                    None => self.levels[k - 1].clone(),
+                };
                 for tid in prior {
                     let t = self.tokens[tid as usize].take().expect("live token");
                     let made = self.try_child(
@@ -1067,6 +1150,17 @@ impl ReactionNet {
             }
             self.uses.entry(e.clone()).or_default().insert(id);
         }
+        // Maintain the next level's tag join index (see `tag_joins`).
+        if let Some(&Some(slot)) = self.next_tag_slot.get(k + 1) {
+            if let Some(required) = Self::required_tag(&child_slots, slot) {
+                self.tag_joins[k + 1]
+                    .as_mut()
+                    .expect("slot implies index")
+                    .entry(required)
+                    .or_default()
+                    .insert(id);
+            }
+        }
         self.tokens[id as usize] = Some(Token {
             elems: child_elems,
             slots: child_slots,
@@ -1085,6 +1179,20 @@ impl ReactionNet {
     fn retire(&mut self, id: u32, stats: &mut ReteStats) {
         let t = self.tokens[id as usize].take().expect("live token");
         let level = t.elems.len() - 1;
+        // Unindex from the next level's tag join index (see `tag_joins`).
+        if let Some(&Some(slot)) = self.next_tag_slot.get(level + 1) {
+            if let Some(required) = Self::required_tag(&t.slots, slot) {
+                let map = self.tag_joins[level + 1]
+                    .as_mut()
+                    .expect("slot implies index");
+                if let Some(set) = map.get_mut(&required) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        map.remove(&required);
+                    }
+                }
+            }
+        }
         let lane = &mut self.levels[level];
         lane.swap_remove(t.pos);
         if t.pos < lane.len() {

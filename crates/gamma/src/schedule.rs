@@ -157,6 +157,18 @@ pub struct SchedStats {
     pub authoritative_confirms: u64,
 }
 
+impl SchedStats {
+    /// Merge another scheduler's counters (pipeline stages, session
+    /// waves). All counters are additive.
+    pub fn absorb(&mut self, other: &SchedStats) {
+        self.full_searches += other.full_searches;
+        self.anchored_probes += other.anchored_probes;
+        self.anchored_confirm_searches += other.anchored_confirm_searches;
+        self.coalesced_wakeups += other.coalesced_wakeups;
+        self.authoritative_confirms += other.authoritative_confirms;
+    }
+}
+
 /// How many anchors a reaction accumulates before escalating to a full
 /// search: beyond this, one unrestricted search is cheaper than many
 /// anchored probes over overlapping completions.

@@ -19,15 +19,13 @@
 //! disjoint enabled tuples "simultaneously" — which yields the idealised
 //! parallelism profile used by experiment P1.
 
-use crate::compiled::{CompiledProgram, Firing, MatchError, SearchScratch};
-use crate::rete::{ReteNetwork, ReteStats};
-use crate::schedule::{DeltaScheduler, SchedStats};
+use crate::compiled::{CompiledProgram, MatchError};
+use crate::rete::ReteStats;
+use crate::schedule::SchedStats;
+use crate::session::{EngineConfig, Session};
 use crate::spec::{GammaProgram, Pipeline, SpecError};
 use crate::trace::{ExecStats, FiringRecord};
 use gammaflow_multiset::ElementBag;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Why execution stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,14 +62,14 @@ pub enum Scheduling {
     /// full-search) for F firings; kept as the baseline for differential
     /// testing and benchmarking.
     Rescan,
-    /// Delta-driven scheduling: a [`DeltaScheduler`] worklist re-searches
+    /// Delta-driven scheduling: a [`DeltaScheduler`](crate::schedule::DeltaScheduler) worklist re-searches
     /// only reactions reachable from elements produced since they last
     /// failed to match — see [`crate::schedule`] for the
     /// waiting–matching-store correspondence. Observable behaviour is
     /// identical to `Rescan`: same stable states, and under
     /// [`Selection::Deterministic`] the same firing trace.
     Delta,
-    /// Rete join-network scheduling (the default): a [`ReteNetwork`] of
+    /// Rete join-network scheduling (the default): a [`ReteNetwork`](crate::rete::ReteNetwork) of
     /// partial-match memories is kept incrementally consistent with the
     /// multiset, so enabled matches are *read* rather than searched,
     /// per-firing cost is proportional to the delta's token traffic, and
@@ -204,526 +202,51 @@ impl SeqInterpreter {
         )
         .expect("program failed validation")
     }
-
     /// Run to steady state (or budget), consuming the interpreter.
+    ///
+    /// A thin wrapper over a one-wave [`Session`]:
+    /// the session runs the same per-scheduling loop this interpreter
+    /// historically ran inline, so stable states, statistics, and (under
+    /// [`Selection::Deterministic`]) the exact firing trace are unchanged.
+    /// Long-running callers that inject input incrementally should hold a
+    /// [`Session`] directly and pay the matcher
+    /// build once.
     pub fn run(self) -> Result<ExecResult, ExecError> {
-        match self.config.scheduling {
-            Scheduling::Rescan => self.run_rescan(),
-            Scheduling::Delta => self.run_delta(),
-            Scheduling::Rete => self.run_rete(),
-        }
-    }
-
-    /// The reference rescanning loop: a full `find_any` over every
-    /// reaction after every firing. Kept verbatim as the differential
-    /// baseline for [`Scheduling::Delta`].
-    fn run_rescan(mut self) -> Result<ExecResult, ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        let mut order: Vec<usize> = (0..nreactions).collect();
-
-        let status = loop {
-            if stats.firings_total() >= self.config.max_steps {
-                break Status::BudgetExhausted;
-            }
-            if let Some(r) = rng.as_mut() {
-                order.shuffle(r);
-            }
-            match self
-                .compiled
-                .find_any(&order, &self.multiset, rng.as_mut())?
-            {
-                None => break Status::Stable,
-                Some(firing) => {
-                    self.apply(&firing);
-                    stats.record_firing(firing.reaction, &firing);
-                    if let Some(t) = trace.as_mut() {
-                        t.push(FiringRecord::from_firing(
-                            stats.firings_total() - 1,
-                            &self.compiled.reactions[firing.reaction].name,
-                            &firing,
-                        ));
-                    }
-                }
-            }
-        };
-
-        Ok(ExecResult {
-            multiset: self.multiset,
-            status,
-            stats,
-            trace,
-            sched: None,
-            rete: None,
-        })
-    }
-
-    /// The delta-scheduled loop: after a firing, only reactions reachable
-    /// from the produced elements through the dependency index are
-    /// re-searched. See [`crate::schedule`] for the invariants.
-    fn run_delta(mut self) -> Result<ExecResult, ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        // Anchored probes are trace-preserving in both modes: seeded mode
-        // fires the anchored tuple directly, deterministic mode uses the
-        // anchors only to decide enabledness and re-selects the firing
-        // with the same index-order search as the rescanning reference.
-        let use_anchors = true;
-        let mut scheduler = DeltaScheduler::new(&self.compiled);
-
-        let status = loop {
-            if stats.firings_total() >= self.config.max_steps {
-                break Status::BudgetExhausted;
-            }
-            match scheduler.next_firing(&self.compiled, &self.multiset, rng.as_mut())? {
-                None => break Status::Stable,
-                Some(firing) => {
-                    self.apply(&firing);
-                    scheduler.on_fired(&firing, use_anchors);
-                    stats.record_firing(firing.reaction, &firing);
-                    if let Some(t) = trace.as_mut() {
-                        t.push(FiringRecord::from_firing(
-                            stats.firings_total() - 1,
-                            &self.compiled.reactions[firing.reaction].name,
-                            &firing,
-                        ));
-                    }
-                }
-            }
-        };
-
-        Ok(ExecResult {
-            multiset: self.multiset,
-            status,
-            stats,
-            trace,
-            sched: Some(scheduler.stats.clone()),
-            rete: None,
-        })
-    }
-
-    /// The rete-scheduled loop: the join network memorises partial and
-    /// complete matches (bounded by the spill watermark), the engine
-    /// feeds it each firing's net delta, and a drained network — no
-    /// terminal token anywhere, no spilled frontier that completes — *is*
-    /// the stability proof; no authoritative rescan. Under
-    /// [`Selection::Deterministic`] the network only answers "which
-    /// reaction is enabled" (lowest index, as the rescanning reference
-    /// would find) and the tuple itself comes from the same deterministic
-    /// index search, so the firing trace is identical by construction.
-    /// Under [`Selection::Seeded`] the firing is read straight off a
-    /// random terminal token — O(1) instead of a search.
-    /// Deterministic-mode firing selection for a reaction the rete
-    /// network reports enabled: the exact per-reaction index search (the
-    /// trace-preserving tuple choice). If the network over-approximated
-    /// (a maintenance bug, not a semantics hazard — debug builds assert),
-    /// fall back to the exact whole-program search; `Ok(None)` means even
-    /// that came up dry.
-    fn rete_deterministic_firing(
-        &self,
-        reaction: usize,
-        scratch: &mut SearchScratch,
-    ) -> Result<Option<Firing>, ExecError> {
-        if let Some(f) = self.compiled.reactions[reaction].find_match_fast(
-            reaction,
-            &self.multiset,
-            None,
-            scratch,
-        )? {
-            return Ok(Some(f));
-        }
-        debug_assert!(
-            false,
-            "rete memory disagrees with search for reaction {reaction}"
+        let mut session = Session::from_compiled(
+            self.compiled,
+            self.multiset,
+            EngineConfig::from(&self.config),
         );
-        let order: Vec<usize> = (0..self.compiled.reactions.len()).collect();
-        Ok(self
-            .compiled
-            .find_any_fast(&order, &self.multiset, None, scratch)?)
-    }
-
-    /// Seeded-mode recovery mirror of [`Self::rete_deterministic_firing`]:
-    /// [`ReteNetwork::pick_firing`] returned `Ok(None)` (a maintenance
-    /// bug, not a semantics hazard — debug builds have already asserted),
-    /// so fall back to the exact whole-program search before concluding
-    /// anything about stability.
-    fn rete_seeded_fallback(
-        &self,
-        rng: &mut ChaCha8Rng,
-        scratch: &mut SearchScratch,
-    ) -> Result<Option<Firing>, ExecError> {
-        let order: Vec<usize> = (0..self.compiled.reactions.len()).collect();
-        Ok(self
-            .compiled
-            .find_any_fast(&order, &self.multiset, Some(rng), scratch)?)
-    }
-
-    fn run_rete(mut self) -> Result<ExecResult, ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        let mut scratch = SearchScratch::new();
-        let mut network =
-            ReteNetwork::with_watermark(&self.compiled, &self.multiset, self.config.rete_watermark);
-
-        let status = loop {
-            if stats.firings_total() >= self.config.max_steps {
-                break Status::BudgetExhausted;
-            }
-            let picked = match rng.as_mut() {
-                None => network.first_ready(&self.compiled, &self.multiset),
-                Some(r) => network.pick_ready(&self.compiled, &self.multiset, r),
-            };
-            let Some(reaction) = picked else {
-                break Status::Stable;
-            };
-            let firing = match rng.as_mut() {
-                Some(r) => {
-                    match network.pick_firing(&self.compiled, &self.multiset, reaction, r)? {
-                        Some(f) => f,
-                        // The exact search has the last word on stability.
-                        None => match self.rete_seeded_fallback(r, &mut scratch)? {
-                            Some(f) => f,
-                            None => break Status::Stable,
-                        },
-                    }
-                }
-                None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
-                    Some(f) => f,
-                    None => break Status::Stable,
-                },
-            };
-            self.apply(&firing);
-            network.on_firing_applied(&self.compiled, &self.multiset, &firing);
-            stats.record_firing(firing.reaction, &firing);
-            if let Some(t) = trace.as_mut() {
-                t.push(FiringRecord::from_firing(
-                    stats.firings_total() - 1,
-                    &self.compiled.reactions[firing.reaction].name,
-                    &firing,
-                ));
-            }
-        };
-
-        // The emptiness proof replaced the drain-time rescan; debug builds
-        // still cross-check it against the exact search.
-        #[cfg(debug_assertions)]
-        if status == Status::Stable {
-            let order: Vec<usize> = (0..nreactions).collect();
-            let confirm =
-                self.compiled
-                    .find_any_fast(&order, &self.multiset, None, &mut scratch)?;
-            debug_assert!(
-                confirm.is_none(),
-                "rete network drained while a reaction was enabled"
-            );
-        }
-
-        Ok(ExecResult {
-            multiset: self.multiset,
-            status,
-            stats,
-            trace,
-            sched: None,
-            rete: Some(network.stats.clone()),
-        })
+        session.run_to_stable()?;
+        Ok(session.finish())
     }
 
     /// Run in *maximal parallel steps*: each step collects a maximal set of
     /// disjoint enabled firings and applies them together. Returns the
     /// usual result plus the per-step firing counts (the parallelism
     /// profile). Each step is one "chemical tick" — the idealised machine
-    /// with unbounded processors.
+    /// with unbounded processors. Delegates to a one-wave
+    /// [`Session`] like [`Self::run`].
     pub fn run_max_parallel_steps(self) -> Result<(ExecResult, Vec<usize>), ExecError> {
-        match self.config.scheduling {
-            Scheduling::Rescan => self.run_max_parallel_steps_rescan(),
-            Scheduling::Delta => self.run_max_parallel_steps_delta(),
-            Scheduling::Rete => self.run_max_parallel_steps_rete(),
-        }
-    }
-
-    /// Rete-scheduled maximal parallel steps: consumed tuples are fed to
-    /// the network as they are removed (the visible multiset shrinks
-    /// within a step), and withheld products are fed at the step barrier
-    /// together with their insertion.
-    fn run_max_parallel_steps_rete(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        let mut scratch = SearchScratch::new();
-        let mut network =
-            ReteNetwork::with_watermark(&self.compiled, &self.multiset, self.config.rete_watermark);
-        let mut profile = Vec::new();
-
-        let status = 'outer: loop {
-            let mut fired_this_step = 0usize;
-            let mut products: Vec<Firing> = Vec::new();
-            loop {
-                if stats.firings_total() >= self.config.max_steps {
-                    for f in &products {
-                        for e in &f.produced {
-                            self.multiset.insert(e.clone());
-                        }
-                    }
-                    if fired_this_step > 0 {
-                        profile.push(fired_this_step);
-                    }
-                    break 'outer Status::BudgetExhausted;
-                }
-                let picked = match rng.as_mut() {
-                    None => network.first_ready(&self.compiled, &self.multiset),
-                    Some(r) => network.pick_ready(&self.compiled, &self.multiset, r),
-                };
-                let Some(reaction) = picked else { break };
-                // A dry fallback result just ends the step (products of
-                // this step are still withheld, so the next step's
-                // barrier re-checks).
-                let firing = match rng.as_mut() {
-                    Some(r) => {
-                        match network.pick_firing(&self.compiled, &self.multiset, reaction, r)? {
-                            Some(f) => f,
-                            None => match self.rete_seeded_fallback(r, &mut scratch)? {
-                                Some(f) => f,
-                                None => break,
-                            },
-                        }
-                    }
-                    None => match self.rete_deterministic_firing(reaction, &mut scratch)? {
-                        Some(f) => f,
-                        None => break,
-                    },
-                };
-                let ok = self.multiset.remove_all(&firing.consumed);
-                debug_assert!(ok);
-                network.on_removed(&self.compiled, &self.multiset, &firing.consumed);
-                stats.record_firing(firing.reaction, &firing);
-                if let Some(t) = trace.as_mut() {
-                    t.push(FiringRecord::from_firing(
-                        stats.firings_total() - 1,
-                        &self.compiled.reactions[firing.reaction].name,
-                        &firing,
-                    ));
-                }
-                fired_this_step += 1;
-                products.push(firing);
-            }
-            if fired_this_step == 0 {
-                break Status::Stable;
-            }
-            profile.push(fired_this_step);
-            // Step barrier: products become visible and join the network.
-            let mut inserted: Vec<gammaflow_multiset::Element> = Vec::new();
-            for f in &products {
-                for e in &f.produced {
-                    self.multiset.insert(e.clone());
-                    inserted.push(e.clone());
-                }
-            }
-            network.on_inserted(&self.compiled, &self.multiset, &inserted);
-        };
-
-        Ok((
-            ExecResult {
-                multiset: self.multiset,
-                status,
-                stats,
-                trace,
-                sched: None,
-                rete: Some(network.stats.clone()),
-            },
-            profile,
-        ))
-    }
-
-    /// Delta-scheduled maximal parallel steps: within a step the visible
-    /// multiset only shrinks (products are withheld), so a reaction that
-    /// fails a search stays matchless for the rest of the step; products
-    /// wake their dependents at the step barrier.
-    fn run_max_parallel_steps_delta(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        // Trace-preserving in both modes; see `run_delta`.
-        let use_anchors = true;
-        let mut scheduler = DeltaScheduler::new(&self.compiled);
-        let mut profile = Vec::new();
-
-        let status = 'outer: loop {
-            let mut fired_this_step = 0usize;
-            let mut products: Vec<Firing> = Vec::new();
-            loop {
-                // `stats` already counts this step's firings (recorded as
-                // they happen), so the budget test reads it directly.
-                if stats.firings_total() >= self.config.max_steps {
-                    for f in &products {
-                        for e in &f.produced {
-                            self.multiset.insert(e.clone());
-                        }
-                    }
-                    if fired_this_step > 0 {
-                        profile.push(fired_this_step);
-                    }
-                    break 'outer Status::BudgetExhausted;
-                }
-                match scheduler.next_firing(&self.compiled, &self.multiset, rng.as_mut())? {
-                    None => break,
-                    Some(firing) => {
-                        let ok = self.multiset.remove_all(&firing.consumed);
-                        debug_assert!(ok);
-                        scheduler.on_fired_consumed_only(&firing);
-                        stats.record_firing(firing.reaction, &firing);
-                        if let Some(t) = trace.as_mut() {
-                            t.push(FiringRecord::from_firing(
-                                stats.firings_total() - 1,
-                                &self.compiled.reactions[firing.reaction].name,
-                                &firing,
-                            ));
-                        }
-                        fired_this_step += 1;
-                        products.push(firing);
-                    }
-                }
-            }
-            if fired_this_step == 0 {
-                break Status::Stable;
-            }
-            profile.push(fired_this_step);
-            // Step barrier: products become visible and wake dependents.
-            for f in &products {
-                for e in &f.produced {
-                    self.multiset.insert(e.clone());
-                }
-                scheduler.on_inserted(&f.produced, use_anchors);
-            }
-        };
-
-        Ok((
-            ExecResult {
-                multiset: self.multiset,
-                status,
-                stats,
-                trace,
-                sched: Some(scheduler.stats.clone()),
-                rete: None,
-            },
-            profile,
-        ))
-    }
-
-    /// The rescanning reference for [`Self::run_max_parallel_steps`].
-    fn run_max_parallel_steps_rescan(mut self) -> Result<(ExecResult, Vec<usize>), ExecError> {
-        let nreactions = self.compiled.reactions.len();
-        let mut stats = ExecStats::new(nreactions);
-        let mut trace = self.config.record_trace.then(Vec::new);
-        let mut rng = match self.config.selection {
-            Selection::Seeded(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Selection::Deterministic => None,
-        };
-        let mut order: Vec<usize> = (0..nreactions).collect();
-        let mut profile = Vec::new();
-
-        let status = 'outer: loop {
-            // One maximal step: repeatedly match against a *shadow* bag
-            // from which we remove consumed elements but to which we do NOT
-            // add products (products only become visible next step).
-            let mut fired_this_step = 0usize;
-            let mut products: Vec<Firing> = Vec::new();
-            loop {
-                // `stats` already counts this step's firings (recorded as
-                // they happen), so the budget test reads it directly.
-                if stats.firings_total() >= self.config.max_steps {
-                    // Apply what we have, then stop.
-                    for f in &products {
-                        for e in &f.produced {
-                            self.multiset.insert(e.clone());
-                        }
-                    }
-                    if fired_this_step > 0 {
-                        profile.push(fired_this_step);
-                    }
-                    break 'outer Status::BudgetExhausted;
-                }
-                if let Some(r) = rng.as_mut() {
-                    order.shuffle(r);
-                }
-                match self
-                    .compiled
-                    .find_any(&order, &self.multiset, rng.as_mut())?
-                {
-                    None => break,
-                    Some(firing) => {
-                        let ok = self.multiset.remove_all(&firing.consumed);
-                        debug_assert!(ok);
-                        stats.record_firing(firing.reaction, &firing);
-                        if let Some(t) = trace.as_mut() {
-                            t.push(FiringRecord::from_firing(
-                                stats.firings_total() - 1,
-                                &self.compiled.reactions[firing.reaction].name,
-                                &firing,
-                            ));
-                        }
-                        fired_this_step += 1;
-                        products.push(firing);
-                    }
-                }
-            }
-            if fired_this_step == 0 {
-                break Status::Stable;
-            }
-            profile.push(fired_this_step);
-            for f in &products {
-                for e in &f.produced {
-                    self.multiset.insert(e.clone());
-                }
-            }
-        };
-
-        Ok((
-            ExecResult {
-                multiset: self.multiset,
-                status,
-                stats,
-                trace,
-                sched: None,
-                rete: None,
-            },
-            profile,
-        ))
-    }
-
-    fn apply(&mut self, firing: &Firing) {
-        let ok = self.multiset.remove_all(&firing.consumed);
-        debug_assert!(ok, "matched elements must be present");
-        for e in &firing.produced {
-            self.multiset.insert(e.clone());
-        }
+        let mut session = Session::from_compiled(
+            self.compiled,
+            self.multiset,
+            EngineConfig::from(&self.config),
+        );
+        let (_, profile) = session.run_to_stable_max_parallel()?;
+        Ok((session.finish(), profile))
     }
 }
 
 /// Run a [`Pipeline`] (sequential composition `P1 ; P2 ; …`): each stage
-/// runs to steady state and its final multiset seeds the next stage.
+/// runs a [`Session`] to steady state and the stage's
+/// [`Session::drain_stable`] output seeds the next stage's session.
+///
+/// The cumulative result absorbs every stage's execution counters *and*
+/// its scheduler/network counters: `sched` is the sum of the stages'
+/// [`SchedStats`] under [`Scheduling::Delta`], `rete` the sum of their
+/// [`ReteStats`] under [`Scheduling::Rete`] (earlier versions dropped
+/// both on the floor).
 pub fn run_pipeline(
     pipeline: &Pipeline,
     initial: ElementBag,
@@ -731,13 +254,24 @@ pub fn run_pipeline(
 ) -> Result<ExecResult, ExecError> {
     let mut multiset = initial;
     let mut stats = ExecStats::new(0);
+    let mut sched: Option<SchedStats> = None;
+    let mut rete: Option<ReteStats> = None;
     let mut last_status = Status::Stable;
     for stage in &pipeline.stages {
-        let interp = SeqInterpreter::with_config(stage, multiset, config.clone())?;
-        let result = interp.run()?;
-        multiset = result.multiset;
+        let mut session = Session::build(stage)
+            .config(EngineConfig::from(config))
+            .start(multiset)?;
+        let wave = session.run_to_stable()?;
+        last_status = wave.status;
+        multiset = session.drain_stable();
+        let result = session.finish();
         stats.absorb(&result.stats);
-        last_status = result.status;
+        if let Some(s) = &result.sched {
+            sched.get_or_insert_with(SchedStats::default).absorb(s);
+        }
+        if let Some(r) = &result.rete {
+            rete.get_or_insert_with(ReteStats::default).absorb(r);
+        }
         if last_status == Status::BudgetExhausted {
             break;
         }
@@ -747,8 +281,8 @@ pub fn run_pipeline(
         status: last_status,
         stats,
         trace: None,
-        sched: None,
-        rete: None,
+        sched,
+        rete,
     })
 }
 

@@ -1,0 +1,1244 @@
+//! The unified `Session` execution API — build-once engines, incremental
+//! input waves.
+//!
+//! The paper states the Gamma/dataflow equivalence over a *fixed* initial
+//! multiset, but a production system serves continuous traffic: reach
+//! steady state, **inject new elements, and resume**. The incremental
+//! machinery of the delta scheduler ([`crate::schedule`]) and the Rete
+//! join network ([`crate::rete`]) already maintains exact match memory
+//! across firings — the same insight as classic incremental production
+//! systems and differential dataflow — yet the historical entry points
+//! ([`SeqInterpreter::run`](crate::seq::SeqInterpreter::run), [`run_parallel`](crate::parallel::run_parallel))
+//! were one-shot: every call recompiled reactions, rebuilt alpha/beta
+//! memories and shard slices, and discarded them at stability.
+//!
+//! A [`Session`] owns the compiled program **and the live matcher state**
+//! (the [`ReteNetwork`], the [`DeltaScheduler`] worklist, or the parallel
+//! engine's sharded slices + bag + key directory) across any number of
+//! **waves**:
+//!
+//! ```text
+//! Session::build(&program)           // compile once
+//!     .scheduling(..)/.selection(..)/.engine(..)/.workers(..)
+//!     .watermark(..)/.budget(..)/.observer(..)
+//!     .start(initial)?               // build matcher state once
+//!
+//! loop {
+//!     session.run_to_stable()?  -> Wave { fired, status, stats }
+//!     session.inject(new_elements)   // O(delta): feeds the live matcher
+//! }
+//! session.finish()              -> ExecResult (cumulative)
+//! ```
+//!
+//! Because a Gamma reaction's enabledness depends only on the consumed
+//! tuple (guards range over bound variables), any wave-by-wave execution
+//! is a legal firing order of the merged run — injection merely makes
+//! elements available later. A confluent program therefore lands on the
+//! **byte-identical** final multiset a fresh one-shot run on the merged
+//! bag computes, while repeated waves pay only O(delta): injection feeds
+//! the existing delta worklist / join network / shard mailboxes instead
+//! of a full rebuild (harness step `S5` records the margin in
+//! `BENCH_streaming.json`).
+//!
+//! The historical entry points survive as thin wrappers over one-wave
+//! sessions — [`SeqInterpreter::run`](crate::seq::SeqInterpreter::run), `run_max_parallel_steps`,
+//! [`run_parallel`](crate::parallel::run_parallel), and
+//! [`run_pipeline`](crate::seq::run_pipeline) (stages are sessions
+//! chained by [`Session::drain_stable`]) — with unchanged deterministic
+//! traces; [`EngineConfig`] unifies the legacy `ExecConfig`/`ParConfig`
+//! pair and both convert [`From`] it.
+//!
+//! # Which state survives a wave
+//!
+//! | engine | survives across waves | rebuilt per wave |
+//! |---|---|---|
+//! | `Seq` + `Rescan` | multiset, RNG stream | (nothing to keep) |
+//! | `Seq` + `Delta` | worklist + clean/dirty proof state | — |
+//! | `Seq` + `Rete` | alpha/beta memories, spill + re-promotion state | — |
+//! | `Parallel(ShardedRete)` | sharded bag, key directory, per-worker network slices | worker threads, mailboxes, steal worklist |
+//! | `Parallel(ProbeRetry)` | sharded bag, key directory, dirty flags | worker threads |
+
+use crate::compiled::{CompiledProgram, Firing, SearchScratch};
+use crate::parallel::{ParEngine, ParResult, ParStats, ProbeState, ShardedState};
+use crate::rete::{ReteNetwork, ReteStats};
+use crate::schedule::{DeltaScheduler, SchedStats};
+use crate::seq::{ExecConfig, ExecError, ExecResult, Scheduling, Selection, Status};
+use crate::spec::GammaProgram;
+use crate::trace::{ExecStats, FiringRecord};
+use gammaflow_multiset::{Element, ElementBag};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which execution engine a [`Session`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-threaded interpreter; per-step strategy selected by
+    /// [`EngineConfig::scheduling`].
+    #[default]
+    Seq,
+    /// The shared-memory parallel interpreter over a sharded multiset;
+    /// worker loop selected by the [`ParEngine`] payload,
+    /// [`EngineConfig::workers`] threads.
+    Parallel(ParEngine),
+}
+
+/// Unified engine configuration consumed by the [`Session`] builder —
+/// the merge of the legacy [`ExecConfig`] (sequential) and
+/// [`ParConfig`](crate::parallel::ParConfig) (parallel) pair, either of
+/// which converts [`From`] into it for migration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which engine runs the waves.
+    pub engine: Engine,
+    /// Sequential per-step strategy (ignored by parallel engines, which
+    /// are delta-driven by construction).
+    pub scheduling: Scheduling,
+    /// Reaction/tuple selection policy (sequential engines; parallel
+    /// workers draw from per-worker streams seeded by
+    /// [`EngineConfig::seed`]).
+    pub selection: Selection,
+    /// Cumulative firing budget across all waves of the session.
+    pub max_steps: u64,
+    /// Record a full firing trace, numbered continuously across waves
+    /// (sequential engines only).
+    pub record_trace: bool,
+    /// Per-reaction live-token budget for Rete memories (sequential
+    /// network and per-worker slices alike); see
+    /// [`ExecConfig::rete_watermark`].
+    pub rete_watermark: usize,
+    /// Worker threads (parallel engines).
+    pub workers: usize,
+    /// Multiset shards, rounded up to a power of two (parallel engines).
+    pub shards: usize,
+    /// Bucket sampling cap for probe-retry searches and sharded-engine
+    /// thieves (parallel engines).
+    pub sample_cap: usize,
+    /// Seed for parallel per-worker RNG streams.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            engine: Engine::default(),
+            scheduling: Scheduling::default(),
+            selection: Selection::Seeded(0),
+            max_steps: 10_000_000,
+            record_trace: false,
+            rete_watermark: crate::rete::DEFAULT_SPILL_WATERMARK,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            shards: 64,
+            sample_cap: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl From<&ExecConfig> for EngineConfig {
+    fn from(c: &ExecConfig) -> Self {
+        EngineConfig {
+            engine: Engine::Seq,
+            scheduling: c.scheduling,
+            selection: c.selection,
+            max_steps: c.max_steps,
+            record_trace: c.record_trace,
+            rete_watermark: c.rete_watermark,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl From<ExecConfig> for EngineConfig {
+    fn from(c: ExecConfig) -> Self {
+        EngineConfig::from(&c)
+    }
+}
+
+impl From<&crate::parallel::ParConfig> for EngineConfig {
+    fn from(c: &crate::parallel::ParConfig) -> Self {
+        EngineConfig {
+            engine: Engine::Parallel(c.engine),
+            selection: Selection::Seeded(c.seed),
+            max_steps: c.max_firings,
+            rete_watermark: c.rete_watermark,
+            workers: c.workers,
+            shards: c.shards,
+            sample_cap: c.sample_cap,
+            seed: c.seed,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl From<crate::parallel::ParConfig> for EngineConfig {
+    fn from(c: crate::parallel::ParConfig) -> Self {
+        EngineConfig::from(&c)
+    }
+}
+
+/// The record of one wave: a [`Session::run_to_stable`] call.
+#[derive(Debug, Clone)]
+pub struct Wave {
+    /// Firings this wave.
+    pub fired: u64,
+    /// Why the wave stopped ([`Status::Stable`], or the session's
+    /// cumulative budget ran out).
+    pub status: Status,
+    /// Per-wave execution counters (cumulative totals live in
+    /// [`Session::finish`]).
+    pub stats: ExecStats,
+}
+
+/// Per-wave callback installed with
+/// [`SessionBuilder::observer`]: invoked after every completed wave.
+pub type WaveObserver = Box<dyn FnMut(&Wave) + Send>;
+
+/// Builder returned by [`Session::build`].
+pub struct SessionBuilder<'a> {
+    program: &'a GammaProgram,
+    config: EngineConfig,
+    observer: Option<WaveObserver>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Replace the whole configuration (migration path from
+    /// [`ExecConfig`]/[`ParConfig`](crate::parallel::ParConfig) via
+    /// their [`From`] conversions).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sequential per-step strategy (see [`Scheduling`]).
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.config.scheduling = scheduling;
+        self
+    }
+
+    /// Reaction/tuple selection policy (see [`Selection`]).
+    pub fn selection(mut self, selection: Selection) -> Self {
+        self.config.selection = selection;
+        self
+    }
+
+    /// Which engine runs the waves (see [`Engine`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Worker threads for [`Engine::Parallel`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Rete spill watermark (see [`ExecConfig::rete_watermark`]).
+    pub fn watermark(mut self, watermark: usize) -> Self {
+        self.config.rete_watermark = watermark;
+        self
+    }
+
+    /// Cumulative firing budget across all waves.
+    pub fn budget(mut self, max_steps: u64) -> Self {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Record the firing trace (sequential engines).
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.config.record_trace = record;
+        self
+    }
+
+    /// Install a per-wave observer callback.
+    pub fn observer(mut self, observer: WaveObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Compile the program, build the matcher state over `initial`, and
+    /// return the live session.
+    pub fn start(self, initial: ElementBag) -> Result<Session, ExecError> {
+        let compiled = CompiledProgram::compile(self.program)?;
+        Ok(Session::from_compiled_with_observer(
+            compiled,
+            initial,
+            self.config,
+            self.observer,
+        ))
+    }
+}
+
+/// Live sequential matcher state, persistent across waves.
+enum SeqMatcher {
+    /// The rescanning reference keeps no memory; only the shuffled probe
+    /// order persists (scratch, not state).
+    Rescan { order: Vec<usize> },
+    /// The delta worklist and its clean/dirty proof state.
+    Delta(Box<DeltaScheduler>),
+    /// The Rete join network: alpha/beta memories, spill and
+    /// re-promotion state.
+    Rete(Box<ReteNetwork>),
+}
+
+/// Engine state, persistent across waves.
+enum State {
+    Seq {
+        multiset: ElementBag,
+        matcher: SeqMatcher,
+    },
+    Sharded(ShardedState),
+    Probe(ProbeState),
+}
+
+/// A live execution session: compiled reactions plus persistent matcher
+/// state, driven wave by wave. See the [module docs](self).
+pub struct Session {
+    compiled: CompiledProgram,
+    config: EngineConfig,
+    state: State,
+    /// Selection stream for the sequential engines, persistent so wave
+    /// boundaries do not reset the nondeterminism.
+    rng: Option<ChaCha8Rng>,
+    scratch: SearchScratch,
+    /// Cumulative counters across waves.
+    stats: ExecStats,
+    trace: Option<Vec<FiringRecord>>,
+    /// Cumulative wave-level parallel counters (slice-lifetime counters
+    /// are folded in at [`Session::finish_parallel`] time).
+    par: ParStats,
+    last_status: Status,
+    waves_run: u64,
+    observer: Option<WaveObserver>,
+}
+
+impl Session {
+    /// Start configuring a session for `program`. Finish with
+    /// [`SessionBuilder::start`].
+    pub fn build(program: &GammaProgram) -> SessionBuilder<'_> {
+        SessionBuilder {
+            program,
+            config: EngineConfig::default(),
+            observer: None,
+        }
+    }
+
+    /// Build a session from an already-compiled program (the wrappers'
+    /// entry: [`SeqInterpreter`](crate::seq::SeqInterpreter) compiles at construction time).
+    pub(crate) fn from_compiled(
+        compiled: CompiledProgram,
+        initial: ElementBag,
+        config: EngineConfig,
+    ) -> Session {
+        Self::from_compiled_with_observer(compiled, initial, config, None)
+    }
+
+    fn from_compiled_with_observer(
+        compiled: CompiledProgram,
+        initial: ElementBag,
+        config: EngineConfig,
+        observer: Option<WaveObserver>,
+    ) -> Session {
+        let nreactions = compiled.reactions.len();
+        // The selection stream exists only for the sequential engines;
+        // parallel workers derive per-worker streams from `config.seed`.
+        let rng = match (config.engine, config.selection) {
+            (Engine::Seq, Selection::Seeded(seed)) => Some(ChaCha8Rng::seed_from_u64(seed)),
+            _ => None,
+        };
+        let state = match config.engine {
+            Engine::Seq => {
+                let matcher =
+                    match config.scheduling {
+                        Scheduling::Rescan => SeqMatcher::Rescan {
+                            order: (0..nreactions).collect(),
+                        },
+                        Scheduling::Delta => {
+                            SeqMatcher::Delta(Box::new(DeltaScheduler::new(&compiled)))
+                        }
+                        Scheduling::Rete => SeqMatcher::Rete(Box::new(
+                            ReteNetwork::with_watermark(&compiled, &initial, config.rete_watermark),
+                        )),
+                    };
+                State::Seq {
+                    multiset: initial,
+                    matcher,
+                }
+            }
+            Engine::Parallel(ParEngine::ShardedRete) => {
+                State::Sharded(ShardedState::build(&compiled, initial, &config))
+            }
+            Engine::Parallel(ParEngine::ProbeRetry) => {
+                State::Probe(ProbeState::build(&compiled, initial, &config))
+            }
+        };
+        let trace = (config.record_trace && matches!(config.engine, Engine::Seq)).then(Vec::new);
+        Session {
+            compiled,
+            config,
+            state,
+            rng,
+            scratch: SearchScratch::new(),
+            stats: ExecStats::new(nreactions),
+            trace,
+            par: ParStats::default(),
+            last_status: Status::Stable,
+            waves_run: 0,
+            observer: None,
+        }
+        .with_observer(observer)
+    }
+
+    fn with_observer(mut self, observer: Option<WaveObserver>) -> Session {
+        self.observer = observer;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Status of the most recent wave ([`Status::Stable`] before any wave
+    /// has run).
+    pub fn status(&self) -> Status {
+        self.last_status
+    }
+
+    /// Total firings across all waves so far.
+    pub fn fired_total(&self) -> u64 {
+        self.stats.firings_total()
+    }
+
+    /// Number of completed waves.
+    pub fn waves_run(&self) -> u64 {
+        self.waves_run
+    }
+
+    /// Firing budget remaining before [`Status::BudgetExhausted`].
+    fn budget_left(&self) -> u64 {
+        self.config.max_steps.saturating_sub(self.fired_total())
+    }
+
+    /// Inject new elements into the live multiset, feeding the existing
+    /// matcher state its insertion delta — O(delta), no rebuild. The
+    /// next [`Session::run_to_stable`] wave picks the work up.
+    pub fn inject(&mut self, elements: impl IntoIterator<Item = Element>) {
+        let elements: Vec<Element> = elements.into_iter().collect();
+        if elements.is_empty() {
+            return;
+        }
+        match &mut self.state {
+            State::Seq { multiset, matcher } => {
+                for e in &elements {
+                    multiset.insert(e.clone());
+                }
+                match matcher {
+                    SeqMatcher::Rescan { .. } => {}
+                    // Anchored probing stays trace-preserving in both
+                    // selection modes (see `DeltaScheduler::on_fired`).
+                    SeqMatcher::Delta(s) => s.on_inserted(&elements, true),
+                    SeqMatcher::Rete(n) => n.on_inserted(&self.compiled, multiset, &elements),
+                }
+            }
+            State::Sharded(st) => st.inject(&self.compiled, &elements),
+            State::Probe(st) => st.inject(&elements),
+        }
+    }
+
+    /// A copy of the current multiset (for the parallel engines this
+    /// locks each shard once).
+    pub fn snapshot(&self) -> ElementBag {
+        match &self.state {
+            State::Seq { multiset, .. } => multiset.clone(),
+            State::Sharded(st) => st.snapshot(),
+            State::Probe(st) => st.snapshot(),
+        }
+    }
+
+    /// Move the multiset out of the session, leaving it empty with its
+    /// matcher state reset (memories over an empty bag) and cumulative
+    /// counters intact. Intended at stability — this is how pipeline
+    /// stages chain: the drained bag seeds the next stage's session.
+    pub fn drain_stable(&mut self) -> ElementBag {
+        match &mut self.state {
+            State::Seq { multiset, matcher } => {
+                let out = std::mem::take(multiset);
+                match matcher {
+                    SeqMatcher::Rescan { .. } => {}
+                    // The scheduler's "clean" proofs survive draining:
+                    // removals never enable a reaction, so a reaction
+                    // with no match keeps having none in the empty bag.
+                    SeqMatcher::Delta(_) => {}
+                    SeqMatcher::Rete(n) => {
+                        let stats = n.stats.clone();
+                        **n = ReteNetwork::with_watermark(
+                            &self.compiled,
+                            &ElementBag::new(),
+                            self.config.rete_watermark,
+                        );
+                        n.stats = stats;
+                    }
+                }
+                out
+            }
+            State::Sharded(st) => st.drain_reset(&self.compiled),
+            State::Probe(st) => st.drain(),
+        }
+    }
+
+    /// Run until no reaction is enabled anywhere (or the cumulative
+    /// budget runs out), returning this wave's record.
+    ///
+    /// An `Err` (a runtime action failure, e.g. division by zero) marks
+    /// the session unusable: the failed wave's firings are not recorded
+    /// and the matcher state may be out of step with the multiset.
+    /// Discard the session — exactly as the one-shot entry points
+    /// discard their run.
+    pub fn run_to_stable(&mut self) -> Result<Wave, ExecError> {
+        let budget = self.budget_left();
+        let mut wave_stats = ExecStats::new(self.compiled.reactions.len());
+        let status = match &mut self.state {
+            State::Seq { multiset, matcher } => {
+                let ctx = SeqWaveCtx {
+                    compiled: &self.compiled,
+                    budget,
+                    step_base: self.stats.firings_total(),
+                };
+                match matcher {
+                    SeqMatcher::Rescan { order } => wave_rescan(
+                        &ctx,
+                        multiset,
+                        order,
+                        self.rng.as_mut(),
+                        &mut wave_stats,
+                        self.trace.as_mut(),
+                    )?,
+                    SeqMatcher::Delta(scheduler) => wave_delta(
+                        &ctx,
+                        multiset,
+                        scheduler,
+                        self.rng.as_mut(),
+                        &mut wave_stats,
+                        self.trace.as_mut(),
+                    )?,
+                    SeqMatcher::Rete(network) => wave_rete(
+                        &ctx,
+                        multiset,
+                        network,
+                        self.rng.as_mut(),
+                        &mut self.scratch,
+                        &mut wave_stats,
+                        self.trace.as_mut(),
+                    )?,
+                }
+            }
+            State::Sharded(st) => {
+                let (stats, status) =
+                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par)?;
+                wave_stats = stats;
+                status
+            }
+            State::Probe(st) => {
+                let (stats, status) =
+                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par)?;
+                wave_stats = stats;
+                status
+            }
+        };
+        self.finish_wave(wave_stats, status)
+    }
+
+    /// Run one wave in *maximal parallel steps* (each step fires a
+    /// maximal set of disjoint enabled tuples "simultaneously"),
+    /// returning the wave plus the per-step firing counts. Sequential
+    /// engines only.
+    ///
+    /// # Panics
+    ///
+    /// If the session was built with [`Engine::Parallel`] — the
+    /// maximal-step semantics is an idealised sequential execution mode.
+    pub fn run_to_stable_max_parallel(&mut self) -> Result<(Wave, Vec<usize>), ExecError> {
+        let budget = self.budget_left();
+        let mut wave_stats = ExecStats::new(self.compiled.reactions.len());
+        let State::Seq { multiset, matcher } = &mut self.state else {
+            panic!("maximal parallel steps are a sequential execution mode (Engine::Seq)");
+        };
+        let ctx = SeqWaveCtx {
+            compiled: &self.compiled,
+            budget,
+            step_base: self.stats.firings_total(),
+        };
+        let (status, profile) = match matcher {
+            SeqMatcher::Rescan { order } => wave_rescan_steps(
+                &ctx,
+                multiset,
+                order,
+                self.rng.as_mut(),
+                &mut wave_stats,
+                self.trace.as_mut(),
+            )?,
+            SeqMatcher::Delta(scheduler) => wave_delta_steps(
+                &ctx,
+                multiset,
+                scheduler,
+                self.rng.as_mut(),
+                &mut wave_stats,
+                self.trace.as_mut(),
+            )?,
+            SeqMatcher::Rete(network) => wave_rete_steps(
+                &ctx,
+                multiset,
+                network,
+                self.rng.as_mut(),
+                &mut self.scratch,
+                &mut wave_stats,
+                self.trace.as_mut(),
+            )?,
+        };
+        let wave = self.finish_wave(wave_stats, status)?;
+        Ok((wave, profile))
+    }
+
+    /// Common wave epilogue: fold counters, notify the observer.
+    fn finish_wave(&mut self, wave_stats: ExecStats, status: Status) -> Result<Wave, ExecError> {
+        self.stats.absorb(&wave_stats);
+        self.last_status = status;
+        self.waves_run += 1;
+        let wave = Wave {
+            fired: wave_stats.firings_total(),
+            status,
+            stats: wave_stats,
+        };
+        if let Some(observer) = self.observer.as_mut() {
+            observer(&wave);
+        }
+        Ok(wave)
+    }
+
+    /// Consume the session: the final multiset, the last wave's status,
+    /// and the cumulative counters across all waves (including the
+    /// scheduler/network totals under `sched`/`rete`).
+    pub fn finish(self) -> ExecResult {
+        let (multiset, sched, rete) = match self.state {
+            State::Seq { multiset, matcher } => match matcher {
+                SeqMatcher::Rescan { .. } => (multiset, None, None),
+                SeqMatcher::Delta(s) => (multiset, Some(s.stats.clone()), None),
+                SeqMatcher::Rete(n) => (multiset, None, Some(n.stats.clone())),
+            },
+            State::Sharded(st) => (st.into_bag(), None, None),
+            State::Probe(st) => (st.into_bag(), None, None),
+        };
+        ExecResult {
+            multiset,
+            status: self.last_status,
+            stats: self.stats,
+            trace: self.trace,
+            sched,
+            rete,
+        }
+    }
+
+    /// Like [`Session::finish`], additionally reporting the parallel
+    /// engine counters (the [`run_parallel`](crate::parallel::run_parallel)
+    /// wrapper's result shape). For a sequential session the parallel
+    /// counters are all zero.
+    pub fn finish_parallel(self) -> ParResult {
+        let par = self.par_stats();
+        let exec = self.finish();
+        ParResult { exec, par }
+    }
+
+    /// The cumulative parallel-engine counters so far: wave-level
+    /// counters plus the persistent slices' lifetime spill/peak figures.
+    pub fn par_stats(&self) -> ParStats {
+        let mut par = self.par.clone();
+        match &self.state {
+            State::Seq { .. } => {}
+            State::Sharded(st) => st.fold_lifetime_stats(&mut par),
+            State::Probe(st) => st.fold_lifetime_stats(&mut par),
+        }
+        par
+    }
+
+    /// The cumulative Rete network counters, when a Rete-backed engine is
+    /// live (sequential Rete scheduling only; the parallel slices fold
+    /// into [`Session::par_stats`]).
+    pub fn rete_stats(&self) -> Option<ReteStats> {
+        match &self.state {
+            State::Seq {
+                matcher: SeqMatcher::Rete(n),
+                ..
+            } => Some(n.stats.clone()),
+            _ => None,
+        }
+    }
+
+    /// The cumulative delta-scheduler counters, when delta scheduling is
+    /// live.
+    pub fn sched_stats(&self) -> Option<SchedStats> {
+        match &self.state {
+            State::Seq {
+                matcher: SeqMatcher::Delta(s),
+                ..
+            } => Some(s.stats.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Per-wave context shared by the sequential loops.
+struct SeqWaveCtx<'a> {
+    compiled: &'a CompiledProgram,
+    /// Firings allowed this wave (the session's cumulative budget minus
+    /// what previous waves spent).
+    budget: u64,
+    /// Global step offset for trace records (the trace numbers firings
+    /// continuously across waves).
+    step_base: u64,
+}
+
+impl SeqWaveCtx<'_> {
+    fn record(
+        &self,
+        firing: &Firing,
+        fired: u64,
+        stats: &mut ExecStats,
+        trace: &mut Option<&mut Vec<FiringRecord>>,
+    ) {
+        stats.record_firing(firing.reaction, firing);
+        if let Some(t) = trace.as_mut() {
+            t.push(FiringRecord::from_firing(
+                self.step_base + fired,
+                &self.compiled.reactions[firing.reaction].name,
+                firing,
+            ));
+        }
+    }
+}
+
+fn apply(multiset: &mut ElementBag, firing: &Firing) {
+    let ok = multiset.remove_all(&firing.consumed);
+    debug_assert!(ok, "matched elements must be present");
+    for e in &firing.produced {
+        multiset.insert(e.clone());
+    }
+}
+
+/// The reference rescanning wave: a full `find_any` over every reaction
+/// after every firing. Kept verbatim as the differential baseline.
+fn wave_rescan(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    order: &mut [usize],
+    mut rng: Option<&mut ChaCha8Rng>,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<Status, ExecError> {
+    let mut fired = 0u64;
+    loop {
+        if fired >= ctx.budget {
+            return Ok(Status::BudgetExhausted);
+        }
+        if let Some(r) = rng.as_deref_mut() {
+            order.shuffle(r);
+        }
+        match ctx.compiled.find_any(order, multiset, rng.as_deref_mut())? {
+            None => return Ok(Status::Stable),
+            Some(firing) => {
+                apply(multiset, &firing);
+                ctx.record(&firing, fired, stats, &mut trace);
+                fired += 1;
+            }
+        }
+    }
+}
+
+/// The delta-scheduled wave: after a firing, only reactions reachable
+/// from the produced elements through the dependency index are
+/// re-searched. See [`crate::schedule`] for the invariants.
+fn wave_delta(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    scheduler: &mut DeltaScheduler,
+    mut rng: Option<&mut ChaCha8Rng>,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<Status, ExecError> {
+    // Anchored probes are trace-preserving in both modes; see
+    // `DeltaScheduler::next_firing`.
+    let use_anchors = true;
+    let mut fired = 0u64;
+    loop {
+        if fired >= ctx.budget {
+            return Ok(Status::BudgetExhausted);
+        }
+        match scheduler.next_firing(ctx.compiled, multiset, rng.as_deref_mut())? {
+            None => return Ok(Status::Stable),
+            Some(firing) => {
+                apply(multiset, &firing);
+                scheduler.on_fired(&firing, use_anchors);
+                ctx.record(&firing, fired, stats, &mut trace);
+                fired += 1;
+            }
+        }
+    }
+}
+
+/// Deterministic-mode firing selection for a reaction the rete network
+/// reports enabled: the exact per-reaction index search (the
+/// trace-preserving tuple choice). If the network over-approximated (a
+/// maintenance bug, not a semantics hazard — debug builds assert), fall
+/// back to the exact whole-program search; `Ok(None)` means even that
+/// came up dry.
+fn rete_deterministic_firing(
+    compiled: &CompiledProgram,
+    multiset: &ElementBag,
+    reaction: usize,
+    scratch: &mut SearchScratch,
+) -> Result<Option<Firing>, ExecError> {
+    if let Some(f) =
+        compiled.reactions[reaction].find_match_fast(reaction, multiset, None, scratch)?
+    {
+        return Ok(Some(f));
+    }
+    debug_assert!(
+        false,
+        "rete memory disagrees with search for reaction {reaction}"
+    );
+    let order: Vec<usize> = (0..compiled.reactions.len()).collect();
+    Ok(compiled.find_any_fast(&order, multiset, None, scratch)?)
+}
+
+/// Seeded-mode recovery mirror of [`rete_deterministic_firing`]:
+/// [`ReteNetwork::pick_firing`] returned `Ok(None)` (a maintenance bug,
+/// not a semantics hazard — debug builds have already asserted), so fall
+/// back to the exact whole-program search before concluding anything
+/// about stability.
+fn rete_seeded_fallback(
+    compiled: &CompiledProgram,
+    multiset: &ElementBag,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut SearchScratch,
+) -> Result<Option<Firing>, ExecError> {
+    let order: Vec<usize> = (0..compiled.reactions.len()).collect();
+    Ok(compiled.find_any_fast(&order, multiset, Some(rng), scratch)?)
+}
+
+/// The rete-scheduled wave: the join network memorises partial and
+/// complete matches (bounded by the spill watermark), the engine feeds
+/// it each firing's net delta, and a drained network *is* the stability
+/// proof — no authoritative rescan. Under deterministic selection the
+/// network only answers "which reaction is enabled" and the tuple comes
+/// from the same deterministic index search, so the firing trace is
+/// identical to the rescanning reference by construction. Under seeded
+/// selection the firing is read straight off a random terminal token.
+fn wave_rete(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    network: &mut ReteNetwork,
+    mut rng: Option<&mut ChaCha8Rng>,
+    scratch: &mut SearchScratch,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<Status, ExecError> {
+    let mut fired = 0u64;
+    let status = loop {
+        if fired >= ctx.budget {
+            break Status::BudgetExhausted;
+        }
+        let picked = match rng.as_deref_mut() {
+            None => network.first_ready(ctx.compiled, multiset),
+            Some(r) => network.pick_ready(ctx.compiled, multiset, r),
+        };
+        let Some(reaction) = picked else {
+            break Status::Stable;
+        };
+        let firing = match rng.as_deref_mut() {
+            Some(r) => match network.pick_firing(ctx.compiled, multiset, reaction, r)? {
+                Some(f) => f,
+                // The exact search has the last word on stability.
+                None => match rete_seeded_fallback(ctx.compiled, multiset, r, scratch)? {
+                    Some(f) => f,
+                    None => break Status::Stable,
+                },
+            },
+            None => match rete_deterministic_firing(ctx.compiled, multiset, reaction, scratch)? {
+                Some(f) => f,
+                None => break Status::Stable,
+            },
+        };
+        apply(multiset, &firing);
+        network.on_firing_applied(ctx.compiled, multiset, &firing);
+        ctx.record(&firing, fired, stats, &mut trace);
+        fired += 1;
+    };
+
+    // The emptiness proof replaced the drain-time rescan; debug builds
+    // still cross-check it against the exact search.
+    #[cfg(debug_assertions)]
+    if status == Status::Stable {
+        let order: Vec<usize> = (0..ctx.compiled.reactions.len()).collect();
+        let confirm = ctx
+            .compiled
+            .find_any_fast(&order, multiset, None, scratch)?;
+        debug_assert!(
+            confirm.is_none(),
+            "rete network drained while a reaction was enabled"
+        );
+    }
+    Ok(status)
+}
+
+/// Rete-scheduled maximal parallel steps: consumed tuples are fed to the
+/// network as they are removed (the visible multiset shrinks within a
+/// step), and withheld products are fed at the step barrier together
+/// with their insertion.
+fn wave_rete_steps(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    network: &mut ReteNetwork,
+    mut rng: Option<&mut ChaCha8Rng>,
+    scratch: &mut SearchScratch,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<(Status, Vec<usize>), ExecError> {
+    let mut profile = Vec::new();
+    let mut fired = 0u64;
+    let status = 'outer: loop {
+        let mut fired_this_step = 0usize;
+        let mut products: Vec<Firing> = Vec::new();
+        loop {
+            if fired >= ctx.budget {
+                let mut inserted: Vec<Element> = Vec::new();
+                for f in &products {
+                    for e in &f.produced {
+                        multiset.insert(e.clone());
+                        inserted.push(e.clone());
+                    }
+                }
+                network.on_inserted(ctx.compiled, multiset, &inserted);
+                if fired_this_step > 0 {
+                    profile.push(fired_this_step);
+                }
+                break 'outer Status::BudgetExhausted;
+            }
+            let picked = match rng.as_deref_mut() {
+                None => network.first_ready(ctx.compiled, multiset),
+                Some(r) => network.pick_ready(ctx.compiled, multiset, r),
+            };
+            let Some(reaction) = picked else { break };
+            // A dry fallback result just ends the step (products of this
+            // step are still withheld, so the next step's barrier
+            // re-checks).
+            let firing = match rng.as_deref_mut() {
+                Some(r) => match network.pick_firing(ctx.compiled, multiset, reaction, r)? {
+                    Some(f) => f,
+                    None => match rete_seeded_fallback(ctx.compiled, multiset, r, scratch)? {
+                        Some(f) => f,
+                        None => break,
+                    },
+                },
+                None => match rete_deterministic_firing(ctx.compiled, multiset, reaction, scratch)?
+                {
+                    Some(f) => f,
+                    None => break,
+                },
+            };
+            let ok = multiset.remove_all(&firing.consumed);
+            debug_assert!(ok);
+            network.on_removed(ctx.compiled, multiset, &firing.consumed);
+            ctx.record(&firing, fired, stats, &mut trace);
+            fired += 1;
+            fired_this_step += 1;
+            products.push(firing);
+        }
+        if fired_this_step == 0 {
+            break Status::Stable;
+        }
+        profile.push(fired_this_step);
+        // Step barrier: products become visible and join the network.
+        let mut inserted: Vec<Element> = Vec::new();
+        for f in &products {
+            for e in &f.produced {
+                multiset.insert(e.clone());
+                inserted.push(e.clone());
+            }
+        }
+        network.on_inserted(ctx.compiled, multiset, &inserted);
+    };
+    Ok((status, profile))
+}
+
+/// Delta-scheduled maximal parallel steps: within a step the visible
+/// multiset only shrinks (products are withheld), so a reaction that
+/// fails a search stays matchless for the rest of the step; products
+/// wake their dependents at the step barrier.
+fn wave_delta_steps(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    scheduler: &mut DeltaScheduler,
+    mut rng: Option<&mut ChaCha8Rng>,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<(Status, Vec<usize>), ExecError> {
+    // Trace-preserving in both modes; see `wave_delta`.
+    let use_anchors = true;
+    let mut profile = Vec::new();
+    let mut fired = 0u64;
+    let status = 'outer: loop {
+        let mut fired_this_step = 0usize;
+        let mut products: Vec<Firing> = Vec::new();
+        loop {
+            if fired >= ctx.budget {
+                for f in &products {
+                    for e in &f.produced {
+                        multiset.insert(e.clone());
+                    }
+                    scheduler.on_inserted(&f.produced, use_anchors);
+                }
+                if fired_this_step > 0 {
+                    profile.push(fired_this_step);
+                }
+                break 'outer Status::BudgetExhausted;
+            }
+            match scheduler.next_firing(ctx.compiled, multiset, rng.as_deref_mut())? {
+                None => break,
+                Some(firing) => {
+                    let ok = multiset.remove_all(&firing.consumed);
+                    debug_assert!(ok);
+                    scheduler.on_fired_consumed_only(&firing);
+                    ctx.record(&firing, fired, stats, &mut trace);
+                    fired += 1;
+                    fired_this_step += 1;
+                    products.push(firing);
+                }
+            }
+        }
+        if fired_this_step == 0 {
+            break Status::Stable;
+        }
+        profile.push(fired_this_step);
+        // Step barrier: products become visible and wake dependents.
+        for f in &products {
+            for e in &f.produced {
+                multiset.insert(e.clone());
+            }
+            scheduler.on_inserted(&f.produced, use_anchors);
+        }
+    };
+    Ok((status, profile))
+}
+
+/// The rescanning reference for the maximal-parallel-step mode.
+fn wave_rescan_steps(
+    ctx: &SeqWaveCtx<'_>,
+    multiset: &mut ElementBag,
+    order: &mut [usize],
+    mut rng: Option<&mut ChaCha8Rng>,
+    stats: &mut ExecStats,
+    mut trace: Option<&mut Vec<FiringRecord>>,
+) -> Result<(Status, Vec<usize>), ExecError> {
+    let mut profile = Vec::new();
+    let mut fired = 0u64;
+    let status = 'outer: loop {
+        // One maximal step: repeatedly match against a *shadow* bag from
+        // which we remove consumed elements but to which we do NOT add
+        // products (products only become visible next step).
+        let mut fired_this_step = 0usize;
+        let mut products: Vec<Firing> = Vec::new();
+        loop {
+            if fired >= ctx.budget {
+                // Apply what we have, then stop.
+                for f in &products {
+                    for e in &f.produced {
+                        multiset.insert(e.clone());
+                    }
+                }
+                if fired_this_step > 0 {
+                    profile.push(fired_this_step);
+                }
+                break 'outer Status::BudgetExhausted;
+            }
+            if let Some(r) = rng.as_deref_mut() {
+                order.shuffle(r);
+            }
+            match ctx.compiled.find_any(order, multiset, rng.as_deref_mut())? {
+                None => break,
+                Some(firing) => {
+                    let ok = multiset.remove_all(&firing.consumed);
+                    debug_assert!(ok);
+                    ctx.record(&firing, fired, stats, &mut trace);
+                    fired += 1;
+                    fired_this_step += 1;
+                    products.push(firing);
+                }
+            }
+        }
+        if fired_this_step == 0 {
+            break Status::Stable;
+        }
+        profile.push(fired_this_step);
+        for f in &products {
+            for e in &f.produced {
+                multiset.insert(e.clone());
+            }
+        }
+    };
+    Ok((status, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::spec::{ElementSpec, Pattern, ReactionSpec};
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    use gammaflow_multiset::Element;
+
+    fn e(v: i64, l: &str) -> Element {
+        Element::pair(v, l)
+    }
+
+    fn min_program() -> GammaProgram {
+        GammaProgram::new(vec![ReactionSpec::new("min")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .where_(Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")))
+            .by(vec![ElementSpec::pair(Expr::var("x"), "n")])])
+    }
+
+    fn sum_program() -> GammaProgram {
+        GammaProgram::new(vec![ReactionSpec::new("sum")
+            .replace(Pattern::pair("x", "n"))
+            .replace(Pattern::pair("y", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")),
+                "n",
+            )])])
+    }
+
+    #[test]
+    fn waves_keep_reducing_to_the_running_minimum() {
+        let initial: ElementBag = [9, 4, 7].into_iter().map(|v| e(v, "n")).collect();
+        let mut session = Session::build(&min_program()).start(initial).unwrap();
+        let w1 = session.run_to_stable().unwrap();
+        assert_eq!(w1.status, Status::Stable);
+        assert_eq!(session.snapshot().sorted_elements(), vec![e(4, "n")]);
+
+        session.inject([e(2, "n"), e(11, "n")]);
+        let w2 = session.run_to_stable().unwrap();
+        assert_eq!(w2.status, Status::Stable);
+        assert_eq!(session.snapshot().sorted_elements(), vec![e(2, "n")]);
+
+        // Injecting only larger values: one more comparison removes them.
+        session.inject([e(5, "n")]);
+        let w3 = session.run_to_stable().unwrap();
+        assert_eq!(w3.fired, 1);
+        let result = session.finish();
+        assert_eq!(result.multiset.sorted_elements(), vec![e(2, "n")]);
+        assert_eq!(result.stats.firings_total(), w1.fired + w2.fired + w3.fired);
+    }
+
+    #[test]
+    fn budget_spans_waves() {
+        let diverge = GammaProgram::new(vec![ReactionSpec::new("inc")
+            .replace(Pattern::pair("x", "n"))
+            .by(vec![ElementSpec::pair(
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+                "n",
+            )])]);
+        let initial: ElementBag = [e(0, "n")].into_iter().collect();
+        let mut session = Session::build(&diverge).budget(10).start(initial).unwrap();
+        let w1 = session.run_to_stable().unwrap();
+        assert_eq!(w1.status, Status::BudgetExhausted);
+        assert_eq!(w1.fired, 10);
+        // The budget is cumulative: a later wave gets nothing.
+        session.inject([e(100, "n")]);
+        let w2 = session.run_to_stable().unwrap();
+        assert_eq!(w2.status, Status::BudgetExhausted);
+        assert_eq!(w2.fired, 0);
+    }
+
+    #[test]
+    fn drain_stable_resets_the_matcher() {
+        for scheduling in [Scheduling::Rescan, Scheduling::Delta, Scheduling::Rete] {
+            let initial: ElementBag = (1..=6).map(|v| e(v, "n")).collect();
+            let mut session = Session::build(&sum_program())
+                .scheduling(scheduling)
+                .start(initial)
+                .unwrap();
+            session.run_to_stable().unwrap();
+            let drained = session.drain_stable();
+            assert_eq!(drained.sorted_elements(), vec![e(21, "n")]);
+            assert!(session.snapshot().is_empty());
+            // The emptied session accepts fresh input.
+            session.inject([e(1, "n"), e(2, "n")]);
+            let wave = session.run_to_stable().unwrap();
+            assert_eq!(wave.status, Status::Stable, "{scheduling:?}");
+            assert_eq!(
+                session.finish().multiset.sorted_elements(),
+                vec![e(3, "n")],
+                "{scheduling:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_wave() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let fired = Arc::new(AtomicU64::new(0));
+        let waves = Arc::new(AtomicU64::new(0));
+        let (f2, w2) = (fired.clone(), waves.clone());
+        let initial: ElementBag = (1..=4).map(|v| e(v, "n")).collect();
+        let mut session = Session::build(&sum_program())
+            .observer(Box::new(move |wave| {
+                f2.fetch_add(wave.fired, Ordering::Relaxed);
+                w2.fetch_add(1, Ordering::Relaxed);
+            }))
+            .start(initial)
+            .unwrap();
+        session.run_to_stable().unwrap();
+        session.inject([e(5, "n")]);
+        session.run_to_stable().unwrap();
+        let total = session.finish().stats.firings_total();
+        assert_eq!(waves.load(Ordering::Relaxed), 2);
+        assert_eq!(fired.load(Ordering::Relaxed), total);
+    }
+
+    #[test]
+    fn parallel_session_runs_waves() {
+        let initial: ElementBag = (1..=40).map(|v| e(v, "n")).collect();
+        let mut session = Session::build(&sum_program())
+            .engine(Engine::Parallel(ParEngine::ShardedRete))
+            .workers(3)
+            .start(initial)
+            .unwrap();
+        let w1 = session.run_to_stable().unwrap();
+        assert_eq!(w1.status, Status::Stable);
+        assert_eq!(session.snapshot().sorted_elements(), vec![e(820, "n")]);
+        session.inject((41..=50).map(|v| e(v, "n")));
+        let w2 = session.run_to_stable().unwrap();
+        assert_eq!(w2.status, Status::Stable);
+        let result = session.finish_parallel();
+        assert_eq!(result.exec.multiset.sorted_elements(), vec![e(1275, "n")]);
+        assert_eq!(result.exec.stats.firings_total(), 49);
+        assert_eq!(result.par.deltas_published, 49);
+    }
+
+    #[test]
+    fn empty_injection_is_a_noop_wave() {
+        let initial: ElementBag = [e(3, "n"), e(1, "n")].into_iter().collect();
+        let mut session = Session::build(&min_program()).start(initial).unwrap();
+        session.run_to_stable().unwrap();
+        session.inject(std::iter::empty());
+        let wave = session.run_to_stable().unwrap();
+        assert_eq!(wave.fired, 0);
+        assert_eq!(wave.status, Status::Stable);
+    }
+}

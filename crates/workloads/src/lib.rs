@@ -18,6 +18,8 @@
 //! * [`image`] — synthetic image segmentation + histogram scenario
 //!   standing in for the chemical-model image-processing applications
 //!   (paper ref. \[21\]).
+//! * [`streaming`] — wave-structured input for the `Session` lifecycle
+//!   (rolling top-k over a growing candidate history; harness `S5`).
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod fusion;
 pub mod image;
 pub mod joins;
 pub mod loops;
+pub mod streaming;
 
 pub use classic::{exchange_sort, gcd, maximum, minimum, primes, sum, Workload};
 pub use expr_dags::{deep_chain, random_dag, wide_chains, wide_pairs, DagParams, GeneratedDag};
@@ -52,3 +55,4 @@ pub use fusion::{scenario as fusion_scenario, FusionScenario};
 pub use image::{scenario as image_scenario, ImageScenario};
 pub use joins::{cross_sum, divisor_sieve, interval_merge, triangles};
 pub use loops::{accumulator_loop, build_fig2_into, parallel_loops, source_for, LoopWorkload};
+pub use streaming::{rolling_topk, windowed_sum, StreamingWorkload};

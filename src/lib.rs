@@ -49,6 +49,28 @@
 //!     gm.multiset.project(|l| l == m),
 //! );
 //! ```
+//!
+//! ## Streaming: sessions and incremental input
+//!
+//! For continuous traffic, hold a [`gamma::Session`] instead of calling
+//! a one-shot interpreter per batch: the compiled program and the live
+//! matcher state persist, so each wave costs O(delta) instead of a
+//! rebuild (see `ARCHITECTURE.md` § "Sessions & incremental input").
+//!
+//! ```
+//! use gammaflow::prelude::*;
+//! use gammaflow::workloads::windowed_sum;
+//!
+//! let stream = windowed_sum(3, 2, 4, 7); // 3 waves × 2 windows × 4 readings
+//! let mut session = Session::build(&stream.program)
+//!     .start(stream.initial.clone())
+//!     .unwrap();
+//! for wave in &stream.waves {
+//!     session.inject(wave.iter().cloned());
+//!     session.run_to_stable().unwrap(); // resumes the persistent network
+//! }
+//! assert_eq!(session.finish().multiset, stream.expected);
+//! ```
 
 pub use gammaflow_core as core;
 pub use gammaflow_dataflow as dataflow;
@@ -62,6 +84,6 @@ pub use gammaflow_workloads as workloads;
 pub mod prelude {
     pub use gammaflow_core::{dataflow_to_gamma, gamma_to_dataflow};
     pub use gammaflow_dataflow::{GraphBuilder, SeqEngine};
-    pub use gammaflow_gamma::{GammaProgram, SeqInterpreter};
+    pub use gammaflow_gamma::{Engine, EngineConfig, GammaProgram, SeqInterpreter, Session, Wave};
     pub use gammaflow_multiset::{Element, ElementBag, Symbol, Tag, Value};
 }
