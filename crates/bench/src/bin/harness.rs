@@ -1,8 +1,8 @@
 //! Experiment harness: regenerates every table/figure row from DESIGN.md's
 //! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
-//! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`) and prints
-//! them in one run.
+//! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`,
+//! S6 → `BENCH_recovery.json`) and prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -10,6 +10,10 @@
 //! cargo run --release -p gammaflow-bench --bin harness -- S2 S3 # matching
 //! cargo run --release -p gammaflow-bench --bin harness -- S4    # parallel
 //! ```
+//!
+//! S6 measures crash-replay overhead only when built with
+//! `--features fault-inject` (otherwise it records the fault-free
+//! figures and marks the recovered series absent).
 //!
 //! The output of a release-mode run is recorded in EXPERIMENTS.md.
 
@@ -1173,7 +1177,7 @@ fn s5() {
         .start(w.initial.clone())
         .expect("program compiles");
     for wave in &w.waves {
-        session.inject(wave.iter().cloned());
+        let _ = session.inject(wave.iter().cloned());
         let wv = session.run_to_stable().expect("wave runs");
         assert_eq!(wv.status, Status::Stable);
     }
@@ -1264,6 +1268,274 @@ fn s5() {
     println!("wrote BENCH_streaming.json");
 }
 
+// ------------------------------------------------------------------ S6 ----
+
+/// Snapshot/restore micro-costs for one engine in BENCH_recovery.json:
+/// what serialising a live session costs, what rebuilding one from the
+/// wire costs, and the cold matcher build on the same bag for scale.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SnapshotRow {
+    workload: String,
+    engine: String,
+    bag_elements: usize,
+    snapshot_bytes: usize,
+    snapshot_ms: f64,
+    restore_ms: f64,
+    cold_build_ms: f64,
+    restored_final_identical: bool,
+}
+
+/// Fault-free vs crash-recovered throughput for one parallel config in
+/// BENCH_recovery.json. `recovered` is absent when the harness was built
+/// without `--features fault-inject`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RecoveryRow {
+    workload: String,
+    engine: String,
+    workers: usize,
+    firings: u64,
+    fault_free: EngineRow,
+    recovered: Option<EngineRow>,
+    replay_overhead: Option<f64>,
+    workers_lost: u64,
+    waves_replayed: u64,
+    identical_final_multiset: bool,
+}
+
+/// The BENCH_recovery.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RecoveryReport {
+    bench: String,
+    snapshots: Vec<SnapshotRow>,
+    rows: Vec<RecoveryRow>,
+}
+
+fn recovery_fps_series(rows: &[RecoveryRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            let mut series = vec![(
+                format!("{}/{}/w{}/fault_free", r.workload, r.engine, r.workers),
+                r.fault_free.firings_per_sec,
+            )];
+            if let Some(rec) = &r.recovered {
+                series.push((
+                    format!("{}/{}/w{}/recovered", r.workload, r.engine, r.workers),
+                    rec.firings_per_sec,
+                ));
+            }
+            series
+        })
+        .collect()
+}
+
+/// S6: durability costs. The snapshot figures stream the full
+/// windowed-sum workload into a session (so the bag holds the whole
+/// consumed history, not a toy payload), then time `snapshot_state` +
+/// serde_json against `Session::restore` from the wire and a cold
+/// matcher build over the same bag, asserting the restored bag is
+/// byte-identical. The replay figures run a single dense fold wave
+/// fault-free and — when built with `--features fault-inject` — again
+/// with an injected worker panic recovered by the wave-entry replay,
+/// asserting both runs land on the workload's self-check final. Results
+/// go to `BENCH_recovery.json`.
+fn s6() {
+    use gammaflow_gamma::fault::ENABLED as FAULT_INJECT;
+    use gammaflow_gamma::{Engine, Fault, FaultPlan, ParEngine, Session, Status};
+    use gammaflow_workloads::windowed_sum;
+    banner(
+        "S6",
+        "Durability: snapshot/restore cost and crash-replay overhead",
+    );
+
+    // Snapshot/restore micro-costs over a session with real history.
+    let stream = windowed_sum(32, 64, 2, 42);
+    let mut snapshots = Vec::new();
+    for (engine_name, engine) in [
+        ("seq_rete", Engine::Seq),
+        ("sharded_rete", Engine::Parallel(ParEngine::ShardedRete)),
+    ] {
+        let mut session = Session::build(&stream.program)
+            .engine(engine)
+            .workers(4)
+            .start(stream.initial.clone())
+            .expect("program compiles");
+        for wave in &stream.waves {
+            let _ = session.inject(wave.iter().cloned());
+            let wv = session.run_to_stable().expect("wave runs");
+            assert_eq!(wv.status, Status::Stable);
+        }
+        let bag = session.snapshot();
+        let json = serde_json::to_string(&session.snapshot_state()).expect("snapshot serialises");
+        let snapshot_ms = time_median(5, || {
+            serde_json::to_string(&session.snapshot_state()).expect("snapshot serialises")
+        });
+        let restore_ms = time_median(5, || {
+            let snap = serde_json::from_str(&json).expect("snapshot parses");
+            Session::restore(&stream.program, snap).expect("restore succeeds")
+        });
+        let cold_build_ms = time_median(5, || {
+            Session::build(&stream.program)
+                .engine(engine)
+                .workers(4)
+                .start(bag.clone())
+                .expect("program compiles")
+        });
+        let restored = Session::restore(
+            &stream.program,
+            serde_json::from_str(&json).expect("snapshot parses"),
+        )
+        .expect("restore succeeds");
+        let identical = restored.snapshot() == bag;
+        assert!(
+            identical,
+            "{engine_name}: the restored bag must be byte-identical"
+        );
+        println!(
+            "snapshot {:<13} |M| {:>5}  {:>8} bytes  snap {:>7.3} ms  restore {:>7.3} ms  cold build {:>7.3} ms",
+            engine_name,
+            bag.len(),
+            json.len(),
+            snapshot_ms,
+            restore_ms,
+            cold_build_ms
+        );
+        snapshots.push(SnapshotRow {
+            workload: stream.name.clone(),
+            engine: engine_name.into(),
+            bag_elements: bag.len(),
+            snapshot_bytes: json.len(),
+            snapshot_ms,
+            restore_ms,
+            cold_build_ms,
+            restored_final_identical: identical,
+        });
+    }
+
+    // Crash-replay overhead on a single dense fold wave.
+    let values: Vec<i64> = (1..=2048).collect();
+    let fold = sum(&values);
+    let mut rows = Vec::new();
+    for (engine_name, engine) in [
+        ("sharded_rete", ParEngine::ShardedRete),
+        ("probe_retry", ParEngine::ProbeRetry),
+    ] {
+        for workers in [2usize, 4] {
+            let run = |faults: Option<FaultPlan>| {
+                let mut builder = Session::build(&fold.program)
+                    .engine(Engine::Parallel(engine))
+                    .workers(workers);
+                if let Some(plan) = faults {
+                    builder = builder.faults(plan);
+                }
+                let t = Instant::now();
+                let mut session = builder
+                    .start(fold.initial.clone())
+                    .expect("program compiles");
+                let wv = session.run_to_stable().expect("wave runs");
+                let secs = t.elapsed().as_secs_f64();
+                assert_eq!(wv.status, Status::Stable);
+                let result = session.finish_parallel();
+                assert_eq!(
+                    result.exec.multiset, fold.expected,
+                    "{engine_name} x{workers}: final must match the self-check"
+                );
+                (secs, result.exec.stats.firings_total(), result.par)
+            };
+            let median = |samples: &mut Vec<f64>| -> f64 {
+                samples.sort_by(f64::total_cmp);
+                samples[samples.len() / 2]
+            };
+            let mut base_secs = Vec::new();
+            let mut firings = 0u64;
+            for _ in 0..3 {
+                let (secs, fired, _) = run(None);
+                base_secs.push(secs);
+                firings = fired;
+            }
+            let base = median(&mut base_secs);
+            let fault_free = EngineRow {
+                seconds: base,
+                firings,
+                firings_per_sec: firings as f64 / base,
+            };
+            let (recovered, replay_overhead, workers_lost, waves_replayed) = if FAULT_INJECT {
+                let plan = FaultPlan::single(
+                    0,
+                    Fault::WorkerPanic {
+                        worker: 0,
+                        at_firing: 8,
+                    },
+                );
+                let mut rec_secs = Vec::new();
+                let mut lost = 0u64;
+                let mut replayed = 0u64;
+                for _ in 0..3 {
+                    let (secs, _, par) = run(Some(plan.clone()));
+                    rec_secs.push(secs);
+                    lost += par.workers_lost;
+                    replayed += par.waves_replayed;
+                }
+                let rec = median(&mut rec_secs);
+                let row = EngineRow {
+                    seconds: rec,
+                    firings,
+                    firings_per_sec: firings as f64 / rec,
+                };
+                (Some(row), Some(rec / base), lost, replayed)
+            } else {
+                (None, None, 0, 0)
+            };
+            match (&recovered, replay_overhead) {
+                (Some(rec), Some(overhead)) => println!(
+                    "replay   {:<13} x{:<2} {:>8} firings  fault-free {:>10.0} f/s  recovered {:>10.0} f/s  {:>5.2}x  (lost {} replayed {})",
+                    engine_name,
+                    workers,
+                    firings,
+                    fault_free.firings_per_sec,
+                    rec.firings_per_sec,
+                    overhead,
+                    workers_lost,
+                    waves_replayed
+                ),
+                _ => println!(
+                    "replay   {:<13} x{:<2} {:>8} firings  fault-free {:>10.0} f/s  (fault-inject off: no recovered series)",
+                    engine_name, workers, firings, fault_free.firings_per_sec
+                ),
+            }
+            rows.push(RecoveryRow {
+                workload: fold.name.to_string(),
+                engine: engine_name.into(),
+                workers,
+                firings,
+                fault_free,
+                recovered,
+                replay_overhead,
+                workers_lost,
+                waves_replayed,
+                identical_final_multiset: true,
+            });
+        }
+    }
+
+    let baseline: Vec<(String, f64)> = read_baseline::<RecoveryReport>("BENCH_recovery.json")
+        .map(|old| recovery_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_recovery.json",
+        &baseline,
+        &recovery_fps_series(&rows),
+    );
+
+    let report = RecoveryReport {
+        bench: "recovery".into(),
+        snapshots,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("wrote BENCH_recovery.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -1318,6 +1590,9 @@ fn main() {
     }
     if want("S5") {
         s5();
+    }
+    if want("S6") {
+        s6();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

@@ -35,6 +35,9 @@
 //!   multiset: delta-driven workers each owning a slice of the rete
 //!   network (the default), with the optimistic probe-and-retry loop
 //!   kept as the measurable baseline.
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`])
+//!   for exercising the crash-recovery paths; compiled out unless the
+//!   `fault-inject` cargo feature is enabled.
 //! * [`session`] — the unified execution API: a [`Session`] compiles
 //!   once, builds matcher state once, and then runs **incremental input
 //!   waves** over it ([`Session::run_to_stable`] / [`Session::inject`]),
@@ -72,6 +75,7 @@
 
 pub mod compiled;
 pub mod expr;
+pub mod fault;
 pub mod naive;
 pub mod parallel;
 pub mod rete;
@@ -86,15 +90,22 @@ pub use compiled::{
     CompiledProgram, CompiledReaction, Firing, GuardPlan, MatchError, MatchSource, SearchScratch,
 };
 pub use expr::{EvalError, Expr};
+pub use fault::{Fault, FaultPlan};
 pub use naive::{run_naive, NaiveBag};
-pub use parallel::{run_parallel, ParConfig, ParEngine, ParResult, ParStats};
+pub use parallel::{
+    run_parallel, OnExhausted, ParConfig, ParEngine, ParResult, ParStats, RecoveryPolicy,
+};
 pub use rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan, DEFAULT_SPILL_WATERMARK};
 pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
 pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats, ShardedWorklist};
 pub use seq::{
-    run_pipeline, ExecConfig, ExecError, ExecResult, Scheduling, Selection, SeqInterpreter, Status,
+    run_pipeline, ExecConfig, ExecError, ExecResult, ParError, Scheduling, Selection,
+    SeqInterpreter, Status,
 };
-pub use session::{Engine, EngineConfig, Session, SessionBuilder, Wave, WaveObserver};
+pub use session::{
+    Engine, EngineConfig, InjectOutcome, Session, SessionBuilder, SessionSnapshot, Wave,
+    WaveObserver,
+};
 pub use spec::{
     ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
     ReactionSpec, SpecError, TagPat, TagSpec, ValuePat,

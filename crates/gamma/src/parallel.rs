@@ -70,9 +70,10 @@
 //! engines' firings/sec in `BENCH_parallel.json`.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
+use crate::fault::{FaultPlan, WaveFaults};
 use crate::rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan};
 use crate::schedule::{DependencyIndex, ShardedWorklist};
-use crate::seq::{ExecError, ExecResult, Status};
+use crate::seq::{ExecError, ExecResult, ParError, Status};
 use crate::session::{EngineConfig, Session};
 use crate::spec::GammaProgram;
 use crate::trace::ExecStats;
@@ -84,6 +85,7 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -126,7 +128,7 @@ impl DirtyFlags {
 }
 
 /// Which parallel engine drives the workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ParEngine {
     /// Delta-driven sharded Rete matching (the default): each worker owns
     /// a slice of the `(label, tag)` alpha space and reads enabled
@@ -190,8 +192,63 @@ impl ParConfig {
     }
 }
 
+/// What a parallel wave does when a worker thread dies mid-wave. Worker
+/// bodies run under `catch_unwind`, so a panic never aborts the host
+/// process; this policy decides what happens next. The drained-memories
+/// termination proof is what makes replay sound: a wave begins from a
+/// provably quiescent state (every prior delta processed), so the
+/// wave-entry bag is a complete description of the wave's input and
+/// replaying from it recomputes the same stable multiset (the Kahn-style
+/// input-determinacy argument from PAPERS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryPolicy {
+    /// How many times a poisoned wave is replayed from its entry snapshot
+    /// before `on_exhausted` applies. `0` disables the wave-entry
+    /// snapshot entirely (no per-wave clone cost): a lost worker then
+    /// surfaces as [`ParError::WorkerLost`] immediately, with the bag
+    /// keeping the partial wave's atomically committed claims (a legal
+    /// reachable multiset — each claim is one Γ step).
+    pub max_replays: u32,
+    /// The action once replays are exhausted.
+    pub on_exhausted: OnExhausted,
+}
+
+/// Terminal action of a [`RecoveryPolicy`] whose replays are exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum OnExhausted {
+    /// Surface [`ParError::WorkerLost`]; the engine state is restored to
+    /// the wave entry, so the session stays usable.
+    #[default]
+    Error,
+    /// Run the wave to completion sequentially (single-threaded, exact)
+    /// on the restored wave-entry bag — availability over parallelism
+    /// when the fault keeps recurring.
+    DegradeToSeq,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_replays: 2,
+            on_exhausted: OnExhausted::Error,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never snapshots and never replays: a lost worker is
+    /// an immediate [`ParError::WorkerLost`]. This is the zero-overhead
+    /// configuration for throughput benchmarking.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_replays: 0,
+            on_exhausted: OnExhausted::Error,
+        }
+    }
+}
+
 /// Extra counters reported by a parallel run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ParStats {
     /// Claims that lost a race and were retried.
     pub claim_failures: u64,
@@ -235,6 +292,14 @@ pub struct ParStats {
     /// maximum, and the equivalence suite asserts each entry stays within
     /// the watermark plus one delta burst.
     pub shard_peak_tokens: Vec<u64>,
+    /// Worker threads lost to a caught panic, summed over all waves and
+    /// replay attempts.
+    pub workers_lost: u64,
+    /// Poisoned-wave replays performed under the [`RecoveryPolicy`].
+    pub waves_replayed: u64,
+    /// Waves completed by the sequential fallback after the replay budget
+    /// ran out ([`OnExhausted::DegradeToSeq`]).
+    pub degraded_waves: u64,
 }
 
 impl ParStats {
@@ -307,6 +372,33 @@ impl Directory {
             .get(&label)
             .map(|tags| tags.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Dump every `(label, tags)` entry, sorted for a canonical snapshot
+    /// encoding. The directory is an append-only *superset* of live keys,
+    /// so persisting it verbatim (rather than re-deriving it from the
+    /// bag) keeps a restored session's probe surface identical.
+    fn export(&self) -> Vec<(Symbol, Vec<Tag>)> {
+        let mut out: Vec<(Symbol, Vec<Tag>)> = self
+            .map
+            .read()
+            .iter()
+            .map(|(label, tags)| {
+                let mut tags: Vec<Tag> = tags.iter().copied().collect();
+                tags.sort_unstable_by_key(|t| t.0);
+                (*label, tags)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(label, _)| label.index());
+        out
+    }
+
+    /// Re-note exported entries (restore path).
+    fn preload(&self, entries: &[(Symbol, Vec<Tag>)]) {
+        let mut g = self.map.write();
+        for (label, tags) in entries {
+            g.entry(*label).or_default().extend(tags.iter().copied());
+        }
     }
 }
 
@@ -553,15 +645,33 @@ impl ProbeState {
         par.spill_probes += self.probe_stats.spill_probes;
     }
 
+    /// Export the key directory for a session snapshot.
+    pub(crate) fn directory_export(&self) -> Vec<(Symbol, Vec<Tag>)> {
+        self.directory.export()
+    }
+
+    /// Re-note exported directory entries (session restore).
+    pub(crate) fn directory_preload(&self, entries: &[(Symbol, Vec<Tag>)]) {
+        self.directory.preload(entries);
+    }
+
+    /// Elements currently in the live multiset.
+    pub(crate) fn len(&self) -> usize {
+        self.bag.len()
+    }
+
     /// One wave of the sampled probe-and-retry worker loop (see the
-    /// module docs). Wave-level counters are added to `par`; the wave's
-    /// firing stats and status are returned.
+    /// module docs), replayed from its entry snapshot under `recovery`
+    /// if a worker is lost. Wave-level counters are added to `par`; the
+    /// wave's firing stats and status are returned.
     pub(crate) fn wave(
         &mut self,
         compiled: &CompiledProgram,
         budget: u64,
         wave_index: u64,
         par: &mut ParStats,
+        recovery: &RecoveryPolicy,
+        faults: &FaultPlan,
     ) -> Result<(ExecStats, Status), ExecError> {
         let nreactions = self.nreactions;
         if nreactions == 0 {
@@ -570,6 +680,78 @@ impl ProbeState {
         if budget == 0 {
             return Ok((ExecStats::new(nreactions), Status::BudgetExhausted));
         }
+
+        // Wave-entry snapshot: the valid replay point (the bag between
+        // waves is quiescent). Skipped — with its clone cost — when
+        // replay is disabled.
+        let entry = (recovery.max_replays > 0).then(|| self.bag.snapshot());
+        let mut attempt: u32 = 0;
+        loop {
+            let wf = WaveFaults::new(faults, wave_index, attempt);
+            match self.wave_attempt(compiled, budget, wave_index, par, wf) {
+                Ok(out) => {
+                    par.waves_replayed += u64::from(attempt);
+                    return Ok(out);
+                }
+                Err(WaveFailure::Exec(e)) => return Err(e),
+                Err(WaveFailure::Lost(workers)) => {
+                    par.workers_lost += workers.len() as u64;
+                    let Some(entry) = entry.as_ref() else {
+                        // No replay point: surface the loss. The bag keeps
+                        // the partial wave's atomically committed claims —
+                        // a legal reachable multiset, so the session stays
+                        // structurally usable.
+                        return Err(ParError::WorkerLost {
+                            workers,
+                            replays: attempt,
+                        }
+                        .into());
+                    };
+                    // Quarantine the poisoned wave: restore the entry
+                    // multiset and re-arm every dirty flag (the failed
+                    // attempt may have cleared flags against state that
+                    // no longer exists).
+                    self.bag.drain();
+                    self.bag.insert_all(entry.iter());
+                    self.dirty = DirtyFlags::new(nreactions);
+                    if attempt < recovery.max_replays {
+                        attempt += 1;
+                        continue;
+                    }
+                    return match recovery.on_exhausted {
+                        OnExhausted::Error => Err(ParError::WorkerLost {
+                            workers,
+                            replays: attempt,
+                        }
+                        .into()),
+                        OnExhausted::DegradeToSeq => {
+                            par.waves_replayed += u64::from(attempt);
+                            par.degraded_waves += 1;
+                            let mut bag = entry.clone();
+                            let out = seq_fallback_wave(compiled, &mut bag, budget)?;
+                            for (e, _) in bag.iter_counts() {
+                                self.directory.note(e.label, e.tag);
+                            }
+                            self.bag.drain();
+                            self.bag.insert_all(bag.iter());
+                            Ok(out)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// A single attempt at a wave: scoped workers under `catch_unwind`.
+    fn wave_attempt(
+        &mut self,
+        compiled: &CompiledProgram,
+        budget: u64,
+        wave_index: u64,
+        par: &mut ParStats,
+        wf: WaveFaults<'_>,
+    ) -> Result<(ExecStats, Status), WaveFailure> {
+        let nreactions = self.nreactions;
         let bag = &self.bag;
         let directory = &self.directory;
         let deps = &self.deps;
@@ -584,6 +766,7 @@ impl ProbeState {
         let error: Mutex<Option<MatchError>> = Mutex::new(None);
 
         let mut worker_stats: Vec<(ExecStats, ParStats)> = Vec::new();
+        let mut lost: Vec<usize> = Vec::new();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers);
@@ -593,135 +776,49 @@ impl ProbeState {
                 let firings_global = &firings_global;
                 let checker = &checker;
                 let error = &error;
+                // `catch_unwind` turns a worker panic into a lost-worker
+                // report instead of a process abort; `done` wakes the
+                // peers so the failed attempt winds down promptly.
                 handles.push(scope.spawn(move || {
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(wave_seed.wrapping_add(w as u64 * 0x9e37));
-                    let mut stats = ExecStats::new(nreactions);
-                    let mut par = ParStats::default();
-                    // Probe order: only reactions whose dirty flag is set (the
-                    // delta-scheduling prune); refreshed every iteration.
-                    let mut order: Vec<usize> = Vec::with_capacity(nreactions);
-                    let mut all: Vec<usize> = (0..nreactions).collect();
-                    let mut scratch = SearchScratch::new();
-
-                    'main: while !done.load(Ordering::Acquire) {
-                        dirty.collect_dirty(&mut order);
-                        let found = if order.is_empty() {
-                            None
-                        } else {
-                            order.shuffle(&mut rng);
-                            let view = ShardedView {
-                                bag,
-                                directory,
-                                sample_cap,
-                                salt: rng.gen(),
-                            };
-                            match compiled.find_any(&order, &view, Some(&mut rng)) {
-                                Ok(f) => f,
-                                Err(e) => {
-                                    *error.lock() = Some(e);
-                                    done.store(true, Ordering::Release);
-                                    break 'main;
-                                }
-                            }
-                        };
-                        match found {
-                            Some(firing) => {
-                                if !try_fire(
-                                    bag,
-                                    directory,
-                                    deps,
-                                    dirty,
-                                    firings_global,
-                                    budget,
-                                    done,
-                                    budget_exhausted,
-                                    &firing,
-                                    &mut stats,
-                                    &mut par,
-                                ) {
-                                    par.claim_failures += 1;
-                                }
-                            }
-                            None => {
-                                // A sampled pass over the dirty set found
-                                // nothing: clear those flags (any concurrent
-                                // producer re-sets them) and fall through to
-                                // the authoritative check.
-                                for &r in &order {
-                                    dirty.clear(r);
-                                }
-                                par.dry_probes += 1;
-                                // Authoritative termination check under the
-                                // checker mutex: exact search over the live
-                                // shards with every shard lock held — a
-                                // consistent view with no whole-bag clone.
-                                // Exactness lives here, so the dirty flags can
-                                // stay heuristic. The guards must drop before
-                                // try_fire, which re-locks shards to claim.
-                                let _guard = checker.lock();
-                                if done.load(Ordering::Acquire) {
-                                    break 'main;
-                                }
-                                par.snapshot_checks += 1;
-                                all.shuffle(&mut rng);
-                                let exact = {
-                                    let locked = LockedShards::lock(bag);
-                                    match compiled.find_any_fast(
-                                        &all,
-                                        &locked,
-                                        Some(&mut rng),
-                                        &mut scratch,
-                                    ) {
-                                        Ok(f) => f,
-                                        Err(e) => {
-                                            *error.lock() = Some(e);
-                                            done.store(true, Ordering::Release);
-                                            break 'main;
-                                        }
-                                    }
-                                };
-                                match exact {
-                                    None => {
-                                        // Steady state reached.
-                                        done.store(true, Ordering::Release);
-                                        break 'main;
-                                    }
-                                    Some(firing) => {
-                                        // The snapshot is consistent and we
-                                        // still hold the checker lock, but
-                                        // other workers may race us; claim
-                                        // normally.
-                                        if !try_fire(
-                                            bag,
-                                            directory,
-                                            deps,
-                                            dirty,
-                                            firings_global,
-                                            budget,
-                                            done,
-                                            budget_exhausted,
-                                            &firing,
-                                            &mut stats,
-                                            &mut par,
-                                        ) {
-                                            par.claim_failures += 1;
-                                        }
-                                    }
-                                }
-                            }
-                        }
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        probe_worker_loop(ProbeWorkerCtx {
+                            compiled,
+                            bag,
+                            directory,
+                            deps,
+                            dirty,
+                            done,
+                            budget_exhausted,
+                            firings_global,
+                            checker,
+                            error,
+                            budget,
+                            sample_cap,
+                            wave_seed,
+                            nreactions,
+                            w,
+                            wf,
+                        })
+                    }));
+                    if out.is_err() {
+                        done.store(true, Ordering::Release);
                     }
-                    (stats, par)
+                    out.ok()
                 }));
             }
-            for h in handles {
-                worker_stats.push(h.join().expect("worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(Some(r)) => worker_stats.push(r),
+                    Ok(None) | Err(_) => lost.push(w),
+                }
             }
         });
 
+        if !lost.is_empty() {
+            return Err(WaveFailure::Lost(lost));
+        }
         if let Some(e) = error.lock().take() {
-            return Err(ExecError::Match(e));
+            return Err(WaveFailure::Exec(ExecError::Match(e)));
         }
 
         let mut stats = ExecStats::new(nreactions);
@@ -737,6 +834,220 @@ impl ProbeState {
         };
         Ok((stats, status))
     }
+}
+
+/// Borrowed context of one probe-retry worker (bundled to keep the spawn
+/// site readable).
+struct ProbeWorkerCtx<'a> {
+    compiled: &'a CompiledProgram,
+    bag: &'a ShardedBag,
+    directory: &'a Directory,
+    deps: &'a DependencyIndex,
+    dirty: &'a DirtyFlags,
+    done: &'a AtomicBool,
+    budget_exhausted: &'a AtomicBool,
+    firings_global: &'a AtomicU64,
+    checker: &'a Mutex<()>,
+    error: &'a Mutex<Option<MatchError>>,
+    budget: u64,
+    sample_cap: usize,
+    wave_seed: u64,
+    nreactions: usize,
+    w: usize,
+    wf: WaveFaults<'a>,
+}
+
+/// The probe-retry worker body (see the module docs): sampled probes over
+/// the dirty set, atomic claims, and the authoritative locked-shard
+/// termination check.
+fn probe_worker_loop(ctx: ProbeWorkerCtx<'_>) -> (ExecStats, ParStats) {
+    let ProbeWorkerCtx {
+        compiled,
+        bag,
+        directory,
+        deps,
+        dirty,
+        done,
+        budget_exhausted,
+        firings_global,
+        checker,
+        error,
+        budget,
+        sample_cap,
+        wave_seed,
+        nreactions,
+        w,
+        wf,
+    } = ctx;
+    let mut rng = ChaCha8Rng::seed_from_u64(wave_seed.wrapping_add(w as u64 * 0x9e37));
+    let mut stats = ExecStats::new(nreactions);
+    let mut par = ParStats::default();
+    let mut fired_local = 0u64;
+    // Probe order: only reactions whose dirty flag is set (the
+    // delta-scheduling prune); refreshed every iteration.
+    let mut order: Vec<usize> = Vec::with_capacity(nreactions);
+    let mut all: Vec<usize> = (0..nreactions).collect();
+    let mut scratch = SearchScratch::new();
+
+    'main: while !done.load(Ordering::Acquire) {
+        dirty.collect_dirty(&mut order);
+        let found = if order.is_empty() {
+            None
+        } else {
+            order.shuffle(&mut rng);
+            let view = ShardedView {
+                bag,
+                directory,
+                sample_cap,
+                salt: rng.gen(),
+            };
+            match compiled.find_any(&order, &view, Some(&mut rng)) {
+                Ok(f) => f,
+                Err(e) => {
+                    *error.lock() = Some(e);
+                    done.store(true, Ordering::Release);
+                    break 'main;
+                }
+            }
+        };
+        match found {
+            Some(firing) => {
+                if try_fire(
+                    bag,
+                    directory,
+                    deps,
+                    dirty,
+                    firings_global,
+                    budget,
+                    done,
+                    budget_exhausted,
+                    &firing,
+                    &mut stats,
+                    &mut par,
+                ) {
+                    fired_local += 1;
+                    wf.on_firing(w, fired_local);
+                } else {
+                    par.claim_failures += 1;
+                }
+            }
+            None => {
+                // A sampled pass over the dirty set found
+                // nothing: clear those flags (any concurrent
+                // producer re-sets them) and fall through to
+                // the authoritative check.
+                for &r in &order {
+                    dirty.clear(r);
+                }
+                par.dry_probes += 1;
+                // Authoritative termination check under the
+                // checker mutex: exact search over the live
+                // shards with every shard lock held — a
+                // consistent view with no whole-bag clone.
+                // Exactness lives here, so the dirty flags can
+                // stay heuristic. The guards must drop before
+                // try_fire, which re-locks shards to claim.
+                let _guard = checker.lock();
+                if done.load(Ordering::Acquire) {
+                    break 'main;
+                }
+                par.snapshot_checks += 1;
+                all.shuffle(&mut rng);
+                let exact = {
+                    let locked = LockedShards::lock(bag);
+                    match compiled.find_any_fast(&all, &locked, Some(&mut rng), &mut scratch) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            done.store(true, Ordering::Release);
+                            break 'main;
+                        }
+                    }
+                };
+                match exact {
+                    None => {
+                        // Steady state reached.
+                        done.store(true, Ordering::Release);
+                        break 'main;
+                    }
+                    Some(firing) => {
+                        // The snapshot is consistent and we
+                        // still hold the checker lock, but
+                        // other workers may race us; claim
+                        // normally.
+                        if try_fire(
+                            bag,
+                            directory,
+                            deps,
+                            dirty,
+                            firings_global,
+                            budget,
+                            done,
+                            budget_exhausted,
+                            &firing,
+                            &mut stats,
+                            &mut par,
+                        ) {
+                            fired_local += 1;
+                            wf.on_firing(w, fired_local);
+                        } else {
+                            par.claim_failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (stats, par)
+}
+
+/// How a single wave attempt failed (internal to the recovery loop).
+enum WaveFailure {
+    /// A worker surfaced a matching/action error: not recoverable by
+    /// replay (the same inputs recompute the same error).
+    Exec(ExecError),
+    /// These workers' threads died (caught panics): the attempt's state
+    /// is poisoned and the caller decides between replay, degrade, and
+    /// surfacing [`ParError::WorkerLost`].
+    Lost(Vec<usize>),
+}
+
+/// One sequential, exact wave over a plain bag — the
+/// [`OnExhausted::DegradeToSeq`] fallback. Deterministic first-match
+/// selection; the confluence of terminating Gamma programs (the same
+/// argument the cross-engine equivalence suite leans on) is what makes
+/// the degraded wave land on the same stable multiset.
+fn seq_fallback_wave(
+    compiled: &CompiledProgram,
+    bag: &mut ElementBag,
+    budget: u64,
+) -> Result<(ExecStats, Status), ExecError> {
+    let nreactions = compiled.reactions.len();
+    let order: Vec<usize> = (0..nreactions).collect();
+    let mut scratch = SearchScratch::new();
+    let mut stats = ExecStats::new(nreactions);
+    let mut fired = 0u64;
+    let status = loop {
+        if fired >= budget {
+            break Status::BudgetExhausted;
+        }
+        match compiled
+            .find_any_fast(&order, bag, None, &mut scratch)
+            .map_err(ExecError::Match)?
+        {
+            None => break Status::Stable,
+            Some(firing) => {
+                let removed = bag.remove_all(&firing.consumed);
+                debug_assert!(removed, "firing was matched against this bag");
+                for e in &firing.produced {
+                    bag.insert(e.clone());
+                }
+                stats.record_firing(firing.reaction, &firing);
+                fired += 1;
+            }
+        }
+    };
+    Ok((stats, status))
 }
 
 /// Attempt to claim and apply `firing`. Returns `false` on a lost race.
@@ -1073,16 +1384,53 @@ impl ShardedState {
         }
     }
 
+    /// Export the key directory for a session snapshot.
+    pub(crate) fn directory_export(&self) -> Vec<(Symbol, Vec<Tag>)> {
+        self.directory.export()
+    }
+
+    /// Re-note exported directory entries (session restore).
+    pub(crate) fn directory_preload(&self, entries: &[(Symbol, Vec<Tag>)]) {
+        self.directory.preload(entries);
+    }
+
+    /// Elements currently in the live multiset.
+    pub(crate) fn len(&self) -> usize {
+        self.bag.len()
+    }
+
+    /// Rebuild every worker slice from `bag` (crash recovery: a panicked
+    /// worker's slice unwound with its thread, and the survivors'
+    /// memories describe a multiset that no longer exists).
+    fn rebuild_slices(&mut self, compiled: &CompiledProgram, bag: &ElementBag) {
+        self.slices.clear();
+        for w in 0..self.workers {
+            self.slices.push(ReteNetwork::with_slice(
+                compiled,
+                bag,
+                self.watermark,
+                AlphaSlice {
+                    plan: self.plan.clone(),
+                    worker: w,
+                },
+            ));
+        }
+    }
+
     /// One wave of the delta-driven sharded-rete engine (see the module
     /// docs): scoped worker threads take the persistent slices, run to
     /// the drained-memories termination consensus, and hand the slices
-    /// back for the next wave. Wave-level counters are added to `par`.
+    /// back for the next wave — replayed from the wave-entry snapshot
+    /// under `recovery` if a worker is lost. Wave-level counters are
+    /// added to `par`.
     pub(crate) fn wave(
         &mut self,
         compiled: &CompiledProgram,
         budget: u64,
         wave_index: u64,
         par: &mut ParStats,
+        recovery: &RecoveryPolicy,
+        faults: &FaultPlan,
     ) -> Result<(ExecStats, Status), ExecError> {
         let nreactions = self.nreactions;
         if nreactions == 0 {
@@ -1091,6 +1439,81 @@ impl ShardedState {
         if budget == 0 {
             return Ok((ExecStats::new(nreactions), Status::BudgetExhausted));
         }
+
+        // Wave-entry snapshot: the bag between waves is quiescent (the
+        // drained-memories consensus certified it), so it is the valid
+        // replay point. Skipped — with its clone cost — when replay is
+        // disabled.
+        let entry = (recovery.max_replays > 0).then(|| self.bag.snapshot());
+        let mut attempt: u32 = 0;
+        loop {
+            let wf = WaveFaults::new(faults, wave_index, attempt);
+            match self.wave_attempt(compiled, budget, wave_index, par, wf) {
+                Ok(out) => {
+                    par.waves_replayed += u64::from(attempt);
+                    return Ok(out);
+                }
+                Err(WaveFailure::Exec(e)) => return Err(e),
+                Err(WaveFailure::Lost(workers)) => {
+                    par.workers_lost += workers.len() as u64;
+                    let Some(entry) = entry.as_ref() else {
+                        // No replay point. The bag keeps the partial
+                        // wave's atomically committed claims — a legal
+                        // reachable multiset — and the slices are rebuilt
+                        // over it so the session stays structurally
+                        // usable even though the error marks it spent.
+                        let current = self.bag.snapshot();
+                        self.rebuild_slices(compiled, &current);
+                        return Err(ParError::WorkerLost {
+                            workers,
+                            replays: attempt,
+                        }
+                        .into());
+                    };
+                    // Quarantine the poisoned wave: restore the entry
+                    // multiset and rebuild the slices over it.
+                    self.bag.drain();
+                    self.bag.insert_all(entry.iter());
+                    self.rebuild_slices(compiled, entry);
+                    if attempt < recovery.max_replays {
+                        attempt += 1;
+                        continue;
+                    }
+                    return match recovery.on_exhausted {
+                        OnExhausted::Error => Err(ParError::WorkerLost {
+                            workers,
+                            replays: attempt,
+                        }
+                        .into()),
+                        OnExhausted::DegradeToSeq => {
+                            par.waves_replayed += u64::from(attempt);
+                            par.degraded_waves += 1;
+                            let mut bag = entry.clone();
+                            let out = seq_fallback_wave(compiled, &mut bag, budget)?;
+                            for (e, _) in bag.iter_counts() {
+                                self.directory.note(e.label, e.tag);
+                            }
+                            self.bag.drain();
+                            self.bag.insert_all(bag.iter());
+                            self.rebuild_slices(compiled, &bag);
+                            Ok(out)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// A single attempt at a wave: scoped workers under `catch_unwind`.
+    fn wave_attempt(
+        &mut self,
+        compiled: &CompiledProgram,
+        budget: u64,
+        wave_index: u64,
+        par: &mut ParStats,
+        wf: WaveFaults<'_>,
+    ) -> Result<(ExecStats, Status), WaveFailure> {
+        let nreactions = self.nreactions;
         let workers = self.workers;
         let wave_seed = wave_seed(self.seed, wave_index);
 
@@ -1130,37 +1553,79 @@ impl ShardedState {
         };
 
         let slices = std::mem::take(&mut self.slices);
-        let mut worker_stats: Vec<(ExecStats, ParStats, ReteNetwork)> = Vec::new();
+        let mut returned: Vec<Option<(ExecStats, ParStats, ReteNetwork)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for (w, (slice, rx)) in slices.into_iter().zip(receivers).enumerate() {
+            for (w, slice) in slices.into_iter().enumerate() {
                 let shared = &shared;
-                handles
-                    .push(scope.spawn(move || {
-                        sharded_worker(shared, w, slice, rx, wave_seed, nreactions)
+                let rx = &receivers[w];
+                // `catch_unwind` turns a worker panic into a lost-worker
+                // report instead of a process abort; `done` wakes the
+                // peers so the failed attempt winds down promptly. The
+                // receiver stays owned out here so leftover deltas can be
+                // drained into the slice after the join.
+                handles.push(scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        sharded_worker(shared, w, slice, rx, wave_seed, nreactions, wf)
                     }));
+                    if out.is_err() {
+                        shared.done.store(true, Ordering::Release);
+                    }
+                    out.ok()
+                }));
             }
             for h in handles {
-                worker_stats.push(h.join().expect("worker panicked"));
+                returned.push(h.join().unwrap_or(None));
             }
         });
 
+        let mut lost: Vec<usize> = Vec::new();
+        let mut outs: Vec<(ExecStats, ParStats, ReteNetwork)> = Vec::with_capacity(workers);
+        for (w, out) in returned.into_iter().enumerate() {
+            match out {
+                Some(o) => outs.push(o),
+                None => lost.push(w),
+            }
+        }
+        if !lost.is_empty() {
+            // A panicked worker's slice unwound with its thread, and the
+            // survivors' memories are poisoned by the partial wave; the
+            // caller restores the bag and rebuilds every slice.
+            return Err(WaveFailure::Lost(lost));
+        }
+
         // Hand the slices back for the next wave (join order == spawn
-        // order, so slice w returns to position w).
+        // order, so slice w returns to position w). A wave that stopped
+        // on budget exits workers the moment `done` flips, which can
+        // strand published deltas in their mailboxes — drain them into
+        // the slices now, or a resumed wave would fire from memories
+        // that disagree with the bag. (Sound: a claim's publish completes
+        // before the claimant re-checks `stopped`, so every message is
+        // already in its mailbox by the time the workers are joined.)
         let mut stats = ExecStats::new(nreactions);
         let mut wave_par = ParStats::default();
-        for (s, p, slice) in worker_stats {
+        let src = ShardedSource {
+            bag: &self.bag,
+            directory: &self.directory,
+        };
+        let mut back: Vec<ReteNetwork> = Vec::with_capacity(workers);
+        for ((s, p, mut slice), rx) in outs.into_iter().zip(&receivers) {
+            while let Ok(msg) = rx.try_recv() {
+                slice.on_removed(compiled, &src, &msg.removed);
+                slice.on_inserted(compiled, &src, &msg.inserted);
+            }
             stats.absorb(&s);
             wave_par.absorb_wave_counters(&p);
-            self.slices.push(slice);
+            back.push(slice);
         }
+        self.slices = back;
 
         // Error before aggregation (matching `ProbeState::wave`): a
         // failed wave contributes nothing to the session's cumulative
         // counters, and the error propagating out of `run_to_stable`
         // marks the session unusable either way.
         if let Some(e) = error.lock().take() {
-            return Err(ExecError::Match(e));
+            return Err(WaveFailure::Exec(ExecError::Match(e)));
         }
         wave_par.deltas_published = published.load(Ordering::Acquire);
         par.absorb_wave_counters(&wave_par);
@@ -1180,7 +1645,7 @@ impl ShardedState {
             let mut scratch = SearchScratch::new();
             let confirm = compiled
                 .find_any_fast(&order, &locked, None, &mut scratch)
-                .map_err(ExecError::Match)?;
+                .map_err(|e| WaveFailure::Exec(ExecError::Match(e)))?;
             debug_assert!(
                 confirm.is_none(),
                 "sharded slices drained while reaction {:?} was enabled",
@@ -1240,9 +1705,10 @@ fn sharded_worker(
     shared: &SharedRun<'_>,
     w: usize,
     mut slice: ReteNetwork,
-    rx: Receiver<Arc<DeltaMsg>>,
+    rx: &Receiver<Arc<DeltaMsg>>,
     seed: u64,
     nreactions: usize,
+    wf: WaveFaults<'_>,
 ) -> (ExecStats, ParStats, ReteNetwork) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(w as u64 * 0x9e37).wrapping_add(1));
     let mut stats = ExecStats::new(nreactions);
@@ -1255,6 +1721,10 @@ fn sharded_worker(
     let mut ready = ReadySet::new(nreactions);
     let mut routed: Vec<usize> = Vec::new();
     let workers = shared.processed.len();
+    // Worker-local event counters: the deterministic coordinates fault
+    // points are expressed in.
+    let mut fired_local = 0u64;
+    let mut msgs = 0u64;
 
     // Initial readiness from the freshly built slice.
     for r in 0..nreactions {
@@ -1268,7 +1738,13 @@ fn sharded_worker(
                   slice: &mut ReteNetwork,
                   ready: &mut ReadySet,
                   routed: &mut Vec<usize>,
-                  par: &mut ParStats| {
+                  par: &mut ParStats,
+                  nth: u64| {
+        // Fault point: a `MailboxDrop` here models the delta never
+        // reaching this slice (it panics — the honest rendering, since
+        // silently skipping the message would desynchronise the slice
+        // from the bag); a `MailboxDelay` stalls before absorbing.
+        wf.on_delta(w, nth);
         routed.clear();
         for e in msg.removed.iter().chain(msg.inserted.iter()) {
             shared.deps.for_each_dependent(e.label, |r| routed.push(r));
@@ -1290,7 +1766,8 @@ fn sharded_worker(
         //    reading matches off it.
         let mut drained_any = false;
         while let Ok(msg) = rx.try_recv() {
-            absorb(msg, &mut slice, &mut ready, &mut routed, &mut par);
+            msgs += 1;
+            absorb(msg, &mut slice, &mut ready, &mut routed, &mut par, msgs);
             drained_any = true;
         }
 
@@ -1316,6 +1793,8 @@ fn sharded_worker(
                         stats.record_firing(firing.reaction, &firing);
                         wake_dependents(shared, w, &firing);
                         shared.publish(&firing);
+                        fired_local += 1;
+                        wf.on_firing(w, fired_local);
                     } else {
                         par.claim_failures += 1;
                         if !drained_any {
@@ -1365,6 +1844,8 @@ fn sharded_worker(
                         stats.record_firing(firing.reaction, &firing);
                         wake_dependents(shared, w, &firing);
                         shared.publish(&firing);
+                        fired_local += 1;
+                        wf.on_firing(w, fired_local);
                     } else {
                         par.claim_failures += 1;
                     }
@@ -1403,7 +1884,8 @@ fn sharded_worker(
             match rx.recv_timeout(Duration::from_micros(200)) {
                 Ok(msg) => {
                     shared.active[w].store(true, Ordering::Release);
-                    absorb(msg, &mut slice, &mut ready, &mut routed, &mut par);
+                    msgs += 1;
+                    absorb(msg, &mut slice, &mut ready, &mut routed, &mut par, msgs);
                     continue 'main;
                 }
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {

@@ -235,8 +235,9 @@ impl AlphaSlice {
     }
 }
 
-/// Observability counters for a network's lifetime.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Observability counters for a network's lifetime. Serialisable so
+/// session snapshots can carry lifetime counters across a restore.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ReteStats {
     /// Insert deltas processed, counted per routed `(element, reaction)`
     /// pair: one inserted element consumed by two reactions counts twice.

@@ -139,8 +139,9 @@ enum DirtyState {
     Anchored(Vec<Element>),
 }
 
-/// Scheduler observability counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Scheduler observability counters. Serialisable so session snapshots
+/// can carry lifetime counters across a restore.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SchedStats {
     /// Unrestricted per-reaction searches executed.
     pub full_searches: u64,

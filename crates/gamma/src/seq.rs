@@ -28,7 +28,7 @@ use crate::trace::{ExecStats, FiringRecord};
 use gammaflow_multiset::ElementBag;
 
 /// Why execution stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Status {
     /// Steady state: no reaction is enabled anywhere in the multiset.
     Stable,
@@ -55,7 +55,7 @@ pub struct ExecConfig {
 }
 
 /// How the interpreter decides which reactions to (re-)search per step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Scheduling {
     /// The reference strategy: after every firing, search every reaction
     /// against the whole multiset from scratch (`find_any`). O(F ×
@@ -85,7 +85,7 @@ pub enum Scheduling {
 }
 
 /// Selection policy for the nondeterministic choice in Eq. (1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Selection {
     /// First enabled reaction in program order, first tuple in index order.
     /// Fast and deterministic, but biased.
@@ -114,6 +114,42 @@ pub enum ExecError {
     Spec(SpecError),
     /// An action failed at runtime (division by zero, bad tag, …).
     Match(MatchError),
+    /// A parallel wave failed structurally (worker crash past the
+    /// recovery budget). Never a process abort: worker panics are caught
+    /// and surfaced here.
+    Par(ParError),
+    /// A [`SessionSnapshot`](crate::session::SessionSnapshot) could not
+    /// be restored (version mismatch, incompatible program shape).
+    Snapshot(String),
+}
+
+/// Structural failures of the parallel engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// One or more worker threads died mid-wave (panicked) and the
+    /// configured [`RecoveryPolicy`](crate::parallel::RecoveryPolicy) could
+    /// not (or was not allowed to) replay the wave to completion. With
+    /// replay enabled the bag is restored to the wave-entry state; with
+    /// `max_replays == 0` it keeps the failed wave's atomically committed
+    /// claims — a legal reachable multiset either way, so the session
+    /// stays structurally coherent even though the error marks it spent.
+    WorkerLost {
+        /// Indices of the workers lost in the final failed attempt.
+        workers: Vec<usize>,
+        /// Wave replays attempted before giving up.
+        replays: u32,
+    },
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerLost { workers, replays } => write!(
+                f,
+                "worker(s) {workers:?} lost mid-wave after {replays} replay attempt(s)"
+            ),
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -121,6 +157,8 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Spec(e) => write!(f, "{e}"),
             ExecError::Match(e) => write!(f, "{e}"),
+            ExecError::Par(e) => write!(f, "{e}"),
+            ExecError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
         }
     }
 }
@@ -134,6 +172,11 @@ impl From<SpecError> for ExecError {
 impl From<MatchError> for ExecError {
     fn from(e: MatchError) -> Self {
         ExecError::Match(e)
+    }
+}
+impl From<ParError> for ExecError {
+    fn from(e: ParError) -> Self {
+        ExecError::Par(e)
     }
 }
 

@@ -59,19 +59,21 @@
 //! | `Parallel(ProbeRetry)` | sharded bag, key directory, dirty flags | worker threads |
 
 use crate::compiled::{CompiledProgram, Firing, SearchScratch};
-use crate::parallel::{ParEngine, ParResult, ParStats, ProbeState, ShardedState};
+use crate::fault::{FaultPlan, WaveFaults};
+use crate::parallel::{ParEngine, ParResult, ParStats, ProbeState, RecoveryPolicy, ShardedState};
 use crate::rete::{ReteNetwork, ReteStats};
 use crate::schedule::{DeltaScheduler, SchedStats};
 use crate::seq::{ExecConfig, ExecError, ExecResult, Scheduling, Selection, Status};
 use crate::spec::GammaProgram;
 use crate::trace::{ExecStats, FiringRecord};
-use gammaflow_multiset::{Element, ElementBag};
+use gammaflow_multiset::{Element, ElementBag, Symbol, Tag};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Which execution engine a [`Session`] drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Engine {
     /// The single-threaded interpreter; per-step strategy selected by
     /// [`EngineConfig::scheduling`].
@@ -87,7 +89,7 @@ pub enum Engine {
 /// the merge of the legacy [`ExecConfig`] (sequential) and
 /// [`ParConfig`](crate::parallel::ParConfig) (parallel) pair, either of
 /// which converts [`From`] into it for migration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Which engine runs the waves.
     pub engine: Engine,
@@ -116,6 +118,20 @@ pub struct EngineConfig {
     pub sample_cap: usize,
     /// Seed for parallel per-worker RNG streams.
     pub seed: u64,
+    /// Injection backpressure: the bag-size budget [`Session::inject`]
+    /// admits elements against. An injection that would push the live
+    /// multiset past this many elements is truncated and the overflow
+    /// handed back as [`InjectOutcome::Spilled`] for the caller to queue,
+    /// shed, or retry after a draining wave. Unlimited by default.
+    pub bag_budget: u64,
+    /// Wave-level crash recovery for the parallel engines: how many
+    /// times a wave that lost a worker is replayed from its entry
+    /// snapshot, and what happens when replays run out.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault schedule for durability testing. Inert (and
+    /// compiled out) unless the `fault-inject` cargo feature is on; see
+    /// [`crate::fault`].
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -133,6 +149,9 @@ impl Default for EngineConfig {
             shards: 64,
             sample_cap: 64,
             seed: 0,
+            bag_budget: u64::MAX,
+            recovery: RecoveryPolicy::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -176,6 +195,35 @@ impl From<&crate::parallel::ParConfig> for EngineConfig {
 impl From<crate::parallel::ParConfig> for EngineConfig {
     fn from(c: crate::parallel::ParConfig) -> Self {
         EngineConfig::from(&c)
+    }
+}
+
+/// What happened to a [`Session::inject`] call under the configured
+/// [`EngineConfig::bag_budget`]. Marked `#[must_use]`: dropping a
+/// `Spilled` overflow silently loses input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a Spilled outcome carries rejected elements that must be queued or shed"]
+pub enum InjectOutcome {
+    /// Every element was admitted into the live multiset.
+    Accepted,
+    /// The bag budget filled mid-injection: elements up to the budget
+    /// were admitted (in iteration order), and these are the overflow —
+    /// re-inject them after a wave drains the bag, or shed them.
+    Spilled(Vec<Element>),
+}
+
+impl InjectOutcome {
+    /// True when nothing spilled.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, InjectOutcome::Accepted)
+    }
+
+    /// The rejected overflow, if any (empty for [`InjectOutcome::Accepted`]).
+    pub fn spilled(self) -> Vec<Element> {
+        match self {
+            InjectOutcome::Accepted => Vec::new(),
+            InjectOutcome::Spilled(v) => v,
+        }
     }
 }
 
@@ -251,6 +299,26 @@ impl<'a> SessionBuilder<'a> {
     /// Record the firing trace (sequential engines).
     pub fn record_trace(mut self, record: bool) -> Self {
         self.config.record_trace = record;
+        self
+    }
+
+    /// Injection backpressure budget (see [`EngineConfig::bag_budget`]).
+    pub fn bag_budget(mut self, budget: u64) -> Self {
+        self.config.bag_budget = budget;
+        self
+    }
+
+    /// Wave-level crash recovery policy (parallel engines; see
+    /// [`RecoveryPolicy`]).
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Deterministic fault schedule (see [`crate::fault`]; inert unless
+    /// the `fault-inject` feature is on).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
         self
     }
 
@@ -420,17 +488,48 @@ impl Session {
     }
 
     /// Firing budget remaining before [`Status::BudgetExhausted`].
-    fn budget_left(&self) -> u64 {
+    pub fn budget_left(&self) -> u64 {
         self.config.max_steps.saturating_sub(self.fired_total())
+    }
+
+    /// Grant `extra` firings on top of the cumulative budget — the
+    /// resume path after [`Status::BudgetExhausted`]: grant, then call
+    /// [`Session::run_to_stable`] again and the wave continues from the
+    /// live matcher state.
+    pub fn grant_budget(&mut self, extra: u64) {
+        self.config.max_steps = self.config.max_steps.saturating_add(extra);
+    }
+
+    /// Elements currently in the live multiset.
+    pub fn bag_len(&self) -> usize {
+        match &self.state {
+            State::Seq { multiset, .. } => multiset.len(),
+            State::Sharded(st) => st.len(),
+            State::Probe(st) => st.len(),
+        }
     }
 
     /// Inject new elements into the live multiset, feeding the existing
     /// matcher state its insertion delta — O(delta), no rebuild. The
     /// next [`Session::run_to_stable`] wave picks the work up.
-    pub fn inject(&mut self, elements: impl IntoIterator<Item = Element>) {
-        let elements: Vec<Element> = elements.into_iter().collect();
+    ///
+    /// Admission is bounded by [`EngineConfig::bag_budget`]: elements
+    /// beyond the remaining room are *not* inserted and come back as
+    /// [`InjectOutcome::Spilled`] (in iteration order), giving the
+    /// caller explicit backpressure instead of an unbounded bag.
+    pub fn inject(&mut self, elements: impl IntoIterator<Item = Element>) -> InjectOutcome {
+        let mut elements: Vec<Element> = elements.into_iter().collect();
         if elements.is_empty() {
-            return;
+            return InjectOutcome::Accepted;
+        }
+        let room = self.config.bag_budget.saturating_sub(self.bag_len() as u64);
+        let spilled = if (elements.len() as u64) > room {
+            elements.split_off(room as usize)
+        } else {
+            Vec::new()
+        };
+        if elements.is_empty() {
+            return InjectOutcome::Spilled(spilled);
         }
         match &mut self.state {
             State::Seq { multiset, matcher } => {
@@ -447,6 +546,11 @@ impl Session {
             }
             State::Sharded(st) => st.inject(&self.compiled, &elements),
             State::Probe(st) => st.inject(&elements),
+        }
+        if spilled.is_empty() {
+            InjectOutcome::Accepted
+        } else {
+            InjectOutcome::Spilled(spilled)
         }
     }
 
@@ -500,7 +604,14 @@ impl Session {
     /// Discard the session — exactly as the one-shot entry points
     /// discard their run.
     pub fn run_to_stable(&mut self) -> Result<Wave, ExecError> {
-        let budget = self.budget_left();
+        let mut budget = self.budget_left();
+        // The snapshot-mid-wave fault point: an armed `PauseMidWave` caps
+        // this wave so it returns `BudgetExhausted` at a deterministic
+        // firing count, letting tests snapshot inside a wave. Folds away
+        // without the `fault-inject` feature.
+        if let Some(cap) = WaveFaults::new(&self.config.faults, self.waves_run, 0).pause_at() {
+            budget = budget.min(cap);
+        }
         let mut wave_stats = ExecStats::new(self.compiled.reactions.len());
         let status = match &mut self.state {
             State::Seq { multiset, matcher } => {
@@ -538,14 +649,26 @@ impl Session {
                 }
             }
             State::Sharded(st) => {
-                let (stats, status) =
-                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par)?;
+                let (stats, status) = st.wave(
+                    &self.compiled,
+                    budget,
+                    self.waves_run,
+                    &mut self.par,
+                    &self.config.recovery,
+                    &self.config.faults,
+                )?;
                 wave_stats = stats;
                 status
             }
             State::Probe(st) => {
-                let (stats, status) =
-                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par)?;
+                let (stats, status) = st.wave(
+                    &self.compiled,
+                    budget,
+                    self.waves_run,
+                    &mut self.par,
+                    &self.config.recovery,
+                    &self.config.faults,
+                )?;
                 wave_stats = stats;
                 status
             }
@@ -689,6 +812,185 @@ impl Session {
             _ => None,
         }
     }
+
+    /// Capture everything needed to resurrect this session in another
+    /// process: configuration, the live multiset, the key directory,
+    /// wave/trace counters, cumulative stats, and the selection-RNG
+    /// position. Serialize the result with serde, persist it, and hand
+    /// it to [`Session::restore`] later.
+    ///
+    /// The matcher state itself (Rete memories, delta worklist, shard
+    /// slices) is *not* serialized — it is a pure function of the
+    /// multiset and is rebuilt exactly on restore, which is both smaller
+    /// on the wire and immune to pointer-shaped state going stale.
+    /// Subsequent waves of a restored session are byte-identical to the
+    /// uninterrupted run (the durability test matrix asserts this for
+    /// every scheduler × engine combination). A snapshot taken *mid*
+    /// wave — after a budget pause — still resumes to the same stable
+    /// final, but the remaining firings may come in a different
+    /// confluence-equivalent order: serialization canonicalizes the
+    /// bag's insertion order, which is what a mid-wave deterministic
+    /// pick keys on.
+    pub fn snapshot_state(&self) -> SessionSnapshot {
+        let (bag, directory) = match &self.state {
+            State::Seq { multiset, .. } => (multiset.clone(), Vec::new()),
+            State::Sharded(st) => (st.snapshot(), st.directory_export()),
+            State::Probe(st) => (st.snapshot(), st.directory_export()),
+        };
+        SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            reactions: self.compiled.reactions.len(),
+            config: self.config.clone(),
+            bag,
+            directory,
+            waves_run: self.waves_run,
+            last_status: self.last_status,
+            stats: self.stats.clone(),
+            par: self.par_stats(),
+            trace: self.trace.clone(),
+            rng: self.rng.as_ref().map(|r| r.state()),
+            sched: self.sched_stats(),
+            rete: self.rete_stats(),
+        }
+    }
+
+    /// Resurrect a session from a [`SessionSnapshot`] of `program`: the
+    /// matcher state (Rete network / delta worklist / per-worker slices
+    /// and sharded bag) is rebuilt from the snapshot's multiset, the
+    /// key directory is preloaded, counters and the selection-RNG
+    /// position are restored, and the cumulative budget picks up where
+    /// it left off. Fails with [`ExecError::Snapshot`] when the snapshot
+    /// version or the program's reaction count does not match.
+    pub fn restore(
+        program: &GammaProgram,
+        snapshot: SessionSnapshot,
+    ) -> Result<Session, ExecError> {
+        let compiled = CompiledProgram::compile(program)?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(ExecError::Snapshot(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        let nreactions = compiled.reactions.len();
+        if snapshot.reactions != nreactions {
+            return Err(ExecError::Snapshot(format!(
+                "snapshot was taken of a {}-reaction program, this program has {nreactions}",
+                snapshot.reactions
+            )));
+        }
+        let config = snapshot.config;
+        let rng = match (config.engine, config.selection) {
+            (Engine::Seq, Selection::Seeded(seed)) => Some(match snapshot.rng {
+                Some(s) => ChaCha8Rng::from_state(s),
+                None => ChaCha8Rng::seed_from_u64(seed),
+            }),
+            _ => None,
+        };
+        let state = match config.engine {
+            Engine::Seq => {
+                let matcher = match config.scheduling {
+                    Scheduling::Rescan => SeqMatcher::Rescan {
+                        order: (0..nreactions).collect(),
+                    },
+                    // A fresh scheduler starts all-dirty, which preserves
+                    // deterministic traces (the lowest-indexed enabled
+                    // reaction is in the dirty set either way) and only
+                    // costs one extra search per reaction.
+                    Scheduling::Delta => {
+                        let mut s = Box::new(DeltaScheduler::new(&compiled));
+                        if let Some(stats) = &snapshot.sched {
+                            s.stats = stats.clone();
+                        }
+                        SeqMatcher::Delta(s)
+                    }
+                    // Rebuilding the network over the restored multiset
+                    // reproduces the memories exactly: they are a pure
+                    // function of the bag.
+                    Scheduling::Rete => {
+                        let mut n = Box::new(ReteNetwork::with_watermark(
+                            &compiled,
+                            &snapshot.bag,
+                            config.rete_watermark,
+                        ));
+                        if let Some(stats) = &snapshot.rete {
+                            n.stats = stats.clone();
+                        }
+                        SeqMatcher::Rete(n)
+                    }
+                };
+                State::Seq {
+                    multiset: snapshot.bag,
+                    matcher,
+                }
+            }
+            Engine::Parallel(ParEngine::ShardedRete) => {
+                let st = ShardedState::build(&compiled, snapshot.bag, &config);
+                st.directory_preload(&snapshot.directory);
+                State::Sharded(st)
+            }
+            Engine::Parallel(ParEngine::ProbeRetry) => {
+                let st = ProbeState::build(&compiled, snapshot.bag, &config);
+                st.directory_preload(&snapshot.directory);
+                State::Probe(st)
+            }
+        };
+        Ok(Session {
+            compiled,
+            config,
+            state,
+            rng,
+            scratch: SearchScratch::new(),
+            stats: snapshot.stats,
+            trace: snapshot.trace,
+            par: snapshot.par,
+            last_status: snapshot.last_status,
+            waves_run: snapshot.waves_run,
+            observer: None,
+        })
+    }
+}
+
+/// Current [`SessionSnapshot`] format version; bumped whenever the
+/// snapshot shape changes incompatibly.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A serializable point-in-time capture of a [`Session`], produced by
+/// [`Session::snapshot_state`] and consumed by [`Session::restore`]. See
+/// `snapshot_state` for what is (and deliberately is not) included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at capture time).
+    pub version: u32,
+    /// Reaction count of the captured program (restore-time validation).
+    pub reactions: usize,
+    /// The full engine configuration, including the remaining-budget
+    /// arithmetic inputs (`max_steps` is cumulative; subtract
+    /// [`ExecStats::firings_total`] of `stats` for the remainder).
+    pub config: EngineConfig,
+    /// The live multiset at capture time.
+    pub bag: ElementBag,
+    /// The parallel engines' key directory (every `(label, tag)` pair
+    /// ever seen), empty for sequential sessions.
+    pub directory: Vec<(Symbol, Vec<Tag>)>,
+    /// Completed waves (also the seed input for parallel wave seeds, so
+    /// restored waves draw the same per-worker streams).
+    pub waves_run: u64,
+    /// Status of the most recent wave.
+    pub last_status: Status,
+    /// Cumulative execution counters across all captured waves.
+    pub stats: ExecStats,
+    /// Cumulative parallel-engine counters (zero for sequential runs).
+    pub par: ParStats,
+    /// The firing trace so far, when trace recording is on.
+    pub trace: Option<Vec<FiringRecord>>,
+    /// Selection-RNG position (sequential seeded sessions), so restored
+    /// waves continue the same nondeterminism stream mid-flight.
+    pub rng: Option<[u64; 4]>,
+    /// Cumulative delta-scheduler counters, when delta scheduling ran.
+    pub sched: Option<SchedStats>,
+    /// Cumulative join-network counters, when Rete scheduling ran.
+    pub rete: Option<ReteStats>,
 }
 
 /// Per-wave context shared by the sequential loops.
@@ -1130,13 +1432,13 @@ mod tests {
         assert_eq!(w1.status, Status::Stable);
         assert_eq!(session.snapshot().sorted_elements(), vec![e(4, "n")]);
 
-        session.inject([e(2, "n"), e(11, "n")]);
+        assert!(session.inject([e(2, "n"), e(11, "n")]).is_accepted());
         let w2 = session.run_to_stable().unwrap();
         assert_eq!(w2.status, Status::Stable);
         assert_eq!(session.snapshot().sorted_elements(), vec![e(2, "n")]);
 
         // Injecting only larger values: one more comparison removes them.
-        session.inject([e(5, "n")]);
+        assert!(session.inject([e(5, "n")]).is_accepted());
         let w3 = session.run_to_stable().unwrap();
         assert_eq!(w3.fired, 1);
         let result = session.finish();
@@ -1158,7 +1460,7 @@ mod tests {
         assert_eq!(w1.status, Status::BudgetExhausted);
         assert_eq!(w1.fired, 10);
         // The budget is cumulative: a later wave gets nothing.
-        session.inject([e(100, "n")]);
+        assert!(session.inject([e(100, "n")]).is_accepted());
         let w2 = session.run_to_stable().unwrap();
         assert_eq!(w2.status, Status::BudgetExhausted);
         assert_eq!(w2.fired, 0);
@@ -1177,7 +1479,7 @@ mod tests {
             assert_eq!(drained.sorted_elements(), vec![e(21, "n")]);
             assert!(session.snapshot().is_empty());
             // The emptied session accepts fresh input.
-            session.inject([e(1, "n"), e(2, "n")]);
+            assert!(session.inject([e(1, "n"), e(2, "n")]).is_accepted());
             let wave = session.run_to_stable().unwrap();
             assert_eq!(wave.status, Status::Stable, "{scheduling:?}");
             assert_eq!(
@@ -1204,7 +1506,7 @@ mod tests {
             .start(initial)
             .unwrap();
         session.run_to_stable().unwrap();
-        session.inject([e(5, "n")]);
+        assert!(session.inject([e(5, "n")]).is_accepted());
         session.run_to_stable().unwrap();
         let total = session.finish().stats.firings_total();
         assert_eq!(waves.load(Ordering::Relaxed), 2);
@@ -1222,7 +1524,7 @@ mod tests {
         let w1 = session.run_to_stable().unwrap();
         assert_eq!(w1.status, Status::Stable);
         assert_eq!(session.snapshot().sorted_elements(), vec![e(820, "n")]);
-        session.inject((41..=50).map(|v| e(v, "n")));
+        assert!(session.inject((41..=50).map(|v| e(v, "n"))).is_accepted());
         let w2 = session.run_to_stable().unwrap();
         assert_eq!(w2.status, Status::Stable);
         let result = session.finish_parallel();
@@ -1236,7 +1538,7 @@ mod tests {
         let initial: ElementBag = [e(3, "n"), e(1, "n")].into_iter().collect();
         let mut session = Session::build(&min_program()).start(initial).unwrap();
         session.run_to_stable().unwrap();
-        session.inject(std::iter::empty());
+        assert!(session.inject(std::iter::empty()).is_accepted());
         let wave = session.run_to_stable().unwrap();
         assert_eq!(wave.fired, 0);
         assert_eq!(wave.status, Status::Stable);

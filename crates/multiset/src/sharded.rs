@@ -251,6 +251,26 @@ impl From<ElementBag> for ShardedBag {
     }
 }
 
+// Serialised as `(num_shards, contents)`: the shard layout is a hash
+// partition rebuilt on load, so only the shard count and the flattened
+// multiset need to survive the process boundary. The version counter
+// restarts at the insert bumps of the reload — it is a process-local
+// quiescence clock, not persistent state.
+impl serde::Serialize for ShardedBag {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.num_shards() as u64, self.snapshot()).serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ShardedBag {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (shards, contents): (u64, ElementBag) = serde::Deserialize::deserialize(deserializer)?;
+        let bag = ShardedBag::new(shards as usize);
+        bag.insert_all(contents.iter());
+        Ok(bag)
+    }
+}
+
 impl std::fmt::Debug for ShardedBag {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedBag")
@@ -380,6 +400,17 @@ mod tests {
         let snap = bag.snapshot();
         assert_eq!(snap.count_label(Symbol::intern("receipt")), N);
         assert_eq!(snap.count_label(Symbol::intern("token")), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_contents_and_layout() {
+        let bag = ShardedBag::new(8);
+        bag.insert_all([e(1, "A", 0), e(1, "A", 0), e(2, "B", 7)]);
+        let json = serde_json::to_string(&bag).unwrap();
+        let back: ShardedBag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_shards(), 8);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.snapshot(), bag.snapshot());
     }
 
     #[test]

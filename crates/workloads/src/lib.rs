@@ -55,4 +55,4 @@ pub use fusion::{scenario as fusion_scenario, FusionScenario};
 pub use image::{scenario as image_scenario, ImageScenario};
 pub use joins::{cross_sum, divisor_sieve, interval_merge, triangles};
 pub use loops::{accumulator_loop, build_fig2_into, parallel_loops, source_for, LoopWorkload};
-pub use streaming::{rolling_topk, windowed_sum, StreamingWorkload};
+pub use streaming::{burst_drain, rolling_topk, windowed_sum, StreamingWorkload};

@@ -218,6 +218,65 @@ pub fn windowed_sum(
     }
 }
 
+/// Bursty arrivals over a draining fold — the backpressure workload:
+///
+/// ```text
+/// wsum = replace [a,'x',t], [b,'x',t] by [a+b,'x',t]
+/// ```
+///
+/// Each wave is one **burst**: `burst_size` readings under a single
+/// fresh tag. A wave's burst collapses to a single window total
+/// (`burst_size − 1` firings, any schedule), so the live bag swings from
+/// `burst_size + history` down to `history + 1` every cycle — the shape
+/// that exercises [`EngineConfig::bag_budget`](gammaflow_gamma::EngineConfig::bag_budget)
+/// admission: a budget smaller than `burst_size` forces
+/// [`InjectOutcome::Spilled`](gammaflow_gamma::InjectOutcome) overflow
+/// that the driver must re-inject after a draining wave, and because a
+/// reaction's enabledness depends only on its consumed tuple, the
+/// deferred arrivals land on the same stable multiset (the `expected`
+/// field) as unbounded injection.
+pub fn burst_drain(bursts: usize, burst_size: usize, seed: u64) -> StreamingWorkload {
+    assert!(bursts > 0 && burst_size >= 2);
+    let program = GammaProgram::new(vec![ReactionSpec::new("wsum")
+        .replace(Pattern::tagged("a", "x", "t"))
+        .replace(Pattern::tagged("b", "x", "t"))
+        .by(vec![ElementSpec::tagged(
+            Expr::bin(
+                gammaflow_multiset::value::BinOp::Add,
+                Expr::var("a"),
+                Expr::var("b"),
+            ),
+            "x",
+            "t",
+        )])]);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut expected = ElementBag::new();
+    let wave_elems: Vec<Vec<Element>> = (0..bursts)
+        .map(|w| {
+            let tag = w as u64;
+            let mut total = 0i64;
+            let wave: Vec<Element> = (0..burst_size)
+                .map(|_| {
+                    let v = (rng.next_u64() % 10_000) as i64;
+                    total += v;
+                    Element::new(v, "x", tag)
+                })
+                .collect();
+            expected.insert(Element::new(total, "x", tag));
+            wave
+        })
+        .collect();
+
+    StreamingWorkload {
+        name: format!("burst_drain_{bursts}x{burst_size}"),
+        program,
+        initial: ElementBag::new(),
+        waves: wave_elems,
+        expected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,7 +301,7 @@ mod tests {
             .unwrap();
         session.run_to_stable().unwrap();
         for wave in &w.waves {
-            session.inject(wave.iter().cloned());
+            let _ = session.inject(wave.iter().cloned());
             let wv = session.run_to_stable().unwrap();
             assert_eq!(wv.status, Status::Stable);
         }
@@ -265,12 +324,24 @@ mod tests {
         // Session waves: same totals.
         let mut session = Session::build(&w.program).start(w.initial.clone()).unwrap();
         for wave in &w.waves {
-            session.inject(wave.iter().cloned());
+            let _ = session.inject(wave.iter().cloned());
             session.run_to_stable().unwrap();
         }
         let result = session.finish();
         assert_eq!(result.stats.firings_total(), expected_firings);
         assert_eq!(result.multiset, w.expected);
+    }
+
+    #[test]
+    fn burst_drain_collapses_each_burst_to_its_total() {
+        let w = burst_drain(4, 8, 17);
+        assert_eq!(w.waves.len(), 4);
+        let result = SeqInterpreter::with_seed(&w.program, w.merged(), 5)
+            .run()
+            .unwrap();
+        assert_eq!(result.status, Status::Stable);
+        assert_eq!(result.multiset, w.expected);
+        assert_eq!(result.stats.firings_total(), (4 * (8 - 1)) as u64);
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
         .start(stream.initial.clone())
         .expect("program compiles");
     for wave in &stream.waves {
-        session.inject(wave.iter().cloned());
+        let _ = session.inject(wave.iter().cloned());
         session.run_to_stable().expect("wave runs");
     }
     let result = session.finish();
@@ -82,7 +82,7 @@ fn main() {
         .start(stream.initial.clone())
         .expect("program compiles");
     for wave in &stream.waves {
-        par.inject(wave.iter().cloned());
+        let _ = par.inject(wave.iter().cloned());
         par.run_to_stable().expect("wave runs");
     }
     let par_result = par.finish_parallel();

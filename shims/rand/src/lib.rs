@@ -100,6 +100,22 @@ impl Xoshiro256 {
         ];
         Xoshiro256 { s }
     }
+
+    /// The full 256-bit stream position. Together with
+    /// [`from_state`](Self::from_state) this lets callers persist a
+    /// generator mid-stream and resume it bit-exactly (session
+    /// snapshot/restore needs this: re-seeding would rewind the stream).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact stream position captured by
+    /// [`state`](Self::state).
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Xoshiro256 { s }
+    }
 }
 
 impl RngCore for Xoshiro256 {

@@ -1,0 +1,306 @@
+//! The deterministic fault-injection matrix (requires `--features
+//! fault-inject`).
+//!
+//! Every test here runs a real multi-threaded wave with a seeded
+//! [`FaultPlan`] armed: workers genuinely panic mid-firing, mailboxes
+//! genuinely lose deltas. The engines must catch the unwind, quarantine
+//! the poisoned wave, and replay it from the wave-entry snapshot — and
+//! because the stable multiset is a function of the input history alone
+//! (the Kahn-style determinacy argument), every recovered run must land
+//! on the byte-identical final of the fault-free sequential reference.
+//! Persistent plans keep faulting on every replay attempt and drive the
+//! [`RecoveryPolicy::on_exhausted`] terminal actions instead: a clean
+//! [`ParError::WorkerLost`] (never a process abort) or a sequential
+//! degrade that still finishes exactly.
+
+#![cfg(feature = "fault-inject")]
+
+use gammaflow::gamma::{
+    Engine, ExecError, Fault, FaultPlan, OnExhausted, ParEngine, ParError, RecoveryPolicy,
+    SeqInterpreter, Session, SessionSnapshot, Status,
+};
+use gammaflow::multiset::ElementBag;
+use gammaflow::workloads::cross_sum;
+
+/// The fault-free sequential reference final for `cross_sum(n)`.
+fn reference_final(n: i64) -> ElementBag {
+    let w = cross_sum(n);
+    let result = SeqInterpreter::deterministic(&w.program, w.initial.clone())
+        .run()
+        .expect("reference runs");
+    assert_eq!(result.status, Status::Stable);
+    result.multiset
+}
+
+/// Seeded single-fault plans (worker panics, mailbox drops, mailbox
+/// delays at pseudo-random trip points) across both parallel engines and
+/// worker counts: every run must recover to the byte-identical reference
+/// final, and across the matrix at least one worker must genuinely die
+/// and be replayed (the faults are not decorative).
+#[test]
+fn seeded_fault_matrix_recovers_byte_identical_finals() {
+    let w = cross_sum(48);
+    let reference = reference_final(48);
+    let mut lost = 0u64;
+    let mut replayed = 0u64;
+    for seed in 0..8u64 {
+        for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+            for workers in [1usize, 2, 8] {
+                let plan = FaultPlan::seeded(seed, workers);
+                let mut session = Session::build(&w.program)
+                    .engine(Engine::Parallel(engine))
+                    .workers(workers)
+                    .faults(plan.clone())
+                    .start(w.initial.clone())
+                    .expect("program compiles");
+                let wv = session.run_to_stable().expect("wave recovers");
+                assert_eq!(
+                    wv.status,
+                    Status::Stable,
+                    "seed {seed} {engine:?} x{workers}"
+                );
+                let result = session.finish_parallel();
+                assert_eq!(
+                    result.exec.multiset, reference,
+                    "seed {seed} {engine:?} x{workers} ({plan:?}): recovered \
+                     final diverged from the fault-free reference"
+                );
+                lost += result.par.workers_lost;
+                replayed += result.par.waves_replayed;
+            }
+        }
+    }
+    assert!(lost > 0, "the seeded matrix must actually lose workers");
+    assert!(
+        replayed > 0,
+        "lost workers must be recovered by wave replay"
+    );
+}
+
+/// A targeted worker panic at a guaranteed trip point: the wave replays,
+/// reaches the exact reference final, and the session stays usable for
+/// further waves afterwards. With a single worker the panic provably
+/// trips, so the recovery counters must show it.
+#[test]
+fn injected_worker_panic_is_recovered_by_wave_replay() {
+    let w = cross_sum(48);
+    let reference = reference_final(48);
+    for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+        for workers in [1usize, 2, 8] {
+            let plan = FaultPlan::single(
+                0,
+                Fault::WorkerPanic {
+                    worker: 0,
+                    at_firing: 1,
+                },
+            );
+            let mut session = Session::build(&w.program)
+                .engine(Engine::Parallel(engine))
+                .workers(workers)
+                .faults(plan)
+                .start(w.initial.clone())
+                .expect("program compiles");
+            let wv = session.run_to_stable().expect("wave replay recovers");
+            assert_eq!(wv.status, Status::Stable, "{engine:?} x{workers}");
+            // The recovered session is not spent: an (empty) follow-up
+            // wave runs cleanly on the rebuilt worker slices.
+            let wv = session.run_to_stable().expect("post-recovery wave runs");
+            assert_eq!(wv.status, Status::Stable, "{engine:?} x{workers}");
+            let result = session.finish_parallel();
+            assert_eq!(
+                result.exec.multiset, reference,
+                "{engine:?} x{workers}: recovered final diverged"
+            );
+            if workers == 1 {
+                assert!(
+                    result.par.workers_lost >= 1,
+                    "{engine:?}: the sole worker fires first, so the panic must trip"
+                );
+                assert!(result.par.waves_replayed >= 1, "{engine:?}");
+            }
+        }
+    }
+}
+
+/// A dropped mailbox delta desynchronises a worker's Rete slice from the
+/// shared bag; the engine treats it as a crashed worker and replays the
+/// wave, landing on the reference final (sharded engine — the only one
+/// with delta mailboxes).
+#[test]
+fn mailbox_drop_is_quarantined_and_replayed() {
+    let w = cross_sum(48);
+    let reference = reference_final(48);
+    let mut lost = 0u64;
+    for workers in [2usize, 4, 8] {
+        let plan = FaultPlan::single(
+            0,
+            Fault::MailboxDrop {
+                worker: 0,
+                at_msg: 1,
+            },
+        );
+        let mut session = Session::build(&w.program)
+            .engine(Engine::Parallel(ParEngine::ShardedRete))
+            .workers(workers)
+            .faults(plan)
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("wave replay recovers");
+        assert_eq!(wv.status, Status::Stable, "x{workers}");
+        let result = session.finish_parallel();
+        assert_eq!(result.exec.multiset, reference, "x{workers}");
+        lost += result.par.workers_lost;
+    }
+    assert!(lost > 0, "at least one drop must trip across worker counts");
+}
+
+/// A mailbox *delay* harms nothing: the termination consensus keeps the
+/// wave alive until the stalled delta lands, no worker is lost, no
+/// replay happens, and the final is exact.
+#[test]
+fn mailbox_delay_only_stalls_the_wave() {
+    let w = cross_sum(48);
+    let reference = reference_final(48);
+    for workers in [2usize, 8] {
+        let plan = FaultPlan::single(
+            0,
+            Fault::MailboxDelay {
+                worker: 0,
+                at_msg: 1,
+                spins: 64,
+            },
+        );
+        let mut session = Session::build(&w.program)
+            .engine(Engine::Parallel(ParEngine::ShardedRete))
+            .workers(workers)
+            .faults(plan)
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("delayed wave completes");
+        assert_eq!(wv.status, Status::Stable, "x{workers}");
+        let result = session.finish_parallel();
+        assert_eq!(result.exec.multiset, reference, "x{workers}");
+        assert_eq!(result.par.workers_lost, 0, "a delay is not a crash");
+        assert_eq!(result.par.waves_replayed, 0, "x{workers}");
+    }
+}
+
+/// A fault that recurs on every replay attempt exhausts the recovery
+/// budget and surfaces as a clean [`ParError::WorkerLost`] carrying the
+/// dead worker and the replay count — the process never aborts.
+#[test]
+fn persistent_fault_exhausts_replays_into_worker_lost() {
+    let w = cross_sum(32);
+    for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+        let plan = FaultPlan {
+            persistent: true,
+            ..FaultPlan::single(
+                0,
+                Fault::WorkerPanic {
+                    worker: 0,
+                    at_firing: 1,
+                },
+            )
+        };
+        let mut session = Session::build(&w.program)
+            .engine(Engine::Parallel(engine))
+            .workers(1)
+            .faults(plan)
+            .recovery(RecoveryPolicy {
+                max_replays: 2,
+                on_exhausted: OnExhausted::Error,
+            })
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let Err(err) = session.run_to_stable() else {
+            panic!("{engine:?}: a persistent panic must exhaust recovery");
+        };
+        let ExecError::Par(ParError::WorkerLost { workers, replays }) = err else {
+            panic!("{engine:?}: expected WorkerLost, got {err:?}");
+        };
+        assert_eq!(workers, vec![0], "{engine:?}");
+        assert_eq!(replays, 2, "{engine:?}: both replays must be attempted");
+    }
+}
+
+/// With `OnExhausted::DegradeToSeq` the same persistent fault ends in a
+/// single-threaded completion of the wave instead of an error: exact
+/// final, degraded-wave counter bumped, session alive.
+#[test]
+fn persistent_fault_degrades_to_sequential_completion() {
+    let w = cross_sum(32);
+    let reference = reference_final(32);
+    for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+        let plan = FaultPlan {
+            persistent: true,
+            ..FaultPlan::single(
+                0,
+                Fault::WorkerPanic {
+                    worker: 0,
+                    at_firing: 1,
+                },
+            )
+        };
+        let mut session = Session::build(&w.program)
+            .engine(Engine::Parallel(engine))
+            .workers(1)
+            .faults(plan)
+            .recovery(RecoveryPolicy {
+                max_replays: 1,
+                on_exhausted: OnExhausted::DegradeToSeq,
+            })
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("degraded wave completes");
+        assert_eq!(wv.status, Status::Stable, "{engine:?}");
+        // The degraded session keeps taking waves.
+        let wv = session.run_to_stable().expect("post-degrade wave runs");
+        assert_eq!(wv.status, Status::Stable, "{engine:?}");
+        let result = session.finish_parallel();
+        assert_eq!(result.exec.multiset, reference, "{engine:?}");
+        assert!(result.par.degraded_waves >= 1, "{engine:?}");
+        assert!(result.par.waves_replayed >= 1, "{engine:?}");
+    }
+}
+
+/// The snapshot-mid-wave fault point: `PauseMidWave` stops wave 0 at a
+/// deterministic firing count, the paused session crosses the wire via
+/// JSON, and the restored session finishes to the fault-free reference —
+/// on the sequential engine and both parallel engines.
+#[test]
+fn pause_mid_wave_snapshot_restore_finishes_exactly() {
+    let w = cross_sum(32);
+    let reference = reference_final(32);
+    for engine in [
+        Engine::Seq,
+        Engine::Parallel(ParEngine::ShardedRete),
+        Engine::Parallel(ParEngine::ProbeRetry),
+    ] {
+        let plan = FaultPlan::single(0, Fault::PauseMidWave { at_firing: 5 });
+        let mut session = Session::build(&w.program)
+            .engine(engine)
+            .workers(2)
+            .faults(plan)
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("paused wave runs");
+        assert_eq!(wv.status, Status::BudgetExhausted, "{engine:?}");
+        assert!(
+            wv.fired >= 5,
+            "{engine:?}: the pause must trip at the cap, not before"
+        );
+        if engine == Engine::Seq {
+            assert_eq!(wv.fired, 5, "sequential pause is exact");
+        }
+        let json = serde_json::to_string(&session.snapshot_state()).expect("snapshot serializes");
+        let snap: SessionSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        let mut restored = Session::restore(&w.program, snap).expect("restore succeeds");
+        let wv = restored.run_to_stable().expect("resumed wave runs");
+        assert_eq!(wv.status, Status::Stable, "{engine:?}");
+        assert_eq!(
+            restored.finish_parallel().exec.multiset,
+            reference,
+            "{engine:?}: restore after a mid-wave pause diverged"
+        );
+    }
+}

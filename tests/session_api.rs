@@ -88,7 +88,7 @@ fn seq_session_waves_match_one_shot_finals() {
                         .start(ElementBag::new())
                         .expect("program compiles");
                     for wave in split_waves(initial, k) {
-                        session.inject(wave);
+                        assert!(session.inject(wave).is_accepted());
                         let wv = session.run_to_stable().expect("wave runs");
                         assert_eq!(wv.status, Status::Stable, "{name}");
                     }
@@ -121,7 +121,7 @@ fn parallel_session_waves_match_one_shot_finals() {
                     .start(ElementBag::new())
                     .expect("program compiles");
                 for wave in split_waves(initial, 3) {
-                    session.inject(wave);
+                    assert!(session.inject(wave).is_accepted());
                     let wv = session.run_to_stable().expect("wave runs");
                     assert_eq!(wv.status, Status::Stable, "{name} {engine:?} x{workers}");
                 }
@@ -192,7 +192,7 @@ fn deterministic_session_waves_replay_rebuild_traces() {
         .expect("program compiles");
     let mut session_segments: Vec<usize> = Vec::new();
     for wave in &w.waves {
-        session.inject(wave.iter().cloned());
+        assert!(session.inject(wave.iter().cloned()).is_accepted());
         let wv = session.run_to_stable().expect("wave runs");
         assert_eq!(wv.status, Status::Stable);
         session_segments.push(wv.fired as usize);
@@ -339,7 +339,7 @@ fn drain_stable_chains_sessions_across_programs() {
     );
 
     // The drained first stage is empty but alive.
-    stage1.inject([Element::pair(9, "n")]);
+    assert!(stage1.inject([Element::pair(9, "n")]).is_accepted());
     stage1.run_to_stable().expect("post-drain wave runs");
     assert_eq!(
         stage1.finish().multiset.sorted_elements(),
@@ -357,7 +357,7 @@ fn wave_records_sum_to_cumulative_stats() {
         .expect("compiles");
     let mut per_wave_fired: Vec<u64> = Vec::new();
     for wave in &w.waves {
-        session.inject(wave.iter().cloned());
+        assert!(session.inject(wave.iter().cloned()).is_accepted());
         let wv = session.run_to_stable().expect("wave runs");
         assert_eq!(wv.fired, wv.stats.firings_total());
         per_wave_fired.push(wv.fired);
