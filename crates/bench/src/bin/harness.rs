@@ -2,7 +2,8 @@
 //! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
 //! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`,
-//! S6 → `BENCH_recovery.json`) and prints them in one run.
+//! S6 → `BENCH_recovery.json`, S7 → `BENCH_observability.json`) and
+//! prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -1536,6 +1537,254 @@ fn s6() {
     println!("wrote BENCH_recovery.json");
 }
 
+// ------------------------------------------------------------------ S7 ----
+
+/// One workload × engine cell of BENCH_observability.json: the same run
+/// timed with tracing off, into an in-memory ring, and onto a JSONL
+/// file. Overheads are wall-time ratios against the off series (1.0 =
+/// free).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ObservabilityRow {
+    workload: String,
+    engine: String,
+    firings: u64,
+    off: EngineRow,
+    ring: EngineRow,
+    jsonl: EngineRow,
+    ring_overhead: f64,
+    jsonl_overhead: f64,
+    trace_records: u64,
+}
+
+/// The BENCH_observability.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ObservabilityReport {
+    bench: String,
+    rows: Vec<ObservabilityRow>,
+}
+
+fn observability_fps_series(rows: &[ObservabilityRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                (
+                    format!("{}/{}/off", r.workload, r.engine),
+                    r.off.firings_per_sec,
+                ),
+                (
+                    format!("{}/{}/ring", r.workload, r.engine),
+                    r.ring.firings_per_sec,
+                ),
+                (
+                    format!("{}/{}/jsonl", r.workload, r.engine),
+                    r.jsonl.firings_per_sec,
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Drive one workload config three times per mode (off / ring / jsonl)
+/// and fold the median timings into a row. `drive` owns the whole
+/// session lifecycle and returns (seconds, firings) after asserting the
+/// final against the workload self-check.
+fn observe_modes(
+    workload: &str,
+    engine: &str,
+    jsonl_path: &str,
+    drive: &dyn Fn(Option<std::sync::Arc<dyn gammaflow_gamma::TraceSink>>) -> (f64, u64),
+) -> ObservabilityRow {
+    use gammaflow_gamma::{JsonlSink, RingSink};
+    use std::sync::Arc;
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    const RUNS: usize = 3;
+
+    let mut firings = 0u64;
+    let mut off_secs = Vec::new();
+    for _ in 0..RUNS {
+        let (secs, fired) = drive(None);
+        off_secs.push(secs);
+        firings = fired;
+    }
+    let off = median(off_secs);
+
+    let mut trace_records = 0u64;
+    let mut ring_secs = Vec::new();
+    for _ in 0..RUNS {
+        let ring = Arc::new(RingSink::new(1 << 22));
+        let (secs, _) = drive(Some(ring.clone()));
+        assert_eq!(ring.dropped(), 0, "{workload}/{engine}: ring must not drop");
+        trace_records = ring.records().len() as u64;
+        ring_secs.push(secs);
+    }
+    let ring = median(ring_secs);
+
+    let mut jsonl_secs = Vec::new();
+    for _ in 0..RUNS {
+        let sink = Arc::new(JsonlSink::create(jsonl_path).expect("trace file creates"));
+        let (secs, _) = drive(Some(sink));
+        jsonl_secs.push(secs);
+    }
+    let jsonl = median(jsonl_secs);
+    let jsonl_records = std::fs::read_to_string(jsonl_path)
+        .map(|s| s.lines().count() as u64)
+        .unwrap_or(0);
+    assert!(
+        jsonl_records > 0,
+        "{workload}/{engine}: the jsonl runs must leave records behind"
+    );
+    let _ = std::fs::remove_file(jsonl_path);
+
+    let row = |secs: f64| EngineRow {
+        seconds: secs,
+        firings,
+        firings_per_sec: firings as f64 / secs,
+    };
+    println!(
+        "{:<22} {:<15} {:>8} firings {:>8} records  off {:>10.0} f/s  ring {:>5.2}x  jsonl {:>5.2}x",
+        workload,
+        engine,
+        firings,
+        trace_records,
+        firings as f64 / off,
+        ring / off,
+        jsonl / off
+    );
+    ObservabilityRow {
+        workload: workload.into(),
+        engine: engine.into(),
+        firings,
+        off: row(off),
+        ring: row(ring),
+        jsonl: row(jsonl),
+        ring_overhead: ring / off,
+        jsonl_overhead: jsonl / off,
+        trace_records,
+    }
+}
+
+/// S7: what the telemetry layer costs when you actually turn it on. The
+/// same sessions run three times — tracing disabled (the default,
+/// near-zero by construction), into a large in-memory [`gammaflow_gamma::RingSink`], and
+/// serialised onto a JSONL file — over a dense sequential fold, a
+/// 4-worker sharded wave, and a streaming windowed-sum session. Every
+/// run asserts the workload self-check final, so the overhead figures
+/// are for *correct* traced runs. Results go to
+/// `BENCH_observability.json`.
+fn s7() {
+    use gammaflow_gamma::{Engine, ParEngine, Scheduling, Session, Status, TraceSink};
+    use gammaflow_workloads::windowed_sum;
+    use std::sync::Arc;
+    banner("S7", "Observability: tracing overhead (off / ring / jsonl)");
+
+    let jsonl_path = std::env::temp_dir()
+        .join("gammaflow_s7_trace.jsonl")
+        .to_string_lossy()
+        .into_owned();
+    let mut rows = Vec::new();
+
+    // Dense sequential fold on the Rete matcher.
+    let values: Vec<i64> = (1..=2048).collect();
+    let fold = sum(&values);
+    let drive = |sink: Option<Arc<dyn TraceSink>>| {
+        let mut builder = Session::build(&fold.program).scheduling(Scheduling::Rete);
+        if let Some(sink) = sink {
+            builder = builder.trace_sink(sink);
+        }
+        let t = Instant::now();
+        let mut session = builder
+            .start(fold.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("wave runs");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(wv.status, Status::Stable);
+        let result = session.finish();
+        assert_eq!(result.multiset, fold.expected, "seq_rete final diverged");
+        (secs, result.stats.firings_total())
+    };
+    rows.push(observe_modes(fold.name, "seq_rete", &jsonl_path, &drive));
+
+    // The same fold on the 4-worker sharded engine: tracing crosses
+    // worker threads here.
+    let drive = |sink: Option<Arc<dyn TraceSink>>| {
+        let mut builder = Session::build(&fold.program)
+            .engine(Engine::Parallel(ParEngine::ShardedRete))
+            .workers(4);
+        if let Some(sink) = sink {
+            builder = builder.trace_sink(sink);
+        }
+        let t = Instant::now();
+        let mut session = builder
+            .start(fold.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("wave runs");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(wv.status, Status::Stable);
+        let result = session.finish_parallel();
+        assert_eq!(
+            result.exec.multiset, fold.expected,
+            "sharded_rete final diverged"
+        );
+        (secs, result.exec.stats.firings_total())
+    };
+    rows.push(observe_modes(
+        fold.name,
+        "sharded_rete_w4",
+        &jsonl_path,
+        &drive,
+    ));
+
+    // A streaming session: many small waves, so per-wave bracketing
+    // events (wave_start/injected/wave_end) weigh in too.
+    let stream = windowed_sum(16, 64, 2, 42);
+    let drive = |sink: Option<Arc<dyn TraceSink>>| {
+        let mut builder = Session::build(&stream.program).scheduling(Scheduling::Delta);
+        if let Some(sink) = sink {
+            builder = builder.trace_sink(sink);
+        }
+        let t = Instant::now();
+        let mut session = builder
+            .start(stream.initial.clone())
+            .expect("program compiles");
+        for wave in &stream.waves {
+            let _ = session.inject(wave.iter().cloned());
+            let wv = session.run_to_stable().expect("wave runs");
+            assert_eq!(wv.status, Status::Stable);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let result = session.finish();
+        assert_eq!(result.multiset, stream.expected, "streaming final diverged");
+        (secs, result.stats.firings_total())
+    };
+    rows.push(observe_modes(
+        &stream.name,
+        "seq_delta",
+        &jsonl_path,
+        &drive,
+    ));
+
+    let baseline: Vec<(String, f64)> =
+        read_baseline::<ObservabilityReport>("BENCH_observability.json")
+            .map(|old| observability_fps_series(&old.rows))
+            .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_observability.json",
+        &baseline,
+        &observability_fps_series(&rows),
+    );
+
+    let report = ObservabilityReport {
+        bench: "observability".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_observability.json", &json).expect("write BENCH_observability.json");
+    println!("wrote BENCH_observability.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -1593,6 +1842,9 @@ fn main() {
     }
     if want("S6") {
         s6();
+    }
+    if want("S7") {
+        s7();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

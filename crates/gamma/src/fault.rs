@@ -22,6 +22,7 @@
 //! faulting on every replay attempt and exist to test the
 //! `RecoveryPolicy::on_exhausted` paths.
 
+use crate::telemetry::{Telemetry, TraceEvent};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -143,15 +144,39 @@ pub(crate) struct WaveFaults<'a> {
     plan: &'a FaultPlan,
     wave: u64,
     attempt: u32,
+    tel: &'a Telemetry,
 }
 
 impl<'a> WaveFaults<'a> {
-    /// View `plan` for attempt `attempt` of wave `wave`.
-    pub(crate) fn new(plan: &'a FaultPlan, wave: u64, attempt: u32) -> Self {
+    /// View `plan` for attempt `attempt` of wave `wave`, reporting trips
+    /// through `tel`.
+    pub(crate) fn new(plan: &'a FaultPlan, wave: u64, attempt: u32, tel: &'a Telemetry) -> Self {
         WaveFaults {
             plan,
             wave,
             attempt,
+            tel,
+        }
+    }
+
+    /// Emit a [`TraceEvent::FaultTripped`] record. The fault coordinate
+    /// doubles as the record's `wseq` (the tripping site is about to
+    /// panic or stall, outside any worker's normal event counting), so
+    /// trace determinism is not asserted under fault injection.
+    fn trip(&self, kind: &str, worker: i64, at: u64) {
+        if self.tel.enabled() {
+            self.tel.emit(
+                worker,
+                at,
+                self.wave,
+                TraceEvent::FaultTripped {
+                    kind: kind.to_string(),
+                    worker,
+                    at,
+                },
+            );
+            // A panic follows most trips; make sure the record lands.
+            self.tel.flush();
         }
     }
 
@@ -178,6 +203,7 @@ impl<'a> WaveFaults<'a> {
             } = f
             {
                 if *w == worker && *at_firing == nth {
+                    self.trip("worker_panic", worker as i64, nth);
                     panic!("injected fault: worker {worker} panic at firing {nth}");
                 }
             }
@@ -193,6 +219,7 @@ impl<'a> WaveFaults<'a> {
         for f in &self.plan.faults {
             match f {
                 Fault::MailboxDrop { worker: w, at_msg } if *w == worker && *at_msg == nth => {
+                    self.trip("mailbox_drop", worker as i64, nth);
                     panic!("injected fault: worker {worker} lost delta {nth}");
                 }
                 Fault::MailboxDelay {
@@ -200,6 +227,7 @@ impl<'a> WaveFaults<'a> {
                     at_msg,
                     spins,
                 } if *w == worker && *at_msg == nth => {
+                    self.trip("mailbox_delay", worker as i64, nth);
                     for _ in 0..*spins {
                         std::thread::yield_now();
                     }
@@ -215,10 +243,14 @@ impl<'a> WaveFaults<'a> {
         if !self.armed() {
             return None;
         }
-        self.plan.faults.iter().find_map(|f| match f {
+        let at = self.plan.faults.iter().find_map(|f| match f {
             Fault::PauseMidWave { at_firing } => Some(*at_firing),
             _ => None,
-        })
+        });
+        if let Some(at_firing) = at {
+            self.trip("pause_mid_wave", crate::telemetry::MAIN_WORKER, at_firing);
+        }
+        at
     }
 }
 
@@ -229,7 +261,8 @@ mod tests {
     #[test]
     fn default_plan_is_inert() {
         let plan = FaultPlan::default();
-        let wf = WaveFaults::new(&plan, 0, 0);
+        let tel = Telemetry::disabled();
+        let wf = WaveFaults::new(&plan, 0, 0, &tel);
         assert!(!wf.armed());
         wf.on_firing(0, 1);
         wf.on_delta(0, 1);
@@ -264,15 +297,16 @@ mod tests {
                 at_firing: 1,
             },
         );
-        assert!(!WaveFaults::new(&plan, 1, 0).armed());
-        assert_eq!(WaveFaults::new(&plan, 2, 0).armed(), ENABLED);
+        let tel = Telemetry::disabled();
+        assert!(!WaveFaults::new(&plan, 1, 0, &tel).armed());
+        assert_eq!(WaveFaults::new(&plan, 2, 0, &tel).armed(), ENABLED);
         // Replay attempts see a transient fault as already gone.
-        assert!(!WaveFaults::new(&plan, 2, 1).armed());
+        assert!(!WaveFaults::new(&plan, 2, 1, &tel).armed());
         let persistent = FaultPlan {
             persistent: true,
             ..plan
         };
-        assert_eq!(WaveFaults::new(&persistent, 2, 3).armed(), ENABLED);
+        assert_eq!(WaveFaults::new(&persistent, 2, 3, &tel).armed(), ENABLED);
     }
 
     #[cfg(feature = "fault-inject")]
@@ -285,11 +319,24 @@ mod tests {
                 at_firing: 2,
             },
         );
-        let wf = WaveFaults::new(&plan, 0, 0);
+        let ring = std::sync::Arc::new(crate::telemetry::RingSink::new(8));
+        let tel = Telemetry::to_sink(ring.clone());
+        let wf = WaveFaults::new(&plan, 0, 0, &tel);
         wf.on_firing(1, 1); // wrong count: no trip
         wf.on_firing(0, 2); // wrong worker: no trip
-        let err = std::panic::catch_unwind(|| wf.on_firing(1, 2)).unwrap_err();
+        assert!(ring.records().is_empty());
+        // AssertUnwindSafe: the ring sink behind `tel` is a Mutex'd
+        // buffer, consistent even if the panic lands mid-record.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wf.on_firing(1, 2)))
+            .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains("injected fault"), "{msg}");
+        let records = ring.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind(), "fault_tripped");
+        assert!(matches!(
+            &records[0].event,
+            TraceEvent::FaultTripped { kind, worker: 1, at: 2 } if kind == "worker_panic"
+        ));
     }
 }

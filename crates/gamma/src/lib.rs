@@ -43,6 +43,10 @@
 //!   waves** over it ([`Session::run_to_stable`] / [`Session::inject`]),
 //!   so steady-state resumption pays O(delta) instead of a rebuild. The
 //!   interpreters above are thin one-wave wrappers over it.
+//! * [`telemetry`] — structured event tracing ([`TraceSink`], JSONL and
+//!   ring-buffer sinks), per-reaction execution profiles
+//!   ([`ProfileTable`]), and metrics export ([`MetricsRegistry`]),
+//!   threaded through every engine with near-zero disabled-path cost.
 //!
 //! # Example
 //!
@@ -84,6 +88,7 @@ pub mod schedule;
 pub mod seq;
 pub mod session;
 pub mod spec;
+pub mod telemetry;
 pub mod trace;
 
 pub use compiled::{
@@ -95,7 +100,9 @@ pub use naive::{run_naive, NaiveBag};
 pub use parallel::{
     run_parallel, OnExhausted, ParConfig, ParEngine, ParResult, ParStats, RecoveryPolicy,
 };
-pub use rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan, DEFAULT_SPILL_WATERMARK};
+pub use rete::{
+    AlphaSlice, ReteNetwork, ReteReactionCounters, ReteStats, SlicePlan, DEFAULT_SPILL_WATERMARK,
+};
 pub use reuse::{analyze as analyze_reuse, ReactionReuse, ReuseReport};
 pub use schedule::{DeltaScheduler, DependencyIndex, SchedStats, ShardedWorklist};
 pub use seq::{
@@ -109,5 +116,9 @@ pub use session::{
 pub use spec::{
     ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, Pipeline,
     ReactionSpec, SpecError, TagPat, TagSpec, ValuePat,
+};
+pub use telemetry::{
+    JsonlSink, Metric, MetricKind, MetricsRegistry, ProfileTable, ReactionProfile, RingSink,
+    Telemetry, TraceEvent, TraceRecord, TraceSink, MAIN_WORKER,
 };
 pub use trace::{ExecStats, FiringRecord};

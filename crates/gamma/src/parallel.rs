@@ -71,11 +71,12 @@
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
 use crate::fault::{FaultPlan, WaveFaults};
-use crate::rete::{AlphaSlice, ReteNetwork, ReteStats, SlicePlan};
+use crate::rete::{AlphaSlice, ReteNetwork, ReteReactionCounters, ReteStats, SlicePlan};
 use crate::schedule::{DependencyIndex, ShardedWorklist};
 use crate::seq::{ExecError, ExecResult, ParError, Status};
 use crate::session::{EngineConfig, Session};
 use crate::spec::GammaProgram;
+use crate::telemetry::{firing_event, Telemetry, TraceEvent, MAIN_WORKER};
 use crate::trace::ExecStats;
 use crossbeam_channel::{Receiver, Sender};
 use gammaflow_multiset::{
@@ -85,6 +86,7 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -307,15 +309,79 @@ impl ParStats {
     /// folds, session waves). The slice-lifetime fields
     /// (`rete_precleared`, `spill_*`, `shard_peak_tokens`) are
     /// deliberately excluded — they are folded once, at finish time, by
-    /// the engine states' `fold_lifetime_stats`.
+    /// the engine states' `fold_lifetime_stats` — and the recovery
+    /// counters (`workers_lost`, `waves_replayed`, `degraded_waves`) are
+    /// incremented directly by the recovery loop, never carried by a
+    /// worker's per-wave block.
     fn absorb_wave_counters(&mut self, other: &ParStats) {
-        self.claim_failures += other.claim_failures;
-        self.dry_probes += other.dry_probes;
-        self.snapshot_checks += other.snapshot_checks;
-        self.deltas_published += other.deltas_published;
-        self.deltas_processed += other.deltas_processed;
-        self.stolen_firings += other.stolen_firings;
-        self.steal_misses += other.steal_misses;
+        // Exhaustive destructuring so a new counter must be placed here
+        // deliberately — either merged or explicitly discarded with a
+        // reason — instead of being silently dropped.
+        let ParStats {
+            claim_failures,
+            dry_probes,
+            snapshot_checks,
+            rete_precleared: _, // lifetime: folded by fold_lifetime_stats
+            deltas_published,
+            deltas_processed,
+            stolen_firings,
+            steal_misses,
+            spill_demotions: _,    // lifetime: folded by fold_lifetime_stats
+            spill_probes: _,       // lifetime: folded by fold_lifetime_stats
+            spill_repromotions: _, // lifetime: folded by fold_lifetime_stats
+            shard_peak_tokens: _,  // lifetime: folded by fold_lifetime_stats
+            workers_lost: _,       // recovery: incremented by the wave loop
+            waves_replayed: _,     // recovery: incremented by the wave loop
+            degraded_waves: _,     // recovery: incremented by the wave loop
+        } = other;
+        self.claim_failures += claim_failures;
+        self.dry_probes += dry_probes;
+        self.snapshot_checks += snapshot_checks;
+        self.deltas_published += deltas_published;
+        self.deltas_processed += deltas_processed;
+        self.stolen_firings += stolen_firings;
+        self.steal_misses += steal_misses;
+    }
+
+    /// Full merge of two completed runs' counters (cross-session
+    /// aggregation, e.g. summing several benchmark repetitions). Scalar
+    /// counters — including the lifetime and recovery fields the
+    /// wave-level merge (`absorb_wave_counters`) excludes — add; the per-worker
+    /// [`ParStats::shard_peak_tokens`] lists concatenate, preserving "one
+    /// entry per worker slice lifetime".
+    pub fn absorb(&mut self, other: &ParStats) {
+        let ParStats {
+            claim_failures,
+            dry_probes,
+            snapshot_checks,
+            rete_precleared,
+            deltas_published,
+            deltas_processed,
+            stolen_firings,
+            steal_misses,
+            spill_demotions,
+            spill_probes,
+            spill_repromotions,
+            shard_peak_tokens,
+            workers_lost,
+            waves_replayed,
+            degraded_waves,
+        } = other;
+        self.claim_failures += claim_failures;
+        self.dry_probes += dry_probes;
+        self.snapshot_checks += snapshot_checks;
+        self.rete_precleared += rete_precleared;
+        self.deltas_published += deltas_published;
+        self.deltas_processed += deltas_processed;
+        self.stolen_firings += stolen_firings;
+        self.steal_misses += steal_misses;
+        self.spill_demotions += spill_demotions;
+        self.spill_probes += spill_probes;
+        self.spill_repromotions += spill_repromotions;
+        self.shard_peak_tokens.extend_from_slice(shard_peak_tokens);
+        self.workers_lost += workers_lost;
+        self.waves_replayed += waves_replayed;
+        self.degraded_waves += degraded_waves;
     }
 }
 
@@ -661,17 +727,16 @@ impl ProbeState {
     }
 
     /// One wave of the sampled probe-and-retry worker loop (see the
-    /// module docs), replayed from its entry snapshot under `recovery`
-    /// if a worker is lost. Wave-level counters are added to `par`; the
-    /// wave's firing stats and status are returned.
+    /// module docs), replayed from its entry snapshot under
+    /// `ctl.recovery` if a worker is lost. Wave-level counters are added
+    /// to `par`; the wave's firing stats and status are returned.
     pub(crate) fn wave(
         &mut self,
         compiled: &CompiledProgram,
         budget: u64,
         wave_index: u64,
         par: &mut ParStats,
-        recovery: &RecoveryPolicy,
-        faults: &FaultPlan,
+        ctl: &WaveCtl<'_>,
     ) -> Result<(ExecStats, Status), ExecError> {
         let nreactions = self.nreactions;
         if nreactions == 0 {
@@ -684,11 +749,11 @@ impl ProbeState {
         // Wave-entry snapshot: the valid replay point (the bag between
         // waves is quiescent). Skipped — with its clone cost — when
         // replay is disabled.
-        let entry = (recovery.max_replays > 0).then(|| self.bag.snapshot());
+        let entry = (ctl.recovery.max_replays > 0).then(|| self.bag.snapshot());
         let mut attempt: u32 = 0;
         loop {
-            let wf = WaveFaults::new(faults, wave_index, attempt);
-            match self.wave_attempt(compiled, budget, wave_index, par, wf) {
+            let wf = WaveFaults::new(ctl.faults, wave_index, attempt, ctl.tel);
+            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl.tel) {
                 Ok(out) => {
                     par.waves_replayed += u64::from(attempt);
                     return Ok(out);
@@ -696,6 +761,16 @@ impl ProbeState {
                 Err(WaveFailure::Exec(e)) => return Err(e),
                 Err(WaveFailure::Lost(workers)) => {
                     par.workers_lost += workers.len() as u64;
+                    if ctl.tel.enabled() {
+                        ctl.emit(
+                            wave_index,
+                            TraceEvent::WaveQuarantined {
+                                wave: wave_index,
+                                attempt,
+                                workers_lost: workers.len() as u64,
+                            },
+                        );
+                    }
                     let Some(entry) = entry.as_ref() else {
                         // No replay point: surface the loss. The bag keeps
                         // the partial wave's atomically committed claims —
@@ -714,11 +789,20 @@ impl ProbeState {
                     self.bag.drain();
                     self.bag.insert_all(entry.iter());
                     self.dirty = DirtyFlags::new(nreactions);
-                    if attempt < recovery.max_replays {
+                    if attempt < ctl.recovery.max_replays {
                         attempt += 1;
+                        if ctl.tel.enabled() {
+                            ctl.emit(
+                                wave_index,
+                                TraceEvent::WaveReplayed {
+                                    wave: wave_index,
+                                    attempt,
+                                },
+                            );
+                        }
                         continue;
                     }
-                    return match recovery.on_exhausted {
+                    return match ctl.recovery.on_exhausted {
                         OnExhausted::Error => Err(ParError::WorkerLost {
                             workers,
                             replays: attempt,
@@ -727,8 +811,15 @@ impl ProbeState {
                         OnExhausted::DegradeToSeq => {
                             par.waves_replayed += u64::from(attempt);
                             par.degraded_waves += 1;
+                            if ctl.tel.enabled() {
+                                ctl.emit(
+                                    wave_index,
+                                    TraceEvent::DegradedToSeq { wave: wave_index },
+                                );
+                            }
                             let mut bag = entry.clone();
-                            let out = seq_fallback_wave(compiled, &mut bag, budget)?;
+                            let out =
+                                seq_fallback_wave(compiled, &mut bag, budget, wave_index, ctl)?;
                             for (e, _) in bag.iter_counts() {
                                 self.directory.note(e.label, e.tag);
                             }
@@ -750,6 +841,7 @@ impl ProbeState {
         wave_index: u64,
         par: &mut ParStats,
         wf: WaveFaults<'_>,
+        tel: &Telemetry,
     ) -> Result<(ExecStats, Status), WaveFailure> {
         let nreactions = self.nreactions;
         let bag = &self.bag;
@@ -798,6 +890,8 @@ impl ProbeState {
                             nreactions,
                             w,
                             wf,
+                            tel,
+                            wave: wave_index,
                         })
                     }));
                     if out.is_err() {
@@ -855,6 +949,8 @@ struct ProbeWorkerCtx<'a> {
     nreactions: usize,
     w: usize,
     wf: WaveFaults<'a>,
+    tel: &'a Telemetry,
+    wave: u64,
 }
 
 /// The probe-retry worker body (see the module docs): sampled probes over
@@ -878,11 +974,16 @@ fn probe_worker_loop(ctx: ProbeWorkerCtx<'_>) -> (ExecStats, ParStats) {
         nreactions,
         w,
         wf,
+        tel,
+        wave,
     } = ctx;
     let mut rng = ChaCha8Rng::seed_from_u64(wave_seed.wrapping_add(w as u64 * 0x9e37));
     let mut stats = ExecStats::new(nreactions);
     let mut par = ParStats::default();
     let mut fired_local = 0u64;
+    // Worker-local telemetry sequence: orders this worker's trace
+    // timeline independently of the fault coordinates above.
+    let mut wev = 0u64;
     // Probe order: only reactions whose dirty flag is set (the
     // delta-scheduling prune); refreshed every iteration.
     let mut order: Vec<usize> = Vec::with_capacity(nreactions);
@@ -925,6 +1026,11 @@ fn probe_worker_loop(ctx: ProbeWorkerCtx<'_>) -> (ExecStats, ParStats) {
                     &mut stats,
                     &mut par,
                 ) {
+                    if tel.enabled() {
+                        let name = &compiled.reactions[firing.reaction].name;
+                        tel.emit(w as i64, wev, wave, firing_event(name, &firing, 0, false));
+                        wev += 1;
+                    }
                     fired_local += 1;
                     wf.on_firing(w, fired_local);
                 } else {
@@ -988,6 +1094,16 @@ fn probe_worker_loop(ctx: ProbeWorkerCtx<'_>) -> (ExecStats, ParStats) {
                             &mut stats,
                             &mut par,
                         ) {
+                            if tel.enabled() {
+                                let name = &compiled.reactions[firing.reaction].name;
+                                tel.emit(
+                                    w as i64,
+                                    wev,
+                                    wave,
+                                    firing_event(name, &firing, 0, false),
+                                );
+                                wev += 1;
+                            }
                             fired_local += 1;
                             wf.on_firing(w, fired_local);
                         } else {
@@ -999,6 +1115,34 @@ fn probe_worker_loop(ctx: ProbeWorkerCtx<'_>) -> (ExecStats, ParStats) {
         }
     }
     (stats, par)
+}
+
+/// Per-wave control handles threaded from the session into the parallel
+/// engines: the recovery policy, the fault plan, and the telemetry
+/// handle paired with the session's main-thread event counter. The
+/// parallel *wave loops* (recovery, replay, degraded fallback) run on
+/// the session thread — only the worker bodies run elsewhere, with
+/// their own worker-local counters — so main-thread events keep one
+/// monotonic `wseq` stream across engines.
+pub(crate) struct WaveCtl<'a> {
+    /// Replay policy for quarantined waves.
+    pub(crate) recovery: &'a RecoveryPolicy,
+    /// Armed fault points (inert without the `fault-inject` feature).
+    pub(crate) faults: &'a FaultPlan,
+    /// The session's telemetry handle.
+    pub(crate) tel: &'a Telemetry,
+    /// The session's main-thread event counter.
+    pub(crate) ev: &'a Cell<u64>,
+}
+
+impl WaveCtl<'_> {
+    /// Emit a main-thread event under the session's event counter.
+    /// Callers guard with `ctl.tel.enabled()`.
+    pub(crate) fn emit(&self, wave: u64, event: TraceEvent) {
+        let wseq = self.ev.get();
+        self.ev.set(wseq + 1);
+        self.tel.emit(MAIN_WORKER, wseq, wave, event);
+    }
 }
 
 /// How a single wave attempt failed (internal to the recovery loop).
@@ -1021,6 +1165,8 @@ fn seq_fallback_wave(
     compiled: &CompiledProgram,
     bag: &mut ElementBag,
     budget: u64,
+    wave: u64,
+    ctl: &WaveCtl<'_>,
 ) -> Result<(ExecStats, Status), ExecError> {
     let nreactions = compiled.reactions.len();
     let order: Vec<usize> = (0..nreactions).collect();
@@ -1043,6 +1189,13 @@ fn seq_fallback_wave(
                     bag.insert(e.clone());
                 }
                 stats.record_firing(firing.reaction, &firing);
+                if ctl.tel.enabled() {
+                    // Degraded waves fire on the session thread; keeping
+                    // their firings in the trace preserves per-reaction
+                    // conservation across recovery.
+                    let name = &compiled.reactions[firing.reaction].name;
+                    ctl.emit(wave, firing_event(name, &firing, 0, false));
+                }
                 fired += 1;
             }
         }
@@ -1181,6 +1334,10 @@ struct SharedRun<'a> {
     /// Bucket sampling cap for thieves' stolen searches (their claims
     /// re-validate, so sampling is as safe here as in probe-retry).
     sample_cap: usize,
+    /// The session's telemetry handle (workers tag their own events).
+    tel: &'a Telemetry,
+    /// Wave index, for the trace-record envelope.
+    wave: u64,
 }
 
 impl SharedRun<'_> {
@@ -1190,8 +1347,9 @@ impl SharedRun<'_> {
     /// delta label's component (tokens involving a label live only in
     /// its owner's slice), or everyone when a wildcard consumer exists.
     /// The claimant's own slice learns about the firing from its mailbox
-    /// like everyone else's.
-    fn publish(&self, firing: &Firing) {
+    /// like everyone else's. Returns the number of mailboxes addressed
+    /// (the [`TraceEvent::DeltaPublished`] payload).
+    fn publish(&self, firing: &Firing) -> u64 {
         for e in &firing.produced {
             self.directory.note(e.label, e.tag);
         }
@@ -1212,6 +1370,7 @@ impl SharedRun<'_> {
                 }
             }
         }
+        let mut addressed = 0u64;
         for (v, tx) in self.senders.iter().enumerate() {
             if !broadcast && mask & (1u128 << v) == 0 {
                 continue;
@@ -1222,7 +1381,9 @@ impl SharedRun<'_> {
             // means the run is tearing down anyway.
             self.sent[v].fetch_add(1, Ordering::AcqRel);
             let _ = tx.send(msg.clone());
+            addressed += 1;
         }
+        addressed
     }
 
     /// True when the run has globally stopped (stable, budget, or error).
@@ -1399,6 +1560,30 @@ impl ShardedState {
         self.bag.len()
     }
 
+    /// Drain the per-reaction Rete counters of every slice, summed per
+    /// reaction. Peaks are summed too — across slices they measure the
+    /// reaction's total materialised capacity, matching the
+    /// [`ReactionProfile::peak_beta_tokens`](crate::telemetry::ReactionProfile)
+    /// doc.
+    pub(crate) fn take_reaction_counters(&mut self) -> Vec<ReteReactionCounters> {
+        let mut out = vec![ReteReactionCounters::default(); self.nreactions];
+        for slice in &mut self.slices {
+            for (r, c) in slice.take_reaction_counters().into_iter().enumerate() {
+                out[r].guard_evals += c.guard_evals;
+                out[r].guard_rejects += c.guard_rejects;
+                out[r].peak_tokens += c.peak_tokens;
+            }
+        }
+        out
+    }
+
+    /// `(slice count, beta tokens created across all slices)` — the
+    /// [`TraceEvent::ReteBuilt`] payload for the sharded engine.
+    pub(crate) fn slices_info(&self) -> (usize, u64) {
+        let tokens = self.slices.iter().map(|s| s.stats.tokens_created).sum();
+        (self.slices.len(), tokens)
+    }
+
     /// Rebuild every worker slice from `bag` (crash recovery: a panicked
     /// worker's slice unwound with its thread, and the survivors'
     /// memories describe a multiset that no longer exists).
@@ -1421,7 +1606,7 @@ impl ShardedState {
     /// docs): scoped worker threads take the persistent slices, run to
     /// the drained-memories termination consensus, and hand the slices
     /// back for the next wave — replayed from the wave-entry snapshot
-    /// under `recovery` if a worker is lost. Wave-level counters are
+    /// under `ctl.recovery` if a worker is lost. Wave-level counters are
     /// added to `par`.
     pub(crate) fn wave(
         &mut self,
@@ -1429,8 +1614,7 @@ impl ShardedState {
         budget: u64,
         wave_index: u64,
         par: &mut ParStats,
-        recovery: &RecoveryPolicy,
-        faults: &FaultPlan,
+        ctl: &WaveCtl<'_>,
     ) -> Result<(ExecStats, Status), ExecError> {
         let nreactions = self.nreactions;
         if nreactions == 0 {
@@ -1444,11 +1628,11 @@ impl ShardedState {
         // drained-memories consensus certified it), so it is the valid
         // replay point. Skipped — with its clone cost — when replay is
         // disabled.
-        let entry = (recovery.max_replays > 0).then(|| self.bag.snapshot());
+        let entry = (ctl.recovery.max_replays > 0).then(|| self.bag.snapshot());
         let mut attempt: u32 = 0;
         loop {
-            let wf = WaveFaults::new(faults, wave_index, attempt);
-            match self.wave_attempt(compiled, budget, wave_index, par, wf) {
+            let wf = WaveFaults::new(ctl.faults, wave_index, attempt, ctl.tel);
+            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl.tel) {
                 Ok(out) => {
                     par.waves_replayed += u64::from(attempt);
                     return Ok(out);
@@ -1456,6 +1640,16 @@ impl ShardedState {
                 Err(WaveFailure::Exec(e)) => return Err(e),
                 Err(WaveFailure::Lost(workers)) => {
                     par.workers_lost += workers.len() as u64;
+                    if ctl.tel.enabled() {
+                        ctl.emit(
+                            wave_index,
+                            TraceEvent::WaveQuarantined {
+                                wave: wave_index,
+                                attempt,
+                                workers_lost: workers.len() as u64,
+                            },
+                        );
+                    }
                     let Some(entry) = entry.as_ref() else {
                         // No replay point. The bag keeps the partial
                         // wave's atomically committed claims — a legal
@@ -1475,11 +1669,20 @@ impl ShardedState {
                     self.bag.drain();
                     self.bag.insert_all(entry.iter());
                     self.rebuild_slices(compiled, entry);
-                    if attempt < recovery.max_replays {
+                    if attempt < ctl.recovery.max_replays {
                         attempt += 1;
+                        if ctl.tel.enabled() {
+                            ctl.emit(
+                                wave_index,
+                                TraceEvent::WaveReplayed {
+                                    wave: wave_index,
+                                    attempt,
+                                },
+                            );
+                        }
                         continue;
                     }
-                    return match recovery.on_exhausted {
+                    return match ctl.recovery.on_exhausted {
                         OnExhausted::Error => Err(ParError::WorkerLost {
                             workers,
                             replays: attempt,
@@ -1488,8 +1691,15 @@ impl ShardedState {
                         OnExhausted::DegradeToSeq => {
                             par.waves_replayed += u64::from(attempt);
                             par.degraded_waves += 1;
+                            if ctl.tel.enabled() {
+                                ctl.emit(
+                                    wave_index,
+                                    TraceEvent::DegradedToSeq { wave: wave_index },
+                                );
+                            }
                             let mut bag = entry.clone();
-                            let out = seq_fallback_wave(compiled, &mut bag, budget)?;
+                            let out =
+                                seq_fallback_wave(compiled, &mut bag, budget, wave_index, ctl)?;
                             for (e, _) in bag.iter_counts() {
                                 self.directory.note(e.label, e.tag);
                             }
@@ -1512,6 +1722,7 @@ impl ShardedState {
         wave_index: u64,
         par: &mut ParStats,
         wf: WaveFaults<'_>,
+        tel: &Telemetry,
     ) -> Result<(ExecStats, Status), WaveFailure> {
         let nreactions = self.nreactions;
         let workers = self.workers;
@@ -1550,6 +1761,8 @@ impl ShardedState {
             error: &error,
             max_firings: budget,
             sample_cap: self.sample_cap,
+            tel,
+            wave: wave_index,
         };
 
         let slices = std::mem::take(&mut self.slices);
@@ -1725,6 +1938,10 @@ fn sharded_worker(
     // points are expressed in.
     let mut fired_local = 0u64;
     let mut msgs = 0u64;
+    // Worker-local telemetry sequence, separate from the fault
+    // coordinates above (one counter across all event kinds keeps the
+    // worker's trace timeline totally ordered).
+    let mut wev = 0u64;
 
     // Initial readiness from the freshly built slice.
     for r in 0..nreactions {
@@ -1739,7 +1956,8 @@ fn sharded_worker(
                   ready: &mut ReadySet,
                   routed: &mut Vec<usize>,
                   par: &mut ParStats,
-                  nth: u64| {
+                  nth: u64,
+                  wev: &mut u64| {
         // Fault point: a `MailboxDrop` here models the delta never
         // reaching this slice (it panics — the honest rendering, since
         // silently skipping the message would desynchronise the slice
@@ -1753,6 +1971,15 @@ fn sharded_worker(
         slice.on_inserted(shared.compiled, &src, &msg.inserted);
         shared.processed[w].fetch_add(1, Ordering::AcqRel);
         par.deltas_processed += 1;
+        if shared.tel.enabled() {
+            shared.tel.emit(
+                w as i64,
+                *wev,
+                shared.wave,
+                TraceEvent::DeltaProcessed { nth },
+            );
+            *wev += 1;
+        }
         routed.sort_unstable();
         routed.dedup();
         for &r in routed.iter() {
@@ -1767,7 +1994,15 @@ fn sharded_worker(
         let mut drained_any = false;
         while let Ok(msg) = rx.try_recv() {
             msgs += 1;
-            absorb(msg, &mut slice, &mut ready, &mut routed, &mut par, msgs);
+            absorb(
+                msg,
+                &mut slice,
+                &mut ready,
+                &mut routed,
+                &mut par,
+                msgs,
+                &mut wev,
+            );
             drained_any = true;
         }
 
@@ -1792,7 +2027,26 @@ fn sharded_worker(
                     {
                         stats.record_firing(firing.reaction, &firing);
                         wake_dependents(shared, w, &firing);
-                        shared.publish(&firing);
+                        let addressed = shared.publish(&firing);
+                        if shared.tel.enabled() {
+                            let name = &shared.compiled.reactions[firing.reaction].name;
+                            shared.tel.emit(
+                                w as i64,
+                                wev,
+                                shared.wave,
+                                firing_event(name, &firing, 0, false),
+                            );
+                            shared.tel.emit(
+                                w as i64,
+                                wev + 1,
+                                shared.wave,
+                                TraceEvent::DeltaPublished {
+                                    reaction: firing.reaction,
+                                    addressed,
+                                },
+                            );
+                            wev += 2;
+                        }
                         fired_local += 1;
                         wf.on_firing(w, fired_local);
                     } else {
@@ -1843,7 +2097,26 @@ fn sharded_worker(
                         par.stolen_firings += 1;
                         stats.record_firing(firing.reaction, &firing);
                         wake_dependents(shared, w, &firing);
-                        shared.publish(&firing);
+                        let addressed = shared.publish(&firing);
+                        if shared.tel.enabled() {
+                            let name = &shared.compiled.reactions[firing.reaction].name;
+                            shared.tel.emit(
+                                w as i64,
+                                wev,
+                                shared.wave,
+                                firing_event(name, &firing, 0, true),
+                            );
+                            shared.tel.emit(
+                                w as i64,
+                                wev + 1,
+                                shared.wave,
+                                TraceEvent::DeltaPublished {
+                                    reaction: firing.reaction,
+                                    addressed,
+                                },
+                            );
+                            wev += 2;
+                        }
                         fired_local += 1;
                         wf.on_firing(w, fired_local);
                     } else {
@@ -1852,6 +2125,15 @@ fn sharded_worker(
                 }
                 Ok(None) => {
                     par.steal_misses += 1;
+                    if shared.tel.enabled() {
+                        shared.tel.emit(
+                            w as i64,
+                            wev,
+                            shared.wave,
+                            TraceEvent::StealMiss { reaction: r },
+                        );
+                        wev += 1;
+                    }
                 }
             }
             continue;
@@ -1885,7 +2167,15 @@ fn sharded_worker(
                 Ok(msg) => {
                     shared.active[w].store(true, Ordering::Release);
                     msgs += 1;
-                    absorb(msg, &mut slice, &mut ready, &mut routed, &mut par, msgs);
+                    absorb(
+                        msg,
+                        &mut slice,
+                        &mut ready,
+                        &mut routed,
+                        &mut par,
+                        msgs,
+                        &mut wev,
+                    );
                     continue 'main;
                 }
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
@@ -2267,5 +2557,77 @@ mod tests {
         let result = run_parallel(&sum_program(), initial, &ParConfig::with_workers(8)).unwrap();
         assert_eq!(result.exec.multiset.len(), 1);
         assert!(result.exec.multiset.contains(&e(125250, "n", 0)));
+    }
+
+    /// A ParStats block with every field set to a distinct value, so the
+    /// absorb tests below catch any field merged into the wrong place.
+    fn distinct_par_stats() -> ParStats {
+        ParStats {
+            claim_failures: 1,
+            dry_probes: 2,
+            snapshot_checks: 3,
+            rete_precleared: 4,
+            deltas_published: 5,
+            deltas_processed: 6,
+            stolen_firings: 7,
+            steal_misses: 8,
+            spill_demotions: 9,
+            spill_probes: 10,
+            spill_repromotions: 11,
+            shard_peak_tokens: vec![12, 13],
+            workers_lost: 14,
+            waves_replayed: 15,
+            degraded_waves: 16,
+        }
+    }
+
+    #[test]
+    fn par_stats_absorb_wave_counters_pins_every_field() {
+        let mut a = distinct_par_stats();
+        let b = distinct_par_stats();
+        a.absorb_wave_counters(&b);
+        // Wave-level scalars add…
+        assert_eq!(a.claim_failures, 2);
+        assert_eq!(a.dry_probes, 4);
+        assert_eq!(a.snapshot_checks, 6);
+        assert_eq!(a.deltas_published, 10);
+        assert_eq!(a.deltas_processed, 12);
+        assert_eq!(a.stolen_firings, 14);
+        assert_eq!(a.steal_misses, 16);
+        // …lifetime fields are deliberately untouched (folded once by
+        // `fold_lifetime_stats`)…
+        assert_eq!(a.rete_precleared, 4);
+        assert_eq!(a.spill_demotions, 9);
+        assert_eq!(a.spill_probes, 10);
+        assert_eq!(a.spill_repromotions, 11);
+        assert_eq!(a.shard_peak_tokens, vec![12, 13]);
+        // …and so are the recovery counters (incremented by the wave
+        // loop itself).
+        assert_eq!(a.workers_lost, 14);
+        assert_eq!(a.waves_replayed, 15);
+        assert_eq!(a.degraded_waves, 16);
+    }
+
+    #[test]
+    fn par_stats_absorb_pins_every_field() {
+        let mut a = distinct_par_stats();
+        let b = distinct_par_stats();
+        a.absorb(&b);
+        assert_eq!(a.claim_failures, 2);
+        assert_eq!(a.dry_probes, 4);
+        assert_eq!(a.snapshot_checks, 6);
+        assert_eq!(a.rete_precleared, 8);
+        assert_eq!(a.deltas_published, 10);
+        assert_eq!(a.deltas_processed, 12);
+        assert_eq!(a.stolen_firings, 14);
+        assert_eq!(a.steal_misses, 16);
+        assert_eq!(a.spill_demotions, 18);
+        assert_eq!(a.spill_probes, 20);
+        assert_eq!(a.spill_repromotions, 22);
+        // Per-slice-lifetime peaks concatenate instead of summing.
+        assert_eq!(a.shard_peak_tokens, vec![12, 13, 12, 13]);
+        assert_eq!(a.workers_lost, 28);
+        assert_eq!(a.waves_replayed, 30);
+        assert_eq!(a.degraded_waves, 32);
     }
 }

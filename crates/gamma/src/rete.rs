@@ -273,17 +273,46 @@ impl ReteStats {
     /// [`ReteStats::peak_live_tokens`], which takes the maximum — the
     /// merged figure stays "the largest memory any one network held".
     pub fn absorb(&mut self, other: &ReteStats) {
-        self.inserts += other.inserts;
-        self.removals += other.removals;
-        self.tokens_created += other.tokens_created;
-        self.tokens_retired += other.tokens_retired;
-        self.guard_rejects += other.guard_rejects;
-        self.dedup_hits += other.dedup_hits;
-        self.spill_demotions += other.spill_demotions;
-        self.spill_probes += other.spill_probes;
-        self.spill_repromotions += other.spill_repromotions;
-        self.peak_live_tokens = self.peak_live_tokens.max(other.peak_live_tokens);
+        // Exhaustive destructuring: adding a counter without deciding its
+        // merge rule is a compile error here, not a silently dropped field.
+        let ReteStats {
+            inserts,
+            removals,
+            tokens_created,
+            tokens_retired,
+            guard_rejects,
+            dedup_hits,
+            spill_demotions,
+            spill_probes,
+            spill_repromotions,
+            peak_live_tokens,
+        } = other;
+        self.inserts += inserts;
+        self.removals += removals;
+        self.tokens_created += tokens_created;
+        self.tokens_retired += tokens_retired;
+        self.guard_rejects += guard_rejects;
+        self.dedup_hits += dedup_hits;
+        self.spill_demotions += spill_demotions;
+        self.spill_probes += spill_probes;
+        self.spill_repromotions += spill_repromotions;
+        self.peak_live_tokens = self.peak_live_tokens.max(*peak_live_tokens);
     }
+}
+
+/// Per-reaction observability counters maintained inside each reaction's
+/// join net and drained into the session's profile table at wave
+/// boundaries ([`ReteNetwork::take_reaction_counters`]). The rescanning
+/// and delta schedulers evaluate guards inside the search core and have
+/// no per-reaction equivalent, so these columns are Rete-matcher-only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReteReactionCounters {
+    /// Guard conjunct evaluations during token building.
+    pub guard_evals: u64,
+    /// Guard evaluations that rejected the candidate token.
+    pub guard_rejects: u64,
+    /// Peak live tokens this reaction's net held since the last drain.
+    pub peak_tokens: u64,
 }
 
 /// One operand of a fast-path integer comparison: a literal, a slot, or a
@@ -596,6 +625,9 @@ struct ReactionNet {
     doomed: Vec<u32>,
     /// All-`None` binding row, the prefix of every level-0 entry.
     empty_slots: Box<[Option<Value>]>,
+    /// Per-reaction profile counters, drained at wave boundaries (see
+    /// [`ReteNetwork::take_reaction_counters`]).
+    prof: ReteReactionCounters,
 }
 
 impl ReactionNet {
@@ -653,6 +685,7 @@ impl ReactionNet {
             tag_joins,
             doomed: Vec::new(),
             empty_slots: vec![None; cr.nvars()].into_boxed_slice(),
+            prof: ReteReactionCounters::default(),
         }
     }
 
@@ -1102,14 +1135,25 @@ impl ReactionNet {
         let extras = &extras[..nextra];
 
         for g in &self.level_guards[k] {
+            self.prof.guard_evals += 1;
             if !g.eval_bool(slots, extras) {
+                self.prof.guard_rejects += 1;
                 stats.guard_rejects += 1;
                 return None;
             }
         }
         if k + 1 == self.arity {
             if let Some(disj) = &self.clause_disjunction {
-                if !disj.iter().any(|g| g.eval_bool(slots, extras)) {
+                let mut passed = false;
+                for g in disj {
+                    self.prof.guard_evals += 1;
+                    if g.eval_bool(slots, extras) {
+                        passed = true;
+                        break;
+                    }
+                }
+                if !passed {
+                    self.prof.guard_rejects += 1;
                     stats.guard_rejects += 1;
                     return None;
                 }
@@ -1174,6 +1218,7 @@ impl ReactionNet {
         stats.peak_live_tokens = stats
             .peak_live_tokens
             .max(stats.tokens_created - stats.tokens_retired);
+        self.prof.peak_tokens = self.prof.peak_tokens.max(self.live_tokens() as u64);
         Some(id)
     }
 
@@ -1374,6 +1419,28 @@ impl ReteNetwork {
     /// Total live tokens across all reactions and levels.
     pub fn total_tokens(&self) -> usize {
         self.nets.iter().map(|n| n.live_tokens()).sum()
+    }
+
+    /// Drain the per-reaction profile counters: each reaction's counters
+    /// accumulated since the last call, reset afterwards (the peak resets
+    /// to the *current* live-token count, so a standing population is
+    /// still visible to the next drain). Take-and-reset semantics keep
+    /// profile accumulation across waves, snapshots, and restores free of
+    /// double counting: the session folds each drain into its cumulative
+    /// [`ProfileTable`](crate::telemetry::ProfileTable) and a rebuilt
+    /// matcher starts from zero.
+    pub fn take_reaction_counters(&mut self) -> Vec<ReteReactionCounters> {
+        self.nets
+            .iter_mut()
+            .map(|n| {
+                let out = n.prof;
+                n.prof = ReteReactionCounters {
+                    peak_tokens: n.live_tokens() as u64,
+                    ..ReteReactionCounters::default()
+                };
+                out
+            })
+            .collect()
     }
 
     /// Exact enabledness of reaction `r`: read off the terminal memory
@@ -1675,6 +1742,73 @@ mod tests {
         // pairs are excluded by the multiplicity check.
         assert_eq!(net.match_count(0), 3);
         assert!(!net.is_spilled(0));
+    }
+
+    #[test]
+    fn absorb_pins_every_field() {
+        // Distinct nonzero values per field so a miscopied assignment
+        // cannot cancel out; exhaustive literals so a new field breaks
+        // this test at compile time.
+        let mut a = ReteStats {
+            inserts: 1,
+            removals: 2,
+            tokens_created: 3,
+            tokens_retired: 4,
+            guard_rejects: 5,
+            dedup_hits: 6,
+            spill_demotions: 7,
+            spill_probes: 8,
+            spill_repromotions: 9,
+            peak_live_tokens: 10,
+        };
+        let b = ReteStats {
+            inserts: 100,
+            removals: 200,
+            tokens_created: 300,
+            tokens_retired: 400,
+            guard_rejects: 500,
+            dedup_hits: 600,
+            spill_demotions: 700,
+            spill_probes: 800,
+            spill_repromotions: 900,
+            peak_live_tokens: 5,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            ReteStats {
+                inserts: 101,
+                removals: 202,
+                tokens_created: 303,
+                tokens_retired: 404,
+                guard_rejects: 505,
+                dedup_hits: 606,
+                spill_demotions: 707,
+                spill_probes: 808,
+                spill_repromotions: 909,
+                peak_live_tokens: 10, // max, not sum
+            }
+        );
+    }
+
+    #[test]
+    fn reaction_counters_drain_and_reset() {
+        let compiled = sieve_program();
+        let bag: ElementBag = [2, 3, 4, 6].iter().map(|&v| e(v, "n", 0)).collect();
+        let mut net = ReteNetwork::new(&compiled, &bag);
+        let first = net.take_reaction_counters();
+        assert_eq!(first.len(), 1);
+        // The build evaluated the sieve guard for every ordered pair and
+        // rejected the non-dividing ones.
+        assert!(first[0].guard_evals > 0);
+        assert!(first[0].guard_rejects > 0);
+        assert!(first[0].peak_tokens > 0);
+        // Drained: counters reset, but the standing token population is
+        // carried into the fresh peak.
+        let second = net.take_reaction_counters();
+        assert_eq!(second[0].guard_evals, 0);
+        assert_eq!(second[0].guard_rejects, 0);
+        assert_eq!(second[0].peak_tokens, net.total_tokens() as u64);
     }
 
     #[test]

@@ -162,11 +162,20 @@ impl SchedStats {
     /// Merge another scheduler's counters (pipeline stages, session
     /// waves). All counters are additive.
     pub fn absorb(&mut self, other: &SchedStats) {
-        self.full_searches += other.full_searches;
-        self.anchored_probes += other.anchored_probes;
-        self.anchored_confirm_searches += other.anchored_confirm_searches;
-        self.coalesced_wakeups += other.coalesced_wakeups;
-        self.authoritative_confirms += other.authoritative_confirms;
+        // Exhaustive destructuring: a new counter without a merge rule is
+        // a compile error, not a silently dropped field.
+        let SchedStats {
+            full_searches,
+            anchored_probes,
+            anchored_confirm_searches,
+            coalesced_wakeups,
+            authoritative_confirms,
+        } = other;
+        self.full_searches += full_searches;
+        self.anchored_probes += anchored_probes;
+        self.anchored_confirm_searches += anchored_confirm_searches;
+        self.coalesced_wakeups += coalesced_wakeups;
+        self.authoritative_confirms += authoritative_confirms;
     }
 }
 
@@ -523,6 +532,37 @@ mod tests {
     use crate::spec::{ElementSpec, GammaProgram, Pattern, ReactionSpec};
     use gammaflow_multiset::value::BinOp;
     use gammaflow_multiset::Tag;
+
+    #[test]
+    fn absorb_pins_every_field() {
+        // Exhaustive literals with distinct values: a new SchedStats field
+        // breaks this test at compile time instead of being dropped.
+        let mut a = SchedStats {
+            full_searches: 1,
+            anchored_probes: 2,
+            anchored_confirm_searches: 3,
+            coalesced_wakeups: 4,
+            authoritative_confirms: 5,
+        };
+        let b = SchedStats {
+            full_searches: 10,
+            anchored_probes: 20,
+            anchored_confirm_searches: 30,
+            coalesced_wakeups: 40,
+            authoritative_confirms: 50,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            SchedStats {
+                full_searches: 11,
+                anchored_probes: 22,
+                anchored_confirm_searches: 33,
+                coalesced_wakeups: 44,
+                authoritative_confirms: 55,
+            }
+        );
+    }
 
     fn e(v: i64, l: &str, t: u64) -> Element {
         Element::new(v, l, t)

@@ -60,17 +60,25 @@
 
 use crate::compiled::{CompiledProgram, Firing, SearchScratch};
 use crate::fault::{FaultPlan, WaveFaults};
-use crate::parallel::{ParEngine, ParResult, ParStats, ProbeState, RecoveryPolicy, ShardedState};
+use crate::parallel::{
+    ParEngine, ParResult, ParStats, ProbeState, RecoveryPolicy, ShardedState, WaveCtl,
+};
 use crate::rete::{ReteNetwork, ReteStats};
 use crate::schedule::{DeltaScheduler, SchedStats};
 use crate::seq::{ExecConfig, ExecError, ExecResult, Scheduling, Selection, Status};
 use crate::spec::GammaProgram;
+use crate::telemetry::{
+    firing_event, MetricsRegistry, ProfTimes, ProfileTable, Telemetry, TraceEvent, TraceSink,
+    MAIN_WORKER,
+};
 use crate::trace::{ExecStats, FiringRecord};
 use gammaflow_multiset::{Element, ElementBag, Symbol, Tag};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// Which execution engine a [`Session`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -132,6 +140,18 @@ pub struct EngineConfig {
     /// compiled out) unless the `fault-inject` cargo feature is on; see
     /// [`crate::fault`].
     pub faults: FaultPlan,
+    /// Structured-event telemetry handle (see [`crate::telemetry`]).
+    /// Disabled by default; install a sink with
+    /// [`SessionBuilder::trace_sink`], or set `GAMMAFLOW_TRACE=path` in
+    /// the environment to get a JSONL sink at session build. Serializes
+    /// as `null` (sinks are process-local) and deserializes disabled.
+    pub telemetry: Telemetry,
+    /// Collect wall-clock match/action latency into the per-reaction
+    /// profile table. Sequential wave loops only — parallel workers
+    /// skip timing (see
+    /// [`ReactionProfile`](crate::telemetry::ReactionProfile)). Off by
+    /// default: each firing costs two extra `Instant::now` calls.
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +172,8 @@ impl Default for EngineConfig {
             bag_budget: u64::MAX,
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::default(),
+            telemetry: Telemetry::disabled(),
+            profile: false,
         }
     }
 }
@@ -322,6 +344,23 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Install a telemetry sink that receives every [`TraceEvent`] the
+    /// session emits (see [`crate::telemetry`] for the taxonomy).
+    /// Without one, `GAMMAFLOW_TRACE=path` in the environment installs
+    /// a JSONL file sink at [`SessionBuilder::start`]; otherwise
+    /// tracing stays off and emission sites cost one branch.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.config.telemetry = Telemetry::to_sink(sink);
+        self
+    }
+
+    /// Collect per-reaction match/action wall-clock timing (sequential
+    /// wave loops; see [`EngineConfig::profile`]).
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
     /// Install a per-wave observer callback.
     pub fn observer(mut self, observer: WaveObserver) -> Self {
         self.observer = Some(observer);
@@ -382,6 +421,18 @@ pub struct Session {
     last_status: Status,
     waves_run: u64,
     observer: Option<WaveObserver>,
+    /// Main-thread telemetry event counter: the `wseq` coordinate of
+    /// [`MAIN_WORKER`] trace records. A `Cell` so `&self` accessors
+    /// (snapshot) can emit too.
+    ev: Cell<u64>,
+    /// Cumulative per-reaction execution profiles across waves.
+    profiles: ProfileTable,
+    /// Lifetime (demotions, repromotions) of the sequential Rete
+    /// network already reported in earlier `SpillActivity` events.
+    seen_spill: (u64, u64),
+    /// Lifetime anchored-confirm searches already reported in earlier
+    /// `AnchoredConfirms` events.
+    seen_confirms: u64,
 }
 
 impl Session {
@@ -408,9 +459,13 @@ impl Session {
     fn from_compiled_with_observer(
         compiled: CompiledProgram,
         initial: ElementBag,
-        config: EngineConfig,
+        mut config: EngineConfig,
         observer: Option<WaveObserver>,
     ) -> Session {
+        if !config.telemetry.enabled() {
+            // No sink installed explicitly: honour GAMMAFLOW_TRACE.
+            config.telemetry = Telemetry::from_env();
+        }
         let nreactions = compiled.reactions.len();
         // The selection stream exists only for the sequential engines;
         // parallel workers derive per-worker streams from `config.seed`.
@@ -445,7 +500,18 @@ impl Session {
             }
         };
         let trace = (config.record_trace && matches!(config.engine, Engine::Seq)).then(Vec::new);
-        Session {
+        // Wave-aggregate baselines: building the matcher over the
+        // initial bag may already demote memories to spill; only deltas
+        // past these values are reported as per-wave activity.
+        let seen_spill = match &state {
+            State::Seq {
+                matcher: SeqMatcher::Rete(n),
+                ..
+            } => (n.stats.spill_demotions, n.stats.spill_repromotions),
+            _ => (0, 0),
+        };
+        let profiles = ProfileTable::new(compiled.reactions.iter().map(|r| r.name.as_str()));
+        let session = Session {
             compiled,
             config,
             state,
@@ -457,8 +523,63 @@ impl Session {
             last_status: Status::Stable,
             waves_run: 0,
             observer: None,
+            ev: Cell::new(0),
+            profiles,
+            seen_spill,
+            seen_confirms: 0,
         }
-        .with_observer(observer)
+        .with_observer(observer);
+        session.emit_build_events();
+        session
+    }
+
+    /// Emit a main-thread trace event under the session's `wseq`
+    /// counter, stamped with the current wave index. Callers guard with
+    /// `self.config.telemetry.enabled()` so the disabled path stays a
+    /// single branch.
+    fn emit(&self, event: TraceEvent) {
+        let wseq = self.ev.get();
+        self.ev.set(wseq + 1);
+        self.config
+            .telemetry
+            .emit(MAIN_WORKER, wseq, self.waves_run, event);
+    }
+
+    /// Emit the session-build events: one [`TraceEvent::PlanExplained`]
+    /// per reaction, then a [`TraceEvent::ReteBuilt`] describing the
+    /// live join network (if the engine keeps one). Called at build and
+    /// again after [`Session::restore`], since both construct matcher
+    /// state from scratch.
+    fn emit_build_events(&self) {
+        if !self.config.telemetry.enabled() {
+            return;
+        }
+        for (i, r) in self.compiled.reactions.iter().enumerate() {
+            self.emit(TraceEvent::PlanExplained {
+                reaction: i,
+                name: r.name.clone(),
+                plan: r.explain_plan(),
+            });
+        }
+        let built = match &self.state {
+            State::Seq {
+                matcher: SeqMatcher::Rete(n),
+                ..
+            } => Some((1, n.stats.tokens_created)),
+            State::Sharded(st) => {
+                let (slices, tokens) = st.slices_info();
+                Some((slices, tokens))
+            }
+            _ => None,
+        };
+        if let Some((slices, tokens)) = built {
+            self.emit(TraceEvent::ReteBuilt {
+                reactions: self.compiled.reactions.len(),
+                slices,
+                tokens,
+            });
+        }
+        self.config.telemetry.flush();
     }
 
     fn with_observer(mut self, observer: Option<WaveObserver>) -> Session {
@@ -529,6 +650,12 @@ impl Session {
             Vec::new()
         };
         if elements.is_empty() {
+            if self.config.telemetry.enabled() {
+                self.emit(TraceEvent::Injected {
+                    admitted: 0,
+                    spilled: spilled.len() as u64,
+                });
+            }
             return InjectOutcome::Spilled(spilled);
         }
         match &mut self.state {
@@ -546,6 +673,12 @@ impl Session {
             }
             State::Sharded(st) => st.inject(&self.compiled, &elements),
             State::Probe(st) => st.inject(&elements),
+        }
+        if self.config.telemetry.enabled() {
+            self.emit(TraceEvent::Injected {
+                admitted: elements.len() as u64,
+                spilled: spilled.len() as u64,
+            });
         }
         if spilled.is_empty() {
             InjectOutcome::Accepted
@@ -569,7 +702,7 @@ impl Session {
     /// counters intact. Intended at stability — this is how pipeline
     /// stages chain: the drained bag seeds the next stage's session.
     pub fn drain_stable(&mut self) -> ElementBag {
-        match &mut self.state {
+        let drained = match &mut self.state {
             State::Seq { multiset, matcher } => {
                 let out = std::mem::take(multiset);
                 match matcher {
@@ -592,7 +725,13 @@ impl Session {
             }
             State::Sharded(st) => st.drain_reset(&self.compiled),
             State::Probe(st) => st.drain(),
+        };
+        if self.config.telemetry.enabled() {
+            self.emit(TraceEvent::Drained {
+                bag_len: drained.len() as u64,
+            });
         }
+        drained
     }
 
     /// Run until no reaction is enabled anywhere (or the cumulative
@@ -609,16 +748,37 @@ impl Session {
         // this wave so it returns `BudgetExhausted` at a deterministic
         // firing count, letting tests snapshot inside a wave. Folds away
         // without the `fault-inject` feature.
-        if let Some(cap) = WaveFaults::new(&self.config.faults, self.waves_run, 0).pause_at() {
+        if let Some(cap) = WaveFaults::new(
+            &self.config.faults,
+            self.waves_run,
+            0,
+            &self.config.telemetry,
+        )
+        .pause_at()
+        {
             budget = budget.min(cap);
         }
-        let mut wave_stats = ExecStats::new(self.compiled.reactions.len());
+        if self.config.telemetry.enabled() {
+            self.emit(TraceEvent::WaveStart {
+                wave: self.waves_run,
+                engine: engine_desc(&self.config),
+            });
+        }
+        let nreactions = self.compiled.reactions.len();
+        let mut wave_stats = ExecStats::new(nreactions);
+        let mut prof = ProfTimes::new(
+            self.config.profile && matches!(self.config.engine, Engine::Seq),
+            nreactions,
+        );
         let status = match &mut self.state {
             State::Seq { multiset, matcher } => {
                 let ctx = SeqWaveCtx {
                     compiled: &self.compiled,
                     budget,
                     step_base: self.stats.firings_total(),
+                    tel: &self.config.telemetry,
+                    ev: &self.ev,
+                    wave: self.waves_run,
                 };
                 match matcher {
                     SeqMatcher::Rescan { order } => wave_rescan(
@@ -628,6 +788,7 @@ impl Session {
                         self.rng.as_mut(),
                         &mut wave_stats,
                         self.trace.as_mut(),
+                        &mut prof,
                     )?,
                     SeqMatcher::Delta(scheduler) => wave_delta(
                         &ctx,
@@ -636,6 +797,7 @@ impl Session {
                         self.rng.as_mut(),
                         &mut wave_stats,
                         self.trace.as_mut(),
+                        &mut prof,
                     )?,
                     SeqMatcher::Rete(network) => wave_rete(
                         &ctx,
@@ -645,35 +807,36 @@ impl Session {
                         &mut self.scratch,
                         &mut wave_stats,
                         self.trace.as_mut(),
+                        &mut prof,
                     )?,
                 }
             }
             State::Sharded(st) => {
-                let (stats, status) = st.wave(
-                    &self.compiled,
-                    budget,
-                    self.waves_run,
-                    &mut self.par,
-                    &self.config.recovery,
-                    &self.config.faults,
-                )?;
+                let ctl = WaveCtl {
+                    recovery: &self.config.recovery,
+                    faults: &self.config.faults,
+                    tel: &self.config.telemetry,
+                    ev: &self.ev,
+                };
+                let (stats, status) =
+                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par, &ctl)?;
                 wave_stats = stats;
                 status
             }
             State::Probe(st) => {
-                let (stats, status) = st.wave(
-                    &self.compiled,
-                    budget,
-                    self.waves_run,
-                    &mut self.par,
-                    &self.config.recovery,
-                    &self.config.faults,
-                )?;
+                let ctl = WaveCtl {
+                    recovery: &self.config.recovery,
+                    faults: &self.config.faults,
+                    tel: &self.config.telemetry,
+                    ev: &self.ev,
+                };
+                let (stats, status) =
+                    st.wave(&self.compiled, budget, self.waves_run, &mut self.par, &ctl)?;
                 wave_stats = stats;
                 status
             }
         };
-        self.finish_wave(wave_stats, status)
+        self.finish_wave(wave_stats, status, prof)
     }
 
     /// Run one wave in *maximal parallel steps* (each step fires a
@@ -687,7 +850,15 @@ impl Session {
     /// maximal-step semantics is an idealised sequential execution mode.
     pub fn run_to_stable_max_parallel(&mut self) -> Result<(Wave, Vec<usize>), ExecError> {
         let budget = self.budget_left();
-        let mut wave_stats = ExecStats::new(self.compiled.reactions.len());
+        if self.config.telemetry.enabled() {
+            self.emit(TraceEvent::WaveStart {
+                wave: self.waves_run,
+                engine: format!("{}/max-parallel", engine_desc(&self.config)),
+            });
+        }
+        let nreactions = self.compiled.reactions.len();
+        let mut wave_stats = ExecStats::new(nreactions);
+        let mut prof = ProfTimes::new(self.config.profile, nreactions);
         let State::Seq { multiset, matcher } = &mut self.state else {
             panic!("maximal parallel steps are a sequential execution mode (Engine::Seq)");
         };
@@ -695,6 +866,9 @@ impl Session {
             compiled: &self.compiled,
             budget,
             step_base: self.stats.firings_total(),
+            tel: &self.config.telemetry,
+            ev: &self.ev,
+            wave: self.waves_run,
         };
         let (status, profile) = match matcher {
             SeqMatcher::Rescan { order } => wave_rescan_steps(
@@ -704,6 +878,7 @@ impl Session {
                 self.rng.as_mut(),
                 &mut wave_stats,
                 self.trace.as_mut(),
+                &mut prof,
             )?,
             SeqMatcher::Delta(scheduler) => wave_delta_steps(
                 &ctx,
@@ -712,6 +887,7 @@ impl Session {
                 self.rng.as_mut(),
                 &mut wave_stats,
                 self.trace.as_mut(),
+                &mut prof,
             )?,
             SeqMatcher::Rete(network) => wave_rete_steps(
                 &ctx,
@@ -721,14 +897,32 @@ impl Session {
                 &mut self.scratch,
                 &mut wave_stats,
                 self.trace.as_mut(),
+                &mut prof,
             )?,
         };
-        let wave = self.finish_wave(wave_stats, status)?;
+        let wave = self.finish_wave(wave_stats, status, prof)?;
         Ok((wave, profile))
     }
 
-    /// Common wave epilogue: fold counters, notify the observer.
-    fn finish_wave(&mut self, wave_stats: ExecStats, status: Status) -> Result<Wave, ExecError> {
+    /// Common wave epilogue: absorb the wave's per-reaction profile
+    /// observations, emit the wave-aggregate events, fold counters,
+    /// notify the observer.
+    fn finish_wave(
+        &mut self,
+        wave_stats: ExecStats,
+        status: Status,
+        prof: ProfTimes,
+    ) -> Result<Wave, ExecError> {
+        self.absorb_profiles(&wave_stats, &prof);
+        if self.config.telemetry.enabled() {
+            self.emit_wave_aggregates();
+            self.emit(TraceEvent::WaveEnd {
+                wave: self.waves_run,
+                fired: wave_stats.firings_total(),
+                status: format!("{status:?}"),
+            });
+            self.config.telemetry.flush();
+        }
         self.stats.absorb(&wave_stats);
         self.last_status = status;
         self.waves_run += 1;
@@ -741,6 +935,76 @@ impl Session {
             observer(&wave);
         }
         Ok(wave)
+    }
+
+    /// Fold one wave's per-reaction observations into the cumulative
+    /// profile table: fired counts from the wave's stats, guard/token
+    /// counters drained from the live join network (sequential Rete or
+    /// sharded slices), timing from the wave's accumulator.
+    fn absorb_profiles(&mut self, wave_stats: &ExecStats, prof: &ProfTimes) {
+        for (r, &fired) in wave_stats.firings_per_reaction.iter().enumerate() {
+            if let Some(row) = self.profiles.rows.get_mut(r) {
+                row.fired += fired;
+            }
+        }
+        let counters = match &mut self.state {
+            State::Seq {
+                matcher: SeqMatcher::Rete(n),
+                ..
+            } => Some(n.take_reaction_counters()),
+            State::Sharded(st) => Some(st.take_reaction_counters()),
+            _ => None,
+        };
+        if let Some(counters) = counters {
+            for (r, c) in counters.into_iter().enumerate() {
+                if let Some(row) = self.profiles.rows.get_mut(r) {
+                    row.guard_evals += c.guard_evals;
+                    row.guard_rejects += c.guard_rejects;
+                    row.peak_beta_tokens = row.peak_beta_tokens.max(c.peak_tokens);
+                }
+            }
+        }
+        for (r, (m, a)) in prof.match_ns.iter().zip(&prof.action_ns).enumerate() {
+            if let Some(row) = self.profiles.rows.get_mut(r) {
+                row.match_ns += m;
+                row.action_ns += a;
+            }
+        }
+    }
+
+    /// Emit the wave-aggregate matcher events — sequential-Rete spill
+    /// activity and delta-scheduler anchored-confirm searches — as
+    /// deltas against the lifetime counters already reported.
+    fn emit_wave_aggregates(&mut self) {
+        match &self.state {
+            State::Seq {
+                matcher: SeqMatcher::Rete(n),
+                ..
+            } => {
+                let demotions = n.stats.spill_demotions - self.seen_spill.0;
+                let repromotions = n.stats.spill_repromotions - self.seen_spill.1;
+                let lifetime = (n.stats.spill_demotions, n.stats.spill_repromotions);
+                if demotions + repromotions > 0 {
+                    self.emit(TraceEvent::SpillActivity {
+                        demotions,
+                        repromotions,
+                    });
+                }
+                self.seen_spill = lifetime;
+            }
+            State::Seq {
+                matcher: SeqMatcher::Delta(s),
+                ..
+            } => {
+                let searches = s.stats.anchored_confirm_searches - self.seen_confirms;
+                let lifetime = s.stats.anchored_confirm_searches;
+                if searches > 0 {
+                    self.emit(TraceEvent::AnchoredConfirms { searches });
+                }
+                self.seen_confirms = lifetime;
+            }
+            _ => {}
+        }
     }
 
     /// Consume the session: the final multiset, the last wave's status,
@@ -813,6 +1077,89 @@ impl Session {
         }
     }
 
+    /// The cumulative per-reaction execution profiles (see
+    /// [`crate::telemetry`]): firings, guard evaluations/rejects, peak
+    /// beta tokens, and — when [`SessionBuilder::profile`] is on —
+    /// match/action wall-clock totals.
+    pub fn profile(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// Export the session's cumulative counters — execution totals,
+    /// per-reaction profiles, and the live engine's scheduler/network/
+    /// parallel figures — as a [`MetricsRegistry`], renderable as JSON
+    /// ([`MetricsRegistry::to_json`]) or Prometheus text exposition
+    /// ([`MetricsRegistry::to_prometheus`]).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("gamma_waves_total", &[], self.waves_run);
+        reg.counter("gamma_firings_total", &[], self.stats.firings_total());
+        reg.counter("gamma_elements_consumed_total", &[], self.stats.consumed);
+        reg.counter("gamma_elements_produced_total", &[], self.stats.produced);
+        reg.gauge("gamma_bag_len", &[], self.bag_len() as f64);
+        for row in &self.profiles.rows {
+            let labels: &[(&str, &str)] = &[("reaction", row.name.as_str())];
+            reg.counter("gamma_reaction_fired_total", labels, row.fired);
+            reg.counter("gamma_reaction_guard_evals_total", labels, row.guard_evals);
+            reg.counter(
+                "gamma_reaction_guard_rejects_total",
+                labels,
+                row.guard_rejects,
+            );
+            reg.counter("gamma_reaction_match_ns_total", labels, row.match_ns);
+            reg.counter("gamma_reaction_action_ns_total", labels, row.action_ns);
+            reg.gauge(
+                "gamma_reaction_peak_beta_tokens",
+                labels,
+                row.peak_beta_tokens as f64,
+            );
+        }
+        if matches!(self.config.engine, Engine::Parallel(_)) {
+            let par = self.par_stats();
+            reg.counter("gamma_par_claim_failures_total", &[], par.claim_failures);
+            reg.counter(
+                "gamma_par_deltas_published_total",
+                &[],
+                par.deltas_published,
+            );
+            reg.counter(
+                "gamma_par_deltas_processed_total",
+                &[],
+                par.deltas_processed,
+            );
+            reg.counter("gamma_par_stolen_firings_total", &[], par.stolen_firings);
+            reg.counter("gamma_par_steal_misses_total", &[], par.steal_misses);
+            reg.counter("gamma_par_workers_lost_total", &[], par.workers_lost);
+            reg.counter("gamma_par_waves_replayed_total", &[], par.waves_replayed);
+            reg.counter("gamma_par_degraded_waves_total", &[], par.degraded_waves);
+        }
+        if let Some(s) = self.sched_stats() {
+            reg.counter("gamma_sched_full_searches_total", &[], s.full_searches);
+            reg.counter("gamma_sched_anchored_probes_total", &[], s.anchored_probes);
+            reg.counter(
+                "gamma_sched_anchored_confirms_total",
+                &[],
+                s.anchored_confirm_searches,
+            );
+        }
+        if let Some(r) = self.rete_stats() {
+            reg.counter("gamma_rete_tokens_created_total", &[], r.tokens_created);
+            reg.counter("gamma_rete_guard_rejects_total", &[], r.guard_rejects);
+            reg.counter("gamma_rete_spill_demotions_total", &[], r.spill_demotions);
+            reg.counter(
+                "gamma_rete_spill_repromotions_total",
+                &[],
+                r.spill_repromotions,
+            );
+            reg.gauge(
+                "gamma_rete_peak_live_tokens",
+                &[],
+                r.peak_live_tokens as f64,
+            );
+        }
+        reg
+    }
+
     /// Capture everything needed to resurrect this session in another
     /// process: configuration, the live multiset, the key directory,
     /// wave/trace counters, cumulative stats, and the selection-RNG
@@ -837,6 +1184,12 @@ impl Session {
             State::Sharded(st) => (st.snapshot(), st.directory_export()),
             State::Probe(st) => (st.snapshot(), st.directory_export()),
         };
+        if self.config.telemetry.enabled() {
+            self.emit(TraceEvent::SnapshotTaken {
+                waves_run: self.waves_run,
+                bag_len: bag.len() as u64,
+            });
+        }
         SessionSnapshot {
             version: SNAPSHOT_VERSION,
             reactions: self.compiled.reactions.len(),
@@ -851,6 +1204,7 @@ impl Session {
             rng: self.rng.as_ref().map(|r| r.state()),
             sched: self.sched_stats(),
             rete: self.rete_stats(),
+            profiles: self.profiles.clone(),
         }
     }
 
@@ -879,7 +1233,13 @@ impl Session {
                 snapshot.reactions
             )));
         }
-        let config = snapshot.config;
+        let mut config = snapshot.config;
+        if !config.telemetry.enabled() {
+            // A snapshot that crossed serde carries no sink (telemetry
+            // serializes as null); honour GAMMAFLOW_TRACE on the restore
+            // side. An in-process snapshot keeps its live handle.
+            config.telemetry = Telemetry::from_env();
+        }
         let rng = match (config.engine, config.selection) {
             (Engine::Seq, Selection::Seeded(seed)) => Some(match snapshot.rng {
                 Some(s) => ChaCha8Rng::from_state(s),
@@ -935,7 +1295,19 @@ impl Session {
                 State::Probe(st)
             }
         };
-        Ok(Session {
+        // Wave-aggregate baselines: restored matcher stats start at the
+        // snapshot's lifetime figures, so deltas resume from there.
+        let seen_spill = snapshot
+            .rete
+            .as_ref()
+            .map(|r| (r.spill_demotions, r.spill_repromotions))
+            .unwrap_or((0, 0));
+        let seen_confirms = snapshot
+            .sched
+            .as_ref()
+            .map(|s| s.anchored_confirm_searches)
+            .unwrap_or(0);
+        let session = Session {
             compiled,
             config,
             state,
@@ -947,13 +1319,46 @@ impl Session {
             last_status: snapshot.last_status,
             waves_run: snapshot.waves_run,
             observer: None,
-        })
+            ev: Cell::new(0),
+            profiles: snapshot.profiles,
+            seen_spill,
+            seen_confirms,
+        };
+        if session.config.telemetry.enabled() {
+            session.emit(TraceEvent::SessionRestored {
+                waves_run: session.waves_run,
+                bag_len: session.bag_len() as u64,
+            });
+        }
+        session.emit_build_events();
+        Ok(session)
+    }
+}
+
+/// One-line engine descriptor for `WaveStart` events, e.g.
+/// `seq/rete` or `parallel/sharded-rete/4`.
+fn engine_desc(config: &EngineConfig) -> String {
+    match config.engine {
+        Engine::Seq => match config.scheduling {
+            Scheduling::Rescan => "seq/rescan".to_string(),
+            Scheduling::Delta => "seq/delta".to_string(),
+            Scheduling::Rete => "seq/rete".to_string(),
+        },
+        Engine::Parallel(ParEngine::ShardedRete) => {
+            format!("parallel/sharded-rete/{}", config.workers)
+        }
+        Engine::Parallel(ParEngine::ProbeRetry) => {
+            format!("parallel/probe-retry/{}", config.workers)
+        }
     }
 }
 
 /// Current [`SessionSnapshot`] format version; bumped whenever the
 /// snapshot shape changes incompatibly.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: v1 had no `profiles` field; v2 added the per-reaction
+/// profile table.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A serializable point-in-time capture of a [`Session`], produced by
 /// [`Session::snapshot_state`] and consumed by [`Session::restore`]. See
@@ -991,6 +1396,9 @@ pub struct SessionSnapshot {
     pub sched: Option<SchedStats>,
     /// Cumulative join-network counters, when Rete scheduling ran.
     pub rete: Option<ReteStats>,
+    /// Cumulative per-reaction execution profiles (see
+    /// [`crate::telemetry`]).
+    pub profiles: ProfileTable,
 }
 
 /// Per-wave context shared by the sequential loops.
@@ -1002,6 +1410,12 @@ struct SeqWaveCtx<'a> {
     /// Global step offset for trace records (the trace numbers firings
     /// continuously across waves).
     step_base: u64,
+    /// Telemetry handle for `Firing` events.
+    tel: &'a Telemetry,
+    /// The session's main-thread event counter.
+    ev: &'a Cell<u64>,
+    /// Wave index stamped on emitted records.
+    wave: u64,
 }
 
 impl SeqWaveCtx<'_> {
@@ -1009,16 +1423,28 @@ impl SeqWaveCtx<'_> {
         &self,
         firing: &Firing,
         fired: u64,
+        match_ns: u64,
         stats: &mut ExecStats,
         trace: &mut Option<&mut Vec<FiringRecord>>,
     ) {
         stats.record_firing(firing.reaction, firing);
+        let name = &self.compiled.reactions[firing.reaction].name;
         if let Some(t) = trace.as_mut() {
             t.push(FiringRecord::from_firing(
                 self.step_base + fired,
-                &self.compiled.reactions[firing.reaction].name,
+                name,
                 firing,
             ));
+        }
+        if self.tel.enabled() {
+            let wseq = self.ev.get();
+            self.ev.set(wseq + 1);
+            self.tel.emit(
+                MAIN_WORKER,
+                wseq,
+                self.wave,
+                firing_event(name, firing, match_ns, false),
+            );
         }
     }
 }
@@ -1040,6 +1466,7 @@ fn wave_rescan(
     mut rng: Option<&mut ChaCha8Rng>,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<Status, ExecError> {
     let mut fired = 0u64;
     loop {
@@ -1049,11 +1476,14 @@ fn wave_rescan(
         if let Some(r) = rng.as_deref_mut() {
             order.shuffle(r);
         }
+        let m0 = prof.begin();
         match ctx.compiled.find_any(order, multiset, rng.as_deref_mut())? {
             None => return Ok(Status::Stable),
             Some(firing) => {
+                let a0 = prof.begin();
                 apply(multiset, &firing);
-                ctx.record(&firing, fired, stats, &mut trace);
+                let match_ns = prof.note(firing.reaction, m0, a0);
+                ctx.record(&firing, fired, match_ns, stats, &mut trace);
                 fired += 1;
             }
         }
@@ -1070,6 +1500,7 @@ fn wave_delta(
     mut rng: Option<&mut ChaCha8Rng>,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<Status, ExecError> {
     // Anchored probes are trace-preserving in both modes; see
     // `DeltaScheduler::next_firing`.
@@ -1079,12 +1510,15 @@ fn wave_delta(
         if fired >= ctx.budget {
             return Ok(Status::BudgetExhausted);
         }
+        let m0 = prof.begin();
         match scheduler.next_firing(ctx.compiled, multiset, rng.as_deref_mut())? {
             None => return Ok(Status::Stable),
             Some(firing) => {
+                let a0 = prof.begin();
                 apply(multiset, &firing);
                 scheduler.on_fired(&firing, use_anchors);
-                ctx.record(&firing, fired, stats, &mut trace);
+                let match_ns = prof.note(firing.reaction, m0, a0);
+                ctx.record(&firing, fired, match_ns, stats, &mut trace);
                 fired += 1;
             }
         }
@@ -1139,6 +1573,7 @@ fn rete_seeded_fallback(
 /// from the same deterministic index search, so the firing trace is
 /// identical to the rescanning reference by construction. Under seeded
 /// selection the firing is read straight off a random terminal token.
+#[allow(clippy::too_many_arguments)]
 fn wave_rete(
     ctx: &SeqWaveCtx<'_>,
     multiset: &mut ElementBag,
@@ -1147,12 +1582,14 @@ fn wave_rete(
     scratch: &mut SearchScratch,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<Status, ExecError> {
     let mut fired = 0u64;
     let status = loop {
         if fired >= ctx.budget {
             break Status::BudgetExhausted;
         }
+        let m0 = prof.begin();
         let picked = match rng.as_deref_mut() {
             None => network.first_ready(ctx.compiled, multiset),
             Some(r) => network.pick_ready(ctx.compiled, multiset, r),
@@ -1174,9 +1611,11 @@ fn wave_rete(
                 None => break Status::Stable,
             },
         };
+        let a0 = prof.begin();
         apply(multiset, &firing);
         network.on_firing_applied(ctx.compiled, multiset, &firing);
-        ctx.record(&firing, fired, stats, &mut trace);
+        let match_ns = prof.note(firing.reaction, m0, a0);
+        ctx.record(&firing, fired, match_ns, stats, &mut trace);
         fired += 1;
     };
 
@@ -1200,6 +1639,7 @@ fn wave_rete(
 /// network as they are removed (the visible multiset shrinks within a
 /// step), and withheld products are fed at the step barrier together
 /// with their insertion.
+#[allow(clippy::too_many_arguments)]
 fn wave_rete_steps(
     ctx: &SeqWaveCtx<'_>,
     multiset: &mut ElementBag,
@@ -1208,6 +1648,7 @@ fn wave_rete_steps(
     scratch: &mut SearchScratch,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<(Status, Vec<usize>), ExecError> {
     let mut profile = Vec::new();
     let mut fired = 0u64;
@@ -1229,6 +1670,7 @@ fn wave_rete_steps(
                 }
                 break 'outer Status::BudgetExhausted;
             }
+            let m0 = prof.begin();
             let picked = match rng.as_deref_mut() {
                 None => network.first_ready(ctx.compiled, multiset),
                 Some(r) => network.pick_ready(ctx.compiled, multiset, r),
@@ -1251,10 +1693,12 @@ fn wave_rete_steps(
                     None => break,
                 },
             };
+            let a0 = prof.begin();
             let ok = multiset.remove_all(&firing.consumed);
             debug_assert!(ok);
             network.on_removed(ctx.compiled, multiset, &firing.consumed);
-            ctx.record(&firing, fired, stats, &mut trace);
+            let match_ns = prof.note(firing.reaction, m0, a0);
+            ctx.record(&firing, fired, match_ns, stats, &mut trace);
             fired += 1;
             fired_this_step += 1;
             products.push(firing);
@@ -1287,6 +1731,7 @@ fn wave_delta_steps(
     mut rng: Option<&mut ChaCha8Rng>,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<(Status, Vec<usize>), ExecError> {
     // Trace-preserving in both modes; see `wave_delta`.
     let use_anchors = true;
@@ -1308,13 +1753,16 @@ fn wave_delta_steps(
                 }
                 break 'outer Status::BudgetExhausted;
             }
+            let m0 = prof.begin();
             match scheduler.next_firing(ctx.compiled, multiset, rng.as_deref_mut())? {
                 None => break,
                 Some(firing) => {
+                    let a0 = prof.begin();
                     let ok = multiset.remove_all(&firing.consumed);
                     debug_assert!(ok);
                     scheduler.on_fired_consumed_only(&firing);
-                    ctx.record(&firing, fired, stats, &mut trace);
+                    let match_ns = prof.note(firing.reaction, m0, a0);
+                    ctx.record(&firing, fired, match_ns, stats, &mut trace);
                     fired += 1;
                     fired_this_step += 1;
                     products.push(firing);
@@ -1344,6 +1792,7 @@ fn wave_rescan_steps(
     mut rng: Option<&mut ChaCha8Rng>,
     stats: &mut ExecStats,
     mut trace: Option<&mut Vec<FiringRecord>>,
+    prof: &mut ProfTimes,
 ) -> Result<(Status, Vec<usize>), ExecError> {
     let mut profile = Vec::new();
     let mut fired = 0u64;
@@ -1369,12 +1818,15 @@ fn wave_rescan_steps(
             if let Some(r) = rng.as_deref_mut() {
                 order.shuffle(r);
             }
+            let m0 = prof.begin();
             match ctx.compiled.find_any(order, multiset, rng.as_deref_mut())? {
                 None => break,
                 Some(firing) => {
+                    let a0 = prof.begin();
                     let ok = multiset.remove_all(&firing.consumed);
                     debug_assert!(ok);
-                    ctx.record(&firing, fired, stats, &mut trace);
+                    let match_ns = prof.note(firing.reaction, m0, a0);
+                    ctx.record(&firing, fired, match_ns, stats, &mut trace);
                     fired += 1;
                     fired_this_step += 1;
                     products.push(firing);

@@ -77,15 +77,22 @@ impl ExecStats {
 
     /// Merge another stats block (pipelines, parallel workers).
     pub fn absorb(&mut self, other: &ExecStats) {
-        if self.firings_per_reaction.len() < other.firings_per_reaction.len() {
+        // Exhaustive destructuring: a new counter without a merge rule is
+        // a compile error, not a silently dropped field.
+        let ExecStats {
+            firings_per_reaction,
+            consumed,
+            produced,
+        } = other;
+        if self.firings_per_reaction.len() < firings_per_reaction.len() {
             self.firings_per_reaction
-                .resize(other.firings_per_reaction.len(), 0);
+                .resize(firings_per_reaction.len(), 0);
         }
-        for (i, &c) in other.firings_per_reaction.iter().enumerate() {
+        for (i, &c) in firings_per_reaction.iter().enumerate() {
             self.firings_per_reaction[i] += c;
         }
-        self.consumed += other.consumed;
-        self.produced += other.produced;
+        self.consumed += consumed;
+        self.produced += produced;
     }
 }
 

@@ -17,10 +17,11 @@
 
 use gammaflow::gamma::{
     Engine, ExecError, Fault, FaultPlan, OnExhausted, ParEngine, ParError, RecoveryPolicy,
-    SeqInterpreter, Session, SessionSnapshot, Status,
+    RingSink, SeqInterpreter, Session, SessionSnapshot, Status, TraceEvent,
 };
 use gammaflow::multiset::ElementBag;
 use gammaflow::workloads::cross_sum;
+use std::sync::Arc;
 
 /// The fault-free sequential reference final for `cross_sum(n)`.
 fn reference_final(n: i64) -> ElementBag {
@@ -302,5 +303,78 @@ fn pause_mid_wave_snapshot_restore_finishes_exactly() {
             reference,
             "{engine:?}: restore after a mid-wave pause diverged"
         );
+    }
+}
+
+/// Recovery is observable: with a trace sink attached, the quarantine /
+/// replay / degrade events in the stream reconcile exactly with the
+/// [`ParStats`](gammaflow::gamma::ParStats) recovery counters, and the
+/// armed fault announces itself with a `fault_tripped` record before the
+/// panic unwinds.
+#[test]
+fn recovery_events_reconcile_with_par_stats() {
+    let w = cross_sum(32);
+    let reference = reference_final(32);
+    for engine in [ParEngine::ShardedRete, ParEngine::ProbeRetry] {
+        let ring = Arc::new(RingSink::new(1 << 20));
+        let plan = FaultPlan {
+            persistent: true,
+            ..FaultPlan::single(
+                0,
+                Fault::WorkerPanic {
+                    worker: 0,
+                    at_firing: 1,
+                },
+            )
+        };
+        let mut session = Session::build(&w.program)
+            .engine(Engine::Parallel(engine))
+            .workers(1)
+            .faults(plan)
+            .recovery(RecoveryPolicy {
+                max_replays: 2,
+                on_exhausted: OnExhausted::DegradeToSeq,
+            })
+            .trace_sink(ring.clone())
+            .start(w.initial.clone())
+            .expect("program compiles");
+        let wv = session.run_to_stable().expect("degraded wave completes");
+        assert_eq!(wv.status, Status::Stable, "{engine:?}");
+        let result = session.finish_parallel();
+        assert_eq!(result.exec.multiset, reference, "{engine:?}");
+        assert_eq!(ring.dropped(), 0, "{engine:?}: ring must not drop");
+
+        let records = ring.records();
+        let mut tripped = 0u64;
+        let mut lost = 0u64;
+        let mut replayed = 0u64;
+        let mut degraded = 0u64;
+        for r in &records {
+            match &r.event {
+                TraceEvent::FaultTripped { .. } => tripped += 1,
+                TraceEvent::WaveQuarantined { workers_lost, .. } => lost += workers_lost,
+                TraceEvent::WaveReplayed { .. } => replayed += 1,
+                TraceEvent::DegradedToSeq { .. } => degraded += 1,
+                _ => {}
+            }
+        }
+        assert!(tripped >= 1, "{engine:?}: the armed fault must announce");
+        assert_eq!(
+            lost, result.par.workers_lost,
+            "{engine:?}: quarantine events must carry every lost worker"
+        );
+        assert_eq!(
+            replayed, result.par.waves_replayed,
+            "{engine:?}: one replay event per counted replay"
+        );
+        assert_eq!(
+            degraded, result.par.degraded_waves,
+            "{engine:?}: one degrade event per degraded wave"
+        );
+        // The persistent single-worker panic makes the exact shape known:
+        // initial attempt + 2 replays all die, then the degrade.
+        assert_eq!(lost, 3, "{engine:?}");
+        assert_eq!(replayed, 2, "{engine:?}");
+        assert_eq!(degraded, 1, "{engine:?}");
     }
 }
