@@ -2,8 +2,8 @@
 //! per-experiment index (E1–E6, P1–P5) plus the scheduler benchmarks
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
 //! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`,
-//! S6 → `BENCH_recovery.json`, S7 → `BENCH_observability.json`) and
-//! prints them in one run.
+//! S6 → `BENCH_recovery.json`, S7 → `BENCH_observability.json`,
+//! S8 → `BENCH_vm.json`) and prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -1785,6 +1785,184 @@ fn s7() {
     println!("wrote BENCH_observability.json");
 }
 
+// ------------------------------------------------------------------ S8 ----
+
+/// One workload's three-way guard-dispatch comparison in BENCH_vm.json:
+/// the same two-wave session driven with tree-walk guards, baseline
+/// bytecode (tiering disabled), and profile-driven tiering (threshold 1,
+/// so every profiled reaction re-compiles at the first wave boundary and
+/// the bulk wave runs at the optimised tier).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct VmRow {
+    workload: String,
+    firings: u64,
+    guard_evals: u64,
+    tree: EngineRow,
+    vm: EngineRow,
+    tiered: EngineRow,
+    vm_speedup_vs_tree: f64,
+    tiered_speedup_vs_tree: f64,
+    tree_guard_evals_per_sec: f64,
+    vm_guard_evals_per_sec: f64,
+    tiered_guard_evals_per_sec: f64,
+    tier_ups: u64,
+    identical_final_multiset: bool,
+}
+
+/// The BENCH_vm.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct VmReport {
+    bench: String,
+    rows: Vec<VmRow>,
+}
+
+fn vm_fps_series(rows: &[VmRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                (format!("{}/tree", r.workload), r.tree.firings_per_sec),
+                (format!("{}/vm", r.workload), r.vm.firings_per_sec),
+                (format!("{}/tiered", r.workload), r.tiered.firings_per_sec),
+            ]
+        })
+        .collect()
+}
+
+/// S8: guard-dispatch cost — the `Expr` tree walk vs the baseline
+/// bytecode VM vs profile-driven tiered re-compilation, on the
+/// guard-heavy workloads (the sieves spend most of their matcher time
+/// in guard conjuncts; the n² cross product stresses the Rete pushdown
+/// chunks). Each series drives the identical two-wave schedule — an
+/// eighth of the bag first, then the rest — so the tiered run crosses
+/// its threshold at the first wave boundary and executes the bulk wave
+/// at the optimised tier. Every run must land on the workload's
+/// self-check multiset with a mode-independent firing count. Results go
+/// to `BENCH_vm.json`.
+fn s8() {
+    use gammaflow_gamma::{GuardEvalMode, Scheduling, Selection, Session, Status};
+    use gammaflow_workloads::{cross_sum, divisor_sieve, Workload};
+    banner("S8", "Guard VM: tree-walk vs bytecode vs tiered re-compile");
+
+    let workloads: Vec<Workload> = vec![primes(2_000), divisor_sieve(2_000), cross_sum(400)];
+    println!(
+        "{:<20} {:>9} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "workload", "firings", "guards", "tree f/s", "vm f/s", "tiered f/s", "vm x", "tier x"
+    );
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        // The identical two-wave schedule for every series: enough work
+        // in wave 1 to cross the threshold, the bulk in wave 2.
+        let elements = w.initial.sorted_elements();
+        let (head, tail) = elements.split_at((elements.len() / 8).max(1));
+
+        let drive = |mode: GuardEvalMode, threshold: u64| -> (f64, u64, u64, u64) {
+            let t = Instant::now();
+            let mut session = Session::build(&w.program)
+                .scheduling(Scheduling::Rete)
+                .selection(Selection::Seeded(1))
+                .guard_eval(mode)
+                .vm_tier_threshold(threshold)
+                .start(ElementBag::new())
+                .expect("program compiles");
+            for wave in [head, tail] {
+                let _ = session.inject(wave.iter().cloned());
+                let wv = session.run_to_stable().expect("wave runs");
+                assert_eq!(wv.status, Status::Stable, "{}", w.name);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            let guard_evals: u64 = session.profile().rows.iter().map(|r| r.guard_evals).sum();
+            let tier_ups = session.vm_tier_ups();
+            let result = session.finish();
+            assert_eq!(
+                result.multiset, w.expected,
+                "{}: final must match the self-check",
+                w.name
+            );
+            (secs, result.stats.firings_total(), guard_evals, tier_ups)
+        };
+
+        // Median of three drives per series; the counters are identical
+        // across repeats (same seed, same schedule), so keep the last.
+        let series = |mode: GuardEvalMode, threshold: u64| -> (f64, u64, u64, u64) {
+            let mut secs = Vec::new();
+            let mut counts = (0u64, 0u64, 0u64);
+            for _ in 0..3 {
+                let (s, firings, guards, tier_ups) = drive(mode, threshold);
+                secs.push(s);
+                counts = (firings, guards, tier_ups);
+            }
+            secs.sort_by(f64::total_cmp);
+            (secs[secs.len() / 2], counts.0, counts.1, counts.2)
+        };
+
+        let (tree_s, firings, guard_evals, tree_tier_ups) = series(GuardEvalMode::Tree, 1);
+        let (vm_s, vm_firings, vm_guards, vm_tier_ups) = series(GuardEvalMode::Vm, u64::MAX);
+        let (tiered_s, tiered_firings, tiered_guards, tier_ups) = series(GuardEvalMode::Vm, 1);
+        assert_eq!(tree_tier_ups, 0, "{}: tree mode must never tier", w.name);
+        assert_eq!(vm_tier_ups, 0, "{}: threshold MAX must never tier", w.name);
+        assert!(tier_ups > 0, "{}: threshold 1 must tier up", w.name);
+        assert_eq!(
+            vm_firings, firings,
+            "{}: firings are mode-independent",
+            w.name
+        );
+        assert_eq!(tiered_firings, firings, "{}", w.name);
+        assert_eq!(
+            vm_guards, guard_evals,
+            "{}: guard counters conserve",
+            w.name
+        );
+        assert_eq!(tiered_guards, guard_evals, "{}", w.name);
+
+        let row = |secs: f64| EngineRow {
+            seconds: secs,
+            firings,
+            firings_per_sec: firings as f64 / secs,
+        };
+        let (tree, vm, tiered) = (row(tree_s), row(vm_s), row(tiered_s));
+        println!(
+            "{:<20} {:>9} {:>11} {:>11.0} {:>11.0} {:>11.0} {:>7.2}x {:>7.2}x",
+            w.name,
+            firings,
+            guard_evals,
+            tree.firings_per_sec,
+            vm.firings_per_sec,
+            tiered.firings_per_sec,
+            vm.firings_per_sec / tree.firings_per_sec,
+            tiered.firings_per_sec / tree.firings_per_sec,
+        );
+        rows.push(VmRow {
+            workload: w.name.to_string(),
+            firings,
+            guard_evals,
+            vm_speedup_vs_tree: vm.firings_per_sec / tree.firings_per_sec,
+            tiered_speedup_vs_tree: tiered.firings_per_sec / tree.firings_per_sec,
+            tree_guard_evals_per_sec: guard_evals as f64 / tree_s,
+            vm_guard_evals_per_sec: guard_evals as f64 / vm_s,
+            tiered_guard_evals_per_sec: guard_evals as f64 / tiered_s,
+            tree,
+            vm,
+            tiered,
+            tier_ups,
+            identical_final_multiset: true,
+        });
+    }
+
+    let baseline: Vec<(String, f64)> = read_baseline::<VmReport>("BENCH_vm.json")
+        .map(|old| vm_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions("BENCH_vm.json", &baseline, &vm_fps_series(&rows));
+
+    let report = VmReport {
+        bench: "vm".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("wrote BENCH_vm.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -1845,6 +2023,9 @@ fn main() {
     }
     if want("S7") {
         s7();
+    }
+    if want("S8") {
+        s8();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

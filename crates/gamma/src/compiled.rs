@@ -23,6 +23,7 @@ use crate::spec::{
     ByClause, ElementSpec, GammaProgram, Guard, LabelPat, LabelSpec, Pattern, ReactionSpec,
     SpecError, TagPat, TagSpec, ValuePat,
 };
+use crate::vm::{ClauseGuardChunk, GuardEvalMode, OutputChunks, ReactionVm, Tier};
 use gammaflow_multiset::{Element, ElementBag, FxHashMap, Symbol, Tag, Value};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
@@ -330,6 +331,9 @@ pub struct CompiledReaction {
     positions: Vec<CompiledPattern>,
     /// Search order: indices into `positions` (== replace-list order).
     order: Vec<usize>,
+    /// Compiled bytecode for guards and actions, with tier state
+    /// (see [`crate::vm`]).
+    vm: ReactionVm,
 }
 
 /// Greedy guard-coverage join-order planner.
@@ -464,14 +468,49 @@ impl CompiledReaction {
         let order = plan_join_order(&positions, &conjunct_slots);
 
         let nvars = var_index.len();
-        Ok(CompiledReaction {
+        let mut cr = CompiledReaction {
             name: spec.name.clone(),
             spec: spec.clone(),
             var_index,
             nvars,
             positions,
             order,
-        })
+            vm: ReactionVm::placeholder(),
+        };
+        // The VM compiles per-level conjunct chunks off the guard plan, so
+        // build the plan first (it needs the join order computed above).
+        let plan = cr.guard_plan();
+        cr.vm = ReactionVm::new(&cr.spec, &plan, &cr.var_index);
+        Ok(cr)
+    }
+
+    /// The guard/action evaluation mode this reaction dispatches under.
+    pub fn guard_eval_mode(&self) -> GuardEvalMode {
+        self.vm.mode()
+    }
+
+    /// Set the evaluation mode (the session stamps its configured mode
+    /// onto every reaction before building matcher state).
+    pub fn set_guard_eval_mode(&mut self, mode: GuardEvalMode) {
+        self.vm.set_mode(mode);
+    }
+
+    /// The reaction's current VM tier.
+    pub fn vm_tier(&self) -> Tier {
+        self.vm.tier()
+    }
+
+    /// Re-compile this reaction's chunks at the optimising tier. Returns
+    /// `true` on the baseline → optimised transition. Sessions call this
+    /// at wave boundaries only, so in-flight waves never change tier.
+    pub fn vm_tier_up(&mut self) -> bool {
+        let plan = self.guard_plan();
+        self.vm.tier_up(&self.spec, &plan, &self.var_index)
+    }
+
+    /// The compiled VM state (rete guard dispatch reads chunks off this).
+    pub(crate) fn vm(&self) -> &ReactionVm {
+        &self.vm
     }
 
     /// The source spec.
@@ -595,6 +634,37 @@ impl CompiledReaction {
             let guards: Vec<String> = disj.iter().map(|c| c.to_string()).collect();
             let _ = writeln!(out, "  terminal: some of [{}]", guards.join(", "));
         }
+        // Disassembly of the active tier's guard chunks — what actually
+        // dispatches when the VM mode is on.
+        let cs = self.vm.active();
+        let _ = writeln!(out, "  bytecode ({:?} tier):", self.vm.tier());
+        let mut section = |title: String, chunk: &crate::vm::Chunk| {
+            let _ = writeln!(out, "    {title}:");
+            for line in chunk.disassemble().lines() {
+                let _ = writeln!(out, "      {line}");
+            }
+        };
+        for (k, gs) in cs.level_conjuncts.iter().enumerate() {
+            for (i, c) in gs.iter().enumerate() {
+                section(format!("level {k} conjunct {i}"), c);
+            }
+        }
+        if let Some(w) = &cs.where_full {
+            section("where (terminal)".to_string(), w);
+        }
+        for (ci, g) in cs.clause_guards.iter().enumerate() {
+            if let ClauseGuardChunk::If(c) = g {
+                section(format!("clause {ci} guard"), c);
+            }
+        }
+        for (ci, outs) in cs.clause_outputs.iter().enumerate() {
+            for (oi, oc) in outs.iter().enumerate() {
+                section(format!("clause {ci} output {oi} value"), &oc.value);
+                if let Some(t) = &oc.tag {
+                    section(format!("clause {ci} output {oi} tag"), t);
+                }
+            }
+        }
         out
     }
 
@@ -656,12 +726,7 @@ impl CompiledReaction {
         if depth == self.order.len() {
             // Full tuple bound: check `where`, then that some clause guard
             // holds. Condition evaluation errors mean "not enabled".
-            if let Some(w) = &self.spec.where_cond {
-                if !w.eval_bool(bindings).unwrap_or(false) {
-                    return Ok(false);
-                }
-            }
-            return Ok(self.enabled_clause(bindings).is_some());
+            return Ok(self.accept(bindings));
         }
         let pos_idx = self.order[depth];
         let pat = &self.positions[pos_idx];
@@ -844,9 +909,21 @@ impl CompiledReaction {
     /// Full-tuple acceptance: `where` condition plus some enabled clause.
     /// Condition evaluation errors mean "not enabled", as in [`Self::search`].
     fn accept(&self, bindings: &Bindings<'_>) -> bool {
-        if let Some(w) = &self.spec.where_cond {
-            if !w.eval_bool(bindings).unwrap_or(false) {
-                return false;
+        match self.vm.mode() {
+            GuardEvalMode::Vm => {
+                let cs = self.vm.active();
+                if let Some(w) = &cs.where_full {
+                    if !w.eval_guard(&bindings.slots, &[]) {
+                        return false;
+                    }
+                }
+            }
+            GuardEvalMode::Tree => {
+                if let Some(w) = &self.spec.where_cond {
+                    if !w.eval_bool(bindings).unwrap_or(false) {
+                        return false;
+                    }
+                }
             }
         }
         self.enabled_clause(bindings).is_some()
@@ -1354,6 +1431,20 @@ impl CompiledReaction {
 
     /// Index of the first clause whose guard holds under `bindings`, if any.
     fn enabled_clause(&self, bindings: &Bindings<'_>) -> Option<usize> {
+        if self.vm.mode() == GuardEvalMode::Vm {
+            let cs = self.vm.active();
+            for (i, g) in cs.clause_guards.iter().enumerate() {
+                match g {
+                    ClauseGuardChunk::Total => return Some(i),
+                    ClauseGuardChunk::If(cond) => {
+                        if cond.eval_guard(&bindings.slots, &[]) {
+                            return Some(i);
+                        }
+                    }
+                }
+            }
+            return None;
+        }
         for (i, c) in self.spec.clauses.iter().enumerate() {
             match &c.guard {
                 Guard::Always | Guard::Else => return Some(i),
@@ -1376,34 +1467,45 @@ impl CompiledReaction {
             return Ok(None);
         };
         let clause: &ByClause = &self.spec.clauses[clause_idx];
+        let vm_outputs = match self.vm.mode() {
+            GuardEvalMode::Vm => Some(&self.vm.active().clause_outputs[clause_idx]),
+            GuardEvalMode::Tree => None,
+        };
         let mut produced = Vec::with_capacity(clause.outputs.len());
-        for out in &clause.outputs {
-            produced.push(self.eval_output(out, bindings)?);
+        for (oi, out) in clause.outputs.iter().enumerate() {
+            produced.push(self.eval_output(out, vm_outputs.map(|os| &os[oi]), bindings)?);
         }
         Ok(Some((clause_idx, produced)))
     }
 
+    /// Evaluate one output element. With `vm_out`, the value/label/tag
+    /// expressions dispatch as bytecode; the surrounding conversions (and
+    /// so every error payload) are shared with the tree path.
     fn eval_output(
         &self,
         out: &ElementSpec,
+        vm_out: Option<&OutputChunks>,
         bindings: &Bindings<'_>,
     ) -> Result<Element, MatchError> {
-        let value = out
-            .value
-            .eval(bindings)
-            .map_err(|error| MatchError::Action {
-                reaction: self.name.clone(),
-                error,
-            })?;
+        let value = match vm_out {
+            Some(oc) => oc.value.eval(&bindings.slots, &[]),
+            None => out.value.eval(bindings),
+        }
+        .map_err(|error| MatchError::Action {
+            reaction: self.name.clone(),
+            error,
+        })?;
         let label = match &out.label {
             LabelSpec::Lit(l) => *l,
             LabelSpec::Var(v) => {
-                let lv = Expr::Var(*v)
-                    .eval(bindings)
-                    .map_err(|error| MatchError::Action {
-                        reaction: self.name.clone(),
-                        error,
-                    })?;
+                let lv = match vm_out.and_then(|oc| oc.label_var.as_ref()) {
+                    Some(c) => c.eval(&bindings.slots, &[]),
+                    None => Expr::Var(*v).eval(bindings),
+                }
+                .map_err(|error| MatchError::Action {
+                    reaction: self.name.clone(),
+                    error,
+                })?;
                 match lv {
                     Value::Str(s) => Symbol::intern(&s),
                     other => {
@@ -1418,7 +1520,11 @@ impl CompiledReaction {
         let tag = match &out.tag {
             TagSpec::Zero => Tag::ZERO,
             TagSpec::Expr(e) => {
-                let tv = e.eval(bindings).map_err(|error| MatchError::Action {
+                let tv = match vm_out.and_then(|oc| oc.tag.as_ref()) {
+                    Some(c) => c.eval(&bindings.slots, &[]),
+                    None => e.eval(bindings),
+                }
+                .map_err(|error| MatchError::Action {
                     reaction: self.name.clone(),
                     error,
                 })?;
@@ -1461,6 +1567,14 @@ impl CompiledProgram {
             }
         }
         Ok(CompiledProgram { reactions })
+    }
+
+    /// Stamp every reaction's guard/action evaluation mode (sessions call
+    /// this once before building matcher state).
+    pub fn set_guard_eval_mode(&mut self, mode: GuardEvalMode) {
+        for r in &mut self.reactions {
+            r.set_guard_eval_mode(mode);
+        }
     }
 
     /// Find any enabled firing in `bag`, trying reactions in `order`

@@ -90,6 +90,7 @@ pub mod session;
 pub mod spec;
 pub mod telemetry;
 pub mod trace;
+pub mod vm;
 
 pub use compiled::{
     CompiledProgram, CompiledReaction, Firing, GuardPlan, MatchError, MatchSource, SearchScratch,
@@ -122,3 +123,4 @@ pub use telemetry::{
     Telemetry, TraceEvent, TraceRecord, TraceSink, MAIN_WORKER,
 };
 pub use trace::{ExecStats, FiringRecord};
+pub use vm::{Chunk, GuardEvalMode, Opcode, ReactionVm, Tier};

@@ -166,6 +166,14 @@ pub struct ParConfig {
     /// search exactly as in the sequential engine. Exactness never
     /// depends on the value.
     pub rete_watermark: usize,
+    /// How guard and action expressions are evaluated: bytecode VM
+    /// dispatch (the default) or the reference tree walk. Observable
+    /// behaviour is identical either way (see [`crate::vm`]).
+    pub guard_eval: crate::vm::GuardEvalMode,
+    /// Cumulative `fired + guard_evals` profile count past which a
+    /// reaction re-compiles its bytecode with the optimising pass at the
+    /// next wave boundary. `u64::MAX` disables tiering.
+    pub vm_tier_threshold: u64,
 }
 
 impl Default for ParConfig {
@@ -180,6 +188,8 @@ impl Default for ParConfig {
             sample_cap: 64,
             engine: ParEngine::default(),
             rete_watermark: crate::rete::DEFAULT_SPILL_WATERMARK,
+            guard_eval: crate::vm::GuardEvalMode::default(),
+            vm_tier_threshold: crate::session::DEFAULT_VM_TIER_THRESHOLD,
         }
     }
 }

@@ -81,6 +81,7 @@ use crate::compiled::{
     CompiledProgram, CompiledReaction, Firing, LabelFilter, MatchError, MatchSource, SearchScratch,
 };
 use crate::schedule::DependencyIndex;
+use crate::vm::GuardEvalMode;
 use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
 use gammaflow_multiset::{shard_index, Element, FxHashMap, FxHashSet, Symbol, Tag, Value};
 use rand::RngCore;
@@ -315,186 +316,14 @@ pub struct ReteReactionCounters {
     pub peak_tokens: u64,
 }
 
-/// One operand of a fast-path integer comparison: a literal, a slot, or a
-/// single binary operation over slots/literals. Covers the common guard
-/// shapes (`x % y == 0`, `a < b`, `ab % K == bc / K`, endpoints of the
-/// interval-overlap test) without boxing values.
-#[derive(Debug, Clone, Copy)]
-enum FastOperand {
-    Lit(i64),
-    Slot(u16),
-    SlotOpLit(BinOp, u16, i64),
-    SlotOpSlot(BinOp, u16, u16),
-}
-
-/// A comparison whose operands are [`FastOperand`]s, evaluated directly
-/// on `i64`. Semantics match [`Value::binop`]/[`Value::cmp_op`] exactly
-/// for integer inputs (wrapping arithmetic, division by zero = evaluation
-/// error = condition false); any non-integer or unbound slot defers to
-/// the generic evaluator.
-#[derive(Debug, Clone, Copy)]
-struct FastCmp {
-    op: CmpOp,
-    lhs: FastOperand,
-    rhs: FastOperand,
-}
-
-/// Outcome of resolving a [`FastOperand`].
-enum OperandVal {
-    /// A definite integer.
-    Int(i64),
-    /// Definite evaluation error (division by zero): condition is false.
-    Error,
-    /// Non-integer or unbound input: defer to the generic evaluator.
-    Defer,
-}
-
-fn int_binop(op: BinOp, x: i64, y: i64) -> Option<i64> {
-    Some(match op {
-        BinOp::Add => x.wrapping_add(y),
-        BinOp::Sub => x.wrapping_sub(y),
-        BinOp::Mul => x.wrapping_mul(y),
-        BinOp::Div => {
-            if y == 0 {
-                return None;
-            }
-            x.wrapping_div(y)
-        }
-        BinOp::Rem => {
-            if y == 0 {
-                return None;
-            }
-            x.wrapping_rem(y)
-        }
-        BinOp::Min => x.min(y),
-        BinOp::Max => x.max(y),
-        BinOp::And => x & y,
-        BinOp::Or => x | y,
-        BinOp::Xor => x ^ y,
-    })
-}
-
-impl FastOperand {
-    fn from_expr(e: &crate::expr::Expr, var_index: &FxHashMap<Symbol, u16>) -> Option<FastOperand> {
-        use crate::expr::Expr;
-        match e {
-            Expr::Lit(Value::Int(i)) => Some(FastOperand::Lit(*i)),
-            Expr::Var(s) => Some(FastOperand::Slot(var_index[s])),
-            Expr::Bin(op, a, b) => match (a.as_ref(), b.as_ref()) {
-                (Expr::Var(s), Expr::Lit(Value::Int(i))) => {
-                    Some(FastOperand::SlotOpLit(*op, var_index[s], *i))
-                }
-                (Expr::Var(s), Expr::Var(t)) => {
-                    Some(FastOperand::SlotOpSlot(*op, var_index[s], var_index[t]))
-                }
-                _ => None,
-            },
-            _ => None,
-        }
-    }
-
-    #[inline]
-    fn resolve(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> OperandVal {
-        #[inline]
-        fn slot_int(base: &[Option<Value>], extra: &[(u16, Value)], s: u16) -> Option<i64> {
-            let v = extra
-                .iter()
-                .find(|(j, _)| *j == s)
-                .map(|(_, v)| v)
-                .or_else(|| base[s as usize].as_ref())?;
-            match v {
-                Value::Int(i) => Some(*i),
-                _ => None,
-            }
-        }
-        match *self {
-            FastOperand::Lit(i) => OperandVal::Int(i),
-            FastOperand::Slot(s) => match slot_int(base, extra, s) {
-                Some(i) => OperandVal::Int(i),
-                None => OperandVal::Defer,
-            },
-            FastOperand::SlotOpLit(op, s, lit) => match slot_int(base, extra, s) {
-                Some(i) => match int_binop(op, i, lit) {
-                    Some(r) => OperandVal::Int(r),
-                    None => OperandVal::Error,
-                },
-                None => OperandVal::Defer,
-            },
-            FastOperand::SlotOpSlot(op, s, t) => {
-                match (slot_int(base, extra, s), slot_int(base, extra, t)) {
-                    (Some(x), Some(y)) => match int_binop(op, x, y) {
-                        Some(r) => OperandVal::Int(r),
-                        None => OperandVal::Error,
-                    },
-                    _ => OperandVal::Defer,
-                }
-            }
-        }
-    }
-}
-
-impl FastCmp {
-    /// `Some(result)` when decidable on the fast path, `None` to defer.
-    #[inline]
-    fn try_eval(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> Option<bool> {
-        let lhs = match self.lhs.resolve(base, extra) {
-            OperandVal::Int(i) => i,
-            OperandVal::Error => return Some(false),
-            OperandVal::Defer => return None,
-        };
-        let rhs = match self.rhs.resolve(base, extra) {
-            OperandVal::Int(i) => i,
-            OperandVal::Error => return Some(false),
-            OperandVal::Defer => return None,
-        };
-        Some(match self.op {
-            CmpOp::Lt => lhs < rhs,
-            CmpOp::Le => lhs <= rhs,
-            CmpOp::Gt => lhs > rhs,
-            CmpOp::Ge => lhs >= rhs,
-            CmpOp::Eq => lhs == rhs,
-            CmpOp::Ne => lhs != rhs,
-        })
-    }
-}
-
-/// A compiled guard conjunct: the optional integer fast path plus the
-/// generic slot-resolved evaluator it defers to.
-#[derive(Debug, Clone)]
-struct CompiledGuard {
-    fast: Option<FastCmp>,
-    generic: GuardExpr,
-}
-
-impl CompiledGuard {
-    fn compile(e: &crate::expr::Expr, var_index: &FxHashMap<Symbol, u16>) -> CompiledGuard {
-        use crate::expr::Expr;
-        let fast = match e {
-            Expr::Cmp(op, a, b) => FastOperand::from_expr(a, var_index)
-                .zip(FastOperand::from_expr(b, var_index))
-                .map(|(lhs, rhs)| FastCmp { op: *op, lhs, rhs }),
-            _ => None,
-        };
-        CompiledGuard {
-            fast,
-            generic: GuardExpr::compile(e, var_index),
-        }
-    }
-
-    #[inline]
-    fn eval_bool(&self, base: &[Option<Value>], extra: &[(u16, Value)]) -> bool {
-        if let Some(f) = &self.fast {
-            if let Some(b) = f.try_eval(base, extra) {
-                return b;
-            }
-        }
-        self.generic.eval_bool(base, extra)
-    }
-}
-
 /// A `where`/guard conjunct with variables resolved to binding slots, so
 /// the join hot loop evaluates guards by direct slot index instead of
-/// symbol hashing.
+/// symbol hashing. This is the [`GuardEvalMode::Tree`] evaluator — the
+/// reference tree walk the bytecode VM (the default dispatch,
+/// [`crate::vm`]) is differentially tested against. The earlier
+/// hand-rolled `i64` comparison fast path lived here; the VM's
+/// `i64`-specialised dispatch loop replaced it, covering every guard
+/// shape instead of single comparisons.
 #[derive(Debug, Clone)]
 enum GuardExpr {
     Lit(Value),
@@ -575,10 +404,12 @@ struct Token {
 #[derive(Debug)]
 struct ReactionNet {
     arity: usize,
-    /// Pushed-down `where` conjuncts, per join level.
-    level_guards: Vec<Vec<CompiledGuard>>,
+    /// Pushed-down `where` conjuncts, per join level (the
+    /// [`GuardEvalMode::Tree`] evaluators; VM mode reads chunks off the
+    /// reaction's [`crate::vm::ReactionVm`] instead).
+    level_guards: Vec<Vec<GuardExpr>>,
     /// Terminal clause-guard disjunction (see [`crate::compiled::GuardPlan`]).
-    clause_disjunction: Option<Vec<CompiledGuard>>,
+    clause_disjunction: Option<Vec<GuardExpr>>,
     /// Token arena; `None` slots are free-listed.
     tokens: Vec<Option<Token>>,
     free: Vec<u32>,
@@ -666,12 +497,12 @@ impl ReactionNet {
             level_guards: plan
                 .level_conjuncts
                 .iter()
-                .map(|cs| cs.iter().map(|c| CompiledGuard::compile(c, vi)).collect())
+                .map(|cs| cs.iter().map(|c| GuardExpr::compile(c, vi)).collect())
                 .collect(),
             clause_disjunction: plan
                 .clause_disjunction
                 .as_ref()
-                .map(|ds| ds.iter().map(|d| CompiledGuard::compile(d, vi)).collect()),
+                .map(|ds| ds.iter().map(|d| GuardExpr::compile(d, vi)).collect()),
             tokens: Vec::new(),
             free: Vec::new(),
             levels: vec![Vec::new(); cr.arity()],
@@ -802,8 +633,18 @@ impl ReactionNet {
             };
             if k == 0 {
                 let empty = std::mem::take(&mut self.empty_slots);
-                let made =
-                    self.try_child(pat, &[], &empty, 0, e.label, e.tag, &e.value, avail, stats);
+                let made = self.try_child(
+                    cr,
+                    pat,
+                    &[],
+                    &empty,
+                    0,
+                    e.label,
+                    e.tag,
+                    &e.value,
+                    avail,
+                    stats,
+                );
                 self.empty_slots = empty;
                 if let Some(id) = made {
                     self.extend_all(cr, bag, id, stats);
@@ -827,7 +668,7 @@ impl ReactionNet {
                 for tid in prior {
                     let t = self.tokens[tid as usize].take().expect("live token");
                     let made = self.try_child(
-                        pat, &t.elems, &t.slots, k, e.label, e.tag, &e.value, avail, stats,
+                        cr, pat, &t.elems, &t.slots, k, e.label, e.tag, &e.value, avail, stats,
                     );
                     self.tokens[tid as usize] = Some(t);
                     if let Some(id) = made {
@@ -1047,7 +888,7 @@ impl ReactionNet {
             Some(value) => {
                 let avail = bag.count_at(label, tag, &value);
                 if let Some(id) =
-                    self.try_child(pat, elems, slots, k, label, tag, &value, avail, stats)
+                    self.try_child(cr, pat, elems, slots, k, label, tag, &value, avail, stats)
                 {
                     made.push(id);
                 }
@@ -1055,7 +896,7 @@ impl ReactionNet {
             None => {
                 bag.visit_values(label, tag, &mut |value, avail| {
                     if let Some(id) =
-                        self.try_child(pat, elems, slots, k, label, tag, value, avail, stats)
+                        self.try_child(cr, pat, elems, slots, k, label, tag, value, avail, stats)
                     {
                         made.push(id);
                     }
@@ -1075,6 +916,7 @@ impl ReactionNet {
     #[allow(clippy::too_many_arguments)]
     fn try_child(
         &mut self,
+        cr: &CompiledReaction,
         pat: &crate::compiled::CompiledPattern,
         elems: &[Element],
         slots: &[Option<Value>],
@@ -1134,28 +976,65 @@ impl ReactionNet {
         }
         let extras = &extras[..nextra];
 
-        for g in &self.level_guards[k] {
-            self.prof.guard_evals += 1;
-            if !g.eval_bool(slots, extras) {
-                self.prof.guard_rejects += 1;
-                stats.guard_rejects += 1;
-                return None;
-            }
-        }
-        if k + 1 == self.arity {
-            if let Some(disj) = &self.clause_disjunction {
-                let mut passed = false;
-                for g in disj {
+        // Guard dispatch. Both arms evaluate the same per-level conjuncts
+        // and terminal disjunction in the same order and bump the same
+        // counters per evaluation, so `guard_evals`/`guard_rejects` are
+        // identical whichever evaluator runs (the conservation property
+        // `tests/observability.rs` pins).
+        match cr.guard_eval_mode() {
+            GuardEvalMode::Vm => {
+                let cs = cr.vm().active();
+                for g in &cs.level_conjuncts[k] {
                     self.prof.guard_evals += 1;
-                    if g.eval_bool(slots, extras) {
-                        passed = true;
-                        break;
+                    if !g.eval_guard(slots, extras) {
+                        self.prof.guard_rejects += 1;
+                        stats.guard_rejects += 1;
+                        return None;
                     }
                 }
-                if !passed {
-                    self.prof.guard_rejects += 1;
-                    stats.guard_rejects += 1;
-                    return None;
+                if k + 1 == self.arity {
+                    if let Some(disj) = &cs.clause_disjunction {
+                        let mut passed = false;
+                        for g in disj {
+                            self.prof.guard_evals += 1;
+                            if g.eval_guard(slots, extras) {
+                                passed = true;
+                                break;
+                            }
+                        }
+                        if !passed {
+                            self.prof.guard_rejects += 1;
+                            stats.guard_rejects += 1;
+                            return None;
+                        }
+                    }
+                }
+            }
+            GuardEvalMode::Tree => {
+                for g in &self.level_guards[k] {
+                    self.prof.guard_evals += 1;
+                    if !g.eval_bool(slots, extras) {
+                        self.prof.guard_rejects += 1;
+                        stats.guard_rejects += 1;
+                        return None;
+                    }
+                }
+                if k + 1 == self.arity {
+                    if let Some(disj) = &self.clause_disjunction {
+                        let mut passed = false;
+                        for g in disj {
+                            self.prof.guard_evals += 1;
+                            if g.eval_bool(slots, extras) {
+                                passed = true;
+                                break;
+                            }
+                        }
+                        if !passed {
+                            self.prof.guard_rejects += 1;
+                            stats.guard_rejects += 1;
+                            return None;
+                        }
+                    }
                 }
             }
         }

@@ -52,6 +52,14 @@ pub struct ExecConfig {
     /// [`crate::rete`]). Exactness does not depend on the value; it only
     /// trades memory for recomputation.
     pub rete_watermark: usize,
+    /// How guard and action expressions are evaluated: bytecode VM
+    /// dispatch (the default) or the reference tree walk. Observable
+    /// behaviour is identical either way (see [`crate::vm`]).
+    pub guard_eval: crate::vm::GuardEvalMode,
+    /// Cumulative `fired + guard_evals` profile count past which a
+    /// reaction re-compiles its bytecode with the optimising pass at the
+    /// next wave boundary. `u64::MAX` disables tiering.
+    pub vm_tier_threshold: u64,
 }
 
 /// How the interpreter decides which reactions to (re-)search per step.
@@ -103,6 +111,8 @@ impl Default for ExecConfig {
             selection: Selection::Seeded(0),
             scheduling: Scheduling::default(),
             rete_watermark: crate::rete::DEFAULT_SPILL_WATERMARK,
+            guard_eval: crate::vm::GuardEvalMode::default(),
+            vm_tier_threshold: crate::session::DEFAULT_VM_TIER_THRESHOLD,
         }
     }
 }

@@ -72,6 +72,7 @@ use crate::telemetry::{
     MAIN_WORKER,
 };
 use crate::trace::{ExecStats, FiringRecord};
+use crate::vm::GuardEvalMode;
 use gammaflow_multiset::{Element, ElementBag, Symbol, Tag};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -152,7 +153,23 @@ pub struct EngineConfig {
     /// [`ReactionProfile`](crate::telemetry::ReactionProfile)). Off by
     /// default: each firing costs two extra `Instant::now` calls.
     pub profile: bool,
+    /// How guard and action expressions are evaluated: bytecode VM
+    /// dispatch (the default) or the reference tree walk. Observable
+    /// behaviour is identical either way (see [`crate::vm`]).
+    pub guard_eval: GuardEvalMode,
+    /// Profile-driven tiering threshold: once a reaction's cumulative
+    /// `fired + guard_evals` (from the session's [`ProfileTable`])
+    /// crosses it, the reaction re-compiles its bytecode with the
+    /// optimising pass at the next wave boundary — never mid-wave, so
+    /// determinism is untouched. `u64::MAX` disables tiering; only
+    /// meaningful under [`GuardEvalMode::Vm`].
+    pub vm_tier_threshold: u64,
 }
+
+/// Default [`EngineConfig::vm_tier_threshold`]: low enough that
+/// guard-heavy workloads tier up within their first waves, high enough
+/// that short-lived programs never pay a re-compile.
+pub const DEFAULT_VM_TIER_THRESHOLD: u64 = 65_536;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -174,6 +191,8 @@ impl Default for EngineConfig {
             faults: FaultPlan::default(),
             telemetry: Telemetry::disabled(),
             profile: false,
+            guard_eval: GuardEvalMode::default(),
+            vm_tier_threshold: DEFAULT_VM_TIER_THRESHOLD,
         }
     }
 }
@@ -187,6 +206,8 @@ impl From<&ExecConfig> for EngineConfig {
             max_steps: c.max_steps,
             record_trace: c.record_trace,
             rete_watermark: c.rete_watermark,
+            guard_eval: c.guard_eval,
+            vm_tier_threshold: c.vm_tier_threshold,
             ..EngineConfig::default()
         }
     }
@@ -209,6 +230,8 @@ impl From<&crate::parallel::ParConfig> for EngineConfig {
             shards: c.shards,
             sample_cap: c.sample_cap,
             seed: c.seed,
+            guard_eval: c.guard_eval,
+            vm_tier_threshold: c.vm_tier_threshold,
             ..EngineConfig::default()
         }
     }
@@ -361,6 +384,20 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Guard/action evaluation mode: bytecode VM dispatch (the default)
+    /// or the reference tree walk (see [`EngineConfig::guard_eval`]).
+    pub fn guard_eval(mut self, mode: GuardEvalMode) -> Self {
+        self.config.guard_eval = mode;
+        self
+    }
+
+    /// Profile-driven tiering threshold (see
+    /// [`EngineConfig::vm_tier_threshold`]); `u64::MAX` disables tiering.
+    pub fn vm_tier_threshold(mut self, threshold: u64) -> Self {
+        self.config.vm_tier_threshold = threshold;
+        self
+    }
+
     /// Install a per-wave observer callback.
     pub fn observer(mut self, observer: WaveObserver) -> Self {
         self.observer = Some(observer);
@@ -433,6 +470,9 @@ pub struct Session {
     /// Lifetime anchored-confirm searches already reported in earlier
     /// `AnchoredConfirms` events.
     seen_confirms: u64,
+    /// Lifetime baseline → optimised VM re-compiles (see
+    /// [`Session::maybe_tier_up`]).
+    tier_ups: u64,
 }
 
 impl Session {
@@ -457,7 +497,7 @@ impl Session {
     }
 
     fn from_compiled_with_observer(
-        compiled: CompiledProgram,
+        mut compiled: CompiledProgram,
         initial: ElementBag,
         mut config: EngineConfig,
         observer: Option<WaveObserver>,
@@ -466,6 +506,9 @@ impl Session {
             // No sink installed explicitly: honour GAMMAFLOW_TRACE.
             config.telemetry = Telemetry::from_env();
         }
+        // Stamp the evaluation mode before any matcher state is built, so
+        // every guard dispatched anywhere in the session's life uses it.
+        compiled.set_guard_eval_mode(config.guard_eval);
         let nreactions = compiled.reactions.len();
         // The selection stream exists only for the sequential engines;
         // parallel workers derive per-worker streams from `config.seed`.
@@ -527,6 +570,7 @@ impl Session {
             profiles,
             seen_spill,
             seen_confirms: 0,
+            tier_ups: 0,
         }
         .with_observer(observer);
         session.emit_build_events();
@@ -914,6 +958,7 @@ impl Session {
         prof: ProfTimes,
     ) -> Result<Wave, ExecError> {
         self.absorb_profiles(&wave_stats, &prof);
+        self.maybe_tier_up();
         if self.config.telemetry.enabled() {
             self.emit_wave_aggregates();
             self.emit(TraceEvent::WaveEnd {
@@ -970,6 +1015,59 @@ impl Session {
                 row.action_ns += a;
             }
         }
+    }
+
+    /// Profile-driven tiering, at wave boundaries only: every reaction
+    /// still on the baseline compile whose cumulative `fired +
+    /// guard_evals` crossed [`EngineConfig::vm_tier_threshold`]
+    /// re-compiles with the optimising pass. Because no wave is in
+    /// flight and both tiers evaluate identically (see [`crate::vm`]),
+    /// determinism, traces, and final multisets are untouched.
+    fn maybe_tier_up(&mut self) {
+        if self.config.guard_eval != GuardEvalMode::Vm || self.config.vm_tier_threshold == u64::MAX
+        {
+            return;
+        }
+        let threshold = self.config.vm_tier_threshold;
+        let mut upgraded: Vec<(usize, String, u64, u64)> = Vec::new();
+        for (r, cr) in self.compiled.reactions.iter_mut().enumerate() {
+            let Some(row) = self.profiles.rows.get(r) else {
+                continue;
+            };
+            if cr.vm_tier() == crate::vm::Tier::Baseline
+                && row.fired + row.guard_evals >= threshold
+                && cr.vm_tier_up()
+            {
+                upgraded.push((r, cr.name.clone(), row.fired, row.guard_evals));
+            }
+        }
+        self.tier_ups += upgraded.len() as u64;
+        if self.config.telemetry.enabled() {
+            for (reaction, name, fired, guard_evals) in upgraded {
+                self.emit(TraceEvent::TierUp {
+                    reaction,
+                    name,
+                    fired,
+                    guard_evals,
+                });
+            }
+        }
+    }
+
+    /// Lifetime count of baseline → optimised VM re-compiles across the
+    /// session (each [`TraceEvent::TierUp`] event corresponds to one).
+    pub fn vm_tier_ups(&self) -> u64 {
+        self.tier_ups
+    }
+
+    /// Per-reaction VM tiers, in reaction order (for tests and tools;
+    /// the metrics export carries the same as a gauge).
+    pub fn vm_tiers(&self) -> Vec<crate::vm::Tier> {
+        self.compiled
+            .reactions
+            .iter()
+            .map(|r| r.vm_tier())
+            .collect()
     }
 
     /// Emit the wave-aggregate matcher events — sequential-Rete spill
@@ -1097,8 +1195,18 @@ impl Session {
         reg.counter("gamma_elements_consumed_total", &[], self.stats.consumed);
         reg.counter("gamma_elements_produced_total", &[], self.stats.produced);
         reg.gauge("gamma_bag_len", &[], self.bag_len() as f64);
-        for row in &self.profiles.rows {
+        reg.counter("gamma_vm_tier_ups_total", &[], self.tier_ups);
+        for (r, row) in self.profiles.rows.iter().enumerate() {
             let labels: &[(&str, &str)] = &[("reaction", row.name.as_str())];
+            if let Some(cr) = self.compiled.reactions.get(r) {
+                // 0 = baseline, 1 = optimised — a step gauge so a scrape
+                // series shows exactly when each reaction tiered up.
+                let tier = match cr.vm_tier() {
+                    crate::vm::Tier::Baseline => 0.0,
+                    crate::vm::Tier::Optimized => 1.0,
+                };
+                reg.gauge("gamma_reaction_vm_tier", labels, tier);
+            }
             reg.counter("gamma_reaction_fired_total", labels, row.fired);
             reg.counter("gamma_reaction_guard_evals_total", labels, row.guard_evals);
             reg.counter(
@@ -1219,7 +1327,7 @@ impl Session {
         program: &GammaProgram,
         snapshot: SessionSnapshot,
     ) -> Result<Session, ExecError> {
-        let compiled = CompiledProgram::compile(program)?;
+        let mut compiled = CompiledProgram::compile(program)?;
         if snapshot.version != SNAPSHOT_VERSION {
             return Err(ExecError::Snapshot(format!(
                 "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
@@ -1240,6 +1348,12 @@ impl Session {
             // side. An in-process snapshot keeps its live handle.
             config.telemetry = Telemetry::from_env();
         }
+        // Stamp the evaluation mode before matcher state builds. Tiers
+        // restart at baseline (chunks are freshly compiled) and re-tier
+        // at the next wave boundary off the restored profile counts —
+        // tier is a pure performance state, never behaviour, so the
+        // resumed run stays byte-identical to the uninterrupted one.
+        compiled.set_guard_eval_mode(config.guard_eval);
         let rng = match (config.engine, config.selection) {
             (Engine::Seq, Selection::Seeded(seed)) => Some(match snapshot.rng {
                 Some(s) => ChaCha8Rng::from_state(s),
@@ -1323,6 +1437,7 @@ impl Session {
             profiles: snapshot.profiles,
             seen_spill,
             seen_confirms,
+            tier_ups: 0,
         };
         if session.config.telemetry.enabled() {
             session.emit(TraceEvent::SessionRestored {

@@ -208,6 +208,20 @@ pub enum TraceEvent {
         /// Elements drained.
         bag_len: u64,
     },
+    /// A reaction crossed the profile-driven tiering threshold and
+    /// re-compiled its guard/action bytecode with the optimising pass,
+    /// at a wave boundary (see [`crate::vm`]). Purely a performance
+    /// transition: traces and finals are identical at every tier.
+    TierUp {
+        /// Reaction index.
+        reaction: usize,
+        /// Reaction name.
+        name: String,
+        /// Cumulative fired count at the transition.
+        fired: u64,
+        /// Cumulative guard evaluations at the transition.
+        guard_evals: u64,
+    },
     /// An armed fault point tripped (`fault-inject` feature; see
     /// [`crate::fault`]).
     FaultTripped {
@@ -263,6 +277,7 @@ impl TraceRecord {
             TraceEvent::SnapshotTaken { .. } => "snapshot_taken",
             TraceEvent::SessionRestored { .. } => "session_restored",
             TraceEvent::Drained { .. } => "drained",
+            TraceEvent::TierUp { .. } => "tier_up",
             TraceEvent::FaultTripped { .. } => "fault_tripped",
         }
     }

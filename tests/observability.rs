@@ -16,8 +16,8 @@
 //!    observations and keeps accumulating afterwards.
 
 use gammaflow::gamma::{
-    Engine, JsonlSink, ParEngine, ProfileTable, RingSink, Scheduling, Selection, Session, Status,
-    TraceEvent, TraceRecord, MAIN_WORKER,
+    Engine, GuardEvalMode, JsonlSink, ParEngine, ProfileTable, RingSink, Scheduling, Selection,
+    Session, Status, Tier, TraceEvent, TraceRecord, MAIN_WORKER,
 };
 use gammaflow::workloads::{cross_sum, divisor_sieve, windowed_sum};
 use std::sync::Arc;
@@ -320,6 +320,97 @@ fn profiling_times_sequential_waves_only_when_asked() {
     // Guard counters flow regardless: the Rete matcher counts evals.
     let evals: u64 = plain.profile().rows.iter().map(|r| r.guard_evals).sum();
     assert!(evals > 0, "guard counters flow without the profile flag");
+}
+
+/// Switching guard evaluation from the tree walk to the bytecode VM
+/// must not change what the guard counters *mean*: the same
+/// deterministic Rete run observes identical per-reaction
+/// `guard_evals` and `guard_rejects` in either mode.
+#[test]
+fn guard_counters_conserve_across_vm_and_tree_walk() {
+    let w = divisor_sieve(60);
+    let observe = |mode: GuardEvalMode| {
+        let mut session = Session::build(&w.program)
+            .scheduling(Scheduling::Rete)
+            .selection(Selection::Deterministic)
+            .guard_eval(mode)
+            .start(w.initial.clone())
+            .expect("program compiles");
+        session.run_to_stable().expect("wave runs");
+        let counters: Vec<(u64, u64)> = session
+            .profile()
+            .rows
+            .iter()
+            .map(|r| (r.guard_evals, r.guard_rejects))
+            .collect();
+        let result = session.finish();
+        assert_eq!(result.multiset, w.expected, "{mode:?}: wrong final");
+        counters
+    };
+    let tree = observe(GuardEvalMode::Tree);
+    let vm = observe(GuardEvalMode::Vm);
+    assert!(
+        tree.iter().any(|(evals, _)| *evals > 0),
+        "the sieve must exercise guards"
+    );
+    assert_eq!(
+        vm, tree,
+        "VM dispatch must bump exactly the counters the tree walk bumps"
+    );
+}
+
+/// Tier-up trace events are the itemised form of the session's tier-up
+/// counter: one `tier_up` record per re-compiled reaction, reconciling
+/// with `vm_tier_ups()`, the per-reaction tier table, and the exported
+/// metrics — and a session that never crosses the threshold emits none.
+#[test]
+fn tier_up_events_reconcile_with_recompile_count() {
+    let w = divisor_sieve(60);
+    let run = |threshold: u64| {
+        let ring = big_ring();
+        let mut session = Session::build(&w.program)
+            .scheduling(Scheduling::Rete)
+            .selection(Selection::Deterministic)
+            .vm_tier_threshold(threshold)
+            .trace_sink(ring.clone())
+            .start(w.initial.clone())
+            .expect("program compiles");
+        session.run_to_stable().expect("first wave runs");
+        let _ = session.inject(w.initial.sorted_elements());
+        session.run_to_stable().expect("second wave runs");
+        (session, ring)
+    };
+
+    // Threshold 1: every reaction that observed work tiers up after the
+    // first wave.
+    let (session, ring) = run(1);
+    assert_eq!(ring.dropped(), 0);
+    let records = ring.records();
+    let tier_ups = session.vm_tier_ups();
+    assert!(tier_ups > 0, "threshold 1 must tier up");
+    assert_eq!(
+        count_kind(&records, "tier_up"),
+        tier_ups,
+        "one tier_up event per re-compile"
+    );
+    let optimized = session
+        .vm_tiers()
+        .iter()
+        .filter(|t| **t == Tier::Optimized)
+        .count() as u64;
+    assert_eq!(
+        optimized, tier_ups,
+        "tier table must agree with the tier-up count"
+    );
+    let prom = session.metrics().to_prometheus();
+    assert!(prom.contains(&format!("gamma_vm_tier_ups_total {tier_ups}")));
+    assert!(prom.contains("gamma_reaction_vm_tier"));
+
+    // Threshold MAX: tiering disabled, no events, all baseline.
+    let (session, ring) = run(u64::MAX);
+    assert_eq!(session.vm_tier_ups(), 0);
+    assert_eq!(count_kind(&ring.records(), "tier_up"), 0);
+    assert!(session.vm_tiers().iter().all(|t| *t == Tier::Baseline));
 }
 
 // --------------------------------------------------------------- metrics ----
