@@ -8,9 +8,11 @@
 //! cargo run -p gammaflow-bench --bin gamma-inspect -- /tmp/trace.jsonl --top 5
 //! ```
 //!
-//! Prints three views of the stream: an event-kind census, a per-worker
-//! timeline (one row per worker per wave, in global-sequence order), and
-//! a top-N per-reaction table aggregated from the `firing` events.
+//! Prints four views of the stream: an event-kind census, a one-line
+//! arena census (per-label element traffic — the id-resolution pressure
+//! on each label's payload arena), a per-worker timeline (one row per
+//! worker per wave, in global-sequence order), and a top-N per-reaction
+//! table aggregated from the `firing` events.
 
 use gammaflow_gamma::{TraceEvent, TraceRecord, MAIN_WORKER};
 use std::collections::BTreeMap;
@@ -72,6 +74,40 @@ fn run(path: &str, top: usize) -> Result<(), String> {
     for (kind, n) in &census {
         println!("  {kind:<20} {n:>8}");
     }
+
+    // Arena census: per-label element traffic in the firing stream.
+    // Every consumed/produced reference is an id resolution against that
+    // label's payload arena, so this is the stream's arena pressure.
+    let mut label_refs: BTreeMap<&str, u64> = BTreeMap::new();
+    let (mut consumed_total, mut produced_total) = (0u64, 0u64);
+    for r in &records {
+        if let TraceEvent::Firing {
+            consumed, produced, ..
+        } = &r.event
+        {
+            consumed_total += consumed.len() as u64;
+            produced_total += produced.len() as u64;
+            for l in consumed.iter().chain(produced) {
+                *label_refs.entry(l.as_str()).or_default() += 1;
+            }
+        }
+    }
+    let mut busiest: Vec<(&str, u64)> = label_refs.iter().map(|(l, n)| (*l, *n)).collect();
+    busiest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    busiest.truncate(3);
+    let busiest: Vec<String> = busiest.iter().map(|(l, n)| format!("{l} {n}")).collect();
+    println!(
+        "arena census: {} labels, {} element refs (consumed {}, produced {}); busiest: {}",
+        label_refs.len(),
+        consumed_total + produced_total,
+        consumed_total,
+        produced_total,
+        if busiest.is_empty() {
+            "-".to_string()
+        } else {
+            busiest.join(", ")
+        }
+    );
 
     // Per-worker timeline: one row per (wave, worker), ordered by the
     // first global sequence number seen in that cell.

@@ -3,7 +3,8 @@
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
 //! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`,
 //! S6 → `BENCH_recovery.json`, S7 → `BENCH_observability.json`,
-//! S8 → `BENCH_vm.json`) and prints them in one run.
+//! S8 → `BENCH_vm.json`, S9 → `BENCH_storage.json`) and prints them in
+//! one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -1963,6 +1964,382 @@ fn s8() {
     println!("wrote BENCH_vm.json");
 }
 
+// ------------------------------------------------------------------ S9 ----
+
+/// One storage-operation in the replayed trace; indices point into the
+/// trace's element table. `Token`/`Untoken` are the matcher-side ops:
+/// admitting a candidate materialises an arity-2 beta-token key into the
+/// dedup map (rete's `by_key`), consuming it removes the key.
+#[derive(Clone, Copy)]
+enum StorageOp {
+    Insert(u32),
+    Probe(u32),
+    Remove(u32),
+    Token(u32, u32),
+    Untoken(u32, u32),
+}
+
+/// A workload-shaped storage-operation trace: the element table plus the
+/// exact insert/probe/remove sequence the engine would issue against the
+/// bag while running it.
+struct StorageTrace {
+    elems: Vec<Element>,
+    ops: Vec<StorageOp>,
+}
+
+/// The guard-heavy stream's bag traffic: every arriving element is
+/// inserted and count-probed (the matcher's enabledness check), then
+/// joined against its `FANOUT` nearest predecessors — one beta-token
+/// key materialised and dedup-probed per candidate pair, the 2-ary join
+/// traffic `rete`'s `by_key` sees on the sieve workloads. The
+/// one-in-six that passes the guard conjunction is consumed (its
+/// candidate keys retract) and its product inserted.
+fn sieve_storage_trace(n: usize) -> StorageTrace {
+    const FANOUT: usize = 8;
+    let mut elems: Vec<Element> = (0..n as i64).map(|v| Element::pair(v, "s9n")).collect();
+    let mut ops = Vec::with_capacity(n * (FANOUT + 4));
+    for i in 0..n {
+        ops.push(StorageOp::Insert(i as u32));
+        ops.push(StorageOp::Probe(i as u32));
+        for f in 1..=FANOUT.min(i) {
+            ops.push(StorageOp::Token((i - f) as u32, i as u32));
+        }
+        if i % 6 == 0 {
+            ops.push(StorageOp::Remove(i as u32));
+            for f in 1..=FANOUT.min(i) {
+                ops.push(StorageOp::Untoken((i - f) as u32, i as u32));
+            }
+            let j = elems.len() as u32;
+            elems.push(Element::pair((i / 6) as i64, "s9m"));
+            ops.push(StorageOp::Insert(j));
+        }
+    }
+    StorageTrace { elems, ops }
+}
+
+/// The streaming window's bag traffic: string-keyed readings arrive,
+/// are probed, and fall out of a 1024-element sliding window. Values
+/// cycle through 4096 distinct keys (hash-consing territory) while the
+/// per-window tag advances, so buckets churn like a rolling stream.
+fn window_storage_trace(n: usize) -> StorageTrace {
+    const W: usize = 1024;
+    use gammaflow_multiset::value::Value;
+    use gammaflow_multiset::Tag;
+    let elems: Vec<Element> = (0..n)
+        .map(|i| {
+            Element::new(
+                Value::str(format!("reading-{:04}", i % 4096).as_str()),
+                "s9w",
+                Tag((i / W) as u64),
+            )
+        })
+        .collect();
+    const FANOUT: usize = 4;
+    let mut ops = Vec::with_capacity(n * (FANOUT + 3));
+    for i in 0..n {
+        ops.push(StorageOp::Insert(i as u32));
+        ops.push(StorageOp::Probe(i as u32));
+        // Window joins: each reading pairs with a few spread-out
+        // neighbours still inside the window.
+        for f in 1..=FANOUT {
+            let stride = f * (W / FANOUT);
+            if i >= stride {
+                ops.push(StorageOp::Token((i - stride) as u32, i as u32));
+            }
+        }
+        if i >= W {
+            ops.push(StorageOp::Remove((i - W) as u32));
+            for f in 1..=FANOUT {
+                let stride = f * (W / FANOUT);
+                ops.push(StorageOp::Untoken((i - W) as u32, (i - W + stride) as u32));
+            }
+        }
+    }
+    StorageTrace { elems, ops }
+}
+
+/// Replay a trace under the pre-arena discipline: the bag owns full
+/// elements, every operation hashes the complete `(value, label, tag)`
+/// payload, every insert clones it, and beta-token keys carry cloned
+/// elements into the dedup map — the storage model the interned arena
+/// replaced. Returns (seconds, probe checksum).
+fn replay_prearena(trace: &StorageTrace) -> (f64, u64) {
+    use gammaflow_multiset::{FxHashMap, HashBag};
+    let t = Instant::now();
+    let mut bag: HashBag<Element> = HashBag::new();
+    let mut tokens: FxHashMap<Box<[Element]>, u32> = FxHashMap::default();
+    let mut sum = 0u64;
+    for &op in &trace.ops {
+        match op {
+            StorageOp::Insert(i) => bag.insert(trace.elems[i as usize].clone()),
+            StorageOp::Probe(i) => sum += bag.count(&trace.elems[i as usize]) as u64,
+            StorageOp::Remove(i) => {
+                bag.remove(&trace.elems[i as usize]);
+            }
+            StorageOp::Token(a, b) => {
+                let key: Box<[Element]> = Box::new([
+                    trace.elems[a as usize].clone(),
+                    trace.elems[b as usize].clone(),
+                ]);
+                *tokens.entry(key).or_insert(0) += 1;
+            }
+            StorageOp::Untoken(a, b) => {
+                let key = [
+                    trace.elems[a as usize].clone(),
+                    trace.elems[b as usize].clone(),
+                ];
+                tokens.remove(&key[..]);
+            }
+        }
+    }
+    sum += tokens.len() as u64;
+    (t.elapsed().as_secs_f64(), std::hint::black_box(sum))
+}
+
+/// Replay the same trace under the arena discipline: one intern when an
+/// element first enters (ingress); after that every operation — bag
+/// update, count probe, beta-token key — moves `ElemId`s, so the hot
+/// loop is integer copies, `u64` hashes, and a `u32` slot probe, with
+/// the tag carried alongside the id exactly as rete tokens carry it.
+/// Returns (seconds, probe checksum); the checksum must match the
+/// pre-arena replay's, byte for byte.
+fn replay_arena(trace: &StorageTrace) -> (f64, u64) {
+    use gammaflow_multiset::{ElemId, FxHashMap, Tag};
+    let t = Instant::now();
+    let mut bag = ElementBag::new();
+    let mut tokens: FxHashMap<Box<[ElemId]>, u32> = FxHashMap::default();
+    let mut ids: Vec<Option<(ElemId, Tag)>> = vec![None; trace.elems.len()];
+    let mut sum = 0u64;
+    for &op in &trace.ops {
+        match op {
+            StorageOp::Insert(i) => {
+                let e = &trace.elems[i as usize];
+                let (id, _) = *ids[i as usize].get_or_insert_with(|| (ElemId::intern(e), e.tag));
+                bag.insert_id(id, 1);
+            }
+            StorageOp::Probe(i) => {
+                let (id, tag) = ids[i as usize].expect("probe follows insert");
+                sum += bag.count_id(id, tag) as u64;
+            }
+            StorageOp::Remove(i) => {
+                let (id, tag) = ids[i as usize].expect("remove follows insert");
+                bag.remove_id(id, tag);
+            }
+            StorageOp::Token(a, b) => {
+                let key: Box<[ElemId]> =
+                    Box::new([ids[a as usize].unwrap().0, ids[b as usize].unwrap().0]);
+                *tokens.entry(key).or_insert(0) += 1;
+            }
+            StorageOp::Untoken(a, b) => {
+                let key = [ids[a as usize].unwrap().0, ids[b as usize].unwrap().0];
+                tokens.remove(&key[..]);
+            }
+        }
+    }
+    sum += tokens.len() as u64;
+    (t.elapsed().as_secs_f64(), std::hint::black_box(sum))
+}
+
+/// One (workload, element-count) cell in BENCH_storage.json: the two
+/// storage disciplines replayed over the identical operation trace, plus
+/// (guard-heavy stream only) full-engine throughput at that scale.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StorageRow {
+    workload: String,
+    elements: u64,
+    ops: u64,
+    prearena_ops_per_sec: f64,
+    arena_ops_per_sec: f64,
+    /// Pre-arena seconds / arena seconds on the same trace: the in-run
+    /// measure of what interned columnar storage buys.
+    arena_speedup: f64,
+    /// Full Rete session over the guard-heavy stream at this scale
+    /// (absent for the storage-only streaming rows).
+    engine: Option<EngineRow>,
+    arena_slots: u64,
+    arena_bytes: u64,
+}
+
+/// The BENCH_storage.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StorageReport {
+    bench: String,
+    rows: Vec<StorageRow>,
+}
+
+fn storage_fps_series(rows: &[StorageRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .flat_map(|r| {
+            let mut series = vec![(
+                format!("{}/{}/arena_ops", r.workload, r.elements),
+                r.arena_ops_per_sec,
+            )];
+            if let Some(engine) = &r.engine {
+                series.push((
+                    format!("{}/{}/engine", r.workload, r.elements),
+                    engine.firings_per_sec,
+                ));
+            }
+            series
+        })
+        .collect()
+}
+
+/// S9: interned columnar storage — the arena discipline (one intern at
+/// ingress, ID-keyed integer operations after) against the pre-arena
+/// discipline (owned elements, full-payload hash and clone per
+/// operation, preserved in-tree as `HashBag<Element>`), replayed over
+/// the byte-identical workload-shaped operation trace at 10^4/10^5/10^6
+/// elements. The guard-heavy stream also runs end-to-end through a Rete
+/// session at each scale for the throughput curve. Both replays must
+/// produce the same probe checksum — same trace, same answers, only the
+/// storage discipline differs. Results go to `BENCH_storage.json`.
+fn s9() {
+    use gammaflow_gamma::{
+        ElementSpec, Expr, GammaProgram, Pattern, ReactionSpec, Scheduling, Selection, Session,
+        Status,
+    };
+    use gammaflow_multiset::value::{BinOp, CmpOp};
+    banner(
+        "S9",
+        "Interned columnar storage: arena vs pre-arena on identical traces",
+    );
+
+    // The guard-heavy stream as a real program: a three-conjunct filter
+    // that consumes one-in-six elements, linear in the input size.
+    let div6 = ReactionSpec::new("div6")
+        .replace(Pattern::pair("x", "s9n"))
+        .where_(Expr::and(
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("x"), Expr::int(2)),
+                Expr::int(0),
+            ),
+            Expr::and(
+                Expr::cmp(
+                    CmpOp::Eq,
+                    Expr::bin(BinOp::Rem, Expr::var("x"), Expr::int(3)),
+                    Expr::int(0),
+                ),
+                Expr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(0)),
+            ),
+        ))
+        .by(vec![ElementSpec::pair(
+            Expr::bin(BinOp::Div, Expr::var("x"), Expr::int(6)),
+            "s9m",
+        )]);
+    let program = GammaProgram::new(vec![div6]);
+
+    println!(
+        "{:<14} {:>9} {:>9} {:>13} {:>13} {:>8} {:>12}",
+        "workload", "elements", "ops", "prearena o/s", "arena o/s", "ratio", "engine f/s"
+    );
+
+    let sizes = [10_000usize, 100_000, 1_000_000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        // Fewer repeats at the top size keeps the CI smoke run bounded.
+        let repeats = if n >= 1_000_000 { 1 } else { 3 };
+        for guard_heavy in [true, false] {
+            let trace = if guard_heavy {
+                sieve_storage_trace(n)
+            } else {
+                window_storage_trace(n)
+            };
+            let median = |f: &dyn Fn(&StorageTrace) -> (f64, u64)| -> (f64, u64) {
+                let mut secs = Vec::new();
+                let mut sum = 0u64;
+                for _ in 0..repeats {
+                    let (s, c) = f(&trace);
+                    secs.push(s);
+                    sum = c;
+                }
+                secs.sort_by(f64::total_cmp);
+                (secs[secs.len() / 2], sum)
+            };
+            let (pre_s, pre_sum) = median(&replay_prearena);
+            let (arena_s, arena_sum) = median(&replay_arena);
+            assert_eq!(
+                pre_sum, arena_sum,
+                "disciplines must answer the same trace identically"
+            );
+
+            let engine = if guard_heavy {
+                let initial: ElementBag = (0..n as i64).map(|v| Element::pair(v, "s9n")).collect();
+                let mut secs = Vec::new();
+                let mut firings = 0u64;
+                for _ in 0..repeats {
+                    let t = Instant::now();
+                    let mut session = Session::build(&program)
+                        .scheduling(Scheduling::Rete)
+                        .selection(Selection::Seeded(1))
+                        .start(initial.clone())
+                        .expect("program compiles");
+                    let wv = session.run_to_stable().expect("wave runs");
+                    assert_eq!(wv.status, Status::Stable);
+                    secs.push(t.elapsed().as_secs_f64());
+                    firings = session.finish().stats.firings_total();
+                }
+                secs.sort_by(f64::total_cmp);
+                let s = secs[secs.len() / 2];
+                assert_eq!(firings, n as u64 / 6 + 1, "one firing per multiple of 6");
+                Some(EngineRow {
+                    seconds: s,
+                    firings,
+                    firings_per_sec: firings as f64 / s,
+                })
+            } else {
+                None
+            };
+
+            let arena = gammaflow_multiset::arena_stats();
+            let ops = trace.ops.len() as u64;
+            let row = StorageRow {
+                workload: if guard_heavy {
+                    "sieve_stream"
+                } else {
+                    "window_stream"
+                }
+                .into(),
+                elements: n as u64,
+                ops,
+                prearena_ops_per_sec: ops as f64 / pre_s,
+                arena_ops_per_sec: ops as f64 / arena_s,
+                arena_speedup: pre_s / arena_s,
+                engine,
+                arena_slots: arena.slots as u64,
+                arena_bytes: arena.bytes as u64,
+            };
+            println!(
+                "{:<14} {:>9} {:>9} {:>13.0} {:>13.0} {:>7.2}x {:>12}",
+                row.workload,
+                row.elements,
+                row.ops,
+                row.prearena_ops_per_sec,
+                row.arena_ops_per_sec,
+                row.arena_speedup,
+                row.engine
+                    .as_ref()
+                    .map_or("-".into(), |e| format!("{:.0}", e.firings_per_sec)),
+            );
+            rows.push(row);
+        }
+    }
+
+    let baseline: Vec<(String, f64)> = read_baseline::<StorageReport>("BENCH_storage.json")
+        .map(|old| storage_fps_series(&old.rows))
+        .unwrap_or_default();
+    warn_fps_regressions("BENCH_storage.json", &baseline, &storage_fps_series(&rows));
+
+    let report = StorageReport {
+        bench: "storage".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    println!("wrote BENCH_storage.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -2026,6 +2403,9 @@ fn main() {
     }
     if want("S8") {
         s8();
+    }
+    if want("S9") {
+        s9();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

@@ -24,7 +24,7 @@ use crate::spec::{
     SpecError, TagPat, TagSpec, ValuePat,
 };
 use crate::vm::{ClauseGuardChunk, GuardEvalMode, OutputChunks, ReactionVm, Tier};
-use gammaflow_multiset::{Element, ElementBag, FxHashMap, Symbol, Tag, Value};
+use gammaflow_multiset::{ElemId, Element, ElementBag, FxHashMap, Symbol, Tag, Value};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 
@@ -166,6 +166,38 @@ pub trait MatchSource {
             }
         }
     }
+
+    /// Visit `(id, value, multiplicity)` rows in the `(label, tag)`
+    /// bucket until `f` returns `false` — the id-carrying twin of
+    /// [`MatchSource::visit_values`] the join matcher builds tokens from.
+    /// The default derives ids by interning (idempotent: everything a bag
+    /// holds is already interned, so this is a hash-cons hit); the
+    /// [`ElementBag`] override reads ids straight off its bucket rows for
+    /// free.
+    fn visit_value_ids(
+        &self,
+        label: Symbol,
+        tag: Tag,
+        f: &mut dyn FnMut(ElemId, &Value, usize) -> bool,
+    ) {
+        self.visit_values(label, tag, &mut |value, count| {
+            f(ElemId::intern_parts(label, value, tag), value, count)
+        });
+    }
+
+    /// Multiplicity *and* id of one element: `(count, id)`, with the id
+    /// present whenever the payload has ever been interned. One probe
+    /// where the matcher would otherwise pay a count hash plus an id
+    /// hash.
+    fn probe_at(&self, label: Symbol, tag: Tag, value: &Value) -> (usize, Option<ElemId>) {
+        let id = ElemId::lookup_parts(label, value, tag);
+        let count = match id {
+            // Never interned → never inserted into any bag.
+            None => 0,
+            Some(_) => self.count_at(label, tag, value),
+        };
+        (count, id)
+    }
 }
 
 impl MatchSource for ElementBag {
@@ -209,6 +241,30 @@ impl MatchSource for ElementBag {
                 return;
             }
         }
+    }
+
+    fn visit_value_ids(
+        &self,
+        label: Symbol,
+        tag: Tag,
+        f: &mut dyn FnMut(ElemId, &Value, usize) -> bool,
+    ) {
+        if let Some(bucket) = self.bucket(label, tag) {
+            for (id, value, count) in bucket.iter_ids() {
+                if !f(id, value, count) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn probe_at(&self, label: Symbol, tag: Tag, value: &Value) -> (usize, Option<ElemId>) {
+        let id = ElemId::lookup_parts(label, value, tag);
+        let count = match (id, self.bucket(label, tag)) {
+            (Some(id), Some(bucket)) => bucket.count_slot(id.slot()),
+            _ => 0,
+        };
+        (count, id)
     }
 }
 
@@ -895,15 +951,28 @@ impl CompiledReaction {
     /// value) admit `anchor`. This is the alpha-memory membership test of
     /// the rete network (label class + literal tag + literal value).
     pub(crate) fn position_admits(&self, p: usize, anchor: &Element) -> bool {
+        self.position_admits_parts(p, anchor.label, anchor.tag, &anchor.value)
+    }
+
+    /// [`Self::position_admits`] over borrowed parts — the id-carrying
+    /// rete feed resolves an [`ElemId`] to `(value, tag)` borrows and
+    /// never materialises an `Element`.
+    pub(crate) fn position_admits_parts(
+        &self,
+        p: usize,
+        label: Symbol,
+        tag: Tag,
+        value: &Value,
+    ) -> bool {
         let pat = &self.positions[p];
         let label_ok = match &pat.label {
-            LabelFilter::Exact(l) => *l == anchor.label,
-            LabelFilter::OneOf(ls) => ls.contains(&anchor.label),
+            LabelFilter::Exact(l) => *l == label,
+            LabelFilter::OneOf(ls) => ls.contains(&label),
             LabelFilter::Any => true,
         };
         label_ok
-            && pat.tag_lit.is_none_or(|t| t == anchor.tag)
-            && pat.value_lit.as_ref().is_none_or(|v| *v == anchor.value)
+            && pat.tag_lit.is_none_or(|t| t == tag)
+            && pat.value_lit.as_ref().is_none_or(|v| *v == *value)
     }
 
     /// Full-tuple acceptance: `where` condition plus some enabled clause.

@@ -80,7 +80,7 @@ use crate::telemetry::{firing_event, Telemetry, TraceEvent, MAIN_WORKER};
 use crate::trace::ExecStats;
 use crossbeam_channel::{Receiver, Sender};
 use gammaflow_multiset::{
-    Element, ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value,
+    ElemId, Element, ElementBag, FxHashMap, FxHashSet, ShardedBag, Symbol, Tag, Value,
 };
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::seq::SliceRandom;
@@ -1295,12 +1295,14 @@ impl MatchSource for ShardedSource<'_> {
 /// consumed-and-reproduced elements cancelled), delivered to the
 /// addressed workers' mailboxes after the claim commits as a shared
 /// [`Arc`] payload: one allocation per firing, one reference-count bump
-/// per addressed mailbox, so wildcard/broadcast programs no longer
-/// deep-copy the element vectors per worker.
+/// per addressed mailbox. The payload carries arena [`ElemId`]s, not
+/// owned elements — the claimant interns each net-delta element once and
+/// every addressed worker routes, feeds, and retires by integer id, so a
+/// broadcast delta costs zero hashes and zero value clones downstream.
 #[derive(Debug, Clone)]
 struct DeltaMsg {
-    removed: Vec<Element>,
-    inserted: Vec<Element>,
+    removed: Vec<ElemId>,
+    inserted: Vec<ElemId>,
 }
 
 /// A delta mailbox endpoint pair (one per worker).
@@ -1308,10 +1310,10 @@ type DeltaChannel = (Sender<Arc<DeltaMsg>>, Receiver<Arc<DeltaMsg>>);
 
 /// Compute a firing's net delta — the exact cancellation rule of
 /// [`ReteNetwork::on_firing_applied`], shared via
-/// [`crate::rete::firing_net_delta`] so the slices and the sequential
-/// network can never disagree on what a firing changes.
+/// [`crate::rete::firing_net_delta_ids`] so the slices and the
+/// sequential network can never disagree on what a firing changes.
 fn net_delta(firing: &Firing) -> DeltaMsg {
-    let (removed, inserted) = crate::rete::firing_net_delta(firing);
+    let (removed, inserted) = crate::rete::firing_net_delta_ids(firing);
     DeltaMsg { removed, inserted }
 }
 
@@ -1373,10 +1375,13 @@ impl SharedRun<'_> {
         let broadcast = self.plan.wildcard_consumer() || workers > 128;
         let mut mask: u128 = 0;
         if !broadcast {
-            for e in msg.removed.iter().chain(msg.inserted.iter()) {
+            for &id in msg.removed.iter().chain(msg.inserted.iter()) {
                 // Unconsumed labels never appear in any token; skip them.
-                if self.deps.has_dependents(e.label) {
-                    mask |= 1u128 << self.plan.owner_of(e.label);
+                // `ElemId::label` is a bit shift — routing never touches
+                // the arena payload.
+                let label = id.label();
+                if self.deps.has_dependents(label) {
+                    mask |= 1u128 << self.plan.owner_of(label);
                 }
             }
         }
@@ -1834,8 +1839,8 @@ impl ShardedState {
         let mut back: Vec<ReteNetwork> = Vec::with_capacity(workers);
         for ((s, p, mut slice), rx) in outs.into_iter().zip(&receivers) {
             while let Ok(msg) = rx.try_recv() {
-                slice.on_removed(compiled, &src, &msg.removed);
-                slice.on_inserted(compiled, &src, &msg.inserted);
+                slice.on_removed_ids(compiled, &src, &msg.removed);
+                slice.on_inserted_ids(compiled, &src, &msg.inserted);
             }
             stats.absorb(&s);
             wave_par.absorb_wave_counters(&p);
@@ -1974,11 +1979,13 @@ fn sharded_worker(
         // from the bag); a `MailboxDelay` stalls before absorbing.
         wf.on_delta(w, nth);
         routed.clear();
-        for e in msg.removed.iter().chain(msg.inserted.iter()) {
-            shared.deps.for_each_dependent(e.label, |r| routed.push(r));
+        for &id in msg.removed.iter().chain(msg.inserted.iter()) {
+            shared
+                .deps
+                .for_each_dependent(id.label(), |r| routed.push(r));
         }
-        slice.on_removed(shared.compiled, &src, &msg.removed);
-        slice.on_inserted(shared.compiled, &src, &msg.inserted);
+        slice.on_removed_ids(shared.compiled, &src, &msg.removed);
+        slice.on_inserted_ids(shared.compiled, &src, &msg.inserted);
         shared.processed[w].fetch_add(1, Ordering::AcqRel);
         par.deltas_processed += 1;
         if shared.tel.enabled() {

@@ -83,7 +83,7 @@ use crate::compiled::{
 use crate::schedule::DependencyIndex;
 use crate::vm::GuardEvalMode;
 use gammaflow_multiset::value::{BinOp, CmpOp, UnOp};
-use gammaflow_multiset::{shard_index, Element, FxHashMap, FxHashSet, Symbol, Tag, Value};
+use gammaflow_multiset::{shard_index, ElemId, Element, FxHashMap, FxHashSet, Symbol, Tag, Value};
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
 
@@ -390,10 +390,17 @@ impl GuardExpr {
 
 /// A beta-memory token: a partial tuple over join levels `0..=k` with its
 /// variable bindings.
+///
+/// Matched elements are stored as arena ids ([`ElemId`]): token identity
+/// checks, the dedup key, and the element→token removal index all work on
+/// packed `u64`s — one hash at delta-intern time, integer compares
+/// everywhere after. Guard evaluation reads bindings from `slots`;
+/// elements are only resolved back to owned [`Element`]s when a firing is
+/// materialised or a spilled prefix is handed to the completion search.
 #[derive(Debug)]
 struct Token {
-    /// Matched elements in *join order* (`elems.len() == level + 1`).
-    elems: Box<[Element]>,
+    /// Matched element ids in *join order* (`elems.len() == level + 1`).
+    elems: Box<[ElemId]>,
     /// Variable binding slots (full width; unbound slots are `None`).
     slots: Box<[Option<Value>]>,
     /// Position inside `levels[level]`, maintained under swap-removal.
@@ -416,10 +423,11 @@ struct ReactionNet {
     /// Live token ids per join level; the last level holds full matches.
     levels: Vec<Vec<u32>>,
     /// Token identity index for deduplication (key = join-order element
-    /// sequence; lengths differ per level, so one map serves all levels).
-    by_key: FxHashMap<Box<[Element]>, u32>,
-    /// Element → tokens using it, for removal-driven retirement.
-    uses: FxHashMap<Element, FxHashSet<u32>>,
+    /// id sequence; lengths differ per level, so one map serves all
+    /// levels). Hashing a key is hashing a few `u64`s.
+    by_key: FxHashMap<Box<[ElemId]>, u32>,
+    /// Element id → tokens using it, for removal-driven retirement.
+    uses: FxHashMap<ElemId, FxHashSet<u32>>,
     /// Live-token budget; crossing it demotes the deepest materialised
     /// join level (spill-to-search).
     watermark: usize,
@@ -586,11 +594,15 @@ impl ReactionNet {
     /// prefixes at levels ≥ 1 but creates no level-0 token: tokens
     /// anchored at a foreign `(label, tag)` key belong to the foreign
     /// slice.
+    #[allow(clippy::too_many_arguments)]
     fn on_insert<S: MatchSource>(
         &mut self,
         cr: &CompiledReaction,
         bag: &S,
-        e: &Element,
+        id: ElemId,
+        value: &Value,
+        label: Symbol,
+        tag: Tag,
         first_position_only: bool,
         enter_level0: bool,
         stats: &mut ReteStats,
@@ -619,32 +631,22 @@ impl ReactionNet {
                 continue;
             }
             let p = cr.join_order()[k];
-            if !cr.position_admits(p, e) {
+            if !cr.position_admits_parts(p, label, tag, value) {
                 continue;
             }
             let pat = &cr.positions()[p];
             let avail = match avail_cache {
                 Some(a) => a,
                 None => {
-                    let a = bag.count_at(e.label, e.tag, &e.value);
+                    let a = bag.count_at(label, tag, value);
                     avail_cache = Some(a);
                     a
                 }
             };
             if k == 0 {
                 let empty = std::mem::take(&mut self.empty_slots);
-                let made = self.try_child(
-                    cr,
-                    pat,
-                    &[],
-                    &empty,
-                    0,
-                    e.label,
-                    e.tag,
-                    &e.value,
-                    avail,
-                    stats,
-                );
+                let made =
+                    self.try_child(cr, pat, &[], &empty, 0, id, label, tag, value, avail, stats);
                 self.empty_slots = empty;
                 if let Some(id) = made {
                     self.extend_all(cr, bag, id, stats);
@@ -660,7 +662,7 @@ impl ReactionNet {
                 // already holds the element).
                 let prior: Vec<u32> = match &self.tag_joins[k] {
                     Some(map) => map
-                        .get(&e.tag)
+                        .get(&tag)
                         .map(|ids| ids.iter().copied().collect())
                         .unwrap_or_default(),
                     None => self.levels[k - 1].clone(),
@@ -668,7 +670,7 @@ impl ReactionNet {
                 for tid in prior {
                     let t = self.tokens[tid as usize].take().expect("live token");
                     let made = self.try_child(
-                        cr, pat, &t.elems, &t.slots, k, e.label, e.tag, &e.value, avail, stats,
+                        cr, pat, &t.elems, &t.slots, k, id, label, tag, value, avail, stats,
                     );
                     self.tokens[tid as usize] = Some(t);
                     if let Some(id) = made {
@@ -680,21 +682,23 @@ impl ReactionNet {
         self.enforce_watermark(stats);
     }
 
-    /// Process one removed occurrence: retire every token using `e` more
-    /// often than its remaining multiplicity.
-    fn on_remove(&mut self, e: &Element, remaining: usize, stats: &mut ReteStats) {
+    /// Process one removed occurrence: retire every token using the
+    /// element more often than its remaining multiplicity.
+    fn on_remove(&mut self, id: ElemId, remaining: usize, stats: &mut ReteStats) {
         stats.removals += 1;
         // Removal is anti-monotone: a cached "match" may now be gone, a
         // cached "no match" cannot come back.
         if self.cached_enabled == Some(true) {
             self.cached_enabled = None;
         }
-        let Some(ids) = self.uses.get(e) else { return };
+        let Some(ids) = self.uses.get(&id) else {
+            return;
+        };
         let mut doomed = std::mem::take(&mut self.doomed);
         doomed.clear();
-        doomed.extend(ids.iter().copied().filter(|&id| {
-            let t = self.tokens[id as usize].as_ref().expect("indexed token");
-            t.elems.iter().filter(|x| *x == e).count() > remaining
+        doomed.extend(ids.iter().copied().filter(|&tid| {
+            let t = self.tokens[tid as usize].as_ref().expect("indexed token");
+            t.elems.iter().filter(|&&x| x == id).count() > remaining
         }));
         for id in &doomed {
             self.retire(*id, stats);
@@ -792,7 +796,7 @@ impl ReactionNet {
         &mut self,
         cr: &CompiledReaction,
         bag: &S,
-        elems: &[Element],
+        elems: &[ElemId],
         slots: &[Option<Value>],
         k: usize,
         stats: &mut ReteStats,
@@ -838,7 +842,7 @@ impl ReactionNet {
         &mut self,
         cr: &CompiledReaction,
         bag: &S,
-        elems: &[Element],
+        elems: &[ElemId],
         slots: &[Option<Value>],
         k: usize,
         label: Symbol,
@@ -870,7 +874,7 @@ impl ReactionNet {
         &mut self,
         cr: &CompiledReaction,
         bag: &S,
-        elems: &[Element],
+        elems: &[ElemId],
         slots: &[Option<Value>],
         k: usize,
         label: Symbol,
@@ -886,18 +890,20 @@ impl ReactionNet {
         let mut made: Vec<u32> = Vec::new();
         match pinned {
             Some(value) => {
-                let avail = bag.count_at(label, tag, &value);
-                if let Some(id) =
-                    self.try_child(cr, pat, elems, slots, k, label, tag, &value, avail, stats)
-                {
-                    made.push(id);
+                let (avail, cand) = bag.probe_at(label, tag, &value);
+                if let Some(cand) = cand {
+                    if let Some(id) = self.try_child(
+                        cr, pat, elems, slots, k, cand, label, tag, &value, avail, stats,
+                    ) {
+                        made.push(id);
+                    }
                 }
             }
             None => {
-                bag.visit_values(label, tag, &mut |value, avail| {
-                    if let Some(id) =
-                        self.try_child(cr, pat, elems, slots, k, label, tag, value, avail, stats)
-                    {
+                bag.visit_value_ids(label, tag, &mut |cand, value, avail| {
+                    if let Some(id) = self.try_child(
+                        cr, pat, elems, slots, k, cand, label, tag, value, avail, stats,
+                    ) {
                         made.push(id);
                     }
                     true
@@ -918,9 +924,10 @@ impl ReactionNet {
         &mut self,
         cr: &CompiledReaction,
         pat: &crate::compiled::CompiledPattern,
-        elems: &[Element],
+        elems: &[ElemId],
         slots: &[Option<Value>],
         k: usize,
+        cand: ElemId,
         label: Symbol,
         tag: Tag,
         value: &Value,
@@ -930,10 +937,9 @@ impl ReactionNet {
         if avail == 0 {
             return None;
         }
-        let used = elems
-            .iter()
-            .filter(|x| x.tag == tag && x.label == label && x.value == *value)
-            .count();
+        // Multiplicity check: how many prefix positions already consume
+        // this element. Interned ids make it an integer scan.
+        let used = elems.iter().filter(|&&x| x == cand).count();
         if used + 1 > avail {
             return None;
         }
@@ -977,16 +983,20 @@ impl ReactionNet {
         let extras = &extras[..nextra];
 
         // Guard dispatch. Both arms evaluate the same per-level conjuncts
-        // and terminal disjunction in the same order and bump the same
+        // and terminal disjunction in the same order — the shared
+        // [`ReactionVm::dispatch_order`], identity on the baseline tier,
+        // re-sorted most-rejecting-first at tier-up — and bump the same
         // counters per evaluation, so `guard_evals`/`guard_rejects` are
         // identical whichever evaluator runs (the conservation property
         // `tests/observability.rs` pins).
         match cr.guard_eval_mode() {
             GuardEvalMode::Vm => {
-                let cs = cr.vm().active();
-                for g in &cs.level_conjuncts[k] {
+                let vm = cr.vm();
+                let cs = vm.active();
+                for &ci in vm.dispatch_order(k) {
                     self.prof.guard_evals += 1;
-                    if !g.eval_guard(slots, extras) {
+                    if !cs.level_conjuncts[k][ci as usize].eval_guard(slots, extras) {
+                        vm.note_conjunct_reject(k, ci);
                         self.prof.guard_rejects += 1;
                         stats.guard_rejects += 1;
                         return None;
@@ -1011,9 +1021,11 @@ impl ReactionNet {
                 }
             }
             GuardEvalMode::Tree => {
-                for g in &self.level_guards[k] {
+                let vm = cr.vm();
+                for &ci in vm.dispatch_order(k) {
                     self.prof.guard_evals += 1;
-                    if !g.eval_bool(slots, extras) {
+                    if !self.level_guards[k][ci as usize].eval_bool(slots, extras) {
+                        vm.note_conjunct_reject(k, ci);
                         self.prof.guard_rejects += 1;
                         stats.guard_rejects += 1;
                         return None;
@@ -1039,15 +1051,12 @@ impl ReactionNet {
             }
         }
 
-        // Materialise the key and deduplicate.
+        // Materialise the key and deduplicate: a `u64` copy per position
+        // and an integer-sequence hash, no `Value` clones.
         let mut child_elems = Vec::with_capacity(k + 1);
         child_elems.extend_from_slice(elems);
-        child_elems.push(Element {
-            value: value.clone(),
-            label,
-            tag,
-        });
-        let child_elems: Box<[Element]> = child_elems.into_boxed_slice();
+        child_elems.push(cand);
+        let child_elems: Box<[ElemId]> = child_elems.into_boxed_slice();
         if self.by_key.contains_key(&*child_elems) {
             stats.dedup_hits += 1;
             return None;
@@ -1068,11 +1077,11 @@ impl ReactionNet {
         let pos = self.levels[k].len();
         self.levels[k].push(id);
         self.by_key.insert(child_elems.clone(), id);
-        for (i, e) in child_elems.iter().enumerate() {
-            if child_elems[..i].contains(e) {
+        for (i, &eid) in child_elems.iter().enumerate() {
+            if child_elems[..i].contains(&eid) {
                 continue;
             }
-            self.uses.entry(e.clone()).or_default().insert(id);
+            self.uses.entry(eid).or_default().insert(id);
         }
         // Maintain the next level's tag join index (see `tag_joins`).
         if let Some(&Some(slot)) = self.next_tag_slot.get(k + 1) {
@@ -1128,14 +1137,14 @@ impl ReactionNet {
                 .pos = t.pos;
         }
         self.by_key.remove(&*t.elems);
-        for (i, e) in t.elems.iter().enumerate() {
-            if t.elems[..i].contains(e) {
+        for (i, &eid) in t.elems.iter().enumerate() {
+            if t.elems[..i].contains(&eid) {
                 continue;
             }
-            if let Some(set) = self.uses.get_mut(e) {
+            if let Some(set) = self.uses.get_mut(&eid) {
                 set.remove(&id);
                 if set.is_empty() {
-                    self.uses.remove(e);
+                    self.uses.remove(&eid);
                 }
             }
         }
@@ -1150,24 +1159,31 @@ impl ReactionNet {
 /// cancellation rule, shared by [`ReteNetwork::on_firing_applied`] and
 /// the parallel engine's delta-mailbox publisher — the two must agree or
 /// worker slices would silently diverge from the sequential reference.
-pub(crate) fn firing_net_delta(firing: &Firing) -> (Vec<Element>, Vec<Element>) {
-    let mut produced_cancelled = vec![false; firing.produced.len()];
-    let mut removed: Vec<Element> = Vec::new();
-    'consumed: for c in &firing.consumed {
-        for (i, p) in firing.produced.iter().enumerate() {
+///
+/// Elements are interned once here and everything downstream — the
+/// cancellation check, dedup, mailbox routing, slice feeds — works on
+/// arena ids: interning is injective, so id equality *is* element
+/// equality and the cancellation rule is unchanged.
+pub(crate) fn firing_net_delta_ids(firing: &Firing) -> (Vec<ElemId>, Vec<ElemId>) {
+    let consumed: Vec<ElemId> = firing.consumed.iter().map(ElemId::intern).collect();
+    let produced: Vec<ElemId> = firing.produced.iter().map(ElemId::intern).collect();
+    let mut produced_cancelled = vec![false; produced.len()];
+    let mut removed: Vec<ElemId> = Vec::new();
+    'consumed: for &c in &consumed {
+        for (i, &p) in produced.iter().enumerate() {
             if !produced_cancelled[i] && p == c {
                 produced_cancelled[i] = true;
                 continue 'consumed;
             }
         }
-        if !removed.contains(c) {
-            removed.push(c.clone());
+        if !removed.contains(&c) {
+            removed.push(c);
         }
     }
-    let mut inserted: Vec<Element> = Vec::new();
-    for (i, p) in firing.produced.iter().enumerate() {
-        if !produced_cancelled[i] && !inserted.contains(p) {
-            inserted.push(p.clone());
+    let mut inserted: Vec<ElemId> = Vec::new();
+    for (i, &p) in produced.iter().enumerate() {
+        if !produced_cancelled[i] && !inserted.contains(&p) {
+            inserted.push(p);
         }
     }
     (removed, inserted)
@@ -1197,6 +1213,9 @@ pub struct ReteNetwork {
     ready: Vec<usize>,
     /// Scratch for spilled-prefix completion searches.
     probe_scratch: SearchScratch,
+    /// Scratch for resolving token ids back to elements on spill paths
+    /// (the completion search works over owned elements).
+    elem_scratch: Vec<Element>,
     /// Lifetime counters.
     pub stats: ReteStats,
 }
@@ -1251,6 +1270,7 @@ impl ReteNetwork {
             route: Vec::new(),
             ready: Vec::new(),
             probe_scratch: SearchScratch::new(),
+            elem_scratch: Vec::new(),
             stats: ReteStats::default(),
         };
         // Bulk build: one event per distinct element (joins read live bag
@@ -1336,6 +1356,7 @@ impl ReteNetwork {
         let ReteNetwork {
             nets,
             probe_scratch,
+            elem_scratch,
             stats,
             ..
         } = self;
@@ -1350,7 +1371,9 @@ impl ReteNetwork {
         let cr = &compiled.reactions[r];
         let enabled = net.levels[net.materialized - 1].iter().any(|&id| {
             let t = net.tokens[id as usize].as_ref().expect("live token");
-            cr.prefix_completes(bag, &t.elems, &t.slots, probe_scratch)
+            elem_scratch.clear();
+            elem_scratch.extend(t.elems.iter().map(|eid| eid.to_element()));
+            cr.prefix_completes(bag, elem_scratch, &t.slots, probe_scratch)
         });
         net.cached_enabled = Some(enabled);
         enabled
@@ -1415,7 +1438,7 @@ impl ReteNetwork {
             let token = net.tokens[id as usize].as_ref().expect("live token");
             let mut consumed: Vec<Option<Element>> = vec![None; net.arity];
             for (k, &p) in cr.join_order().iter().enumerate() {
-                consumed[p] = Some(token.elems[k].clone());
+                consumed[p] = Some(token.elems[k].to_element());
             }
             let (clause, produced) = cr
                 .eval_outputs_for_slots(&token.slots)?
@@ -1441,10 +1464,13 @@ impl ReteNetwork {
         for i in 0..lane.len() {
             let id = lane[(start + i) % lane.len()];
             let t = net.tokens[id as usize].as_ref().expect("live token");
+            self.elem_scratch.clear();
+            self.elem_scratch
+                .extend(t.elems.iter().map(|eid| eid.to_element()));
             if let Some(f) = cr.complete_prefix(
                 r,
                 bag,
-                &t.elems,
+                &self.elem_scratch,
                 &t.slots,
                 Some(rng),
                 &mut self.probe_scratch,
@@ -1468,12 +1494,12 @@ impl ReteNetwork {
         bag: &S,
         firing: &Firing,
     ) {
-        let (removed, inserted) = firing_net_delta(firing);
-        for e in &removed {
-            self.feed_remove(compiled, bag, e);
+        let (removed, inserted) = firing_net_delta_ids(firing);
+        for &id in &removed {
+            self.feed_remove_id(compiled, bag, id);
         }
-        for e in &inserted {
-            self.feed_insert(compiled, bag, e);
+        for &id in &inserted {
+            self.feed_insert_id(compiled, bag, id);
         }
     }
 
@@ -1494,6 +1520,23 @@ impl ReteNetwork {
         }
     }
 
+    /// Id-level twin of [`ReteNetwork::on_removed`] for callers already
+    /// holding arena ids (the sharded engine's delta mailboxes): no
+    /// element materialisation, no arena lookup.
+    pub fn on_removed_ids<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        ids: &[ElemId],
+    ) {
+        for (i, &id) in ids.iter().enumerate() {
+            if ids[..i].contains(&id) {
+                continue;
+            }
+            self.feed_remove_id(compiled, bag, id);
+        }
+    }
+
     /// Account externally inserted elements (pipeline seeding, parallel
     /// step barriers, sharded delta mailboxes).
     pub fn on_inserted<S: MatchSource>(
@@ -1510,6 +1553,22 @@ impl ReteNetwork {
         }
     }
 
+    /// Id-level twin of [`ReteNetwork::on_inserted`]: ids are already
+    /// canonical, so the insert feed pays zero hashes.
+    pub fn on_inserted_ids<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        ids: &[ElemId],
+    ) {
+        for (i, &id) in ids.iter().enumerate() {
+            if ids[..i].contains(&id) {
+                continue;
+            }
+            self.feed_insert_id(compiled, bag, id);
+        }
+    }
+
     fn collect_route(&mut self, label: Symbol) {
         // A reaction can be reachable both via the label class and the
         // wildcard list; deduplicate so it processes each delta once.
@@ -1521,7 +1580,13 @@ impl ReteNetwork {
     }
 
     fn feed_insert<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, e: &Element) {
-        self.feed_insert_inner(compiled, bag, e, false);
+        self.collect_route(e.label);
+        if self.route.is_empty() {
+            return;
+        }
+        // One intern per routed delta; every net works on the id after.
+        let id = ElemId::intern(e);
+        self.feed_insert_routed(compiled, bag, id, &e.value, e.label, e.tag, false);
     }
 
     fn feed_insert_inner<S: MatchSource>(
@@ -1531,16 +1596,58 @@ impl ReteNetwork {
         e: &Element,
         first_position_only: bool,
     ) {
+        self.collect_route(e.label);
+        if self.route.is_empty() {
+            return;
+        }
+        let id = ElemId::intern(e);
+        self.feed_insert_routed(
+            compiled,
+            bag,
+            id,
+            &e.value,
+            e.label,
+            e.tag,
+            first_position_only,
+        );
+    }
+
+    /// Feed an already-interned insert delta: the id *is* the message, so
+    /// the feed pays zero hashes — one arena resolve recovers the payload
+    /// borrow the join levels compare against.
+    fn feed_insert_id<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, id: ElemId) {
+        let label = id.label();
+        self.collect_route(label);
+        if self.route.is_empty() {
+            return;
+        }
+        let (value, tag) = id.resolve();
+        self.feed_insert_routed(compiled, bag, id, value, label, *tag, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn feed_insert_routed<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        id: ElemId,
+        value: &Value,
+        label: Symbol,
+        tag: Tag,
+        first_position_only: bool,
+    ) {
         // A sliced network only anchors tokens it owns at level 0; the
         // element still joins existing prefixes at deeper levels.
-        let enter_level0 = self.slice.as_ref().is_none_or(|s| s.owns(e.label, e.tag));
-        self.collect_route(e.label);
+        let enter_level0 = self.slice.as_ref().is_none_or(|s| s.owns(label, tag));
         let route = std::mem::take(&mut self.route);
         for &r in &route {
             self.nets[r].on_insert(
                 &compiled.reactions[r],
                 bag,
-                e,
+                id,
+                value,
+                label,
+                tag,
                 first_position_only,
                 enter_level0,
                 &mut self.stats,
@@ -1550,23 +1657,64 @@ impl ReteNetwork {
     }
 
     fn feed_remove<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, e: &Element) {
-        self.collect_route(e.label);
+        // A removed occurrence was necessarily interned at insert time;
+        // one lookup serves every routed net. `None` can only happen for
+        // an element that never entered any bag — no token can use it,
+        // but a spilled reaction's cached answer may still go stale.
+        match ElemId::lookup(e) {
+            Some(id) => {
+                self.collect_route(e.label);
+                self.feed_remove_routed(compiled, bag, id, &e.value, e.label, e.tag);
+            }
+            None => {
+                self.collect_route(e.label);
+                let route = std::mem::take(&mut self.route);
+                for &r in &route {
+                    self.stats.removals += 1;
+                    if self.nets[r].cached_enabled == Some(true) {
+                        self.nets[r].cached_enabled = None;
+                    }
+                    self.nets[r].maybe_repromote(&compiled.reactions[r], bag, &mut self.stats);
+                }
+                self.route = route;
+            }
+        }
+    }
+
+    /// Feed an already-interned remove delta (id-level twin of
+    /// [`ReteNetwork::feed_remove`], minus the arena lookup).
+    fn feed_remove_id<S: MatchSource>(&mut self, compiled: &CompiledProgram, bag: &S, id: ElemId) {
+        let label = id.label();
+        self.collect_route(label);
+        let (value, tag) = id.resolve();
+        self.feed_remove_routed(compiled, bag, id, value, label, *tag);
+    }
+
+    fn feed_remove_routed<S: MatchSource>(
+        &mut self,
+        compiled: &CompiledProgram,
+        bag: &S,
+        id: ElemId,
+        value: &Value,
+        label: Symbol,
+        tag: Tag,
+    ) {
         let route = std::mem::take(&mut self.route);
         // The remaining-count probe is a shard lock on the sharded
         // engine; read it lazily and only for nets that actually hold a
         // token using the element.
         let mut remaining: Option<usize> = None;
         for &r in &route {
-            if self.nets[r].uses.contains_key(e) {
+            if self.nets[r].uses.contains_key(&id) {
                 let rem = match remaining {
                     Some(x) => x,
                     None => {
-                        let x = bag.count_at(e.label, e.tag, &e.value);
+                        let x = bag.count_at(label, tag, value);
                         remaining = Some(x);
                         x
                     }
                 };
-                self.nets[r].on_remove(e, rem, &mut self.stats);
+                self.nets[r].on_remove(id, rem, &mut self.stats);
             } else {
                 // No token to retire, but a spilled reaction's cached
                 // "enabled" may have rested on a virtual completion

@@ -55,7 +55,7 @@
 //! random programs.
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, SearchScratch};
-use gammaflow_multiset::{Element, ElementBag, FxHashMap, Symbol};
+use gammaflow_multiset::{ElemId, Element, ElementBag, FxHashMap, Symbol};
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
@@ -135,8 +135,11 @@ enum DirtyState {
     /// pre-existing tuples not involving any delta may match).
     Full,
     /// Was clean, then these elements were inserted: matches, if any, must
-    /// involve one of them, so anchored probes suffice.
-    Anchored(Vec<Element>),
+    /// involve one of them, so anchored probes suffice. Anchors are held
+    /// as arena ids — a worklist entry is a `u64`, not an owned element —
+    /// and resolved back to an [`Element`] only when a probe actually
+    /// runs.
+    Anchored(Vec<ElemId>),
 }
 
 /// Scheduler observability counters. Serialisable so session snapshots
@@ -240,6 +243,10 @@ impl DeltaScheduler {
             stats,
             ..
         } = self;
+        // One intern per inserted element, shared by every dependent's
+        // anchor list (the element is already in the bag, so this is a
+        // hash-cons hit). Skipped entirely in full-search mode.
+        let mut anchor_id: Option<ElemId> = None;
         deps.for_each_dependent(element.label, |r| {
             if !use_anchors {
                 if state[r] == DirtyState::Clean {
@@ -250,9 +257,10 @@ impl DeltaScheduler {
                 state[r] = DirtyState::Full;
                 return;
             }
+            let id = *anchor_id.get_or_insert_with(|| ElemId::intern(element));
             match &mut state[r] {
                 DirtyState::Clean => {
-                    state[r] = DirtyState::Anchored(vec![element.clone()]);
+                    state[r] = DirtyState::Anchored(vec![id]);
                     worklist.push(r);
                 }
                 DirtyState::Full => {
@@ -263,7 +271,7 @@ impl DeltaScheduler {
                     if anchors.len() >= MAX_ANCHORS {
                         state[r] = DirtyState::Full;
                     } else {
-                        anchors.push(element.clone());
+                        anchors.push(id);
                     }
                 }
             }
@@ -357,12 +365,13 @@ impl DeltaScheduler {
                     // Anchors are probed in insertion (index) order, so the
                     // deterministic path stays reproducible.
                     let mut found = None;
-                    for anchor in &anchors {
+                    for &anchor_id in &anchors {
                         self.stats.anchored_probes += 1;
+                        let anchor = anchor_id.to_element();
                         found = compiled.reactions[reaction].find_match_anchored(
                             reaction,
                             bag,
-                            anchor,
+                            &anchor,
                             rng.as_deref_mut(),
                             &mut self.scratch,
                         )?;

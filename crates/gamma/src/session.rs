@@ -1196,6 +1196,13 @@ impl Session {
         reg.counter("gamma_elements_produced_total", &[], self.stats.produced);
         reg.gauge("gamma_bag_len", &[], self.bag_len() as f64);
         reg.counter("gamma_vm_tier_ups_total", &[], self.tier_ups);
+        // Element-arena census. The arena is process-global (ids must be
+        // meaningful across every engine and worker), so these gauges
+        // describe the process, not this session alone.
+        let arena = gammaflow_multiset::arena_stats();
+        reg.gauge("gamma_arena_slots", &[], arena.slots as f64);
+        reg.gauge("gamma_arena_bytes", &[], arena.bytes as f64);
+        reg.counter("gamma_arena_hits_total", &[], arena.hits);
         for (r, row) in self.profiles.rows.iter().enumerate() {
             let labels: &[(&str, &str)] = &[("reaction", row.name.as_str())];
             if let Some(cr) = self.compiled.reactions.get(r) {
@@ -1472,8 +1479,14 @@ fn engine_desc(config: &EngineConfig) -> String {
 /// snapshot shape changes incompatibly.
 ///
 /// History: v1 had no `profiles` field; v2 added the per-reaction
-/// profile table.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// profile table; v3 marks the interned-arena storage era — the bag
+/// still serializes as portable `(element, count)` rows (arena ids
+/// never reach the wire; payloads are re-interned on restore), but a
+/// v3 bag's row order is the live-content insertion order the
+/// columnar buckets maintain, which restored deterministic waves key
+/// on. Pre-arena snapshots are rejected rather than silently replayed
+/// with a potentially different firing order.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A serializable point-in-time capture of a [`Session`], produced by
 /// [`Session::snapshot_state`] and consumed by [`Session::restore`]. See

@@ -38,6 +38,7 @@
 //! and final multisets are byte-identical at every tier.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gammaflow_multiset::value::{BinOp, CmpOp, UnOp, ValueError};
@@ -627,6 +628,23 @@ pub struct ReactionVm {
     slot_syms: Arc<[Symbol]>,
     baseline: ChunkSet,
     optimized: Option<ChunkSet>,
+    /// Observed rejects per pushed conjunct, flattened level-major
+    /// (`level_starts[k] + i` = level `k`'s `i`-th conjunct). Shared
+    /// across clones of the reaction so every evaluator feeds one
+    /// profile, and bumped through `&self` (guard dispatch holds the
+    /// reaction by shared borrow).
+    conjunct_rejects: Arc<[AtomicU64]>,
+    /// Offset of each level's first conjunct in `conjunct_rejects`.
+    level_starts: Vec<u32>,
+    /// Per-level conjunct dispatch order. Identity on the baseline
+    /// tier; re-sorted once at tier-up to try the most-rejecting
+    /// conjunct first. Conjunction is order-independent (guard errors
+    /// read as `false` either way), so only the short-circuit point —
+    /// never the decision — moves. Both guard evaluators
+    /// ([`GuardEvalMode::Vm`] and [`GuardEvalMode::Tree`]) consult this
+    /// same order, keeping the `guard_evals`/`guard_rejects` counters
+    /// mode-independent at every tier.
+    dispatch: Vec<Vec<u16>>,
 }
 
 impl ReactionVm {
@@ -645,6 +663,9 @@ impl ReactionVm {
                 clause_outputs: Vec::new(),
             },
             optimized: None,
+            conjunct_rejects: Vec::new().into(),
+            level_starts: Vec::new(),
+            dispatch: Vec::new(),
         }
     }
 
@@ -656,13 +677,41 @@ impl ReactionVm {
     ) -> ReactionVm {
         let slot_syms = slot_table(var_index);
         let baseline = ChunkSet::compile(spec, plan, var_index, &slot_syms, false);
+        let dispatch: Vec<Vec<u16>> = baseline
+            .level_conjuncts
+            .iter()
+            .map(|cs| (0..cs.len() as u16).collect())
+            .collect();
+        let mut level_starts = Vec::with_capacity(dispatch.len());
+        let mut total = 0u32;
+        for cs in &baseline.level_conjuncts {
+            level_starts.push(total);
+            total += cs.len() as u32;
+        }
+        let conjunct_rejects: Arc<[AtomicU64]> = (0..total).map(|_| AtomicU64::new(0)).collect();
         ReactionVm {
             mode: GuardEvalMode::default(),
             tier: Tier::Baseline,
             slot_syms,
             baseline,
             optimized: None,
+            conjunct_rejects,
+            level_starts,
+            dispatch,
         }
+    }
+
+    /// Join level `k`'s conjunct evaluation order (indices into
+    /// `level_conjuncts[k]` / the tree evaluator's `level_guards[k]`).
+    pub(crate) fn dispatch_order(&self, k: usize) -> &[u16] {
+        &self.dispatch[k]
+    }
+
+    /// Record that level `k`'s conjunct `i` rejected a candidate tuple.
+    /// Relaxed: the counters steer a heuristic, not correctness.
+    pub(crate) fn note_conjunct_reject(&self, k: usize, i: u16) {
+        self.conjunct_rejects[self.level_starts[k] as usize + i as usize]
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The evaluation mode the owning reaction dispatches under.
@@ -706,6 +755,23 @@ impl ReactionVm {
             &self.slot_syms,
             true,
         ));
+        // Re-sort each level's conjunct dispatch by observed rejects,
+        // most-rejecting first (index order breaks ties, and a level
+        // with no observed rejects keeps the plan's order): the cheapest
+        // way to kill a doomed candidate is the conjunct that kills most
+        // often. Happens only here — at a wave boundary — so no wave
+        // ever sees the order change mid-flight.
+        for (k, order) in self.dispatch.iter_mut().enumerate() {
+            let start = self.level_starts[k] as usize;
+            order.sort_by_key(|&i| {
+                (
+                    std::cmp::Reverse(
+                        self.conjunct_rejects[start + i as usize].load(Ordering::Relaxed),
+                    ),
+                    i,
+                )
+            });
+        }
         self.tier = Tier::Optimized;
         true
     }

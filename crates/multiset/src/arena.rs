@@ -1,0 +1,437 @@
+//! Interned element payloads — per-label arenas keyed by [`ElemId`].
+//!
+//! [`Symbol`] already interns *labels*; this module extends
+//! the same shape to whole element payloads. Every distinct `(value, tag)`
+//! pair observed under a label is hash-consed into that label's arena
+//! exactly once, and an [`ElemId`] — a packed `u64` of
+//! `(label index << 32) | payload slot` — becomes the currency of the hot
+//! paths: one hash at intern time, integer compares everywhere after.
+//! Beta tokens, delta mailbox messages, and the bag index all carry ids;
+//! guard evaluation borrows `&Value` straight out of the arena instead of
+//! cloning.
+//!
+//! Payloads are leaked (`Box::leak`) so [`ElemId::resolve`] hands out
+//! `&'static` references usable across worker threads without holding any
+//! lock while the reference lives. The leak is bounded by the number of
+//! *distinct* payloads ever interned — the same trade the label interner
+//! makes, and the same quantity a hash-consed bag must retain anyway. The
+//! arena is process-global (delta messages cross worker threads, so ids
+//! must resolve identically everywhere); per-shard isolation on the read
+//! path comes from payloads being written once at intern time and
+//! immutable after, so concurrent readers share no mutable cache line.
+//!
+//! Snapshots never serialise ids: bags serialise `(element, count)` rows
+//! and re-intern on load, so ids stay process-local and snapshots stay
+//! portable across processes (where interning order, and therefore slot
+//! numbering, differs).
+
+use crate::element::{Element, Tag};
+use crate::fxhash::FxHasher;
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// An interned element: `(label index << 32) | payload slot`.
+///
+/// Equality and hashing are single `u64` operations; the label is
+/// recoverable by a shift with no arena access at all. Ids are
+/// process-local (slot numbering depends on interning order) and are
+/// never serialised — snapshots carry elements and re-intern on restore.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(u64);
+
+/// One label's payload arena: a hash-consing table from `(value, tag)`
+/// payloads to slots, plus the slot table of leaked payloads.
+struct LabelArena {
+    inner: RwLock<LabelInner>,
+    /// Intern calls that found an existing slot (hash-cons hits).
+    hits: AtomicU64,
+    /// Estimated retained bytes: slot-table entries plus payload structs
+    /// plus string heap.
+    bytes: AtomicUsize,
+}
+
+#[derive(Default)]
+struct LabelInner {
+    /// Payload hash → slots with that hash (collision list; nearly always
+    /// a single entry). Keying by hash avoids materialising an owned
+    /// `(Value, Tag)` just to probe.
+    by_hash: FxHashMap<u64, Vec<u32>>,
+    slots: Vec<&'static (Value, Tag)>,
+}
+
+fn payload_hash(value: &Value, tag: Tag) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    tag.hash(&mut h);
+    h.finish()
+}
+
+fn payload_bytes(value: &Value) -> usize {
+    let heap = match value {
+        Value::Str(s) => s.len(),
+        _ => 0,
+    };
+    std::mem::size_of::<(Value, Tag)>() + std::mem::size_of::<&'static (Value, Tag)>() + heap
+}
+
+/// Label index → that label's arena. Append-only; arenas are leaked so a
+/// resolved table reference outlives the directory read lock.
+fn directory() -> &'static RwLock<Vec<&'static LabelArena>> {
+    static DIR: OnceLock<RwLock<Vec<&'static LabelArena>>> = OnceLock::new();
+    DIR.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+fn leak_arena() -> &'static LabelArena {
+    Box::leak(Box::new(LabelArena {
+        inner: RwLock::new(LabelInner::default()),
+        hits: AtomicU64::new(0),
+        bytes: AtomicUsize::new(0),
+    }))
+}
+
+fn table_for(label: Symbol) -> &'static LabelArena {
+    let idx = label.index() as usize;
+    {
+        let dir = directory().read();
+        if let Some(t) = dir.get(idx) {
+            return t;
+        }
+    }
+    let mut dir = directory().write();
+    while dir.len() <= idx {
+        // Dense fill: labels interned before their first element still get
+        // (empty) arenas, keeping `directory[label.index()]` total.
+        dir.push(leak_arena());
+    }
+    dir[idx]
+}
+
+impl ElemId {
+    /// Intern an element's payload, returning its id. Idempotent; a
+    /// repeat intern is a hash-cons hit (one hash + one read lock).
+    #[inline]
+    pub fn intern(e: &Element) -> ElemId {
+        Self::intern_parts(e.label, &e.value, e.tag)
+    }
+
+    /// Intern from borrowed parts: the value is cloned only the first
+    /// time this `(label, value, tag)` payload is ever seen.
+    pub fn intern_parts(label: Symbol, value: &Value, tag: Tag) -> ElemId {
+        let t = table_for(label);
+        let h = payload_hash(value, tag);
+        {
+            let g = t.inner.read();
+            if let Some(slot) = find_slot(&g, h, value, tag) {
+                t.hits.fetch_add(1, Ordering::Relaxed);
+                return ElemId::from_parts(label.index(), slot);
+            }
+        }
+        let mut g = t.inner.write();
+        if let Some(slot) = find_slot(&g, h, value, tag) {
+            t.hits.fetch_add(1, Ordering::Relaxed);
+            return ElemId::from_parts(label.index(), slot);
+        }
+        let slot = u32::try_from(g.slots.len()).expect("element arena overflow");
+        let leaked: &'static (Value, Tag) =
+            std::boxed::Box::leak(std::boxed::Box::new((value.clone(), tag)));
+        g.slots.push(leaked);
+        g.by_hash.entry(h).or_default().push(slot);
+        t.bytes.fetch_add(payload_bytes(value), Ordering::Relaxed);
+        ElemId::from_parts(label.index(), slot)
+    }
+
+    /// The id of an already-interned payload, without interning. `None`
+    /// means the payload has never been in any bag (so no token, delta,
+    /// or count can reference it) — lookups of absent elements do not
+    /// grow the arena.
+    #[inline]
+    pub fn lookup(e: &Element) -> Option<ElemId> {
+        Self::lookup_parts(e.label, &e.value, e.tag)
+    }
+
+    /// Non-interning lookup from borrowed parts.
+    pub fn lookup_parts(label: Symbol, value: &Value, tag: Tag) -> Option<ElemId> {
+        let idx = label.index() as usize;
+        let t = {
+            let dir = directory().read();
+            *dir.get(idx)?
+        };
+        let h = payload_hash(value, tag);
+        let g = t.inner.read();
+        find_slot(&g, h, value, tag).map(|slot| ElemId::from_parts(label.index(), slot))
+    }
+
+    /// Re-pack an id from a label index and payload slot. Only values
+    /// previously unpacked via [`ElemId::label_index`]/[`ElemId::slot`]
+    /// are meaningful (the bag stores bare slots and re-packs on
+    /// iteration).
+    #[inline]
+    pub(crate) fn from_parts(label_index: u32, slot: u32) -> ElemId {
+        ElemId(((label_index as u64) << 32) | slot as u64)
+    }
+
+    /// The raw packed id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The label's interner index — a shift, no arena access.
+    #[inline]
+    pub fn label_index(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The payload slot within the label's arena.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The label symbol.
+    #[inline]
+    pub fn label(self) -> Symbol {
+        Symbol::from_index(self.label_index())
+    }
+
+    /// Resolve to the interned payload. The reference is `'static`: it
+    /// stays valid with no lock held, across threads, for the process
+    /// lifetime.
+    pub fn resolve(self) -> &'static (Value, Tag) {
+        let t = {
+            let dir = directory().read();
+            dir[self.label_index() as usize]
+        };
+        let g = t.inner.read();
+        g.slots[self.slot() as usize]
+    }
+
+    /// The payload tag.
+    #[inline]
+    pub fn tag(self) -> Tag {
+        self.resolve().1
+    }
+
+    /// Materialise an owned [`Element`] (value clone is a refcount bump
+    /// for strings, a copy for scalars).
+    pub fn to_element(self) -> Element {
+        let (value, tag) = self.resolve();
+        Element {
+            value: value.clone(),
+            label: self.label(),
+            tag: *tag,
+        }
+    }
+
+    /// The id of the same payload at the successor tag (`inctag`
+    /// semantics) — one resolve, one intern, no owned intermediate.
+    pub fn with_next_tag(self) -> ElemId {
+        let (value, tag) = self.resolve();
+        ElemId::intern_parts(self.label(), value, tag.next())
+    }
+
+    /// The id of the same payload on another label.
+    pub fn relabelled(self, label: Symbol) -> ElemId {
+        let (value, tag) = self.resolve();
+        ElemId::intern_parts(label, value, *tag)
+    }
+}
+
+fn find_slot(g: &LabelInner, h: u64, value: &Value, tag: Tag) -> Option<u32> {
+    g.by_hash.get(&h)?.iter().copied().find(|&s| {
+        let p = g.slots[s as usize];
+        p.1 == tag && p.0 == *value
+    })
+}
+
+impl fmt::Debug for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ElemId({}#{})", self.label(), self.slot())
+    }
+}
+
+/// Aggregate arena statistics, for metrics export and the inspector's
+/// census line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Labels with at least one interned payload slot.
+    pub labels: usize,
+    /// Distinct payload slots across all labels.
+    pub slots: usize,
+    /// Estimated retained bytes (slot tables + payloads + string heap).
+    pub bytes: usize,
+    /// Lifetime hash-cons hits (interns that found an existing slot).
+    pub hits: u64,
+}
+
+/// Snapshot the process-global arena statistics.
+pub fn arena_stats() -> ArenaStats {
+    let dir = directory().read();
+    let mut out = ArenaStats::default();
+    for t in dir.iter() {
+        let slots = t.inner.read().slots.len();
+        if slots > 0 {
+            out.labels += 1;
+        }
+        out.slots += slots;
+        out.bytes += t.bytes.load(Ordering::Relaxed);
+        out.hits += t.hits.load(Ordering::Relaxed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: i64, l: &str, t: u64) -> Element {
+        Element::new(v, l, t)
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_hash_consed() {
+        let a = ElemId::intern(&e(1, "arena-A", 0));
+        let b = ElemId::intern(&e(1, "arena-A", 0));
+        assert_eq!(a, b);
+        let c = ElemId::intern(&e(2, "arena-A", 0));
+        assert_ne!(a, c);
+        let d = ElemId::intern(&e(1, "arena-A", 1));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn label_packed_in_id() {
+        let id = ElemId::intern(&e(7, "arena-L", 3));
+        assert_eq!(id.label(), Symbol::intern("arena-L"));
+        assert_eq!(id.label_index(), Symbol::intern("arena-L").index());
+        assert_eq!(id.tag(), Tag(3));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let orig = e(42, "arena-R", 9);
+        let id = ElemId::intern(&orig);
+        let (v, t) = id.resolve();
+        assert_eq!(*v, orig.value);
+        assert_eq!(*t, orig.tag);
+        assert_eq!(id.to_element(), orig);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let probe = e(123_456, "arena-miss", 77);
+        assert_eq!(ElemId::lookup(&probe), None);
+        let before = arena_stats().slots;
+        assert_eq!(ElemId::lookup(&probe), None);
+        assert_eq!(arena_stats().slots, before);
+        let id = ElemId::intern(&probe);
+        assert_eq!(ElemId::lookup(&probe), Some(id));
+    }
+
+    #[test]
+    fn derived_ids_share_payload_values() {
+        let id = ElemId::intern(&e(5, "arena-D", 0));
+        let next = id.with_next_tag();
+        assert_eq!(next.label(), id.label());
+        assert_eq!(next.tag(), Tag(1));
+        assert_eq!(next.resolve().0, id.resolve().0);
+        let other = id.relabelled(Symbol::intern("arena-D2"));
+        assert_eq!(other.tag(), Tag(0));
+        assert_eq!(other.resolve().0, Value::int(5));
+    }
+
+    #[test]
+    fn stats_count_hits_and_slots() {
+        let before = arena_stats();
+        ElemId::intern(&e(1, "arena-S", 0));
+        ElemId::intern(&e(1, "arena-S", 0));
+        ElemId::intern(&e(2, "arena-S", 0));
+        let after = arena_stats();
+        assert!(after.slots >= before.slots + 2);
+        assert!(after.hits > before.hits);
+        assert!(after.bytes > before.bytes);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _ = i;
+                    ElemId::intern(&e(99, "arena-con", 5)).raw()
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    fn arb_payload() -> impl proptest::Strategy<Value = Element> {
+        use proptest::prelude::*;
+        let value = prop_oneof![
+            (-8i64..8).prop_map(Value::int),
+            "[a-c]{0,3}".prop_map(Value::str),
+        ];
+        (value, 0usize..3, 0u64..3).prop_map(|(v, l, t)| {
+            let labels = ["arena-P0", "arena-P1", "arena-P2"];
+            Element::new(v, labels[l], t)
+        })
+    }
+
+    proptest::proptest! {
+        /// intern → resolve → re-intern is the identity, and interning is
+        /// injective on payloads: equal elements always share one id and
+        /// one slot (hash-consing), distinct elements never collide.
+        #[test]
+        fn prop_intern_resolve_round_trip(
+            elems in proptest::collection::vec(arb_payload(), 1..40),
+        ) {
+            for e in &elems {
+                let id = ElemId::intern(e);
+                proptest::prop_assert_eq!(id.to_element(), e.clone());
+                proptest::prop_assert_eq!(ElemId::intern(&id.to_element()), id);
+                proptest::prop_assert_eq!(ElemId::lookup(e), Some(id));
+            }
+            for a in &elems {
+                for b in &elems {
+                    let same = ElemId::intern(a) == ElemId::intern(b);
+                    proptest::prop_assert_eq!(same, a == b);
+                }
+            }
+        }
+
+        /// Re-interning a payload any number of times keeps handing back
+        /// the slot the first intern allocated — multiplicity lives in the
+        /// bag, never in the arena — and every re-intern counts as a hit.
+        /// (Stats are process-global, so the hit delta is a lower bound:
+        /// other test threads may intern concurrently.)
+        #[test]
+        fn prop_hash_consing_multiplicity(
+            elems in proptest::collection::vec(arb_payload(), 1..40),
+        ) {
+            let first: Vec<ElemId> = elems.iter().map(ElemId::intern).collect();
+            let before_hits = arena_stats().hits;
+            for (e, &id) in elems.iter().zip(&first) {
+                proptest::prop_assert_eq!(ElemId::intern(e), id);
+                proptest::prop_assert_eq!(ElemId::intern(e), id);
+            }
+            let after_hits = arena_stats().hits;
+            proptest::prop_assert!(after_hits >= before_hits + 2 * elems.len() as u64);
+        }
+    }
+
+    #[test]
+    fn string_values_hash_cons() {
+        let a = ElemId::intern(&Element::new(Value::str("shared"), "arena-str", Tag(0)));
+        let b = ElemId::intern(&Element::new(Value::str("shared"), "arena-str", Tag(0)));
+        assert_eq!(a, b);
+        // The resolved reference is the same allocation for both.
+        assert!(std::ptr::eq(a.resolve(), b.resolve()));
+    }
+}

@@ -80,21 +80,27 @@ impl Element {
     }
 
     /// Same element content at the successor tag (inctag semantics).
+    ///
+    /// Routed through the element arena: the derived payload is interned
+    /// once and the returned value shares the arena's canonical
+    /// allocation, so repeated derivation of the same element is a
+    /// hash-cons hit and every downstream insert of the result is too.
+    /// Hot paths that already hold an id use
+    /// [`ElemId::with_next_tag`](crate::arena::ElemId::with_next_tag)
+    /// and never materialise an `Element` at all.
     pub fn with_next_tag(&self) -> Element {
-        Element {
-            value: self.value.clone(),
-            label: self.label,
-            tag: self.tag.next(),
-        }
+        crate::arena::ElemId::intern(self)
+            .with_next_tag()
+            .to_element()
     }
 
-    /// Same element content relabelled onto another edge.
+    /// Same element content relabelled onto another edge. Arena-routed
+    /// like [`Element::with_next_tag`]; the id-level twin is
+    /// [`ElemId::relabelled`](crate::arena::ElemId::relabelled).
     pub fn relabelled(&self, label: Symbol) -> Element {
-        Element {
-            value: self.value.clone(),
-            label,
-            tag: self.tag,
-        }
+        crate::arena::ElemId::intern(self)
+            .relabelled(label)
+            .to_element()
     }
 }
 

@@ -1,4 +1,4 @@
-//! `(label, tag)`-indexed multiset of [`Element`]s.
+//! `(label, tag)`-indexed multiset of [`Element`]s over interned payloads.
 //!
 //! Reaction matching is the performance heart of any Gamma implementation:
 //! a k-ary reaction naively scans O(|M|^k) tuples. Algorithm 1's image has a
@@ -7,7 +7,17 @@
 //! `(label, tag)` turns matching into bucket lookups. This mirrors how the
 //! waiting–matching store of a tagged-token dataflow machine is keyed, which
 //! is itself one facet of the paper's equivalence.
+//!
+//! Storage is **columnar over the element arena**
+//! ([`crate::arena`]): a bucket row is `(payload slot, count, cached
+//! payload reference)`, so the bag never owns a `Value` — payloads live
+//! once in the per-label arena and every insert beyond the first is a
+//! counter bump found by one hash. Bucket rows keep *insertion
+//! order*, which makes deterministic-mode match enumeration independent of
+//! arena slot numbering (and therefore of what other sessions in the
+//! process have interned).
 
+use crate::arena::ElemId;
 use crate::bag::HashBag;
 use crate::element::{Element, Tag};
 use crate::symbol::Symbol;
@@ -16,14 +26,181 @@ use crate::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One `(label, tag)` bucket: counted payload rows in insertion order,
+/// keyed by arena slot.
+///
+/// Iteration order is the order in which payloads last *became present*
+/// (a row whose count drops to zero leaves the order entirely; a later
+/// re-insert appends like a fresh payload). That makes the order a pure
+/// function of the live-content operation sequence — independent of
+/// arena slot numbering (so unrelated sessions sharing the process
+/// arena can't perturb deterministic traces) and reproduced exactly by
+/// a snapshot restore, which re-inserts rows in serialisation order
+/// (= this iteration order). Dead rows are compacted away once they
+/// dominate, preserving live-row order.
+#[derive(Clone)]
+pub struct ValueBucket {
+    label: Symbol,
+    tag: Tag,
+    rows: Vec<BucketRow>,
+    /// Arena slot → index of the slot's *live* row, if any. Unlinked the
+    /// moment a count reaches zero.
+    by_slot: FxHashMap<u32, u32>,
+    /// Total occurrences (counting multiplicity).
+    len: usize,
+    /// Rows with a nonzero count.
+    live_rows: usize,
+}
+
+#[derive(Clone)]
+struct BucketRow {
+    slot: u32,
+    count: usize,
+    /// Cached arena payload — reads are pure pointer derefs, no arena
+    /// lock, no shared mutable cache line between workers.
+    value: &'static Value,
+}
+
+impl ValueBucket {
+    fn new(label: Symbol, tag: Tag) -> ValueBucket {
+        ValueBucket {
+            label,
+            tag,
+            rows: Vec::new(),
+            by_slot: FxHashMap::default(),
+            len: 0,
+            live_rows: 0,
+        }
+    }
+
+    /// Total occurrences in this bucket, counting multiplicity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bucket holds no occurrences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct values present.
+    #[inline]
+    pub fn distinct_len(&self) -> usize {
+        self.live_rows
+    }
+
+    /// Multiplicity of `value` in this bucket.
+    pub fn count(&self, value: &Value) -> usize {
+        ElemId::lookup_parts(self.label, value, self.tag).map_or(0, |id| self.count_slot(id.slot()))
+    }
+
+    /// Multiplicity of the payload at arena `slot`.
+    #[inline]
+    pub fn count_slot(&self, slot: u32) -> usize {
+        self.by_slot
+            .get(&slot)
+            .map_or(0, |&r| self.rows[r as usize].count)
+    }
+
+    fn insert_slot(&mut self, slot: u32, value: &'static Value, n: usize) {
+        match self.by_slot.get(&slot) {
+            Some(&r) => self.rows[r as usize].count += n,
+            None => {
+                self.by_slot.insert(slot, self.rows.len() as u32);
+                self.rows.push(BucketRow {
+                    slot,
+                    count: n,
+                    value,
+                });
+                self.live_rows += 1;
+            }
+        }
+        self.len += n;
+    }
+
+    /// Remove one occurrence of the payload at `slot`. Returns `true` if
+    /// it was present.
+    fn remove_slot(&mut self, slot: u32) -> bool {
+        let Some(&r) = self.by_slot.get(&slot) else {
+            return false;
+        };
+        let row = &mut self.rows[r as usize];
+        row.count -= 1;
+        self.len -= 1;
+        if row.count == 0 {
+            // The row leaves the enumeration order; a future re-insert
+            // appends a fresh row. Snapshots carry only live rows, so
+            // this keeps restored enumeration identical to an
+            // uninterrupted run's.
+            self.by_slot.remove(&slot);
+            self.live_rows -= 1;
+            self.maybe_compact();
+        }
+        true
+    }
+
+    /// Compact away tombstones once they dominate, preserving relative
+    /// row order (so enumeration order stays a function of the op
+    /// history, not of when compaction ran — it runs deterministically).
+    fn maybe_compact(&mut self) {
+        let dead = self.rows.len() - self.live_rows;
+        if dead <= 8 || dead <= self.live_rows {
+            return;
+        }
+        self.rows.retain(|row| row.count > 0);
+        self.by_slot.clear();
+        for (i, row) in self.rows.iter().enumerate() {
+            self.by_slot.insert(row.slot, i as u32);
+        }
+    }
+
+    /// Iterate distinct live values with their multiplicities, in
+    /// insertion order. This is the non-allocating accessor the
+    /// reaction-match inner loop runs on.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (&Value, usize)> + '_ {
+        self.rows
+            .iter()
+            .filter(|row| row.count > 0)
+            .map(|row| (row.value, row.count))
+    }
+
+    /// Iterate live rows carrying their [`ElemId`]s — the id-first twin
+    /// of [`ValueBucket::iter_counts`] the join matcher builds tokens
+    /// from (the id is free here; no hashing, no arena access).
+    pub fn iter_ids(&self) -> impl Iterator<Item = (ElemId, &Value, usize)> + '_ {
+        let label_index = self.label.index();
+        self.rows
+            .iter()
+            .filter(|row| row.count > 0)
+            .map(move |row| {
+                (
+                    ElemId::from_parts(label_index, row.slot),
+                    row.value,
+                    row.count,
+                )
+            })
+    }
+
+    /// Iterate every occurrence (values with multiplicity `k` appear `k`
+    /// times).
+    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.iter_counts()
+            .flat_map(|(v, c)| std::iter::repeat_n(v, c))
+    }
+}
+
 /// A multiset of `[value, label, tag]` elements with a two-level
-/// label → tag → values index.
+/// label → tag → values index over arena-interned payloads.
 ///
 /// Serialised as a `(element, count)` pair list; the index is rebuilt on
-/// load (it is derived data, and JSON map keys must be strings).
+/// load (it is derived data, and JSON map keys must be strings) and
+/// payloads re-intern into the local process's arena, which is what keeps
+/// snapshots portable across processes.
 #[derive(Clone, Default)]
 pub struct ElementBag {
-    index: FxHashMap<Symbol, FxHashMap<Tag, HashBag<Value>>>,
+    index: FxHashMap<Symbol, FxHashMap<Tag, ValueBucket>>,
     len: usize,
 }
 
@@ -64,27 +241,66 @@ impl ElementBag {
 
     /// Insert one occurrence of `e`.
     pub fn insert(&mut self, e: Element) {
-        self.insert_n(e, 1);
+        self.insert_ref_n(&e, 1);
     }
 
     /// Insert `n` occurrences of `e`.
     pub fn insert_n(&mut self, e: Element, n: usize) {
+        self.insert_ref_n(&e, n);
+    }
+
+    /// Insert one occurrence by reference — no `Value` clone at all when
+    /// the payload is already interned (the steady state of every hot
+    /// loop).
+    pub fn insert_ref(&mut self, e: &Element) {
+        self.insert_ref_n(e, 1);
+    }
+
+    /// Insert `n` occurrences by reference.
+    pub fn insert_ref_n(&mut self, e: &Element, n: usize) {
         if n == 0 {
             return;
         }
+        let id = ElemId::intern(e);
+        self.insert_id_resolved(id, n);
+    }
+
+    /// Insert `n` occurrences of an already-interned payload.
+    pub fn insert_id(&mut self, id: ElemId, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.insert_id_resolved(id, n);
+    }
+
+    fn insert_id_resolved(&mut self, id: ElemId, n: usize) {
+        let (value, tag) = id.resolve();
+        let label = id.label();
         self.index
-            .entry(e.label)
+            .entry(label)
             .or_default()
-            .entry(e.tag)
-            .or_default()
-            .insert_n(e.value, n);
+            .entry(*tag)
+            .or_insert_with(|| ValueBucket::new(label, *tag))
+            .insert_slot(id.slot(), value, n);
         self.len += n;
     }
 
     /// Multiplicity of `e`.
     pub fn count(&self, e: &Element) -> usize {
-        self.bucket(e.label, e.tag)
-            .map_or(0, |bucket| bucket.count(&e.value))
+        let Some(id) = ElemId::lookup(e) else {
+            return 0;
+        };
+        self.count_id(id, e.tag)
+    }
+
+    /// Multiplicity of an interned payload (`tag` avoids an arena
+    /// resolve; it must be the id's payload tag).
+    #[inline]
+    pub fn count_id(&self, id: ElemId, tag: Tag) -> usize {
+        self.index
+            .get(&id.label())
+            .and_then(|tags| tags.get(&tag))
+            .map_or(0, |bucket| bucket.count_slot(id.slot()))
     }
 
     /// True if `e` occurs at least once.
@@ -94,19 +310,29 @@ impl ElementBag {
 
     /// Remove one occurrence of `e`. Returns `true` if present.
     pub fn remove(&mut self, e: &Element) -> bool {
-        let Some(tags) = self.index.get_mut(&e.label) else {
+        let Some(id) = ElemId::lookup(e) else {
             return false;
         };
-        let Some(bucket) = tags.get_mut(&e.tag) else {
+        self.remove_id(id, e.tag)
+    }
+
+    /// Remove one occurrence of an interned payload. Returns `true` if
+    /// present (`tag` must be the id's payload tag).
+    pub fn remove_id(&mut self, id: ElemId, tag: Tag) -> bool {
+        let label = id.label();
+        let Some(tags) = self.index.get_mut(&label) else {
             return false;
         };
-        if !bucket.remove(&e.value) {
+        let Some(bucket) = tags.get_mut(&tag) else {
+            return false;
+        };
+        if !bucket.remove_slot(id.slot()) {
             return false;
         }
         if bucket.is_empty() {
-            tags.remove(&e.tag);
+            tags.remove(&tag);
             if tags.is_empty() {
-                self.index.remove(&e.label);
+                self.index.remove(&label);
             }
         }
         self.len -= 1;
@@ -117,18 +343,28 @@ impl ElementBag {
     /// is unavailable (with multiplicity) nothing is removed and `false` is
     /// returned. The consume half of a Γ step.
     pub fn remove_all(&mut self, items: &[Element]) -> bool {
-        // Availability check with duplicate demand.
-        let mut demand: FxHashMap<&Element, usize> = FxHashMap::default();
+        // Availability check with duplicate demand, on ids (one payload
+        // hash per distinct item, integer keys after).
+        let mut ids: Vec<(ElemId, Tag)> = Vec::with_capacity(items.len());
         for e in items {
-            *demand.entry(e).or_insert(0) += 1;
-        }
-        for (e, need) in &demand {
-            if self.count(e) < *need {
+            let Some(id) = ElemId::lookup(e) else {
                 return false;
+            };
+            ids.push((id, e.tag));
+        }
+        let mut demand: FxHashMap<ElemId, usize> = FxHashMap::default();
+        for &(id, _) in &ids {
+            *demand.entry(id).or_insert(0) += 1;
+        }
+        for (&(id, tag), _) in ids.iter().zip(items) {
+            if let Some(&need) = demand.get(&id) {
+                if self.count_id(id, tag) < need {
+                    return false;
+                }
             }
         }
-        for e in items {
-            let removed = self.remove(e);
+        for (id, tag) in ids {
+            let removed = self.remove_id(id, tag);
             debug_assert!(removed);
         }
         true
@@ -136,7 +372,7 @@ impl ElementBag {
 
     /// The value bucket for `(label, tag)`, if any elements are present.
     #[inline]
-    pub fn bucket(&self, label: Symbol, tag: Tag) -> Option<&HashBag<Value>> {
+    pub fn bucket(&self, label: Symbol, tag: Tag) -> Option<&ValueBucket> {
         self.index.get(&label).and_then(|tags| tags.get(&tag))
     }
 
@@ -163,8 +399,8 @@ impl ElementBag {
     /// Iterate over the distinct values in the `(label, tag)` bucket with
     /// their multiplicities, without materialising anything. This is the
     /// non-allocating accessor the reaction-match inner loop runs on: a
-    /// probe walks the bucket in index order and stops at the first hit,
-    /// instead of cloning the whole bucket into a `Vec` first.
+    /// probe walks the bucket in insertion order and stops at the
+    /// first hit, instead of cloning the whole bucket into a `Vec` first.
     pub fn values_with_counts(
         &self,
         label: Symbol,
@@ -347,6 +583,18 @@ mod tests {
     }
 
     #[test]
+    fn remove_all_of_never_interned_element_is_clean() {
+        let mut bag: ElementBag = [e(1, "A", 0)].into_iter().collect();
+        // An element nobody ever interned: lookup misses, nothing removed,
+        // and the failed probe must not grow the arena.
+        let absent = e(987_654_321, "never-interned-indexed", 3);
+        assert!(!bag.remove_all(&[e(1, "A", 0), absent.clone()]));
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.count(&absent), 0);
+        assert!(!bag.remove(&absent));
+    }
+
+    #[test]
     fn tags_are_isolated() {
         let mut bag = ElementBag::new();
         bag.insert(e(1, "A", 0));
@@ -387,6 +635,93 @@ mod tests {
         assert_eq!(a, b);
         let c: ElementBag = [e(1, "A", 0), e(2, "B", 1)].into_iter().collect();
         assert_ne!(a, c);
+    }
+
+    fn bucket_order(bag: &ElementBag, label: &str, tag: u64) -> Vec<i64> {
+        bag.values_with_counts(Symbol::intern(label), Tag(tag))
+            .map(|(v, _)| match v {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_iteration_is_insertion_ordered() {
+        let mut bag = ElementBag::new();
+        for v in [5, 3, 9, 3, 1] {
+            bag.insert(e(v, "ord", 0));
+        }
+        assert_eq!(bucket_order(&bag, "ord", 0), vec![5, 3, 9, 1]);
+        // A payload whose count reaches zero leaves the order; a later
+        // re-insert appends like a fresh payload.
+        assert!(bag.remove(&e(3, "ord", 0)));
+        assert!(bag.remove(&e(3, "ord", 0)));
+        assert_eq!(bucket_order(&bag, "ord", 0), vec![5, 9, 1]);
+        bag.insert(e(3, "ord", 0));
+        assert_eq!(bucket_order(&bag, "ord", 0), vec![5, 9, 1, 3]);
+    }
+
+    #[test]
+    fn rebuild_from_rows_preserves_enumeration_order() {
+        // A snapshot restore re-inserts `iter_counts()` rows in order; the
+        // restored bucket must enumerate identically even when the source
+        // had churn (removed-then-reinserted payloads).
+        let mut bag = ElementBag::new();
+        for v in [4, 8, 2, 6] {
+            bag.insert(e(v, "snap", 1));
+        }
+        assert!(bag.remove(&e(8, "snap", 1)));
+        bag.insert(e(8, "snap", 1)); // now last in enumeration order
+        let mut restored = ElementBag::new();
+        for (elem, c) in bag.iter_counts() {
+            restored.insert_n(elem, c);
+        }
+        assert_eq!(
+            bucket_order(&restored, "snap", 1),
+            bucket_order(&bag, "snap", 1)
+        );
+        assert_eq!(restored, bag);
+    }
+
+    #[test]
+    fn iter_ids_agrees_with_iter_counts() {
+        let mut bag = ElementBag::new();
+        bag.insert_n(e(4, "ids", 2), 3);
+        bag.insert(e(8, "ids", 2));
+        let bucket = bag.bucket(Symbol::intern("ids"), Tag(2)).unwrap();
+        let via_ids: Vec<(Element, usize)> = bucket
+            .iter_ids()
+            .map(|(id, v, c)| {
+                assert_eq!(id.to_element().value, *v);
+                (id.to_element(), c)
+            })
+            .collect();
+        let via_counts: Vec<(Element, usize)> = bucket
+            .iter_counts()
+            .map(|(v, c)| (Element::new(v.clone(), "ids", Tag(2)), c))
+            .collect();
+        assert_eq!(via_ids, via_counts);
+    }
+
+    #[test]
+    fn tombstone_compaction_preserves_counts() {
+        let mut bag = ElementBag::new();
+        // Churn one bucket hard enough to trigger compaction.
+        for round in 0..6 {
+            for v in 0..24 {
+                bag.insert(e(v + round * 100, "churn", 0));
+            }
+            for v in 0..24 {
+                assert!(bag.remove(&e(v + round * 100, "churn", 0)));
+            }
+        }
+        bag.insert(e(7, "churn", 0));
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.count(&e(7, "churn", 0)), 1);
+        let bucket = bag.bucket(Symbol::intern("churn"), Tag(0)).unwrap();
+        assert_eq!(bucket.distinct_len(), 1);
+        assert_eq!(bucket.iter_counts().count(), 1);
     }
 
     fn arb_elem() -> impl Strategy<Value = Element> {

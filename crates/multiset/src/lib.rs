@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bag;
 pub mod element;
 pub mod fxhash;
@@ -59,9 +60,10 @@ pub mod sharded;
 pub mod symbol;
 pub mod value;
 
+pub use arena::{arena_stats, ArenaStats, ElemId};
 pub use bag::HashBag;
 pub use element::{Element, Tag};
-pub use indexed::ElementBag;
+pub use indexed::{ElementBag, ValueBucket};
 pub use sharded::{shard_index, ShardedBag};
 pub use symbol::Symbol;
 pub use value::{Value, ValueError};

@@ -183,7 +183,7 @@ impl ShardedBag {
         }
         for e in produced {
             let g = &mut guards[guard_pos(self.shard_of(e.label, e.tag))];
-            g.insert(e.clone());
+            g.insert_ref(e);
         }
         drop(guards);
 

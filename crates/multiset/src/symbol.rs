@@ -69,6 +69,14 @@ impl Symbol {
         self.0
     }
 
+    /// The symbol at a raw interner index. The inverse of
+    /// [`Symbol::index`]; only indices obtained from it are meaningful
+    /// (the element arena packs label indices into its ids).
+    #[inline]
+    pub(crate) fn from_index(index: u32) -> Symbol {
+        Symbol(index)
+    }
+
     /// Number of distinct symbols interned so far (for sizing dense tables).
     pub fn count() -> usize {
         interner().read().strings.len()

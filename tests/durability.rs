@@ -288,6 +288,37 @@ fn restore_rejects_version_and_program_mismatches() {
     assert!(matches!(err, ExecError::Snapshot(_)), "{err:?}");
 }
 
+/// The interned-arena storage era bumped the snapshot format to v3.
+/// Pre-arena (v2) captures are refused outright — their bag rows were
+/// written before hash-consing and re-interning them silently could mask
+/// a divergent layout — while a v3 capture round-trips to byte-identical
+/// finals: the bag still serialises portable `(element, count)` rows, so
+/// nothing arena-specific (no `ElemId`) ever reaches the wire.
+#[test]
+fn restore_refuses_pre_arena_v2_and_accepts_v3() {
+    for (name, program, initial) in &confluent_workloads() {
+        let mut session = Session::build(program)
+            .start(initial.clone())
+            .expect("program compiles");
+        session.run_to_stable().expect("wave runs");
+        let reference = session.snapshot();
+        let snap = session.snapshot_state();
+        assert_eq!(snap.version, 3, "{name}: interned-arena snapshots are v3");
+
+        let mut pre_arena = snap.clone();
+        pre_arena.version = 2;
+        let Err(err) = Session::restore(program, pre_arena) else {
+            panic!("{name}: pre-arena v2 snapshot must be refused");
+        };
+        assert!(matches!(err, ExecError::Snapshot(_)), "{name}: {err:?}");
+
+        let mut restored =
+            Session::restore(program, snap).expect("v3 snapshot re-interns and restores");
+        restored.run_to_stable().expect("restored wave runs");
+        assert_eq!(restored.snapshot(), reference, "{name}");
+    }
+}
+
 /// `Status::BudgetExhausted` is a pause, not a failure: granting more
 /// budget mid-stream and re-running converges to the same final the
 /// unconstrained run computes (sequential engines, every scheduling).

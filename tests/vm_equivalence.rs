@@ -413,3 +413,88 @@ fn forced_mid_run_tier_up_preserves_traces_and_finals() {
         }
     }
 }
+
+/// Tier-up re-sorts each level's conjunct dispatch order by observed
+/// rejects (most-rejecting conjunct first), shared by both evaluator
+/// arms. A guard whose program-order-first conjunct never rejects stops
+/// paying for it once the reaction tiers: the almost-always-rejecting
+/// second conjunct short-circuits first, so wave-2 `guard_evals` drop
+/// strictly below the never-tiering baseline — while `guard_rejects`,
+/// the finals, and every wave-1 counter stay identical (rejection is a
+/// property of the whole conjunction, not of the dispatch order).
+#[test]
+fn tier_up_reorders_guard_dispatch_by_observed_rejects() {
+    use gammaflow::gamma::{ElementSpec, Pattern, ReactionSpec};
+
+    let spec = ReactionSpec::new("pick")
+        .replace(Pattern::pair("x", "n"))
+        .where_(Expr::and(
+            // Always true on this input: pure dispatch overhead.
+            Expr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(0)),
+            // Rejects 252 of every 256 candidates.
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("x"), Expr::int(64)),
+                Expr::int(0),
+            ),
+        ))
+        .by(vec![ElementSpec::pair(Expr::var("x"), "m")]);
+    let program = GammaProgram::new(vec![spec]);
+    let wave1: Vec<Element> = (0i64..256).map(|v| Element::pair(v, "n")).collect();
+    let wave2: Vec<Element> = (1000i64..1256).map(|v| Element::pair(v, "n")).collect();
+
+    let counters = |session: &Session| -> Vec<(u64, u64)> {
+        session
+            .profile()
+            .rows
+            .iter()
+            .map(|r| (r.guard_evals, r.guard_rejects))
+            .collect()
+    };
+    let run = |threshold: u64| {
+        let mut session = Session::build(&program)
+            .scheduling(Scheduling::Rete)
+            .selection(Selection::Deterministic)
+            .guard_eval(GuardEvalMode::Vm)
+            .vm_tier_threshold(threshold)
+            .start(ElementBag::new())
+            .expect("program compiles");
+        assert!(session.inject(wave1.clone()).is_accepted());
+        session.run_to_stable().expect("wave 1 runs");
+        let mid = counters(&session);
+        assert!(session.inject(wave2.clone()).is_accepted());
+        session.run_to_stable().expect("wave 2 runs");
+        let end = counters(&session);
+        let tier_ups = session.vm_tier_ups();
+        (mid, end, tier_ups, session.finish().multiset)
+    };
+
+    let (base_mid, base_end, base_tiers, base_final) = run(u64::MAX);
+    let (tier_mid, tier_end, tier_ups, tier_final) = run(1);
+
+    assert_eq!(base_tiers, 0, "threshold MAX must never tier");
+    assert!(tier_ups > 0, "threshold 1 must tier after wave 1");
+    assert_eq!(base_final, tier_final, "reorder changed the finals");
+
+    // Wave 1 runs at the identity (program) order in both sessions.
+    assert_eq!(base_mid, tier_mid, "pre-tier counters diverged");
+
+    // Rejection counts are order-independent: moving the short-circuit
+    // point never changes which candidates the conjunction rejects.
+    let rejects = |v: &[(u64, u64)]| v.iter().map(|&(_, r)| r).sum::<u64>();
+    assert_eq!(
+        rejects(&base_end),
+        rejects(&tier_end),
+        "reorder changed a guard decision"
+    );
+
+    // ...but the re-sorted order rejects at the first conjunct, so the
+    // tiered session evaluates strictly fewer conjuncts on wave 2.
+    let evals = |v: &[(u64, u64)]| v.iter().map(|&(e, _)| e).sum::<u64>();
+    assert!(
+        evals(&tier_end) < evals(&base_end),
+        "tiered wave-2 dispatch did not get cheaper: tiered={} baseline={}",
+        evals(&tier_end),
+        evals(&base_end)
+    );
+}
