@@ -6,6 +6,7 @@
 //! GAMMAFLOW_TRACE=/tmp/trace.jsonl cargo run --example streaming_session
 //! cargo run -p gammaflow-bench --bin gamma-inspect -- /tmp/trace.jsonl
 //! cargo run -p gammaflow-bench --bin gamma-inspect -- /tmp/trace.jsonl --top 5
+//! cargo run -p gammaflow-bench --bin gamma-inspect -- /tmp/gammad.jsonl --tenant t7
 //! ```
 //!
 //! Prints four views of the stream: an event-kind census, a one-line
@@ -13,10 +14,22 @@
 //! on each label's payload arena), a per-worker timeline (one row per
 //! worker per wave, in global-sequence order), and a top-N per-reaction
 //! table aggregated from the `firing` events.
+//!
+//! A multi-tenant `gammad` trace interleaves every tenant's records in
+//! one file, each line carrying a `tenant` key ahead of the plain
+//! record. `--tenant <id>` restricts every view to that stream;
+//! without it, a tenant census is printed above the event census.
 
 use gammaflow_gamma::{TraceEvent, TraceRecord, MAIN_WORKER};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// The service-side tenant tag spliced ahead of each record by
+/// `gammad`'s trace sink; absent on single-session traces.
+#[derive(serde::Deserialize)]
+struct TenantTag {
+    tenant: Option<String>,
+}
 
 /// Aggregated per-reaction figures from the stream's `firing` events.
 #[derive(Default)]
@@ -47,19 +60,54 @@ fn worker_name(w: i64) -> String {
     }
 }
 
-fn run(path: &str, top: usize) -> Result<(), String> {
+fn run(path: &str, top: usize, tenant: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records: Vec<TraceRecord> = Vec::new();
+    let mut tenants: BTreeMap<String, u64> = BTreeMap::new();
+    let mut skipped = 0u64;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
+        }
+        let tag: Option<String> = serde_json::from_str::<TenantTag>(line)
+            .ok()
+            .and_then(|t| t.tenant);
+        if let Some(t) = &tag {
+            *tenants.entry(t.clone()).or_default() += 1;
+        }
+        if let Some(want) = tenant {
+            if tag.as_deref() != Some(want) {
+                skipped += 1;
+                continue;
+            }
         }
         let rec: TraceRecord = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: not a trace record: {e}", i + 1))?;
         records.push(rec);
     }
     if records.is_empty() {
+        if let Some(want) = tenant {
+            let known: Vec<&str> = tenants.keys().map(String::as_str).collect();
+            return Err(format!(
+                "{path}: no records for tenant {want:?} (tenants in file: {})",
+                if known.is_empty() {
+                    "none".to_string()
+                } else {
+                    known.join(", ")
+                }
+            ));
+        }
         return Err(format!("{path}: no trace records"));
+    }
+    match tenant {
+        Some(want) => println!("tenant filter {want:?}: {skipped} other-stream records skipped"),
+        None if !tenants.is_empty() => {
+            println!("tenant census ({} streams):", tenants.len());
+            for (t, n) in &tenants {
+                println!("  {t:<20} {n:>8}");
+            }
+        }
+        None => {}
     }
 
     // Census: event kinds in first-seen order.
@@ -186,6 +234,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut top = 10usize;
+    let mut tenant: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -199,6 +248,13 @@ fn main() -> ExitCode {
                     });
                 i += 2;
             }
+            "--tenant" => {
+                tenant = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--tenant needs a tenant id");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             a if path.is_none() => {
                 path = Some(a.to_string());
                 i += 1;
@@ -210,10 +266,10 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: gamma-inspect <trace.jsonl> [--top N]");
+        eprintln!("usage: gamma-inspect <trace.jsonl> [--top N] [--tenant ID]");
         return ExitCode::from(2);
     };
-    match run(&path, top) {
+    match run(&path, top, tenant.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("gamma-inspect: {e}");

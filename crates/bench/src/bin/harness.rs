@@ -3,8 +3,8 @@
 //! (S1 → `BENCH_scheduling.json`, S2/S3 → `BENCH_matching.json`,
 //! S4 → `BENCH_parallel.json`, S5 → `BENCH_streaming.json`,
 //! S6 → `BENCH_recovery.json`, S7 → `BENCH_observability.json`,
-//! S8 → `BENCH_vm.json`, S9 → `BENCH_storage.json`) and prints them in
-//! one run.
+//! S8 → `BENCH_vm.json`, S9 → `BENCH_storage.json`,
+//! S10 → `BENCH_streaming_service.json`) and prints them in one run.
 //!
 //! ```sh
 //! cargo run --release -p gammaflow-bench --bin harness          # all
@@ -2340,6 +2340,312 @@ fn s9() {
     println!("wrote BENCH_storage.json");
 }
 
+// ----------------------------------------------------------------- S10 ----
+
+/// One dispatch strategy in BENCH_streaming_service.json.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ServiceRow {
+    strategy: String,
+    sessions: usize,
+    waves_per_session: usize,
+    elements_per_wave: usize,
+    driver_threads: usize,
+    total_waves: u64,
+    seconds: f64,
+    sessions_per_sec: f64,
+    waves_per_sec: f64,
+    p50_wave_us: f64,
+    p99_wave_us: f64,
+    pool_leases: u64,
+    pool_refusals: u64,
+    identical_finals: bool,
+}
+
+/// The BENCH_streaming_service.json schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ServiceReport {
+    bench: String,
+    /// Sessions/sec of the parked-pool strategy over the spawn-per-wave
+    /// strategy (the S10 acceptance figure: must stay >= 1.5).
+    parked_speedup_vs_spawn: f64,
+    rows: Vec<ServiceRow>,
+}
+
+fn service_fps_series(rows: &[ServiceRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .map(|r| (r.strategy.clone(), r.sessions_per_sec))
+        .collect()
+}
+
+fn percentile_us(latencies: &mut [f64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+    latencies[idx]
+}
+
+/// S10: serving thousands of concurrent small-wave sessions. The same
+/// N-tenant stream (each tenant: W waves of E elements through a
+/// one-reaction map program on the sharded parallel engine, 2 workers
+/// per wave) is driven three ways:
+///
+/// * `parked_pool`    — `gammad` service, waves lease workers from the
+///   process-wide parked pool (the default dispatch);
+/// * `spawn_per_wave` — the same service, every wave spawns fresh
+///   scoped threads (the historical behaviour);
+/// * `thread_per_session` — no service: one OS thread per session for
+///   its whole life, spawn-per-wave inside (the classic
+///   architecture the service replaces).
+///
+/// Sessions/sec counts fully-finished sessions over wall time; wave
+/// latency is measured per `run_next_wave` call (per inject+wave for
+/// the threaded baseline). Every tenant's final multiset is checked
+/// byte-identical to a standalone sequential session over the same
+/// stream before any figure is recorded. Results go to
+/// `BENCH_streaming_service.json`.
+fn s10() {
+    use gammaflow_gamma::{
+        ElementSpec, Engine, EngineConfig, Expr, GammaProgram, ParEngine, Pattern, ReactionSpec,
+        Session, Status, WaveDispatch, WorkerPool,
+    };
+    use gammaflow_multiset::value::BinOp;
+    use gammaflow_service::{ServiceConfig, ServiceRuntime};
+    use std::sync::Mutex;
+    banner(
+        "S10",
+        "gammad: thousands of sessions on one parked-worker pool",
+    );
+
+    let sessions: usize = 2048;
+    let waves_per_session: usize = 4;
+    let elements_per_wave: usize = 4;
+    let drivers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+
+    let program = GammaProgram::new(vec![ReactionSpec::new("double")
+        .replace(Pattern::pair("x", "s10in"))
+        .by(vec![ElementSpec::pair(
+            Expr::bin(BinOp::Mul, Expr::var("x"), Expr::int(2)),
+            "s10out",
+        )])]);
+    // Tenant `i`'s wave `w`: a disjoint value range, so every final is
+    // tenant-unique and a cross-tenant mixup cannot cancel out.
+    let wave_elems = |i: usize, w: usize| -> Vec<Element> {
+        (0..elements_per_wave)
+            .map(|j| Element::pair((i * 1_000 + w * 100 + j) as i64, "s10in"))
+            .collect()
+    };
+    // Small-wave serving regime: one engine worker per wave (waves of a
+    // few elements have no intra-wave parallelism worth paying for), so
+    // the dispatch mechanism — lease a parked worker vs spawn a fresh
+    // thread — is exactly what the strategies vary.
+    let par_config = || EngineConfig {
+        engine: Engine::Parallel(ParEngine::ShardedRete),
+        workers: 1,
+        ..EngineConfig::default()
+    };
+
+    // The standalone sequential reference finals (engine matrix anchor:
+    // every strategy must reproduce these byte-for-byte).
+    let reference: Vec<ElementBag> = (0..sessions)
+        .map(|i| {
+            let mut session = Session::build(&program)
+                .start(ElementBag::new())
+                .expect("program compiles");
+            for w in 0..waves_per_session {
+                let _ = session.inject(wave_elems(i, w));
+                let wv = session.run_to_stable().expect("wave runs");
+                assert_eq!(wv.status, Status::Stable);
+            }
+            session.finish().multiset
+        })
+        .collect();
+
+    let total_waves = (sessions * waves_per_session) as u64;
+    let mut rows: Vec<ServiceRow> = Vec::new();
+
+    // The two service-driven strategies differ only in wave dispatch.
+    for (strategy, dispatch) in [
+        ("parked_pool", WaveDispatch::default()),
+        ("spawn_per_wave", WaveDispatch::SpawnPerWave),
+    ] {
+        let svc = ServiceRuntime::new(ServiceConfig {
+            dispatch,
+            ..ServiceConfig::default()
+        })
+        .expect("no trace file configured");
+        for i in 0..sessions {
+            svc.register(&format!("t{i}"), &program, par_config(), ElementBag::new())
+                .expect("tenant registers");
+        }
+        let (leases0, refusals0) = WorkerPool::global().lease_stats();
+        let latencies = Mutex::new(Vec::with_capacity(total_waves as usize));
+        let t0 = Instant::now();
+        for w in 0..waves_per_session {
+            for i in 0..sessions {
+                let _ = svc.inject(&format!("t{i}"), wave_elems(i, w)).unwrap();
+            }
+            std::thread::scope(|scope| {
+                for _ in 0..drivers {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let t = Instant::now();
+                            match svc.run_next_wave().expect("wave runs") {
+                                Some(report) => {
+                                    assert_eq!(report.wave.status, Status::Stable);
+                                    local.push(t.elapsed().as_secs_f64() * 1e6);
+                                }
+                                None => break,
+                            }
+                        }
+                        latencies.lock().unwrap().extend(local);
+                    });
+                }
+            });
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let (leases1, refusals1) = WorkerPool::global().lease_stats();
+
+        let mut identical = true;
+        for (i, expect) in reference.iter().enumerate() {
+            let finals = svc.finish(&format!("t{i}")).expect("tenant finishes");
+            identical &= finals.multiset == *expect;
+        }
+        assert!(identical, "{strategy}: finals must match standalone");
+
+        let mut lat = latencies.into_inner().unwrap();
+        assert_eq!(lat.len() as u64, total_waves, "every wave measured");
+        rows.push(ServiceRow {
+            strategy: strategy.into(),
+            sessions,
+            waves_per_session,
+            elements_per_wave,
+            driver_threads: drivers,
+            total_waves,
+            seconds,
+            sessions_per_sec: sessions as f64 / seconds,
+            waves_per_sec: total_waves as f64 / seconds,
+            p50_wave_us: percentile_us(&mut lat, 0.50),
+            p99_wave_us: percentile_us(&mut lat, 0.99),
+            pool_leases: leases1 - leases0,
+            pool_refusals: refusals1 - refusals0,
+            identical_finals: identical,
+        });
+    }
+
+    // The classic architecture: one OS thread owns each session for its
+    // whole life; no multiplexing, spawn-per-wave inside.
+    {
+        let latencies = Mutex::new(Vec::with_capacity(total_waves as usize));
+        let identical = std::sync::atomic::AtomicBool::new(true);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for i in 0..sessions {
+                let latencies = &latencies;
+                let identical = &identical;
+                let program = &program;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut session = Session::build(program)
+                        .config(par_config())
+                        .wave_dispatch(WaveDispatch::SpawnPerWave)
+                        .start(ElementBag::new())
+                        .expect("program compiles");
+                    let mut local = Vec::with_capacity(waves_per_session);
+                    for w in 0..waves_per_session {
+                        let t = Instant::now();
+                        let _ = session.inject(wave_elems(i, w));
+                        let wv = session.run_to_stable().expect("wave runs");
+                        assert_eq!(wv.status, Status::Stable);
+                        local.push(t.elapsed().as_secs_f64() * 1e6);
+                    }
+                    if session.finish().multiset != reference[i] {
+                        identical.store(false, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        let ok = identical.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(ok, "thread_per_session: finals must match standalone");
+        let mut lat = latencies.into_inner().unwrap();
+        rows.push(ServiceRow {
+            strategy: "thread_per_session".into(),
+            sessions,
+            waves_per_session,
+            elements_per_wave,
+            driver_threads: sessions,
+            total_waves,
+            seconds,
+            sessions_per_sec: sessions as f64 / seconds,
+            waves_per_sec: total_waves as f64 / seconds,
+            p50_wave_us: percentile_us(&mut lat, 0.50),
+            p99_wave_us: percentile_us(&mut lat, 0.99),
+            pool_leases: 0,
+            pool_refusals: 0,
+            identical_finals: ok,
+        });
+    }
+
+    println!(
+        "{:<20} {:>8} {:>7} {:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "strategy",
+        "sessions",
+        "drivers",
+        "sess/s",
+        "waves/s",
+        "p50 us",
+        "p99 us",
+        "leases",
+        "refused"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>8} {:>7} {:>10.0} {:>12.0} {:>10.1} {:>10.1} {:>8} {:>8}",
+            r.strategy,
+            r.sessions,
+            r.driver_threads,
+            r.sessions_per_sec,
+            r.waves_per_sec,
+            r.p50_wave_us,
+            r.p99_wave_us,
+            r.pool_leases,
+            r.pool_refusals
+        );
+    }
+
+    let parked = rows[0].sessions_per_sec;
+    let spawn = rows[1].sessions_per_sec;
+    let speedup = parked / spawn;
+    println!("parked pool vs spawn-per-wave: {speedup:.2}x sessions/sec");
+    if speedup < 1.5 {
+        println!("WARNING: parked-pool speedup below the 1.5x acceptance bar");
+    }
+
+    let baseline: Vec<(String, f64)> =
+        read_baseline::<ServiceReport>("BENCH_streaming_service.json")
+            .map(|old| service_fps_series(&old.rows))
+            .unwrap_or_default();
+    warn_fps_regressions(
+        "BENCH_streaming_service.json",
+        &baseline,
+        &service_fps_series(&rows),
+    );
+
+    let report = ServiceReport {
+        bench: "streaming_service".into(),
+        parked_speedup_vs_spawn: speedup,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_streaming_service.json", &json)
+        .expect("write BENCH_streaming_service.json");
+    println!("wrote BENCH_streaming_service.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
@@ -2406,6 +2712,9 @@ fn main() {
     }
     if want("S9") {
         s9();
+    }
+    if want("S10") {
+        s10();
     }
     println!(
         "\nharness complete in {:.1?} — record release-mode output in EXPERIMENTS.md",

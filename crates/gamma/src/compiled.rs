@@ -304,6 +304,30 @@ impl SearchScratch {
     }
 }
 
+/// Per-bucket frontier cursors for
+/// `CompiledReaction::find_match_frontier`, keyed by
+/// `(reaction, label, tag)`.
+///
+/// A cursor records the physical bucket row at which the last scan
+/// parked, together with the bucket compaction epoch that made the
+/// index meaningful; every row before it is a tombstone or was
+/// guard-rejected, and for frontier-eligible reactions a rejection is
+/// permanent. Never serialised: cursors are a pure acceleration — they
+/// skip rows, never change which row is selected — so a restored
+/// session simply rescans from row 0 once and re-parks.
+#[derive(Debug, Default)]
+pub struct FrontierCursors {
+    map: FxHashMap<(u32, Symbol, Tag), FrontierCursor>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrontierCursor {
+    /// First row not yet proven dead-or-rejected.
+    row: u32,
+    /// Bucket compaction epoch at which `row` was recorded.
+    epoch: u64,
+}
+
 /// A matched, ready-to-fire reaction instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Firing {
@@ -1348,6 +1372,158 @@ impl CompiledReaction {
             return Ok(None);
         }
         self.finish(reaction_index, consumed, &bindings)
+    }
+
+    /// True when this reaction's enabledness over a candidate element is
+    /// a pure function of the element alone: exactly one consumed
+    /// position, with no literal value pin (a pinned value probes the
+    /// index in O(1) and needs no scan at all). For such reactions a
+    /// bucket row that fails the guard once can never match later — no
+    /// other multiset content enters the decision — which is what makes
+    /// the per-bucket frontier cursor of [`Self::find_match_frontier`]
+    /// sound.
+    pub(crate) fn frontier_eligible(&self) -> bool {
+        self.positions.len() == 1 && self.positions[0].value_lit.is_none()
+    }
+
+    /// Linear-amortised first-match search for
+    /// [`Self::frontier_eligible`] reactions.
+    ///
+    /// Each candidate bucket is scanned from its parked cursor instead
+    /// of the bucket head, skipping every row already proven dead or
+    /// permanently guard-rejected, and the cursor re-parks where the
+    /// scan stops (at the matching row on a hit, past the end on a
+    /// miss). Each row is therefore guard-evaluated O(1) amortised
+    /// times over a whole run — the fix for the quadratic post-firing
+    /// re-search that restarting from the bucket head costs.
+    ///
+    /// Selects exactly the tuple [`Self::find_match_fast`] selects with
+    /// no RNG — the first live accepting row in label/tag/insertion
+    /// order; cursor state changes how fast that row is found, never
+    /// which row — and consumes no randomness. Delta scheduling
+    /// therefore stays trace-identical to the rescanning reference in
+    /// deterministic mode, and cursors need no place in snapshots.
+    pub(crate) fn find_match_frontier(
+        &self,
+        reaction_index: usize,
+        bag: &ElementBag,
+        cursors: &mut FrontierCursors,
+    ) -> Result<Option<Firing>, MatchError> {
+        debug_assert!(self.frontier_eligible());
+        match &self.positions[0].label {
+            LabelFilter::Exact(l) => self.frontier_label(reaction_index, *l, bag, cursors),
+            LabelFilter::OneOf(ls) => {
+                for &label in ls.iter() {
+                    if let Some(f) = self.frontier_label(reaction_index, label, bag, cursors)? {
+                        return Ok(Some(f));
+                    }
+                }
+                Ok(None)
+            }
+            LabelFilter::Any => {
+                // Same label enumeration order as `det_search`'s
+                // `visit_labels`, so the selected row is identical.
+                for label in bag.labels() {
+                    if let Some(f) = self.frontier_label(reaction_index, label, bag, cursors)? {
+                        return Ok(Some(f));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn frontier_label(
+        &self,
+        reaction_index: usize,
+        label: Symbol,
+        bag: &ElementBag,
+        cursors: &mut FrontierCursors,
+    ) -> Result<Option<Firing>, MatchError> {
+        // A tag variable is necessarily unbound here (single position),
+        // so the bucket set is the literal tag or every tag under the
+        // label — in `visit_tags` order, matching `det_label`.
+        if let Some(tag) = self.positions[0].tag_lit {
+            return self.frontier_bucket(reaction_index, label, tag, bag, cursors);
+        }
+        for tag in bag.tags_for(label) {
+            if let Some(f) = self.frontier_bucket(reaction_index, label, tag, bag, cursors)? {
+                return Ok(Some(f));
+            }
+        }
+        Ok(None)
+    }
+
+    fn frontier_bucket(
+        &self,
+        reaction_index: usize,
+        label: Symbol,
+        tag: Tag,
+        bag: &ElementBag,
+        cursors: &mut FrontierCursors,
+    ) -> Result<Option<Firing>, MatchError> {
+        let Some(bucket) = bag.bucket(label, tag) else {
+            return Ok(None);
+        };
+        let pat = &self.positions[0];
+        let cursor = cursors
+            .map
+            .entry((reaction_index as u32, label, tag))
+            .or_insert(FrontierCursor {
+                row: 0,
+                epoch: bucket.epoch(),
+            });
+        if cursor.epoch != bucket.epoch() {
+            // Compaction renumbered the rows; restart. Amortised away:
+            // a compaction only runs after at least as many removals as
+            // the live rows this rescan revisits.
+            cursor.row = 0;
+            cursor.epoch = bucket.epoch();
+        }
+        let mut parked = cursor.row as usize;
+        let mut hit = None;
+        let mut bindings = Bindings::new(self.nvars, &self.var_index);
+        for (i, _id, value, _count) in bucket.iter_ids_from(parked) {
+            match self.bind_position(pat, label, tag, value, &mut bindings) {
+                None => {
+                    // Repeated-variable conflict between the row's own
+                    // fields — a property of the row alone; rejected
+                    // forever.
+                    parked = i + 1;
+                }
+                Some((fresh, nfresh)) => {
+                    if self.accept(&bindings) {
+                        hit = Some((
+                            i,
+                            Element {
+                                value: value.clone(),
+                                label,
+                                tag,
+                            },
+                        ));
+                        break;
+                    }
+                    for &v in &fresh[..nfresh] {
+                        bindings.unbind(v);
+                    }
+                    // Guard-rejected: permanent for frontier-eligible
+                    // reactions.
+                    parked = i + 1;
+                }
+            }
+        }
+        match hit {
+            Some((i, element)) => {
+                // Park AT the matched row: it may still hold
+                // occurrences after the firing consumes one.
+                cursor.row = i as u32;
+                self.finish(reaction_index, vec![Some(element)], &bindings)
+            }
+            None => {
+                cursor.row = parked as u32;
+                Ok(None)
+            }
+        }
     }
 
     /// Semi-naive anchored probe: find a match whose tuple *includes*

@@ -82,6 +82,7 @@ pub mod expr;
 pub mod fault;
 pub mod naive;
 pub mod parallel;
+pub mod pool;
 pub mod rete;
 pub mod reuse;
 pub mod schedule;
@@ -101,6 +102,7 @@ pub use naive::{run_naive, NaiveBag};
 pub use parallel::{
     run_parallel, OnExhausted, ParConfig, ParEngine, ParResult, ParStats, RecoveryPolicy,
 };
+pub use pool::{WaveDispatch, WorkerPool};
 pub use rete::{
     AlphaSlice, ReteNetwork, ReteReactionCounters, ReteStats, SlicePlan, DEFAULT_SPILL_WATERMARK,
 };

@@ -71,6 +71,7 @@
 
 use crate::compiled::{CompiledProgram, Firing, MatchError, MatchSource, SearchScratch};
 use crate::fault::{FaultPlan, WaveFaults};
+use crate::pool::WaveDispatch;
 use crate::rete::{AlphaSlice, ReteNetwork, ReteReactionCounters, ReteStats, SlicePlan};
 use crate::schedule::{DependencyIndex, ShardedWorklist};
 use crate::seq::{ExecError, ExecResult, ParError, Status};
@@ -312,6 +313,13 @@ pub struct ParStats {
     /// Waves completed by the sequential fallback after the replay budget
     /// ran out ([`OnExhausted::DegradeToSeq`]).
     pub degraded_waves: u64,
+    /// Wave attempts that ran on workers leased from a parked
+    /// [`crate::pool::WorkerPool`].
+    pub pool_leases: u64,
+    /// Wave attempts that fell back to per-wave scoped thread spawn
+    /// (pool full, or dispatch configured as
+    /// [`crate::pool::WaveDispatch::SpawnPerWave`]).
+    pub pool_spawns: u64,
 }
 
 impl ParStats {
@@ -343,6 +351,8 @@ impl ParStats {
             workers_lost: _,       // recovery: incremented by the wave loop
             waves_replayed: _,     // recovery: incremented by the wave loop
             degraded_waves: _,     // recovery: incremented by the wave loop
+            pool_leases: _,        // dispatch: incremented by the wave attempt
+            pool_spawns: _,        // dispatch: incremented by the wave attempt
         } = other;
         self.claim_failures += claim_failures;
         self.dry_probes += dry_probes;
@@ -376,6 +386,8 @@ impl ParStats {
             workers_lost,
             waves_replayed,
             degraded_waves,
+            pool_leases,
+            pool_spawns,
         } = other;
         self.claim_failures += claim_failures;
         self.dry_probes += dry_probes;
@@ -392,6 +404,8 @@ impl ParStats {
         self.workers_lost += workers_lost;
         self.waves_replayed += waves_replayed;
         self.degraded_waves += degraded_waves;
+        self.pool_leases += pool_leases;
+        self.pool_spawns += pool_spawns;
     }
 }
 
@@ -763,7 +777,7 @@ impl ProbeState {
         let mut attempt: u32 = 0;
         loop {
             let wf = WaveFaults::new(ctl.faults, wave_index, attempt, ctl.tel);
-            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl.tel) {
+            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl) {
                 Ok(out) => {
                     par.waves_replayed += u64::from(attempt);
                     return Ok(out);
@@ -843,7 +857,10 @@ impl ProbeState {
         }
     }
 
-    /// A single attempt at a wave: scoped workers under `catch_unwind`.
+    /// A single attempt at a wave: the worker bodies run on leased pool
+    /// workers (or fallback scoped spawns) under `catch_unwind`, writing
+    /// their results into per-worker slots — an empty slot after the
+    /// wave is a lost worker.
     fn wave_attempt(
         &mut self,
         compiled: &CompiledProgram,
@@ -851,9 +868,11 @@ impl ProbeState {
         wave_index: u64,
         par: &mut ParStats,
         wf: WaveFaults<'_>,
-        tel: &Telemetry,
+        ctl: &WaveCtl<'_>,
     ) -> Result<(ExecStats, Status), WaveFailure> {
         let nreactions = self.nreactions;
+        let workers = self.workers;
+        let tel = ctl.tel;
         let bag = &self.bag;
         let directory = &self.directory;
         let deps = &self.deps;
@@ -867,56 +886,53 @@ impl ProbeState {
         let checker = Mutex::new(());
         let error: Mutex<Option<MatchError>> = Mutex::new(None);
 
+        // `catch_unwind` turns a worker panic into a lost-worker report
+        // instead of a process abort; `done` wakes the peers so the
+        // failed attempt winds down promptly.
+        let outs: Vec<Mutex<Option<(ExecStats, ParStats)>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let body = |w: usize| {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                probe_worker_loop(ProbeWorkerCtx {
+                    compiled,
+                    bag,
+                    directory,
+                    deps,
+                    dirty,
+                    done: &done,
+                    budget_exhausted: &budget_exhausted,
+                    firings_global: &firings_global,
+                    checker: &checker,
+                    error: &error,
+                    budget,
+                    sample_cap,
+                    wave_seed,
+                    nreactions,
+                    w,
+                    wf,
+                    tel,
+                    wave: wave_index,
+                })
+            }));
+            match out {
+                Ok(r) => *outs[w].lock() = Some(r),
+                Err(_) => done.store(true, Ordering::Release),
+            }
+        };
+        if ctl.dispatch.run(workers, &body) {
+            par.pool_leases += 1;
+        } else {
+            par.pool_spawns += 1;
+        }
+
         let mut worker_stats: Vec<(ExecStats, ParStats)> = Vec::new();
         let mut lost: Vec<usize> = Vec::new();
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers);
-            for w in 0..self.workers {
-                let done = &done;
-                let budget_exhausted = &budget_exhausted;
-                let firings_global = &firings_global;
-                let checker = &checker;
-                let error = &error;
-                // `catch_unwind` turns a worker panic into a lost-worker
-                // report instead of a process abort; `done` wakes the
-                // peers so the failed attempt winds down promptly.
-                handles.push(scope.spawn(move || {
-                    let out = catch_unwind(AssertUnwindSafe(|| {
-                        probe_worker_loop(ProbeWorkerCtx {
-                            compiled,
-                            bag,
-                            directory,
-                            deps,
-                            dirty,
-                            done,
-                            budget_exhausted,
-                            firings_global,
-                            checker,
-                            error,
-                            budget,
-                            sample_cap,
-                            wave_seed,
-                            nreactions,
-                            w,
-                            wf,
-                            tel,
-                            wave: wave_index,
-                        })
-                    }));
-                    if out.is_err() {
-                        done.store(true, Ordering::Release);
-                    }
-                    out.ok()
-                }));
+        for (w, slot) in outs.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(r) => worker_stats.push(r),
+                None => lost.push(w),
             }
-            for (w, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(Some(r)) => worker_stats.push(r),
-                    Ok(None) | Err(_) => lost.push(w),
-                }
-            }
-        });
+        }
 
         if !lost.is_empty() {
             return Err(WaveFailure::Lost(lost));
@@ -1143,6 +1159,8 @@ pub(crate) struct WaveCtl<'a> {
     pub(crate) tel: &'a Telemetry,
     /// The session's main-thread event counter.
     pub(crate) ev: &'a Cell<u64>,
+    /// Worker acquisition policy (parked pool lease or per-wave spawn).
+    pub(crate) dispatch: &'a WaveDispatch,
 }
 
 impl WaveCtl<'_> {
@@ -1647,7 +1665,7 @@ impl ShardedState {
         let mut attempt: u32 = 0;
         loop {
             let wf = WaveFaults::new(ctl.faults, wave_index, attempt, ctl.tel);
-            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl.tel) {
+            match self.wave_attempt(compiled, budget, wave_index, par, wf, ctl) {
                 Ok(out) => {
                     par.waves_replayed += u64::from(attempt);
                     return Ok(out);
@@ -1729,7 +1747,11 @@ impl ShardedState {
         }
     }
 
-    /// A single attempt at a wave: scoped workers under `catch_unwind`.
+    /// A single attempt at a wave: the worker bodies run on leased pool
+    /// workers (or fallback scoped spawns) under `catch_unwind`, each
+    /// taking its persistent slice from a per-worker slot and returning
+    /// it through another — an empty result slot after the wave is a
+    /// lost worker whose slice unwound with it.
     fn wave_attempt(
         &mut self,
         compiled: &CompiledProgram,
@@ -1737,10 +1759,11 @@ impl ShardedState {
         wave_index: u64,
         par: &mut ParStats,
         wf: WaveFaults<'_>,
-        tel: &Telemetry,
+        ctl: &WaveCtl<'_>,
     ) -> Result<(ExecStats, Status), WaveFailure> {
         let nreactions = self.nreactions;
         let workers = self.workers;
+        let tel = ctl.tel;
         let wave_seed = wave_seed(self.seed, wave_index);
 
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..workers)
@@ -1780,32 +1803,38 @@ impl ShardedState {
             wave: wave_index,
         };
 
-        let slices = std::mem::take(&mut self.slices);
-        let mut returned: Vec<Option<(ExecStats, ParStats, ReteNetwork)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for (w, slice) in slices.into_iter().enumerate() {
-                let shared = &shared;
-                let rx = &receivers[w];
-                // `catch_unwind` turns a worker panic into a lost-worker
-                // report instead of a process abort; `done` wakes the
-                // peers so the failed attempt winds down promptly. The
-                // receiver stays owned out here so leftover deltas can be
-                // drained into the slice after the join.
-                handles.push(scope.spawn(move || {
-                    let out = catch_unwind(AssertUnwindSafe(|| {
-                        sharded_worker(shared, w, slice, rx, wave_seed, nreactions, wf)
-                    }));
-                    if out.is_err() {
-                        shared.done.store(true, Ordering::Release);
-                    }
-                    out.ok()
-                }));
+        // `catch_unwind` turns a worker panic into a lost-worker report
+        // instead of a process abort; `done` wakes the peers so the
+        // failed attempt winds down promptly. The receivers stay owned
+        // out here so leftover deltas can be drained into the slices
+        // after the wave.
+        let slice_slots: Vec<Mutex<Option<ReteNetwork>>> = std::mem::take(&mut self.slices)
+            .into_iter()
+            .map(|s| Mutex::new(Some(s)))
+            .collect();
+        let outs: Vec<Mutex<Option<(ExecStats, ParStats, ReteNetwork)>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let body = |w: usize| {
+            let slice = slice_slots[w]
+                .lock()
+                .take()
+                .expect("each worker index runs once per wave");
+            let rx = &receivers[w];
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                sharded_worker(&shared, w, slice, rx, wave_seed, nreactions, wf)
+            }));
+            match out {
+                Ok(r) => *outs[w].lock() = Some(r),
+                Err(_) => shared.done.store(true, Ordering::Release),
             }
-            for h in handles {
-                returned.push(h.join().unwrap_or(None));
-            }
-        });
+        };
+        if ctl.dispatch.run(workers, &body) {
+            par.pool_leases += 1;
+        } else {
+            par.pool_spawns += 1;
+        }
+        let returned: Vec<Option<(ExecStats, ParStats, ReteNetwork)>> =
+            outs.into_iter().map(|slot| slot.into_inner()).collect();
 
         let mut lost: Vec<usize> = Vec::new();
         let mut outs: Vec<(ExecStats, ParStats, ReteNetwork)> = Vec::with_capacity(workers);
@@ -2595,6 +2624,8 @@ mod tests {
             workers_lost: 14,
             waves_replayed: 15,
             degraded_waves: 16,
+            pool_leases: 17,
+            pool_spawns: 18,
         }
     }
 
@@ -2619,10 +2650,13 @@ mod tests {
         assert_eq!(a.spill_repromotions, 11);
         assert_eq!(a.shard_peak_tokens, vec![12, 13]);
         // …and so are the recovery counters (incremented by the wave
-        // loop itself).
+        // loop itself) and the dispatch counters (incremented by the
+        // wave attempt).
         assert_eq!(a.workers_lost, 14);
         assert_eq!(a.waves_replayed, 15);
         assert_eq!(a.degraded_waves, 16);
+        assert_eq!(a.pool_leases, 17);
+        assert_eq!(a.pool_spawns, 18);
     }
 
     #[test]
@@ -2646,5 +2680,7 @@ mod tests {
         assert_eq!(a.workers_lost, 28);
         assert_eq!(a.waves_replayed, 30);
         assert_eq!(a.degraded_waves, 32);
+        assert_eq!(a.pool_leases, 34);
+        assert_eq!(a.pool_spawns, 36);
     }
 }

@@ -54,7 +54,7 @@
 //! unchanged. The equivalence regression suite asserts trace equality on
 //! random programs.
 
-use crate::compiled::{CompiledProgram, Firing, MatchError, SearchScratch};
+use crate::compiled::{CompiledProgram, Firing, FrontierCursors, MatchError, SearchScratch};
 use gammaflow_multiset::{ElemId, Element, ElementBag, FxHashMap, Symbol};
 use rand::seq::SliceRandom;
 use rand::RngCore;
@@ -195,6 +195,12 @@ pub struct DeltaScheduler {
     /// Indices of reactions whose state is not `Clean`. No duplicates.
     worklist: Vec<usize>,
     scratch: SearchScratch,
+    /// Per-bucket resume points for single-position reactions, so a
+    /// post-firing full re-search does not restart from the bucket head
+    /// (which is quadratic over a long run). Pure acceleration state —
+    /// never snapshotted; see
+    /// [`CompiledReaction::find_match_frontier`](crate::compiled::CompiledReaction).
+    frontier: FrontierCursors,
     /// Counters for observability and tests.
     pub stats: SchedStats,
 }
@@ -209,6 +215,7 @@ impl DeltaScheduler {
             state: vec![DirtyState::Full; n],
             worklist: (0..n).collect(),
             scratch: SearchScratch::new(),
+            frontier: FrontierCursors::default(),
             stats: SchedStats::default(),
         }
     }
@@ -354,12 +361,20 @@ impl DeltaScheduler {
                 DirtyState::Clean => unreachable!("clean reactions are not on the worklist"),
                 DirtyState::Full => {
                     self.stats.full_searches += 1;
-                    compiled.reactions[reaction].find_match_fast(
-                        reaction,
-                        bag,
-                        rng.as_deref_mut(),
-                        &mut self.scratch,
-                    )?
+                    let rx = &compiled.reactions[reaction];
+                    if rx.frontier_eligible() {
+                        // Single-position reactions resume from the
+                        // per-bucket frontier cursor instead of
+                        // re-walking tombstoned/rejected prefixes — same
+                        // first-in-index-order tuple, linear amortised.
+                        // No RNG in seeded mode either: with one
+                        // position, shuffling only reorders which of the
+                        // enabled rows is drawn, and confluence makes
+                        // the final multiset independent of that draw.
+                        rx.find_match_frontier(reaction, bag, &mut self.frontier)?
+                    } else {
+                        rx.find_match_fast(reaction, bag, rng.as_deref_mut(), &mut self.scratch)?
+                    }
                 }
                 DirtyState::Anchored(anchors) => {
                     // Anchors are probed in insertion (index) order, so the
@@ -646,6 +661,43 @@ mod tests {
         // state); the chain reactions were re-searched only when woken.
         assert!(sched.stats.full_searches <= 6);
         assert_eq!(sched.stats.authoritative_confirms, 1);
+    }
+
+    #[test]
+    fn frontier_cursor_survives_bucket_prune_and_refill() {
+        fn drive(
+            compiled: &CompiledProgram,
+            sched: &mut DeltaScheduler,
+            bag: &mut ElementBag,
+        ) -> u64 {
+            let mut fired = 0u64;
+            while let Some(f) = sched.next_firing(compiled, bag, None).unwrap() {
+                assert!(bag.remove_all(&f.consumed));
+                for p in &f.produced {
+                    bag.insert(p.clone());
+                }
+                sched.on_fired(&f, false);
+                fired += 1;
+            }
+            fired
+        }
+        let compiled = CompiledProgram::compile(&chain_program()).unwrap();
+        let mut bag: ElementBag = (0..20).map(|v| e(v, "a", 0)).collect();
+        let mut sched = DeltaScheduler::new(&compiled);
+        assert_eq!(drive(&compiled, &mut sched, &mut bag), 40);
+        assert_eq!(bag.count_label(Symbol::intern("c")), 20);
+        // The "a" bucket fully drained, so the bag pruned it from the
+        // index while the reaction's frontier cursor stayed parked past
+        // its last row. Refilling recreates the bucket; the cursor must
+        // see a fresh epoch and rescan from row 0 instead of skipping
+        // the new rows (which would wrongly prove the reaction clean).
+        let refill: Vec<Element> = (100..110).map(|v| e(v, "a", 0)).collect();
+        for el in &refill {
+            bag.insert(el.clone());
+        }
+        sched.on_inserted(&refill, false);
+        assert_eq!(drive(&compiled, &mut sched, &mut bag), 20);
+        assert_eq!(bag.count_label(Symbol::intern("c")), 30);
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::fault::{FaultPlan, WaveFaults};
 use crate::parallel::{
     ParEngine, ParResult, ParStats, ProbeState, RecoveryPolicy, ShardedState, WaveCtl,
 };
+use crate::pool::WaveDispatch;
 use crate::rete::{ReteNetwork, ReteStats};
 use crate::schedule::{DeltaScheduler, SchedStats};
 use crate::seq::{ExecConfig, ExecError, ExecResult, Scheduling, Selection, Status};
@@ -294,6 +295,7 @@ pub struct SessionBuilder<'a> {
     program: &'a GammaProgram,
     config: EngineConfig,
     observer: Option<WaveObserver>,
+    dispatch: WaveDispatch,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -404,16 +406,23 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// How parallel waves acquire worker threads (see [`WaveDispatch`]).
+    /// Defaults to leasing from the process-wide parked pool. Not part
+    /// of [`EngineConfig`] or the snapshot: dispatch is a process-local
+    /// execution concern and never changes results, only latency.
+    pub fn wave_dispatch(mut self, dispatch: WaveDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Compile the program, build the matcher state over `initial`, and
     /// return the live session.
     pub fn start(self, initial: ElementBag) -> Result<Session, ExecError> {
         let compiled = CompiledProgram::compile(self.program)?;
-        Ok(Session::from_compiled_with_observer(
-            compiled,
-            initial,
-            self.config,
-            self.observer,
-        ))
+        let mut session =
+            Session::from_compiled_with_observer(compiled, initial, self.config, self.observer);
+        session.dispatch = self.dispatch;
+        Ok(session)
     }
 }
 
@@ -473,6 +482,10 @@ pub struct Session {
     /// Lifetime baseline → optimised VM re-compiles (see
     /// [`Session::maybe_tier_up`]).
     tier_ups: u64,
+    /// Worker acquisition policy for parallel waves (parked pool lease
+    /// with spawn fallback, or per-wave spawn). Process-local — never
+    /// serialized; a restored session defaults back to the pool.
+    dispatch: WaveDispatch,
 }
 
 impl Session {
@@ -483,6 +496,7 @@ impl Session {
             program,
             config: EngineConfig::default(),
             observer: None,
+            dispatch: WaveDispatch::default(),
         }
     }
 
@@ -571,6 +585,7 @@ impl Session {
             seen_spill,
             seen_confirms: 0,
             tier_ups: 0,
+            dispatch: WaveDispatch::default(),
         }
         .with_observer(observer);
         session.emit_build_events();
@@ -663,6 +678,15 @@ impl Session {
     /// live matcher state.
     pub fn grant_budget(&mut self, extra: u64) {
         self.config.max_steps = self.config.max_steps.saturating_add(extra);
+    }
+
+    /// Replace the wave-dispatch strategy on a live session. A
+    /// process-local execution concern, never serialized: a restored
+    /// session defaults back to the shared parked pool, and a service
+    /// that evicts/restores sessions re-applies its per-tenant choice
+    /// through this. Dispatch never changes results, only latency.
+    pub fn set_wave_dispatch(&mut self, dispatch: WaveDispatch) {
+        self.dispatch = dispatch;
     }
 
     /// Elements currently in the live multiset.
@@ -861,6 +885,7 @@ impl Session {
                     faults: &self.config.faults,
                     tel: &self.config.telemetry,
                     ev: &self.ev,
+                    dispatch: &self.dispatch,
                 };
                 let (stats, status) =
                     st.wave(&self.compiled, budget, self.waves_run, &mut self.par, &ctl)?;
@@ -873,6 +898,7 @@ impl Session {
                     faults: &self.config.faults,
                     tel: &self.config.telemetry,
                     ev: &self.ev,
+                    dispatch: &self.dispatch,
                 };
                 let (stats, status) =
                     st.wave(&self.compiled, budget, self.waves_run, &mut self.par, &ctl)?;
@@ -1445,6 +1471,7 @@ impl Session {
             seen_spill,
             seen_confirms,
             tier_ups: 0,
+            dispatch: WaveDispatch::default(),
         };
         if session.config.telemetry.enabled() {
             session.emit(TraceEvent::SessionRestored {

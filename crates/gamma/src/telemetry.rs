@@ -778,6 +778,24 @@ impl MetricsRegistry {
         self
     }
 
+    /// Absorb every sample of `other`, appending `extra` label pairs to
+    /// each — the aggregation primitive a multi-session service uses to
+    /// merge per-session registries into one scrape page keyed by
+    /// tenant: `service.absorb_labeled(&session.metrics(), &[("tenant",
+    /// id)])`.
+    pub fn absorb_labeled(&mut self, other: &MetricsRegistry, extra: &[(&str, &str)]) {
+        for m in &other.metrics {
+            let mut labels = m.labels.clone();
+            labels.extend(extra.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            self.metrics.push(Metric {
+                name: m.name.clone(),
+                labels,
+                value: m.value,
+                kind: m.kind,
+            });
+        }
+    }
+
     /// Render as a JSON array of `{name, labels, value, kind}` objects.
     pub fn to_json(&self) -> String {
         use serde::Content;

@@ -23,6 +23,9 @@
 //!   §III-A3 reductions, and differential equivalence checking.
 //! * [`workloads`] — generators and classic Gamma/dataflow programs used by
 //!   tests and benchmarks.
+//! * [`service`] — `gammad`: a multi-tenant session service multiplexing
+//!   thousands of Gamma sessions over one shared parked-worker pool, with
+//!   fair wave scheduling, per-tenant budgets, and idle eviction.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +81,7 @@ pub use gammaflow_frontend as frontend;
 pub use gammaflow_gamma as gamma;
 pub use gammaflow_lang as lang;
 pub use gammaflow_multiset as multiset;
+pub use gammaflow_service as service;
 pub use gammaflow_workloads as workloads;
 
 /// The most commonly used items, importable with one `use`.

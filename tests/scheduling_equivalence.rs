@@ -576,11 +576,12 @@ fn rete_guard_pushdown_is_observable_on_triangles() {
 /// vehicle at this size — deterministic-selection enumeration re-sorts
 /// the full candidate set per firing and is quadratic at 10^5; smaller
 /// suites pin trace equality. The delta scheduler is cross-checked at
-/// 10^4: its post-firing full re-search restarts from the bucket head,
-/// which is quadratic when most of the bag never matches (a known
-/// scaling limit of the worklist design, independent of storage). The
-/// stabilised bag also round-trips through a snapshot, re-interning on
-/// restore to the identical bytes.
+/// the full 10^5: its post-firing re-search resumes from a per-bucket
+/// frontier cursor (single-position reactions skip rows already proven
+/// dead or permanently guard-rejected), which removed the old
+/// restart-from-bucket-head quadratic. The stabilised bag also
+/// round-trips through a snapshot, re-interning on restore to the
+/// identical bytes.
 #[test]
 fn large_stream_100k_elements_byte_identical() {
     use gammaflow::gamma::{ElementSpec, Expr, GammaProgram, Pattern, ReactionSpec, Session};
@@ -642,11 +643,10 @@ fn large_stream_100k_elements_byte_identical() {
         "parallel finals diverged from the sequential reference"
     );
 
-    // Delta cross-check at the smaller size (see the doc comment).
-    let small: ElementBag = (0i64..10_000).map(|v| Element::pair(v, "n")).collect();
-    let delta_small = run_session(Scheduling::Delta, &small, 10_000);
-    let rete_small = run_session(Scheduling::Rete, &small, 10_000);
-    assert_eq!(delta_small, rete_small, "sequential finals diverged");
+    // Delta cross-check at the full size: linear thanks to the
+    // frontier-cursor re-search (see the doc comment).
+    let delta = run_session(Scheduling::Delta, &initial, 100_000);
+    assert_eq!(delta, rete, "sequential finals diverged");
 
     // The same stream through a snapshot at scale: capture after
     // stabilising, restore, and the restored bag re-interns to the
